@@ -1,0 +1,51 @@
+# Convenience targets for the mcopt reproduction. Everything is stdlib Go;
+# no target needs network access.
+
+GO ?= go
+
+.PHONY: all build test vet bench tables tune report examples cover fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One benchmark per paper table plus the ablation suite.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's tables at paper budgets (writes to stdout).
+tables:
+	$(GO) run ./cmd/olabench
+
+# The §4.2.1 temperature grid.
+tune:
+	$(GO) run ./cmd/olatune -family gola
+
+# Everything in one markdown report.
+report:
+	$(GO) run ./cmd/olareport -o report.md
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/placement
+	$(GO) run ./examples/viacolumns
+	$(GO) run ./examples/tsp
+	$(GO) run ./examples/partition
+	$(GO) run ./examples/autoschedule
+
+cover:
+	$(GO) test -cover ./...
+
+# Brief fuzz pass over the netlist text parser.
+fuzz:
+	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/netlist
+
+clean:
+	rm -f report.md test_output.txt bench_output.txt

@@ -1,0 +1,29 @@
+// Command locbench runs the X2b extension experiment: the location half of
+// [GOLD84]'s "routing and location problems" — simulated annealing on the
+// p-median problem against the classic vertex-substitution heuristics
+// (greedy construction, Teitz–Bart interchange with restarts) at equal
+// move budgets.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mcopt/internal/experiment"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "suite and run seed")
+	instances := flag.Int("instances", 10, "number of random Euclidean instances")
+	sites := flag.Int("sites", 60, "sites per instance")
+	p := flag.Int("p", 6, "medians to place")
+	budget := flag.Int64("budget", 60000, "moves per instance per method")
+	flag.Parse()
+
+	t := experiment.PMedianComparison(*seed, *instances, *sites, *p, *budget)
+	if err := t.Render(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "locbench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,161 @@
+// Command olabench regenerates the paper's evaluation tables (4.1 and
+// 4.2(a)–(d)) over freshly generated GOLA/NOLA suites.
+//
+// Usage:
+//
+//	olabench [-table all|4.1|4.2a|4.2b|4.2c|4.2d] [-seed N] [-scale F]
+//	         [-plateau accept|accept+reset|reject] [-seq]
+//
+// -scale multiplies every budget (1 = the paper's 6/9/12-second and
+// 3-minute CPU allowances at 200 moves per VAX second).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"mcopt/internal/core"
+	"mcopt/internal/experiment"
+)
+
+// csvName converts a table title into a safe file stem like "table_4.1".
+func csvName(title string) string {
+	fields := strings.Fields(title)
+	if len(fields) >= 2 {
+		return "table_" + strings.Trim(fields[1], "—-")
+	}
+	return "table"
+}
+
+func main() {
+	table := flag.String("table", "all", "which table to regenerate: all, 4.1, 4.2a, 4.2b, 4.2c, 4.2d, cohoon (the §4.2.2 best-heuristic aside; not in 'all')")
+	seed := flag.Uint64("seed", 1, "suite and run seed")
+	scale := flag.Float64("scale", 1, "budget scale factor (1 = paper budgets)")
+	plateau := flag.String("plateau", "accept", "zero-delta policy: accept, accept+reset, reject")
+	seq := flag.Bool("seq", false, "run cells sequentially")
+	replicates := flag.Int("replicates", 1, "independent replications (fresh instances per seed); >1 prints mean±std for 4.1/4.2a/4.2c/4.2d")
+	csvDir := flag.String("csvdir", "", "also write each table's raw per-instance measurements as CSV into this directory")
+	flag.Parse()
+
+	cfg := experiment.Config{Seed: *seed, Sequential: *seq}
+	switch *plateau {
+	case "accept":
+		cfg.Plateau = core.PlateauAccept
+	case "accept+reset":
+		cfg.Plateau = core.PlateauAcceptReset
+	case "reject":
+		cfg.Plateau = core.PlateauReject
+	default:
+		fmt.Fprintf(os.Stderr, "olabench: unknown plateau policy %q\n", *plateau)
+		os.Exit(2)
+	}
+
+	budgets := experiment.PaperBudgets(*scale)
+	budget42b := int64(*scale * float64(experiment.Seconds(180)))
+
+	run := func(name string, f func() *experiment.Table) {
+		start := time.Now()
+		t := f()
+		if err := t.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "olabench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %.1fs)\n\n", name, time.Since(start).Seconds())
+	}
+
+	seeds := make([]uint64, max(*replicates, 1))
+	for i := range seeds {
+		seeds[i] = *seed + uint64(i)
+	}
+	// dumpCSV writes a matrix's raw measurements when -csvdir is set.
+	dumpCSV := func(name string, x *experiment.Matrix) {
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "olabench: %v\n", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*csvDir, name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "olabench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := x.WriteCSV(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "olabench: write %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "olabench: close %s: %v\n", path, err)
+			os.Exit(1)
+		}
+	}
+
+	// tableOf picks plain or replicated rendering for the reduction tables.
+	tableOf := func(title string, build func(seed uint64, budgets []int64, cfg experiment.Config) (*experiment.Table, *experiment.Matrix)) *experiment.Table {
+		if len(seeds) == 1 {
+			t, x := build(seeds[0], budgets, cfg)
+			dumpCSV(csvName(title), x)
+			return t
+		}
+		rep, err := experiment.Replicate(seeds, func(s uint64) *experiment.Matrix {
+			_, x := build(s, budgets, cfg)
+			return x
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "olabench: %v\n", err)
+			os.Exit(1)
+		}
+		return rep.Table(title)
+	}
+
+	want := func(name string) bool {
+		if *table == "all" {
+			return name != "cohoon"
+		}
+		return strings.EqualFold(*table, name)
+	}
+	matched := false
+	if want("4.1") {
+		matched = true
+		run("4.1", func() *experiment.Table {
+			return tableOf("Table 4.1 — GOLA, random starts, Figure 1", experiment.Table41)
+		})
+	}
+	if want("4.2a") {
+		matched = true
+		run("4.2a", func() *experiment.Table {
+			return tableOf("Table 4.2(a) — GOLA, Goto starts, Figure 1", experiment.Table42a)
+		})
+	}
+	if want("4.2b") {
+		matched = true
+		run("4.2b", func() *experiment.Table { t, _, _ := experiment.Table42b(*seed, budget42b, cfg); return t })
+	}
+	if want("4.2c") {
+		matched = true
+		run("4.2c", func() *experiment.Table {
+			return tableOf("Table 4.2(c) — NOLA, random starts, Figure 1", experiment.Table42c)
+		})
+	}
+	if want("4.2d") {
+		matched = true
+		run("4.2d", func() *experiment.Table {
+			return tableOf("Table 4.2(d) — NOLA, Goto starts, Figure 1", experiment.Table42d)
+		})
+	}
+	if want("cohoon") {
+		matched = true
+		run("cohoon", func() *experiment.Table { return experiment.CohoonBest(*seed, budgets) })
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "olabench: unknown table %q\n", *table)
+		os.Exit(2)
+	}
+}

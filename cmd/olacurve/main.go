@@ -1,0 +1,115 @@
+// Command olacurve plots convergence curves — best density versus moves —
+// for chosen g classes on one GOLA/NOLA instance, as an ASCII chart or CSV.
+// It makes the dynamics behind the paper's end-of-run tables visible: the
+// early lead of greedy descent, the late gains from accepted uphill moves,
+// and the Goto reference level.
+//
+// Usage:
+//
+//	olacurve [-in instance.nl] [-g "g = 1,Six Temperature Annealing,[COHO83a]"]
+//	         [-budget 2400] [-seed 1] [-csv] [-width 72] [-height 18]
+//
+// Without -in, a paper-style random GOLA instance (15 cells, 150 nets) is
+// generated from the seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mcopt/internal/core"
+	"mcopt/internal/experiment"
+	"mcopt/internal/gfunc"
+	"mcopt/internal/gotoh"
+	"mcopt/internal/linarr"
+	"mcopt/internal/netlist"
+	"mcopt/internal/rng"
+	"mcopt/internal/trace"
+)
+
+func main() {
+	in := flag.String("in", "", "instance file (text netlist format); default: random 15/150 GOLA")
+	gNames := flag.String("g", "g = 1,Six Temperature Annealing,[COHO83a]", "comma-separated g class names")
+	budget := flag.Int64("budget", 2400, "move budget per class")
+	seed := flag.Uint64("seed", 1, "random stream seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of an ASCII chart")
+	width := flag.Int("width", 72, "chart width")
+	height := flag.Int("height", 18, "chart height")
+	flag.Parse()
+
+	var nl *netlist.Netlist
+	if *in == "" {
+		nl = netlist.RandomGraph(rng.Stream("olacurve/instance", *seed), 15, 150)
+	} else {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "olacurve: %v\n", err)
+			os.Exit(1)
+		}
+		nl, err = netlist.Read(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "olacurve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	start := linarr.Random(nl, rng.Stream("olacurve/start", *seed))
+
+	scale := gfunc.Scale{TypicalCost: float64(max(start.Density(), 1)), TypicalDelta: 2}
+	var curves []trace.Series
+	for _, name := range strings.Split(*gNames, ",") {
+		name = strings.TrimSpace(name)
+		g, err := buildG(name, nl, scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "olacurve: %v\n", err)
+			os.Exit(2)
+		}
+		rec := trace.NewRecorder(name)
+		sol := linarr.NewSolution(start.Clone(), linarr.PairwiseInterchange)
+		core.Figure1{G: g, Trace: rec.Hook()}.Run(sol,
+			core.NewBudget(*budget), rng.Stream("olacurve/run/"+name, *seed))
+		curves = append(curves, rec.Series())
+	}
+
+	if *csv {
+		if err := trace.WriteCSV(os.Stdout, curves...); err != nil {
+			fmt.Fprintf(os.Stderr, "olacurve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	gotoDens := linarr.MustNew(nl, gotoh.Order(nl)).Density()
+	chart := &trace.Chart{
+		Title: fmt.Sprintf("best density vs moves (%d cells, %d nets; start %d, Goto %d)",
+			nl.NumCells(), nl.NumNets(), start.Density(), gotoDens),
+		Series: curves,
+		Width:  *width,
+		Height: *height,
+	}
+	if err := chart.Render(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "olacurve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func buildG(name string, nl *netlist.Netlist, scale gfunc.Scale) (core.G, error) {
+	if name == "[COHO83a]" {
+		return gfunc.CohoonSahni(nl.NumNets()), nil
+	}
+	b, ok := gfunc.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown g class %q", name)
+	}
+	var ys []float64
+	if b.NeedsY {
+		ys = b.DefaultYs(scale)
+		if mult, ok := experiment.TunedGOLA[b.ID]; ok && nl.IsGraph() {
+			for i := range ys {
+				ys[i] *= mult
+			}
+		}
+	}
+	return b.Build(ys), nil
+}

@@ -1,0 +1,87 @@
+// Command olagen generates random GOLA/NOLA instances in the library's text
+// netlist format, for use with olasolve or external tools.
+//
+// Usage:
+//
+//	olagen [-family gola|nola] [-cells 15] [-nets 150] [-count 1]
+//	       [-seed 1] [-o DIR]
+//
+// With -count 1 the instance is written to stdout (or DIR/instance_0.nl);
+// larger counts require -o and write DIR/instance_<i>.nl.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mcopt/internal/netlist"
+	"mcopt/internal/rng"
+)
+
+func main() {
+	family := flag.String("family", "gola", "instance family: gola (two-pin nets) or nola (2-8 pin nets)")
+	cells := flag.Int("cells", 15, "circuit elements per instance")
+	nets := flag.Int("nets", 150, "nets per instance")
+	count := flag.Int("count", 1, "number of instances")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	out := flag.String("o", "", "output directory (default stdout for a single instance)")
+	stats := flag.Bool("stats", false, "print instance statistics to stderr")
+	flag.Parse()
+
+	if *count > 1 && *out == "" {
+		fmt.Fprintln(os.Stderr, "olagen: -count > 1 requires -o DIR")
+		os.Exit(2)
+	}
+	gen := func(i int) *netlist.Netlist {
+		r := rng.Derive("olagen/"+*family, *seed, uint64(i))
+		switch *family {
+		case "gola":
+			return netlist.RandomGraph(r, *cells, *nets)
+		case "nola":
+			return netlist.RandomHyper(r, *cells, *nets, 2, min(8, *cells))
+		default:
+			fmt.Fprintf(os.Stderr, "olagen: unknown family %q\n", *family)
+			os.Exit(2)
+			return nil
+		}
+	}
+	for i := 0; i < *count; i++ {
+		nl := gen(i)
+		if *stats {
+			fmt.Fprintf(os.Stderr, "--- instance %d ---\n", i)
+			if err := netlist.Summarize(nl).Render(os.Stderr); err != nil {
+				fmt.Fprintf(os.Stderr, "olagen: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *out == "" {
+			if err := netlist.Write(os.Stdout, nl); err != nil {
+				fmt.Fprintf(os.Stderr, "olagen: %v\n", err)
+				os.Exit(1)
+			}
+			continue
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "olagen: %v\n", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*out, fmt.Sprintf("instance_%d.nl", i))
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "olagen: %v\n", err)
+			os.Exit(1)
+		}
+		if err := netlist.Write(f, nl); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "olagen: write %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "olagen: close %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Println(path)
+	}
+}

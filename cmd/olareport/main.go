@@ -1,0 +1,109 @@
+// Command olareport regenerates every experiment in this repository — the
+// paper tables E1–E5, the tuning grid E6, the extension studies X1/X2 — and
+// writes a single self-contained markdown report. It is the one-command
+// companion to EXPERIMENTS.md.
+//
+// Usage:
+//
+//	olareport [-o report.md] [-seed 1] [-scale 1] [-quick]
+//
+// -quick divides all budgets by 10 for a fast smoke report.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"mcopt/internal/core"
+	"mcopt/internal/experiment"
+	"mcopt/internal/linarr"
+	"mcopt/internal/tuner"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	seed := flag.Uint64("seed", 1, "suite and run seed")
+	scale := flag.Float64("scale", 1, "budget scale factor")
+	quick := flag.Bool("quick", false, "divide budgets by 10")
+	flag.Parse()
+
+	if *quick {
+		*scale /= 10
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "olareport: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "olareport: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+		w = f
+	}
+
+	cfg := experiment.Config{Seed: *seed}
+	budgets := experiment.PaperBudgets(*scale)
+	budget42b := int64(*scale * float64(experiment.Seconds(180)))
+	started := time.Now()
+
+	fmt.Fprintf(w, "# mcopt experiment report\n\n")
+	fmt.Fprintf(w, "seed %d, budget scale %g, generated %s\n\n",
+		*seed, *scale, time.Now().Format(time.RFC3339))
+
+	section := func(title string, table *experiment.Table) {
+		fmt.Fprintf(w, "## %s\n\n```\n", title)
+		if err := table.Render(w); err != nil {
+			fmt.Fprintf(os.Stderr, "olareport: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "```\n\n")
+	}
+
+	t41, _ := experiment.Table41(*seed, budgets, cfg)
+	section("E1 — Table 4.1", t41)
+	t42a, _ := experiment.Table42a(*seed, budgets, cfg)
+	section("E2 — Table 4.2(a)", t42a)
+	t42b, _, _ := experiment.Table42b(*seed, budget42b, cfg)
+	section("E3 — Table 4.2(b)", t42b)
+	t42c, _ := experiment.Table42c(*seed, budgets, cfg)
+	section("E4 — Table 4.2(c)", t42c)
+	t42d, _ := experiment.Table42d(*seed, budgets, cfg)
+	section("E5 — Table 4.2(d)", t42d)
+
+	// E6 — the tuning grid, briefly.
+	suite := experiment.NewSuite(experiment.GOLAParams(), *seed)
+	start := func(inst int) core.Solution {
+		return linarr.NewSolution(suite.Start(inst), linarr.PairwiseInterchange)
+	}
+	tcfg := tuner.Config{
+		Budget:    int64(*scale * float64(experiment.Seconds(5))),
+		Instances: suite.Size(),
+		Seed:      *seed,
+	}
+	fmt.Fprintf(w, "## E6 — §4.2.1 tuning grid\n\n```\n")
+	fmt.Fprintf(w, "%-27s %9s %10s\n", "g function", "best mult", "reduction")
+	for _, res := range tuner.TuneAll(experiment.GOLAScale(), start, tcfg) {
+		fmt.Fprintf(w, "%-27s %9g %10.0f\n", res.Name, res.Best.Multiplier, res.Best.Reduction)
+	}
+	fmt.Fprintf(w, "```\n\n")
+
+	x1budget := int64(*scale * 60000)
+	section("X1 — circuit partition", experiment.PartitionComparison(*seed, 10, 64, 192, x1budget))
+	section("X2 — TSP ([GOLD84] routing)", experiment.TSPComparison(*seed, 10, 60, x1budget))
+	section("X2b — p-median ([GOLD84] location)", experiment.PMedianComparison(*seed, 10, 60, 6, x1budget))
+	section("S1 — instance-size scaling", experiment.SizeSweep(experiment.SweepParams{
+		Seed:   *seed,
+		Budget: int64(*scale * float64(experiment.Seconds(12))),
+	}))
+	section("E7 — §4.2.2 [COHO83a] best heuristic", experiment.CohoonBest(*seed, budgets))
+
+	fmt.Fprintf(w, "---\nreport complete in %.1fs\n", time.Since(started).Seconds())
+}

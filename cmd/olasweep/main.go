@@ -1,0 +1,47 @@
+// Command olasweep runs the instance-size scaling study: the paper's GOLA
+// regime (10 nets per cell) swept across cell counts at a fixed move
+// budget, comparing Goto's constructive heuristic against six-temperature
+// annealing and g = 1, with the provable optimum while the exact solver
+// reaches (≤ 22 cells).
+//
+// §4.2.5 conclusion 2 predicts Goto's standing improves as instances grow
+// relative to the budget; this command measures where the crossover sits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mcopt/internal/experiment"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "suite and run seed")
+	sizes := flag.String("sizes", "8,12,15,20,30,40", "comma-separated cell counts")
+	instances := flag.Int("instances", 10, "instances per size")
+	budget := flag.Int64("budget", experiment.Seconds(12), "moves per instance per method")
+	netsPerCell := flag.Int("netspercell", 10, "nets per cell (paper: 150/15 = 10)")
+	flag.Parse()
+
+	p := experiment.SweepParams{
+		NetsPerCell: *netsPerCell,
+		Instances:   *instances,
+		Budget:      *budget,
+		Seed:        *seed,
+	}
+	for _, f := range strings.Split(*sizes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 2 {
+			fmt.Fprintf(os.Stderr, "olasweep: bad size %q\n", f)
+			os.Exit(2)
+		}
+		p.Sizes = append(p.Sizes, n)
+	}
+	if err := experiment.SizeSweep(p).Render(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "olasweep: %v\n", err)
+		os.Exit(1)
+	}
+}

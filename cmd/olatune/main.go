@@ -1,0 +1,65 @@
+// Command olatune reproduces the paper's §4.2.1 temperature determination:
+// a grid search over schedule scalings for every g class, scored by total
+// density reduction on a 30-instance suite under the Figure-1 strategy.
+//
+// The winning multipliers are what experiment.TunedGOLA / TunedNOLA record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mcopt/internal/core"
+	"mcopt/internal/experiment"
+	"mcopt/internal/gfunc"
+	"mcopt/internal/linarr"
+	"mcopt/internal/tuner"
+)
+
+func main() {
+	family := flag.String("family", "gola", "problem family: gola or nola")
+	seed := flag.Uint64("seed", 1, "suite and run seed")
+	seconds := flag.Float64("budget", 5, "tuning budget in VAX seconds per instance (paper: 5)")
+	wide := flag.Bool("wide", false, "search a wide multiplier grid (lets weak classes degenerate to pure descent; see tuner docs)")
+	flag.Parse()
+
+	var (
+		params experiment.SuiteParams
+		scale  gfunc.Scale
+	)
+	switch *family {
+	case "gola":
+		params, scale = experiment.GOLAParams(), experiment.GOLAScale()
+	case "nola":
+		params, scale = experiment.NOLAParams(), experiment.NOLAScale()
+	default:
+		fmt.Fprintf(os.Stderr, "olatune: unknown family %q\n", *family)
+		os.Exit(2)
+	}
+
+	suite := experiment.NewSuite(params, *seed)
+	start := func(inst int) core.Solution {
+		return linarr.NewSolution(suite.Start(inst), linarr.PairwiseInterchange)
+	}
+	cfg := tuner.Config{
+		Budget:    experiment.Seconds(*seconds),
+		Instances: suite.Size(),
+		Seed:      *seed,
+	}
+	if *wide {
+		cfg.Multipliers = []float64{0.0625, 0.25, 0.5, 0.7, 1, 1.4, 2, 4, 16}
+	}
+
+	fmt.Printf("§4.2.1 tuning on the %s (seed %d, %d moves/instance)\n\n",
+		suite, *seed, cfg.Budget)
+	fmt.Printf("%-27s %9s %10s    grid (multiplier:reduction)\n", "g function", "best mult", "reduction")
+	for _, res := range tuner.TuneAll(scale, start, cfg) {
+		fmt.Printf("%-27s %9g %10.0f   ", res.Name, res.Best.Multiplier, res.Best.Reduction)
+		for _, s := range res.Scores {
+			fmt.Printf(" %g:%.0f", s.Multiplier, s.Reduction)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nPaste the winning multipliers into experiment.TunedGOLA / TunedNOLA.")
+}

@@ -1,0 +1,34 @@
+// Command partbench runs the X1 extension experiment: circuit partition
+// (the [KIRK83] flagship problem, whose [NAHA84] results the paper's §5
+// cites) comparing Monte Carlo g classes against one-shot local search and
+// Kernighan–Lin under equal move budgets.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mcopt/internal/experiment"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "suite and run seed")
+	instances := flag.Int("instances", 10, "number of random instances")
+	cells := flag.Int("cells", 64, "cells per instance")
+	nets := flag.Int("nets", 192, "nets per instance")
+	budget := flag.Int64("budget", 60000, "moves per instance per method")
+	full := flag.Bool("full", false, "run all 21 g classes (the [NAHA84]-style table) instead of the summary comparison")
+	flag.Parse()
+
+	var t *experiment.Table
+	if *full {
+		t = experiment.PartitionTable(*seed, *instances, *cells, *nets, []int64{*budget / 4, *budget})
+	} else {
+		t = experiment.PartitionComparison(*seed, *instances, *cells, *nets, *budget)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "partbench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,33 @@
+// Command tspbench runs the X2 extension experiment: the [GOLD84]-shape TSP
+// comparison the paper's §2 recounts — simulated annealing vs 2-opt with
+// random restarts at equal budgets, and vs the fast constructive heuristics
+// (hull insertion in the spirit of [STEW77], nearest neighbor).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mcopt/internal/experiment"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "suite and run seed")
+	instances := flag.Int("instances", 10, "number of random Euclidean instances")
+	cities := flag.Int("cities", 60, "cities per instance")
+	budget := flag.Int64("budget", 60000, "moves per instance per method")
+	full := flag.Bool("full", false, "run all 21 g classes (the [NAHA84]-style table) instead of the summary comparison")
+	flag.Parse()
+
+	var t *experiment.Table
+	if *full {
+		t = experiment.TSPTable(*seed, *instances, *cities, []int64{*budget / 4, *budget})
+	} else {
+		t = experiment.TSPComparison(*seed, *instances, *cities, *budget)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "tspbench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,115 @@
+package mcopt_test
+
+// End-to-end CLI tests: build each command once and drive it through its
+// primary flag combinations, so the tool wiring (flag parsing, file I/O,
+// exit codes) is covered, not just the library underneath.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmds compiles every command into a temp dir once per test run.
+func buildCmds(t *testing.T, names ...string) map[string]string {
+	t.Helper()
+	dir := t.TempDir()
+	bins := map[string]string{}
+	for _, name := range names {
+		bin := filepath.Join(dir, name)
+		out, err := exec.Command("go", "build", "-o", bin, "./cmd/"+name).CombinedOutput()
+		if err != nil {
+			t.Fatalf("go build %s: %v\n%s", name, err, out)
+		}
+		bins[name] = bin
+	}
+	return bins
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func runExpectError(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err == nil {
+		t.Fatalf("%s %v succeeded, want failure\n%s", filepath.Base(bin), args, out)
+	}
+	return string(out)
+}
+
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration is slow; skipped with -short")
+	}
+	bins := buildCmds(t, "olagen", "olasolve", "olaexact", "olacurve", "olabench", "olasweep", "olatune")
+	dir := t.TempDir()
+
+	// olagen: generate an instance set and a single instance on stdout.
+	out := run(t, bins["olagen"], "-family", "gola", "-cells", "12", "-nets", "60", "-count", "3", "-o", dir)
+	if strings.Count(out, "instance_") != 3 {
+		t.Fatalf("olagen wrote unexpected file list:\n%s", out)
+	}
+	inst := filepath.Join(dir, "instance_0.nl")
+	if _, err := os.Stat(inst); err != nil {
+		t.Fatal(err)
+	}
+
+	// olasolve on the generated instance, both strategies.
+	out = run(t, bins["olasolve"], "-in", inst, "-g", "g = 1", "-budget", "600")
+	if !strings.Contains(out, "density:") || !strings.Contains(out, "arrangement:") {
+		t.Fatalf("olasolve output malformed:\n%s", out)
+	}
+	out = run(t, bins["olasolve"], "-in", inst, "-g", "Six Temperature Annealing", "-strategy", "fig2", "-start", "goto")
+	if !strings.Contains(out, "fig2") {
+		t.Fatalf("olasolve fig2 output malformed:\n%s", out)
+	}
+	runExpectError(t, bins["olasolve"], "-in", inst, "-g", "No Such Class")
+	runExpectError(t, bins["olasolve"]) // missing -in
+
+	// olaexact agrees with itself and bounds olasolve's result.
+	out = run(t, bins["olaexact"], "-in", inst, "-order")
+	if !strings.Contains(out, "optimal density:") || !strings.Contains(out, "optimal order:") {
+		t.Fatalf("olaexact output malformed:\n%s", out)
+	}
+
+	// olacurve CSV mode on a generated instance.
+	out = run(t, bins["olacurve"], "-in", inst, "-budget", "400", "-csv")
+	if !strings.HasPrefix(out, "series,move,best_cost") {
+		t.Fatalf("olacurve CSV malformed:\n%s", out)
+	}
+
+	// olabench at tiny scale with CSV dump.
+	csvDir := t.TempDir()
+	out = run(t, bins["olabench"], "-table", "4.1", "-scale", "0.01", "-csvdir", csvDir)
+	if !strings.Contains(out, "Table 4.1") || !strings.Contains(out, "(optimal)") {
+		t.Fatalf("olabench output malformed:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(csvDir, "table_4.1.csv")); err != nil {
+		t.Fatal(err)
+	}
+	runExpectError(t, bins["olabench"], "-table", "nope")
+	runExpectError(t, bins["olabench"], "-plateau", "bogus")
+
+	// olasweep tiny.
+	out = run(t, bins["olasweep"], "-sizes", "6,8", "-instances", "2", "-budget", "200")
+	if !strings.Contains(out, "n=6") || !strings.Contains(out, "n=8") {
+		t.Fatalf("olasweep output malformed:\n%s", out)
+	}
+	runExpectError(t, bins["olasweep"], "-sizes", "6,x")
+
+	// olatune tiny budget.
+	out = run(t, bins["olatune"], "-budget", "0.5")
+	if !strings.Contains(out, "g = 1") || !strings.Contains(out, "best mult") {
+		t.Fatalf("olatune output malformed:\n%s", out)
+	}
+	runExpectError(t, bins["olatune"], "-family", "bogus")
+}

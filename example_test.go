@@ -1,0 +1,116 @@
+package mcopt_test
+
+import (
+	"fmt"
+
+	"mcopt"
+)
+
+// The README quickstart: anneal a paper-style GOLA instance with the
+// parameter-free g = 1 rule.
+func ExampleFigure1() {
+	nl := mcopt.RandomGraph(mcopt.Stream("example-fig1", 1), 15, 150)
+	arr := mcopt.RandomArrangement(nl, mcopt.Stream("example-fig1-start", 1))
+	sol := mcopt.NewLinearSolution(arr, mcopt.PairwiseInterchange)
+
+	res := mcopt.Figure1{G: mcopt.GOne()}.Run(sol, mcopt.NewBudget(2400), mcopt.Stream("example-fig1-run", 1))
+
+	fmt.Println("improved:", res.BestCost < res.InitialCost)
+	fmt.Println("moves spent:", res.Moves)
+	// Output:
+	// improved: true
+	// moves spent: 2400
+}
+
+// The Figure-2 strategy descends to a local optimum before considering
+// uphill jumps.
+func ExampleFigure2() {
+	nl := mcopt.RandomGraph(mcopt.Stream("example-fig2", 1), 12, 90)
+	sol := mcopt.NewLinearSolution(
+		mcopt.RandomArrangement(nl, mcopt.Stream("example-fig2-start", 1)),
+		mcopt.PairwiseInterchange)
+
+	res := mcopt.Figure2{G: mcopt.GCohoonSahni(nl.NumNets())}.Run(
+		sol, mcopt.NewBudget(4000), mcopt.Stream("example-fig2-run", 1))
+
+	fmt.Println("completed descents >= 1:", res.Descents >= 1)
+	fmt.Println("best <= initial:", res.BestCost <= res.InitialCost)
+	// Output:
+	// completed descents >= 1: true
+	// best <= initial: true
+}
+
+// Goto's constructive heuristic [GOTO77] orders a path graph perfectly.
+func ExampleGotoOrder() {
+	nl, err := mcopt.NewNetlist(5, [][]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	if err != nil {
+		panic(err)
+	}
+	order := mcopt.GotoOrder(nl)
+	arr, err := mcopt.NewArrangement(nl, order)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("density:", arr.Density())
+	// Output:
+	// density: 1
+}
+
+// The exact solver turns reductions into optimality gaps for instances of
+// the paper's size.
+func ExampleOptimalDensity() {
+	nl := mcopt.RandomGraph(mcopt.Stream("example-exact", 1), 15, 150)
+	opt, err := mcopt.OptimalDensity(nl)
+	if err != nil {
+		panic(err)
+	}
+	gotoArr, err := mcopt.NewArrangement(nl, mcopt.GotoOrder(nl))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("Goto within 6 of optimal:", gotoArr.Density()-opt <= 6)
+	// Output:
+	// Goto within 6 of optimal: true
+}
+
+// Kernighan–Lin is the "proven heuristic" the paper faults [KIRK83] for not
+// comparing annealing against.
+func ExampleKernighanLin() {
+	nl := mcopt.RandomHyper(mcopt.Stream("example-kl", 1), 16, 48, 2, 4)
+	b := mcopt.RandomBipartition(nl, mcopt.Stream("example-kl-start", 1))
+	before := b.CutSize()
+	mcopt.KernighanLin(b, mcopt.NewBudget(100000))
+	fmt.Println("cut reduced:", b.CutSize() < before)
+	s0, s1 := b.SideSizes()
+	fmt.Println("balanced:", s0 == s1)
+	// Output:
+	// cut reduced: true
+	// balanced: true
+}
+
+// 2-opt with restarts is [LIN73] as [GOLD84] ran it against annealing.
+func ExampleTwoOptRestarts() {
+	inst := mcopt.RandomEuclidean(mcopt.Stream("example-2opt", 1), 40)
+	random := mcopt.RandomTour(inst, mcopt.Stream("example-2opt-start", 1)).Length()
+	best, starts := mcopt.TwoOptRestarts(inst, mcopt.NewBudget(20000), mcopt.Stream("example-2opt-run", 1))
+	fmt.Println("restarts >= 1:", starts >= 1)
+	fmt.Println("beats a random tour:", best.Length() < random)
+	// Output:
+	// restarts >= 1: true
+	// beats a random tour: true
+}
+
+// Building a g class from the registry with an analytically derived default
+// schedule.
+func ExampleGByName() {
+	b, ok := mcopt.GByName("Six Temperature Annealing")
+	if !ok {
+		panic("class not found")
+	}
+	g := b.Build(b.DefaultYs(mcopt.GScale{TypicalCost: 86, TypicalDelta: 2}))
+	fmt.Println("levels:", g.K())
+	fmt.Println("cooling:", g.Prob(6, 86, 88) < g.Prob(1, 86, 88))
+	// Output:
+	// levels: 6
+	// cooling: true
+}

@@ -1,0 +1,74 @@
+// Autoschedule: everything §2 reviews, end to end, with no hand-set
+// temperatures. The [WHIT84] hot/cold guidance derives an annealing
+// schedule from the instance's own sampled uphill deltas; annealing under
+// that schedule, the paper's recommended g = 1, and [GREE84]'s
+// rejectionless engine then race at the same budget, with convergence
+// curves rendered as an ASCII chart.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mcopt/internal/core"
+	"mcopt/internal/gfunc"
+	"mcopt/internal/linarr"
+	"mcopt/internal/netlist"
+	"mcopt/internal/rng"
+	"mcopt/internal/schedule"
+	"mcopt/internal/trace"
+)
+
+func main() {
+	nl := netlist.RandomGraph(rng.Stream("autoschedule/instance", 6), 15, 150)
+	start := linarr.Random(nl, rng.Stream("autoschedule/start", 6))
+	fmt.Printf("instance: 15 cells, 150 nets; random density %d\n", start.Density())
+
+	// [WHIT84]: sample uphill deltas, derive hot and cold automatically.
+	probe := linarr.NewSolution(start.Clone(), linarr.PairwiseInterchange)
+	ys, err := schedule.WhiteFromSolution(probe, rng.Stream("autoschedule/sample", 6), 500, 6)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "autoschedule: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("White schedule (hot->cold): %.3g .. %.3g over %d levels\n\n", ys[0], ys[5], len(ys))
+
+	const budget = 2400
+	var curves []trace.Series
+	runOn := func(name string, f func(rec *trace.Recorder) core.Result) {
+		rec := trace.NewRecorder(name)
+		res := f(rec)
+		curves = append(curves, rec.Series())
+		fmt.Printf("%-28s best density %3.0f  (%d accepted, %d uphill)\n",
+			name, res.BestCost, res.Accepted, res.Uphill)
+	}
+	runOn("White-scheduled annealing", func(rec *trace.Recorder) core.Result {
+		sol := linarr.NewSolution(start.Clone(), linarr.PairwiseInterchange)
+		return core.Figure1{G: gfunc.Annealing(ys), Trace: rec.Hook()}.
+			Run(sol, core.NewBudget(budget), rng.Stream("autoschedule/sa", 6))
+	})
+	runOn("g = 1 (no schedule at all)", func(rec *trace.Recorder) core.Result {
+		sol := linarr.NewSolution(start.Clone(), linarr.PairwiseInterchange)
+		return core.Figure1{G: gfunc.One(), Trace: rec.Hook()}.
+			Run(sol, core.NewBudget(budget), rng.Stream("autoschedule/gone", 6))
+	})
+	runOn("rejectionless [GREE84]", func(rec *trace.Recorder) core.Result {
+		sol := linarr.NewSolution(start.Clone(), linarr.PairwiseInterchange)
+		return core.Rejectionless{G: gfunc.Annealing(ys), Trace: rec.Hook()}.
+			Run(sol, core.NewBudget(budget), rng.Stream("autoschedule/rejless", 6))
+	})
+
+	fmt.Println()
+	chart := &trace.Chart{
+		Title:  fmt.Sprintf("best density vs moves (budget %d)", budget),
+		Series: curves,
+		Width:  64,
+		Height: 12,
+	}
+	if err := chart.Render(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "autoschedule: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("\n§5's punchline survives automation: the schedule-free g = 1 keeps pace")
+	fmt.Println("with annealing even when annealing gets a [WHIT84]-derived schedule.")
+}

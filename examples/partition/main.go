@@ -1,0 +1,78 @@
+// Partition: [KIRK83]'s flagship problem — balanced min-cut bipartition of
+// a circuit — solved with the paper's Monte Carlo methods and with the
+// proven Kernighan–Lin heuristic at the same move budget. The instance has
+// two well-connected clusters joined by a few bridge nets, so the "right"
+// answer (cutting only the bridges) is known by construction.
+package main
+
+import (
+	"fmt"
+
+	"mcopt/internal/core"
+	"mcopt/internal/gfunc"
+	"mcopt/internal/netlist"
+	"mcopt/internal/partition"
+	"mcopt/internal/rng"
+	"mcopt/internal/schedule"
+)
+
+// clustered builds two 16-cell communities with dense internal 2- and 3-pin
+// nets, joined by `bridges` cross-community nets.
+func clustered(bridges int) *netlist.Netlist {
+	const half = 16
+	var nets [][]int
+	r := rng.Stream("partition-example/nets", 4)
+	for side := 0; side < 2; side++ {
+		base := side * half
+		for k := 0; k < 80; k++ {
+			a := base + r.IntN(half)
+			b := base + r.IntN(half-1)
+			if b >= a {
+				b++
+			}
+			if k%4 == 0 {
+				c := base + r.IntN(half)
+				if c != a && c != b {
+					nets = append(nets, []int{a, b, c})
+					continue
+				}
+			}
+			nets = append(nets, []int{a, b})
+		}
+	}
+	for k := 0; k < bridges; k++ {
+		nets = append(nets, []int{r.IntN(half), half + r.IntN(half)})
+	}
+	return netlist.MustNew(2*half, nets)
+}
+
+func main() {
+	const bridges = 4
+	nl := clustered(bridges)
+	startB := partition.Random(nl, rng.Stream("partition-example/start", 4))
+	fmt.Printf("circuit: %d cells, %d nets, %d bridge nets between clusters\n",
+		nl.NumCells(), nl.NumNets(), bridges)
+	fmt.Printf("random balanced cut: %d nets\n\n", startB.CutSize())
+
+	const budget = 30000
+
+	// The paper's §1 quote of [KIRK83]'s schedule for exactly this problem:
+	// Y1 = 10, Yi = 0.9·Yi−1.
+	sa := core.Figure1{G: gfunc.SixTempAnnealing(schedule.Kirkpatrick())}.Run(
+		partition.NewSolution(startB.Clone()),
+		core.NewBudget(budget), rng.Stream("partition-example/sa", 4))
+	fmt.Printf("%-36s cut %2.0f\n", "annealing (Kirkpatrick schedule):", sa.BestCost)
+
+	gone := core.Figure1{G: gfunc.One()}.Run(
+		partition.NewSolution(startB.Clone()),
+		core.NewBudget(budget), rng.Stream("partition-example/gone", 4))
+	fmt.Printf("%-36s cut %2.0f\n", "g = 1:", gone.BestCost)
+
+	klB := startB.Clone()
+	passes := partition.KernighanLin(klB, core.NewBudget(budget))
+	fmt.Printf("%-36s cut %2d  (%d passes)\n", "Kernighan-Lin:", klB.CutSize(), passes)
+
+	fmt.Printf("\nconstruction optimum: %d (the bridge nets)\n", bridges)
+	fmt.Println("The paper's complaint about [KIRK83] in §2 is exactly this comparison:")
+	fmt.Println("annealing was never raced against proven heuristics like KL.")
+}

@@ -1,0 +1,45 @@
+// Quickstart: minimize the density of one random GOLA instance with the
+// paper's recommended method — g = 1 under the Figure-1 strategy — and
+// compare it against classic six-temperature simulated annealing at the
+// same move budget.
+package main
+
+import (
+	"fmt"
+
+	"mcopt/internal/core"
+	"mcopt/internal/experiment"
+	"mcopt/internal/gfunc"
+	"mcopt/internal/linarr"
+	"mcopt/internal/netlist"
+	"mcopt/internal/rng"
+)
+
+func main() {
+	// A paper-style instance: 15 circuit elements, 150 two-pin nets.
+	nl := netlist.RandomGraph(rng.Stream("quickstart/instance", 1), 15, 150)
+	start := linarr.Random(nl, rng.Stream("quickstart/start", 1))
+	fmt.Printf("instance: %d cells, %d nets; random arrangement density %d\n\n",
+		nl.NumCells(), nl.NumNets(), start.Density())
+
+	// Both methods get the paper's "12 seconds" (2 400 attempted moves) and
+	// the same starting arrangement.
+	budget := experiment.Seconds(12)
+	run := func(g core.G) core.Result {
+		sol := linarr.NewSolution(start.Clone(), linarr.PairwiseInterchange)
+		return core.Figure1{G: g}.Run(sol, core.NewBudget(budget), rng.Stream("quickstart/run/"+g.Name(), 1))
+	}
+
+	gOne := run(gfunc.One())
+	fmt.Printf("%-28s density %3.0f -> %3.0f  (%d uphill moves taken, no parameters tuned)\n",
+		gfunc.One().Name(), gOne.InitialCost, gOne.BestCost, gOne.Uphill)
+
+	scale := experiment.GOLAScale()
+	b, _ := gfunc.ByID(2)
+	sa := run(b.Build(b.DefaultYs(scale)))
+	fmt.Printf("%-28s density %3.0f -> %3.0f  (%d uphill moves taken, 6-level schedule)\n",
+		"Six Temperature Annealing", sa.InitialCost, sa.BestCost, sa.Uphill)
+
+	fmt.Println("\nThe paper's §5 point: g = 1 needs no temperature decisions yet lands")
+	fmt.Println("within a whisker of tuned annealing — try different seeds and budgets.")
+}

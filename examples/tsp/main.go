@@ -1,0 +1,50 @@
+// TSP: the §2 [GOLD84] story on one instance — simulated annealing against
+// 2-opt with random restarts at the same move budget, plus the Stewart-style
+// convex-hull insertion constructive, on a random Euclidean tour.
+package main
+
+import (
+	"fmt"
+
+	"mcopt/internal/core"
+	"mcopt/internal/experiment"
+	"mcopt/internal/gfunc"
+	"mcopt/internal/rng"
+	"mcopt/internal/tsp"
+)
+
+func main() {
+	const cities = 60
+	inst := tsp.RandomEuclidean(rng.Stream("tsp-example/instance", 2), cities)
+	start := tsp.RandomTour(inst, rng.Stream("tsp-example/start", 2))
+	fmt.Printf("Euclidean TSP: %d cities in the unit square\n", cities)
+	fmt.Printf("random tour length: %.3f\n\n", start.Length())
+
+	const budget = 60000
+
+	// Six-temperature simulated annealing over 2-opt perturbations.
+	b2, _ := gfunc.ByID(2)
+	sa := core.Figure1{G: b2.Build(b2.DefaultYs(experiment.TSPScale()))}.Run(
+		start.Clone(), core.NewBudget(budget), rng.Stream("tsp-example/sa", 2))
+	fmt.Printf("%-32s %.3f  (%d moves)\n", "six-temperature annealing:", sa.BestCost, sa.Moves)
+
+	// g = 1 under the same strategy and budget.
+	gone := core.Figure1{G: gfunc.One()}.Run(
+		start.Clone(), core.NewBudget(budget), rng.Stream("tsp-example/gone", 2))
+	fmt.Printf("%-32s %.3f  (%d moves)\n", "g = 1:", gone.BestCost, gone.Moves)
+
+	// [LIN73] as [GOLD84] ran it: 2-opt descents from random tours until the
+	// same budget dies.
+	bud := core.NewBudget(budget)
+	best, starts := tsp.TwoOptRestarts(inst, bud, rng.Stream("tsp-example/lin73", 2))
+	fmt.Printf("%-32s %.3f  (%d moves, %d restarts)\n", "2-opt restarts [LIN73]:", best.Length(), bud.Used(), starts)
+
+	// Stewart-style constructive: convex hull + cheapest insertion, no
+	// search budget at all.
+	hull := tsp.HullInsertion(inst)
+	fmt.Printf("%-32s %.3f  (constructive)\n", "hull insertion [STEW77]:", inst.TourLength(hull))
+
+	fmt.Println("\n[GOLD84]'s finding, which the paper recounts in §2: at equal computing")
+	fmt.Println("time the classic 2-opt heuristic beats annealing, and the constructive")
+	fmt.Println("is competitive at a tiny fraction of the cost.")
+}

@@ -1,0 +1,49 @@
+// Via columns: the single-row-routing motivation of §4.1 ([RAGH84],
+// [TING78]) — ordering via columns so that the channel density (the number
+// of multi-terminal nets crossing any column boundary) is minimized. Multi-
+// pin nets make this a NOLA instance; the example compares the paper's 13
+// surviving g classes head-to-head on a single board.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"mcopt/internal/core"
+	"mcopt/internal/experiment"
+	"mcopt/internal/gotoh"
+	"mcopt/internal/linarr"
+	"mcopt/internal/netlist"
+	"mcopt/internal/rng"
+)
+
+func main() {
+	// One board: 15 via columns, 150 multi-terminal nets (2–8 pins each).
+	nl := netlist.RandomHyper(rng.Stream("via/instance", 5), 15, 150, 2, 8)
+	start := linarr.Random(nl, rng.Stream("via/start", 5))
+	fmt.Printf("single-row routing board: %d via columns, %d nets\n", nl.NumCells(), nl.NumNets())
+	fmt.Printf("random column order density: %d\n", start.Density())
+	fmt.Printf("Goto [GOTO77] density:       %d\n\n",
+		linarr.MustNew(nl, gotoh.Order(nl)).Density())
+
+	budget := experiment.Seconds(12)
+	type outcome struct {
+		name    string
+		density int
+	}
+	var results []outcome
+	for _, m := range experiment.SurvivingMethods(experiment.NOLAScale(), experiment.TunedNOLA) {
+		sol := linarr.NewSolution(start.Clone(), linarr.PairwiseInterchange)
+		res := core.Figure1{G: m.NewG(nl)}.Run(sol,
+			core.NewBudget(budget), rng.Stream("via/run/"+m.Name, 5))
+		results = append(results, outcome{m.Name, int(res.BestCost)})
+	}
+	sort.SliceStable(results, func(i, j int) bool { return results[i].density < results[j].density })
+
+	fmt.Printf("%-27s %s  (budget %d moves, Figure 1)\n", "g function", "density", budget)
+	for _, r := range results {
+		fmt.Printf("%-27s %7d\n", r.name, r.density)
+	}
+	fmt.Println("\n§4.3.2's observation to look for: g = 1 near the top without any")
+	fmt.Println("temperature schedule to choose.")
+}

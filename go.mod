@@ -1,0 +1,3 @@
+module mcopt
+
+go 1.22

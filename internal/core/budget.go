@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Budget meters the computational allowance of a run in attempted
+// perturbations (cost evaluations). The paper controls fairness by giving
+// every method identical VAX 11/780 CPU time; this library substitutes a
+// deterministic move count (see DESIGN.md) with an optional wall-clock
+// deadline for callers that want literal time limits.
+type Budget struct {
+	limit    int64
+	used     int64
+	deadline time.Time
+	// expired latches deadline expiry so that Exhausted stays monotone even
+	// if the clock were to misbehave.
+	expired bool
+}
+
+// NewBudget returns a budget of exactly `moves` attempted perturbations.
+// A negative count is treated as zero.
+func NewBudget(moves int64) *Budget {
+	return &Budget{limit: max(moves, 0)}
+}
+
+// WithDeadline sets an additional wall-clock deadline; the budget is
+// exhausted when either the move limit or the deadline is reached. It
+// returns the receiver for chaining.
+func (b *Budget) WithDeadline(t time.Time) *Budget {
+	b.deadline = t
+	return b
+}
+
+// TrySpend consumes one move if any allowance remains and reports whether it
+// did. Engines call this once per proposed perturbation.
+func (b *Budget) TrySpend() bool {
+	if b.Exhausted() {
+		return false
+	}
+	b.used++
+	return true
+}
+
+// Exhausted reports whether no allowance remains.
+func (b *Budget) Exhausted() bool {
+	if b.used >= b.limit {
+		return true
+	}
+	if b.expired {
+		return true
+	}
+	// Check the clock sparingly: syscall cost must not distort comparisons
+	// between cheap and expensive move classes.
+	if !b.deadline.IsZero() && b.used&1023 == 0 && !time.Now().Before(b.deadline) {
+		b.expired = true
+		return true
+	}
+	return false
+}
+
+// Used reports the number of moves consumed so far.
+func (b *Budget) Used() int64 { return b.used }
+
+// Limit reports the total move allowance.
+func (b *Budget) Limit() int64 { return b.limit }
+
+// Remaining reports the unused move allowance.
+func (b *Budget) Remaining() int64 { return b.limit - b.used }
+
+// String implements fmt.Stringer for diagnostics.
+func (b *Budget) String() string {
+	return fmt.Sprintf("budget(%d/%d)", b.used, b.limit)
+}
+
+// Split divides the remaining allowance of a fresh budget into k near-equal
+// shares, mirroring the paper's "[t/k] seconds ... at each temperature"
+// (§4.2.1). The first (remaining mod k) shares receive one extra move so the
+// shares sum exactly to the remaining allowance. k must be positive.
+func (b *Budget) Split(k int) []int64 {
+	if k <= 0 {
+		panic(fmt.Sprintf("core: Budget.Split(%d): k must be positive", k))
+	}
+	shares := make([]int64, k)
+	rem := b.Remaining()
+	base := rem / int64(k)
+	extra := rem % int64(k)
+	for i := range shares {
+		shares[i] = base
+		if int64(i) < extra {
+			shares[i]++
+		}
+	}
+	return shares
+}

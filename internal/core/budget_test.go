@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBudgetSpend(t *testing.T) {
+	b := NewBudget(3)
+	for i := 0; i < 3; i++ {
+		if !b.TrySpend() {
+			t.Fatalf("spend %d refused with allowance remaining", i)
+		}
+	}
+	if b.TrySpend() {
+		t.Fatal("spend succeeded past the limit")
+	}
+	if b.Used() != 3 || b.Remaining() != 0 || !b.Exhausted() {
+		t.Fatalf("final state: used=%d remaining=%d exhausted=%v", b.Used(), b.Remaining(), b.Exhausted())
+	}
+}
+
+func TestBudgetZeroAndNegative(t *testing.T) {
+	if b := NewBudget(0); b.TrySpend() {
+		t.Fatal("zero budget allowed a spend")
+	}
+	if b := NewBudget(-5); b.TrySpend() || b.Limit() != 0 {
+		t.Fatal("negative budget not clamped to zero")
+	}
+}
+
+func TestBudgetDeadlineExpiry(t *testing.T) {
+	b := NewBudget(1 << 40).WithDeadline(time.Now().Add(-time.Second))
+	// The clock is only consulted every 1024 spends; expiry must latch within
+	// the first window.
+	spent := 0
+	for b.TrySpend() {
+		spent++
+		if spent > 2048 {
+			t.Fatal("expired deadline never stopped the budget")
+		}
+	}
+	if !b.Exhausted() {
+		t.Fatal("budget not exhausted after deadline stop")
+	}
+}
+
+func TestBudgetFutureDeadlineDoesNotStop(t *testing.T) {
+	b := NewBudget(100).WithDeadline(time.Now().Add(time.Hour))
+	n := 0
+	for b.TrySpend() {
+		n++
+	}
+	if n != 100 {
+		t.Fatalf("spent %d of 100 with a distant deadline", n)
+	}
+}
+
+func TestBudgetSplit(t *testing.T) {
+	b := NewBudget(20)
+	shares := b.Split(6)
+	var sum int64
+	for i, s := range shares {
+		sum += s
+		if s < 3 || s > 4 {
+			t.Fatalf("share %d = %d, want 3 or 4", i, s)
+		}
+	}
+	if sum != 20 {
+		t.Fatalf("shares sum to %d, want 20", sum)
+	}
+}
+
+func TestBudgetSplitAfterPartialUse(t *testing.T) {
+	b := NewBudget(10)
+	b.TrySpend()
+	b.TrySpend()
+	shares := b.Split(2)
+	if shares[0]+shares[1] != 8 {
+		t.Fatalf("split of partially used budget sums to %d, want 8", shares[0]+shares[1])
+	}
+}
+
+func TestBudgetSplitPanicsOnZeroK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Split(0) did not panic")
+		}
+	}()
+	NewBudget(5).Split(0)
+}
+
+func TestBudgetString(t *testing.T) {
+	b := NewBudget(7)
+	b.TrySpend()
+	if got := b.String(); got != "budget(1/7)" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,349 @@
+package core
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+)
+
+// lattice is a toy test problem: a walker on a ring of positions with a
+// fixed cost landscape. Proposals step one position left or right.
+type lattice struct {
+	pos   int
+	costs []float64
+}
+
+type latticeMove struct {
+	l   *lattice
+	to  int
+	del float64
+}
+
+func (l *lattice) Cost() float64 { return l.costs[l.pos] }
+
+func (l *lattice) Propose(r *rand.Rand) Move {
+	n := len(l.costs)
+	to := (l.pos + 1) % n
+	if r.IntN(2) == 0 {
+		to = (l.pos - 1 + n) % n
+	}
+	return &latticeMove{l: l, to: to, del: l.costs[to] - l.costs[l.pos]}
+}
+
+func (l *lattice) Clone() Solution {
+	return &lattice{pos: l.pos, costs: l.costs} // costs are immutable
+}
+
+func (l *lattice) Descend(b *Budget) bool {
+	n := len(l.costs)
+	for {
+		improved := false
+		for _, to := range []int{(l.pos + 1) % n, (l.pos - 1 + n) % n} {
+			if !b.TrySpend() {
+				return false
+			}
+			if l.costs[to] < l.costs[l.pos] {
+				l.pos = to
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			return true
+		}
+	}
+}
+
+func (m *latticeMove) Delta() float64 { return m.del }
+func (m *latticeMove) Apply()         { m.l.pos = m.to }
+
+// spyG is a configurable acceptance class for engine tests.
+type spyG struct {
+	name      string
+	k         int
+	gate      int
+	prob      float64
+	tempsSeen []int
+}
+
+func (s *spyG) Name() string { return s.name }
+func (s *spyG) K() int       { return s.k }
+func (s *spyG) Gate() int    { return s.gate }
+func (s *spyG) Prob(temp int, hi, hj float64) float64 {
+	s.tempsSeen = append(s.tempsSeen, temp)
+	return s.prob
+}
+
+// valley is a landscape whose only local+global minimum is in the middle of
+// steep walls: every proposal away from it is uphill.
+func valley(n int) []float64 {
+	costs := make([]float64, n)
+	for i := range costs {
+		d := i - n/2
+		if d < 0 {
+			d = -d
+		}
+		costs[i] = float64(d * 10)
+	}
+	return costs
+}
+
+func TestFigure1FindsMinimumOnEasyLandscape(t *testing.T) {
+	l := &lattice{pos: 0, costs: valley(11)}
+	res := Figure1{G: &spyG{name: "never", k: 1, prob: 0}}.Run(l, NewBudget(500), rand.New(rand.NewPCG(1, 1)))
+	if res.BestCost != 0 {
+		t.Fatalf("BestCost = %g, want 0 (valley floor)", res.BestCost)
+	}
+	if res.InitialCost != 50 {
+		t.Fatalf("InitialCost = %g, want 50", res.InitialCost)
+	}
+	if res.Reduction() != 50 {
+		t.Fatalf("Reduction = %g, want 50", res.Reduction())
+	}
+	if best := res.Best.(*lattice); best.pos != 5 {
+		t.Fatalf("best position = %d, want 5", best.pos)
+	}
+	if res.Moves != 500 {
+		t.Fatalf("Moves = %d, want full budget 500", res.Moves)
+	}
+}
+
+func TestFigure1BestIsSnapshotNotAlias(t *testing.T) {
+	l := &lattice{pos: 0, costs: valley(11)}
+	res := Figure1{G: &spyG{name: "always", k: 1, prob: 1}}.Run(l, NewBudget(300), rand.New(rand.NewPCG(2, 1)))
+	if res.Best.(*lattice) == l {
+		t.Fatal("Best aliases the mutated working state")
+	}
+	if res.Best.Cost() != res.BestCost {
+		t.Fatalf("Best.Cost() = %g, BestCost = %g", res.Best.Cost(), res.BestCost)
+	}
+	// With prob-1 acceptance the walk wanders; final cost may exceed best.
+	if res.FinalCost < res.BestCost {
+		t.Fatalf("FinalCost %g below BestCost %g", res.FinalCost, res.BestCost)
+	}
+}
+
+func TestFigure1ZeroBudget(t *testing.T) {
+	l := &lattice{pos: 2, costs: valley(11)}
+	res := Figure1{G: &spyG{name: "x", k: 1, prob: 0}}.Run(l, NewBudget(0), rand.New(rand.NewPCG(3, 1)))
+	if res.Moves != 0 || res.Accepted != 0 {
+		t.Fatalf("zero-budget run did work: %+v", res)
+	}
+	if res.BestCost != res.InitialCost {
+		t.Fatalf("zero-budget best %g != initial %g", res.BestCost, res.InitialCost)
+	}
+}
+
+func TestFigure1LevelsSplitBudget(t *testing.T) {
+	g := &spyG{name: "spy", k: 3, prob: 0}
+	l := &lattice{pos: 5, costs: valley(11)} // start at the minimum: all proposals uphill
+	res := Figure1{G: g}.Run(l, NewBudget(300), rand.New(rand.NewPCG(4, 1)))
+	if res.LevelsVisited != 3 {
+		t.Fatalf("LevelsVisited = %d, want 3", res.LevelsVisited)
+	}
+	// Every proposal is uphill, so Prob is consulted on each of the 300
+	// moves; each level should see ~100 queries.
+	if len(g.tempsSeen) != 300 {
+		t.Fatalf("Prob consulted %d times, want 300", len(g.tempsSeen))
+	}
+	for _, temp := range []int{1, 2, 3} {
+		n := 0
+		for _, s := range g.tempsSeen {
+			if s == temp {
+				n++
+			}
+		}
+		if n != 100 {
+			t.Fatalf("level %d consulted %d times, want 100; seen=%v", temp, n, g.tempsSeen[:12])
+		}
+	}
+	if !slices.IsSorted(g.tempsSeen) {
+		t.Fatal("temperature levels regressed during the run")
+	}
+}
+
+func TestFigure1CounterAdvancesAndStops(t *testing.T) {
+	g := &spyG{name: "spy", k: 2, prob: 0}
+	l := &lattice{pos: 5, costs: valley(11)}
+	res := Figure1{G: g, N: 10}.Run(l, NewBudget(10_000), rand.New(rand.NewPCG(5, 1)))
+	if !res.Completed {
+		t.Fatal("run with N counter did not report Completed")
+	}
+	// 10 rejections at level 1, advance, 10 at level 2, stop. The stop check
+	// happens on the proposal after the 10th rejection of each level.
+	if res.Moves >= 10_000 {
+		t.Fatalf("counter stop did not fire early: moves = %d", res.Moves)
+	}
+	if res.LevelsVisited != 2 {
+		t.Fatalf("LevelsVisited = %d, want 2", res.LevelsVisited)
+	}
+}
+
+func TestFigure1GateAcceptsEveryNthUphill(t *testing.T) {
+	// At the valley floor every proposal is uphill. With a gate of 18 the
+	// first uphill commit happens on the 18th proposal, and subsequent
+	// commits every 17 proposals (the counter restarts at 1).
+	g := &spyG{name: "gated", k: 1, prob: 0, gate: 18}
+	l := &lattice{pos: 50, costs: valley(101)} // start at the floor: both neighbors uphill
+	res := Figure1{G: g}.Run(l, NewBudget(18), rand.New(rand.NewPCG(6, 1)))
+	if res.Uphill != 1 {
+		t.Fatalf("18-move budget: uphill commits = %d, want exactly 1", res.Uphill)
+	}
+	l2 := &lattice{pos: 50, costs: valley(101)}
+	res2 := Figure1{G: g}.Run(l2, NewBudget(17), rand.New(rand.NewPCG(6, 1)))
+	if res2.Uphill != 0 {
+		t.Fatalf("17-move budget: uphill commits = %d, want 0", res2.Uphill)
+	}
+	// Gate path must never consult the probability function.
+	if len(g.tempsSeen) != 0 {
+		t.Fatalf("gated class consulted Prob %d times", len(g.tempsSeen))
+	}
+}
+
+func TestFigure1GateResetOnDownhill(t *testing.T) {
+	// Start one step off the floor: the first downhill acceptance resets the
+	// gate count, so an uphill commit needs 18 consecutive uphill proposals
+	// after that.
+	g := &spyG{name: "gated", k: 1, prob: 0, gate: 18}
+	l := &lattice{pos: 51, costs: valley(101)}
+	res := Figure1{G: g}.Run(l, NewBudget(12), rand.New(rand.NewPCG(7, 1)))
+	if res.Uphill != 0 {
+		t.Fatalf("uphill commit before 18 consecutive uphill proposals: %+v", res)
+	}
+	if res.BestCost != 0 {
+		t.Fatalf("did not reach the adjacent floor: best = %g", res.BestCost)
+	}
+}
+
+func TestFigure1PlateauPolicies(t *testing.T) {
+	flat := make([]float64, 8) // entirely flat landscape: every move is a plateau
+	for _, tc := range []struct {
+		policy       PlateauPolicy
+		wantAccepted int64
+	}{
+		{PlateauAccept, 50},
+		{PlateauAcceptReset, 50},
+		{PlateauReject, 0},
+	} {
+		l := &lattice{pos: 0, costs: flat}
+		res := Figure1{G: &spyG{name: "x", k: 1, prob: 0}, Plateau: tc.policy}.
+			Run(l, NewBudget(50), rand.New(rand.NewPCG(8, 1)))
+		if res.Accepted != tc.wantAccepted {
+			t.Errorf("policy %v: accepted = %d, want %d", tc.policy, res.Accepted, tc.wantAccepted)
+		}
+		if res.Uphill != 0 {
+			t.Errorf("policy %v: flat landscape produced uphill commits", tc.policy)
+		}
+	}
+}
+
+func TestFigure1ClampsOutOfRangeProbabilities(t *testing.T) {
+	l := &lattice{pos: 5, costs: valley(11)}
+	res := Figure1{G: &spyG{name: "over", k: 1, prob: 7}}.Run(l, NewBudget(40), rand.New(rand.NewPCG(9, 1)))
+	if res.Accepted != 40 || res.Uphill == 0 {
+		t.Fatalf("prob 7 (clamped to 1) should accept every proposal: %+v", res)
+	}
+	l2 := &lattice{pos: 5, costs: valley(11)}
+	res2 := Figure1{G: &spyG{name: "under", k: 1, prob: -3}}.Run(l2, NewBudget(40), rand.New(rand.NewPCG(9, 1)))
+	if res2.Uphill != 0 {
+		t.Fatalf("negative prob accepted uphill moves: %+v", res2)
+	}
+}
+
+func TestFigure1Deterministic(t *testing.T) {
+	run := func() Result {
+		l := &lattice{pos: 1, costs: valley(31)}
+		return Figure1{G: &spyG{name: "half", k: 1, prob: 0.5}}.
+			Run(l, NewBudget(1000), rand.New(rand.NewPCG(42, 7)))
+	}
+	a, b := run(), run()
+	if a.BestCost != b.BestCost || a.Accepted != b.Accepted || a.Uphill != b.Uphill || a.FinalCost != b.FinalCost {
+		t.Fatalf("identical seeds diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestFigure1Trace(t *testing.T) {
+	var events []TraceEvent
+	l := &lattice{pos: 0, costs: valley(11)}
+	Figure1{
+		G:     &spyG{name: "x", k: 1, prob: 0},
+		Trace: func(e TraceEvent) { events = append(events, e) },
+	}.Run(l, NewBudget(100), rand.New(rand.NewPCG(10, 1)))
+	if len(events) == 0 {
+		t.Fatal("no trace events emitted")
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].BestCost > events[i-1].BestCost {
+			t.Fatal("best cost increased between trace events")
+		}
+		if events[i].Move < events[i-1].Move {
+			t.Fatal("trace move counter regressed")
+		}
+	}
+}
+
+func TestFigure1PanicsOnBadConfig(t *testing.T) {
+	l := &lattice{pos: 0, costs: valley(5)}
+	for name, f := range map[string]func(){
+		"nil G": func() { Figure1{}.Run(l, NewBudget(1), rand.New(rand.NewPCG(1, 1))) },
+		"k=0":   func() { Figure1{G: &spyG{name: "bad", k: 0}}.Run(l, NewBudget(1), rand.New(rand.NewPCG(1, 1))) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			f()
+		})
+	}
+}
+
+func TestFigure1LevelStats(t *testing.T) {
+	g := &spyG{name: "spy", k: 3, prob: 0.5}
+	l := &lattice{pos: 5, costs: valley(11)} // floor: every proposal uphill
+	res := Figure1{G: g}.Run(l, NewBudget(300), rand.New(rand.NewPCG(21, 1)))
+	if len(res.Levels) != 3 {
+		t.Fatalf("Levels has %d entries, want 3", len(res.Levels))
+	}
+	var moves, accepted, uphill int64
+	for temp, ls := range res.Levels {
+		moves += ls.Moves
+		accepted += ls.Accepted
+		uphill += ls.Uphill
+		if ls.Moves != 100 {
+			t.Fatalf("level %d got %d moves, want 100", temp+1, ls.Moves)
+		}
+		if ls.Accepted < ls.Uphill {
+			t.Fatalf("level %d accepted < uphill", temp+1)
+		}
+	}
+	if moves != res.Moves || accepted != res.Accepted || uphill != res.Uphill {
+		t.Fatalf("level sums (%d,%d,%d) disagree with totals (%d,%d,%d)",
+			moves, accepted, uphill, res.Moves, res.Accepted, res.Uphill)
+	}
+}
+
+func TestFigure2LevelStats(t *testing.T) {
+	l := &lattice{pos: 0, costs: twoValley()}
+	res := Figure2{G: &spyG{name: "spy", k: 2, prob: 0.5}}.Run(l, NewBudget(400), rand.New(rand.NewPCG(22, 1)))
+	if len(res.Levels) != 2 {
+		t.Fatalf("Levels has %d entries, want 2", len(res.Levels))
+	}
+	var accepted int64
+	for _, ls := range res.Levels {
+		accepted += ls.Accepted
+	}
+	if accepted != res.Accepted {
+		t.Fatalf("level accepted sum %d != total %d", accepted, res.Accepted)
+	}
+	// Figure 2 charges descent evaluations to the budget but not to level
+	// move counts (they are not jump attempts), so level moves <= total.
+	var moves int64
+	for _, ls := range res.Levels {
+		moves += ls.Moves
+	}
+	if moves > res.Moves {
+		t.Fatalf("jump attempts %d exceed total moves %d", moves, res.Moves)
+	}
+}

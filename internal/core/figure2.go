@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Figure2 is the Cohoon–Sahni strategy from the paper's Figure 2:
+// perturbations that increase the objective are considered only after the
+// state has been driven to a local optimum. Each iteration descends to a
+// local optimum, records it, and then attempts random uphill jumps, each
+// accepted with probability g_temp(h(i), h(j)); an accepted jump triggers a
+// fresh descent.
+//
+// Local-search evaluations and jump attempts charge the same move budget, so
+// Figure-1 and Figure-2 runs under equal budgets perform equal numbers of
+// cost evaluations — the paper's fairness control.
+type Figure2 struct {
+	// G is the acceptance-function class. Required. Gate is ignored: the
+	// paper notes that under Figure 2 "no special considerations are needed"
+	// for g = 1.
+	G G
+
+	// N is the paper's n: the number of jump attempts per temperature
+	// level. Zero disables the counter, leaving the budget split as the
+	// only level clock.
+	N int
+
+	// Trace, if non-nil, receives an event after every completed descent
+	// and every temperature advance.
+	Trace func(TraceEvent)
+}
+
+// Run executes the strategy from the given starting state, mutating s in
+// place and spending b. The initial descent is part of the run and is
+// charged to the budget.
+func (f Figure2) Run(s Descender, b *Budget, r *rand.Rand) Result {
+	if f.G == nil {
+		panic("core: Figure2.Run with nil G")
+	}
+	k := f.G.K()
+	if k < 1 {
+		panic(fmt.Sprintf("core: Figure2.Run: g class %q has k = %d", f.G.Name(), k))
+	}
+
+	start := b.Used()
+	cost := s.Cost()
+	res := Result{
+		Best:          s.Clone(),
+		BestCost:      cost,
+		InitialCost:   cost,
+		LevelsVisited: 1,
+		Levels:        make([]LevelStat, k),
+	}
+
+	levelEnd := make([]int64, k)
+	acc := b.Used()
+	for i, share := range b.Split(k) {
+		acc += share
+		levelEnd[i] = acc
+	}
+
+	temp := 1
+	counter := 0 // jump attempts at the current level (the paper's n counter)
+
+	emit := func() {
+		if f.Trace != nil {
+			f.Trace(TraceEvent{Move: b.Used(), Temp: temp, Cost: cost, BestCost: res.BestCost})
+		}
+	}
+
+	// descend drives s to a local optimum (Step 2), updates the best-so-far
+	// record (Step 3), and reports whether the budget survived.
+	descend := func() bool {
+		done := s.Descend(b)
+		cost = s.Cost()
+		if done {
+			res.Descents++
+		}
+		if cost < res.BestCost {
+			res.BestCost = cost
+			res.Best = s.Clone()
+			res.Improvements++
+		}
+		emit()
+		return done
+	}
+
+	if !descend() {
+		return finish(&res, s, b, start)
+	}
+
+	for {
+		for temp < k && b.Used() >= levelEnd[temp-1] {
+			temp++
+			counter = 0
+			res.LevelsVisited = temp
+			emit()
+		}
+		// Step 4: the counter clock.
+		if f.N > 0 && counter >= f.N {
+			if temp == k {
+				res.Completed = true
+				break
+			}
+			temp++
+			counter = 0
+			res.LevelsVisited = temp
+			emit()
+		}
+		// Step 5: one jump attempt.
+		if !b.TrySpend() {
+			break
+		}
+		res.Levels[temp-1].Moves++
+		counter++
+		m := s.Propose(r)
+		d := m.Delta()
+		accept := false
+		switch {
+		case d < 0:
+			// Possible only if the preceding descent was budget-truncated or
+			// the proposal class is richer than the descent class; taking a
+			// free improvement is always sound.
+			accept = true
+		case d == 0:
+			// Plateau jumps diversify without cost; Figure 2's pseudocode
+			// routes every perturbation through the acceptance draw, so do
+			// the same.
+			accept = r.Float64() < clampProb(f.G.Prob(temp, cost, cost))
+		default:
+			accept = r.Float64() < clampProb(f.G.Prob(temp, cost, cost+d))
+		}
+		if !accept {
+			continue
+		}
+		m.Apply()
+		cost += d
+		res.Accepted++
+		res.Levels[temp-1].Accepted++
+		if d > 0 {
+			res.Uphill++
+			res.Levels[temp-1].Uphill++
+		}
+		if !descend() {
+			break
+		}
+	}
+	return finish(&res, s, b, start)
+}

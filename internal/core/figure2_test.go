@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// twoValley is a staircase of basins separated by one-step walls — local
+// minima at positions 1 (cost 3) and 3 (cost 2), global minimum at position
+// 5 (cost 0) — for exercising Figure 2's descend-then-jump cycle.
+func twoValley() []float64 {
+	return []float64{5, 3, 6, 2, 7, 0, 9, 8, 6, 5}
+}
+
+func TestFigure2DescendsBeforeJumping(t *testing.T) {
+	l := &lattice{pos: 0, costs: twoValley()}
+	g := &spyG{name: "never", k: 1, prob: 0}
+	res := Figure2{G: g}.Run(l, NewBudget(100), rand.New(rand.NewPCG(1, 1)))
+	// With jump probability zero the run is pure local search from pos 0,
+	// which lands in the shallow basin at pos 1.
+	if res.BestCost != 3 {
+		t.Fatalf("BestCost = %g, want local optimum 3", res.BestCost)
+	}
+	if res.Descents < 1 {
+		t.Fatal("no completed descent recorded")
+	}
+	if res.Accepted != 0 {
+		t.Fatalf("prob-0 run accepted %d jumps", res.Accepted)
+	}
+}
+
+func TestFigure2EscapesLocalOptimum(t *testing.T) {
+	l := &lattice{pos: 0, costs: twoValley()}
+	g := &spyG{name: "always", k: 1, prob: 1}
+	res := Figure2{G: g}.Run(l, NewBudget(2000), rand.New(rand.NewPCG(2, 1)))
+	if res.BestCost != 0 {
+		t.Fatalf("BestCost = %g, want global optimum 0", res.BestCost)
+	}
+	if res.Uphill == 0 {
+		t.Fatal("escape requires uphill jumps, none recorded")
+	}
+	if res.Descents < 2 {
+		t.Fatalf("Descents = %d, want at least 2 (initial + post-jump)", res.Descents)
+	}
+}
+
+func TestFigure2BudgetTruncatedDescent(t *testing.T) {
+	l := &lattice{pos: 0, costs: valley(1001)}
+	g := &spyG{name: "x", k: 1, prob: 0}
+	res := Figure2{G: g}.Run(l, NewBudget(20), rand.New(rand.NewPCG(3, 1)))
+	if res.Descents != 0 {
+		t.Fatalf("truncated descent counted as completed: %+v", res)
+	}
+	if res.Moves != 20 {
+		t.Fatalf("Moves = %d, want 20", res.Moves)
+	}
+	if res.BestCost >= res.InitialCost {
+		t.Fatal("truncated descent made no progress at all")
+	}
+}
+
+func TestFigure2ZeroBudget(t *testing.T) {
+	l := &lattice{pos: 3, costs: twoValley()}
+	res := Figure2{G: &spyG{name: "x", k: 1, prob: 0}}.Run(l, NewBudget(0), rand.New(rand.NewPCG(4, 1)))
+	if res.Moves != 0 || res.BestCost != res.InitialCost {
+		t.Fatalf("zero-budget run did work: %+v", res)
+	}
+}
+
+func TestFigure2GateIgnored(t *testing.T) {
+	// §3: under Figure 2 "no special considerations are needed" for g = 1.
+	// A gated prob-1 class must behave exactly like an ungated one.
+	l := &lattice{pos: 0, costs: twoValley()}
+	gated := &spyG{name: "gated", k: 1, prob: 1, gate: 18}
+	res := Figure2{G: gated}.Run(l, NewBudget(500), rand.New(rand.NewPCG(5, 1)))
+	l2 := &lattice{pos: 0, costs: twoValley()}
+	plain := &spyG{name: "plain", k: 1, prob: 1}
+	res2 := Figure2{G: plain}.Run(l2, NewBudget(500), rand.New(rand.NewPCG(5, 1)))
+	if res.Accepted != res2.Accepted || res.BestCost != res2.BestCost {
+		t.Fatalf("gate changed Figure-2 behavior: %+v vs %+v", res, res2)
+	}
+}
+
+func TestFigure2CounterStops(t *testing.T) {
+	l := &lattice{pos: 5, costs: valley(11)} // start at the floor
+	g := &spyG{name: "never", k: 1, prob: 0}
+	res := Figure2{G: g, N: 7}.Run(l, NewBudget(100_000), rand.New(rand.NewPCG(6, 1)))
+	if !res.Completed {
+		t.Fatal("N-counter stop did not fire")
+	}
+	if res.Moves >= 100_000 {
+		t.Fatal("run consumed the whole budget despite the counter stop")
+	}
+}
+
+func TestFigure2LevelsAdvance(t *testing.T) {
+	l := &lattice{pos: 5, costs: valley(11)}
+	g := &spyG{name: "multi", k: 3, prob: 0}
+	res := Figure2{G: g}.Run(l, NewBudget(600), rand.New(rand.NewPCG(7, 1)))
+	if res.LevelsVisited != 3 {
+		t.Fatalf("LevelsVisited = %d, want 3", res.LevelsVisited)
+	}
+}
+
+func TestFigure2Deterministic(t *testing.T) {
+	run := func() Result {
+		l := &lattice{pos: 0, costs: twoValley()}
+		return Figure2{G: &spyG{name: "half", k: 1, prob: 0.5}}.
+			Run(l, NewBudget(800), rand.New(rand.NewPCG(11, 13)))
+	}
+	a, b := run(), run()
+	if a.BestCost != b.BestCost || a.Accepted != b.Accepted || a.Descents != b.Descents {
+		t.Fatalf("identical seeds diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestFigure2PanicsOnBadConfig(t *testing.T) {
+	l := &lattice{pos: 0, costs: twoValley()}
+	for name, f := range map[string]func(){
+		"nil G": func() { Figure2{}.Run(l, NewBudget(1), rand.New(rand.NewPCG(1, 1))) },
+		"k=0":   func() { Figure2{G: &spyG{name: "bad", k: 0}}.Run(l, NewBudget(1), rand.New(rand.NewPCG(1, 1))) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			f()
+		})
+	}
+}
+
+func TestPlateauPolicyString(t *testing.T) {
+	for p, want := range map[PlateauPolicy]string{
+		PlateauAccept:      "accept",
+		PlateauAcceptReset: "accept+reset",
+		PlateauReject:      "reject",
+		PlateauPolicy(9):   "unknown",
+	} {
+		if got := p.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(p), got, want)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// The lattice test problem as an Enumerable: two neighbors.
+func (l *lattice) NeighborhoodSize() int { return 2 }
+
+func (l *lattice) EvalNeighbor(idx int) Move {
+	n := len(l.costs)
+	to := (l.pos + 1) % n
+	if idx == 0 {
+		to = (l.pos - 1 + n) % n
+	}
+	return &latticeMove{l: l, to: to, del: l.costs[to] - l.costs[l.pos]}
+}
+
+func TestRejectionlessDescendsAndFreezes(t *testing.T) {
+	// With prob 0 every uphill weight is zero: the walker slides to the
+	// valley floor and freezes there — Completed, budget unspent.
+	l := &lattice{pos: 0, costs: valley(11)}
+	res := Rejectionless{G: &spyG{name: "cold", k: 1, prob: 0}}.
+		Run(l, NewBudget(10_000), rand.New(rand.NewPCG(1, 1)))
+	if res.BestCost != 0 {
+		t.Fatalf("BestCost = %g, want 0", res.BestCost)
+	}
+	if !res.Completed {
+		t.Fatal("frozen state not reported as Completed")
+	}
+	if res.Moves >= 10_000 {
+		t.Fatal("frozen run consumed the whole budget")
+	}
+	// Every committed step was downhill: no rejections by construction.
+	if res.Uphill != 0 {
+		t.Fatalf("cold run took %d uphill moves", res.Uphill)
+	}
+}
+
+func TestRejectionlessNeverRejects(t *testing.T) {
+	// Each step costs NeighborhoodSize + 1 evaluations and commits exactly
+	// one move (until frozen), so Accepted ≈ Moves / (N + 1).
+	l := &lattice{pos: 0, costs: valley(31)}
+	res := Rejectionless{G: &spyG{name: "warm", k: 1, prob: 0.5}}.
+		Run(l, NewBudget(300), rand.New(rand.NewPCG(2, 1)))
+	steps := res.Moves / 3 // N = 2 neighbors, +1 re-evaluation
+	if res.Accepted != steps {
+		t.Fatalf("accepted %d of %d full steps — a rejectionless engine rejected", res.Accepted, steps)
+	}
+}
+
+func TestRejectionlessEscapesWithWarmth(t *testing.T) {
+	l := &lattice{pos: 0, costs: twoValley()}
+	res := Rejectionless{G: &spyG{name: "warm", k: 1, prob: 0.8}}.
+		Run(l, NewBudget(3000), rand.New(rand.NewPCG(3, 1)))
+	if res.BestCost != 0 {
+		t.Fatalf("warm rejectionless run stuck at %g", res.BestCost)
+	}
+	if res.Uphill == 0 {
+		t.Fatal("escape requires uphill moves")
+	}
+}
+
+func TestRejectionlessLevelsAdvanceWhenFrozen(t *testing.T) {
+	// k = 2 with prob 0: freeze at level 1 must advance to level 2, then
+	// freeze again and complete.
+	l := &lattice{pos: 0, costs: valley(11)}
+	res := Rejectionless{G: &spyG{name: "cold2", k: 2, prob: 0}}.
+		Run(l, NewBudget(10_000), rand.New(rand.NewPCG(4, 1)))
+	if res.LevelsVisited != 2 {
+		t.Fatalf("LevelsVisited = %d, want 2", res.LevelsVisited)
+	}
+	if !res.Completed {
+		t.Fatal("not completed after freezing at the final level")
+	}
+}
+
+func TestRejectionlessDeterministic(t *testing.T) {
+	run := func() Result {
+		l := &lattice{pos: 0, costs: twoValley()}
+		return Rejectionless{G: &spyG{name: "half", k: 1, prob: 0.5}}.
+			Run(l, NewBudget(900), rand.New(rand.NewPCG(7, 9)))
+	}
+	a, b := run(), run()
+	if a.BestCost != b.BestCost || a.Accepted != b.Accepted || a.Moves != b.Moves {
+		t.Fatalf("identical seeds diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestRejectionlessZeroBudget(t *testing.T) {
+	l := &lattice{pos: 3, costs: valley(11)}
+	res := Rejectionless{G: &spyG{name: "x", k: 1, prob: 0}}.
+		Run(l, NewBudget(0), rand.New(rand.NewPCG(5, 1)))
+	if res.Moves != 0 || res.BestCost != res.InitialCost {
+		t.Fatalf("zero-budget run did work: %+v", res)
+	}
+}
+
+func TestRejectionlessPanicsOnBadConfig(t *testing.T) {
+	l := &lattice{pos: 0, costs: valley(5)}
+	for name, f := range map[string]func(){
+		"nil G": func() { Rejectionless{}.Run(l, NewBudget(1), rand.New(rand.NewPCG(1, 1))) },
+		"k=0": func() {
+			Rejectionless{G: &spyG{name: "bad", k: 0}}.Run(l, NewBudget(1), rand.New(rand.NewPCG(1, 1)))
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			f()
+		})
+	}
+}
+
+func TestRejectionlessIdealizedCacheChargesPerStep(t *testing.T) {
+	// With the idealized cache a budget of B buys exactly B committed moves
+	// (until frozen): the sweep is free.
+	l := &lattice{pos: 0, costs: twoValley()}
+	res := Rejectionless{G: &spyG{name: "warm", k: 1, prob: 0.9}, IdealizedCache: true}.
+		Run(l, NewBudget(50), rand.New(rand.NewPCG(31, 1)))
+	if res.Accepted != 50 {
+		t.Fatalf("idealized cache committed %d of 50 budgeted moves", res.Accepted)
+	}
+	if res.Moves != 50 {
+		t.Fatalf("Moves = %d, want 50", res.Moves)
+	}
+}

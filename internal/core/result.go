@@ -1,0 +1,110 @@
+package core
+
+// PlateauPolicy selects how the Figure-1 engine treats zero-delta
+// ("plateau") moves. The paper's pseudocode is ambiguous at Δ = 0: Step 3
+// accepts Δ ≤ 0 and resets the rejection counter, while Step 4 is labeled
+// Δ ≥ 0. Density objectives (a max over gap cuts) produce many plateau
+// moves, so the choice is observable; PlateauAccept is the default and an
+// ablation bench covers the alternatives.
+type PlateauPolicy int
+
+const (
+	// PlateauAccept applies zero-delta moves but does not reset the
+	// rejection or gate counters, so plateau wandering cannot stall
+	// temperature advancement. This is the library default.
+	PlateauAccept PlateauPolicy = iota
+
+	// PlateauAcceptReset applies zero-delta moves and resets the counters,
+	// the literal reading of the paper's Step 3.
+	PlateauAcceptReset
+
+	// PlateauReject drops zero-delta moves, the literal reading of Step 4's
+	// guard.
+	PlateauReject
+)
+
+// String implements fmt.Stringer.
+func (p PlateauPolicy) String() string {
+	switch p {
+	case PlateauAccept:
+		return "accept"
+	case PlateauAcceptReset:
+		return "accept+reset"
+	case PlateauReject:
+		return "reject"
+	default:
+		return "unknown"
+	}
+}
+
+// TraceEvent describes one committed state change inside an engine, for
+// callers that want convergence curves.
+type TraceEvent struct {
+	Move     int64   // budget units consumed when the event fired
+	Temp     int     // 1-based temperature level in effect
+	Cost     float64 // cost after the event
+	BestCost float64 // best cost seen so far
+}
+
+// LevelStat aggregates one temperature level's activity, in support of the
+// equilibrium discussion in §2 (the [KIRK83] termination criterion counted
+// accepted and generated perturbations per temperature).
+type LevelStat struct {
+	// Moves is the number of perturbations proposed at the level.
+	Moves int64
+	// Accepted counts committed moves.
+	Accepted int64
+	// Uphill counts committed cost-increasing moves.
+	Uphill int64
+}
+
+// Result records the outcome of one engine run.
+type Result struct {
+	// Best is a deep copy of the lowest-cost state visited.
+	Best Solution
+	// BestCost is Best's objective value.
+	BestCost float64
+	// InitialCost is the objective value of the starting state.
+	InitialCost float64
+	// FinalCost is the objective value of the state where the run halted
+	// (which, for accepted-uphill strategies, may exceed BestCost).
+	FinalCost float64
+	// Moves is the number of budget units consumed (attempted
+	// perturbations, including local-search evaluations under Figure 2).
+	Moves int64
+	// Accepted counts committed moves of any sign under Figure 1, and
+	// committed uphill jumps under Figure 2.
+	Accepted int64
+	// Uphill counts committed cost-increasing moves.
+	Uphill int64
+	// Improvements counts strict improvements to the best-so-far cost.
+	Improvements int64
+	// Descents counts completed local-search descents (Figure 2 only).
+	Descents int64
+	// LevelsVisited is the highest 1-based temperature level reached.
+	LevelsVisited int
+	// Levels holds per-temperature activity; Levels[t-1] is level t. Its
+	// length is the g class's k.
+	Levels []LevelStat
+	// Completed reports that the strategy's own stopping rule fired (the
+	// counter reached n at the final temperature) rather than the budget.
+	Completed bool
+}
+
+// Reduction returns InitialCost − BestCost, the quantity the paper's tables
+// total over each 30-instance suite.
+func (r Result) Reduction() float64 { return r.InitialCost - r.BestCost }
+
+// clampProb forces a g-class value into [0, 1]; several of the paper's
+// classes (e.g. Linear, the Difference family at Δ = 1) exceed 1, which
+// simply means "always accept".
+func clampProb(p float64) float64 {
+	switch {
+	case p < 0:
+		return 0
+	case p > 1:
+		return 1
+	default:
+		return p
+	}
+}

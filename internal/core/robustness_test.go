@@ -1,0 +1,204 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// nanG returns NaN probabilities — a misbehaving class must never cause an
+// acceptance (NaN comparisons are false) or corrupt the run.
+type nanG struct{}
+
+func (nanG) Name() string                       { return "nan" }
+func (nanG) K() int                             { return 1 }
+func (nanG) Gate() int                          { return 0 }
+func (nanG) Prob(int, float64, float64) float64 { return math.NaN() }
+
+func TestFigure1NaNProbabilityNeverAccepts(t *testing.T) {
+	l := &lattice{pos: 5, costs: valley(11)} // floor: all proposals uphill
+	res := Figure1{G: nanG{}}.Run(l, NewBudget(200), rand.New(rand.NewPCG(1, 1)))
+	if res.Uphill != 0 {
+		t.Fatalf("NaN probability accepted %d uphill moves", res.Uphill)
+	}
+	if res.BestCost != 0 {
+		t.Fatalf("best corrupted: %g", res.BestCost)
+	}
+}
+
+func TestFigure2NaNProbabilityNeverAccepts(t *testing.T) {
+	l := &lattice{pos: 0, costs: twoValley()}
+	res := Figure2{G: nanG{}}.Run(l, NewBudget(500), rand.New(rand.NewPCG(2, 1)))
+	if res.Accepted != 0 {
+		t.Fatalf("NaN probability accepted %d jumps", res.Accepted)
+	}
+}
+
+func TestEnginesHonorDeadline(t *testing.T) {
+	l := &lattice{pos: 0, costs: valley(1001)}
+	b := NewBudget(1 << 40).WithDeadline(time.Now().Add(-time.Minute))
+	res := Figure1{G: &spyG{name: "x", k: 1, prob: 0.5}}.Run(l, b, rand.New(rand.NewPCG(3, 1)))
+	if res.Moves > 2048 {
+		t.Fatalf("expired deadline: engine still made %d moves", res.Moves)
+	}
+	l2 := &lattice{pos: 0, costs: valley(1001)}
+	b2 := NewBudget(1 << 40).WithDeadline(time.Now().Add(-time.Minute))
+	res2 := Figure2{G: &spyG{name: "x", k: 1, prob: 0.5}}.Run(l2, b2, rand.New(rand.NewPCG(3, 1)))
+	if res2.Moves > 2048 {
+		t.Fatalf("expired deadline: Figure 2 still made %d moves", res2.Moves)
+	}
+}
+
+// TestFigure1InvariantsProperty drives the engine over random landscapes
+// and checks the structural invariants the harness relies on.
+func TestFigure1InvariantsProperty(t *testing.T) {
+	f := func(seed uint64, sizeRaw, budgetRaw uint16, probRaw uint8, kRaw, nRaw uint8) bool {
+		size := 3 + int(sizeRaw%60)
+		budget := int64(budgetRaw % 3000)
+		prob := float64(probRaw) / 255
+		k := 1 + int(kRaw%6)
+		n := int(nRaw % 40) // 0 disables the counter
+
+		r := rand.New(rand.NewPCG(seed, 99))
+		costs := make([]float64, size)
+		for i := range costs {
+			costs[i] = float64(r.IntN(50))
+		}
+		l := &lattice{pos: r.IntN(size), costs: costs}
+		initial := l.Cost()
+		res := Figure1{G: &spyG{name: "q", k: k, prob: prob}, N: n}.
+			Run(l, NewBudget(budget), rand.New(rand.NewPCG(seed, 7)))
+
+		switch {
+		case res.BestCost > initial:
+			return false
+		case res.Moves > budget:
+			return false
+		case !res.Completed && res.Moves != budget:
+			return false
+		case res.Accepted > res.Moves:
+			return false
+		case res.Uphill > res.Accepted:
+			return false
+		case res.LevelsVisited < 1 || res.LevelsVisited > k:
+			return false
+		case res.Best.Cost() != res.BestCost:
+			return false
+		case res.FinalCost != l.Cost():
+			return false
+		case res.FinalCost < res.BestCost:
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFigure2InvariantsProperty mirrors the Figure-1 property for the
+// descend-then-jump engine.
+func TestFigure2InvariantsProperty(t *testing.T) {
+	f := func(seed uint64, sizeRaw, budgetRaw uint16, probRaw uint8, kRaw uint8) bool {
+		size := 3 + int(sizeRaw%60)
+		budget := int64(budgetRaw % 3000)
+		prob := float64(probRaw) / 255
+		k := 1 + int(kRaw%6)
+
+		r := rand.New(rand.NewPCG(seed, 45))
+		costs := make([]float64, size)
+		for i := range costs {
+			costs[i] = float64(r.IntN(50))
+		}
+		l := &lattice{pos: r.IntN(size), costs: costs}
+		initial := l.Cost()
+		res := Figure2{G: &spyG{name: "q", k: k, prob: prob}}.
+			Run(l, NewBudget(budget), rand.New(rand.NewPCG(seed, 8)))
+
+		switch {
+		case res.BestCost > initial:
+			return false
+		case res.Moves > budget:
+			return false
+		case res.Uphill > res.Accepted:
+			return false
+		case res.Best.Cost() != res.BestCost:
+			return false
+		case res.FinalCost < res.BestCost:
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBudgetSharingAcrossRuns verifies that sequential engine runs can share
+// one budget and that each reports only its own consumption.
+func TestBudgetSharingAcrossRuns(t *testing.T) {
+	b := NewBudget(1000)
+	l1 := &lattice{pos: 0, costs: valley(31)}
+	res1 := Figure1{G: &spyG{name: "a", k: 1, prob: 0.3}}.Run(l1, b, rand.New(rand.NewPCG(1, 1)))
+	used1 := b.Used()
+	if res1.Moves != used1 {
+		t.Fatalf("first run reported %d moves, budget shows %d", res1.Moves, used1)
+	}
+	l2 := &lattice{pos: 0, costs: valley(31)}
+	res2 := Figure1{G: &spyG{name: "b", k: 1, prob: 0.3}}.Run(l2, b, rand.New(rand.NewPCG(2, 1)))
+	if res2.Moves != b.Used()-used1 {
+		t.Fatalf("second run reported %d moves, actual share %d", res2.Moves, b.Used()-used1)
+	}
+	if b.Used() != 1000 {
+		t.Fatalf("shared budget ended at %d, want 1000", b.Used())
+	}
+}
+
+// TestMetropolisLimits pins the two analytic limits of the Metropolis
+// acceptance family on the engines: an infinitely hot class behaves as an
+// always-accept random walk, an infinitely cold one as pure descent.
+func TestMetropolisLimits(t *testing.T) {
+	// Hot limit: on a flat-free landscape every proposal commits.
+	hot := &spyG{name: "hot", k: 1, prob: 1}
+	l := &lattice{pos: 0, costs: valley(21)}
+	res := Figure1{G: hot}.Run(l, NewBudget(400), rand.New(rand.NewPCG(51, 1)))
+	if res.Accepted != 400 {
+		t.Fatalf("hot limit accepted %d of 400", res.Accepted)
+	}
+	// Cold limit: strictly monotone descent — final cost equals best cost.
+	cold := &spyG{name: "cold", k: 1, prob: 0}
+	l2 := &lattice{pos: 0, costs: valley(21)}
+	res2 := Figure1{G: cold, Plateau: PlateauReject}.Run(l2, NewBudget(400), rand.New(rand.NewPCG(52, 1)))
+	if res2.Uphill != 0 {
+		t.Fatalf("cold limit took %d uphill moves", res2.Uphill)
+	}
+	if res2.FinalCost != res2.BestCost {
+		t.Fatalf("cold limit wandered: final %g, best %g", res2.FinalCost, res2.BestCost)
+	}
+}
+
+// TestEngineRandomnessIsolation verifies the harness assumption that a run
+// consumes randomness only from its own stream: interleaving unrelated
+// draws between two runs with separate streams leaves results unchanged.
+func TestEngineRandomnessIsolation(t *testing.T) {
+	mk := func() (*lattice, *rand.Rand) {
+		return &lattice{pos: 1, costs: valley(31)}, rand.New(rand.NewPCG(77, 5))
+	}
+	l1, r1 := mk()
+	a := Figure1{G: &spyG{name: "h", k: 1, prob: 0.5}}.Run(l1, NewBudget(500), r1)
+
+	// Interleave: burn draws from an unrelated generator first.
+	other := rand.New(rand.NewPCG(1234, 9))
+	for i := 0; i < 1000; i++ {
+		other.Uint64()
+	}
+	l2, r2 := mk()
+	b := Figure1{G: &spyG{name: "h", k: 1, prob: 0.5}}.Run(l2, NewBudget(500), r2)
+	if a.BestCost != b.BestCost || a.Accepted != b.Accepted {
+		t.Fatal("unrelated RNG activity changed a run's outcome")
+	}
+}

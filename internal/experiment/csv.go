@@ -1,0 +1,52 @@
+package experiment
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteCSV emits the matrix's raw per-instance measurements in long format,
+// one row per (method, budget, instance):
+//
+//	suite,method,budget,instance,start_density,best_density,reduction
+//
+// This is the machine-readable companion of the rendered tables, for
+// external statistics or plotting.
+func (x *Matrix) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("suite,method,budget,instance,start_density,best_density,reduction\n"); err != nil {
+		return err
+	}
+	for m, name := range x.MethodNames {
+		for b, budget := range x.Budgets {
+			for i, best := range x.BestDensities[m][b] {
+				start := x.StartDensities[i]
+				if _, err := fmt.Fprintf(bw, "%s,%s,%d,%d,%d,%d,%d\n",
+					csvField(x.SuiteName), csvField(name), budget, i, start, best, start-best); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// csvField quotes a value when needed (method names contain no commas today,
+// but "[COHO83a]" style labels are caller-supplied).
+func csvField(s string) string {
+	for _, r := range s {
+		if r == ',' || r == '"' || r == '\n' {
+			quoted := `"`
+			for _, q := range s {
+				if q == '"' {
+					quoted += `""`
+				} else {
+					quoted += string(q)
+				}
+			}
+			return quoted + `"`
+		}
+	}
+	return s
+}

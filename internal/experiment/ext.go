@@ -1,0 +1,205 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mcopt/internal/core"
+	"mcopt/internal/gfunc"
+	"mcopt/internal/netlist"
+	"mcopt/internal/partition"
+	"mcopt/internal/rng"
+	"mcopt/internal/tsp"
+)
+
+// This file holds the extension experiments X1 and X2 (see DESIGN.md): the
+// circuit-partition and TSP studies the paper points to in §2 and §5
+// ([GOLD84], [NAHA84]) but publishes only as conclusions. Both pit the
+// Monte Carlo g classes against the "proven heuristics" the paper faults
+// [KIRK83] for ignoring, under the same equal-move-budget control as the
+// main tables.
+
+// PartitionScale characterizes balanced-bipartition cut magnitudes for the
+// X1 instances (64 cells, 192 nets of 2–4 pins: random cuts near 140).
+func PartitionScale() gfunc.Scale { return gfunc.Scale{TypicalCost: 140, TypicalDelta: 2} }
+
+// PartitionComparison runs X1: Monte Carlo classes vs one-shot local search
+// vs Kernighan–Lin on random balanced bipartitions, every method limited to
+// the same move budget per instance. Columns: total best cut over the
+// suite, total reduction, and wins against six-temperature annealing.
+func PartitionComparison(seed uint64, instances, cells, nets int, budget int64) *Table {
+	type row struct {
+		name string
+		cuts []int
+	}
+	nls := make([]*netlist.Netlist, instances)
+	starts := make([][]int, instances)
+	startCuts := make([]int, instances)
+	for i := range nls {
+		nls[i] = netlist.RandomHyper(rng.Derive("x1/netlist", seed, uint64(i)), cells, nets, 2, 4)
+		b := partition.Random(nls[i], rng.Derive("x1/start", seed, uint64(i)))
+		starts[i] = b.Sides()
+		startCuts[i] = b.CutSize()
+	}
+	start := func(i int) *partition.Bipartition {
+		return partition.MustNew(nls[i], starts[i])
+	}
+
+	scale := PartitionScale()
+	rows := []row{}
+	runMC := func(name string, g func() core.G) {
+		r := row{name: name, cuts: make([]int, instances)}
+		for i := 0; i < instances; i++ {
+			sol := partition.NewSolution(start(i))
+			res := core.Figure1{G: g()}.Run(sol,
+				core.NewBudget(budget), rng.Derive("x1/run/"+name, seed, uint64(i)))
+			r.cuts[i] = int(res.BestCost)
+		}
+		rows = append(rows, r)
+	}
+	class := func(id int) func() core.G {
+		b, ok := gfunc.ByID(id)
+		if !ok {
+			panic(fmt.Sprintf("experiment: unknown class %d", id))
+		}
+		var ys []float64
+		if b.NeedsY {
+			ys = b.DefaultYs(scale)
+		}
+		return func() core.G { return b.Build(ys) }
+	}
+	runMC("Six Temperature Annealing", class(2))
+	runMC("Metropolis", class(1))
+	runMC("g = 1", class(3))
+	runMC("Cubic Diff", class(15))
+
+	// One-shot local search: a single descent, then idle (the floor any
+	// Monte Carlo method should beat given uphill moves help at all).
+	ls := row{name: "Local search (1 descent)", cuts: make([]int, instances)}
+	for i := 0; i < instances; i++ {
+		sol := partition.NewSolution(start(i))
+		sol.Descend(core.NewBudget(budget))
+		ls.cuts[i] = sol.CutSize()
+	}
+	rows = append(rows, ls)
+
+	kl := row{name: "Kernighan-Lin", cuts: make([]int, instances)}
+	for i := 0; i < instances; i++ {
+		b := start(i)
+		partition.KernighanLin(b, core.NewBudget(budget))
+		kl.cuts[i] = b.CutSize()
+	}
+	rows = append(rows, kl)
+
+	fm := row{name: "Fiduccia-Mattheyses", cuts: make([]int, instances)}
+	for i := 0; i < instances; i++ {
+		b := start(i)
+		partition.FiducciaMattheyses(b, core.NewBudget(budget), partition.FMConfig{Tolerance: 1})
+		fm.cuts[i] = b.CutSize()
+	}
+	rows = append(rows, fm)
+
+	startSum := 0
+	for _, c := range startCuts {
+		startSum += c
+	}
+	t := &Table{
+		Title: "X1 — Circuit partition: Monte Carlo vs proven heuristics",
+		Note: fmt.Sprintf("%d instances, %d cells, %d nets (2-4 pins); budget %d moves/instance; random-start cut sum %d",
+			instances, cells, nets, budget, startSum),
+		Columns: []string{"cut sum", "reduction", "wins vs 6T-SA"},
+	}
+	ref := rows[0].cuts // six-temperature annealing
+	for _, r := range rows {
+		sum, wins := 0, 0
+		for i, c := range r.cuts {
+			sum += c
+			if c < ref[i] {
+				wins++
+			}
+		}
+		t.AddRow(r.name, sum, startSum-sum, wins)
+	}
+	return t
+}
+
+// TSPScale characterizes the X2 tours (60 uniform cities in the unit
+// square: random tours near length 31, 2-opt deltas a few tenths).
+func TSPScale() gfunc.Scale { return gfunc.Scale{TypicalCost: 30, TypicalDelta: 0.3} }
+
+// TSPComparison runs X2, the [GOLD84] shape experiment: annealing vs 2-opt
+// with random restarts at the same move budget, plus the constructive
+// heuristics ([STEW77]-style hull insertion, nearest neighbor) that
+// [GOLD84] found 20–60× cheaper than annealing. Columns: total tour length
+// (scaled ×100 for integer display) and wins against six-temperature
+// annealing.
+func TSPComparison(seed uint64, instances, cities int, budget int64) *Table {
+	type row struct {
+		name string
+		lens []float64
+	}
+	insts := make([]*tsp.Instance, instances)
+	starts := make([][]int, instances)
+	for i := range insts {
+		insts[i] = tsp.RandomEuclidean(rng.Derive("x2/instance", seed, uint64(i)), cities)
+		starts[i] = tsp.RandomTour(insts[i], rng.Derive("x2/start", seed, uint64(i))).Order()
+	}
+
+	scale := TSPScale()
+	rows := []row{}
+	runMC := func(name string, id int) {
+		b, ok := gfunc.ByID(id)
+		if !ok {
+			panic(fmt.Sprintf("experiment: unknown class %d", id))
+		}
+		var ys []float64
+		if b.NeedsY {
+			ys = b.DefaultYs(scale)
+		}
+		r := row{name: name, lens: make([]float64, instances)}
+		for i := 0; i < instances; i++ {
+			tour := tsp.MustNewTour(insts[i], starts[i])
+			res := core.Figure1{G: b.Build(ys)}.Run(tour,
+				core.NewBudget(budget), rng.Derive("x2/run/"+name, seed, uint64(i)))
+			r.lens[i] = res.BestCost
+		}
+		rows = append(rows, r)
+	}
+	runMC("Six Temperature Annealing", 2)
+	runMC("Metropolis", 1)
+	runMC("g = 1", 3)
+
+	lin := row{name: "2-opt restarts [LIN73]", lens: make([]float64, instances)}
+	for i := 0; i < instances; i++ {
+		best, _ := tsp.TwoOptRestarts(insts[i],
+			core.NewBudget(budget), rng.Derive("x2/lin73", seed, uint64(i)))
+		lin.lens[i] = best.Length()
+	}
+	rows = append(rows, lin)
+
+	hull := row{name: "Hull insertion [STEW77]", lens: make([]float64, instances)}
+	nn := row{name: "Nearest neighbor", lens: make([]float64, instances)}
+	for i := 0; i < instances; i++ {
+		hull.lens[i] = insts[i].TourLength(tsp.HullInsertion(insts[i]))
+		nn.lens[i] = insts[i].TourLength(tsp.NearestNeighbor(insts[i], 0))
+	}
+	rows = append(rows, hull, nn)
+
+	t := &Table{
+		Title: "X2 — TSP: annealing vs 2-opt restarts and constructives ([GOLD84] shape)",
+		Note: fmt.Sprintf("%d Euclidean instances, %d cities; budget %d moves/instance; lengths x100",
+			instances, cities, budget),
+		Columns: []string{"length sum x100", "wins vs 6T-SA"},
+	}
+	ref := rows[0].lens
+	for _, r := range rows {
+		sum, wins := 0.0, 0
+		for i, l := range r.lens {
+			sum += l
+			if l < ref[i] {
+				wins++
+			}
+		}
+		t.AddRow(r.name, int(sum*100), wins)
+	}
+	return t
+}

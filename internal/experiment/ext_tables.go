@@ -1,0 +1,187 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mcopt/internal/core"
+	"mcopt/internal/gfunc"
+	"mcopt/internal/netlist"
+	"mcopt/internal/partition"
+	"mcopt/internal/rng"
+	"mcopt/internal/tsp"
+)
+
+// This file extends X1/X2 into full Table-4.1-style method tables: all
+// twenty g classes plus [COHO83a] on circuit partition and on TSP, the
+// comparisons the paper's §5 defers to [NAHA84]. The paper publishes only
+// the conclusions ("the striking commonality ... is in the good performance
+// of g = 1"); these tables let a reader check them.
+
+// genericRun executes one Monte Carlo method over generic instances.
+// start(i) must return a fresh copy of instance i's fixed starting state.
+func genericRun(
+	name string, start func(i int) core.Solution, newG func(i int) core.G,
+	instances int, budgets []int64, seed uint64,
+) [][]float64 {
+	out := make([][]float64, len(budgets))
+	for b, budget := range budgets {
+		out[b] = make([]float64, instances)
+		for i := 0; i < instances; i++ {
+			r := rng.Derive(fmt.Sprintf("ext/%s/%d", name, budget), seed, uint64(i))
+			res := core.Figure1{G: newG(i)}.Run(start(i), core.NewBudget(budget), r)
+			out[b][i] = res.BestCost
+		}
+	}
+	return out
+}
+
+// classGs builds per-instance g factories for every paper class at a fixed
+// problem scale, plus [COHO83a] keyed by a per-instance m.
+func classGs(scale gfunc.Scale, cohoonM func(i int) int) []struct {
+	Name string
+	NewG func(i int) core.G
+} {
+	out := []struct {
+		Name string
+		NewG func(i int) core.G
+	}{{
+		Name: "[COHO83a]",
+		NewG: func(i int) core.G { return gfunc.CohoonSahni(cohoonM(i)) },
+	}}
+	for _, b := range gfunc.Classes() {
+		var ys []float64
+		if b.NeedsY {
+			ys = b.DefaultYs(scale)
+		}
+		build := b.Build
+		out = append(out, struct {
+			Name string
+			NewG func(i int) core.G
+		}{Name: b.Name, NewG: func(int) core.G { return build(ys) }})
+	}
+	return out
+}
+
+// PartitionTable regenerates the [NAHA84] circuit-partition comparison:
+// all 21 Monte Carlo rows plus descent restarts and Kernighan–Lin, each
+// cell the suite-total cut reduction at that budget.
+func PartitionTable(seed uint64, instances, cells, nets int, budgets []int64) *Table {
+	nls := make([]*netlist.Netlist, instances)
+	starts := make([][]int, instances)
+	startSum := 0
+	for i := range nls {
+		nls[i] = netlist.RandomHyper(rng.Derive("x1t/netlist", seed, uint64(i)), cells, nets, 2, 4)
+		b := partition.Random(nls[i], rng.Derive("x1t/start", seed, uint64(i)))
+		starts[i] = b.Sides()
+		startSum += b.CutSize()
+	}
+	start := func(i int) core.Solution {
+		return partition.NewSolution(partition.MustNew(nls[i], starts[i]))
+	}
+
+	t := &Table{
+		Title: "X1 (full) — Circuit partition, all g classes, Figure 1",
+		Note: fmt.Sprintf("%d instances, %d cells, %d nets (2-4 pins); random-start cut sum %d",
+			instances, cells, nets, startSum),
+		Columns: budgetColumns(budgets),
+	}
+	for _, m := range classGs(PartitionScale(), func(i int) int { return nls[i].NumNets() }) {
+		costs := genericRun(m.Name, start, m.NewG, instances, budgets, seed)
+		reds := make([]int, len(budgets))
+		for b := range budgets {
+			sum := 0.0
+			for _, c := range costs[b] {
+				sum += c
+			}
+			reds[b] = startSum - int(sum)
+		}
+		t.AddRow(m.Name, reds...)
+	}
+
+	// Proven-heuristic baselines at the same budgets.
+	addBaseline := func(name string, bestCut func(i int, budget int64) int) {
+		reds := make([]int, len(budgets))
+		for b, budget := range budgets {
+			sum := 0
+			for i := 0; i < instances; i++ {
+				sum += bestCut(i, budget)
+			}
+			reds[b] = startSum - sum
+		}
+		t.AddRow(name, reds...)
+	}
+	addBaseline("Descent restarts", func(i int, budget int64) int {
+		best, _ := partition.DescentRestarts(nls[i],
+			core.NewBudget(budget), rng.Derive("x1t/restarts", seed, uint64(i)))
+		return best.CutSize()
+	})
+	addBaseline("Kernighan-Lin", func(i int, budget int64) int {
+		p := partition.MustNew(nls[i], starts[i])
+		partition.KernighanLin(p, core.NewBudget(budget))
+		return p.CutSize()
+	})
+	addBaseline("Fiduccia-Mattheyses", func(i int, budget int64) int {
+		p := partition.MustNew(nls[i], starts[i])
+		partition.FiducciaMattheyses(p, core.NewBudget(budget), partition.FMConfig{Tolerance: 1})
+		return p.CutSize()
+	})
+	return t
+}
+
+// TSPTable regenerates the [NAHA84]/[GOLD84] TSP comparison: all 21 Monte
+// Carlo rows over 2-opt perturbations plus the classic baselines, each
+// cell the suite-total tour length ×100 (lower is better).
+func TSPTable(seed uint64, instances, cities int, budgets []int64) *Table {
+	insts := make([]*tsp.Instance, instances)
+	starts := make([][]int, instances)
+	for i := range insts {
+		insts[i] = tsp.RandomEuclidean(rng.Derive("x2t/instance", seed, uint64(i)), cities)
+		starts[i] = tsp.RandomTour(insts[i], rng.Derive("x2t/start", seed, uint64(i))).Order()
+	}
+	start := func(i int) core.Solution {
+		return tsp.MustNewTour(insts[i], starts[i])
+	}
+
+	t := &Table{
+		Title: "X2 (full) — TSP, all g classes vs proven heuristics (length sum x100)",
+		Note: fmt.Sprintf("%d Euclidean instances, %d cities; lower is better",
+			instances, cities),
+		Columns: budgetColumns(budgets),
+	}
+	for _, m := range classGs(TSPScale(), func(i int) int { return cities }) {
+		costs := genericRun(m.Name, start, m.NewG, instances, budgets, seed)
+		cells := make([]int, len(budgets))
+		for b := range budgets {
+			sum := 0.0
+			for _, c := range costs[b] {
+				sum += c
+			}
+			cells[b] = int(sum * 100)
+		}
+		t.AddRow(m.Name, cells...)
+	}
+
+	addBaseline := func(name string, length func(i int, budget int64) float64) {
+		cells := make([]int, len(budgets))
+		for b, budget := range budgets {
+			sum := 0.0
+			for i := 0; i < instances; i++ {
+				sum += length(i, budget)
+			}
+			cells[b] = int(sum * 100)
+		}
+		t.AddRow(name, cells...)
+	}
+	addBaseline("2-opt restarts [LIN73]", func(i int, budget int64) float64 {
+		best, _ := tsp.TwoOptRestarts(insts[i],
+			core.NewBudget(budget), rng.Derive("x2t/lin73", seed, uint64(i)))
+		return best.Length()
+	})
+	addBaseline("Hull insertion [STEW77]", func(i int, _ int64) float64 {
+		return insts[i].TourLength(tsp.HullInsertion(insts[i]))
+	})
+	addBaseline("Nearest neighbor", func(i int, _ int64) float64 {
+		return insts[i].TourLength(tsp.NearestNeighbor(insts[i], 0))
+	})
+	return t
+}

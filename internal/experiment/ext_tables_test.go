@@ -1,0 +1,82 @@
+package experiment
+
+import "testing"
+
+func TestPartitionTableShape(t *testing.T) {
+	tab := PartitionTable(1, 3, 24, 72, []int64{1000, 3000})
+	if len(tab.Rows) != 24 { // 21 Monte Carlo + restarts + KL + FM
+		t.Fatalf("partition table has %d rows, want 24", len(tab.Rows))
+	}
+	if tab.Rows[0].Label != "[COHO83a]" {
+		t.Fatalf("first row %q", tab.Rows[0].Label)
+	}
+	if tab.Rows[21].Label != "Descent restarts" || tab.Rows[22].Label != "Kernighan-Lin" ||
+		tab.Rows[23].Label != "Fiduccia-Mattheyses" {
+		t.Fatalf("baseline rows wrong: %q, %q, %q", tab.Rows[21].Label, tab.Rows[22].Label, tab.Rows[23].Label)
+	}
+	for _, r := range tab.Rows {
+		if red := cellInt(t, r, 0); red < 0 {
+			t.Fatalf("%s: negative reduction %d", r.Label, red)
+		}
+	}
+}
+
+func TestTSPTableShape(t *testing.T) {
+	tab := TSPTable(1, 3, 30, []int64{1000, 4000})
+	if len(tab.Rows) != 24 { // 21 Monte Carlo + 3 baselines
+		t.Fatalf("TSP table has %d rows, want 24", len(tab.Rows))
+	}
+	byName := map[string][]string{}
+	for _, r := range tab.Rows {
+		byName[r.Label] = r.Cells
+	}
+	lin := byName["2-opt restarts [LIN73]"]
+	sa := byName["Six Temperature Annealing"]
+	if lin == nil || sa == nil {
+		t.Fatal("expected rows missing")
+	}
+	// [GOLD84] shape at the larger budget: 2-opt restarts below annealing.
+	linV, saV := atoi(t, lin[1]), atoi(t, sa[1])
+	if linV >= saV {
+		t.Fatalf("2-opt restarts (%d) not below annealing (%d)", linV, saV)
+	}
+	// Constructives are budget-independent: both columns equal.
+	hull := byName["Hull insertion [STEW77]"]
+	if hull[0] != hull[1] {
+		t.Fatalf("hull insertion depends on budget: %v", hull)
+	}
+}
+
+func atoi(t *testing.T, s string) int {
+	t.Helper()
+	return cellInt(t, TableRow{Label: "x", Cells: []string{s}}, 0)
+}
+
+func TestExtTablesDeterministic(t *testing.T) {
+	a := PartitionTable(2, 2, 16, 48, []int64{600})
+	b := PartitionTable(2, 2, 16, 48, []int64{600})
+	if a.String() != b.String() {
+		t.Fatal("partition table not deterministic")
+	}
+}
+
+func TestCohoonBestShape(t *testing.T) {
+	tab := CohoonBest(1, []int64{600, 1200})
+	if len(tab.Rows) != 4 { // 3 variants + (optimal)
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	table41Row := cellInt(t, tab.Rows[0], 1)
+	best := cellInt(t, tab.Rows[2], 1)
+	// §4.2.2's "presumably ... greater": the Goto-start single-exchange
+	// Figure-2 configuration must beat the Table-4.1 configuration (it
+	// includes Goto's own reduction).
+	if best <= table41Row {
+		t.Fatalf("their best (%d) not above the Table 4.1 row (%d)", best, table41Row)
+	}
+	opt := cellInt(t, tab.Rows[3], 1)
+	for i := 0; i < 3; i++ {
+		if cellInt(t, tab.Rows[i], 1) > opt {
+			t.Fatalf("variant %d exceeds proven optimum", i)
+		}
+	}
+}

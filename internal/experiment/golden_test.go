@@ -1,0 +1,59 @@
+package experiment
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestTable41Golden freezes the complete small-budget Table 4.1 text for
+// seed 1. Any engine, g-class, generator, or formatting change that shifts
+// results shows up as a diff here — the guard a reproduction repo needs
+// most. Regenerate intentionally with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/experiment -run Golden
+func TestTable41Golden(t *testing.T) {
+	tab, _ := Table41(1, []int64{120, 240}, Config{})
+	got := tab.String()
+	path := filepath.Join("testdata", "table41_small.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("Table 4.1 output changed.\n--- got ---\n%s\n--- want ---\n%s\n"+
+			"If the change is intentional, regenerate with UPDATE_GOLDEN=1.", got, string(want))
+	}
+}
+
+// TestSweepGolden freezes the small size-sweep table the same way.
+func TestSweepGolden(t *testing.T) {
+	tab := SizeSweep(SweepParams{
+		Sizes: []int{8, 12}, NetsPerCell: 8, Instances: 4, Budget: 400, Seed: 1,
+	})
+	got := tab.String()
+	path := filepath.Join("testdata", "sweep_small.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("size sweep output changed.\n--- got ---\n%s\n--- want ---\n%s", got, string(want))
+	}
+}

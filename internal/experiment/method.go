@@ -1,0 +1,115 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mcopt/internal/core"
+	"mcopt/internal/gfunc"
+	"mcopt/internal/netlist"
+)
+
+// StrategyKind selects a search engine.
+type StrategyKind int
+
+const (
+	// Fig1 is the Metropolis-adaptation strategy of the paper's Figure 1.
+	Fig1 StrategyKind = iota
+	// Fig2 is the descend-then-jump strategy of the paper's Figure 2.
+	Fig2
+)
+
+// String implements fmt.Stringer.
+func (s StrategyKind) String() string {
+	switch s {
+	case Fig1:
+		return "Figure 1"
+	case Fig2:
+		return "Figure 2"
+	default:
+		return "unknown"
+	}
+}
+
+// Method is one table row: a g class bound to a strategy. NewG is a factory
+// because the Cohoon–Sahni class depends on the instance's net count.
+type Method struct {
+	Name     string
+	Strategy StrategyKind
+	NewG     func(nl *netlist.Netlist) core.G
+}
+
+// WithStrategy returns a copy of the method running under the given
+// strategy (used by the Table 4.2(b) Figure-1 vs Figure-2 comparison).
+func (m Method) WithStrategy(s StrategyKind) Method {
+	m.Strategy = s
+	return m
+}
+
+// ClassMethod builds the method for a paper g class, applying the tuned
+// multiplier for the class (1 if absent) to its default schedule.
+func ClassMethod(b gfunc.Builder, scale gfunc.Scale, tuned map[int]float64) Method {
+	var ys []float64
+	if b.NeedsY {
+		mult := 1.0
+		if m, ok := tuned[b.ID]; ok {
+			mult = m
+		}
+		ys = b.DefaultYs(scale)
+		for i := range ys {
+			ys[i] *= mult
+		}
+	}
+	build := b.Build
+	return Method{
+		Name:     b.Name,
+		Strategy: Fig1,
+		NewG:     func(*netlist.Netlist) core.G { return build(ys) },
+	}
+}
+
+// CohoonMethod builds the [COHO83a] row: g(density) = min(density/(m+5),
+// 0.9) with m the instance's net count, run (as the paper did for Table 4.1)
+// under the Figure-1 strategy with pairwise interchange.
+func CohoonMethod() Method {
+	return Method{
+		Name:     "[COHO83a]",
+		Strategy: Fig1,
+		NewG:     func(nl *netlist.Netlist) core.G { return gfunc.CohoonSahni(nl.NumNets()) },
+	}
+}
+
+// AllMethods returns the 21 Monte-Carlo rows of Table 4.1 in paper order:
+// [COHO83a] followed by the twenty g classes.
+func AllMethods(scale gfunc.Scale, tuned map[int]float64) []Method {
+	out := []Method{CohoonMethod()}
+	for _, b := range gfunc.Classes() {
+		out = append(out, ClassMethod(b, scale, tuned))
+	}
+	return out
+}
+
+// survivorIDs are the g classes the paper keeps after §4.3.1 drops the value
+// classes 5–12 "because of their poor performance on the GOLA instances".
+var survivorIDs = []int{1, 2, 3, 4, 13, 14, 15, 16, 17, 18, 19, 20}
+
+// SurvivingMethods returns the 13 rows of Tables 4.2(a)–(d): [COHO83a] plus
+// the survivor classes.
+func SurvivingMethods(scale gfunc.Scale, tuned map[int]float64) []Method {
+	out := []Method{CohoonMethod()}
+	for _, id := range survivorIDs {
+		b, ok := gfunc.ByID(id)
+		if !ok {
+			panic(fmt.Sprintf("experiment: unknown survivor class id %d", id))
+		}
+		out = append(out, ClassMethod(b, scale, tuned))
+	}
+	return out
+}
+
+// GOLAScale characterizes the GOLA suite's cost magnitudes for default
+// schedules: random 15-cell/150-net arrangements have densities near 86 and
+// pairwise-interchange uphill deltas of one or two.
+func GOLAScale() gfunc.Scale { return gfunc.Scale{TypicalCost: 86, TypicalDelta: 2} }
+
+// NOLAScale characterizes the NOLA suite (densities near 142).
+func NOLAScale() gfunc.Scale { return gfunc.Scale{TypicalCost: 142, TypicalDelta: 2} }

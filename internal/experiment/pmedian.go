@@ -1,0 +1,99 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mcopt/internal/core"
+	"mcopt/internal/gfunc"
+	"mcopt/internal/pmedian"
+	"mcopt/internal/rng"
+)
+
+// X2b: the location half of [GOLD84] ("routing and location problems"),
+// completing the §2 story — simulated annealing against the classic
+// p-median heuristics (greedy construction; Teitz–Bart vertex
+// interchange) at equal move budgets.
+
+// PMedianScale characterizes X2b cost magnitudes (60 uniform sites, p = 6:
+// random assignments cost a few units, substitutions move tenths).
+func PMedianScale() gfunc.Scale { return gfunc.Scale{TypicalCost: 8, TypicalDelta: 0.3} }
+
+// PMedianComparison runs X2b. Columns: total assignment cost ×100 (lower
+// is better) and wins against six-temperature annealing.
+func PMedianComparison(seed uint64, instances, sites, p int, budget int64) *Table {
+	insts := make([]*pmedian.Instance, instances)
+	starts := make([][]int, instances)
+	for i := range insts {
+		insts[i] = pmedian.RandomEuclidean(rng.Derive("x2b/instance", seed, uint64(i)), sites, p)
+		starts[i] = pmedian.Random(insts[i], rng.Derive("x2b/start", seed, uint64(i))).Chosen()
+	}
+	start := func(i int) *pmedian.Medians {
+		return pmedian.MustNewMedians(insts[i], starts[i])
+	}
+
+	type row struct {
+		name  string
+		costs []float64
+	}
+	rows := []row{}
+	scale := PMedianScale()
+	runMC := func(name string, id int) {
+		b, ok := gfunc.ByID(id)
+		if !ok {
+			panic(fmt.Sprintf("experiment: unknown class %d", id))
+		}
+		var ys []float64
+		if b.NeedsY {
+			ys = b.DefaultYs(scale)
+		}
+		r := row{name: name, costs: make([]float64, instances)}
+		for i := 0; i < instances; i++ {
+			sol := pmedian.NewSolution(start(i))
+			res := core.Figure1{G: b.Build(ys)}.Run(sol,
+				core.NewBudget(budget), rng.Derive("x2b/run/"+name, seed, uint64(i)))
+			r.costs[i] = res.BestCost
+		}
+		rows = append(rows, r)
+	}
+	runMC("Six Temperature Annealing", 2)
+	runMC("Metropolis", 1)
+	runMC("g = 1", 3)
+
+	inter := row{name: "Interchange restarts [Teitz-Bart]", costs: make([]float64, instances)}
+	for i := 0; i < instances; i++ {
+		best, _ := pmedian.InterchangeRestarts(insts[i],
+			core.NewBudget(budget), rng.Derive("x2b/teitz", seed, uint64(i)))
+		inter.costs[i] = best.Cost()
+	}
+	rows = append(rows, inter)
+
+	greedy := row{name: "Greedy construction", costs: make([]float64, instances)}
+	greedyDesc := row{name: "Greedy + interchange", costs: make([]float64, instances)}
+	for i := 0; i < instances; i++ {
+		chosen := pmedian.Greedy(insts[i], core.NewBudget(budget))
+		greedy.costs[i] = insts[i].Cost(chosen)
+		s := pmedian.NewSolution(pmedian.MustNewMedians(insts[i], chosen))
+		s.Descend(core.NewBudget(budget))
+		greedyDesc.costs[i] = s.Cost()
+	}
+	rows = append(rows, greedy, greedyDesc)
+
+	t := &Table{
+		Title: "X2b — p-median location: annealing vs vertex-substitution heuristics ([GOLD84] shape)",
+		Note: fmt.Sprintf("%d Euclidean instances, %d sites, p = %d; budget %d moves/instance; costs x100",
+			instances, sites, p, budget),
+		Columns: []string{"cost sum x100", "wins vs 6T-SA"},
+	}
+	ref := rows[0].costs
+	for _, r := range rows {
+		sum, wins := 0.0, 0
+		for i, c := range r.costs {
+			sum += c
+			if c < ref[i] {
+				wins++
+			}
+		}
+		t.AddRow(r.name, int(sum*100), wins)
+	}
+	return t
+}

@@ -1,0 +1,71 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mcopt/internal/stats"
+)
+
+// Replicated aggregates a reduction matrix over several independent
+// replications of an experiment (fresh instances and fresh random streams
+// per seed) — the error bars the 1985 paper never printed. The paper itself
+// leans on this notion informally when it excuses ranking noise ("the few
+// exceptions can be explained by the randomness in the algorithms",
+// §4.2.2); Replicate quantifies that noise.
+type Replicated struct {
+	MethodNames []string
+	Budgets     []int64
+	// Reductions[r][m][b] is replication r's total reduction.
+	Reductions [][][]int
+}
+
+// Replicate runs the experiment behind `run` once per seed. The run
+// function must return matrices with identical method/budget axes.
+func Replicate(seeds []uint64, run func(seed uint64) *Matrix) (*Replicated, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("experiment: Replicate needs at least one seed")
+	}
+	var rep *Replicated
+	for _, seed := range seeds {
+		x := run(seed)
+		if rep == nil {
+			rep = &Replicated{MethodNames: x.MethodNames, Budgets: x.Budgets}
+		} else if len(x.MethodNames) != len(rep.MethodNames) || len(x.Budgets) != len(rep.Budgets) {
+			return nil, fmt.Errorf("experiment: replication axes changed between seeds")
+		}
+		reds := make([][]int, len(x.MethodNames))
+		for m := range reds {
+			reds[m] = x.Reductions(m)
+		}
+		rep.Reductions = append(rep.Reductions, reds)
+	}
+	return rep, nil
+}
+
+// Stats returns the mean and population standard deviation of method m's
+// reduction at budget b across replications.
+func (r *Replicated) Stats(m, b int) (mean, std float64) {
+	vals := make([]float64, len(r.Reductions))
+	for i, rep := range r.Reductions {
+		vals[i] = float64(rep[m][b])
+	}
+	return stats.Mean(vals), stats.Std(vals)
+}
+
+// Table renders mean±std cells.
+func (r *Replicated) Table(title string) *Table {
+	t := &Table{
+		Title:   title,
+		Note:    fmt.Sprintf("mean±std over %d replications (fresh instances per seed)", len(r.Reductions)),
+		Columns: budgetColumns(r.Budgets),
+	}
+	for m, name := range r.MethodNames {
+		cells := make([]string, len(r.Budgets))
+		for b := range r.Budgets {
+			mean, std := r.Stats(m, b)
+			cells[b] = fmt.Sprintf("%.0f±%.0f", mean, std)
+		}
+		t.AddTextRow(name, cells...)
+	}
+	return t
+}

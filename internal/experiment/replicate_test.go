@@ -1,0 +1,78 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReplicateAggregates(t *testing.T) {
+	suiteOf := func(seed uint64) *Suite {
+		p := GOLAParams()
+		p.Instances = 4
+		return NewSuite(p, seed)
+	}
+	rep, err := Replicate([]uint64{1, 2, 3}, func(seed uint64) *Matrix {
+		return Run(suiteOf(seed), smallMethods(), []int64{400}, Config{Seed: seed})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Reductions) != 3 {
+		t.Fatalf("replications = %d, want 3", len(rep.Reductions))
+	}
+	for m := range rep.MethodNames {
+		mean, std := rep.Stats(m, 0)
+		if mean <= 0 {
+			t.Fatalf("method %d: mean reduction %g not positive", m, mean)
+		}
+		if std < 0 {
+			t.Fatalf("negative std %g", std)
+		}
+	}
+	// Distinct seeds should produce at least some spread across methods.
+	spread := false
+	for m := range rep.MethodNames {
+		_, std := rep.Stats(m, 0)
+		if std > 0 {
+			spread = true
+		}
+	}
+	if !spread {
+		t.Fatal("three independent replications produced identical totals for every method (suspicious)")
+	}
+}
+
+func TestReplicateTableRendering(t *testing.T) {
+	rep := &Replicated{
+		MethodNames: []string{"g = 1"},
+		Budgets:     []int64{Seconds(6)},
+		Reductions:  [][][]int{{{600}}, {{620}}},
+	}
+	tab := rep.Table("T")
+	out := tab.String()
+	if !strings.Contains(out, "610±10") {
+		t.Fatalf("mean±std cell missing:\n%s", out)
+	}
+	if !strings.Contains(out, "2 replications") {
+		t.Fatalf("note missing:\n%s", out)
+	}
+}
+
+func TestReplicateErrors(t *testing.T) {
+	if _, err := Replicate(nil, nil); err == nil {
+		t.Fatal("empty seed list accepted")
+	}
+	flip := 0
+	_, err := Replicate([]uint64{1, 2}, func(uint64) *Matrix {
+		flip++
+		x := &Matrix{MethodNames: make([]string, flip), Budgets: []int64{1}}
+		x.BestDensities = make([][][]int, flip)
+		for m := range x.BestDensities {
+			x.BestDensities[m] = [][]int{{}}
+		}
+		return x
+	})
+	if err == nil {
+		t.Fatal("axis change between seeds accepted")
+	}
+}

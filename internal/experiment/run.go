@@ -1,0 +1,137 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"mcopt/internal/core"
+	"mcopt/internal/linarr"
+	"mcopt/internal/rng"
+)
+
+// Config carries the run-wide knobs shared by every cell of a table.
+type Config struct {
+	// Seed drives both suite-independent randomness and per-cell streams.
+	Seed uint64
+	// MoveKind selects the perturbation class (default pairwise
+	// interchange, as in every experiment of the paper).
+	MoveKind linarr.MoveKind
+	// Plateau selects the Figure-1 zero-delta policy.
+	Plateau core.PlateauPolicy
+	// N is the engines' counter threshold (0 = budget-split clock only).
+	N int
+	// Sequential disables the worker pool, for deterministic profiling.
+	Sequential bool
+}
+
+// Matrix holds the raw measurements behind a table: one cell per
+// (method, budget, instance).
+type Matrix struct {
+	SuiteName   string
+	MethodNames []string
+	Budgets     []int64
+	// BestDensities[m][b][i] is the best density method m found on
+	// instance i within budget b.
+	BestDensities [][][]int
+	// StartDensities[i] is instance i's starting density.
+	StartDensities []int
+}
+
+// StartSum returns the suite's total starting density.
+func (x *Matrix) StartSum() int {
+	total := 0
+	for _, d := range x.StartDensities {
+		total += d
+	}
+	return total
+}
+
+// Reduction returns the total density reduction of method m at budget b —
+// the quantity the paper's tables report.
+func (x *Matrix) Reduction(m, b int) int {
+	total := 0
+	for i, d := range x.BestDensities[m][b] {
+		total += x.StartDensities[i] - d
+	}
+	return total
+}
+
+// Reductions returns the per-budget reduction row for method m.
+func (x *Matrix) Reductions(m int) []int {
+	out := make([]int, len(x.Budgets))
+	for b := range out {
+		out[b] = x.Reduction(m, b)
+	}
+	return out
+}
+
+// Run evaluates every method at every budget on every suite instance,
+// returning the full measurement matrix. Cells are independent: each runs
+// from the suite's fixed starting arrangement with its own derived random
+// stream, so the matrix is reproducible regardless of scheduling.
+func Run(suite *Suite, methods []Method, budgets []int64, cfg Config) *Matrix {
+	x := &Matrix{
+		SuiteName:      suite.Name,
+		MethodNames:    make([]string, len(methods)),
+		Budgets:        budgets,
+		BestDensities:  make([][][]int, len(methods)),
+		StartDensities: suite.StartDensities(),
+	}
+	for m, meth := range methods {
+		x.MethodNames[m] = meth.Name
+		x.BestDensities[m] = make([][]int, len(budgets))
+		for b := range budgets {
+			x.BestDensities[m][b] = make([]int, suite.Size())
+		}
+	}
+
+	type job struct{ m, b, i int }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if cfg.Sequential {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				x.BestDensities[j.m][j.b][j.i] =
+					runCell(suite, methods[j.m], budgets[j.b], j.i, cfg)
+			}
+		}()
+	}
+	for m := range methods {
+		for b := range budgets {
+			for i := 0; i < suite.Size(); i++ {
+				jobs <- job{m, b, i}
+			}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return x
+}
+
+// runCell runs one (method, budget, instance) cell and returns the best
+// density found.
+func runCell(suite *Suite, m Method, budget int64, inst int, cfg Config) int {
+	sol := linarr.NewSolution(suite.Start(inst), cfg.MoveKind)
+	g := m.NewG(suite.Netlists[inst])
+	r := rng.Derive(
+		fmt.Sprintf("run/%s/%s/%s/%d", suite.Name, m.Name, m.Strategy, budget),
+		cfg.Seed, uint64(inst))
+	b := core.NewBudget(budget)
+	var res core.Result
+	switch m.Strategy {
+	case Fig1:
+		res = core.Figure1{G: g, N: cfg.N, Plateau: cfg.Plateau}.Run(sol, b, r)
+	case Fig2:
+		res = core.Figure2{G: g, N: cfg.N}.Run(sol, b, r)
+	default:
+		panic(fmt.Sprintf("experiment: unknown strategy %d", int(m.Strategy)))
+	}
+	return int(res.BestCost)
+}

@@ -1,0 +1,126 @@
+package experiment
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"mcopt/internal/linarr"
+	"mcopt/internal/netlist"
+)
+
+// SaveSuite writes a suite to a directory: a manifest, one netlist file per
+// instance, and the fixed starting orders. Together with the deterministic
+// generators this allows archiving the exact instance set behind a table —
+// the artifact the 1985 authors could not publish.
+//
+// Layout:
+//
+//	dir/suite.txt          "name <name>" and "instances <n>"
+//	dir/instance_000.nl    text netlist format
+//	dir/start_000.txt      space-separated cell order
+func SaveSuite(dir string, s *Suite) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiment: save suite: %w", err)
+	}
+	var manifest strings.Builder
+	fmt.Fprintf(&manifest, "name %s\n", s.Name)
+	fmt.Fprintf(&manifest, "instances %d\n", s.Size())
+	if err := os.WriteFile(filepath.Join(dir, "suite.txt"), []byte(manifest.String()), 0o644); err != nil {
+		return fmt.Errorf("experiment: save suite: %w", err)
+	}
+	for i, nl := range s.Netlists {
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("instance_%03d.nl", i)))
+		if err != nil {
+			return fmt.Errorf("experiment: save suite: %w", err)
+		}
+		if err := netlist.Write(f, nl); err != nil {
+			f.Close()
+			return fmt.Errorf("experiment: save suite instance %d: %w", i, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("experiment: save suite instance %d: %w", i, err)
+		}
+		var order strings.Builder
+		for p, c := range s.Starts[i] {
+			if p > 0 {
+				order.WriteByte(' ')
+			}
+			order.WriteString(strconv.Itoa(c))
+		}
+		order.WriteByte('\n')
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("start_%03d.txt", i)),
+			[]byte(order.String()), 0o644); err != nil {
+			return fmt.Errorf("experiment: save suite start %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// LoadSuite reads a suite saved by SaveSuite, validating every starting
+// order against its netlist.
+func LoadSuite(dir string) (*Suite, error) {
+	mf, err := os.Open(filepath.Join(dir, "suite.txt"))
+	if err != nil {
+		return nil, fmt.Errorf("experiment: load suite: %w", err)
+	}
+	defer mf.Close()
+	s := &Suite{}
+	count := -1
+	sc := bufio.NewScanner(mf)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 2 {
+			continue
+		}
+		switch fields[0] {
+		case "name":
+			s.Name = fields[1]
+		case "instances":
+			count, err = strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("experiment: load suite: bad instance count %q", fields[1])
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("experiment: load suite: %w", err)
+	}
+	if count < 0 {
+		return nil, fmt.Errorf("experiment: load suite: manifest missing instances line")
+	}
+	for i := 0; i < count; i++ {
+		nf, err := os.Open(filepath.Join(dir, fmt.Sprintf("instance_%03d.nl", i)))
+		if err != nil {
+			return nil, fmt.Errorf("experiment: load suite: %w", err)
+		}
+		nl, err := netlist.Read(nf)
+		nf.Close()
+		if err != nil {
+			return nil, fmt.Errorf("experiment: load suite instance %d: %w", i, err)
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("start_%03d.txt", i)))
+		if err != nil {
+			return nil, fmt.Errorf("experiment: load suite: %w", err)
+		}
+		fields := strings.Fields(string(raw))
+		order := make([]int, 0, len(fields))
+		for _, f := range fields {
+			c, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: load suite start %d: bad cell %q", i, f)
+			}
+			order = append(order, c)
+		}
+		// Validate via the arrangement constructor.
+		if _, err := linarr.New(nl, order); err != nil {
+			return nil, fmt.Errorf("experiment: load suite start %d: %w", i, err)
+		}
+		s.Netlists = append(s.Netlists, nl)
+		s.Starts = append(s.Starts, order)
+	}
+	return s, nil
+}

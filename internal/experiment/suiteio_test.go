@@ -1,0 +1,130 @@
+package experiment
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mcopt/internal/stats"
+)
+
+func TestSuiteSaveLoadRoundTrip(t *testing.T) {
+	p := GOLAParams()
+	p.Instances = 5
+	orig := NewSuite(p, 42)
+	dir := t.TempDir()
+	if err := SaveSuite(dir, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadSuite(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != orig.Name || back.Size() != orig.Size() {
+		t.Fatalf("identity changed: %q/%d vs %q/%d", back.Name, back.Size(), orig.Name, orig.Size())
+	}
+	for i := 0; i < orig.Size(); i++ {
+		if !stats.EqualInts(back.Starts[i], orig.Starts[i]) {
+			t.Fatalf("instance %d start changed", i)
+		}
+		if back.Start(i).Density() != orig.Start(i).Density() {
+			t.Fatalf("instance %d density changed", i)
+		}
+	}
+	// Running a method on the reloaded suite must reproduce the original
+	// matrix exactly.
+	a := Run(orig, smallMethods(), []int64{300}, Config{Seed: 1})
+	b := Run(back, smallMethods(), []int64{300}, Config{Seed: 1})
+	// Suite name feeds the stream derivation, so they must match too.
+	for m := range a.BestDensities {
+		for i := range a.BestDensities[m][0] {
+			if a.BestDensities[m][0][i] != b.BestDensities[m][0][i] {
+				t.Fatal("reloaded suite produced different results")
+			}
+		}
+	}
+}
+
+func TestLoadSuiteErrors(t *testing.T) {
+	if _, err := LoadSuite(t.TempDir()); err == nil {
+		t.Fatal("empty directory loaded")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "suite.txt"), []byte("name x\ninstances 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSuite(dir); err == nil {
+		t.Fatal("suite with missing instances loaded")
+	}
+	// Corrupt start order.
+	if err := os.WriteFile(filepath.Join(dir, "instance_000.nl"), []byte("cells 3\nnet 0 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "start_000.txt"), []byte("0 0 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSuite(dir); err == nil {
+		t.Fatal("suite with invalid start order loaded")
+	}
+}
+
+func TestMatrixWriteCSV(t *testing.T) {
+	suite := smallSuite(7)
+	x := Run(suite, smallMethods(), []int64{200}, Config{Seed: 7})
+	var buf bytes.Buffer
+	if err := x.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + 3 methods x 1 budget x 6 instances.
+	if len(lines) != 1+3*6 {
+		t.Fatalf("CSV has %d lines, want %d:\n%s", len(lines), 1+3*6, out)
+	}
+	if lines[0] != "suite,method,budget,instance,start_density,best_density,reduction" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if !strings.HasPrefix(l, "GOLA,") {
+			t.Fatalf("row missing suite name: %q", l)
+		}
+		if strings.Count(l, ",") != 6 {
+			t.Fatalf("row has wrong arity: %q", l)
+		}
+	}
+}
+
+func TestCSVFieldQuoting(t *testing.T) {
+	if got := csvField("plain"); got != "plain" {
+		t.Fatalf("plain field quoted: %q", got)
+	}
+	if got := csvField(`a,"b`); got != `"a,""b"` {
+		t.Fatalf("quoting = %q", got)
+	}
+}
+
+func TestSuiteSaveLoadGotoStartsAndNOLA(t *testing.T) {
+	nola := NewSuite(SuiteParams{Name: "NOLA", Instances: 3, Cells: 10, Nets: 40, MinPins: 2, MaxPins: 5}, 9).
+		WithGotoStarts()
+	dir := t.TempDir()
+	if err := SaveSuite(dir, nola); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadSuite(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != nola.Name {
+		t.Fatalf("name %q, want %q", back.Name, nola.Name)
+	}
+	for i := 0; i < nola.Size(); i++ {
+		if back.Start(i).Density() != nola.Start(i).Density() {
+			t.Fatalf("instance %d density changed through save/load", i)
+		}
+		if !back.Netlists[i].IsGraph() == nola.Netlists[i].IsGraph() {
+			t.Fatalf("instance %d pin structure changed", i)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mcopt/internal/core"
+	"mcopt/internal/exact"
+	"mcopt/internal/gfunc"
+	"mcopt/internal/gotoh"
+	"mcopt/internal/linarr"
+	"mcopt/internal/netlist"
+	"mcopt/internal/rng"
+)
+
+// SweepParams configures the instance-size scaling study: the paper's
+// 15-element instances scaled up and down at constant net-to-cell ratio,
+// with the paper's per-instance budget.
+type SweepParams struct {
+	// Sizes are the cell counts to sweep (default 8..40).
+	Sizes []int
+	// NetsPerCell keeps the paper's density regime (150/15 = 10).
+	NetsPerCell int
+	// Instances per size (default 10).
+	Instances int
+	// Budget in moves per instance per method (default the paper's 12 s).
+	Budget int64
+	// Seed drives generation and runs.
+	Seed uint64
+}
+
+// DefaultSweepParams returns the published-regime defaults.
+func DefaultSweepParams(seed uint64) SweepParams {
+	return SweepParams{
+		Sizes:       []int{8, 12, 15, 20, 30, 40},
+		NetsPerCell: 10,
+		Instances:   10,
+		Budget:      Seconds(12),
+		Seed:        seed,
+	}
+}
+
+// SizeSweep measures how instance size moves the Goto-vs-Monte-Carlo
+// comparison of Table 4.1: for each size it reports the suite-total
+// starting density, Goto's reduction, the reductions of six-temperature
+// annealing and g = 1 at the fixed budget, and (while the exact solver
+// reaches) the provably maximal reduction.
+//
+// §4.2.5 conclusion 2 predicts the shape: "When the amount of CPU time
+// available is small, simple greedy heuristics can be expected to perform
+// as well as any of the Monte Carlo methods" — and a fixed budget *is*
+// small for large instances, so Goto's relative standing should improve
+// with size.
+func SizeSweep(p SweepParams) *Table {
+	defaults := DefaultSweepParams(p.Seed)
+	if len(p.Sizes) == 0 {
+		p.Sizes = defaults.Sizes
+	}
+	if p.NetsPerCell <= 0 {
+		p.NetsPerCell = defaults.NetsPerCell
+	}
+	if p.Instances <= 0 {
+		p.Instances = defaults.Instances
+	}
+	if p.Budget <= 0 {
+		p.Budget = defaults.Budget
+	}
+	t := &Table{
+		Title: "Size sweep — Goto vs Monte Carlo at a fixed budget",
+		Note: fmt.Sprintf("%d instances per size, %d nets per cell, %d moves per instance",
+			p.Instances, p.NetsPerCell, p.Budget),
+		Columns: []string{"start sum", "Goto", "6T-SA", "g = 1", "optimal"},
+	}
+	for _, cells := range p.Sizes {
+		nets := cells * p.NetsPerCell
+		startSum, gotoRed, optRed := 0, 0, 0
+		saRed, goneRed := 0, 0
+		optKnown := cells <= exact.MaxCells
+
+		scale := gfunc.Scale{TypicalCost: 1, TypicalDelta: 2}
+		for i := 0; i < p.Instances; i++ {
+			nl := netlist.RandomGraph(rng.Derive(fmt.Sprintf("sweep/%d/netlist", cells), p.Seed, uint64(i)), cells, nets)
+			start := linarr.Random(nl, rng.Derive(fmt.Sprintf("sweep/%d/start", cells), p.Seed, uint64(i)))
+			d0 := start.Density()
+			startSum += d0
+			gotoRed += d0 - linarr.MustNew(nl, gotoh.Order(nl)).Density()
+			if optKnown {
+				opt, err := exact.MinDensity(nl)
+				if err != nil {
+					optKnown = false
+				} else {
+					optRed += d0 - opt
+				}
+			}
+			scale.TypicalCost = float64(max(d0, 1))
+			run := func(g core.G, name string) int {
+				sol := linarr.NewSolution(start.Clone(), linarr.PairwiseInterchange)
+				res := core.Figure1{G: g}.Run(sol, core.NewBudget(p.Budget),
+					rng.Derive(fmt.Sprintf("sweep/%d/%s", cells, name), p.Seed, uint64(i)))
+				return int(res.Reduction())
+			}
+			b2, _ := gfunc.ByID(2)
+			saRed += run(b2.Build(b2.DefaultYs(scale)), "sa")
+			goneRed += run(gfunc.One(), "gone")
+		}
+		cells3 := fmt.Sprintf("%d", optRed)
+		if !optKnown {
+			cells3 = "-"
+		}
+		t.AddTextRow(fmt.Sprintf("n=%d", cells),
+			fmt.Sprintf("%d", startSum),
+			fmt.Sprintf("%d", gotoRed),
+			fmt.Sprintf("%d", saRed),
+			fmt.Sprintf("%d", goneRed),
+			cells3)
+	}
+	return t
+}

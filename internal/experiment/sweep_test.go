@@ -1,0 +1,81 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSizeSweepShape(t *testing.T) {
+	p := SweepParams{
+		Sizes:       []int{6, 10, 25},
+		NetsPerCell: 8,
+		Instances:   3,
+		Budget:      600,
+		Seed:        1,
+	}
+	tab := SizeSweep(p)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("sweep has %d rows, want 3", len(tab.Rows))
+	}
+	for i, r := range tab.Rows {
+		if len(r.Cells) != 5 {
+			t.Fatalf("row %d arity %d, want 5", i, len(r.Cells))
+		}
+		start := cellInt(t, r, 0)
+		if start <= 0 {
+			t.Fatalf("row %s has non-positive start sum", r.Label)
+		}
+		for c := 1; c <= 3; c++ {
+			red := cellInt(t, r, c)
+			if red < 0 || red > start {
+				t.Fatalf("row %s cell %d reduction %d outside [0, %d]", r.Label, c, red, start)
+			}
+		}
+	}
+	// Small sizes must carry an exact-optimal column; and no method may
+	// exceed it.
+	small := tab.Rows[0]
+	opt := cellInt(t, small, 4)
+	for c := 1; c <= 3; c++ {
+		if cellInt(t, small, c) > opt {
+			t.Fatalf("method reduction exceeds proven optimum on n=6")
+		}
+	}
+	// Sizes beyond the solver bound print a dash.
+	if tab.Rows[2].Cells[4] != "-" {
+		t.Fatalf("n=25 optimal cell = %q, want dash", tab.Rows[2].Cells[4])
+	}
+}
+
+func TestSizeSweepDefaults(t *testing.T) {
+	p := DefaultSweepParams(2)
+	if len(p.Sizes) == 0 || p.NetsPerCell != 10 || p.Budget != Seconds(12) {
+		t.Fatalf("defaults wrong: %+v", p)
+	}
+	// Empty Sizes fall back to defaults inside SizeSweep.
+	tab := SizeSweep(SweepParams{Seed: 2, Sizes: nil})
+	if len(tab.Rows) != len(DefaultSweepParams(2).Sizes) {
+		t.Fatalf("fallback rows = %d", len(tab.Rows))
+	}
+}
+
+func TestSizeSweepDeterministic(t *testing.T) {
+	p := SweepParams{Sizes: []int{8}, NetsPerCell: 6, Instances: 2, Budget: 300, Seed: 5}
+	if SizeSweep(p).String() != SizeSweep(p).String() {
+		t.Fatal("sweep not deterministic")
+	}
+}
+
+func TestSizeSweepPartialDefaults(t *testing.T) {
+	// Zero fields fall back individually; provided fields are preserved.
+	tab := SizeSweep(SweepParams{Seed: 3, Budget: 300, Instances: 2, Sizes: []int{6}})
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if !strings.Contains(tab.Note, "300 moves") || !strings.Contains(tab.Note, "2 instances") {
+		t.Fatalf("provided fields clobbered by defaults: %q", tab.Note)
+	}
+	if !strings.Contains(tab.Note, "10 nets per cell") {
+		t.Fatalf("missing field not defaulted: %q", tab.Note)
+	}
+}

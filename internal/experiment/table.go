@@ -1,0 +1,90 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a formatted experiment result: a title, one label column, and
+// one value column per budget or strategy.
+type Table struct {
+	Title   string
+	Note    string
+	Columns []string // value-column headers, e.g. "6 sec", "9 sec", "12 sec"
+	Rows    []TableRow
+}
+
+// TableRow is one method's line.
+type TableRow struct {
+	Label string
+	Cells []string
+}
+
+// AddRow appends a row of integer cells.
+func (t *Table) AddRow(label string, values ...int) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		cells[i] = fmt.Sprintf("%d", v)
+	}
+	t.Rows = append(t.Rows, TableRow{Label: label, Cells: cells})
+}
+
+// AddTextRow appends a row of preformatted cells (e.g. "-" placeholders).
+func (t *Table) AddTextRow(label string, cells ...string) {
+	t.Rows = append(t.Rows, TableRow{Label: label, Cells: cells})
+}
+
+// Render writes the table as aligned monospaced text.
+func (t *Table) Render(w io.Writer) error {
+	labelW := len("g function")
+	for _, r := range t.Rows {
+		labelW = max(labelW, len(r.Label))
+	}
+	colW := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		colW[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r.Cells {
+			if i < len(colW) {
+				colW[i] = max(colW[i], len(c))
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", t.Title)
+	fmt.Fprintf(&sb, "%-*s", labelW, "g function")
+	for i, c := range t.Columns {
+		fmt.Fprintf(&sb, "  %*s", colW[i], c)
+	}
+	sb.WriteByte('\n')
+	sb.WriteString(strings.Repeat("-", labelW))
+	for i := range t.Columns {
+		sb.WriteString("  ")
+		sb.WriteString(strings.Repeat("-", colW[i]))
+	}
+	sb.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&sb, "%-*s", labelW, r.Label)
+		for i, c := range r.Cells {
+			if i < len(colW) {
+				fmt.Fprintf(&sb, "  %*s", colW[i], c)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&sb, "%s\n", t.Note)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// String renders the table for diagnostics.
+func (t *Table) String() string {
+	var sb strings.Builder
+	// strings.Builder never errors.
+	_ = t.Render(&sb)
+	return sb.String()
+}

@@ -1,0 +1,141 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// Small budgets keep the full table pipelines fast in tests; the shape
+// assertions here are deliberately loose (EXPERIMENTS.md holds the
+// paper-scale comparisons).
+var testBudgets = []int64{120, 240}
+
+func TestTable41Pipeline(t *testing.T) {
+	tab, x := Table41(1, testBudgets, Config{})
+	if len(tab.Rows) != 23 { // Goto + [COHO83a] + 20 classes + (optimal)
+		t.Fatalf("Table 4.1 has %d rows, want 23", len(tab.Rows))
+	}
+	if last := tab.Rows[len(tab.Rows)-1]; last.Label != "(optimal)" {
+		t.Fatalf("last row %q, want (optimal)", last.Label)
+	}
+	if tab.Rows[0].Label != "Goto" {
+		t.Fatalf("first row %q, want Goto", tab.Rows[0].Label)
+	}
+	if tab.Rows[0].Cells[1] != "-" {
+		t.Fatalf("Goto row should dash non-first columns, got %v", tab.Rows[0].Cells)
+	}
+	if len(x.MethodNames) != 21 {
+		t.Fatalf("matrix has %d methods, want 21", len(x.MethodNames))
+	}
+	if !strings.Contains(tab.Note, "starting density sum") {
+		t.Fatalf("note missing start sum: %q", tab.Note)
+	}
+}
+
+func TestTable42aPipeline(t *testing.T) {
+	tab, x := Table42a(1, testBudgets, Config{})
+	if len(tab.Rows) != 14 { // 13 methods + (optimal)
+		t.Fatalf("Table 4.2(a) has %d rows, want 14", len(tab.Rows))
+	}
+	// From Goto starts, improvements must be small relative to the start sum
+	// (§4.2.3: "this improvement is less than 5%" at paper scale; allow 15%
+	// at test scale).
+	for m := range x.MethodNames {
+		for b := range x.Budgets {
+			if red := x.Reduction(m, b); red < 0 || float64(red) > 0.15*float64(x.StartSum()) {
+				t.Fatalf("method %s reduction %d implausible against Goto start sum %d",
+					x.MethodNames[m], red, x.StartSum())
+			}
+		}
+	}
+}
+
+func TestTable42bPipeline(t *testing.T) {
+	tab, f1, f2 := Table42b(1, 2000, Config{})
+	if len(tab.Columns) != 3 || tab.Columns[0] != "Figure 1" || tab.Columns[1] != "Figure 2" || tab.Columns[2] != "better" {
+		t.Fatalf("Table 4.2(b) columns = %v", tab.Columns)
+	}
+	if !strings.Contains(tab.Note, "best-of spread") || !strings.Contains(tab.Note, "improved") {
+		t.Fatalf("Table 4.2(b) note missing §4.2.4 statistics: %q", tab.Note)
+	}
+	// The better-of column must dominate both strategy columns.
+	for _, r := range tab.Rows[:len(tab.Rows)-1] {
+		r1, r2, best := cellInt(t, r, 0), cellInt(t, r, 1), cellInt(t, r, 2)
+		if best != max(r1, r2) {
+			t.Fatalf("row %s better-of %d != max(%d, %d)", r.Label, best, r1, r2)
+		}
+	}
+	if len(tab.Rows) != 14 { // 13 methods + (optimal)
+		t.Fatalf("Table 4.2(b) has %d rows, want 14", len(tab.Rows))
+	}
+	if f1.StartSum() != f2.StartSum() {
+		t.Fatal("Figure-1 and Figure-2 runs used different suites")
+	}
+	// Both strategies must make progress at this budget.
+	for m := range f1.MethodNames {
+		if f1.Reduction(m, 0) <= 0 || f2.Reduction(m, 0) <= 0 {
+			t.Fatalf("method %s made no progress (fig1 %d, fig2 %d)",
+				f1.MethodNames[m], f1.Reduction(m, 0), f2.Reduction(m, 0))
+		}
+	}
+}
+
+func TestTable42cdPipelines(t *testing.T) {
+	tabC, xc := Table42c(1, testBudgets, Config{})
+	if len(tabC.Rows) != 15 { // Goto + 13 methods + (optimal)
+		t.Fatalf("Table 4.2(c) has %d rows, want 15", len(tabC.Rows))
+	}
+	if xc.StartSum() < 3500 {
+		t.Fatalf("NOLA start sum %d implausibly small", xc.StartSum())
+	}
+	tabD, xd := Table42d(1, testBudgets, Config{})
+	if len(tabD.Rows) != 14 {
+		t.Fatalf("Table 4.2(d) has %d rows, want 14", len(tabD.Rows))
+	}
+	// Goto starts are much denser-reduced already; start sum must be well
+	// below the random-start sum.
+	if xd.StartSum() >= xc.StartSum() {
+		t.Fatalf("Goto start sum %d not below random start sum %d", xd.StartSum(), xc.StartSum())
+	}
+}
+
+func TestBudgetColumnsHeaders(t *testing.T) {
+	cols := budgetColumns([]int64{Seconds(6), 777})
+	if cols[0] != "6 sec" {
+		t.Fatalf("whole-second budget rendered %q", cols[0])
+	}
+	if cols[1] != "777 moves" {
+		t.Fatalf("odd budget rendered %q", cols[1])
+	}
+}
+
+func TestOptimalRowDominatesAllMethods(t *testing.T) {
+	// The "(optimal)" reference is a hard upper bound: no Monte Carlo
+	// method may report a larger reduction at any budget.
+	tab, x := Table41(3, testBudgets, Config{})
+	suite := NewSuite(GOLAParams(), 3)
+	opt, ok := SuiteOptimum(suite)
+	if !ok {
+		t.Fatal("exact solver refused a 15-cell suite")
+	}
+	bound := suite.StartDensitySum() - opt
+	for m := range x.MethodNames {
+		for b := range x.Budgets {
+			if red := x.Reduction(m, b); red > bound {
+				t.Fatalf("method %s reduction %d exceeds proven optimum %d",
+					x.MethodNames[m], red, bound)
+			}
+		}
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	if last.Label != "(optimal)" {
+		t.Fatalf("last row %q", last.Label)
+	}
+}
+
+func TestSuiteOptimumRefusesBigCells(t *testing.T) {
+	p := SuiteParams{Name: "big", Instances: 1, Cells: 30, Nets: 10, MinPins: 2, MaxPins: 2}
+	if _, ok := SuiteOptimum(NewSuite(p, 1)); ok {
+		t.Fatal("SuiteOptimum claimed success beyond the exact solver bound")
+	}
+}

@@ -1,0 +1,282 @@
+// Package gfunc implements the twenty acceptance-function ("g function")
+// classes enumerated in §3 of the paper, plus the Cohoon–Sahni function from
+// [COHO83a]. Each class is a family of k functions g_temp(h(i), h(j)) giving
+// the probability of accepting an uphill move at temperature level temp.
+//
+// The classes collapse onto a handful of functional forms:
+//
+//	Metropolis family (1, 2):   g = e^{−(h(j)−h(i))/Y_temp}
+//	Constant family (3, 4):     g = Y_temp                    (g = 1; two-level)
+//	Value family (5–12):        g = Y_temp·h(i)^p  or  (e^{h(i)/Y_temp}−1)/(e−1)
+//	Difference family (13–20):  g = Y_temp/Δ^p     or  (e^{Y_temp/Δ}−1)/(e−1)
+//	Cohoon–Sahni:               g = min(h(i)/(m+5), 0.9)
+//
+// Values outside [0, 1] mean "always"/"never" and are clamped by the engines.
+package gfunc
+
+import (
+	"fmt"
+	"math"
+
+	"mcopt/internal/core"
+)
+
+// DefaultGate is the consecutive-uphill threshold the paper uses for its
+// special g = 1 implementation under the Figure-1 strategy (§3).
+const DefaultGate = 18
+
+// class is the single concrete implementation behind every g class: a name,
+// a Y vector (one entry per temperature level), an optional gate, and the
+// functional form.
+type class struct {
+	name string
+	ys   []float64
+	gate int
+	form func(y, hi, hj float64) float64
+}
+
+var _ core.G = (*class)(nil)
+
+func (c *class) Name() string { return c.name }
+func (c *class) K() int       { return len(c.ys) }
+func (c *class) Gate() int    { return c.gate }
+
+func (c *class) Prob(temp int, hi, hj float64) float64 {
+	if temp < 1 || temp > len(c.ys) {
+		panic(fmt.Sprintf("gfunc: %s.Prob: temp %d outside [1,%d]", c.name, temp, len(c.ys)))
+	}
+	return c.form(c.ys[temp-1], hi, hj)
+}
+
+// Ys returns a copy of the class's temperature vector, for reporting.
+func (c *class) Ys() []float64 {
+	out := make([]float64, len(c.ys))
+	copy(out, c.ys)
+	return out
+}
+
+// Functional forms. Difference forms treat Δ ≤ 0 as certain acceptance;
+// the engines only consult g for uphill (or, under Figure 2, plateau) moves.
+
+func formMetropolis(y, hi, hj float64) float64 {
+	if y <= 0 {
+		return 0
+	}
+	return math.Exp(-(hj - hi) / y)
+}
+
+func formConstant(y, _, _ float64) float64 { return y }
+
+func formValuePow(p float64) func(y, hi, hj float64) float64 {
+	return func(y, hi, _ float64) float64 {
+		return y * math.Pow(hi, p)
+	}
+}
+
+func formValueExp(y, hi, _ float64) float64 {
+	if y <= 0 {
+		return 0
+	}
+	return (math.Exp(hi/y) - 1) / (math.E - 1)
+}
+
+func formDiffPow(p float64) func(y, hi, hj float64) float64 {
+	return func(y, hi, hj float64) float64 {
+		d := hj - hi
+		if d <= 0 {
+			return 1
+		}
+		return y / math.Pow(d, p)
+	}
+}
+
+func formDiffExp(y, hi, hj float64) float64 {
+	d := hj - hi
+	if d <= 0 {
+		return 1
+	}
+	return (math.Exp(y/d) - 1) / (math.E - 1)
+}
+
+// Metropolis returns class 1 (k = 1) for the given Y₁.
+func Metropolis(y float64) core.G {
+	return &class{name: "Metropolis", ys: []float64{y}, form: formMetropolis}
+}
+
+// SixTempAnnealing returns class 2, classic multi-temperature simulated
+// annealing, over the given six-level schedule.
+func SixTempAnnealing(ys []float64) core.G {
+	return &class{name: "Six Temperature Annealing", ys: six(ys), form: formMetropolis}
+}
+
+// Annealing returns Metropolis acceptance over an arbitrary k-level
+// schedule — e.g. the 25 uniformly distributed temperatures of [GOLD84]
+// quoted in §1 ("the Yᵢ were chosen to be 25 uniformly distributed points
+// in some interval (0, τ)"). The paper's class 2 is Annealing with a
+// six-level geometric schedule.
+func Annealing(ys []float64) core.G {
+	if len(ys) == 0 {
+		panic("gfunc: Annealing needs at least one level")
+	}
+	out := make([]float64, len(ys))
+	copy(out, ys)
+	return &class{
+		name: fmt.Sprintf("%d-Temperature Annealing", len(ys)),
+		ys:   out,
+		form: formMetropolis,
+	}
+}
+
+// One returns class 3, g = 1, with the paper's gate-18 rule armed for the
+// Figure-1 strategy. It is the paper's recommended class: "It involves no
+// user decisions" (§5).
+func One() core.G {
+	return &class{name: "g = 1", ys: []float64{1}, gate: DefaultGate, form: formConstant}
+}
+
+// OneUngated returns g = 1 without the gate, for the ablation study of the
+// paper's random-walk remark ("a straightforward implementation of this
+// results in a random walk through the solution space", §3).
+func OneUngated() core.G {
+	return &class{name: "g = 1 (ungated)", ys: []float64{1}, form: formConstant}
+}
+
+// TwoLevel returns class 4: k = 2, g₁ = 1, g₂ = 0.5.
+func TwoLevel() core.G {
+	return &class{name: "Two Level g", ys: []float64{1, 0.5}, form: formConstant}
+}
+
+// Linear, Quadratic, Cubic return classes 5–7: g = Y₁·h(i)^p.
+func Linear(y float64) core.G {
+	return &class{name: "Linear", ys: []float64{y}, form: formValuePow(1)}
+}
+
+// Quadratic returns class 6. See Linear.
+func Quadratic(y float64) core.G {
+	return &class{name: "Quadratic", ys: []float64{y}, form: formValuePow(2)}
+}
+
+// Cubic returns class 7. See Linear.
+func Cubic(y float64) core.G {
+	return &class{name: "Cubic", ys: []float64{y}, form: formValuePow(3)}
+}
+
+// Exponential returns class 8: g = (e^{h(i)/Y₁} − 1)/(e − 1).
+func Exponential(y float64) core.G {
+	return &class{name: "Exponential", ys: []float64{y}, form: formValueExp}
+}
+
+// SixTempLinear, SixTempQuadratic, SixTempCubic, SixTempExponential return
+// classes 9–12, the six-level versions of classes 5–8.
+func SixTempLinear(ys []float64) core.G {
+	return &class{name: "6 Linear", ys: six(ys), form: formValuePow(1)}
+}
+
+// SixTempQuadratic returns class 10. See SixTempLinear.
+func SixTempQuadratic(ys []float64) core.G {
+	return &class{name: "6 Quadratic", ys: six(ys), form: formValuePow(2)}
+}
+
+// SixTempCubic returns class 11. See SixTempLinear.
+func SixTempCubic(ys []float64) core.G {
+	return &class{name: "6 Cubic", ys: six(ys), form: formValuePow(3)}
+}
+
+// SixTempExponential returns class 12. See SixTempLinear.
+func SixTempExponential(ys []float64) core.G {
+	return &class{name: "6 Exponential", ys: six(ys), form: formValueExp}
+}
+
+// LinearDiff, QuadraticDiff, CubicDiff return classes 13–15:
+// g = Y₁/(h(j) − h(i))^p.
+func LinearDiff(y float64) core.G {
+	return &class{name: "Linear Diff", ys: []float64{y}, form: formDiffPow(1)}
+}
+
+// QuadraticDiff returns class 14. See LinearDiff.
+func QuadraticDiff(y float64) core.G {
+	return &class{name: "Quadratic Diff", ys: []float64{y}, form: formDiffPow(2)}
+}
+
+// CubicDiff returns class 15 — one of the paper's three best performers on
+// GOLA (§4.2.2). See LinearDiff.
+func CubicDiff(y float64) core.G {
+	return &class{name: "Cubic Diff", ys: []float64{y}, form: formDiffPow(3)}
+}
+
+// ExponentialDiff returns class 16: g = (e^{Y₁/Δ} − 1)/(e − 1).
+func ExponentialDiff(y float64) core.G {
+	return &class{name: "Exponential Diff", ys: []float64{y}, form: formDiffExp}
+}
+
+// SixTempLinearDiff, SixTempQuadraticDiff, SixTempCubicDiff and
+// SixTempExponentialDiff return classes 17–20, the six-level versions of
+// classes 13–16.
+func SixTempLinearDiff(ys []float64) core.G {
+	return &class{name: "6 Linear Diff", ys: six(ys), form: formDiffPow(1)}
+}
+
+// SixTempQuadraticDiff returns class 18. See SixTempLinearDiff.
+func SixTempQuadraticDiff(ys []float64) core.G {
+	return &class{name: "6 Quadratic Diff", ys: six(ys), form: formDiffPow(2)}
+}
+
+// SixTempCubicDiff returns class 19. See SixTempLinearDiff.
+func SixTempCubicDiff(ys []float64) core.G {
+	return &class{name: "6 Cubic Diff", ys: six(ys), form: formDiffPow(3)}
+}
+
+// SixTempExponentialDiff returns class 20. See SixTempLinearDiff.
+func SixTempExponentialDiff(ys []float64) core.G {
+	return &class{name: "6 Exponential Diff", ys: six(ys), form: formDiffExp}
+}
+
+// Threshold returns a deterministic threshold-accepting class over the
+// given schedule: an uphill move is accepted iff its delta is at most the
+// current level's threshold. This is not one of the paper's twenty classes;
+// it is the natural member of the "many possible Monte Carlo methods" family
+// §3 gestures at (later published as Threshold Accepting, Dueck & Scheuer
+// 1990) and ships as an extension for the ablation benches.
+func Threshold(ys []float64) core.G {
+	out := make([]float64, len(ys))
+	copy(out, ys)
+	if len(out) == 0 {
+		panic("gfunc: Threshold needs at least one level")
+	}
+	return &class{
+		name: "Threshold Accepting",
+		ys:   out,
+		form: func(y, hi, hj float64) float64 {
+			if hj-hi <= y {
+				return 1
+			}
+			return 0
+		},
+	}
+}
+
+// CohoonSahni returns the [COHO83a] heuristic's acceptance function,
+// g(density) = min(density/(m+5), 0.9), where m is the instance's net count
+// (§4.2.2). It takes h(i) as the density, exactly as the paper applied it.
+func CohoonSahni(m int) core.G {
+	if m < 0 {
+		panic(fmt.Sprintf("gfunc: CohoonSahni: negative net count %d", m))
+	}
+	return &class{
+		name: "[COHO83a]",
+		ys:   []float64{float64(m)},
+		form: func(y, hi, _ float64) float64 {
+			return math.Min(hi/(y+5), 0.9)
+		},
+	}
+}
+
+// six validates a six-level schedule.
+func six(ys []float64) []float64 {
+	if len(ys) != 6 {
+		panic(fmt.Sprintf("gfunc: six-temperature class given %d levels, want 6", len(ys)))
+	}
+	out := make([]float64, 6)
+	copy(out, ys)
+	return out
+}

@@ -1,0 +1,269 @@
+package gfunc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mcopt/internal/core"
+)
+
+func ys6(v ...float64) []float64 { return v }
+
+func TestNamesAndK(t *testing.T) {
+	six := []float64{6, 5, 4, 3, 2, 1}
+	cases := []struct {
+		g    core.G
+		name string
+		k    int
+	}{
+		{Metropolis(2), "Metropolis", 1},
+		{SixTempAnnealing(six), "Six Temperature Annealing", 6},
+		{One(), "g = 1", 1},
+		{OneUngated(), "g = 1 (ungated)", 1},
+		{TwoLevel(), "Two Level g", 2},
+		{Linear(0.01), "Linear", 1},
+		{Quadratic(0.001), "Quadratic", 1},
+		{Cubic(0.0001), "Cubic", 1},
+		{Exponential(100), "Exponential", 1},
+		{SixTempLinear(six), "6 Linear", 6},
+		{SixTempQuadratic(six), "6 Quadratic", 6},
+		{SixTempCubic(six), "6 Cubic", 6},
+		{SixTempExponential(six), "6 Exponential", 6},
+		{LinearDiff(0.5), "Linear Diff", 1},
+		{QuadraticDiff(0.5), "Quadratic Diff", 1},
+		{CubicDiff(0.5), "Cubic Diff", 1},
+		{ExponentialDiff(0.5), "Exponential Diff", 1},
+		{SixTempLinearDiff(six), "6 Linear Diff", 6},
+		{SixTempQuadraticDiff(six), "6 Quadratic Diff", 6},
+		{SixTempCubicDiff(six), "6 Cubic Diff", 6},
+		{SixTempExponentialDiff(six), "6 Exponential Diff", 6},
+		{CohoonSahni(150), "[COHO83a]", 1},
+	}
+	for _, tc := range cases {
+		if tc.g.Name() != tc.name {
+			t.Errorf("Name = %q, want %q", tc.g.Name(), tc.name)
+		}
+		if tc.g.K() != tc.k {
+			t.Errorf("%s: K = %d, want %d", tc.name, tc.g.K(), tc.k)
+		}
+	}
+}
+
+func TestGateOnlyOnGOne(t *testing.T) {
+	if g := One(); g.Gate() != DefaultGate {
+		t.Fatalf("g=1 gate = %d, want %d", g.Gate(), DefaultGate)
+	}
+	for _, g := range []core.G{OneUngated(), TwoLevel(), Metropolis(1), CubicDiff(0.5), CohoonSahni(10)} {
+		if g.Gate() != 0 {
+			t.Errorf("%s: gate = %d, want 0", g.Name(), g.Gate())
+		}
+	}
+}
+
+func TestMetropolisValues(t *testing.T) {
+	g := Metropolis(2)
+	if got, want := g.Prob(1, 10, 12), math.Exp(-1); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Metropolis(2).Prob(Δ=2) = %g, want %g", got, want)
+	}
+	// Larger uphill deltas must be less likely.
+	if g.Prob(1, 10, 11) <= g.Prob(1, 10, 14) {
+		t.Fatal("Metropolis not decreasing in Δ")
+	}
+}
+
+func TestSixTempAnnealingCoolsByLevel(t *testing.T) {
+	g := SixTempAnnealing(ys6(10, 9, 8.1, 7.29, 6.561, 5.9049))
+	prev := 2.0
+	for temp := 1; temp <= 6; temp++ {
+		p := g.Prob(temp, 50, 53)
+		if p >= prev {
+			t.Fatalf("acceptance at level %d (%g) not below level %d (%g)", temp, p, temp-1, prev)
+		}
+		prev = p
+	}
+}
+
+func TestConstantClasses(t *testing.T) {
+	if p := One().Prob(1, 5, 50); p != 1 {
+		t.Fatalf("g=1 prob = %g, want 1", p)
+	}
+	two := TwoLevel()
+	if p := two.Prob(1, 5, 50); p != 1 {
+		t.Fatalf("two-level level 1 = %g, want 1", p)
+	}
+	if p := two.Prob(2, 5, 50); p != 0.5 {
+		t.Fatalf("two-level level 2 = %g, want 0.5", p)
+	}
+}
+
+func TestValueClassesDependOnCurrentCost(t *testing.T) {
+	// Classes 5–12 use h(i) only: a worse current solution is more willing
+	// to go uphill.
+	for _, g := range []core.G{Linear(0.004), Quadratic(5e-5), Cubic(6e-7), Exponential(200)} {
+		lo := g.Prob(1, 40, 41)
+		hi := g.Prob(1, 90, 91)
+		if hi <= lo {
+			t.Errorf("%s: prob at h=90 (%g) not above h=40 (%g)", g.Name(), hi, lo)
+		}
+		// And independent of the proposed cost.
+		if g.Prob(1, 40, 41) != g.Prob(1, 40, 400) {
+			t.Errorf("%s: value class depends on h(j)", g.Name())
+		}
+	}
+}
+
+func TestDiffClassesDecreasingInDelta(t *testing.T) {
+	for _, g := range []core.G{LinearDiff(0.3), QuadraticDiff(0.3), CubicDiff(0.3), ExponentialDiff(0.3)} {
+		if g.Prob(1, 50, 51) <= g.Prob(1, 50, 55) {
+			t.Errorf("%s: not decreasing in Δ", g.Name())
+		}
+		// And independent of the absolute cost level.
+		if g.Prob(1, 50, 52) != g.Prob(1, 80, 82) {
+			t.Errorf("%s: difference class depends on absolute h", g.Name())
+		}
+	}
+}
+
+func TestDiffClassesCertainOnNonPositiveDelta(t *testing.T) {
+	for _, g := range []core.G{LinearDiff(0.3), CubicDiff(0.3), ExponentialDiff(0.3), SixTempQuadraticDiff(ys6(1, 1, 1, 1, 1, 1))} {
+		if p := g.Prob(1, 50, 50); p != 1 {
+			t.Errorf("%s: Δ=0 prob = %g, want 1 (certain)", g.Name(), p)
+		}
+	}
+}
+
+func TestCubicDiffExactValue(t *testing.T) {
+	g := CubicDiff(0.5)
+	if got := g.Prob(1, 10, 12); got != 0.5/8 {
+		t.Fatalf("CubicDiff(0.5).Prob(Δ=2) = %g, want 0.0625", got)
+	}
+}
+
+func TestCohoonSahniFormula(t *testing.T) {
+	g := CohoonSahni(150)
+	if got, want := g.Prob(1, 62, 63), 62.0/155.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("CohoonSahni(150).Prob(h=62) = %g, want %g", got, want)
+	}
+	// Cap at 0.9 for large densities.
+	if got := g.Prob(1, 1000, 1001); got != 0.9 {
+		t.Fatalf("CohoonSahni cap = %g, want 0.9", got)
+	}
+}
+
+func TestProbPanicsOnBadTemp(t *testing.T) {
+	g := Metropolis(1)
+	for _, temp := range []int{0, 2, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Prob(temp=%d) did not panic for k=1 class", temp)
+				}
+			}()
+			g.Prob(temp, 1, 2)
+		}()
+	}
+}
+
+func TestSixRejectsWrongLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("six-temperature constructor accepted 3 levels")
+		}
+	}()
+	SixTempAnnealing([]float64{1, 2, 3})
+}
+
+func TestCohoonSahniRejectsNegativeM(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CohoonSahni accepted negative net count")
+		}
+	}()
+	CohoonSahni(-1)
+}
+
+func TestExponentialFamiliesNonNegative(t *testing.T) {
+	// Probabilities may exceed 1 (engines clamp) but must never be negative
+	// or NaN for positive uphill deltas and positive costs.
+	gs := []core.G{
+		Metropolis(3), Exponential(100), ExponentialDiff(0.4),
+		Linear(0.01), CubicDiff(0.5),
+	}
+	f := func(hiRaw, dRaw uint16) bool {
+		hi := 1 + float64(hiRaw%500)
+		d := 1 + float64(dRaw%50)
+		for _, g := range gs {
+			p := g.Prob(1, hi, hi+d)
+			if math.IsNaN(p) || p < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThresholdAccepting(t *testing.T) {
+	g := Threshold([]float64{3, 1})
+	if g.Name() != "Threshold Accepting" || g.K() != 2 || g.Gate() != 0 {
+		t.Fatalf("identity wrong: %s k=%d gate=%d", g.Name(), g.K(), g.Gate())
+	}
+	// Level 1 accepts deltas up to 3, level 2 up to 1; both deterministic.
+	cases := []struct {
+		temp int
+		d    float64
+		want float64
+	}{
+		{1, 3, 1}, {1, 3.5, 0}, {1, 0.5, 1},
+		{2, 1, 1}, {2, 2, 0},
+	}
+	for _, tc := range cases {
+		if got := g.Prob(tc.temp, 10, 10+tc.d); got != tc.want {
+			t.Errorf("Prob(temp=%d, Δ=%g) = %g, want %g", tc.temp, tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestThresholdRejectsEmptySchedule(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Threshold(nil) did not panic")
+		}
+	}()
+	Threshold(nil)
+}
+
+func TestAnnealingArbitraryK(t *testing.T) {
+	// The Golden–Skiscim shape: 25 uniform levels.
+	ys := make([]float64, 25)
+	for i := range ys {
+		ys[i] = float64(25-i) / 5
+	}
+	g := Annealing(ys)
+	if g.K() != 25 || g.Name() != "25-Temperature Annealing" {
+		t.Fatalf("identity wrong: %s k=%d", g.Name(), g.K())
+	}
+	if g.Prob(25, 50, 52) >= g.Prob(1, 50, 52) {
+		t.Fatal("annealing not cooling across 25 levels")
+	}
+	// A six-level Annealing matches class 2 exactly.
+	six := []float64{10, 9, 8.1, 7.29, 6.561, 5.9049}
+	a, b := Annealing(six), SixTempAnnealing(six)
+	for temp := 1; temp <= 6; temp++ {
+		if a.Prob(temp, 40, 43) != b.Prob(temp, 40, 43) {
+			t.Fatalf("Annealing(6) diverges from class 2 at level %d", temp)
+		}
+	}
+}
+
+func TestAnnealingRejectsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Annealing(nil) did not panic")
+		}
+	}()
+	Annealing(nil)
+}

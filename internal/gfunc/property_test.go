@@ -1,0 +1,98 @@
+package gfunc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestAllClassesWellBehavedProperty sweeps every paper class, built from
+// its default schedule at a random scale, across random uphill queries:
+// probabilities must be finite-or-+Inf, non-negative, and never NaN, at
+// every temperature level. (Values above 1 are legal — the engines clamp.)
+func TestAllClassesWellBehavedProperty(t *testing.T) {
+	builders := Classes()
+	f := func(costRaw, deltaRaw, hiRaw, dRaw uint16) bool {
+		scale := Scale{
+			TypicalCost:  1 + float64(costRaw%500),
+			TypicalDelta: 0.5 + float64(deltaRaw%40)/4,
+		}
+		hi := 1 + float64(hiRaw%600)
+		d := 0.25 + float64(dRaw%80)/4
+		for _, b := range builders {
+			var ys []float64
+			if b.NeedsY {
+				ys = b.DefaultYs(scale)
+			}
+			g := b.Build(ys)
+			for temp := 1; temp <= b.K; temp++ {
+				p := g.Prob(temp, hi, hi+d)
+				if math.IsNaN(p) || p < 0 {
+					t.Logf("class %d %q: Prob(temp=%d, hi=%g, Δ=%g) = %g under scale %+v",
+						b.ID, b.Name, temp, hi, d, p, scale)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSixTempClassesCoolMonotonically verifies that every six-level class
+// built from defaults has non-increasing acceptance across levels at its
+// own scale point — the "cooling" semantics the Figure-1 level clock
+// assumes.
+func TestSixTempClassesCoolMonotonically(t *testing.T) {
+	scale := Scale{TypicalCost: 86, TypicalDelta: 2}
+	for _, b := range Classes() {
+		if b.K != 6 || !b.NeedsY {
+			continue
+		}
+		g := b.Build(b.DefaultYs(scale))
+		prev := math.Inf(1)
+		for temp := 1; temp <= 6; temp++ {
+			p := g.Prob(temp, scale.TypicalCost, scale.TypicalCost+scale.TypicalDelta)
+			if p > prev+1e-12 {
+				t.Errorf("class %d %q: acceptance rises from level %d to %d (%g -> %g)",
+					b.ID, b.Name, temp-1, temp, prev, p)
+			}
+			prev = p
+		}
+	}
+}
+
+// TestDiffClassesScaleFreeProperty pins the structural property that
+// separates the difference family (13–20) from the value family (5–12):
+// difference classes depend only on Δ, value classes only on h(i).
+func TestDiffClassesScaleFreeProperty(t *testing.T) {
+	scale := Scale{TypicalCost: 86, TypicalDelta: 2}
+	f := func(h1Raw, h2Raw, dRaw uint16) bool {
+		h1 := 10 + float64(h1Raw%300)
+		h2 := 10 + float64(h2Raw%300)
+		d := 0.5 + float64(dRaw%40)/4
+		for _, b := range Classes() {
+			if !b.NeedsY {
+				continue
+			}
+			g := b.Build(b.DefaultYs(scale))
+			for temp := 1; temp <= b.K; temp++ {
+				pa := g.Prob(temp, h1, h1+d)
+				pb := g.Prob(temp, h2, h2+d)
+				isDiff := b.ID == 1 || b.ID == 2 || (b.ID >= 13 && b.ID <= 20)
+				if isDiff && pa != pb {
+					return false // Δ identical ⇒ same probability
+				}
+				if !isDiff && h1 == h2 && pa != pb {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,177 @@
+package gfunc
+
+import (
+	"fmt"
+	"math"
+
+	"mcopt/internal/core"
+)
+
+// Scale characterizes a problem family's cost magnitudes so that default Y
+// schedules can be derived analytically before tuning. The §4.2.1 tuner
+// (package tuner) then searches multiplicative scalings of these defaults,
+// exactly as the paper searched for "the best Yᵢs ... using a randomly
+// generated set of instances".
+type Scale struct {
+	// TypicalCost is a representative objective value of a random solution
+	// (e.g. the mean starting density of the instance suite).
+	TypicalCost float64
+	// TypicalDelta is a representative uphill move magnitude (1–2 for
+	// density objectives, whose deltas are small integers).
+	TypicalDelta float64
+}
+
+// Builder describes one g class: enough to construct it for any schedule and
+// to derive a sensible default schedule for any problem scale.
+type Builder struct {
+	// ID is the paper's class number, 1–20, or 0 for [COHO83a].
+	ID int
+	// Name is the paper's row label.
+	Name string
+	// K is the number of temperature levels.
+	K int
+	// NeedsY reports whether the class has tunable temperatures. g = 1 and
+	// Two Level g do not — the property §5 highlights as g = 1's advantage.
+	NeedsY bool
+	// Build constructs the class from a schedule of length K. For classes
+	// with NeedsY == false the argument is ignored and may be nil.
+	Build func(ys []float64) core.G
+	// DefaultYs derives an untuned schedule from a problem scale. Nil when
+	// NeedsY is false.
+	DefaultYs func(s Scale) []float64
+}
+
+// Acceptance-probability targets used to derive default schedules: a single
+// temperature aims for a moderate uphill acceptance rate, while six-level
+// schedules sweep from near-always-accept to near-never-accept.
+var (
+	singleTarget = 0.3
+	sixTargets   = []float64{0.9, 0.6, 0.4, 0.25, 0.15, 0.08}
+)
+
+// invExpTarget solves (e^{x} − 1)/(e − 1) = a for x.
+func invExpTarget(a float64) float64 { return math.Log(1 + a*(math.E-1)) }
+
+func targets(k int) []float64 {
+	if k == 1 {
+		return []float64{singleTarget}
+	}
+	return sixTargets
+}
+
+// Derivations per functional family. Each returns the Y that achieves
+// acceptance target a at the given scale.
+
+func yMetropolis(a float64, s Scale) float64 { return s.TypicalDelta / math.Log(1/a) }
+func yValuePow(p float64) func(a float64, s Scale) float64 {
+	return func(a float64, s Scale) float64 { return a / math.Pow(s.TypicalCost, p) }
+}
+func yValueExp(a float64, s Scale) float64 { return s.TypicalCost / invExpTarget(a) }
+func yDiffPow(p float64) func(a float64, s Scale) float64 {
+	return func(a float64, s Scale) float64 { return a * math.Pow(s.TypicalDelta, p) }
+}
+func yDiffExp(a float64, s Scale) float64 { return s.TypicalDelta * invExpTarget(a) }
+
+func defaults(k int, derive func(a float64, s Scale) float64) func(s Scale) []float64 {
+	return func(s Scale) []float64 {
+		ts := targets(k)
+		ys := make([]float64, k)
+		for i := range ys {
+			ys[i] = derive(ts[i], s)
+		}
+		return ys
+	}
+}
+
+// Classes returns builders for the paper's twenty g classes in §3 order.
+// The slice is freshly allocated; callers may reorder or filter it.
+func Classes() []Builder {
+	return []Builder{
+		{ID: 1, Name: "Metropolis", K: 1, NeedsY: true,
+			Build:     func(ys []float64) core.G { return Metropolis(one(ys)) },
+			DefaultYs: defaults(1, yMetropolis)},
+		{ID: 2, Name: "Six Temperature Annealing", K: 6, NeedsY: true,
+			Build:     SixTempAnnealing,
+			DefaultYs: defaults(6, yMetropolis)},
+		{ID: 3, Name: "g = 1", K: 1, NeedsY: false,
+			Build: func([]float64) core.G { return One() }},
+		{ID: 4, Name: "Two Level g", K: 2, NeedsY: false,
+			Build: func([]float64) core.G { return TwoLevel() }},
+		{ID: 5, Name: "Linear", K: 1, NeedsY: true,
+			Build:     func(ys []float64) core.G { return Linear(one(ys)) },
+			DefaultYs: defaults(1, yValuePow(1))},
+		{ID: 6, Name: "Quadratic", K: 1, NeedsY: true,
+			Build:     func(ys []float64) core.G { return Quadratic(one(ys)) },
+			DefaultYs: defaults(1, yValuePow(2))},
+		{ID: 7, Name: "Cubic", K: 1, NeedsY: true,
+			Build:     func(ys []float64) core.G { return Cubic(one(ys)) },
+			DefaultYs: defaults(1, yValuePow(3))},
+		{ID: 8, Name: "Exponential", K: 1, NeedsY: true,
+			Build:     func(ys []float64) core.G { return Exponential(one(ys)) },
+			DefaultYs: defaults(1, yValueExp)},
+		{ID: 9, Name: "6 Linear", K: 6, NeedsY: true,
+			Build:     SixTempLinear,
+			DefaultYs: defaults(6, yValuePow(1))},
+		{ID: 10, Name: "6 Quadratic", K: 6, NeedsY: true,
+			Build:     SixTempQuadratic,
+			DefaultYs: defaults(6, yValuePow(2))},
+		{ID: 11, Name: "6 Cubic", K: 6, NeedsY: true,
+			Build:     SixTempCubic,
+			DefaultYs: defaults(6, yValuePow(3))},
+		{ID: 12, Name: "6 Exponential", K: 6, NeedsY: true,
+			Build:     SixTempExponential,
+			DefaultYs: defaults(6, yValueExp)},
+		{ID: 13, Name: "Linear Diff", K: 1, NeedsY: true,
+			Build:     func(ys []float64) core.G { return LinearDiff(one(ys)) },
+			DefaultYs: defaults(1, yDiffPow(1))},
+		{ID: 14, Name: "Quadratic Diff", K: 1, NeedsY: true,
+			Build:     func(ys []float64) core.G { return QuadraticDiff(one(ys)) },
+			DefaultYs: defaults(1, yDiffPow(2))},
+		{ID: 15, Name: "Cubic Diff", K: 1, NeedsY: true,
+			Build:     func(ys []float64) core.G { return CubicDiff(one(ys)) },
+			DefaultYs: defaults(1, yDiffPow(3))},
+		{ID: 16, Name: "Exponential Diff", K: 1, NeedsY: true,
+			Build:     func(ys []float64) core.G { return ExponentialDiff(one(ys)) },
+			DefaultYs: defaults(1, yDiffExp)},
+		{ID: 17, Name: "6 Linear Diff", K: 6, NeedsY: true,
+			Build:     SixTempLinearDiff,
+			DefaultYs: defaults(6, yDiffPow(1))},
+		{ID: 18, Name: "6 Quadratic Diff", K: 6, NeedsY: true,
+			Build:     SixTempQuadraticDiff,
+			DefaultYs: defaults(6, yDiffPow(2))},
+		{ID: 19, Name: "6 Cubic Diff", K: 6, NeedsY: true,
+			Build:     SixTempCubicDiff,
+			DefaultYs: defaults(6, yDiffPow(3))},
+		{ID: 20, Name: "6 Exponential Diff", K: 6, NeedsY: true,
+			Build:     SixTempExponentialDiff,
+			DefaultYs: defaults(6, yDiffExp)},
+	}
+}
+
+// ByName returns the builder whose Name matches exactly.
+func ByName(name string) (Builder, bool) {
+	for _, b := range Classes() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Builder{}, false
+}
+
+// ByID returns the builder with the given paper class number.
+func ByID(id int) (Builder, bool) {
+	for _, b := range Classes() {
+		if b.ID == id {
+			return b, true
+		}
+	}
+	return Builder{}, false
+}
+
+// one extracts the single level of a k = 1 schedule.
+func one(ys []float64) float64 {
+	if len(ys) != 1 {
+		panic(fmt.Sprintf("gfunc: single-temperature class given %d levels, want 1", len(ys)))
+	}
+	return ys[0]
+}

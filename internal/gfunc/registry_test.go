@@ -1,0 +1,97 @@
+package gfunc
+
+import (
+	"testing"
+)
+
+var testScale = Scale{TypicalCost: 85, TypicalDelta: 2}
+
+func TestClassesCoverPaperEnumeration(t *testing.T) {
+	cs := Classes()
+	if len(cs) != 20 {
+		t.Fatalf("Classes() returned %d builders, want the paper's 20", len(cs))
+	}
+	for i, b := range cs {
+		if b.ID != i+1 {
+			t.Errorf("builder %d has ID %d, want %d (paper order)", i, b.ID, i+1)
+		}
+	}
+}
+
+func TestBuildersProduceMatchingClasses(t *testing.T) {
+	for _, b := range Classes() {
+		var ys []float64
+		if b.NeedsY {
+			if b.DefaultYs == nil {
+				t.Errorf("class %d %q needs Y but has no DefaultYs", b.ID, b.Name)
+				continue
+			}
+			ys = b.DefaultYs(testScale)
+			if len(ys) != b.K {
+				t.Errorf("class %d %q: DefaultYs produced %d levels, want %d", b.ID, b.Name, len(ys), b.K)
+				continue
+			}
+			for _, y := range ys {
+				if y <= 0 {
+					t.Errorf("class %d %q: non-positive default Y %g", b.ID, b.Name, y)
+				}
+			}
+		}
+		g := b.Build(ys)
+		if g.Name() != b.Name {
+			t.Errorf("class %d: built name %q, want %q", b.ID, g.Name(), b.Name)
+		}
+		if g.K() != b.K {
+			t.Errorf("class %d %q: built K %d, want %d", b.ID, b.Name, g.K(), b.K)
+		}
+	}
+}
+
+func TestDefaultYsHitAcceptanceTargets(t *testing.T) {
+	// The derivations are exact inversions: evaluating each class at its own
+	// scale point must return (approximately) the target acceptance.
+	for _, b := range Classes() {
+		if !b.NeedsY {
+			continue
+		}
+		g := b.Build(b.DefaultYs(testScale))
+		ts := targets(b.K)
+		for temp := 1; temp <= b.K; temp++ {
+			hi := testScale.TypicalCost
+			hj := hi + testScale.TypicalDelta
+			got := g.Prob(temp, hi, hj)
+			want := ts[temp-1]
+			if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("class %d %q level %d: prob at scale point = %g, want target %g",
+					b.ID, b.Name, temp, got, want)
+			}
+		}
+	}
+}
+
+func TestByNameAndByID(t *testing.T) {
+	b, ok := ByName("Cubic Diff")
+	if !ok || b.ID != 15 {
+		t.Fatalf("ByName(Cubic Diff) = (%+v, %v), want ID 15", b, ok)
+	}
+	if _, ok := ByName("No Such Class"); ok {
+		t.Fatal("ByName matched a nonexistent class")
+	}
+	b, ok = ByID(2)
+	if !ok || b.Name != "Six Temperature Annealing" {
+		t.Fatalf("ByID(2) = (%q, %v)", b.Name, ok)
+	}
+	if _, ok := ByID(21); ok {
+		t.Fatal("ByID(21) matched")
+	}
+}
+
+func TestSingleLevelBuilderRejectsWrongLength(t *testing.T) {
+	b, _ := ByID(1) // Metropolis
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=1 builder accepted a 2-level schedule")
+		}
+	}()
+	b.Build([]float64{1, 2})
+}

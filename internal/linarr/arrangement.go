@@ -1,0 +1,187 @@
+// Package linarr implements linear arrangements of netlist cells and the
+// density objective of the paper's §4: place the cells on a line so as to
+// minimize the maximum number of nets crossing between any pair of adjacent
+// positions. With two-pin nets this is the GOLA problem; with multi-pin nets
+// it is NOLA (the board permutation problem of [GOTO77] and [COHO83a]).
+//
+// The package provides O(pins-touched) incremental evaluation of pairwise
+// interchanges, single-exchange (remove/reinsert) moves, deterministic local
+// search, and adapters implementing core.Solution / core.Descender.
+package linarr
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"slices"
+
+	"mcopt/internal/netlist"
+	"mcopt/internal/rng"
+)
+
+// Arrangement is a mutable linear ordering of a netlist's cells together
+// with incrementally maintained gap-crossing counts.
+//
+// Gap g (0 ≤ g < NumCells−1) separates positions g and g+1. A net whose
+// pins span positions [lo, hi] crosses every gap in [lo, hi). The density is
+// the maximum crossing count over all gaps.
+type Arrangement struct {
+	nl      *netlist.Netlist
+	cellAt  []int // cellAt[pos] = cell occupying the position
+	posOf   []int // posOf[cell] = the cell's position
+	gapCut  []int // gapCut[g] = number of nets crossing gap g
+	netLo   []int // netLo[n] = leftmost pin position of net n
+	netHi   []int // netHi[n] = rightmost pin position of net n
+	dens    int
+	spanSum int // Σ over nets of (netHi − netLo): total wirelength
+
+	// Proposal scratch state. A proposed move snapshots gap counts here and
+	// is committed by swapping the buffers; seq detects stale moves.
+	scratch   []int
+	spans     []spanChange
+	netMark   []int
+	markEpoch int
+	seq       uint64
+}
+
+type spanChange struct{ net, lo, hi int }
+
+// New builds an arrangement placing cell order[i] at position i. order must
+// be a permutation of 0..NumCells-1.
+func New(nl *netlist.Netlist, order []int) (*Arrangement, error) {
+	n := nl.NumCells()
+	if len(order) != n {
+		return nil, fmt.Errorf("linarr: order has %d entries, netlist has %d cells", len(order), n)
+	}
+	a := &Arrangement{
+		nl:      nl,
+		cellAt:  slices.Clone(order),
+		posOf:   make([]int, n),
+		gapCut:  make([]int, max(n-1, 0)),
+		netLo:   make([]int, nl.NumNets()),
+		netHi:   make([]int, nl.NumNets()),
+		scratch: make([]int, max(n-1, 0)),
+		netMark: make([]int, nl.NumNets()),
+	}
+	seen := make([]bool, n)
+	for pos, c := range order {
+		if c < 0 || c >= n || seen[c] {
+			return nil, fmt.Errorf("linarr: order is not a permutation: entry %d = %d", pos, c)
+		}
+		seen[c] = true
+		a.posOf[c] = pos
+	}
+	a.recompute()
+	return a, nil
+}
+
+// MustNew is New but panics on error, for generators and tests.
+func MustNew(nl *netlist.Netlist, order []int) *Arrangement {
+	a, err := New(nl, order)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Random returns an arrangement with a uniformly random cell order.
+func Random(nl *netlist.Netlist, r *rand.Rand) *Arrangement {
+	order := make([]int, nl.NumCells())
+	rng.Perm(r, order)
+	return MustNew(nl, order)
+}
+
+// Identity returns the arrangement placing cell i at position i.
+func Identity(nl *netlist.Netlist) *Arrangement {
+	order := make([]int, nl.NumCells())
+	for i := range order {
+		order[i] = i
+	}
+	return MustNew(nl, order)
+}
+
+// recompute rebuilds spans, gap counts and density from the permutation —
+// O(total pins). Used at construction and as the test oracle's reference.
+func (a *Arrangement) recompute() {
+	clear(a.gapCut)
+	a.spanSum = 0
+	for n := 0; n < a.nl.NumNets(); n++ {
+		lo, hi := a.span(n, -1, -1, -1, -1)
+		a.netLo[n], a.netHi[n] = lo, hi
+		a.spanSum += hi - lo
+		for g := lo; g < hi; g++ {
+			a.gapCut[g]++
+		}
+	}
+	a.dens = maxOf(a.gapCut)
+}
+
+// span computes net n's position span, pretending that cellX sits at posX
+// and cellY at posY (pass −1s for no overrides).
+func (a *Arrangement) span(n, cellX, posX, cellY, posY int) (lo, hi int) {
+	pins := a.nl.Net(n)
+	lo, hi = a.nl.NumCells(), -1
+	for _, c := range pins {
+		p := a.posOf[c]
+		switch c {
+		case cellX:
+			p = posX
+		case cellY:
+			p = posY
+		}
+		lo = min(lo, p)
+		hi = max(hi, p)
+	}
+	return lo, hi
+}
+
+// Density returns the current maximum gap-crossing count — the objective of
+// both GOLA and NOLA.
+func (a *Arrangement) Density() int { return a.dens }
+
+// TotalSpan returns the sum over nets of their position spans — the total
+// wirelength objective of the linear-ordering placement formulations the
+// paper's §4.1 cites ([KANG83]). It equals the sum of all gap-crossing
+// counts.
+func (a *Arrangement) TotalSpan() int { return a.spanSum }
+
+// NumCells returns the number of placed cells.
+func (a *Arrangement) NumCells() int { return a.nl.NumCells() }
+
+// Netlist returns the underlying (immutable) netlist.
+func (a *Arrangement) Netlist() *netlist.Netlist { return a.nl }
+
+// CellAt returns the cell occupying the given position.
+func (a *Arrangement) CellAt(pos int) int { return a.cellAt[pos] }
+
+// PosOf returns the position of the given cell.
+func (a *Arrangement) PosOf(cell int) int { return a.posOf[cell] }
+
+// Order returns a copy of the current cell order (position → cell).
+func (a *Arrangement) Order() []int { return slices.Clone(a.cellAt) }
+
+// GapCut returns the crossing count of gap g, for diagnostics and tests.
+func (a *Arrangement) GapCut(g int) int { return a.gapCut[g] }
+
+// Clone returns a deep copy sharing only the immutable netlist.
+func (a *Arrangement) Clone() *Arrangement {
+	return &Arrangement{
+		nl:      a.nl,
+		cellAt:  slices.Clone(a.cellAt),
+		posOf:   slices.Clone(a.posOf),
+		gapCut:  slices.Clone(a.gapCut),
+		netLo:   slices.Clone(a.netLo),
+		netHi:   slices.Clone(a.netHi),
+		dens:    a.dens,
+		spanSum: a.spanSum,
+		scratch: make([]int, len(a.gapCut)),
+		netMark: make([]int, a.nl.NumNets()),
+	}
+}
+
+func maxOf(xs []int) int {
+	m := 0
+	for _, x := range xs {
+		m = max(m, x)
+	}
+	return m
+}

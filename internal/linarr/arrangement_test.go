@@ -1,0 +1,235 @@
+package linarr
+
+import (
+	"slices"
+	"testing"
+
+	"mcopt/internal/netlist"
+	"mcopt/internal/rng"
+)
+
+// bruteDensity recomputes the density of an order from first principles,
+// independently of the incremental machinery.
+func bruteDensity(nl *netlist.Netlist, order []int) int {
+	pos := make([]int, nl.NumCells())
+	for p, c := range order {
+		pos[c] = p
+	}
+	dens := 0
+	for g := 0; g < nl.NumCells()-1; g++ {
+		cut := 0
+		for n := 0; n < nl.NumNets(); n++ {
+			lo, hi := nl.NumCells(), -1
+			for _, c := range nl.Net(n) {
+				lo = min(lo, pos[c])
+				hi = max(hi, pos[c])
+			}
+			if lo <= g && g < hi {
+				cut++
+			}
+		}
+		dens = max(dens, cut)
+	}
+	return dens
+}
+
+func TestNewValidatesPermutation(t *testing.T) {
+	nl := netlist.MustNew(3, [][]int{{0, 1}})
+	for name, order := range map[string][]int{
+		"short":        {0, 1},
+		"long":         {0, 1, 2, 0},
+		"repeat":       {0, 0, 1},
+		"out of range": {0, 1, 3},
+		"negative":     {0, 1, -1},
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := New(nl, order); err == nil {
+				t.Fatalf("New accepted order %v", order)
+			}
+		})
+	}
+}
+
+func TestDensityHandComputed(t *testing.T) {
+	// Cells 0-1-2-3 in identity order with nets {0,1}, {0,3}, {1,2}, {2,3},
+	// {0,2}: gap cuts are:
+	//   gap0 (0|123): {0,1},{0,3},{0,2}          = 3
+	//   gap1 (01|23): {0,3},{1,2},{0,2}          = 3
+	//   gap2 (012|3): {0,3},{2,3}                = 2
+	nl := netlist.MustNew(4, [][]int{{0, 1}, {0, 3}, {1, 2}, {2, 3}, {0, 2}})
+	a := Identity(nl)
+	wantCuts := []int{3, 3, 2}
+	for g, want := range wantCuts {
+		if got := a.GapCut(g); got != want {
+			t.Errorf("GapCut(%d) = %d, want %d", g, got, want)
+		}
+	}
+	if a.Density() != 3 {
+		t.Fatalf("Density = %d, want 3", a.Density())
+	}
+}
+
+func TestDensityMultiPinNet(t *testing.T) {
+	// A single 3-pin net spanning positions 0..3 crosses gaps 0,1,2.
+	nl := netlist.MustNew(5, [][]int{{0, 2, 3}})
+	a := Identity(nl)
+	for g, want := range []int{1, 1, 1, 0} {
+		if got := a.GapCut(g); got != want {
+			t.Errorf("GapCut(%d) = %d, want %d", g, got, want)
+		}
+	}
+	if a.Density() != 1 {
+		t.Fatalf("Density = %d, want 1", a.Density())
+	}
+}
+
+func TestDensityMatchesBruteForceOnRandom(t *testing.T) {
+	r := rng.Stream("linarr-brute", 1)
+	for trial := 0; trial < 20; trial++ {
+		nl := netlist.RandomHyper(r, 10, 30, 2, 5)
+		a := Random(nl, r)
+		if got, want := a.Density(), bruteDensity(nl, a.Order()); got != want {
+			t.Fatalf("trial %d: Density = %d, brute force = %d", trial, got, want)
+		}
+	}
+}
+
+func TestSwapDeltaMatchesRecompute(t *testing.T) {
+	r := rng.Stream("linarr-swap", 2)
+	for trial := 0; trial < 10; trial++ {
+		nl := netlist.RandomHyper(r, 12, 40, 2, 6)
+		a := Random(nl, r)
+		for step := 0; step < 200; step++ {
+			p, q := r.IntN(12), r.IntN(12)
+			m := a.EvalSwap(p, q)
+			before := a.Density()
+			m.Apply()
+			want := bruteDensity(nl, a.Order())
+			if a.Density() != want {
+				t.Fatalf("trial %d step %d: incremental density %d, brute %d", trial, step, a.Density(), want)
+			}
+			if before+m.DeltaInt() != a.Density() {
+				t.Fatalf("trial %d step %d: delta %d inconsistent (%d -> %d)",
+					trial, step, m.DeltaInt(), before, a.Density())
+			}
+		}
+	}
+}
+
+func TestReinsertDeltaMatchesRecompute(t *testing.T) {
+	r := rng.Stream("linarr-reinsert", 3)
+	for trial := 0; trial < 10; trial++ {
+		nl := netlist.RandomHyper(r, 12, 40, 2, 6)
+		a := Random(nl, r)
+		for step := 0; step < 200; step++ {
+			p, q := r.IntN(12), r.IntN(12)
+			m := a.EvalReinsert(p, q)
+			before := a.Density()
+			m.Apply()
+			// The permutation must stay valid.
+			seen := make([]bool, 12)
+			for pos := 0; pos < 12; pos++ {
+				c := a.CellAt(pos)
+				if seen[c] {
+					t.Fatalf("trial %d step %d: cell %d duplicated after reinsert(%d,%d)", trial, step, c, p, q)
+				}
+				seen[c] = true
+				if a.PosOf(c) != pos {
+					t.Fatalf("trial %d step %d: posOf/cellAt out of sync at %d", trial, step, pos)
+				}
+			}
+			want := bruteDensity(nl, a.Order())
+			if a.Density() != want {
+				t.Fatalf("trial %d step %d: incremental density %d, brute %d", trial, step, a.Density(), want)
+			}
+			if before+m.DeltaInt() != a.Density() {
+				t.Fatalf("trial %d step %d: delta %d inconsistent", trial, step, m.DeltaInt())
+			}
+		}
+	}
+}
+
+func TestReinsertShiftsSegment(t *testing.T) {
+	nl := netlist.MustNew(5, [][]int{{0, 1}})
+	a := Identity(nl)
+	a.EvalReinsert(1, 3).Apply() // remove cell 1, reinsert at position 3
+	if got, want := a.Order(), []int{0, 2, 3, 1, 4}; !slices.Equal(got, want) {
+		t.Fatalf("order after reinsert(1,3) = %v, want %v", got, want)
+	}
+	a.EvalReinsert(3, 0).Apply() // move it back to the front
+	if got, want := a.Order(), []int{1, 0, 2, 3, 4}; !slices.Equal(got, want) {
+		t.Fatalf("order after reinsert(3,0) = %v, want %v", got, want)
+	}
+}
+
+func TestStaleMovePanics(t *testing.T) {
+	nl := netlist.MustNew(4, [][]int{{0, 1}, {2, 3}})
+	a := Identity(nl)
+	m1 := a.EvalSwap(0, 1)
+	a.EvalSwap(2, 3).Apply()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("applying a stale move did not panic")
+		}
+	}()
+	m1.Apply()
+}
+
+func TestDoubleApplyPanics(t *testing.T) {
+	nl := netlist.MustNew(4, [][]int{{0, 1}})
+	a := Identity(nl)
+	m := a.EvalSwap(0, 2)
+	m.Apply()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Apply did not panic")
+		}
+	}()
+	m.Apply()
+}
+
+func TestCloneIndependent(t *testing.T) {
+	r := rng.Stream("linarr-clone", 4)
+	nl := netlist.RandomGraph(r, 10, 30)
+	a := Random(nl, r)
+	cp := a.Clone()
+	orig := a.Order()
+	for i := 0; i < 50; i++ {
+		cp.EvalSwap(r.IntN(10), r.IntN(10)).Apply()
+	}
+	if !slices.Equal(a.Order(), orig) {
+		t.Fatal("mutating a clone changed the original's order")
+	}
+	if a.Density() != bruteDensity(nl, a.Order()) {
+		t.Fatal("original density corrupted by clone mutation")
+	}
+	if cp.Density() != bruteDensity(nl, cp.Order()) {
+		t.Fatal("clone density inconsistent after mutations")
+	}
+}
+
+func TestSingleCellArrangement(t *testing.T) {
+	nl := netlist.MustNew(1, nil)
+	a := Identity(nl)
+	if a.Density() != 0 {
+		t.Fatalf("single-cell density = %d, want 0", a.Density())
+	}
+	m := a.EvalSwap(0, 0)
+	if m.DeltaInt() != 0 {
+		t.Fatalf("identity swap delta = %d, want 0", m.DeltaInt())
+	}
+	m.Apply()
+}
+
+func TestNoNetsDensityZero(t *testing.T) {
+	nl := netlist.MustNew(6, nil)
+	r := rng.Stream("linarr-nonets", 5)
+	a := Random(nl, r)
+	if a.Density() != 0 {
+		t.Fatalf("density with no nets = %d, want 0", a.Density())
+	}
+	m := a.EvalSwap(0, 5)
+	if m.DeltaInt() != 0 {
+		t.Fatalf("swap delta with no nets = %d, want 0", m.DeltaInt())
+	}
+}

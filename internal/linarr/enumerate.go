@@ -1,0 +1,53 @@
+package linarr
+
+import "mcopt/internal/core"
+
+// Enumerable support: the full neighborhood of an arrangement under either
+// move class, for the rejectionless strategy of [GREE84].
+
+var _ core.Enumerable = (*Solution)(nil)
+
+// NeighborhoodSize returns the number of distinct perturbations: n(n−1)/2
+// unordered pairs for pairwise interchange, n(n−1) ordered pairs for single
+// exchange.
+func (s *Solution) NeighborhoodSize() int {
+	n := s.arr.NumCells()
+	if n < 2 {
+		return 0
+	}
+	if s.kind == SingleExchange {
+		return n * (n - 1)
+	}
+	return n * (n - 1) / 2
+}
+
+// EvalNeighbor evaluates the idx-th perturbation of the current state.
+func (s *Solution) EvalNeighbor(idx int) core.Move {
+	n := s.arr.NumCells()
+	if idx < 0 || idx >= s.NeighborhoodSize() {
+		panic("linarr: EvalNeighbor index out of range")
+	}
+	if s.kind == SingleExchange {
+		p := idx / (n - 1)
+		q := idx % (n - 1)
+		if q >= p {
+			q++
+		}
+		return s.arr.EvalReinsertFor(p, q, s.obj)
+	}
+	p, q := pairFromIndex(idx, n)
+	return s.arr.EvalSwapFor(p, q, s.obj)
+}
+
+// pairFromIndex decodes a triangular index into the pair (p, q), p < q,
+// enumerated row by row: (0,1), (0,2), …, (0,n−1), (1,2), ….
+func pairFromIndex(idx, n int) (int, int) {
+	p := 0
+	rowLen := n - 1
+	for idx >= rowLen {
+		idx -= rowLen
+		p++
+		rowLen--
+	}
+	return p, p + 1 + idx
+}

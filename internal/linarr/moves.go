@@ -1,0 +1,236 @@
+package linarr
+
+import "fmt"
+
+// Move is a proposed, not-yet-applied modification of an Arrangement. At
+// most one move may be outstanding per Arrangement: evaluating a new move
+// invalidates the previous one, and applying a stale move panics. The
+// method set satisfies core.Move.
+type Move interface {
+	// Delta returns the change to the move's objective (Density by
+	// default; TotalSpan when evaluated via an Objective-aware call).
+	Delta() float64
+	// DeltaInt returns the same change as an exact integer.
+	DeltaInt() int
+	// DensityDelta returns the density change regardless of objective.
+	DensityDelta() int
+	// SpanDelta returns the total-span change regardless of objective.
+	SpanDelta() int
+	// Apply commits the move.
+	Apply()
+}
+
+// Objective selects which cost an arrangement move reports through Delta.
+type Objective int
+
+const (
+	// Density is the paper's objective: the maximum gap-crossing count.
+	Density Objective = iota
+	// TotalSpan is the total-wirelength objective of [KANG83]-style linear
+	// ordering: the sum of all net spans.
+	TotalSpan
+)
+
+// String implements fmt.Stringer.
+func (o Objective) String() string {
+	switch o {
+	case Density:
+		return "density"
+	case TotalSpan:
+		return "total-span"
+	default:
+		return "unknown"
+	}
+}
+
+// swapMove is a pairwise interchange of the cells at two positions — the
+// perturbation class used throughout the paper's GOLA/NOLA experiments.
+type swapMove struct {
+	a         *Arrangement
+	p, q      int
+	delta     int
+	spanDelta int
+	obj       Objective
+	seq       uint64
+}
+
+// reinsertMove removes the cell at position p and reinserts it at position
+// q, shifting the cells in between — the paper's "single exchange" move
+// ([COHO83a]).
+type reinsertMove struct {
+	a         *Arrangement
+	p, q      int
+	delta     int
+	spanDelta int
+	obj       Objective
+	seq       uint64
+}
+
+// EvalSwap evaluates interchanging the cells at positions p and q. The
+// evaluation runs in O(pins incident to the two cells) and does not modify
+// the arrangement until Apply.
+func (a *Arrangement) EvalSwap(p, q int) Move { return a.EvalSwapFor(p, q, Density) }
+
+// EvalSwapFor is EvalSwap with an explicit reporting objective.
+func (a *Arrangement) EvalSwapFor(p, q int, obj Objective) Move {
+	a.checkPos(p)
+	a.checkPos(q)
+	a.seq++
+	a.spans = a.spans[:0]
+	copy(a.scratch, a.gapCut)
+	if p == q {
+		return &swapMove{a: a, p: p, q: q, obj: obj, seq: a.seq}
+	}
+	x, y := a.cellAt[p], a.cellAt[q]
+	spanDelta := 0
+	a.markEpoch++
+	visit := func(n int) {
+		if a.netMark[n] == a.markEpoch {
+			return
+		}
+		a.netMark[n] = a.markEpoch
+		lo, hi := a.span(n, x, q, y, p)
+		if lo == a.netLo[n] && hi == a.netHi[n] {
+			return
+		}
+		spanDelta += (hi - lo) - (a.netHi[n] - a.netLo[n])
+		for g := a.netLo[n]; g < a.netHi[n]; g++ {
+			a.scratch[g]--
+		}
+		for g := lo; g < hi; g++ {
+			a.scratch[g]++
+		}
+		a.spans = append(a.spans, spanChange{net: n, lo: lo, hi: hi})
+	}
+	for _, n := range a.nl.CellNets(x) {
+		visit(n)
+	}
+	for _, n := range a.nl.CellNets(y) {
+		visit(n)
+	}
+	return &swapMove{a: a, p: p, q: q, delta: maxOf(a.scratch) - a.dens,
+		spanDelta: spanDelta, obj: obj, seq: a.seq}
+}
+
+func (m *swapMove) Delta() float64    { return float64(m.DeltaInt()) }
+func (m *swapMove) DensityDelta() int { return m.delta }
+func (m *swapMove) SpanDelta() int    { return m.spanDelta }
+
+func (m *swapMove) DeltaInt() int {
+	if m.obj == TotalSpan {
+		return m.spanDelta
+	}
+	return m.delta
+}
+
+func (m *swapMove) Apply() {
+	a := m.a
+	if m.seq != a.seq {
+		panic("linarr: Apply on a stale swap move")
+	}
+	a.seq++
+	x, y := a.cellAt[m.p], a.cellAt[m.q]
+	a.cellAt[m.p], a.cellAt[m.q] = y, x
+	a.posOf[x], a.posOf[y] = m.q, m.p
+	a.commitScratch(m.delta, m.spanDelta)
+}
+
+// EvalReinsert evaluates removing the cell at position p and reinserting it
+// at position q (cells in between shift toward p). Because up to
+// |p − q| + 1 cells move, the evaluation recomputes every net span —
+// O(total pins) — rather than attempting an incremental update.
+func (a *Arrangement) EvalReinsert(p, q int) Move { return a.EvalReinsertFor(p, q, Density) }
+
+// EvalReinsertFor is EvalReinsert with an explicit reporting objective.
+func (a *Arrangement) EvalReinsertFor(p, q int, obj Objective) Move {
+	a.checkPos(p)
+	a.checkPos(q)
+	a.seq++
+	a.spans = a.spans[:0]
+	if p == q {
+		copy(a.scratch, a.gapCut)
+		return &reinsertMove{a: a, p: p, q: q, obj: obj, seq: a.seq}
+	}
+	// newPosOf maps an old position to its post-move position.
+	newPos := func(pos int) int {
+		switch {
+		case pos == p:
+			return q
+		case p < q && pos > p && pos <= q:
+			return pos - 1
+		case p > q && pos >= q && pos < p:
+			return pos + 1
+		default:
+			return pos
+		}
+	}
+	clear(a.scratch)
+	spanDelta := 0
+	for n := 0; n < a.nl.NumNets(); n++ {
+		lo, hi := a.nl.NumCells(), -1
+		for _, c := range a.nl.Net(n) {
+			pos := newPos(a.posOf[c])
+			lo = min(lo, pos)
+			hi = max(hi, pos)
+		}
+		for g := lo; g < hi; g++ {
+			a.scratch[g]++
+		}
+		if lo != a.netLo[n] || hi != a.netHi[n] {
+			spanDelta += (hi - lo) - (a.netHi[n] - a.netLo[n])
+			a.spans = append(a.spans, spanChange{net: n, lo: lo, hi: hi})
+		}
+	}
+	return &reinsertMove{a: a, p: p, q: q, delta: maxOf(a.scratch) - a.dens,
+		spanDelta: spanDelta, obj: obj, seq: a.seq}
+}
+
+func (m *reinsertMove) Delta() float64    { return float64(m.DeltaInt()) }
+func (m *reinsertMove) DensityDelta() int { return m.delta }
+func (m *reinsertMove) SpanDelta() int    { return m.spanDelta }
+
+func (m *reinsertMove) DeltaInt() int {
+	if m.obj == TotalSpan {
+		return m.spanDelta
+	}
+	return m.delta
+}
+
+func (m *reinsertMove) Apply() {
+	a := m.a
+	if m.seq != a.seq {
+		panic("linarr: Apply on a stale reinsert move")
+	}
+	a.seq++
+	if m.p != m.q {
+		c := a.cellAt[m.p]
+		if m.p < m.q {
+			copy(a.cellAt[m.p:m.q], a.cellAt[m.p+1:m.q+1])
+		} else {
+			copy(a.cellAt[m.q+1:m.p+1], a.cellAt[m.q:m.p])
+		}
+		a.cellAt[m.q] = c
+		lo, hi := min(m.p, m.q), max(m.p, m.q)
+		for pos := lo; pos <= hi; pos++ {
+			a.posOf[a.cellAt[pos]] = pos
+		}
+	}
+	a.commitScratch(m.delta, m.spanDelta)
+}
+
+// commitScratch promotes the proposal buffers produced by an Eval* call.
+func (a *Arrangement) commitScratch(delta, spanDelta int) {
+	for _, s := range a.spans {
+		a.netLo[s.net], a.netHi[s.net] = s.lo, s.hi
+	}
+	a.spans = a.spans[:0]
+	a.gapCut, a.scratch = a.scratch, a.gapCut
+	a.dens += delta
+	a.spanSum += spanDelta
+}
+
+func (a *Arrangement) checkPos(p int) {
+	if p < 0 || p >= len(a.cellAt) {
+		panic(fmt.Sprintf("linarr: position %d outside [0,%d)", p, len(a.cellAt)))
+	}
+}

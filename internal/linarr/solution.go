@@ -1,0 +1,151 @@
+package linarr
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"mcopt/internal/core"
+)
+
+// MoveKind selects the perturbation class used by Solution.
+type MoveKind int
+
+const (
+	// PairwiseInterchange swaps the cells at two random positions — the
+	// perturbation used for every table in the paper ("The solution for each
+	// instance was obtained using pairwise interchange", §4.2.1).
+	PairwiseInterchange MoveKind = iota
+
+	// SingleExchange removes one cell and reinserts it at another position,
+	// the alternative move class explored in [COHO83a].
+	SingleExchange
+)
+
+// String implements fmt.Stringer.
+func (k MoveKind) String() string {
+	switch k {
+	case PairwiseInterchange:
+		return "pairwise-interchange"
+	case SingleExchange:
+		return "single-exchange"
+	default:
+		return "unknown"
+	}
+}
+
+// Solution adapts an Arrangement to core.Solution and core.Descender,
+// fixing a perturbation class. It is the state object handed to the
+// Figure-1 and Figure-2 engines for GOLA and NOLA.
+type Solution struct {
+	arr  *Arrangement
+	kind MoveKind
+	obj  Objective
+}
+
+var (
+	_ core.Solution  = (*Solution)(nil)
+	_ core.Descender = (*Solution)(nil)
+)
+
+// NewSolution wraps the arrangement. The Solution owns the arrangement from
+// this point; callers must not mutate it directly while an engine runs.
+func NewSolution(a *Arrangement, kind MoveKind) *Solution {
+	return NewSolutionFor(a, kind, Density)
+}
+
+// NewSolutionFor is NewSolution with an explicit objective (the paper's
+// experiments all use Density; TotalSpan serves the [KANG83] wirelength
+// formulation).
+func NewSolutionFor(a *Arrangement, kind MoveKind, obj Objective) *Solution {
+	if kind != PairwiseInterchange && kind != SingleExchange {
+		panic(fmt.Sprintf("linarr: unknown move kind %d", int(kind)))
+	}
+	if obj != Density && obj != TotalSpan {
+		panic(fmt.Sprintf("linarr: unknown objective %d", int(obj)))
+	}
+	return &Solution{arr: a, kind: kind, obj: obj}
+}
+
+// Arrangement exposes the underlying arrangement, e.g. to read the final
+// order after a run.
+func (s *Solution) Arrangement() *Arrangement { return s.arr }
+
+// Cost returns the current objective value (density by default).
+func (s *Solution) Cost() float64 {
+	if s.obj == TotalSpan {
+		return float64(s.arr.TotalSpan())
+	}
+	return float64(s.arr.Density())
+}
+
+// Density returns the current density as an exact integer.
+func (s *Solution) Density() int { return s.arr.Density() }
+
+// Propose draws a uniform random perturbation of the configured kind.
+func (s *Solution) Propose(r *rand.Rand) core.Move {
+	n := s.arr.NumCells()
+	if n < 2 {
+		// Degenerate single-cell instance: the only "perturbation" is the
+		// identity, which the engines will treat as a plateau move.
+		return s.arr.EvalSwapFor(0, 0, s.obj)
+	}
+	p := r.IntN(n)
+	q := r.IntN(n - 1)
+	if q >= p {
+		q++
+	}
+	if s.kind == SingleExchange {
+		return s.arr.EvalReinsertFor(p, q, s.obj)
+	}
+	return s.arr.EvalSwapFor(p, q, s.obj)
+}
+
+// Clone returns a deep copy.
+func (s *Solution) Clone() core.Solution {
+	return &Solution{arr: s.arr.Clone(), kind: s.kind, obj: s.obj}
+}
+
+// Descend drives the arrangement to a local optimum of its move class by
+// repeated first-improvement sweeps, charging one budget unit per evaluated
+// candidate. It returns false if the budget ran out before a full sweep
+// completed with no improvement (§ Figure 2, Step 2).
+func (s *Solution) Descend(b *core.Budget) bool {
+	n := s.arr.NumCells()
+	if n < 2 {
+		return true
+	}
+	for {
+		improved := false
+		if s.kind == SingleExchange {
+			for p := 0; p < n; p++ {
+				for q := 0; q < n; q++ {
+					if p == q {
+						continue
+					}
+					if !b.TrySpend() {
+						return false
+					}
+					if m := s.arr.EvalReinsertFor(p, q, s.obj); m.DeltaInt() < 0 {
+						m.Apply()
+						improved = true
+					}
+				}
+			}
+		} else {
+			for p := 0; p < n-1; p++ {
+				for q := p + 1; q < n; q++ {
+					if !b.TrySpend() {
+						return false
+					}
+					if m := s.arr.EvalSwapFor(p, q, s.obj); m.DeltaInt() < 0 {
+						m.Apply()
+						improved = true
+					}
+				}
+			}
+		}
+		if !improved {
+			return true
+		}
+	}
+}

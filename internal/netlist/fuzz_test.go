@@ -1,0 +1,43 @@
+package netlist
+
+import (
+	"bytes"
+	"slices"
+	"testing"
+)
+
+// FuzzRead checks that the text parser never panics and that every netlist
+// it accepts round-trips exactly through Write/Read.
+func FuzzRead(f *testing.F) {
+	f.Add("cells 3\nnet 0 1\nnet 1 2\n")
+	f.Add("cells 1\n")
+	f.Add("# comment\n\ncells 4\nnet 0 1 2 3\n")
+	f.Add("net 0 1\ncells 2\n")
+	f.Add("cells x\n")
+	f.Add("cells 3\nnet 0 0\n")
+	f.Add("cells 3\nnet 0 99\n")
+	f.Add("cells 99999999999999999999\n")
+	f.Add("cells 3\nnet\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		nl, err := Read(bytes.NewReader([]byte(src)))
+		if err != nil {
+			return // rejected input: fine, as long as there is no panic
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, nl); err != nil {
+			t.Fatalf("Write failed on accepted netlist: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.NumCells() != nl.NumCells() || back.NumNets() != nl.NumNets() {
+			t.Fatalf("round trip changed shape")
+		}
+		for n := 0; n < nl.NumNets(); n++ {
+			if !slices.Equal(back.Net(n), nl.Net(n)) {
+				t.Fatalf("round trip changed net %d", n)
+			}
+		}
+	})
+}

@@ -1,0 +1,188 @@
+// Package netlist provides the hypergraph substrate shared by every problem
+// in this repository: a set of circuit elements (cells, boards, chips — the
+// paper's "circuit elements") connected by multi-pin nets.
+//
+// A GOLA instance (§4.2 of the paper) is a netlist whose nets all have
+// exactly two pins; a NOLA instance (§4.3) allows arbitrary pin counts. The
+// same structure backs the circuit-partition extension.
+package netlist
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"slices"
+)
+
+// Netlist is an immutable hypergraph over cells 0..NumCells-1. Nets are
+// stored as sorted slices of distinct cell indices; parallel nets (identical
+// pin sets) are permitted, exactly as in the paper's random instances where
+// two random nets may connect the same pair of elements.
+type Netlist struct {
+	numCells int
+	nets     [][]int // nets[n] = sorted distinct cell ids
+	cellNets [][]int // cellNets[c] = ids of nets incident to cell c
+}
+
+// New builds a netlist over numCells cells from the given nets. Each net must
+// contain at least two distinct cells, every cell index must be in range, and
+// a net must not list the same cell twice. The pin slices are copied, so the
+// caller may reuse its buffers.
+func New(numCells int, nets [][]int) (*Netlist, error) {
+	if numCells < 1 {
+		return nil, fmt.Errorf("netlist: numCells = %d, need at least 1", numCells)
+	}
+	nl := &Netlist{
+		numCells: numCells,
+		nets:     make([][]int, len(nets)),
+		cellNets: make([][]int, numCells),
+	}
+	for i, pins := range nets {
+		if len(pins) < 2 {
+			return nil, fmt.Errorf("netlist: net %d has %d pins, need at least 2", i, len(pins))
+		}
+		p := slices.Clone(pins)
+		slices.Sort(p)
+		for j, c := range p {
+			if c < 0 || c >= numCells {
+				return nil, fmt.Errorf("netlist: net %d pin %d out of range [0,%d)", i, c, numCells)
+			}
+			if j > 0 && p[j-1] == c {
+				return nil, fmt.Errorf("netlist: net %d lists cell %d twice", i, c)
+			}
+		}
+		nl.nets[i] = p
+		for _, c := range p {
+			nl.cellNets[c] = append(nl.cellNets[c], i)
+		}
+	}
+	return nl, nil
+}
+
+// MustNew is New but panics on error. It is intended for tests and for
+// generators whose output is correct by construction.
+func MustNew(numCells int, nets [][]int) *Netlist {
+	nl, err := New(numCells, nets)
+	if err != nil {
+		panic(err)
+	}
+	return nl
+}
+
+// NumCells reports the number of circuit elements.
+func (nl *Netlist) NumCells() int { return nl.numCells }
+
+// NumNets reports the number of nets.
+func (nl *Netlist) NumNets() int { return len(nl.nets) }
+
+// Net returns the sorted pin list of net n. The returned slice is shared;
+// callers must not modify it.
+func (nl *Netlist) Net(n int) []int { return nl.nets[n] }
+
+// CellNets returns the ids of the nets incident to cell c. The returned slice
+// is shared; callers must not modify it.
+func (nl *Netlist) CellNets(c int) []int { return nl.cellNets[c] }
+
+// Degree reports the number of nets incident to cell c — the paper's
+// "connectedness" used by Goto's heuristic to pick the most lightly connected
+// starting element.
+func (nl *Netlist) Degree(c int) int { return len(nl.cellNets[c]) }
+
+// NumPins reports the total pin count across all nets.
+func (nl *Netlist) NumPins() int {
+	total := 0
+	for _, p := range nl.nets {
+		total += len(p)
+	}
+	return total
+}
+
+// MaxPins reports the largest pin count of any net, or 0 for a netlist with
+// no nets. A value of 2 means the netlist is a graph (a GOLA instance).
+func (nl *Netlist) MaxPins() int {
+	m := 0
+	for _, p := range nl.nets {
+		m = max(m, len(p))
+	}
+	return m
+}
+
+// IsGraph reports whether every net has exactly two pins, i.e. whether the
+// netlist is a valid GOLA instance.
+func (nl *Netlist) IsGraph() bool {
+	for _, p := range nl.nets {
+		if len(p) != 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the netlist. Netlists are immutable, so Clone
+// is rarely needed, but it keeps ownership simple for callers that mutate
+// generator output before building.
+func (nl *Netlist) Clone() *Netlist {
+	cp := &Netlist{
+		numCells: nl.numCells,
+		nets:     make([][]int, len(nl.nets)),
+		cellNets: make([][]int, len(nl.cellNets)),
+	}
+	for i, p := range nl.nets {
+		cp.nets[i] = slices.Clone(p)
+	}
+	for c, ns := range nl.cellNets {
+		cp.cellNets[c] = slices.Clone(ns)
+	}
+	return cp
+}
+
+// RandomGraph generates a GOLA instance in the paper's style: nets two-pin
+// nets over numCells cells, each net an independently drawn unordered pair of
+// distinct cells. (§4.2.1: "Each instance consisted of 15 circuit elements
+// and 150 two pin nets.")
+func RandomGraph(r *rand.Rand, numCells, nets int) *Netlist {
+	if numCells < 2 {
+		panic(fmt.Sprintf("netlist: RandomGraph needs at least 2 cells, got %d", numCells))
+	}
+	ns := make([][]int, nets)
+	for i := range ns {
+		a := r.IntN(numCells)
+		b := r.IntN(numCells - 1)
+		if b >= a {
+			b++
+		}
+		ns[i] = []int{a, b}
+	}
+	return MustNew(numCells, ns)
+}
+
+// RandomHyper generates a NOLA instance: nets multi-pin nets over numCells
+// cells. Each net's pin count is drawn uniformly from [minPins, maxPins] and
+// its pins are a uniform random subset of distinct cells. The defaults used
+// by the experiment suites (2..8 pins over 15 cells) put random-arrangement
+// densities in the regime of the paper's Table 4.2(c) starting sum.
+func RandomHyper(r *rand.Rand, numCells, nets, minPins, maxPins int) *Netlist {
+	switch {
+	case minPins < 2:
+		panic(fmt.Sprintf("netlist: RandomHyper minPins = %d, need at least 2", minPins))
+	case maxPins < minPins:
+		panic(fmt.Sprintf("netlist: RandomHyper maxPins = %d < minPins = %d", maxPins, minPins))
+	case maxPins > numCells:
+		panic(fmt.Sprintf("netlist: RandomHyper maxPins = %d > numCells = %d", maxPins, numCells))
+	}
+	perm := make([]int, numCells)
+	ns := make([][]int, nets)
+	for i := range ns {
+		k := minPins + r.IntN(maxPins-minPins+1)
+		// Partial Fisher–Yates: the first k entries of perm become a uniform
+		// random k-subset.
+		for j := range perm {
+			perm[j] = j
+		}
+		for j := 0; j < k; j++ {
+			t := j + r.IntN(numCells-j)
+			perm[j], perm[t] = perm[t], perm[j]
+		}
+		ns[i] = slices.Clone(perm[:k])
+	}
+	return MustNew(numCells, ns)
+}

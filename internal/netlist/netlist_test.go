@@ -1,0 +1,235 @@
+package netlist
+
+import (
+	"slices"
+	"strings"
+	"testing"
+
+	"mcopt/internal/rng"
+)
+
+func TestNewValidates(t *testing.T) {
+	cases := []struct {
+		name  string
+		cells int
+		nets  [][]int
+	}{
+		{"zero cells", 0, nil},
+		{"negative cells", -3, nil},
+		{"one-pin net", 4, [][]int{{2}}},
+		{"empty net", 4, [][]int{{}}},
+		{"pin out of range high", 4, [][]int{{1, 4}}},
+		{"pin out of range low", 4, [][]int{{-1, 2}}},
+		{"duplicate pin", 4, [][]int{{2, 2}}},
+		{"duplicate pin unsorted", 4, [][]int{{3, 1, 3}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(tc.cells, tc.nets); err == nil {
+				t.Fatalf("New(%d, %v) succeeded, want error", tc.cells, tc.nets)
+			}
+		})
+	}
+}
+
+func TestNewSortsAndCopies(t *testing.T) {
+	pins := []int{3, 0, 2}
+	nl, err := New(4, [][]int{pins})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nl.Net(0); !slices.Equal(got, []int{0, 2, 3}) {
+		t.Fatalf("Net(0) = %v, want sorted [0 2 3]", got)
+	}
+	pins[0] = 1 // mutate caller buffer; netlist must be unaffected
+	if got := nl.Net(0); !slices.Equal(got, []int{0, 2, 3}) {
+		t.Fatalf("netlist aliased caller's pin slice: %v", got)
+	}
+}
+
+func TestIncidenceStructure(t *testing.T) {
+	nl := MustNew(5, [][]int{{0, 1}, {1, 2, 3}, {0, 4}, {1, 4}})
+	if nl.NumCells() != 5 || nl.NumNets() != 4 {
+		t.Fatalf("size = (%d cells, %d nets), want (5, 4)", nl.NumCells(), nl.NumNets())
+	}
+	wantDeg := []int{2, 3, 1, 1, 2}
+	for c, want := range wantDeg {
+		if got := nl.Degree(c); got != want {
+			t.Errorf("Degree(%d) = %d, want %d", c, got, want)
+		}
+	}
+	if got := nl.CellNets(1); !slices.Equal(got, []int{0, 1, 3}) {
+		t.Fatalf("CellNets(1) = %v, want [0 1 3]", got)
+	}
+	if nl.NumPins() != 9 {
+		t.Fatalf("NumPins = %d, want 9", nl.NumPins())
+	}
+	if nl.MaxPins() != 3 {
+		t.Fatalf("MaxPins = %d, want 3", nl.MaxPins())
+	}
+	if nl.IsGraph() {
+		t.Fatal("IsGraph = true for a netlist with a 3-pin net")
+	}
+}
+
+func TestParallelNetsAllowed(t *testing.T) {
+	nl, err := New(3, [][]int{{0, 1}, {1, 0}})
+	if err != nil {
+		t.Fatalf("parallel nets rejected: %v", err)
+	}
+	if nl.Degree(0) != 2 || nl.Degree(1) != 2 {
+		t.Fatal("parallel nets not both recorded in incidence lists")
+	}
+}
+
+func TestNetlistWithNoNets(t *testing.T) {
+	nl, err := New(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.MaxPins() != 0 || nl.NumPins() != 0 || !nl.IsGraph() {
+		t.Fatalf("empty netlist stats wrong: maxPins=%d pins=%d graph=%v",
+			nl.MaxPins(), nl.NumPins(), nl.IsGraph())
+	}
+}
+
+func TestRandomGraphShape(t *testing.T) {
+	r := rng.Stream("netlist-test", 1)
+	nl := RandomGraph(r, 15, 150)
+	if nl.NumCells() != 15 || nl.NumNets() != 150 {
+		t.Fatalf("shape = (%d, %d), want (15, 150)", nl.NumCells(), nl.NumNets())
+	}
+	if !nl.IsGraph() {
+		t.Fatal("RandomGraph produced a net with != 2 pins")
+	}
+	for n := 0; n < nl.NumNets(); n++ {
+		p := nl.Net(n)
+		if p[0] == p[1] {
+			t.Fatalf("net %d is a self loop: %v", n, p)
+		}
+	}
+}
+
+func TestRandomGraphPairUniformity(t *testing.T) {
+	// Over many nets on 3 cells, the three possible pairs should all occur.
+	r := rng.Stream("netlist-uniform", 2)
+	nl := RandomGraph(r, 3, 300)
+	counts := map[[2]int]int{}
+	for n := 0; n < nl.NumNets(); n++ {
+		p := nl.Net(n)
+		counts[[2]int{p[0], p[1]}]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("saw %d distinct pairs, want 3: %v", len(counts), counts)
+	}
+	for pair, c := range counts {
+		if c < 60 { // expectation 100; allow wide slack
+			t.Errorf("pair %v badly under-sampled: %d of 300", pair, c)
+		}
+	}
+}
+
+func TestRandomHyperShape(t *testing.T) {
+	r := rng.Stream("netlist-hyper", 3)
+	nl := RandomHyper(r, 15, 150, 2, 8)
+	if nl.NumCells() != 15 || nl.NumNets() != 150 {
+		t.Fatalf("shape = (%d, %d), want (15, 150)", nl.NumCells(), nl.NumNets())
+	}
+	sawBig := false
+	for n := 0; n < nl.NumNets(); n++ {
+		p := nl.Net(n)
+		if len(p) < 2 || len(p) > 8 {
+			t.Fatalf("net %d has %d pins, want within [2,8]", n, len(p))
+		}
+		if len(p) > 2 {
+			sawBig = true
+		}
+		for i := 1; i < len(p); i++ {
+			if p[i] == p[i-1] {
+				t.Fatalf("net %d repeats pin %d", n, p[i])
+			}
+		}
+	}
+	if !sawBig {
+		t.Fatal("no multi-pin net generated in 150 draws")
+	}
+}
+
+func TestRandomHyperPanicsOnBadArgs(t *testing.T) {
+	r := rng.Stream("netlist-panic", 4)
+	for name, f := range map[string]func(){
+		"minPins<2":        func() { RandomHyper(r, 10, 5, 1, 4) },
+		"maxPins<minPins":  func() { RandomHyper(r, 10, 5, 4, 3) },
+		"maxPins>numCells": func() { RandomHyper(r, 3, 5, 2, 4) },
+		"graph 1 cell":     func() { RandomGraph(r, 1, 5) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			f()
+		})
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	nl := MustNew(4, [][]int{{0, 1}, {1, 2, 3}})
+	cp := nl.Clone()
+	cp.nets[0][0] = 3
+	cp.cellNets[1][0] = 99
+	if nl.Net(0)[0] != 0 {
+		t.Fatal("Clone shares net storage")
+	}
+	if nl.CellNets(1)[0] != 0 {
+		t.Fatal("Clone shares incidence storage")
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := RandomGraph(rng.Stream("det", 5), 10, 40)
+	b := RandomGraph(rng.Stream("det", 5), 10, 40)
+	for n := 0; n < a.NumNets(); n++ {
+		if !slices.Equal(a.Net(n), b.Net(n)) {
+			t.Fatalf("net %d differs under identical stream: %v vs %v", n, a.Net(n), b.Net(n))
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	nl := MustNew(5, [][]int{{0, 1}, {1, 0}, {1, 2, 3}})
+	s := Summarize(nl)
+	if s.Cells != 5 || s.Nets != 3 || s.Pins != 7 {
+		t.Fatalf("counts wrong: %+v", s)
+	}
+	if s.MinDegree != 0 || s.MaxDegree != 3 {
+		t.Fatalf("degrees wrong: %+v", s)
+	}
+	if s.IsolatedCells != 1 { // cell 4
+		t.Fatalf("isolated = %d, want 1", s.IsolatedCells)
+	}
+	if s.ParallelNets != 1 { // {0,1} repeated
+		t.Fatalf("parallel = %d, want 1", s.ParallelNets)
+	}
+	if s.PinHistogram[2] != 2 || s.PinHistogram[3] != 1 {
+		t.Fatalf("histogram wrong: %v", s.PinHistogram)
+	}
+	if s.MeanDegree != 7.0/5.0 {
+		t.Fatalf("mean degree = %g", s.MeanDegree)
+	}
+}
+
+func TestSummaryRender(t *testing.T) {
+	nl := MustNew(3, [][]int{{0, 1}, {1, 2}})
+	var sb strings.Builder
+	if err := Summarize(nl).Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"cells:          3", "nets:           2", "nets with 2 pins: 2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package netlist
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Summary holds descriptive statistics of a netlist, for instance reports
+// (olagen -stats) and sanity checks when importing external circuits.
+type Summary struct {
+	Cells int
+	Nets  int
+	Pins  int
+	// MinDegree/MaxDegree bound per-cell net incidence.
+	MinDegree, MaxDegree int
+	// MeanDegree is Pins / Cells.
+	MeanDegree float64
+	// PinHistogram[k] = number of nets with exactly k pins.
+	PinHistogram map[int]int
+	// IsolatedCells counts cells incident to no net.
+	IsolatedCells int
+	// ParallelNets counts nets whose pin set duplicates an earlier net's.
+	ParallelNets int
+}
+
+// Summarize computes descriptive statistics in one pass.
+func Summarize(nl *Netlist) Summary {
+	s := Summary{
+		Cells:        nl.NumCells(),
+		Nets:         nl.NumNets(),
+		Pins:         nl.NumPins(),
+		PinHistogram: map[int]int{},
+	}
+	s.MinDegree = -1
+	for c := 0; c < nl.NumCells(); c++ {
+		d := nl.Degree(c)
+		if d == 0 {
+			s.IsolatedCells++
+		}
+		if s.MinDegree < 0 || d < s.MinDegree {
+			s.MinDegree = d
+		}
+		s.MaxDegree = max(s.MaxDegree, d)
+	}
+	if s.Cells > 0 {
+		s.MeanDegree = float64(s.Pins) / float64(s.Cells)
+	}
+	seen := map[string]bool{}
+	for n := 0; n < nl.NumNets(); n++ {
+		pins := nl.Net(n)
+		s.PinHistogram[len(pins)]++
+		key := fmt.Sprint(pins)
+		if seen[key] {
+			s.ParallelNets++
+		}
+		seen[key] = true
+	}
+	return s
+}
+
+// Render writes the summary as aligned text.
+func (s Summary) Render(w io.Writer) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cells:          %d\n", s.Cells)
+	fmt.Fprintf(&sb, "nets:           %d\n", s.Nets)
+	fmt.Fprintf(&sb, "pins:           %d\n", s.Pins)
+	fmt.Fprintf(&sb, "degree:         min %d, mean %.2f, max %d\n", s.MinDegree, s.MeanDegree, s.MaxDegree)
+	fmt.Fprintf(&sb, "isolated cells: %d\n", s.IsolatedCells)
+	fmt.Fprintf(&sb, "parallel nets:  %d\n", s.ParallelNets)
+	sizes := make([]int, 0, len(s.PinHistogram))
+	for k := range s.PinHistogram {
+		sizes = append(sizes, k)
+	}
+	sort.Ints(sizes)
+	for _, k := range sizes {
+		fmt.Fprintf(&sb, "nets with %d pins: %d\n", k, s.PinHistogram[k])
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,98 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// MaxTextCells bounds the cell count accepted by Read, protecting the
+// parser from resource exhaustion on malformed input.
+const MaxTextCells = 1 << 20
+
+// The text format is line-oriented:
+//
+//	# optional comments and blank lines
+//	cells 15
+//	net 3 7
+//	net 1 2 5
+//
+// "cells" must appear before the first "net". Pin lists are whitespace
+// separated cell indices. The format round-trips exactly through
+// Write/Read for any valid netlist.
+
+// Write serializes the netlist in the text format.
+func Write(w io.Writer, nl *Netlist) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "cells %d\n", nl.NumCells())
+	for n := 0; n < nl.NumNets(); n++ {
+		bw.WriteString("net")
+		for _, c := range nl.Net(n) {
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.Itoa(c))
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// Read parses a netlist from the text format, validating it with New.
+func Read(r io.Reader) (*Netlist, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	numCells := -1
+	var nets [][]int
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "cells":
+			if numCells >= 0 {
+				return nil, fmt.Errorf("netlist: line %d: duplicate cells directive", line)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("netlist: line %d: want %q, got %q", line, "cells N", text)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("netlist: line %d: bad cell count %q: %v", line, fields[1], err)
+			}
+			// Bound untrusted input: the text format carries benchmark
+			// instances, and an absurd count would force a giant incidence
+			// allocation before any net validates it.
+			if n > MaxTextCells {
+				return nil, fmt.Errorf("netlist: line %d: cell count %d exceeds limit %d", line, n, MaxTextCells)
+			}
+			numCells = n
+		case "net":
+			if numCells < 0 {
+				return nil, fmt.Errorf("netlist: line %d: net before cells directive", line)
+			}
+			pins := make([]int, 0, len(fields)-1)
+			for _, f := range fields[1:] {
+				c, err := strconv.Atoi(f)
+				if err != nil {
+					return nil, fmt.Errorf("netlist: line %d: bad pin %q: %v", line, f, err)
+				}
+				pins = append(pins, c)
+			}
+			nets = append(nets, pins)
+		default:
+			return nil, fmt.Errorf("netlist: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netlist: read: %w", err)
+	}
+	if numCells < 0 {
+		return nil, fmt.Errorf("netlist: missing cells directive")
+	}
+	return New(numCells, nets)
+}

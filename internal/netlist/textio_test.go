@@ -1,0 +1,92 @@
+package netlist
+
+import (
+	"bytes"
+	"slices"
+	"strings"
+	"testing"
+
+	"mcopt/internal/rng"
+)
+
+func TestRoundTrip(t *testing.T) {
+	orig := RandomHyper(rng.Stream("textio", 1), 12, 40, 2, 6)
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumCells() != orig.NumCells() || back.NumNets() != orig.NumNets() {
+		t.Fatalf("round trip changed shape: (%d,%d) vs (%d,%d)",
+			back.NumCells(), back.NumNets(), orig.NumCells(), orig.NumNets())
+	}
+	for n := 0; n < orig.NumNets(); n++ {
+		if !slices.Equal(back.Net(n), orig.Net(n)) {
+			t.Fatalf("net %d changed: %v vs %v", n, back.Net(n), orig.Net(n))
+		}
+	}
+}
+
+func TestReadAcceptsCommentsAndBlanks(t *testing.T) {
+	src := `
+# a GOLA instance
+cells 4
+
+net 0 1
+  # indented comment
+net 2 3
+`
+	nl, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.NumCells() != 4 || nl.NumNets() != 2 {
+		t.Fatalf("parsed shape (%d,%d), want (4,2)", nl.NumCells(), nl.NumNets())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing cells":     "net 0 1\n",
+		"no directives":     "# nothing\n",
+		"duplicate cells":   "cells 3\ncells 4\n",
+		"bad cell count":    "cells x\n",
+		"cells extra field": "cells 3 4\n",
+		"unknown directive": "cells 3\nedge 0 1\n",
+		"bad pin":           "cells 3\nnet 0 q\n",
+		"net validation":    "cells 3\nnet 0 0\n",
+		"pin past numCells": "cells 3\nnet 0 3\n",
+		"single-pin net":    "cells 3\nnet 0\n",
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(src)); err == nil {
+				t.Fatalf("Read(%q) succeeded, want error", src)
+			}
+		})
+	}
+}
+
+func TestWriteFormatGolden(t *testing.T) {
+	nl := MustNew(3, [][]int{{2, 0}, {0, 1, 2}})
+	var buf bytes.Buffer
+	if err := Write(&buf, nl); err != nil {
+		t.Fatal(err)
+	}
+	want := "cells 3\nnet 0 2\nnet 0 1 2\n"
+	if buf.String() != want {
+		t.Fatalf("Write output:\n%q\nwant:\n%q", buf.String(), want)
+	}
+}
+
+func TestReadRejectsHugeCellCount(t *testing.T) {
+	if _, err := Read(strings.NewReader("cells 999999999\n")); err == nil {
+		t.Fatal("absurd cell count accepted")
+	}
+	if _, err := Read(strings.NewReader("cells -1\n")); err == nil {
+		t.Fatal("negative cell count accepted")
+	}
+}

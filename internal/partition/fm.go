@@ -1,0 +1,268 @@
+package partition
+
+import (
+	"fmt"
+
+	"mcopt/internal/core"
+)
+
+// FMConfig controls the Fiduccia–Mattheyses heuristic.
+type FMConfig struct {
+	// Tolerance is the classic FM balance slack: each side may hold
+	// n/2 ± Tolerance cells, so the sides may differ by up to 2·Tolerance
+	// (single-cell moves on an exactly balanced even instance require at
+	// least 1, which is also the default for smaller values).
+	Tolerance int
+}
+
+// FiducciaMattheyses improves a bipartition with the linear-time pass
+// heuristic of Fiduccia & Mattheyses (DAC 1982 — three years before the
+// paper): single-cell moves selected from a gain-bucket structure, each
+// cell moved at most once per pass, with the pass rewound to its best
+// balanced prefix. Passes repeat until one yields no gain or the budget
+// dies. One budget unit is charged per gain (re)computation, so FM's
+// efficiency relative to the swap-based methods is visible in the tables.
+//
+// It returns the number of completed passes. The final partition's sides
+// differ by at most max(2·cfg.Tolerance, n mod 2) cells.
+func FiducciaMattheyses(b *Bipartition, budget *core.Budget, cfg FMConfig) int {
+	if cfg.Tolerance < 1 {
+		cfg.Tolerance = 1
+	}
+	passes := 0
+	for {
+		gain, ok := fmPass(b, budget, cfg)
+		if !ok {
+			return passes
+		}
+		passes++
+		if gain <= 0 {
+			return passes
+		}
+	}
+}
+
+// moveDelta returns the cut change from moving cell c to the other side.
+func (b *Bipartition) moveDelta(c int) int {
+	delta := 0
+	for _, net := range b.nl.CellNets(c) {
+		pins := len(b.nl.Net(net))
+		l := b.left[net]
+		var newL int
+		if b.side[c] == 0 {
+			newL = l - 1
+		} else {
+			newL = l + 1
+		}
+		was := l > 0 && l < pins
+		is := newL > 0 && newL < pins
+		switch {
+		case is && !was:
+			delta++
+		case !is && was:
+			delta--
+		}
+	}
+	return delta
+}
+
+// moveCell flips cell c to the other side, updating cut bookkeeping. Unlike
+// Swap it changes the side sizes; callers are responsible for balance.
+func (b *Bipartition) moveCell(c int) {
+	b.cut += b.moveDelta(c)
+	b.seq++
+	s := b.side[c]
+	for _, net := range b.nl.CellNets(c) {
+		if s == 0 {
+			b.left[net]--
+		} else {
+			b.left[net]++
+		}
+	}
+	// Remove from members[s] by swapping with the last element.
+	idx := b.index[c]
+	last := len(b.members[s]) - 1
+	moved := b.members[s][last]
+	b.members[s][idx] = moved
+	b.index[moved] = idx
+	b.members[s] = b.members[s][:last]
+	// Append to the other side.
+	b.side[c] = 1 - s
+	b.index[c] = len(b.members[1-s])
+	b.members[1-s] = append(b.members[1-s], c)
+}
+
+// gainBuckets is the classic FM bucket list: doubly linked lists of cells
+// indexed by gain, with a max-gain cursor.
+type gainBuckets struct {
+	offset     int   // gain g lives in head[g+offset]
+	head       []int // head[idx] = first cell, or -1
+	next, prev []int // intrusive links per cell, -1 terminated
+	gain       []int // current gain per cell
+	present    []bool
+	maxIdx     int // highest non-empty index, or -1
+}
+
+func newGainBuckets(cells, maxGain int) *gainBuckets {
+	gb := &gainBuckets{
+		offset:  maxGain,
+		head:    make([]int, 2*maxGain+1),
+		next:    make([]int, cells),
+		prev:    make([]int, cells),
+		gain:    make([]int, cells),
+		present: make([]bool, cells),
+		maxIdx:  -1,
+	}
+	for i := range gb.head {
+		gb.head[i] = -1
+	}
+	return gb
+}
+
+func (gb *gainBuckets) insert(c, gain int) {
+	if gb.present[c] {
+		panic(fmt.Sprintf("partition: gain bucket double insert of cell %d", c))
+	}
+	idx := gain + gb.offset
+	gb.gain[c] = gain
+	gb.present[c] = true
+	gb.prev[c] = -1
+	gb.next[c] = gb.head[idx]
+	if gb.head[idx] >= 0 {
+		gb.prev[gb.head[idx]] = c
+	}
+	gb.head[idx] = c
+	if idx > gb.maxIdx {
+		gb.maxIdx = idx
+	}
+}
+
+func (gb *gainBuckets) remove(c int) {
+	if !gb.present[c] {
+		return
+	}
+	idx := gb.gain[c] + gb.offset
+	if gb.prev[c] >= 0 {
+		gb.next[gb.prev[c]] = gb.next[c]
+	} else {
+		gb.head[idx] = gb.next[c]
+	}
+	if gb.next[c] >= 0 {
+		gb.prev[gb.next[c]] = gb.prev[c]
+	}
+	gb.present[c] = false
+	for gb.maxIdx >= 0 && gb.head[gb.maxIdx] < 0 {
+		gb.maxIdx--
+	}
+}
+
+func (gb *gainBuckets) update(c, gain int) {
+	if gb.present[c] {
+		gb.remove(c)
+	}
+	gb.insert(c, gain)
+}
+
+// bestMovable returns the highest-gain present cell that satisfies ok, or
+// -1. It scans within each gain level, highest first.
+func (gb *gainBuckets) bestMovable(ok func(c int) bool) int {
+	for idx := gb.maxIdx; idx >= 0; idx-- {
+		for c := gb.head[idx]; c >= 0; c = gb.next[c] {
+			if ok(c) {
+				return c
+			}
+		}
+	}
+	return -1
+}
+
+// fmPass runs one FM pass, returning the realized gain and whether the pass
+// completed within budget. Either way the partition is rewound to the best
+// balance-legal prefix seen.
+func fmPass(b *Bipartition, budget *core.Budget, cfg FMConfig) (int, bool) {
+	n := b.nl.NumCells()
+	if n < 2 {
+		return 0, true
+	}
+	maxDeg := 0
+	for c := 0; c < n; c++ {
+		maxDeg = max(maxDeg, b.nl.Degree(c))
+	}
+	gb := newGainBuckets(n, max(maxDeg, 1))
+	for c := 0; c < n; c++ {
+		if !budget.TrySpend() {
+			return 0, false
+		}
+		gb.insert(c, -b.moveDelta(c))
+	}
+
+	// Balance legality: each side within n/2 ± tol, i.e.
+	// |size0 − size1| ≤ max(2·tol, n%2).
+	slack := max(2*cfg.Tolerance, n%2)
+	legal := func(s0, s1 int) bool { return abs(s0-s1) <= slack }
+	// A move is allowed if the resulting sizes stay within slack.
+	movable := func(c int) bool {
+		s0, s1 := len(b.members[0]), len(b.members[1])
+		if b.side[c] == 0 {
+			s0, s1 = s0-1, s1+1
+		} else {
+			s0, s1 = s0+1, s1-1
+		}
+		return legal(s0, s1)
+	}
+
+	var history []int
+	cum, bestCum, bestLen := 0, 0, 0
+	complete := true
+
+	for moves := 0; moves < n; moves++ {
+		c := gb.bestMovable(movable)
+		if c < 0 {
+			break
+		}
+		gain := gb.gain[c]
+		gb.remove(c) // lock: moved cells never re-enter the buckets this pass
+		b.moveCell(c)
+		history = append(history, c)
+		cum -= gain // gain reduces the cut; cum tracks the cut delta
+		if cum < bestCum && legal(len(b.members[0]), len(b.members[1])) {
+			bestCum, bestLen = cum, len(history)
+		}
+		// Re-gain every unlocked neighbor of c. Correct (if not maximally
+		// clever) hypergraph gain maintenance; each recomputation charges
+		// the budget.
+		ok := true
+		for _, net := range b.nl.CellNets(c) {
+			for _, nb := range b.nl.Net(net) {
+				if nb == c || !gb.present[nb] {
+					continue
+				}
+				if !budget.TrySpend() {
+					ok = false
+					break
+				}
+				gb.update(nb, -b.moveDelta(nb))
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			complete = false
+			break
+		}
+	}
+
+	// Rewind to the best balanced prefix (moves are self-inverse).
+	for i := len(history) - 1; i >= bestLen; i-- {
+		b.moveCell(history[i])
+	}
+	return -bestCum, complete
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,172 @@
+package partition
+
+import (
+	"testing"
+
+	"mcopt/internal/core"
+	"mcopt/internal/netlist"
+	"mcopt/internal/rng"
+)
+
+func TestMoveDeltaMatchesBrute(t *testing.T) {
+	r := rng.Stream("fm-move", 1)
+	for trial := 0; trial < 10; trial++ {
+		nl := netlist.RandomHyper(r, 14, 40, 2, 5)
+		b := Random(nl, r)
+		for step := 0; step < 100; step++ {
+			c := r.IntN(14)
+			delta := b.moveDelta(c)
+			before := b.CutSize()
+			b.moveCell(c)
+			if want := bruteCut(nl, b.side); b.CutSize() != want {
+				t.Fatalf("trial %d step %d: incremental cut %d, brute %d", trial, step, b.CutSize(), want)
+			}
+			if before+delta != b.CutSize() {
+				t.Fatalf("trial %d step %d: moveDelta %d inconsistent", trial, step, delta)
+			}
+			// Membership bookkeeping must stay coherent.
+			for _, side := range []int{0, 1} {
+				for i, cell := range b.members[side] {
+					if b.side[cell] != side || b.index[cell] != i {
+						t.Fatalf("members/index inconsistent after moveCell")
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFMImprovesWithinBalance(t *testing.T) {
+	r := rng.Stream("fm-improve", 2)
+	for trial := 0; trial < 5; trial++ {
+		nl := netlist.RandomHyper(r, 20, 60, 2, 4)
+		b := Random(nl, r)
+		before := b.CutSize()
+		passes := FiducciaMattheyses(b, core.NewBudget(1<<20), FMConfig{Tolerance: 1})
+		if passes < 1 {
+			t.Fatal("FM ran no passes")
+		}
+		if b.CutSize() > before {
+			t.Fatalf("FM worsened the cut %d -> %d", before, b.CutSize())
+		}
+		if got := bruteCut(nl, b.side); got != b.CutSize() {
+			t.Fatalf("FM left inconsistent state: %d vs %d", b.CutSize(), got)
+		}
+		s0, s1 := b.SideSizes()
+		if d := s0 - s1; d < -2 || d > 2 {
+			t.Fatalf("FM broke balance tolerance: %d/%d", s0, s1)
+		}
+	}
+}
+
+func TestFMFindsCliqueCut(t *testing.T) {
+	nets := [][]int{}
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			nets = append(nets, []int{i, j}, []int{8 + i, 8 + j})
+		}
+	}
+	nets = append(nets, []int{0, 8}, []int{7, 15})
+	nl := netlist.MustNew(16, nets)
+	b := Random(nl, rng.Stream("fm-clique", 3))
+	FiducciaMattheyses(b, core.NewBudget(1<<20), FMConfig{Tolerance: 1})
+	if b.CutSize() != 2 {
+		t.Fatalf("FM cut = %d, want 2", b.CutSize())
+	}
+}
+
+func TestFMBudgetTruncation(t *testing.T) {
+	r := rng.Stream("fm-budget", 4)
+	nl := netlist.RandomGraph(r, 24, 72)
+	b := Random(nl, r)
+	before := b.CutSize()
+	bud := core.NewBudget(50)
+	FiducciaMattheyses(b, bud, FMConfig{Tolerance: 1})
+	if bud.Remaining() != 0 && bud.Used() == 0 {
+		t.Fatal("FM spent nothing despite a budget")
+	}
+	if b.CutSize() > before {
+		t.Fatalf("budget-truncated FM worsened the cut %d -> %d", before, b.CutSize())
+	}
+	if got := bruteCut(nl, b.Sides()); got != b.CutSize() {
+		t.Fatalf("truncated FM left inconsistent state: %d vs %d", b.CutSize(), got)
+	}
+	s0, s1 := b.SideSizes()
+	if d := s0 - s1; d < -2 || d > 2 {
+		t.Fatalf("truncated FM broke balance: %d/%d", s0, s1)
+	}
+}
+
+func TestFMWiderTolerance(t *testing.T) {
+	r := rng.Stream("fm-tol", 5)
+	nl := netlist.RandomHyper(r, 18, 54, 2, 4)
+	b := Random(nl, r)
+	FiducciaMattheyses(b, core.NewBudget(1<<20), FMConfig{Tolerance: 4})
+	s0, s1 := b.SideSizes()
+	if d := s0 - s1; d < -8 || d > 8 {
+		t.Fatalf("tolerance-4 FM ended at %d/%d", s0, s1)
+	}
+}
+
+func TestFMDeterministic(t *testing.T) {
+	nl := netlist.RandomGraph(rng.Stream("fm-det", 6), 16, 48)
+	run := func() int {
+		b := Random(nl, rng.Stream("fm-det-start", 6))
+		FiducciaMattheyses(b, core.NewBudget(100000), FMConfig{Tolerance: 1})
+		return b.CutSize()
+	}
+	if run() != run() {
+		t.Fatal("FM not deterministic")
+	}
+}
+
+func TestFMDegenerate(t *testing.T) {
+	one := MustNew(netlist.MustNew(1, nil), []int{0})
+	if passes := FiducciaMattheyses(one, core.NewBudget(100), FMConfig{}); passes < 1 {
+		t.Fatal("FM on a single cell did not terminate cleanly")
+	}
+}
+
+func TestGainBuckets(t *testing.T) {
+	gb := newGainBuckets(5, 3)
+	gb.insert(0, 2)
+	gb.insert(1, -3)
+	gb.insert(2, 2)
+	gb.insert(3, 0)
+	any := func(int) bool { return true }
+	if c := gb.bestMovable(any); c != 2 && c != 0 {
+		t.Fatalf("bestMovable = %d, want a gain-2 cell", c)
+	}
+	gb.remove(0)
+	gb.remove(2)
+	if c := gb.bestMovable(any); c != 3 {
+		t.Fatalf("bestMovable after removals = %d, want 3", c)
+	}
+	gb.update(1, 1)
+	if c := gb.bestMovable(any); c != 1 {
+		t.Fatalf("bestMovable after update = %d, want 1", c)
+	}
+	gb.remove(1)
+	gb.remove(3)
+	if c := gb.bestMovable(any); c != -1 {
+		t.Fatalf("bestMovable on empty buckets = %d, want -1", c)
+	}
+	// Filtered selection skips ineligible cells within a level.
+	gb.insert(0, 3)
+	gb.insert(4, 3)
+	got := gb.bestMovable(func(c int) bool { return c == 4 })
+	if got != 4 {
+		t.Fatalf("filtered bestMovable = %d, want 4", got)
+	}
+}
+
+func TestGainBucketDoubleInsertPanics(t *testing.T) {
+	gb := newGainBuckets(2, 1)
+	gb.insert(0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double insert did not panic")
+		}
+	}()
+	gb.insert(0, 1)
+}

@@ -1,0 +1,201 @@
+// Package partition implements the circuit partition problem the paper's §5
+// points to ("Experiments were also performed using the Circuit Partition
+// ... problem. Results may be found in [NAHA84]") and that [KIRK83] used as
+// its flagship annealing application: divide a netlist's cells into two
+// equal halves minimizing the number of nets cut.
+//
+// The package provides a balanced bipartition state with O(pins-touched)
+// incremental swap evaluation (a core.Solution/Descender), plus a
+// Kernighan–Lin-style pass baseline — the "proven heuristic" family the
+// paper faults [KIRK83] for not comparing against.
+package partition
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"slices"
+
+	"mcopt/internal/netlist"
+	"mcopt/internal/rng"
+)
+
+// Bipartition is a mutable balanced two-way split of a netlist's cells. For
+// odd cell counts side 0 holds the extra cell. The cut size (number of nets
+// with pins on both sides) is maintained incrementally.
+type Bipartition struct {
+	nl   *netlist.Netlist
+	side []int // side[cell] ∈ {0, 1}
+	// left[net] = number of the net's pins on side 0. A net is cut while
+	// 0 < left < pins.
+	left []int
+	cut  int
+	// Cells of each side, for uniform random pair selection.
+	members [2][]int
+	// index[cell] = position of cell within members[side[cell]].
+	index []int
+	seq   uint64
+}
+
+// New builds a bipartition from an explicit side assignment. sides must be
+// balanced: count(0) − count(1) must be 0 (even cells) or 1 (odd cells).
+func New(nl *netlist.Netlist, sides []int) (*Bipartition, error) {
+	n := nl.NumCells()
+	if len(sides) != n {
+		return nil, fmt.Errorf("partition: %d side entries for %d cells", len(sides), n)
+	}
+	b := &Bipartition{
+		nl:    nl,
+		side:  slices.Clone(sides),
+		left:  make([]int, nl.NumNets()),
+		index: make([]int, n),
+	}
+	for c, s := range sides {
+		if s != 0 && s != 1 {
+			return nil, fmt.Errorf("partition: cell %d assigned side %d, want 0 or 1", c, s)
+		}
+		b.index[c] = len(b.members[s])
+		b.members[s] = append(b.members[s], c)
+	}
+	if len(b.members[0])-len(b.members[1]) != n%2 {
+		return nil, fmt.Errorf("partition: unbalanced sides %d/%d for %d cells",
+			len(b.members[0]), len(b.members[1]), n)
+	}
+	for net := 0; net < nl.NumNets(); net++ {
+		for _, c := range nl.Net(net) {
+			if sides[c] == 0 {
+				b.left[net]++
+			}
+		}
+		if b.isCut(net) {
+			b.cut++
+		}
+	}
+	return b, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(nl *netlist.Netlist, sides []int) *Bipartition {
+	b, err := New(nl, sides)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Random returns a uniformly random balanced bipartition.
+func Random(nl *netlist.Netlist, r *rand.Rand) *Bipartition {
+	n := nl.NumCells()
+	perm := make([]int, n)
+	rng.Perm(r, perm)
+	sides := make([]int, n)
+	for i, c := range perm {
+		if i >= (n+1)/2 {
+			sides[c] = 1
+		}
+	}
+	return MustNew(nl, sides)
+}
+
+func (b *Bipartition) isCut(net int) bool {
+	l := b.left[net]
+	return l > 0 && l < len(b.nl.Net(net))
+}
+
+// CutSize returns the number of nets with pins on both sides — the
+// objective of [KIRK83]'s circuit partition experiments.
+func (b *Bipartition) CutSize() int { return b.cut }
+
+// Netlist returns the underlying netlist.
+func (b *Bipartition) Netlist() *netlist.Netlist { return b.nl }
+
+// Side returns the side (0 or 1) of the given cell.
+func (b *Bipartition) Side(cell int) int { return b.side[cell] }
+
+// Sides returns a copy of the full assignment.
+func (b *Bipartition) Sides() []int { return slices.Clone(b.side) }
+
+// SideSizes returns the two side cardinalities.
+func (b *Bipartition) SideSizes() (int, int) { return len(b.members[0]), len(b.members[1]) }
+
+// Clone returns a deep copy sharing only the immutable netlist.
+func (b *Bipartition) Clone() *Bipartition {
+	cp := &Bipartition{
+		nl:    b.nl,
+		side:  slices.Clone(b.side),
+		left:  slices.Clone(b.left),
+		cut:   b.cut,
+		index: slices.Clone(b.index),
+	}
+	cp.members[0] = slices.Clone(b.members[0])
+	cp.members[1] = slices.Clone(b.members[1])
+	return cp
+}
+
+// SwapDelta returns the cut-size change from exchanging cell a (side 0)
+// with cell b (side 1), without applying it.
+func (b *Bipartition) SwapDelta(a, c int) int {
+	if b.side[a] == b.side[c] {
+		panic(fmt.Sprintf("partition: SwapDelta(%d, %d) on same-side cells", a, c))
+	}
+	if b.side[a] == 1 {
+		a, c = c, a
+	}
+	delta := 0
+	// Moving a from side 0 to 1: its nets lose a left pin. Moving c the
+	// other way: its nets gain one. Nets containing both are unchanged.
+	for _, net := range b.nl.CellNets(a) {
+		if containsCell(b.nl.Net(net), c) {
+			continue
+		}
+		pins := len(b.nl.Net(net))
+		switch b.left[net] {
+		case 1:
+			delta-- // was cut, becomes all-right
+		case pins:
+			delta++ // was all-left, becomes cut
+		}
+	}
+	for _, net := range b.nl.CellNets(c) {
+		if containsCell(b.nl.Net(net), a) {
+			continue
+		}
+		pins := len(b.nl.Net(net))
+		switch b.left[net] {
+		case pins - 1:
+			delta-- // was cut, becomes all-left
+		case 0:
+			delta++ // was all-right, becomes cut
+		}
+	}
+	return delta
+}
+
+// Swap exchanges the sides of cells a and c (which must be on opposite
+// sides), updating the cut incrementally.
+func (b *Bipartition) Swap(a, c int) {
+	if b.side[a] == b.side[c] {
+		panic(fmt.Sprintf("partition: Swap(%d, %d) on same-side cells", a, c))
+	}
+	if b.side[a] == 1 {
+		a, c = c, a
+	}
+	b.cut += b.SwapDelta(a, c)
+	b.seq++
+	// a: 0 → 1, c: 1 → 0.
+	for _, net := range b.nl.CellNets(a) {
+		b.left[net]--
+	}
+	for _, net := range b.nl.CellNets(c) {
+		b.left[net]++
+	}
+	ia, ic := b.index[a], b.index[c]
+	b.members[0][ia], b.members[1][ic] = c, a
+	b.index[a], b.index[c] = ic, ia
+	b.side[a], b.side[c] = 1, 0
+}
+
+// containsCell reports membership in a sorted pin list.
+func containsCell(pins []int, c int) bool {
+	_, ok := slices.BinarySearch(pins, c)
+	return ok
+}

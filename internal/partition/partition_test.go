@@ -1,0 +1,141 @@
+package partition
+
+import (
+	"testing"
+
+	"mcopt/internal/netlist"
+	"mcopt/internal/rng"
+)
+
+// bruteCut recomputes the cut size from first principles.
+func bruteCut(nl *netlist.Netlist, side []int) int {
+	cut := 0
+	for n := 0; n < nl.NumNets(); n++ {
+		first := side[nl.Net(n)[0]]
+		for _, c := range nl.Net(n)[1:] {
+			if side[c] != first {
+				cut++
+				break
+			}
+		}
+	}
+	return cut
+}
+
+func TestNewValidates(t *testing.T) {
+	nl := netlist.MustNew(4, [][]int{{0, 1}})
+	for name, sides := range map[string][]int{
+		"wrong length": {0, 1, 0},
+		"bad side":     {0, 1, 0, 2},
+		"unbalanced":   {0, 0, 0, 1},
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := New(nl, sides); err == nil {
+				t.Fatalf("New accepted %v", sides)
+			}
+		})
+	}
+}
+
+func TestOddCellCountBalance(t *testing.T) {
+	nl := netlist.MustNew(5, [][]int{{0, 1}})
+	if _, err := New(nl, []int{0, 0, 0, 1, 1}); err != nil {
+		t.Fatalf("3/2 split rejected for 5 cells: %v", err)
+	}
+	if _, err := New(nl, []int{0, 0, 1, 1, 1}); err == nil {
+		t.Fatal("2/3 split accepted (side 0 must hold the extra cell)")
+	}
+}
+
+func TestCutSizeHandComputed(t *testing.T) {
+	// Sides {0,0,1,1}: nets {0,1} uncut, {2,3} uncut, {0,2} cut, {1,2,3} cut.
+	nl := netlist.MustNew(4, [][]int{{0, 1}, {2, 3}, {0, 2}, {1, 2, 3}})
+	b := MustNew(nl, []int{0, 0, 1, 1})
+	if b.CutSize() != 2 {
+		t.Fatalf("CutSize = %d, want 2", b.CutSize())
+	}
+}
+
+func TestRandomIsBalanced(t *testing.T) {
+	r := rng.Stream("part-balance", 1)
+	for _, cells := range []int{2, 7, 64} {
+		nl := netlist.RandomGraph(r, cells, 3*cells)
+		b := Random(nl, r)
+		s0, s1 := b.SideSizes()
+		if s0-s1 != cells%2 || s0+s1 != cells {
+			t.Fatalf("%d cells split %d/%d", cells, s0, s1)
+		}
+	}
+}
+
+func TestSwapMatchesBruteForce(t *testing.T) {
+	r := rng.Stream("part-swap", 2)
+	for trial := 0; trial < 10; trial++ {
+		nl := netlist.RandomHyper(r, 16, 48, 2, 5)
+		b := Random(nl, r)
+		for step := 0; step < 200; step++ {
+			a := b.members[0][r.IntN(len(b.members[0]))]
+			c := b.members[1][r.IntN(len(b.members[1]))]
+			delta := b.SwapDelta(a, c)
+			before := b.CutSize()
+			b.Swap(a, c)
+			if want := bruteCut(nl, b.side); b.CutSize() != want {
+				t.Fatalf("trial %d step %d: incremental cut %d, brute %d", trial, step, b.CutSize(), want)
+			}
+			if before+delta != b.CutSize() {
+				t.Fatalf("trial %d step %d: delta %d inconsistent (%d -> %d)",
+					trial, step, delta, before, b.CutSize())
+			}
+			if b.Side(a) != 1 || b.Side(c) != 0 {
+				t.Fatalf("sides not exchanged")
+			}
+			s0, s1 := b.SideSizes()
+			if s0 != 8 || s1 != 8 {
+				t.Fatalf("balance broken: %d/%d", s0, s1)
+			}
+		}
+	}
+}
+
+func TestSwapNetWithBothCellsUnchanged(t *testing.T) {
+	// Net {0,1} spans the swap pair and net {2,3} is untouched: swapping 0
+	// and 1 must not change either net's cut status.
+	nl := netlist.MustNew(4, [][]int{{0, 1}, {2, 3}})
+	b := MustNew(nl, []int{0, 1, 1, 0})
+	if b.CutSize() != 2 {
+		t.Fatalf("setup cut = %d, want 2", b.CutSize())
+	}
+	if d := b.SwapDelta(0, 1); d != 0 {
+		t.Fatalf("SwapDelta across shared net = %d, want 0", d)
+	}
+	b.Swap(0, 1)
+	if b.CutSize() != 2 {
+		t.Fatalf("cut changed to %d", b.CutSize())
+	}
+}
+
+func TestSwapSameSidePanics(t *testing.T) {
+	nl := netlist.MustNew(4, [][]int{{0, 1}})
+	b := MustNew(nl, []int{0, 0, 1, 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("same-side swap did not panic")
+		}
+	}()
+	b.Swap(0, 1)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	r := rng.Stream("part-clone", 3)
+	nl := netlist.RandomGraph(r, 10, 30)
+	b := Random(nl, r)
+	before := b.CutSize()
+	cp := b.Clone()
+	cp.Swap(cp.members[0][0], cp.members[1][0])
+	if b.CutSize() != before {
+		t.Fatal("mutating clone changed original")
+	}
+	if got := bruteCut(nl, cp.side); cp.CutSize() != got {
+		t.Fatalf("clone cut %d, brute %d", cp.CutSize(), got)
+	}
+}

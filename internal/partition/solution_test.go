@@ -1,0 +1,207 @@
+package partition
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"mcopt/internal/core"
+	"mcopt/internal/gfunc"
+	"mcopt/internal/netlist"
+	"mcopt/internal/rng"
+)
+
+func TestProposeDeltaConsistent(t *testing.T) {
+	r := rng.Stream("part-propose", 1)
+	nl := netlist.RandomHyper(r, 20, 60, 2, 4)
+	s := NewSolution(Random(nl, r))
+	for i := 0; i < 300; i++ {
+		m := s.Propose(r)
+		before := s.CutSize()
+		m.Apply()
+		if float64(s.CutSize()-before) != m.Delta() {
+			t.Fatalf("step %d: Delta %v vs actual %d", i, m.Delta(), s.CutSize()-before)
+		}
+	}
+}
+
+func TestStaleProposePanics(t *testing.T) {
+	r := rng.Stream("part-stale", 2)
+	nl := netlist.RandomGraph(r, 8, 20)
+	s := NewSolution(Random(nl, r))
+	m1 := s.Propose(r)
+	s.Propose(r).Apply()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("stale move applied without panic")
+		}
+	}()
+	m1.Apply()
+}
+
+func TestDescendReachesLocalOptimum(t *testing.T) {
+	r := rng.Stream("part-descend", 3)
+	nl := netlist.RandomHyper(r, 14, 40, 2, 4)
+	s := NewSolution(Random(nl, r))
+	if !s.Descend(core.NewBudget(1 << 20)) {
+		t.Fatal("descend did not complete")
+	}
+	b := s.Bipartition()
+	for _, a := range b.members[0] {
+		for _, c := range b.members[1] {
+			if b.SwapDelta(a, c) < 0 {
+				t.Fatalf("improving swap (%d,%d) remains after descend", a, c)
+			}
+		}
+	}
+}
+
+func TestDescendRespectsBudget(t *testing.T) {
+	r := rng.Stream("part-descend-budget", 4)
+	nl := netlist.RandomGraph(r, 32, 96)
+	s := NewSolution(Random(nl, r))
+	bud := core.NewBudget(5)
+	if s.Descend(bud) {
+		t.Fatal("descend claimed completion with 5 evals")
+	}
+	if bud.Used() != 5 {
+		t.Fatalf("descend used %d, want 5", bud.Used())
+	}
+}
+
+func TestSingleCellDegenerate(t *testing.T) {
+	nl := netlist.MustNew(1, nil)
+	s := NewSolution(MustNew(nl, []int{0}))
+	r := rng.Stream("part-single", 5)
+	m := s.Propose(r)
+	if m.Delta() != 0 {
+		t.Fatal("degenerate proposal has nonzero delta")
+	}
+	m.Apply()
+	if !s.Descend(core.NewBudget(10)) {
+		t.Fatal("descend on single cell did not complete")
+	}
+}
+
+func TestEngineOnPartition(t *testing.T) {
+	// End-to-end: Figure 1 with g = 1 must reduce the cut of a clustered
+	// instance whose natural bipartition is obvious.
+	r := rng.Stream("part-engine", 6)
+	nets := [][]int{}
+	// Two 8-cell cliques joined by two bridge nets.
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			nets = append(nets, []int{i, j}, []int{8 + i, 8 + j})
+		}
+	}
+	nets = append(nets, []int{0, 8}, []int{7, 15})
+	nl := netlist.MustNew(16, nets)
+	s := NewSolution(Random(nl, r))
+	res := core.Figure1{G: gfunc.One()}.Run(s, core.NewBudget(4000), r)
+	if res.BestCost > 2 {
+		t.Fatalf("best cut %g, want the natural 2-net cut", res.BestCost)
+	}
+}
+
+func TestKernighanLinImprovesAndTerminates(t *testing.T) {
+	r := rng.Stream("part-kl", 7)
+	for trial := 0; trial < 5; trial++ {
+		nl := netlist.RandomHyper(r, 16, 48, 2, 4)
+		b := Random(nl, r)
+		before := b.CutSize()
+		passes := KernighanLin(b, core.NewBudget(1<<20))
+		if passes < 1 {
+			t.Fatal("KL ran no passes despite ample budget")
+		}
+		if b.CutSize() > before {
+			t.Fatalf("KL worsened the cut %d -> %d", before, b.CutSize())
+		}
+		if got := bruteCut(nl, b.side); got != b.CutSize() {
+			t.Fatalf("KL left inconsistent incremental state: %d vs %d", b.CutSize(), got)
+		}
+		s0, s1 := b.SideSizes()
+		if s0 != 8 || s1 != 8 {
+			t.Fatalf("KL broke balance: %d/%d", s0, s1)
+		}
+	}
+}
+
+func TestKernighanLinFindsCliqueCut(t *testing.T) {
+	// Same clustered instance as the engine test: KL should find the 2-net cut.
+	nets := [][]int{}
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			nets = append(nets, []int{i, j}, []int{8 + i, 8 + j})
+		}
+	}
+	nets = append(nets, []int{0, 8}, []int{7, 15})
+	nl := netlist.MustNew(16, nets)
+	r := rng.Stream("part-kl-clique", 8)
+	b := Random(nl, r)
+	KernighanLin(b, core.NewBudget(1<<20))
+	if b.CutSize() != 2 {
+		t.Fatalf("KL cut = %d, want 2", b.CutSize())
+	}
+}
+
+func TestKernighanLinBudgetTruncation(t *testing.T) {
+	r := rng.Stream("part-kl-budget", 9)
+	nl := netlist.RandomGraph(r, 20, 60)
+	b := Random(nl, r)
+	before := b.CutSize()
+	bud := core.NewBudget(37)
+	KernighanLin(b, bud)
+	if bud.Used() != 37 {
+		t.Fatalf("KL used %d of 37", bud.Used())
+	}
+	if b.CutSize() > before {
+		t.Fatalf("budget-truncated KL worsened the cut %d -> %d", before, b.CutSize())
+	}
+	if got := bruteCut(nl, b.Sides()); got != b.CutSize() {
+		t.Fatalf("truncated KL left inconsistent state: %d vs %d", b.CutSize(), got)
+	}
+}
+
+func TestProposeUniformOverPairs(t *testing.T) {
+	nl := netlist.MustNew(4, [][]int{{0, 1}, {2, 3}})
+	s := NewSolution(MustNew(nl, []int{0, 0, 1, 1}))
+	r := rand.New(rand.NewPCG(1, 2))
+	seen := map[[2]int]int{}
+	for i := 0; i < 400; i++ {
+		m := s.Propose(r).(*swapMove)
+		seen[[2]int{m.a, m.c}]++
+	}
+	if len(seen) != 4 {
+		t.Fatalf("saw %d distinct cross pairs, want 4", len(seen))
+	}
+}
+
+func TestEnumerableCrossPairs(t *testing.T) {
+	r := rng.Stream("part-enum", 10)
+	nl := netlist.RandomHyper(r, 10, 30, 2, 4)
+	s := NewSolution(Random(nl, r))
+	if got, want := s.NeighborhoodSize(), 25; got != want {
+		t.Fatalf("neighborhood size %d, want %d", got, want)
+	}
+	for idx := 0; idx < s.NeighborhoodSize(); idx++ {
+		m := s.EvalNeighbor(idx)
+		before := s.CutSize()
+		m.Apply()
+		if s.CutSize()-before != int(m.Delta()) {
+			t.Fatalf("neighbor %d delta mismatch", idx)
+		}
+		s.EvalNeighbor(idx).Apply() // same index swaps the pair back
+		if s.CutSize() != before {
+			t.Fatalf("neighbor %d not self-inverse", idx)
+		}
+	}
+}
+
+func TestRejectionlessOnPartition(t *testing.T) {
+	r := rng.Stream("part-rejless", 11)
+	nl := netlist.RandomHyper(r, 16, 48, 2, 4)
+	s := NewSolution(Random(nl, r))
+	res := core.Rejectionless{G: gfunc.Metropolis(1)}.Run(s, core.NewBudget(30000), r)
+	if res.Reduction() <= 0 {
+		t.Fatal("rejectionless made no progress on partition")
+	}
+}

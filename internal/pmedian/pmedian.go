@@ -1,0 +1,226 @@
+// Package pmedian implements the location half of [GOLD84] ("Using
+// simulated annealing to solve routing and location problems"), whose
+// findings the paper's §2 recounts: the p-median problem — choose p of n
+// sites as medians minimizing the total distance from every site to its
+// nearest median — with the classic vertex-substitution heuristics
+// (greedy construction; Teitz–Bart interchange) as the proven baselines
+// annealing must beat.
+//
+// The state maintains first- and second-nearest median caches so that a
+// swap (close one median, open another) evaluates in O(n).
+package pmedian
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"slices"
+
+	"mcopt/internal/tsp"
+)
+
+// Instance is a symmetric p-median instance over n sites: every site is a
+// customer, any site can host a median. Distances come from a Euclidean
+// point set (reusing the tsp substrate's geometry).
+type Instance struct {
+	geo *tsp.Instance
+	p   int
+}
+
+// NewInstance wraps a Euclidean site set with a median count. Requires
+// 1 ≤ p < n.
+func NewInstance(geo *tsp.Instance, p int) (*Instance, error) {
+	if p < 1 || p >= geo.N() {
+		return nil, fmt.Errorf("pmedian: p = %d outside [1, %d)", p, geo.N())
+	}
+	return &Instance{geo: geo, p: p}, nil
+}
+
+// MustNewInstance is NewInstance but panics on error.
+func MustNewInstance(geo *tsp.Instance, p int) *Instance {
+	inst, err := NewInstance(geo, p)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// RandomEuclidean generates an instance with n uniform sites and p medians.
+func RandomEuclidean(r *rand.Rand, n, p int) *Instance {
+	return MustNewInstance(tsp.RandomEuclidean(r, n), p)
+}
+
+// N returns the number of sites.
+func (inst *Instance) N() int { return inst.geo.N() }
+
+// P returns the number of medians to place.
+func (inst *Instance) P() int { return inst.p }
+
+// Dist returns the distance between sites i and j.
+func (inst *Instance) Dist(i, j int) float64 { return inst.geo.Dist(i, j) }
+
+// Cost computes the total assignment distance of an explicit median set.
+func (inst *Instance) Cost(medians []int) float64 {
+	total := 0.0
+	for c := 0; c < inst.N(); c++ {
+		best := math.Inf(1)
+		for _, m := range medians {
+			best = math.Min(best, inst.Dist(c, m))
+		}
+		total += best
+	}
+	return total
+}
+
+// Medians is a mutable median set with O(n) swap evaluation via first- and
+// second-nearest caches.
+type Medians struct {
+	inst   *Instance
+	open   []bool // open[s]: site s hosts a median
+	chosen []int  // the p open sites
+	index  []int  // index[s] = position of s in chosen, or -1
+	// near1/near2 are each customer's nearest and second-nearest open
+	// sites; d1/d2 the corresponding distances.
+	near1, near2 []int
+	d1, d2       []float64
+	cost         float64
+	seq          uint64
+}
+
+// NewMedians builds the state from an explicit median set (p distinct
+// sites).
+func NewMedians(inst *Instance, medians []int) (*Medians, error) {
+	if len(medians) != inst.p {
+		return nil, fmt.Errorf("pmedian: %d medians, want %d", len(medians), inst.p)
+	}
+	m := &Medians{
+		inst:   inst,
+		open:   make([]bool, inst.N()),
+		chosen: slices.Clone(medians),
+		index:  make([]int, inst.N()),
+		near1:  make([]int, inst.N()),
+		near2:  make([]int, inst.N()),
+		d1:     make([]float64, inst.N()),
+		d2:     make([]float64, inst.N()),
+	}
+	for i := range m.index {
+		m.index[i] = -1
+	}
+	for i, s := range medians {
+		if s < 0 || s >= inst.N() {
+			return nil, fmt.Errorf("pmedian: median %d out of range", s)
+		}
+		if m.open[s] {
+			return nil, fmt.Errorf("pmedian: median %d repeated", s)
+		}
+		m.open[s] = true
+		m.index[s] = i
+	}
+	m.rebuild()
+	return m, nil
+}
+
+// MustNewMedians is NewMedians but panics on error.
+func MustNewMedians(inst *Instance, medians []int) *Medians {
+	m, err := NewMedians(inst, medians)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Random places p medians uniformly at random.
+func Random(inst *Instance, r *rand.Rand) *Medians {
+	perm := make([]int, inst.N())
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := 0; i < inst.p; i++ {
+		j := i + r.IntN(inst.N()-i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return MustNewMedians(inst, perm[:inst.p])
+}
+
+// rebuild recomputes the nearest caches and cost from scratch — O(n·p).
+func (m *Medians) rebuild() {
+	m.cost = 0
+	for c := 0; c < m.inst.N(); c++ {
+		m.near1[c], m.near2[c] = -1, -1
+		m.d1[c], m.d2[c] = math.Inf(1), math.Inf(1)
+		for _, s := range m.chosen {
+			d := m.inst.Dist(c, s)
+			switch {
+			case d < m.d1[c]:
+				m.near2[c], m.d2[c] = m.near1[c], m.d1[c]
+				m.near1[c], m.d1[c] = s, d
+			case d < m.d2[c]:
+				m.near2[c], m.d2[c] = s, d
+			}
+		}
+		m.cost += m.d1[c]
+	}
+}
+
+// Cost returns the maintained total assignment distance.
+func (m *Medians) Cost() float64 { return m.cost }
+
+// Instance returns the underlying instance.
+func (m *Medians) Instance() *Instance { return m.inst }
+
+// Chosen returns a copy of the current median set.
+func (m *Medians) Chosen() []int { return slices.Clone(m.chosen) }
+
+// IsOpen reports whether site s currently hosts a median.
+func (m *Medians) IsOpen(s int) bool { return m.open[s] }
+
+// SwapDelta returns the cost change from closing median `out` and opening
+// site `in`, in O(n) via the nearest caches.
+func (m *Medians) SwapDelta(out, in int) float64 {
+	if !m.open[out] || m.open[in] {
+		panic(fmt.Sprintf("pmedian: SwapDelta(%d, %d): out must be open and in closed", out, in))
+	}
+	delta := 0.0
+	for c := 0; c < m.inst.N(); c++ {
+		dIn := m.inst.Dist(c, in)
+		if m.near1[c] == out {
+			// Customer loses its nearest median: it moves to `in` or to its
+			// second nearest, whichever is closer.
+			delta += math.Min(dIn, m.d2[c]) - m.d1[c]
+		} else if dIn < m.d1[c] {
+			// Keeps its median but `in` is closer.
+			delta += dIn - m.d1[c]
+		}
+	}
+	return delta
+}
+
+// Swap closes `out`, opens `in`, and refreshes the caches.
+func (m *Medians) Swap(out, in int) {
+	delta := m.SwapDelta(out, in)
+	m.seq++
+	i := m.index[out]
+	m.chosen[i] = in
+	m.index[out], m.index[in] = -1, i
+	m.open[out], m.open[in] = false, true
+	m.rebuild()
+	// rebuild recomputes cost exactly; delta retained only for debugging
+	// assertions in tests.
+	_ = delta
+}
+
+// Clone returns a deep copy sharing only the immutable instance.
+func (m *Medians) Clone() *Medians {
+	return &Medians{
+		inst:   m.inst,
+		open:   slices.Clone(m.open),
+		chosen: slices.Clone(m.chosen),
+		index:  slices.Clone(m.index),
+		near1:  slices.Clone(m.near1),
+		near2:  slices.Clone(m.near2),
+		d1:     slices.Clone(m.d1),
+		d2:     slices.Clone(m.d2),
+		cost:   m.cost,
+		seq:    m.seq,
+	}
+}

@@ -1,0 +1,247 @@
+package pmedian
+
+import (
+	"math"
+	"testing"
+
+	"mcopt/internal/core"
+	"mcopt/internal/gfunc"
+	"mcopt/internal/rng"
+	"mcopt/internal/tsp"
+)
+
+const eps = 1e-9
+
+func TestNewInstanceValidates(t *testing.T) {
+	geo := tsp.RandomEuclidean(rng.Stream("pm-valid", 1), 10)
+	for _, p := range []int{0, 10, 11, -1} {
+		if _, err := NewInstance(geo, p); err == nil {
+			t.Fatalf("p = %d accepted", p)
+		}
+	}
+	if _, err := NewInstance(geo, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostHandComputed(t *testing.T) {
+	geo := tsp.MustNewInstance([]tsp.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 4, Y: 0}, {X: 5, Y: 0}})
+	inst := MustNewInstance(geo, 2)
+	// Medians at 0 and 3: customers 1 -> 0 (dist 1), 2 -> 3 (dist 1).
+	if got := inst.Cost([]int{0, 3}); math.Abs(got-2) > eps {
+		t.Fatalf("Cost = %g, want 2", got)
+	}
+	m := MustNewMedians(inst, []int{0, 3})
+	if math.Abs(m.Cost()-2) > eps {
+		t.Fatalf("maintained cost = %g, want 2", m.Cost())
+	}
+}
+
+func TestNewMediansValidates(t *testing.T) {
+	inst := RandomEuclidean(rng.Stream("pm-medians", 2), 8, 3)
+	for name, ms := range map[string][]int{
+		"short":    {0, 1},
+		"repeat":   {0, 1, 1},
+		"range":    {0, 1, 8},
+		"negative": {0, 1, -1},
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := NewMedians(inst, ms); err == nil {
+				t.Fatalf("accepted %v", ms)
+			}
+		})
+	}
+}
+
+func TestSwapDeltaMatchesRecompute(t *testing.T) {
+	r := rng.Stream("pm-swap", 3)
+	inst := RandomEuclidean(r, 25, 5)
+	m := Random(inst, r)
+	for step := 0; step < 300; step++ {
+		out := m.chosen[r.IntN(5)]
+		in := out
+		for m.open[in] {
+			in = r.IntN(25)
+		}
+		delta := m.SwapDelta(out, in)
+		before := m.Cost()
+		m.Swap(out, in)
+		want := inst.Cost(m.Chosen())
+		if math.Abs(m.Cost()-want) > 1e-6 {
+			t.Fatalf("step %d: maintained cost %g, recomputed %g", step, m.Cost(), want)
+		}
+		if math.Abs(before+delta-m.Cost()) > 1e-6 {
+			t.Fatalf("step %d: delta %g inconsistent (%g -> %g)", step, delta, before, m.Cost())
+		}
+		if m.IsOpen(out) || !m.IsOpen(in) {
+			t.Fatalf("step %d: open flags not exchanged", step)
+		}
+	}
+}
+
+func TestSwapDeltaPanicsOnBadArgs(t *testing.T) {
+	inst := RandomEuclidean(rng.Stream("pm-panic", 4), 6, 2)
+	m := MustNewMedians(inst, []int{0, 1})
+	for name, f := range map[string]func(){
+		"out closed": func() { m.SwapDelta(2, 3) },
+		"in open":    func() { m.SwapDelta(0, 1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			f()
+		})
+	}
+}
+
+func TestProposeAndCloneIndependence(t *testing.T) {
+	r := rng.Stream("pm-propose", 5)
+	inst := RandomEuclidean(r, 20, 4)
+	s := NewSolution(Random(inst, r))
+	before := s.Cost()
+	cp := s.Clone().(*Solution)
+	for i := 0; i < 50; i++ {
+		m := cp.Propose(r)
+		prev := cp.Cost()
+		m.Apply()
+		if math.Abs(prev+m.Delta()-cp.Cost()) > 1e-6 {
+			t.Fatalf("step %d: proposal delta inconsistent", i)
+		}
+	}
+	if s.Cost() != before {
+		t.Fatal("mutating clone changed original")
+	}
+}
+
+func TestStaleMovePanics(t *testing.T) {
+	r := rng.Stream("pm-stale", 6)
+	inst := RandomEuclidean(r, 12, 3)
+	s := NewSolution(Random(inst, r))
+	m1 := s.Propose(r)
+	s.Propose(r).Apply()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("stale move applied without panic")
+		}
+	}()
+	m1.Apply()
+}
+
+func TestDescendTeitzBartOptimal(t *testing.T) {
+	r := rng.Stream("pm-descend", 7)
+	inst := RandomEuclidean(r, 18, 4)
+	s := NewSolution(Random(inst, r))
+	start := s.Cost()
+	if !s.Descend(core.NewBudget(1 << 22)) {
+		t.Fatal("descend did not finish")
+	}
+	if s.Cost() > start+eps {
+		t.Fatal("descend increased the cost")
+	}
+	for _, out := range s.Medians().Chosen() {
+		for in := 0; in < 18; in++ {
+			if s.Medians().IsOpen(in) {
+				continue
+			}
+			if s.Medians().SwapDelta(out, in) < -1e-9 {
+				t.Fatalf("improving substitution (%d,%d) remains", out, in)
+			}
+		}
+	}
+}
+
+func TestDescendRespectsBudget(t *testing.T) {
+	r := rng.Stream("pm-budget", 8)
+	inst := RandomEuclidean(r, 30, 6)
+	s := NewSolution(Random(inst, r))
+	b := core.NewBudget(10)
+	if s.Descend(b) {
+		t.Fatal("descend claimed completion in 10 evals")
+	}
+	if b.Used() != 10 {
+		t.Fatalf("used %d of 10", b.Used())
+	}
+}
+
+func TestGreedyQuality(t *testing.T) {
+	r := rng.Stream("pm-greedy", 9)
+	worseCount := 0
+	for trial := 0; trial < 10; trial++ {
+		inst := RandomEuclidean(r, 30, 5)
+		greedy := inst.Cost(Greedy(inst, core.NewBudget(1<<22)))
+		random := Random(inst, r).Cost()
+		if greedy >= random {
+			worseCount++
+		}
+	}
+	if worseCount > 1 {
+		t.Fatalf("greedy lost to random on %d/10 instances", worseCount)
+	}
+}
+
+func TestGreedyBudgetTruncationStillValid(t *testing.T) {
+	inst := RandomEuclidean(rng.Stream("pm-greedy-budget", 10), 20, 6)
+	chosen := Greedy(inst, core.NewBudget(5))
+	if len(chosen) != 6 {
+		t.Fatalf("truncated greedy returned %d medians, want 6", len(chosen))
+	}
+	seen := map[int]bool{}
+	for _, s := range chosen {
+		if seen[s] {
+			t.Fatal("truncated greedy repeated a median")
+		}
+		seen[s] = true
+	}
+}
+
+func TestInterchangeRestarts(t *testing.T) {
+	r := rng.Stream("pm-restarts", 11)
+	inst := RandomEuclidean(r, 25, 5)
+	b := core.NewBudget(20000)
+	best, starts := InterchangeRestarts(inst, b, r)
+	if starts < 1 || !b.Exhausted() {
+		t.Fatalf("restarts = %d, exhausted = %v", starts, b.Exhausted())
+	}
+	if best.Cost() >= Random(inst, r).Cost() {
+		t.Fatal("restarts best no better than a fresh random set")
+	}
+}
+
+func TestEnumerableSubstitutions(t *testing.T) {
+	r := rng.Stream("pm-enum", 12)
+	inst := RandomEuclidean(r, 10, 3)
+	s := NewSolution(Random(inst, r))
+	if got, want := s.NeighborhoodSize(), 3*7; got != want {
+		t.Fatalf("neighborhood = %d, want %d", got, want)
+	}
+	for idx := 0; idx < s.NeighborhoodSize(); idx++ {
+		m := s.EvalNeighbor(idx)
+		before := s.Cost()
+		m.Apply()
+		if math.Abs(before+m.Delta()-s.Cost()) > 1e-6 {
+			t.Fatalf("neighbor %d delta mismatch", idx)
+		}
+	}
+}
+
+func TestEngineOnPMedian(t *testing.T) {
+	// Clustered sites: four tight clusters, p = 4. Annealing should place
+	// one median per cluster, reaching a near-zero cost.
+	pts := []tsp.Point{}
+	for _, c := range []tsp.Point{{X: 0.1, Y: 0.1}, {X: 0.9, Y: 0.1}, {X: 0.1, Y: 0.9}, {X: 0.9, Y: 0.9}} {
+		for k := 0; k < 5; k++ {
+			pts = append(pts, tsp.Point{X: c.X + 0.01*float64(k), Y: c.Y + 0.013*float64(k)})
+		}
+	}
+	inst := MustNewInstance(tsp.MustNewInstance(pts), 4)
+	r := rng.Stream("pm-engine", 13)
+	s := NewSolution(Random(inst, r))
+	res := core.Figure1{G: gfunc.One()}.Run(s, core.NewBudget(8000), r)
+	// Spread-out medians cost ~0.0x; a median missing a cluster costs ≥ 1.
+	if res.BestCost > 0.9 {
+		t.Fatalf("annealing left a cluster unserved: cost %g", res.BestCost)
+	}
+}

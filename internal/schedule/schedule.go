@@ -1,0 +1,55 @@
+// Package schedule builds temperature vectors (the paper's Y₁…Y_k) for
+// multi-level g classes. Two published shapes are provided: the geometric
+// schedule of [KIRK83] ("Y₁ = 10, Yᵢ = 0.9·Yᵢ₋₁") and the uniform grid of
+// [GOLD84] ("25 uniformly distributed points in some interval (0, τ)").
+package schedule
+
+import "fmt"
+
+// Geometric returns the k-level schedule y1, y1·ratio, y1·ratio², … —
+// the Kirkpatrick exponential cooling shape. y1 and ratio must be positive.
+func Geometric(y1, ratio float64, k int) []float64 {
+	if k < 1 {
+		panic(fmt.Sprintf("schedule: Geometric: k = %d, need at least 1", k))
+	}
+	if y1 <= 0 || ratio <= 0 {
+		panic(fmt.Sprintf("schedule: Geometric: y1 = %g, ratio = %g must be positive", y1, ratio))
+	}
+	ys := make([]float64, k)
+	y := y1
+	for i := range ys {
+		ys[i] = y
+		y *= ratio
+	}
+	return ys
+}
+
+// Uniform returns k evenly spaced levels descending from tau to tau/k —
+// the Golden–Skiscim shape. tau must be positive.
+func Uniform(tau float64, k int) []float64 {
+	if k < 1 {
+		panic(fmt.Sprintf("schedule: Uniform: k = %d, need at least 1", k))
+	}
+	if tau <= 0 {
+		panic(fmt.Sprintf("schedule: Uniform: tau = %g must be positive", tau))
+	}
+	ys := make([]float64, k)
+	for i := range ys {
+		ys[i] = tau * float64(k-i) / float64(k)
+	}
+	return ys
+}
+
+// Scaled multiplies every level of a schedule by c, returning a new slice.
+// The §4.2.1 tuner explores multiplicative scalings of a base schedule.
+func Scaled(ys []float64, c float64) []float64 {
+	out := make([]float64, len(ys))
+	for i, y := range ys {
+		out[i] = y * c
+	}
+	return out
+}
+
+// Kirkpatrick returns the exact six-level schedule quoted in §1 for the
+// circuit partition problem: Y₁ = 10, Yᵢ = 0.9·Yᵢ₋₁.
+func Kirkpatrick() []float64 { return Geometric(10, 0.9, 6) }

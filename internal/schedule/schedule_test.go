@@ -1,0 +1,83 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGeometric(t *testing.T) {
+	ys := Geometric(10, 0.9, 6)
+	want := []float64{10, 9, 8.1, 7.29, 6.561, 5.9049}
+	if len(ys) != 6 {
+		t.Fatalf("len = %d, want 6", len(ys))
+	}
+	for i := range want {
+		if math.Abs(ys[i]-want[i]) > 1e-9 {
+			t.Errorf("level %d = %g, want %g", i, ys[i], want[i])
+		}
+	}
+}
+
+func TestKirkpatrickMatchesPaperQuote(t *testing.T) {
+	// §1: "the schedule used was Y1 = 10, Yi = 0.9*Yi-1, 2 <= i <= 6".
+	ys := Kirkpatrick()
+	if len(ys) != 6 || ys[0] != 10 {
+		t.Fatalf("Kirkpatrick() = %v", ys)
+	}
+	for i := 1; i < 6; i++ {
+		if math.Abs(ys[i]-0.9*ys[i-1]) > 1e-12 {
+			t.Fatalf("ratio broken at level %d: %v", i, ys)
+		}
+	}
+}
+
+func TestUniform(t *testing.T) {
+	ys := Uniform(25, 5)
+	want := []float64{25, 20, 15, 10, 5}
+	for i := range want {
+		if math.Abs(ys[i]-want[i]) > 1e-12 {
+			t.Errorf("level %d = %g, want %g", i, ys[i], want[i])
+		}
+	}
+	for i := 1; i < len(ys); i++ {
+		if ys[i] >= ys[i-1] {
+			t.Fatal("Uniform schedule not strictly decreasing")
+		}
+	}
+	if ys[len(ys)-1] <= 0 {
+		t.Fatal("Uniform schedule reached a non-positive level")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	base := []float64{4, 2, 1}
+	got := Scaled(base, 0.5)
+	want := []float64{2, 1, 0.5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Scaled = %v, want %v", got, want)
+		}
+	}
+	if base[0] != 4 {
+		t.Fatal("Scaled mutated its input")
+	}
+}
+
+func TestPanicsOnBadArgs(t *testing.T) {
+	for name, f := range map[string]func(){
+		"geometric k=0":      func() { Geometric(1, 0.5, 0) },
+		"geometric y1<=0":    func() { Geometric(0, 0.5, 3) },
+		"geometric ratio<=0": func() { Geometric(1, 0, 3) },
+		"uniform k=0":        func() { Uniform(1, 0) },
+		"uniform tau<=0":     func() { Uniform(0, 3) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			f()
+		})
+	}
+}

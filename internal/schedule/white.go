@@ -1,0 +1,80 @@
+package schedule
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"mcopt/internal/core"
+)
+
+// This file implements the [WHIT84] guidance the paper's §2 cites:
+// "Some guidelines on choosing the highest and lowest temperatures in an
+// annealing schedule are provided in [WHIT84]" (S. White, "Concepts of
+// scale in simulated annealing", ICCD 1984). White anchors the hot end at
+// the scale of cost fluctuations (so nearly every move is accepted) and
+// the cold end below the smallest uphill step (so essentially none is).
+
+// SampleUphillDeltas draws random perturbations from the solution without
+// applying any, returning the positive (uphill) deltas observed. The
+// solution is not modified. A nil result means no uphill move was seen.
+func SampleUphillDeltas(s core.Solution, r *rand.Rand, samples int) []float64 {
+	var out []float64
+	for i := 0; i < samples; i++ {
+		if d := s.Propose(r).Delta(); d > 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// White derives a k-level geometric schedule from sampled uphill deltas:
+// the hot end is the fluctuation scale σ(Δ) (mean is used when the sample
+// is too small or degenerate to estimate a deviation), giving near-free
+// uphill acceptance under Metropolis; the cold end is min(Δ)/3, at which
+// even the smallest uphill step is accepted with probability e⁻³ ≈ 5 %.
+// Intermediate levels interpolate geometrically.
+//
+// It panics on k < 1 and errors if deltas is empty — with no uphill
+// samples there is no scale to anchor.
+func White(deltas []float64, k int) ([]float64, error) {
+	if k < 1 {
+		panic(fmt.Sprintf("schedule: White: k = %d, need at least 1", k))
+	}
+	if len(deltas) == 0 {
+		return nil, fmt.Errorf("schedule: White: no uphill deltas sampled")
+	}
+	mean, minD := 0.0, math.Inf(1)
+	for _, d := range deltas {
+		if d <= 0 {
+			return nil, fmt.Errorf("schedule: White: non-positive delta %g in sample", d)
+		}
+		mean += d
+		minD = math.Min(minD, d)
+	}
+	mean /= float64(len(deltas))
+	variance := 0.0
+	for _, d := range deltas {
+		variance += (d - mean) * (d - mean)
+	}
+	variance /= float64(len(deltas))
+	hot := math.Sqrt(variance)
+	if hot <= 0 {
+		hot = mean
+	}
+	cold := minD / 3
+	if hot < cold {
+		hot = cold
+	}
+	if k == 1 {
+		return []float64{hot}, nil
+	}
+	ratio := math.Pow(cold/hot, 1/float64(k-1))
+	return Geometric(hot, ratio, k), nil
+}
+
+// WhiteFromSolution composes sampling and derivation: it samples the given
+// number of proposals from s and returns the k-level White schedule.
+func WhiteFromSolution(s core.Solution, r *rand.Rand, samples, k int) ([]float64, error) {
+	return White(SampleUphillDeltas(s, r, samples), k)
+}

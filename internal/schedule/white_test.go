@@ -1,0 +1,111 @@
+package schedule
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"mcopt/internal/core"
+)
+
+func TestWhiteAnchorsHotAndCold(t *testing.T) {
+	deltas := []float64{1, 2, 3, 4, 5, 6}
+	ys, err := White(deltas, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ys) != 6 {
+		t.Fatalf("levels = %d", len(ys))
+	}
+	// Hot end: σ of {1..6} = sqrt(35/12) ≈ 1.708.
+	wantHot := math.Sqrt(35.0 / 12.0)
+	if math.Abs(ys[0]-wantHot) > 1e-9 {
+		t.Fatalf("hot = %g, want %g", ys[0], wantHot)
+	}
+	// Cold end: min/3 = 1/3.
+	if math.Abs(ys[5]-1.0/3.0) > 1e-9 {
+		t.Fatalf("cold = %g, want 1/3", ys[5])
+	}
+	for i := 1; i < len(ys); i++ {
+		if ys[i] >= ys[i-1] {
+			t.Fatal("White schedule not strictly decreasing")
+		}
+	}
+	// Under Metropolis, the hot end accepts a typical move easily and the
+	// cold end nearly never accepts even the smallest.
+	if p := math.Exp(-3.5 / ys[0]); p < 0.1 {
+		t.Fatalf("hot end too cold: typical-move acceptance %g", p)
+	}
+	if p := math.Exp(-1 / ys[5]); p > 0.06 {
+		t.Fatalf("cold end too warm: smallest-move acceptance %g", p)
+	}
+}
+
+func TestWhiteDegenerateSamples(t *testing.T) {
+	// Identical deltas: zero variance falls back to the mean.
+	ys, err := White([]float64{2, 2, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ys[0] != 2 {
+		t.Fatalf("hot fallback = %g, want mean 2", ys[0])
+	}
+	// Single level returns just the hot end.
+	one, err := White([]float64{1, 5}, 1)
+	if err != nil || len(one) != 1 {
+		t.Fatalf("k=1: (%v, %v)", one, err)
+	}
+	// Empty and non-positive samples error.
+	if _, err := White(nil, 3); err == nil {
+		t.Fatal("empty sample accepted")
+	}
+	if _, err := White([]float64{1, -2}, 3); err == nil {
+		t.Fatal("negative delta accepted")
+	}
+}
+
+func TestWhitePanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	_, _ = White([]float64{1}, 0)
+}
+
+// ridge is a stub solution whose proposals alternate uphill deltas.
+type ridge struct{ i int }
+
+type ridgeMove struct{ d float64 }
+
+func (m ridgeMove) Delta() float64 { return m.d }
+func (m ridgeMove) Apply()         { panic("schedule test: sampling must not apply") }
+
+func (r *ridge) Cost() float64 { return 10 }
+func (r *ridge) Propose(*rand.Rand) core.Move {
+	r.i++
+	return ridgeMove{d: float64(r.i%4) - 1} // cycles −1, 0, 1, 2
+}
+func (r *ridge) Clone() core.Solution { return &ridge{i: r.i} }
+
+func TestSampleUphillDeltasFiltersAndNeverApplies(t *testing.T) {
+	deltas := SampleUphillDeltas(&ridge{}, rand.New(rand.NewPCG(1, 1)), 40)
+	if len(deltas) != 20 { // two of every four proposals are uphill
+		t.Fatalf("sampled %d uphill deltas, want 20", len(deltas))
+	}
+	for _, d := range deltas {
+		if d <= 0 {
+			t.Fatalf("non-positive delta %g sampled", d)
+		}
+	}
+}
+
+func TestWhiteFromSolution(t *testing.T) {
+	ys, err := WhiteFromSolution(&ridge{}, rand.New(rand.NewPCG(2, 1)), 40, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ys) != 6 || ys[0] < ys[5] {
+		t.Fatalf("schedule = %v", ys)
+	}
+}

@@ -1,0 +1,91 @@
+// Package stats provides the small numeric helpers shared by the experiment
+// harness, the tuner, and the extension benchmarks.
+package stats
+
+import (
+	"math"
+	"slices"
+)
+
+// Sum returns the total of an int slice.
+func Sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// SumF returns the total of a float64 slice.
+func SumF(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return SumF(xs) / float64(len(xs))
+}
+
+// Std returns the population standard deviation, or 0 for fewer than two
+// samples.
+func Std(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// MinMax returns the extrema of a non-empty slice.
+func MinMax(xs []float64) (lo, hi float64) {
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	return lo, hi
+}
+
+// EqualInts reports whether two int slices are element-wise equal.
+func EqualInts(a, b []int) bool { return slices.Equal(a, b) }
+
+// Ranks returns the 1-based descending ranks of xs: the largest value gets
+// rank 1. Ties receive the lowest applicable rank (competition ranking), the
+// convention used when comparing g-class table rows.
+func Ranks(xs []float64) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	slices.SortStableFunc(idx, func(a, b int) int {
+		switch {
+		case xs[a] > xs[b]:
+			return -1
+		case xs[a] < xs[b]:
+			return 1
+		default:
+			return 0
+		}
+	})
+	ranks := make([]int, len(xs))
+	for pos, i := range idx {
+		if pos > 0 && xs[i] == xs[idx[pos-1]] {
+			ranks[i] = ranks[idx[pos-1]]
+		} else {
+			ranks[i] = pos + 1
+		}
+	}
+	return ranks
+}

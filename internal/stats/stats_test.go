@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSums(t *testing.T) {
+	if Sum([]int{1, 2, 3}) != 6 {
+		t.Fatal("Sum")
+	}
+	if Sum(nil) != 0 {
+		t.Fatal("Sum nil")
+	}
+	if SumF([]float64{0.5, 0.25}) != 0.75 {
+		t.Fatal("SumF")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean nil")
+	}
+	if Mean([]float64{2, 4}) != 3 {
+		t.Fatal("Mean")
+	}
+	if Std([]float64{5}) != 0 {
+		t.Fatal("Std single")
+	}
+	if got := Std([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Std = %g, want 2", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 0})
+	if lo != -1 || hi != 7 {
+		t.Fatalf("MinMax = (%g, %g)", lo, hi)
+	}
+}
+
+func TestRanks(t *testing.T) {
+	got := Ranks([]float64{10, 30, 20})
+	want := []int{3, 1, 2}
+	if !EqualInts(got, want) {
+		t.Fatalf("Ranks = %v, want %v", got, want)
+	}
+}
+
+func TestRanksTies(t *testing.T) {
+	got := Ranks([]float64{5, 9, 9, 1})
+	want := []int{3, 1, 1, 4}
+	if !EqualInts(got, want) {
+		t.Fatalf("Ranks with ties = %v, want %v", got, want)
+	}
+}
+
+func TestRanksPermutationProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for i, v := range raw {
+			if math.IsNaN(v) {
+				raw[i] = 0
+			}
+		}
+		ranks := Ranks(raw)
+		// Rank 1 must exist, all ranks within [1, len].
+		sawOne := false
+		for i, r := range ranks {
+			if r < 1 || r > len(raw) {
+				return false
+			}
+			if r == 1 {
+				sawOne = true
+			}
+			// Higher value never has numerically larger (worse) rank.
+			for j := range raw {
+				if raw[i] > raw[j] && ranks[i] >= ranks[j] {
+					return false
+				}
+			}
+		}
+		return sawOne
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

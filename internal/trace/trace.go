@@ -1,0 +1,200 @@
+// Package trace records engine progress (via core's Trace hooks) and renders
+// convergence curves — best cost versus moves spent — as CSV for external
+// plotting or as ASCII charts for the terminal.
+//
+// The 1985 paper reports only end-of-run totals; convergence curves are the
+// natural modern companion (they make the Goto-vs-Monte-Carlo crossover of
+// Table 4.1 directly visible) and back the cmd/olacurve tool.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"mcopt/internal/core"
+)
+
+// Point is one sample of a convergence curve.
+type Point struct {
+	// Move is the number of budget units consumed.
+	Move int64
+	// Cost is the best cost seen by that move.
+	Cost float64
+}
+
+// Series is a named convergence curve.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Recorder accumulates engine trace events into a best-cost curve.
+type Recorder struct {
+	name   string
+	points []Point
+}
+
+// NewRecorder returns a recorder for a curve with the given display name.
+func NewRecorder(name string) *Recorder { return &Recorder{name: name} }
+
+// Hook returns the callback to install as Figure1.Trace / Figure2.Trace.
+func (r *Recorder) Hook() func(core.TraceEvent) {
+	return func(e core.TraceEvent) {
+		// Keep only best-cost changes (plus the first event), so curves stay
+		// small even for million-move runs.
+		if n := len(r.points); n > 0 && r.points[n-1].Cost == e.BestCost {
+			return
+		}
+		r.points = append(r.points, Point{Move: e.Move, Cost: e.BestCost})
+	}
+}
+
+// Series returns the recorded curve.
+func (r *Recorder) Series() Series {
+	return Series{Name: r.name, Points: r.points}
+}
+
+// Downsample returns a copy of the series with at most n points, keeping the
+// first and last and an even spread in between. n must be at least 2.
+func (s Series) Downsample(n int) Series {
+	if n < 2 {
+		panic(fmt.Sprintf("trace: Downsample(%d): need at least 2", n))
+	}
+	if len(s.Points) <= n {
+		return Series{Name: s.Name, Points: append([]Point(nil), s.Points...)}
+	}
+	out := make([]Point, 0, n)
+	last := len(s.Points) - 1
+	for i := 0; i < n; i++ {
+		idx := i * last / (n - 1)
+		out = append(out, s.Points[idx])
+	}
+	return Series{Name: s.Name, Points: out}
+}
+
+// WriteCSV emits the series in long format: series,move,best_cost.
+func WriteCSV(w io.Writer, series ...Series) error {
+	if _, err := io.WriteString(w, "series,move,best_cost\n"); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for _, p := range s.Points {
+			if _, err := fmt.Fprintf(w, "%s,%d,%g\n", csvEscape(s.Name), p.Move, p.Cost); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// seriesMarkers label up to eight curves in a chart.
+var seriesMarkers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Chart renders one or more convergence curves as monospaced ASCII art.
+type Chart struct {
+	Title  string
+	Series []Series
+	// Width and Height of the plot area in characters; sensible defaults
+	// apply when zero.
+	Width, Height int
+}
+
+// Render draws the chart. Curves are step-interpolated (best cost is a step
+// function of moves).
+func (c *Chart) Render(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 16
+	}
+	var maxMove int64
+	minCost, maxCost := math.Inf(1), math.Inf(-1)
+	nonEmpty := 0
+	for _, s := range c.Series {
+		if len(s.Points) == 0 {
+			continue
+		}
+		nonEmpty++
+		maxMove = max(maxMove, s.Points[len(s.Points)-1].Move)
+		for _, p := range s.Points {
+			minCost = math.Min(minCost, p.Cost)
+			maxCost = math.Max(maxCost, p.Cost)
+		}
+	}
+	if nonEmpty == 0 {
+		return fmt.Errorf("trace: chart has no points")
+	}
+	if maxCost == minCost {
+		maxCost = minCost + 1
+	}
+	if maxMove == 0 {
+		maxMove = 1
+	}
+
+	grid := make([][]byte, height)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(" ", width))
+	}
+	// valueAt steps the curve: the best cost in effect at a given move.
+	valueAt := func(s Series, move int64) (float64, bool) {
+		if len(s.Points) == 0 || move < s.Points[0].Move {
+			return 0, false
+		}
+		v := s.Points[0].Cost
+		for _, p := range s.Points {
+			if p.Move > move {
+				break
+			}
+			v = p.Cost
+		}
+		return v, true
+	}
+	for si, s := range c.Series {
+		marker := seriesMarkers[si%len(seriesMarkers)]
+		for xPix := 0; xPix < width; xPix++ {
+			move := int64(float64(xPix) / float64(width-1) * float64(maxMove))
+			v, ok := valueAt(s, move)
+			if !ok {
+				continue
+			}
+			yPix := int((maxCost - v) / (maxCost - minCost) * float64(height-1))
+			grid[yPix][xPix] = marker
+		}
+	}
+
+	var sb strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", c.Title)
+	}
+	for y, row := range grid {
+		label := ""
+		switch y {
+		case 0:
+			label = fmt.Sprintf("%8.1f", maxCost)
+		case height - 1:
+			label = fmt.Sprintf("%8.1f", minCost)
+		default:
+			label = strings.Repeat(" ", 8)
+		}
+		fmt.Fprintf(&sb, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&sb, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", width))
+	fmt.Fprintf(&sb, "%s 0%smoves=%d\n", strings.Repeat(" ", 8),
+		strings.Repeat(" ", max(1, width-8-len(fmt.Sprint(maxMove)))), maxMove)
+	for si, s := range c.Series {
+		fmt.Fprintf(&sb, "  %c %s\n", seriesMarkers[si%len(seriesMarkers)], s.Name)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

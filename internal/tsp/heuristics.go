@@ -1,0 +1,136 @@
+package tsp
+
+import (
+	"math"
+	"math/rand/v2"
+	"slices"
+
+	"mcopt/internal/core"
+)
+
+// NearestNeighbor builds a tour by repeatedly visiting the closest
+// unvisited city, starting from the given city.
+func NearestNeighbor(inst *Instance, start int) []int {
+	n := inst.N()
+	order := make([]int, 0, n)
+	visited := make([]bool, n)
+	cur := start
+	order = append(order, cur)
+	visited[cur] = true
+	for len(order) < n {
+		next, best := -1, math.Inf(1)
+		for c := 0; c < n; c++ {
+			if !visited[c] && inst.Dist(cur, c) < best {
+				next, best = c, inst.Dist(cur, c)
+			}
+		}
+		order = append(order, next)
+		visited[next] = true
+		cur = next
+	}
+	return order
+}
+
+// HullInsertion builds a tour in the spirit of Stewart's CCAO heuristic
+// [STEW77], the method [GOLD84] found 20–60× faster than annealing with
+// better tours: start from the convex hull of the cities, then repeatedly
+// insert the remaining city whose cheapest insertion increases the tour
+// least.
+func HullInsertion(inst *Instance) []int {
+	n := inst.N()
+	tour := convexHull(inst)
+	inTour := make([]bool, n)
+	for _, c := range tour {
+		inTour[c] = true
+	}
+	for len(tour) < n {
+		bestCity, bestPos, bestInc := -1, -1, math.Inf(1)
+		for c := 0; c < n; c++ {
+			if inTour[c] {
+				continue
+			}
+			for i := range tour {
+				a, b := tour[i], tour[(i+1)%len(tour)]
+				inc := inst.Dist(a, c) + inst.Dist(c, b) - inst.Dist(a, b)
+				if inc < bestInc {
+					bestCity, bestPos, bestInc = c, i+1, inc
+				}
+			}
+		}
+		tour = slices.Insert(tour, bestPos, bestCity)
+		inTour[bestCity] = true
+	}
+	return tour
+}
+
+// convexHull returns the hull cities in counterclockwise order (Andrew's
+// monotone chain). Collinear duplicates are dropped; degenerate inputs
+// (all collinear) still return at least two cities, which HullInsertion
+// grows into a full tour.
+func convexHull(inst *Instance) []int {
+	n := inst.N()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	slices.SortFunc(idx, func(a, b int) int {
+		pa, pb := inst.Point(a), inst.Point(b)
+		switch {
+		case pa.X != pb.X:
+			if pa.X < pb.X {
+				return -1
+			}
+			return 1
+		case pa.Y != pb.Y:
+			if pa.Y < pb.Y {
+				return -1
+			}
+			return 1
+		default:
+			return 0
+		}
+	})
+	cross := func(o, a, b int) float64 {
+		po, pa, pb := inst.Point(o), inst.Point(a), inst.Point(b)
+		return (pa.X-po.X)*(pb.Y-po.Y) - (pa.Y-po.Y)*(pb.X-po.X)
+	}
+	var hull []int
+	for _, c := range idx { // lower hull
+		for len(hull) >= 2 && cross(hull[len(hull)-2], hull[len(hull)-1], c) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, c)
+	}
+	lower := len(hull) + 1
+	for i := n - 2; i >= 0; i-- { // upper hull
+		c := idx[i]
+		for len(hull) >= lower && cross(hull[len(hull)-2], hull[len(hull)-1], c) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, c)
+	}
+	return hull[:len(hull)-1] // last point repeats the first
+}
+
+// TwoOptRestarts is [LIN73] as [GOLD84] ran it against annealing: repeated
+// 2-opt descents from fresh random tours until the move budget dies,
+// keeping the best tour found. ("The 2-opt heuristic of [LIN73] is given
+// enough starting random tours to make its run time comparable to that of
+// simulated annealing.") It returns the best tour and the number of
+// descents started.
+func TwoOptRestarts(inst *Instance, b *core.Budget, r *rand.Rand) (*Tour, int) {
+	var best *Tour
+	starts := 0
+	for !b.Exhausted() {
+		t := RandomTour(inst, r)
+		starts++
+		t.Descend(b)
+		if best == nil || t.Length() < best.Length() {
+			best = t
+		}
+	}
+	if best == nil {
+		best = RandomTour(inst, r)
+	}
+	return best, starts
+}

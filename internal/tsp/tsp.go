@@ -1,0 +1,81 @@
+// Package tsp implements the traveling-salesperson substrate behind the
+// paper's §2 discussion of [GOLD84] ("simulated annealing does not perform
+// as well as some of the sophisticated heuristics developed for this
+// problem") and the [NAHA84] experiments §5 points to: random Euclidean
+// instances, tours with O(1) 2-opt evaluation, classic constructive
+// heuristics (nearest neighbor, convex-hull cheapest insertion in the
+// spirit of Stewart's CCAO [STEW77]), and budgeted 2-opt with restarts
+// ([LIN73], as [GOLD84] ran it).
+package tsp
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Point is a city location in the unit square.
+type Point struct{ X, Y float64 }
+
+// Instance is an immutable symmetric Euclidean TSP instance with a
+// precomputed distance matrix.
+type Instance struct {
+	pts  []Point
+	dist [][]float64
+}
+
+// NewInstance builds an instance from explicit points. At least three
+// points are required for a meaningful tour.
+func NewInstance(pts []Point) (*Instance, error) {
+	if len(pts) < 3 {
+		return nil, fmt.Errorf("tsp: %d points, need at least 3", len(pts))
+	}
+	inst := &Instance{pts: append([]Point(nil), pts...)}
+	n := len(pts)
+	inst.dist = make([][]float64, n)
+	for i := range inst.dist {
+		inst.dist[i] = make([]float64, n)
+		for j := range inst.dist[i] {
+			dx, dy := pts[i].X-pts[j].X, pts[i].Y-pts[j].Y
+			inst.dist[i][j] = math.Hypot(dx, dy)
+		}
+	}
+	return inst, nil
+}
+
+// MustNewInstance is NewInstance but panics on error.
+func MustNewInstance(pts []Point) *Instance {
+	inst, err := NewInstance(pts)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// RandomEuclidean generates n uniform points in the unit square.
+func RandomEuclidean(r *rand.Rand, n int) *Instance {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: r.Float64(), Y: r.Float64()}
+	}
+	return MustNewInstance(pts)
+}
+
+// N returns the number of cities.
+func (inst *Instance) N() int { return len(inst.pts) }
+
+// Point returns city i's location.
+func (inst *Instance) Point(i int) Point { return inst.pts[i] }
+
+// Dist returns the Euclidean distance between cities i and j.
+func (inst *Instance) Dist(i, j int) float64 { return inst.dist[i][j] }
+
+// TourLength computes the cyclic length of the given city order.
+func (inst *Instance) TourLength(order []int) float64 {
+	total := 0.0
+	for i, c := range order {
+		next := order[(i+1)%len(order)]
+		total += inst.dist[c][next]
+	}
+	return total
+}

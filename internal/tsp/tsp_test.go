@@ -1,0 +1,245 @@
+package tsp
+
+import (
+	"math"
+	"testing"
+
+	"mcopt/internal/core"
+	"mcopt/internal/rng"
+)
+
+const lenEps = 1e-9
+
+func TestNewInstanceValidates(t *testing.T) {
+	if _, err := NewInstance([]Point{{0, 0}, {1, 1}}); err == nil {
+		t.Fatal("accepted a 2-point instance")
+	}
+}
+
+func TestDistSymmetricWithZeroDiagonal(t *testing.T) {
+	inst := RandomEuclidean(rng.Stream("tsp-dist", 1), 12)
+	for i := 0; i < 12; i++ {
+		if inst.Dist(i, i) != 0 {
+			t.Fatalf("Dist(%d,%d) = %g", i, i, inst.Dist(i, i))
+		}
+		for j := 0; j < 12; j++ {
+			if inst.Dist(i, j) != inst.Dist(j, i) {
+				t.Fatalf("asymmetric distance (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTourLengthSquare(t *testing.T) {
+	inst := MustNewInstance([]Point{{0, 0}, {1, 0}, {1, 1}, {0, 1}})
+	if got := inst.TourLength([]int{0, 1, 2, 3}); math.Abs(got-4) > lenEps {
+		t.Fatalf("unit-square perimeter = %g, want 4", got)
+	}
+	diag := 2 + 2*math.Sqrt2
+	if got := inst.TourLength([]int{0, 2, 1, 3}); math.Abs(got-diag) > lenEps {
+		t.Fatalf("crossing tour = %g, want %g", got, diag)
+	}
+}
+
+func TestNewTourValidates(t *testing.T) {
+	inst := RandomEuclidean(rng.Stream("tsp-valid", 2), 5)
+	for name, order := range map[string][]int{
+		"short":    {0, 1, 2},
+		"repeat":   {0, 1, 2, 3, 3},
+		"range":    {0, 1, 2, 3, 5},
+		"negative": {0, 1, 2, 3, -1},
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := NewTour(inst, order); err != nil {
+				return
+			}
+			t.Fatalf("accepted %v", order)
+		})
+	}
+}
+
+func TestProposeDeltaMatchesRecompute(t *testing.T) {
+	r := rng.Stream("tsp-propose", 3)
+	inst := RandomEuclidean(r, 20)
+	tour := RandomTour(inst, r)
+	for step := 0; step < 500; step++ {
+		m := tour.Propose(r)
+		before := tour.Length()
+		m.Apply()
+		if got := inst.TourLength(tour.Order()); math.Abs(got-tour.Length()) > 1e-6 {
+			t.Fatalf("step %d: maintained length %g, recomputed %g", step, tour.Length(), got)
+		}
+		if math.Abs(before+m.Delta()-tour.Length()) > lenEps {
+			t.Fatalf("step %d: delta inconsistent", step)
+		}
+	}
+}
+
+func TestTourRemainsPermutation(t *testing.T) {
+	r := rng.Stream("tsp-perm", 4)
+	inst := RandomEuclidean(r, 15)
+	tour := RandomTour(inst, r)
+	for step := 0; step < 200; step++ {
+		tour.Propose(r).Apply()
+	}
+	seen := make([]bool, 15)
+	for _, c := range tour.Order() {
+		if seen[c] {
+			t.Fatal("city repeated after 2-opt sequence")
+		}
+		seen[c] = true
+	}
+}
+
+func TestStaleMovePanics(t *testing.T) {
+	r := rng.Stream("tsp-stale", 5)
+	inst := RandomEuclidean(r, 10)
+	tour := RandomTour(inst, r)
+	m1 := tour.Propose(r)
+	tour.Propose(r).Apply()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("stale move applied without panic")
+		}
+	}()
+	m1.Apply()
+}
+
+func TestDescendTwoOptOptimal(t *testing.T) {
+	r := rng.Stream("tsp-descend", 6)
+	inst := RandomEuclidean(r, 18)
+	tour := RandomTour(inst, r)
+	if !tour.Descend(core.NewBudget(1 << 22)) {
+		t.Fatal("descend did not finish")
+	}
+	n := inst.N()
+	for i := 0; i < n-1; i++ {
+		for j := i + 2; j < n; j++ {
+			if i == 0 && j == n-1 {
+				continue
+			}
+			if tour.twoOptDelta(i, j) < -1e-9 {
+				t.Fatalf("improving 2-opt (%d,%d) remains after descend", i, j)
+			}
+		}
+	}
+}
+
+func TestDescendRespectsBudget(t *testing.T) {
+	r := rng.Stream("tsp-descend-budget", 7)
+	inst := RandomEuclidean(r, 30)
+	tour := RandomTour(inst, r)
+	b := core.NewBudget(25)
+	if tour.Descend(b) {
+		t.Fatal("descend claimed completion in 25 evals on n=30")
+	}
+	if b.Used() != 25 {
+		t.Fatalf("used %d of 25", b.Used())
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	r := rng.Stream("tsp-clone", 8)
+	inst := RandomEuclidean(r, 12)
+	tour := RandomTour(inst, r)
+	before := tour.Length()
+	cp := tour.Clone().(*Tour)
+	for i := 0; i < 30; i++ {
+		cp.Propose(r).Apply()
+	}
+	if tour.Length() != before {
+		t.Fatal("mutating clone changed original")
+	}
+}
+
+func isPermutation(order []int, n int) bool {
+	if len(order) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, c := range order {
+		if c < 0 || c >= n || seen[c] {
+			return false
+		}
+		seen[c] = true
+	}
+	return true
+}
+
+func TestNearestNeighborPermutation(t *testing.T) {
+	inst := RandomEuclidean(rng.Stream("tsp-nn", 9), 25)
+	for start := 0; start < 25; start += 7 {
+		if !isPermutation(NearestNeighbor(inst, start), 25) {
+			t.Fatalf("NN from %d not a permutation", start)
+		}
+	}
+}
+
+func TestNearestNeighborGreedyFirstStep(t *testing.T) {
+	inst := MustNewInstance([]Point{{0, 0}, {0.1, 0}, {1, 0}, {1, 1}})
+	order := NearestNeighbor(inst, 0)
+	if order[1] != 1 {
+		t.Fatalf("NN first hop to %d, want nearest city 1", order[1])
+	}
+}
+
+func TestHullInsertionPermutationAndQuality(t *testing.T) {
+	r := rng.Stream("tsp-hull", 10)
+	better := 0
+	for trial := 0; trial < 10; trial++ {
+		inst := RandomEuclidean(r, 40)
+		hull := HullInsertion(inst)
+		if !isPermutation(hull, 40) {
+			t.Fatal("hull insertion not a permutation")
+		}
+		random := RandomTour(inst, r).Length()
+		if inst.TourLength(hull) < random {
+			better++
+		}
+	}
+	if better < 9 {
+		t.Fatalf("hull insertion beat a random tour only %d/10 times", better)
+	}
+}
+
+func TestConvexHullSquare(t *testing.T) {
+	inst := MustNewInstance([]Point{{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0.5, 0.5}})
+	hull := convexHull(inst)
+	if len(hull) != 4 {
+		t.Fatalf("hull of square+center has %d points, want 4: %v", len(hull), hull)
+	}
+	for _, c := range hull {
+		if c == 4 {
+			t.Fatal("interior point on hull")
+		}
+	}
+}
+
+func TestTwoOptRestartsImprovesAndStops(t *testing.T) {
+	r := rng.Stream("tsp-restarts", 11)
+	inst := RandomEuclidean(r, 20)
+	b := core.NewBudget(5000)
+	best, starts := TwoOptRestarts(inst, b, r)
+	if starts < 1 {
+		t.Fatal("no descents started")
+	}
+	if !b.Exhausted() {
+		t.Fatal("restarts stopped with budget left")
+	}
+	if !isPermutation(best.Order(), 20) {
+		t.Fatal("best tour not a permutation")
+	}
+	// A 2-opt descent on n=20 should comfortably beat the random-tour mean.
+	if best.Length() > 0.9*RandomTour(inst, r).Length() {
+		t.Fatalf("restarts best %g suspiciously close to random", best.Length())
+	}
+}
+
+func TestTwoOptRestartsZeroBudget(t *testing.T) {
+	r := rng.Stream("tsp-restarts-zero", 12)
+	inst := RandomEuclidean(r, 8)
+	best, starts := TwoOptRestarts(inst, core.NewBudget(0), r)
+	if best == nil || starts != 0 {
+		t.Fatalf("zero-budget restarts: best=%v starts=%d", best, starts)
+	}
+}

@@ -1,0 +1,136 @@
+package tuner
+
+import (
+	"testing"
+
+	"mcopt/internal/core"
+	"mcopt/internal/experiment"
+	"mcopt/internal/gfunc"
+	"mcopt/internal/linarr"
+)
+
+func golaStart(seed uint64, instances int) (Start, int) {
+	p := experiment.GOLAParams()
+	p.Instances = instances
+	suite := experiment.NewSuite(p, seed)
+	return func(inst int) core.Solution {
+		return linarr.NewSolution(suite.Start(inst), linarr.PairwiseInterchange)
+	}, instances
+}
+
+func TestTuneClassGrid(t *testing.T) {
+	start, n := golaStart(1, 4)
+	b, _ := gfunc.ByID(1) // Metropolis
+	cfg := Config{
+		Multipliers: []float64{0.25, 1, 4},
+		Budget:      400,
+		Instances:   n,
+		Seed:        1,
+	}
+	res := TuneClass(b, experiment.GOLAScale(), start, cfg)
+	if res.ClassID != 1 || res.Name != "Metropolis" {
+		t.Fatalf("identity wrong: %+v", res)
+	}
+	if len(res.Scores) != 3 {
+		t.Fatalf("scores = %d, want 3", len(res.Scores))
+	}
+	found := false
+	for _, s := range res.Scores {
+		if s.Multiplier == res.Best.Multiplier && s.Reduction == res.Best.Reduction {
+			found = true
+		}
+		if s.Reduction < 0 {
+			t.Fatalf("negative reduction at multiplier %g", s.Multiplier)
+		}
+		if s.Reduction > res.Best.Reduction {
+			t.Fatalf("best (%+v) not maximal: %+v", res.Best, s)
+		}
+	}
+	if !found {
+		t.Fatal("best score not among grid points")
+	}
+	if len(res.BestYs) != 1 {
+		t.Fatalf("BestYs = %v, want one level", res.BestYs)
+	}
+	base := b.DefaultYs(experiment.GOLAScale())
+	if res.BestYs[0] != base[0]*res.Best.Multiplier {
+		t.Fatalf("BestYs %v inconsistent with multiplier %g over base %v",
+			res.BestYs, res.Best.Multiplier, base)
+	}
+}
+
+func TestTuneClassNoYsIsSinglePoint(t *testing.T) {
+	start, n := golaStart(2, 3)
+	b, _ := gfunc.ByID(3) // g = 1
+	res := TuneClass(b, experiment.GOLAScale(), start, Config{Budget: 300, Instances: n, Seed: 1})
+	if len(res.Scores) != 1 || res.Best.Multiplier != 1 {
+		t.Fatalf("g=1 tuning should be a single unit point: %+v", res)
+	}
+}
+
+func TestTuneClassDeterministic(t *testing.T) {
+	start, n := golaStart(3, 3)
+	b, _ := gfunc.ByID(15) // cubic diff
+	cfg := Config{Multipliers: []float64{0.5, 1, 2}, Budget: 300, Instances: n, Seed: 7}
+	a := TuneClass(b, experiment.GOLAScale(), start, cfg)
+	c := TuneClass(b, experiment.GOLAScale(), start, cfg)
+	for i := range a.Scores {
+		if a.Scores[i] != c.Scores[i] {
+			t.Fatalf("tuning not deterministic at grid point %d: %+v vs %+v", i, a.Scores[i], c.Scores[i])
+		}
+	}
+}
+
+func TestTuneClassSequentialMatchesParallel(t *testing.T) {
+	start, n := golaStart(4, 3)
+	b, _ := gfunc.ByID(2)
+	cfg := Config{Multipliers: []float64{1, 2}, Budget: 300, Instances: n, Seed: 7}
+	par := TuneClass(b, experiment.GOLAScale(), start, cfg)
+	cfg.Sequential = true
+	seq := TuneClass(b, experiment.GOLAScale(), start, cfg)
+	for i := range par.Scores {
+		if par.Scores[i] != seq.Scores[i] {
+			t.Fatal("sequential and parallel tuning diverged")
+		}
+	}
+}
+
+func TestTuneAllCoversAllClasses(t *testing.T) {
+	start, n := golaStart(5, 2)
+	results := TuneAll(experiment.GOLAScale(), start, Config{
+		Multipliers: []float64{1},
+		Budget:      150,
+		Instances:   n,
+		Seed:        1,
+	})
+	if len(results) != 20 {
+		t.Fatalf("TuneAll returned %d results, want 20", len(results))
+	}
+	for i, r := range results {
+		if r.ClassID != i+1 {
+			t.Fatalf("result %d has class id %d", i, r.ClassID)
+		}
+	}
+}
+
+func TestTieBreakPrefersMultiplierNearOne(t *testing.T) {
+	if !closerToOne(1, 4) || closerToOne(4, 1) {
+		t.Fatal("closerToOne(1,4) ordering wrong")
+	}
+	if !closerToOne(0.5, 4) {
+		t.Fatal("closerToOne(0.5,4) should hold (2x vs 4x from unity)")
+	}
+	if !closerToOne(0.5, 2) {
+		t.Fatal("equal distance ties should take the smaller multiplier")
+	}
+}
+
+func TestTuneClassPanicsWithoutInstances(t *testing.T) {
+	b, _ := gfunc.ByID(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero instances")
+		}
+	}()
+	TuneClass(b, experiment.GOLAScale(), nil, Config{Budget: 10})
+}

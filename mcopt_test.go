@@ -1,0 +1,182 @@
+package mcopt_test
+
+import (
+	"math"
+	"testing"
+
+	"mcopt"
+)
+
+// TestFacadeGOLAEndToEnd drives the public API exactly as the README
+// quickstart does and checks the run is productive and reproducible.
+func TestFacadeGOLAEndToEnd(t *testing.T) {
+	nl := mcopt.RandomGraph(mcopt.Stream("facade", 1), 15, 150)
+	arr := mcopt.RandomArrangement(nl, mcopt.Stream("facade-start", 1))
+
+	run := func() mcopt.Result {
+		sol := mcopt.NewLinearSolution(arr.Clone(), mcopt.PairwiseInterchange)
+		return mcopt.Figure1{G: mcopt.GOne()}.Run(sol, mcopt.NewBudget(2400), mcopt.Stream("facade-run", 1))
+	}
+	res := run()
+	if res.Moves != 2400 {
+		t.Fatalf("Moves = %d, want 2400", res.Moves)
+	}
+	if res.Reduction() < 5 {
+		t.Fatalf("g = 1 reduced density by only %g on a random 15/150 instance", res.Reduction())
+	}
+	res2 := run()
+	if res.BestCost != res2.BestCost || res.Accepted != res2.Accepted {
+		t.Fatal("facade runs with identical seeds diverged")
+	}
+}
+
+func TestFacadeGotoThenAnnealing(t *testing.T) {
+	nl := mcopt.RandomHyper(mcopt.Stream("facade-nola", 2), 15, 150, 2, 8)
+	gotoArr, err := mcopt.NewArrangement(nl, mcopt.GotoOrder(nl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := mcopt.NewLinearSolution(gotoArr, mcopt.PairwiseInterchange)
+	g := mcopt.GSixTempAnnealing(mcopt.KirkpatrickSchedule())
+	res := mcopt.Figure1{G: g}.Run(sol, mcopt.NewBudget(2400), mcopt.Stream("facade-nola-run", 2))
+	if res.BestCost > res.InitialCost {
+		t.Fatalf("best %g above initial %g", res.BestCost, res.InitialCost)
+	}
+	if res.LevelsVisited != 6 {
+		t.Fatalf("six-temperature run visited %d levels", res.LevelsVisited)
+	}
+}
+
+func TestFacadeFigure2WithSingleExchange(t *testing.T) {
+	nl := mcopt.RandomGraph(mcopt.Stream("facade-f2", 3), 12, 80)
+	sol := mcopt.NewLinearSolution(
+		mcopt.RandomArrangement(nl, mcopt.Stream("facade-f2-start", 3)), mcopt.SingleExchange)
+	res := mcopt.Figure2{G: mcopt.GCohoonSahni(nl.NumNets())}.Run(
+		sol, mcopt.NewBudget(8000), mcopt.Stream("facade-f2-run", 3))
+	if res.Descents < 1 {
+		t.Fatal("no completed descents")
+	}
+	if res.Reduction() <= 0 {
+		t.Fatal("Figure 2 made no progress")
+	}
+}
+
+func TestFacadePartition(t *testing.T) {
+	nl := mcopt.RandomHyper(mcopt.Stream("facade-part", 4), 32, 96, 2, 4)
+	p := mcopt.RandomBipartition(nl, mcopt.Stream("facade-part-start", 4))
+	mc := p.Clone()
+	res := mcopt.Figure1{G: mcopt.GOne()}.Run(
+		mcopt.NewPartitionSolution(mc), mcopt.NewBudget(10000), mcopt.Stream("facade-part-run", 4))
+
+	kl := p.Clone()
+	mcopt.KernighanLin(kl, mcopt.NewBudget(10000))
+
+	if res.BestCost > float64(p.CutSize()) {
+		t.Fatal("Monte Carlo worsened the cut")
+	}
+	if kl.CutSize() > p.CutSize() {
+		t.Fatal("KL worsened the cut")
+	}
+}
+
+func TestFacadeTSPBaselinesBeatRandom(t *testing.T) {
+	inst := mcopt.RandomEuclidean(mcopt.Stream("facade-tsp", 5), 50)
+	random := mcopt.RandomTour(inst, mcopt.Stream("facade-tsp-start", 5)).Length()
+
+	nn := inst.TourLength(mcopt.NearestNeighbor(inst, 0))
+	hull := inst.TourLength(mcopt.HullInsertion(inst))
+	best, _ := mcopt.TwoOptRestarts(inst, mcopt.NewBudget(30000), mcopt.Stream("facade-tsp-lin", 5))
+
+	for name, l := range map[string]float64{"NN": nn, "hull": hull, "2-opt": best.Length()} {
+		if l >= random {
+			t.Errorf("%s length %g not below random %g", name, l, random)
+		}
+		if math.IsNaN(l) || l <= 0 {
+			t.Errorf("%s length %g invalid", name, l)
+		}
+	}
+	if hull >= random*0.5 {
+		t.Errorf("hull insertion (%g) should roughly halve a random tour (%g)", hull, random)
+	}
+}
+
+func TestFacadeGClassRegistry(t *testing.T) {
+	if got := len(mcopt.GClasses()); got != 20 {
+		t.Fatalf("GClasses returned %d, want 20", got)
+	}
+	b, ok := mcopt.GByName("Cubic Diff")
+	if !ok || b.ID != 15 {
+		t.Fatalf("GByName(Cubic Diff) = %+v, %v", b, ok)
+	}
+	if _, ok := mcopt.GByID(21); ok {
+		t.Fatal("GByID(21) matched")
+	}
+	scale := mcopt.GScale{TypicalCost: 80, TypicalDelta: 2}
+	g := b.Build(b.DefaultYs(scale))
+	if g.K() != 1 {
+		t.Fatalf("built class K = %d", g.K())
+	}
+}
+
+func TestFacadeSchedules(t *testing.T) {
+	ys := mcopt.GeometricSchedule(8, 0.5, 4)
+	want := []float64{8, 4, 2, 1}
+	for i := range want {
+		if ys[i] != want[i] {
+			t.Fatalf("GeometricSchedule = %v", ys)
+		}
+	}
+	u := mcopt.UniformSchedule(10, 5)
+	if len(u) != 5 || u[0] != 10 || u[4] != 2 {
+		t.Fatalf("UniformSchedule = %v", u)
+	}
+	k := mcopt.KirkpatrickSchedule()
+	if len(k) != 6 || k[0] != 10 {
+		t.Fatalf("KirkpatrickSchedule = %v", k)
+	}
+}
+
+func TestFacadePlateauPolicies(t *testing.T) {
+	// A netlist with no nets makes every move a plateau: PlateauReject must
+	// accept nothing, PlateauAccept everything.
+	nl, err := mcopt.NewNetlist(8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for policy, want := range map[mcopt.PlateauPolicy]int64{
+		mcopt.PlateauAccept: 100,
+		mcopt.PlateauReject: 0,
+	} {
+		sol := mcopt.NewLinearSolution(
+			mcopt.RandomArrangement(nl, mcopt.Stream("facade-plateau", 6)), mcopt.PairwiseInterchange)
+		res := mcopt.Figure1{G: mcopt.GMetropolis(1), Plateau: policy}.Run(
+			sol, mcopt.NewBudget(100), mcopt.Stream("facade-plateau-run", 6))
+		if res.Accepted != want {
+			t.Errorf("policy %v accepted %d, want %d", policy, res.Accepted, want)
+		}
+	}
+}
+
+func TestFacadeRejectionlessAndWhite(t *testing.T) {
+	nl := mcopt.RandomGraph(mcopt.Stream("facade-rejless", 7), 12, 90)
+	sol := mcopt.NewLinearSolution(
+		mcopt.RandomArrangement(nl, mcopt.Stream("facade-rejless-start", 7)), mcopt.PairwiseInterchange)
+
+	// [WHIT84]: derive the schedule from the instance itself.
+	ys, err := mcopt.WhiteSchedule(sol, mcopt.Stream("facade-white", 7), 200, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ys) != 6 || ys[0] <= ys[5] {
+		t.Fatalf("White schedule = %v", ys)
+	}
+
+	// [GREE84]: run the rejectionless engine under that schedule.
+	res := mcopt.Rejectionless{G: mcopt.GAnnealing(ys)}.Run(sol, mcopt.NewBudget(20000), mcopt.Stream("facade-rejless-run", 7))
+	if res.Reduction() <= 0 {
+		t.Fatal("White-scheduled rejectionless run made no progress")
+	}
+	if len(res.Levels) != 6 {
+		t.Fatalf("Levels = %d", len(res.Levels))
+	}
+}
