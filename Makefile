@@ -1,9 +1,13 @@
 # Convenience targets for the mcopt reproduction. Everything is stdlib Go;
 # no target needs network access.
+#
+# `make profile` runs the Table 4.1 benchmark sequentially under the pprof
+# hooks and leaves cpu.pprof / mem.pprof in the repo root; inspect them with
+# `go tool pprof cpu.pprof` (top, list Figure1, web, ...).
 
 GO ?= go
 
-.PHONY: all build test vet bench tables tune report examples cover fuzz clean
+.PHONY: all build test vet bench tables tune report examples cover fuzz profile clean
 
 all: build vet test
 
@@ -47,5 +51,10 @@ cover:
 fuzz:
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/netlist
 
+# CPU and heap profiles of the Table 4.1 pipeline (sequential, so the
+# profile reflects the engines rather than the worker pool).
+profile:
+	$(GO) run ./cmd/olabench -table 4.1 -seq -cpuprofile cpu.pprof -memprofile mem.pprof
+
 clean:
-	rm -f report.md test_output.txt bench_output.txt
+	rm -f report.md test_output.txt bench_output.txt cpu.pprof mem.pprof

@@ -12,6 +12,7 @@
 package mcopt_test
 
 import (
+	"io"
 	"testing"
 
 	"mcopt"
@@ -19,6 +20,7 @@ import (
 	"mcopt/internal/experiment"
 	"mcopt/internal/gfunc"
 	"mcopt/internal/linarr"
+	"mcopt/internal/metrics"
 	"mcopt/internal/schedule"
 	"mcopt/internal/tuner"
 )
@@ -321,6 +323,33 @@ func BenchmarkFigure1GOLA(b *testing.B) {
 			mcopt.DeriveStream("bench/fig1-run", 1, uint64(i)))
 		b.ReportMetric(res.Reduction(), "reduction")
 	}
+}
+
+// BenchmarkFigure1Hooks pins the telemetry fast path: the nil sub-benchmark
+// must stay within noise of BenchmarkFigure1GOLA (a nil hook costs one
+// pointer comparison per decision point), while the instrumented variants
+// quantify what metrics aggregation and JSONL encoding add.
+func BenchmarkFigure1Hooks(b *testing.B) {
+	nl := mcopt.RandomGraph(mcopt.Stream("bench/hooks", 1), 15, 150)
+	start := mcopt.RandomArrangement(nl, mcopt.Stream("bench/hooks-start", 1))
+	run := func(b *testing.B, hook mcopt.Hook) {
+		for i := 0; i < b.N; i++ {
+			sol := mcopt.NewLinearSolution(start.Clone(), mcopt.PairwiseInterchange)
+			res := mcopt.Figure1{G: mcopt.GOne(), Hook: hook}.Run(sol, mcopt.NewBudget(1200),
+				mcopt.DeriveStream("bench/hooks-run", 1, uint64(i)))
+			if res.Moves == 0 {
+				b.Fatal("empty run")
+			}
+		}
+	}
+	b.Run("nil", func(b *testing.B) { run(b, nil) })
+	b.Run("metrics", func(b *testing.B) {
+		var rm metrics.RunMetrics
+		run(b, rm.Hook())
+	})
+	b.Run("jsonl", func(b *testing.B) {
+		run(b, metrics.NewEventWriter(io.Discard, "bench").Hook())
+	})
 }
 
 func BenchmarkFigure2GOLA(b *testing.B) {

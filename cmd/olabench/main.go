@@ -5,14 +5,20 @@
 //
 //	olabench [-table all|4.1|4.2a|4.2b|4.2c|4.2d] [-seed N] [-scale F]
 //	         [-plateau accept|accept+reset|reject] [-seq]
+//	         [-metrics] [-events out.jsonl] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -scale multiplies every budget (1 = the paper's 6/9/12-second and
-// 3-minute CPU allowances at 200 moves per VAX second).
+// 3-minute CPU allowances at 200 moves per VAX second). -metrics prints a
+// per-method telemetry summary under each table; -events streams every
+// engine decision of every cell as JSONL (deterministic for a fixed seed,
+// byte-identical with and without -seq). -cpuprofile/-memprofile write
+// pprof profiles of the whole invocation (see `make profile`).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -20,6 +26,7 @@ import (
 
 	"mcopt/internal/core"
 	"mcopt/internal/experiment"
+	"mcopt/internal/metrics"
 )
 
 // csvName converts a table title into a safe file stem like "table_4.1".
@@ -39,7 +46,46 @@ func main() {
 	seq := flag.Bool("seq", false, "run cells sequentially")
 	replicates := flag.Int("replicates", 1, "independent replications (fresh instances per seed); >1 prints mean±std for 4.1/4.2a/4.2c/4.2d")
 	csvDir := flag.String("csvdir", "", "also write each table's raw per-instance measurements as CSV into this directory")
+	showMetrics := flag.Bool("metrics", false, "print a per-method telemetry summary under each table")
+	eventsPath := flag.String("events", "", "write every engine decision as JSONL to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		stop, err := metrics.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "olabench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintf(os.Stderr, "olabench: %v\n", err)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := metrics.WriteHeapProfile(*memProfile); err != nil {
+				fmt.Fprintf(os.Stderr, "olabench: %v\n", err)
+			}
+		}()
+	}
+
+	var events io.Writer
+	if *eventsPath != "" {
+		f, err := os.Create(*eventsPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "olabench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "olabench: events: %v\n", err)
+			}
+		}()
+		events = f
+	}
 
 	cfg := experiment.Config{Seed: *seed, Sequential: *seq}
 	switch *plateau {
@@ -57,6 +103,9 @@ func main() {
 	budgets := experiment.PaperBudgets(*scale)
 	budget42b := int64(*scale * float64(experiment.Seconds(180)))
 
+	// pendingMetrics, when set by tableOf, prints the telemetry summary
+	// after its table renders.
+	var pendingMetrics func()
 	run := func(name string, f func() *experiment.Table) {
 		start := time.Now()
 		t := f()
@@ -64,7 +113,45 @@ func main() {
 			fmt.Fprintf(os.Stderr, "olabench: %v\n", err)
 			os.Exit(1)
 		}
+		if pendingMetrics != nil {
+			pendingMetrics()
+			pendingMetrics = nil
+		}
 		fmt.Printf("(%s in %.1fs)\n\n", name, time.Since(start).Seconds())
+	}
+
+	// newTelemetry returns a per-table collector when telemetry is wanted.
+	newTelemetry := func() *experiment.Telemetry {
+		if !*showMetrics && events == nil {
+			return nil
+		}
+		return experiment.NewTelemetry(events)
+	}
+	// methodSummary prints one telemetry row per method at the given budget.
+	methodSummary := func(tel *experiment.Telemetry, names []string, budget int64, b int) {
+		if tel == nil || !*showMetrics {
+			return
+		}
+		if err := tel.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "olabench: events: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry at budget %d:\n", budget)
+		fmt.Printf("%-27s %10s %8s %10s %14s %12s\n",
+			"method", "proposals", "accept", "uphill-acc", "moves-to-best", "utilization")
+		for m, name := range names {
+			rm := tel.MethodMetrics(m, b)
+			if rm.Runs == 0 {
+				continue
+			}
+			var uphill int64
+			for i := range rm.Levels {
+				uphill += rm.Levels[i].UphillAccepted
+			}
+			fmt.Printf("%-27s %10d %7.1f%% %10d %14.1f %11.1f%%\n",
+				name, rm.Proposed, 100*rm.AcceptanceRate(), uphill,
+				float64(rm.MovesToBest)/float64(rm.Runs), 100*rm.Utilization())
+		}
 	}
 
 	seeds := make([]uint64, max(*replicates, 1))
@@ -99,13 +186,24 @@ func main() {
 
 	// tableOf picks plain or replicated rendering for the reduction tables.
 	tableOf := func(title string, build func(seed uint64, budgets []int64, cfg experiment.Config) (*experiment.Table, *experiment.Matrix)) *experiment.Table {
+		tcfg := cfg
+		tel := newTelemetry()
+		tcfg.Telemetry = tel
+		summarize := func(x *experiment.Matrix) {
+			if tel != nil {
+				b := len(budgets) - 1
+				pendingMetrics = func() { methodSummary(tel, x.MethodNames, budgets[b], b) }
+			}
+		}
 		if len(seeds) == 1 {
-			t, x := build(seeds[0], budgets, cfg)
+			t, x := build(seeds[0], budgets, tcfg)
 			dumpCSV(csvName(title), x)
+			summarize(x)
 			return t
 		}
 		rep, err := experiment.Replicate(seeds, func(s uint64) *experiment.Matrix {
-			_, x := build(s, budgets, cfg)
+			_, x := build(s, budgets, tcfg)
+			summarize(x)
 			return x
 		})
 		if err != nil {
@@ -136,7 +234,14 @@ func main() {
 	}
 	if want("4.2b") {
 		matched = true
-		run("4.2b", func() *experiment.Table { t, _, _ := experiment.Table42b(*seed, budget42b, cfg); return t })
+		run("4.2b", func() *experiment.Table {
+			// 4.2(b) interleaves Figure-1 and Figure-2 passes, so it gets
+			// the event stream but no per-method summary table.
+			tcfg := cfg
+			tcfg.Telemetry = newTelemetry()
+			t, _, _ := experiment.Table42b(*seed, budget42b, tcfg)
+			return t
+		})
 	}
 	if want("4.2c") {
 		matched = true

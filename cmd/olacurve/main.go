@@ -68,7 +68,7 @@ func main() {
 		}
 		rec := trace.NewRecorder(name)
 		sol := linarr.NewSolution(start.Clone(), linarr.PairwiseInterchange)
-		core.Figure1{G: g, Trace: rec.Hook()}.Run(sol,
+		core.Figure1{G: g, Hook: rec.Hook()}.Run(sol,
 			core.NewBudget(*budget), rng.Stream("olacurve/run/"+name, *seed))
 		curves = append(curves, rec.Series())
 	}

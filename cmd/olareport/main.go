@@ -5,9 +5,10 @@
 //
 // Usage:
 //
-//	olareport [-o report.md] [-seed 1] [-scale 1] [-quick]
+//	olareport [-o report.md] [-seed 1] [-scale 1] [-quick] [-metrics]
 //
-// -quick divides all budgets by 10 for a fast smoke report.
+// -quick divides budgets by 10 for a fast smoke report. -metrics adds an
+// observability section with the aggregate run telemetry behind Table 4.1.
 package main
 
 import (
@@ -28,6 +29,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "suite and run seed")
 	scale := flag.Float64("scale", 1, "budget scale factor")
 	quick := flag.Bool("quick", false, "divide budgets by 10")
+	showMetrics := flag.Bool("metrics", false, "add an observability section with Table 4.1's aggregate run telemetry")
 	flag.Parse()
 
 	if *quick {
@@ -67,8 +69,20 @@ func main() {
 		fmt.Fprintf(w, "```\n\n")
 	}
 
-	t41, _ := experiment.Table41(*seed, budgets, cfg)
+	cfgE1 := cfg
+	if *showMetrics {
+		cfgE1.Telemetry = experiment.NewTelemetry(nil)
+	}
+	t41, _ := experiment.Table41(*seed, budgets, cfgE1)
 	section("E1 — Table 4.1", t41)
+	if tel := cfgE1.Telemetry; tel != nil {
+		fmt.Fprintf(w, "## E1b — Observability (Table 4.1 run telemetry)\n\n```\n")
+		if err := tel.Aggregate().Render(w); err != nil {
+			fmt.Fprintf(os.Stderr, "olareport: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "```\n\n")
+	}
 	t42a, _ := experiment.Table42a(*seed, budgets, cfg)
 	section("E2 — Table 4.2(a)", t42a)
 	t42b, _, _ := experiment.Table42b(*seed, budget42b, cfg)

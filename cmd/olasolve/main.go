@@ -5,9 +5,12 @@
 //
 //	olasolve -in instance.nl [-g "g = 1"] [-strategy fig1|fig2]
 //	         [-budget 2400] [-seed 1] [-start random|goto] [-move pairwise|single]
+//	         [-metrics] [-events run.jsonl]
 //
 // The instance is read in the text netlist format (see olagen). The final
-// arrangement, its density, and run statistics are printed.
+// arrangement, its density, and run statistics are printed. -metrics adds
+// the run diagnostics (per-level acceptance rates, Δ histogram,
+// moves-to-best); -events streams every engine decision as JSONL.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"mcopt/internal/gfunc"
 	"mcopt/internal/gotoh"
 	"mcopt/internal/linarr"
+	"mcopt/internal/metrics"
 	"mcopt/internal/netlist"
 	"mcopt/internal/rng"
 )
@@ -32,6 +36,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random stream seed")
 	startKind := flag.String("start", "random", "starting arrangement: random or goto")
 	moveKind := flag.String("move", "pairwise", "perturbation class: pairwise or single")
+	showMetrics := flag.Bool("metrics", false, "print run diagnostics (per-level acceptance, Δ histogram, moves-to-best)")
+	eventsPath := flag.String("events", "", "write every engine decision as JSONL to this file")
 	flag.Parse()
 
 	if *in == "" {
@@ -78,18 +84,47 @@ func main() {
 		os.Exit(2)
 	}
 
+	var rm metrics.RunMetrics
+	rm.BudgetLimit = *budget
+	var hooks []core.Hook
+	if *showMetrics {
+		hooks = append(hooks, rm.Hook())
+	}
+	var ew *metrics.EventWriter
+	var eventsFile *os.File
+	if *eventsPath != "" {
+		eventsFile, err = os.Create(*eventsPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "olasolve: %v\n", err)
+			os.Exit(1)
+		}
+		ew = metrics.NewEventWriter(eventsFile, fmt.Sprintf("%s/%s@%d", *in, *gName, *seed))
+		hooks = append(hooks, ew.Hook())
+	}
+	hook := metrics.Tee(hooks...)
+
 	sol := linarr.NewSolution(arr, kind)
 	b := core.NewBudget(*budget)
 	r := rng.Stream("olasolve/run", *seed)
 	var res core.Result
 	switch *strategy {
 	case "fig1":
-		res = core.Figure1{G: g}.Run(sol, b, r)
+		res = core.Figure1{G: g, Hook: hook}.Run(sol, b, r)
 	case "fig2":
-		res = core.Figure2{G: g}.Run(sol, b, r)
+		res = core.Figure2{G: g, Hook: hook}.Run(sol, b, r)
 	default:
 		fmt.Fprintf(os.Stderr, "olasolve: unknown strategy %q\n", *strategy)
 		os.Exit(2)
+	}
+	if eventsFile != nil {
+		if err := ew.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "olasolve: events: %v\n", err)
+			os.Exit(1)
+		}
+		if err := eventsFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "olasolve: events: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	best := res.Best.(*linarr.Solution)
@@ -103,6 +138,13 @@ func main() {
 		fmt.Printf(" %d", c)
 	}
 	fmt.Println()
+	if *showMetrics {
+		fmt.Println()
+		if err := rm.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "olasolve: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
 // buildG resolves a paper row label into a g instance, deriving the schedule

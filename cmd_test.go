@@ -5,11 +5,14 @@ package mcopt_test
 // exit codes) is covered, not just the library underneath.
 
 import (
+	"bytes"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"mcopt/internal/metrics"
 )
 
 // buildCmds compiles every command into a temp dir once per test run.
@@ -75,6 +78,26 @@ func TestCLIPipeline(t *testing.T) {
 	runExpectError(t, bins["olasolve"], "-in", inst, "-g", "No Such Class")
 	runExpectError(t, bins["olasolve"]) // missing -in
 
+	// olasolve telemetry: per-level acceptance table plus a JSONL stream.
+	events := filepath.Join(dir, "solve.jsonl")
+	out = run(t, bins["olasolve"], "-in", inst, "-budget", "600", "-metrics", "-events", events)
+	for _, want := range []string{"proposals:", "moves-to-best:", "utilization", "level", "rate"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("olasolve -metrics missing %q:\n%s", want, out)
+		}
+	}
+	raw, err := os.ReadFile(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := metrics.ReadRecords(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("olasolve -events produced invalid JSONL: %v", err)
+	}
+	if len(recs) == 0 || recs[0].Kind != "start" || recs[len(recs)-1].Kind != "end" {
+		t.Fatalf("olasolve event stream malformed: %d records", len(recs))
+	}
+
 	// olaexact agrees with itself and bounds olasolve's result.
 	out = run(t, bins["olaexact"], "-in", inst, "-order")
 	if !strings.Contains(out, "optimal density:") || !strings.Contains(out, "optimal order:") {
@@ -98,6 +121,42 @@ func TestCLIPipeline(t *testing.T) {
 	}
 	runExpectError(t, bins["olabench"], "-table", "nope")
 	runExpectError(t, bins["olabench"], "-plateau", "bogus")
+
+	// olabench telemetry: a valid suite-wide JSONL stream, identical bytes
+	// sequentially and in parallel, plus a per-method summary and profiles.
+	benchEvents := filepath.Join(dir, "bench.jsonl")
+	benchEventsSeq := filepath.Join(dir, "bench_seq.jsonl")
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	out = run(t, bins["olabench"], "-table", "4.1", "-scale", "0.01", "-metrics",
+		"-events", benchEvents, "-cpuprofile", cpu, "-memprofile", mem)
+	if !strings.Contains(out, "telemetry at budget") || !strings.Contains(out, "moves-to-best") {
+		t.Fatalf("olabench -metrics summary missing:\n%s", out)
+	}
+	run(t, bins["olabench"], "-table", "4.1", "-scale", "0.01", "-seq", "-events", benchEventsSeq)
+	par, err := os.ReadFile(benchEvents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := os.ReadFile(benchEventsSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(par, seq) {
+		t.Fatal("olabench -events differs between parallel and -seq runs")
+	}
+	recs, err = metrics.ReadRecords(bytes.NewReader(par))
+	if err != nil {
+		t.Fatalf("olabench -events produced invalid JSONL: %v", err)
+	}
+	if len(recs) == 0 || !strings.HasPrefix(recs[0].Run, "GOLA/") {
+		t.Fatalf("olabench event stream malformed: %d records", len(recs))
+	}
+	for _, p := range []string{cpu, mem} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Fatalf("profile %s missing or empty (err=%v)", p, err)
+		}
+	}
 
 	// olasweep tiny.
 	out = run(t, bins["olasweep"], "-sizes", "6,8", "-instances", "2", "-budget", "200")

@@ -44,17 +44,17 @@ func main() {
 	}
 	runOn("White-scheduled annealing", func(rec *trace.Recorder) core.Result {
 		sol := linarr.NewSolution(start.Clone(), linarr.PairwiseInterchange)
-		return core.Figure1{G: gfunc.Annealing(ys), Trace: rec.Hook()}.
+		return core.Figure1{G: gfunc.Annealing(ys), Hook: rec.Hook()}.
 			Run(sol, core.NewBudget(budget), rng.Stream("autoschedule/sa", 6))
 	})
 	runOn("g = 1 (no schedule at all)", func(rec *trace.Recorder) core.Result {
 		sol := linarr.NewSolution(start.Clone(), linarr.PairwiseInterchange)
-		return core.Figure1{G: gfunc.One(), Trace: rec.Hook()}.
+		return core.Figure1{G: gfunc.One(), Hook: rec.Hook()}.
 			Run(sol, core.NewBudget(budget), rng.Stream("autoschedule/gone", 6))
 	})
 	runOn("rejectionless [GREE84]", func(rec *trace.Recorder) core.Result {
 		sol := linarr.NewSolution(start.Clone(), linarr.PairwiseInterchange)
-		return core.Rejectionless{G: gfunc.Annealing(ys), Trace: rec.Hook()}.
+		return core.Rejectionless{G: gfunc.Annealing(ys), Hook: rec.Hook()}.
 			Run(sol, core.NewBudget(budget), rng.Stream("autoschedule/rejless", 6))
 	})
 

@@ -262,23 +262,124 @@ func TestFigure1Deterministic(t *testing.T) {
 	}
 }
 
-func TestFigure1Trace(t *testing.T) {
-	var events []TraceEvent
+func TestFigure1Hook(t *testing.T) {
+	var events []Event
 	l := &lattice{pos: 0, costs: valley(11)}
 	Figure1{
-		G:     &spyG{name: "x", k: 1, prob: 0},
-		Trace: func(e TraceEvent) { events = append(events, e) },
+		G:    &spyG{name: "x", k: 1, prob: 0},
+		Hook: func(e Event) { events = append(events, e) },
 	}.Run(l, NewBudget(100), rand.New(rand.NewPCG(10, 1)))
 	if len(events) == 0 {
-		t.Fatal("no trace events emitted")
+		t.Fatal("no events emitted")
 	}
 	for i := 1; i < len(events); i++ {
 		if events[i].BestCost > events[i-1].BestCost {
-			t.Fatal("best cost increased between trace events")
+			t.Fatal("best cost increased between events")
 		}
 		if events[i].Move < events[i-1].Move {
-			t.Fatal("trace move counter regressed")
+			t.Fatal("event move counter regressed")
 		}
+	}
+}
+
+// countKinds tallies an event stream by kind.
+func countKinds(events []Event) map[EventKind]int64 {
+	out := map[EventKind]int64{}
+	for _, e := range events {
+		out[e.Kind]++
+	}
+	return out
+}
+
+func TestFigure1EventInvariants(t *testing.T) {
+	var events []Event
+	l := &lattice{pos: 5, costs: valley(31)}
+	res := Figure1{
+		G:    &spyG{name: "spy", k: 3, prob: 0.5},
+		Hook: func(e Event) { events = append(events, e) },
+	}.Run(l, NewBudget(500), rand.New(rand.NewPCG(4, 2)))
+
+	if events[0].Kind != EventStart {
+		t.Fatalf("first event is %v, want start", events[0].Kind)
+	}
+	last := events[len(events)-1]
+	if last.Kind != EventEnd {
+		t.Fatalf("last event is %v, want end", last.Kind)
+	}
+	if last.Move != res.Moves {
+		t.Fatalf("end event at move %d, want %d", last.Move, res.Moves)
+	}
+	if last.BestCost != res.BestCost || last.Cost != res.FinalCost {
+		t.Fatalf("end event (%g, %g) disagrees with result (%g, %g)",
+			last.BestCost, last.Cost, res.BestCost, res.FinalCost)
+	}
+
+	n := countKinds(events)
+	if n[EventStart] != 1 || n[EventEnd] != 1 {
+		t.Fatalf("start/end fired %d/%d times", n[EventStart], n[EventEnd])
+	}
+	if n[EventPropose] != res.Moves {
+		t.Fatalf("%d propose events, want %d (one per attempted move)", n[EventPropose], res.Moves)
+	}
+	if n[EventAccept]+n[EventReject] != n[EventPropose] {
+		t.Fatalf("accept %d + reject %d != propose %d",
+			n[EventAccept], n[EventReject], n[EventPropose])
+	}
+	if n[EventAccept] != res.Accepted {
+		t.Fatalf("%d accept events, want %d", n[EventAccept], res.Accepted)
+	}
+	if n[EventBest] != res.Improvements {
+		t.Fatalf("%d best events, want %d", n[EventBest], res.Improvements)
+	}
+	if n[EventLevel] != int64(res.LevelsVisited-1) {
+		t.Fatalf("%d level events, want %d", n[EventLevel], res.LevelsVisited-1)
+	}
+}
+
+func TestFigure2EventInvariants(t *testing.T) {
+	var events []Event
+	l := &lattice{pos: 0, costs: twoValley()}
+	res := Figure2{
+		G:    &spyG{name: "spy", k: 2, prob: 0.5},
+		Hook: func(e Event) { events = append(events, e) },
+	}.Run(l, NewBudget(400), rand.New(rand.NewPCG(5, 3)))
+
+	if events[0].Kind != EventStart || events[len(events)-1].Kind != EventEnd {
+		t.Fatal("stream not delimited by start/end")
+	}
+	n := countKinds(events)
+	if n[EventAccept] != res.Accepted {
+		t.Fatalf("%d accept events, want %d", n[EventAccept], res.Accepted)
+	}
+	if n[EventAccept]+n[EventReject] != n[EventPropose] {
+		t.Fatalf("accept %d + reject %d != propose %d",
+			n[EventAccept], n[EventReject], n[EventPropose])
+	}
+	// Every completed descent emits an event; a final budget-truncated
+	// descent may add one more.
+	if n[EventDescent] < res.Descents {
+		t.Fatalf("%d descent events < %d completed descents", n[EventDescent], res.Descents)
+	}
+}
+
+// TestHookDoesNotPerturbRun pins the zero-interference guarantee: installing
+// a hook must not change the search trajectory or the result.
+func TestHookDoesNotPerturbRun(t *testing.T) {
+	run := func(hook Hook) Result {
+		l := &lattice{pos: 3, costs: valley(31)}
+		return Figure1{G: &spyG{name: "spy", k: 3, prob: 0.5}, Hook: hook}.
+			Run(l, NewBudget(700), rand.New(rand.NewPCG(9, 9)))
+	}
+	bare := run(nil)
+	count := 0
+	hooked := run(func(Event) { count++ })
+	if count == 0 {
+		t.Fatal("hook never fired")
+	}
+	if bare.BestCost != hooked.BestCost || bare.FinalCost != hooked.FinalCost ||
+		bare.Accepted != hooked.Accepted || bare.Uphill != hooked.Uphill ||
+		bare.Moves != hooked.Moves || bare.Improvements != hooked.Improvements {
+		t.Fatalf("hook changed the run: %+v vs %+v", bare, hooked)
 	}
 }
 

@@ -1,0 +1,85 @@
+package core
+
+// EventKind identifies an engine decision point. The engines report every
+// decision — proposals, acceptances, rejections, temperature transitions,
+// descent sweeps, best-so-far updates — through a single Hook, so that
+// schedule diagnostics (per-level acceptance rates, uphill/downhill mix,
+// moves-to-best) can be computed without touching the search loops. The
+// 1985 paper reports only end-of-run totals; these events are what its
+// discussion of *why* a g class wins (§4.2.5) would have needed.
+type EventKind uint8
+
+const (
+	// EventStart fires once when a run begins. Cost and BestCost are the
+	// starting cost; Move is the budget mark at entry.
+	EventStart EventKind = iota + 1
+	// EventPropose fires for every evaluated perturbation, after its Delta
+	// is known and before the accept/reject decision. Under Rejectionless it
+	// fires once per committed step (for the sampled winner), not once per
+	// neighborhood evaluation.
+	EventPropose
+	// EventAccept fires when a proposal is committed; Cost is the cost after
+	// the move and Delta the change it caused.
+	EventAccept
+	// EventReject fires when a proposal is dropped; Cost is unchanged.
+	EventReject
+	// EventLevel fires on a temperature-level transition; Temp is the new
+	// 1-based level.
+	EventLevel
+	// EventDescent fires when a Figure-2 local-search descent finishes
+	// (including budget-truncated descents); Cost is the reached cost.
+	EventDescent
+	// EventBest fires when the best-so-far cost improves; BestCost is the
+	// new record.
+	EventBest
+	// EventEnd fires once when a run ends, whatever stopped it; Cost is the
+	// final cost and Move the total budget mark, so consumers can tell how
+	// long the run actually ran (not just when it last improved).
+	EventEnd
+)
+
+// String returns the JSONL wire name of the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventStart:
+		return "start"
+	case EventPropose:
+		return "propose"
+	case EventAccept:
+		return "accept"
+	case EventReject:
+		return "reject"
+	case EventLevel:
+		return "level"
+	case EventDescent:
+		return "descent"
+	case EventBest:
+		return "best"
+	case EventEnd:
+		return "end"
+	default:
+		return "unknown"
+	}
+}
+
+// Event describes one engine decision point.
+type Event struct {
+	Kind EventKind
+	// Move is the absolute number of budget units consumed when the event
+	// fired (Budget.Used, not run-relative).
+	Move int64
+	// Temp is the 1-based temperature level in effect.
+	Temp int
+	// Delta is the proposed cost change, set on propose/accept/reject.
+	Delta float64
+	// Cost is the current cost after the event.
+	Cost float64
+	// BestCost is the best cost seen so far.
+	BestCost float64
+}
+
+// Hook observes engine events. A nil Hook costs one pointer comparison per
+// decision point — the engines never allocate an Event unless a hook is
+// installed (BenchmarkFigure1Hooks pins this). Hooks run synchronously on
+// the engine goroutine and must not retain the Event beyond the call.
+type Hook func(Event)

@@ -27,9 +27,11 @@ type Figure1 struct {
 	// is the library default.
 	Plateau PlateauPolicy
 
-	// Trace, if non-nil, receives an event after every committed move and
-	// every temperature advance.
-	Trace func(TraceEvent)
+	// Hook, if non-nil, receives an Event at every decision point: run
+	// start/end, every proposal with its accept/reject resolution, every
+	// temperature advance, and every best-so-far improvement. Nil costs
+	// one comparison per decision point.
+	Hook Hook
 }
 
 // Run executes the strategy from the given starting state, mutating s in
@@ -68,10 +70,19 @@ func (f Figure1) Run(s Solution, b *Budget, r *rand.Rand) Result {
 	gate := f.G.Gate()
 	gateCount := 0 // consecutive uphill proposals under the g = 1 gate
 
-	emit := func() {
-		if f.Trace != nil {
-			f.Trace(TraceEvent{Move: b.Used(), Temp: temp, Cost: cost, BestCost: res.BestCost})
+	emit := func(kind EventKind, d float64) {
+		if f.Hook != nil {
+			f.Hook(Event{Kind: kind, Move: b.Used(), Temp: temp, Delta: d, Cost: cost, BestCost: res.BestCost})
 		}
+	}
+
+	// done stamps the run-end bookkeeping and emits the terminal event.
+	done := func() Result {
+		out := finish(&res, s, b, start)
+		if f.Hook != nil {
+			f.Hook(Event{Kind: EventEnd, Move: b.Used(), Temp: temp, Cost: out.FinalCost, BestCost: out.BestCost})
+		}
+		return out
 	}
 
 	commit := func(m Move, d float64) {
@@ -83,12 +94,13 @@ func (f Figure1) Run(s Solution, b *Budget, r *rand.Rand) Result {
 			res.Uphill++
 			res.Levels[temp-1].Uphill++
 		}
+		emit(EventAccept, d)
 		if cost < res.BestCost {
 			res.BestCost = cost
 			res.Best = s.Clone()
 			res.Improvements++
+			emit(EventBest, d)
 		}
-		emit()
 	}
 
 	advance := func() bool {
@@ -98,10 +110,11 @@ func (f Figure1) Run(s Solution, b *Budget, r *rand.Rand) Result {
 		temp++
 		counter = 0
 		res.LevelsVisited = temp
-		emit()
+		emit(EventLevel, 0)
 		return true
 	}
 
+	emit(EventStart, 0)
 	for {
 		// Budget-share clock: hand over to the next level once this level's
 		// share is spent.
@@ -116,6 +129,7 @@ func (f Figure1) Run(s Solution, b *Budget, r *rand.Rand) Result {
 		res.Levels[temp-1].Moves++
 		m := s.Propose(r)
 		d := m.Delta()
+		emit(EventPropose, d)
 		switch {
 		case d < 0:
 			counter = 0
@@ -133,13 +147,17 @@ func (f Figure1) Run(s Solution, b *Budget, r *rand.Rand) Result {
 			case PlateauReject:
 				// Drop the move; plateau proposals do not advance the
 				// counter because they are not cost increases.
+				emit(EventReject, 0)
 			}
 
 		default: // uphill
 			if f.N > 0 && counter >= f.N {
 				if !advance() {
+					// The run's own stopping rule fired; the pending
+					// proposal is dropped.
+					emit(EventReject, d)
 					res.Completed = true
-					return finish(&res, s, b, start)
+					return done()
 				}
 			}
 			if gate > 0 {
@@ -153,6 +171,7 @@ func (f Figure1) Run(s Solution, b *Budget, r *rand.Rand) Result {
 					commit(m, d)
 				} else {
 					counter++
+					emit(EventReject, d)
 				}
 				continue
 			}
@@ -162,13 +181,14 @@ func (f Figure1) Run(s Solution, b *Budget, r *rand.Rand) Result {
 				commit(m, d)
 			} else {
 				counter++
+				emit(EventReject, d)
 			}
 		}
 	}
-	return finish(&res, s, b, start)
+	return done()
 }
 
-// finish stamps the run-end bookkeeping shared by both engines.
+// finish stamps the run-end bookkeeping shared by the engines.
 func finish(res *Result, s Solution, b *Budget, start int64) Result {
 	// Guard against float drift in delta accumulation on real-valued
 	// objectives: re-read the authoritative cost.

@@ -26,9 +26,11 @@ type Figure2 struct {
 	// only level clock.
 	N int
 
-	// Trace, if non-nil, receives an event after every completed descent
-	// and every temperature advance.
-	Trace func(TraceEvent)
+	// Hook, if non-nil, receives an Event at every decision point: run
+	// start/end, every completed descent sweep, every jump proposal with its
+	// accept/reject resolution, every temperature advance, and every
+	// best-so-far improvement.
+	Hook Hook
 }
 
 // Run executes the strategy from the given starting state, mutating s in
@@ -63,10 +65,18 @@ func (f Figure2) Run(s Descender, b *Budget, r *rand.Rand) Result {
 	temp := 1
 	counter := 0 // jump attempts at the current level (the paper's n counter)
 
-	emit := func() {
-		if f.Trace != nil {
-			f.Trace(TraceEvent{Move: b.Used(), Temp: temp, Cost: cost, BestCost: res.BestCost})
+	emit := func(kind EventKind, d float64) {
+		if f.Hook != nil {
+			f.Hook(Event{Kind: kind, Move: b.Used(), Temp: temp, Delta: d, Cost: cost, BestCost: res.BestCost})
 		}
+	}
+
+	done := func() Result {
+		out := finish(&res, s, b, start)
+		if f.Hook != nil {
+			f.Hook(Event{Kind: EventEnd, Move: b.Used(), Temp: temp, Cost: out.FinalCost, BestCost: out.BestCost})
+		}
+		return out
 	}
 
 	// descend drives s to a local optimum (Step 2), updates the best-so-far
@@ -77,17 +87,19 @@ func (f Figure2) Run(s Descender, b *Budget, r *rand.Rand) Result {
 		if done {
 			res.Descents++
 		}
+		emit(EventDescent, 0)
 		if cost < res.BestCost {
 			res.BestCost = cost
 			res.Best = s.Clone()
 			res.Improvements++
+			emit(EventBest, 0)
 		}
-		emit()
 		return done
 	}
 
+	emit(EventStart, 0)
 	if !descend() {
-		return finish(&res, s, b, start)
+		return done()
 	}
 
 	for {
@@ -95,7 +107,7 @@ func (f Figure2) Run(s Descender, b *Budget, r *rand.Rand) Result {
 			temp++
 			counter = 0
 			res.LevelsVisited = temp
-			emit()
+			emit(EventLevel, 0)
 		}
 		// Step 4: the counter clock.
 		if f.N > 0 && counter >= f.N {
@@ -106,7 +118,7 @@ func (f Figure2) Run(s Descender, b *Budget, r *rand.Rand) Result {
 			temp++
 			counter = 0
 			res.LevelsVisited = temp
-			emit()
+			emit(EventLevel, 0)
 		}
 		// Step 5: one jump attempt.
 		if !b.TrySpend() {
@@ -116,6 +128,7 @@ func (f Figure2) Run(s Descender, b *Budget, r *rand.Rand) Result {
 		counter++
 		m := s.Propose(r)
 		d := m.Delta()
+		emit(EventPropose, d)
 		accept := false
 		switch {
 		case d < 0:
@@ -132,6 +145,7 @@ func (f Figure2) Run(s Descender, b *Budget, r *rand.Rand) Result {
 			accept = r.Float64() < clampProb(f.G.Prob(temp, cost, cost+d))
 		}
 		if !accept {
+			emit(EventReject, d)
 			continue
 		}
 		m.Apply()
@@ -142,9 +156,10 @@ func (f Figure2) Run(s Descender, b *Budget, r *rand.Rand) Result {
 			res.Uphill++
 			res.Levels[temp-1].Uphill++
 		}
+		emit(EventAccept, d)
 		if !descend() {
 			break
 		}
 	}
-	return finish(&res, s, b, start)
+	return done()
 }

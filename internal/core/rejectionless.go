@@ -44,8 +44,11 @@ type Rejectionless struct {
 	// Benchmark_AblationRejectionless bench reports both.
 	IdealizedCache bool
 
-	// Trace, if non-nil, receives an event after every committed move.
-	Trace func(TraceEvent)
+	// Hook, if non-nil, receives an Event at every decision point: run
+	// start/end, every committed move (a propose/accept pair for the sampled
+	// winner — not one event per neighborhood evaluation), every temperature
+	// advance, and every best-so-far improvement.
+	Hook Hook
 }
 
 // Run executes the strategy, mutating s in place and spending b. The run
@@ -78,13 +81,29 @@ func (f Rejectionless) Run(s Enumerable, b *Budget, r *rand.Rand) Result {
 	}
 	temp := 1
 
+	emit := func(kind EventKind, d float64) {
+		if f.Hook != nil {
+			f.Hook(Event{Kind: kind, Move: b.Used(), Temp: temp, Delta: d, Cost: cost, BestCost: res.BestCost})
+		}
+	}
+
+	done := func() Result {
+		out := finish(&res, s, b, start)
+		if f.Hook != nil {
+			f.Hook(Event{Kind: EventEnd, Move: b.Used(), Temp: temp, Cost: out.FinalCost, BestCost: out.BestCost})
+		}
+		return out
+	}
+
 	var weights []float64
 	var deltas []float64
 
+	emit(EventStart, 0)
 	for {
 		for temp < k && b.Used() >= levelEnd[temp-1] {
 			temp++
 			res.LevelsVisited = temp
+			emit(EventLevel, 0)
 		}
 		n := s.NeighborhoodSize()
 		if n == 0 {
@@ -127,6 +146,7 @@ func (f Rejectionless) Run(s Enumerable, b *Budget, r *rand.Rand) Result {
 			}
 			temp++
 			res.LevelsVisited = temp
+			emit(EventLevel, 0)
 			continue
 		}
 
@@ -147,6 +167,7 @@ func (f Rejectionless) Run(s Enumerable, b *Budget, r *rand.Rand) Result {
 		}
 		m := s.EvalNeighbor(chosen)
 		d := m.Delta()
+		emit(EventPropose, d)
 		m.Apply()
 		cost += d
 		res.Accepted++
@@ -156,14 +177,13 @@ func (f Rejectionless) Run(s Enumerable, b *Budget, r *rand.Rand) Result {
 			res.Uphill++
 			res.Levels[temp-1].Uphill++
 		}
+		emit(EventAccept, d)
 		if cost < res.BestCost {
 			res.BestCost = cost
 			res.Best = s.Clone()
 			res.Improvements++
-		}
-		if f.Trace != nil {
-			f.Trace(TraceEvent{Move: b.Used(), Temp: temp, Cost: cost, BestCost: res.BestCost})
+			emit(EventBest, d)
 		}
 	}
-	return finish(&res, s, b, start)
+	return done()
 }

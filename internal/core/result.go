@@ -37,15 +37,6 @@ func (p PlateauPolicy) String() string {
 	}
 }
 
-// TraceEvent describes one committed state change inside an engine, for
-// callers that want convergence curves.
-type TraceEvent struct {
-	Move     int64   // budget units consumed when the event fired
-	Temp     int     // 1-based temperature level in effect
-	Cost     float64 // cost after the event
-	BestCost float64 // best cost seen so far
-}
-
 // LevelStat aggregates one temperature level's activity, in support of the
 // equilibrium discussion in §2 (the [KIRK83] termination criterion counted
 // accepted and generated perturbations per temperature).

@@ -7,6 +7,7 @@ import (
 
 	"mcopt/internal/core"
 	"mcopt/internal/linarr"
+	"mcopt/internal/metrics"
 	"mcopt/internal/rng"
 )
 
@@ -23,6 +24,11 @@ type Config struct {
 	N int
 	// Sequential disables the worker pool, for deterministic profiling.
 	Sequential bool
+	// Telemetry, when non-nil, collects per-cell run metrics and (if its
+	// Events writer is set) a JSONL event stream. Cells buffer privately and
+	// flush in sorted order after the run, so output is byte-identical
+	// whether cells ran sequentially or in parallel.
+	Telemetry *Telemetry
 }
 
 // Matrix holds the raw measurements behind a table: one cell per
@@ -99,7 +105,7 @@ func Run(suite *Suite, methods []Method, budgets []int64, cfg Config) *Matrix {
 			defer wg.Done()
 			for j := range jobs {
 				x.BestDensities[j.m][j.b][j.i] =
-					runCell(suite, methods[j.m], budgets[j.b], j.i, cfg)
+					runCell(suite, cellKey(j), methods[j.m], budgets[j.b], cfg)
 			}
 		}()
 	}
@@ -112,24 +118,41 @@ func Run(suite *Suite, methods []Method, budgets []int64, cfg Config) *Matrix {
 	}
 	close(jobs)
 	wg.Wait()
+	if cfg.Telemetry != nil {
+		cfg.Telemetry.flush()
+	}
 	return x
 }
 
 // runCell runs one (method, budget, instance) cell and returns the best
 // density found.
-func runCell(suite *Suite, m Method, budget int64, inst int, cfg Config) int {
+func runCell(suite *Suite, k cellKey, m Method, budget int64, cfg Config) int {
+	inst := k.i
 	sol := linarr.NewSolution(suite.Start(inst), cfg.MoveKind)
 	g := m.NewG(suite.Netlists[inst])
 	r := rng.Derive(
 		fmt.Sprintf("run/%s/%s/%s/%d", suite.Name, m.Name, m.Strategy, budget),
 		cfg.Seed, uint64(inst))
 	b := core.NewBudget(budget)
+
+	var hook core.Hook
+	if tel := cfg.Telemetry; tel != nil {
+		cell := tel.cell(k)
+		cell.rm.BudgetLimit += budget
+		hooks := []core.Hook{cell.rm.Hook()}
+		if tel.Events != nil {
+			ew := metrics.NewEventWriter(&cell.buf, runLabel(suite, m, budget, inst, cfg.Seed))
+			hooks = append(hooks, ew.Hook())
+		}
+		hook = metrics.Tee(hooks...)
+	}
+
 	var res core.Result
 	switch m.Strategy {
 	case Fig1:
-		res = core.Figure1{G: g, N: cfg.N, Plateau: cfg.Plateau}.Run(sol, b, r)
+		res = core.Figure1{G: g, N: cfg.N, Plateau: cfg.Plateau, Hook: hook}.Run(sol, b, r)
 	case Fig2:
-		res = core.Figure2{G: g, N: cfg.N}.Run(sol, b, r)
+		res = core.Figure2{G: g, N: cfg.N, Hook: hook}.Run(sol, b, r)
 	default:
 		panic(fmt.Sprintf("experiment: unknown strategy %d", int(m.Strategy)))
 	}

@@ -1,0 +1,144 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"mcopt/internal/metrics"
+)
+
+// cellKey identifies one (method, budget, instance) cell of a Run.
+type cellKey struct{ m, b, i int }
+
+// cellTelemetry is the per-cell collection buffer: an aggregate plus the
+// cell's private JSONL byte stream, assembled off to the side while workers
+// race and flushed in deterministic order afterwards.
+type cellTelemetry struct {
+	rm  metrics.RunMetrics
+	buf bytes.Buffer
+}
+
+// Telemetry collects per-cell run metrics — and optionally a JSONL event
+// stream — from an experiment Run. Attach one via Config.Telemetry.
+//
+// Workers write into private per-cell buffers, and Run flushes them in
+// sorted (method, budget, instance) order once all cells finish, so the
+// emitted JSONL bytes and the merged aggregates are identical whether the
+// suite ran sequentially or on the worker pool. A single Telemetry may
+// observe several Runs (e.g. Table 4.2b's two passes, or replicate loops);
+// aggregates accumulate across them.
+type Telemetry struct {
+	// Events, when non-nil, receives the suite's JSONL event stream.
+	Events io.Writer
+
+	mu      sync.Mutex
+	pending map[cellKey]*cellTelemetry
+	merged  map[cellKey]*metrics.RunMetrics
+	err     error
+}
+
+// NewTelemetry returns a collector; w may be nil to gather metrics only.
+func NewTelemetry(w io.Writer) *Telemetry { return &Telemetry{Events: w} }
+
+// cell returns the collection buffer for a key, creating it if needed.
+func (t *Telemetry) cell(k cellKey) *cellTelemetry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.pending == nil {
+		t.pending = make(map[cellKey]*cellTelemetry)
+	}
+	c := t.pending[k]
+	if c == nil {
+		c = &cellTelemetry{}
+		t.pending[k] = c
+	}
+	return c
+}
+
+// flush drains the pending cells in sorted key order: JSONL buffers are
+// written to Events back-to-back, and each cell's aggregate is folded into
+// the cumulative per-cell metrics. Run calls this after its workers join.
+func (t *Telemetry) flush() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	keys := make([]cellKey, 0, len(t.pending))
+	for k := range t.pending {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		ka, kb := keys[a], keys[b]
+		if ka.m != kb.m {
+			return ka.m < kb.m
+		}
+		if ka.b != kb.b {
+			return ka.b < kb.b
+		}
+		return ka.i < kb.i
+	})
+	if t.merged == nil {
+		t.merged = make(map[cellKey]*metrics.RunMetrics)
+	}
+	for _, k := range keys {
+		c := t.pending[k]
+		if t.Events != nil && t.err == nil && c.buf.Len() > 0 {
+			if _, err := t.Events.Write(c.buf.Bytes()); err != nil {
+				t.err = err
+			}
+		}
+		agg := t.merged[k]
+		if agg == nil {
+			agg = &metrics.RunMetrics{}
+			t.merged[k] = agg
+		}
+		agg.Merge(&c.rm)
+	}
+	t.pending = nil
+}
+
+// CellMetrics returns the accumulated metrics for one (method, budget,
+// instance) cell, or nil if that cell never ran.
+func (t *Telemetry) CellMetrics(m, b, i int) *metrics.RunMetrics {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.merged[cellKey{m, b, i}]
+}
+
+// MethodMetrics merges every instance cell of (method, budget) into one
+// aggregate — the per-method view the CLIs print.
+func (t *Telemetry) MethodMetrics(m, b int) *metrics.RunMetrics {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := &metrics.RunMetrics{}
+	for k, rm := range t.merged {
+		if k.m == m && k.b == b {
+			out.Merge(rm)
+		}
+	}
+	return out
+}
+
+// Aggregate merges every observed cell into a single suite-wide aggregate.
+func (t *Telemetry) Aggregate() *metrics.RunMetrics {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := &metrics.RunMetrics{}
+	for _, rm := range t.merged {
+		out.Merge(rm)
+	}
+	return out
+}
+
+// Err reports the first event-stream write error, if any.
+func (t *Telemetry) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// runLabel names one cell's event stream within a shared JSONL file.
+func runLabel(suite *Suite, m Method, budget int64, inst int, seed uint64) string {
+	return fmt.Sprintf("%s/%s/%s/%d/%d@%d", suite.Name, m.Name, m.Strategy, budget, inst, seed)
+}

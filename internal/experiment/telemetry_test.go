@@ -1,0 +1,150 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"mcopt/internal/core"
+	"mcopt/internal/gfunc"
+	"mcopt/internal/metrics"
+	"mcopt/internal/netlist"
+)
+
+// miniSuite is a small, fast suite for telemetry determinism checks.
+func miniSuite() *Suite {
+	return NewSuite(SuiteParams{
+		Name: "mini", Instances: 4, Cells: 10, Nets: 20, MinPins: 2, MaxPins: 2,
+	}, 99)
+}
+
+func miniMethods() []Method {
+	one := func(*netlist.Netlist) core.G { return gfunc.One() }
+	return []Method{
+		{Name: "g = 1", Strategy: Fig1, NewG: one},
+		{Name: "g = 1 (fig2)", Strategy: Fig2, NewG: one},
+	}
+}
+
+func telemetryJSON(t *testing.T, m *metrics.RunMetrics) string {
+	t.Helper()
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// collectSuite runs the mini suite with telemetry attached and returns the
+// matrix, the collector and the JSONL bytes.
+func collectSuite(t *testing.T, sequential bool) (*Matrix, *Telemetry, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	tel := NewTelemetry(&buf)
+	x := Run(miniSuite(), miniMethods(), []int64{300, 900}, Config{
+		Seed: 5, Sequential: sequential, Telemetry: tel,
+	})
+	if err := tel.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return x, tel, buf.Bytes()
+}
+
+func TestTelemetryParallelMatchesSequential(t *testing.T) {
+	xSeq, telSeq, jSeq := collectSuite(t, true)
+	xPar, telPar, jPar := collectSuite(t, false)
+
+	if !reflect.DeepEqual(xSeq.BestDensities, xPar.BestDensities) {
+		t.Fatal("parallel run changed the measurement matrix")
+	}
+	if !bytes.Equal(jSeq, jPar) {
+		t.Fatal("parallel run changed the JSONL byte stream")
+	}
+	if telemetryJSON(t, telSeq.Aggregate()) != telemetryJSON(t, telPar.Aggregate()) {
+		t.Fatal("parallel run changed the aggregate metrics")
+	}
+	for m := 0; m < 2; m++ {
+		for b := 0; b < 2; b++ {
+			for i := 0; i < 4; i++ {
+				s, p := telSeq.CellMetrics(m, b, i), telPar.CellMetrics(m, b, i)
+				if s == nil || p == nil {
+					t.Fatalf("cell (%d,%d,%d) missing", m, b, i)
+				}
+				if telemetryJSON(t, s) != telemetryJSON(t, p) {
+					t.Fatalf("cell (%d,%d,%d) metrics diverged", m, b, i)
+				}
+			}
+		}
+	}
+}
+
+func TestTelemetryDoesNotPerturbResults(t *testing.T) {
+	bare := Run(miniSuite(), miniMethods(), []int64{300}, Config{Seed: 5})
+	inst, _, _ := collectSuite(t, false)
+	for m := range bare.BestDensities {
+		for i, d := range bare.BestDensities[m][0] {
+			if inst.BestDensities[m][0][i] != d {
+				t.Fatalf("telemetry changed method %d instance %d: %d vs %d",
+					m, i, inst.BestDensities[m][0][i], d)
+			}
+		}
+	}
+}
+
+func TestTelemetryEventStreamRoundTrips(t *testing.T) {
+	_, tel, raw := collectSuite(t, false)
+	recs, err := metrics.ReadRecords(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts, ends := 0, 0
+	labels := map[string]bool{}
+	for _, r := range recs {
+		labels[r.Run] = true
+		switch r.Kind {
+		case "start":
+			starts++
+		case "end":
+			ends++
+		}
+	}
+	// 2 methods × 2 budgets × 4 instances = 16 cells, one run each.
+	if starts != 16 || ends != 16 {
+		t.Fatalf("starts/ends = %d/%d, want 16/16", starts, ends)
+	}
+	if len(labels) != 16 {
+		t.Fatalf("%d distinct run labels, want 16", len(labels))
+	}
+	if want := "mini/g = 1/Figure 1/300/0@5"; !labels[want] {
+		t.Fatalf("missing run label %q in %v", want, labels)
+	}
+	if agg := tel.Aggregate(); agg.Runs != 16 {
+		t.Fatalf("aggregate runs = %d, want 16", agg.Runs)
+	}
+}
+
+func TestTelemetryAccumulatesAcrossRuns(t *testing.T) {
+	tel := NewTelemetry(nil)
+	cfg := Config{Seed: 5, Telemetry: tel}
+	Run(miniSuite(), miniMethods(), []int64{300}, cfg)
+	Run(miniSuite(), miniMethods(), []int64{300}, cfg)
+
+	cell := tel.CellMetrics(0, 0, 0)
+	if cell == nil || cell.Runs != 2 {
+		t.Fatalf("cell runs = %+v, want 2 runs", cell)
+	}
+	if cell.BudgetLimit != 600 {
+		t.Fatalf("cell budget limit = %d, want 600", cell.BudgetLimit)
+	}
+	mm := tel.MethodMetrics(0, 0)
+	if mm.Runs != 8 { // 4 instances × 2 observed runs
+		t.Fatalf("method runs = %d, want 8", mm.Runs)
+	}
+	if mm.Proposed != mm.Accepted+mm.Rejected {
+		t.Fatalf("proposed %d != accepted %d + rejected %d", mm.Proposed, mm.Accepted, mm.Rejected)
+	}
+	if u := mm.Utilization(); u <= 0 || u > 1 {
+		t.Fatalf("utilization = %g outside (0, 1]", u)
+	}
+}

@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mcopt/internal/core"
+)
+
+// Record is the JSONL wire form of one engine event: one JSON object per
+// line, with zero-valued numeric fields omitted. The encoding carries no
+// wall-clock data, so the byte stream of a seeded run is reproducible —
+// suites emit identical files whether their cells ran sequentially or in
+// parallel.
+type Record struct {
+	// Run labels the run the event belongs to, so that one file can hold a
+	// whole suite ("GOLA/g = 1/Figure 1/1200/7@1").
+	Run string `json:"run,omitempty"`
+	// Kind is the EventKind wire name ("start", "propose", "accept", ...).
+	Kind string `json:"kind"`
+	// Move is the absolute budget mark when the event fired.
+	Move int64 `json:"move"`
+	// Temp is the 1-based temperature level in effect.
+	Temp int `json:"temp,omitempty"`
+	// Delta is the proposed cost change (propose/accept/reject).
+	Delta float64 `json:"delta,omitempty"`
+	// Cost is the cost after the event.
+	Cost float64 `json:"cost,omitempty"`
+	// Best is the best cost seen so far.
+	Best float64 `json:"best,omitempty"`
+}
+
+// RecordOf converts an engine event to its wire form under a run label.
+func RecordOf(run string, e core.Event) Record {
+	return Record{
+		Run:   run,
+		Kind:  e.Kind.String(),
+		Move:  e.Move,
+		Temp:  e.Temp,
+		Delta: e.Delta,
+		Cost:  e.Cost,
+		Best:  e.BestCost,
+	}
+}
+
+// EventWriter encodes engine events as JSONL. Install Hook() on an engine
+// and check Err() after the run; write errors latch and silence subsequent
+// events rather than disturbing the search.
+type EventWriter struct {
+	w   io.Writer
+	run string
+	err error
+}
+
+// NewEventWriter returns a writer that stamps every record with the given
+// run label (empty omits the field).
+func NewEventWriter(w io.Writer, run string) *EventWriter {
+	return &EventWriter{w: w, run: run}
+}
+
+// Hook returns the callback to install as an engine's Hook field.
+func (ew *EventWriter) Hook() core.Hook { return ew.Observe }
+
+// Observe encodes one event as a JSONL line.
+func (ew *EventWriter) Observe(e core.Event) {
+	if ew.err != nil {
+		return
+	}
+	line, err := json.Marshal(RecordOf(ew.run, e))
+	if err != nil {
+		ew.err = err
+		return
+	}
+	line = append(line, '\n')
+	if _, err := ew.w.Write(line); err != nil {
+		ew.err = err
+	}
+}
+
+// Err returns the first write or encode error, if any.
+func (ew *EventWriter) Err() error { return ew.err }
+
+// ReadRecords parses a JSONL event stream back into records — the offline
+// half of the round trip the writer starts.
+func ReadRecords(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("metrics: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Tee fans one engine hook out to several observers, skipping nils. It
+// returns nil when every hook is nil, preserving the engines' fast path.
+func Tee(hooks ...core.Hook) core.Hook {
+	live := hooks[:0:0]
+	for _, h := range hooks {
+		if h != nil {
+			live = append(live, h)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return func(e core.Event) {
+		for _, h := range live {
+			h(e)
+		}
+	}
+}

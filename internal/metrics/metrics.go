@@ -1,0 +1,336 @@
+// Package metrics is the engine telemetry layer: it turns core's event
+// stream (package core's Hook) into schedule diagnostics — per-level
+// acceptance rates, uphill/downhill mix, a Δ histogram, moves-to-best and
+// budget utilization — plus a JSONL structured event log for offline
+// analysis and a text exposition renderer for terminals.
+//
+// The 1985 paper explains its headline result (g = 1 beats tuned annealing)
+// only through end-of-run totals; this package makes the *dynamics* behind
+// those totals observable. Everything here is deterministic: the same seed
+// produces bit-identical RunMetrics and byte-identical JSONL, so telemetry
+// can be golden-tested and diffed across commits. The package depends only
+// on the standard library and internal/core.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"mcopt/internal/core"
+)
+
+// deltaSpan bounds the Δ histogram: buckets hold rounded deltas in
+// [-deltaSpan, deltaSpan], with the end buckets absorbing overflow. The
+// paper's density objective moves in steps of one or two, so ±6 resolves
+// the entire interesting range; real-valued objectives land in the same
+// buckets after rounding.
+const deltaSpan = 6
+
+// DeltaHist is a fixed-bucket histogram of proposed cost changes.
+// Bucket i holds deltas rounding to i-deltaSpan; the first and last buckets
+// are open-ended.
+type DeltaHist [2*deltaSpan + 1]int64
+
+// Add counts one proposed delta.
+func (h *DeltaHist) Add(d float64) {
+	i := int(math.Round(d))
+	if i < -deltaSpan {
+		i = -deltaSpan
+	}
+	if i > deltaSpan {
+		i = deltaSpan
+	}
+	h[i+deltaSpan]++
+}
+
+// Merge adds another histogram's counts.
+func (h *DeltaHist) Merge(o *DeltaHist) {
+	for i := range h {
+		h[i] += o[i]
+	}
+}
+
+// Total returns the number of counted deltas.
+func (h *DeltaHist) Total() int64 {
+	var n int64
+	for _, c := range h {
+		n += c
+	}
+	return n
+}
+
+// Label returns the human label of bucket i ("≤-6", "-1", "0", "+3", "≥6").
+func (h *DeltaHist) Label(i int) string {
+	v := i - deltaSpan
+	switch {
+	case i == 0:
+		return fmt.Sprintf("≤%d", v)
+	case i == len(h)-1:
+		return fmt.Sprintf("≥%d", v)
+	case v > 0:
+		return fmt.Sprintf("+%d", v)
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}
+
+// LevelMetrics aggregates one temperature level's decision mix.
+type LevelMetrics struct {
+	// Entered counts runs that reached the level.
+	Entered int64
+	// Proposed, Accepted and Rejected count proposals resolved at the level
+	// (Proposed == Accepted + Rejected).
+	Proposed, Accepted, Rejected int64
+	// UphillProposed / PlateauProposed / DownhillProposed split Proposed by
+	// the sign of Δ; the *Accepted variants split Accepted the same way.
+	UphillProposed, PlateauProposed, DownhillProposed int64
+	UphillAccepted, PlateauAccepted, DownhillAccepted int64
+}
+
+// AcceptanceRate returns Accepted/Proposed, or 0 for an idle level.
+func (l *LevelMetrics) AcceptanceRate() float64 {
+	if l.Proposed == 0 {
+		return 0
+	}
+	return float64(l.Accepted) / float64(l.Proposed)
+}
+
+// merge adds another level's counts.
+func (l *LevelMetrics) merge(o *LevelMetrics) {
+	l.Entered += o.Entered
+	l.Proposed += o.Proposed
+	l.Accepted += o.Accepted
+	l.Rejected += o.Rejected
+	l.UphillProposed += o.UphillProposed
+	l.PlateauProposed += o.PlateauProposed
+	l.DownhillProposed += o.DownhillProposed
+	l.UphillAccepted += o.UphillAccepted
+	l.PlateauAccepted += o.PlateauAccepted
+	l.DownhillAccepted += o.DownhillAccepted
+}
+
+// RunMetrics aggregates engine events into run diagnostics. The zero value
+// is ready to use: install Hook() on an engine, optionally set BudgetLimit,
+// and read the fields (or Render) after the run. One RunMetrics may observe
+// several runs in sequence (not concurrently); counters then hold sums over
+// runs and Render reports means where that is the natural reading. Merge
+// combines independently collected RunMetrics deterministically, which is
+// how parallel experiment suites aggregate across instances.
+type RunMetrics struct {
+	// Runs counts observed run starts.
+	Runs int64
+	// Proposed, Accepted, Rejected count proposals and their resolutions.
+	Proposed, Accepted, Rejected int64
+	// Improvements counts best-so-far updates; Descents counts Figure-2
+	// descent sweeps.
+	Improvements, Descents int64
+	// Levels holds per-temperature mixes; Levels[t-1] is level t. The slice
+	// grows to the highest level observed.
+	Levels []LevelMetrics
+	// Deltas is the histogram of all proposed cost changes.
+	Deltas DeltaHist
+	// InitialCost, BestCost and FinalCost are summed over runs (equal to the
+	// per-run values when Runs == 1).
+	InitialCost, BestCost, FinalCost float64
+	// MovesToBest sums, over runs, the run-relative move count at which the
+	// best cost was last improved — the "time-to-best inside the budget".
+	MovesToBest int64
+	// MovesUsed sums the budget units each run consumed.
+	MovesUsed int64
+	// BudgetLimit sums the move allowances granted; it is caller-set (the
+	// event stream does not carry it) and enables utilization reporting.
+	BudgetLimit int64
+
+	// Per-run scratch, reset by each start event.
+	startMove int64
+	bestMove  int64
+}
+
+// Hook returns the callback to install as an engine's Hook field.
+func (m *RunMetrics) Hook() core.Hook { return m.Observe }
+
+// level returns the bucket for 1-based temperature temp, growing Levels.
+func (m *RunMetrics) level(temp int) *LevelMetrics {
+	if temp < 1 {
+		temp = 1
+	}
+	for len(m.Levels) < temp {
+		m.Levels = append(m.Levels, LevelMetrics{})
+	}
+	return &m.Levels[temp-1]
+}
+
+// Observe folds one engine event into the aggregate.
+func (m *RunMetrics) Observe(e core.Event) {
+	switch e.Kind {
+	case core.EventStart:
+		m.Runs++
+		m.startMove = e.Move
+		m.bestMove = e.Move
+		m.InitialCost += e.Cost
+		m.level(e.Temp).Entered++
+	case core.EventPropose:
+		m.Proposed++
+		m.Deltas.Add(e.Delta)
+		l := m.level(e.Temp)
+		l.Proposed++
+		switch {
+		case e.Delta > 0:
+			l.UphillProposed++
+		case e.Delta < 0:
+			l.DownhillProposed++
+		default:
+			l.PlateauProposed++
+		}
+	case core.EventAccept:
+		m.Accepted++
+		l := m.level(e.Temp)
+		l.Accepted++
+		switch {
+		case e.Delta > 0:
+			l.UphillAccepted++
+		case e.Delta < 0:
+			l.DownhillAccepted++
+		default:
+			l.PlateauAccepted++
+		}
+	case core.EventReject:
+		m.Rejected++
+		m.level(e.Temp).Rejected++
+	case core.EventLevel:
+		m.level(e.Temp).Entered++
+	case core.EventDescent:
+		m.Descents++
+	case core.EventBest:
+		m.Improvements++
+		m.bestMove = e.Move
+	case core.EventEnd:
+		m.MovesToBest += m.bestMove - m.startMove
+		m.MovesUsed += e.Move - m.startMove
+		m.BestCost += e.BestCost
+		m.FinalCost += e.Cost
+	}
+}
+
+// Merge adds another aggregate's counts into the receiver. Merging in any
+// order yields identical results, so parallel suites can collect per-cell
+// metrics and fold them deterministically afterwards.
+func (m *RunMetrics) Merge(o *RunMetrics) {
+	m.Runs += o.Runs
+	m.Proposed += o.Proposed
+	m.Accepted += o.Accepted
+	m.Rejected += o.Rejected
+	m.Improvements += o.Improvements
+	m.Descents += o.Descents
+	for len(m.Levels) < len(o.Levels) {
+		m.Levels = append(m.Levels, LevelMetrics{})
+	}
+	for i := range o.Levels {
+		m.Levels[i].merge(&o.Levels[i])
+	}
+	m.Deltas.Merge(&o.Deltas)
+	m.InitialCost += o.InitialCost
+	m.BestCost += o.BestCost
+	m.FinalCost += o.FinalCost
+	m.MovesToBest += o.MovesToBest
+	m.MovesUsed += o.MovesUsed
+	m.BudgetLimit += o.BudgetLimit
+}
+
+// AcceptanceRate returns the overall Accepted/Proposed, or 0.
+func (m *RunMetrics) AcceptanceRate() float64 {
+	if m.Proposed == 0 {
+		return 0
+	}
+	return float64(m.Accepted) / float64(m.Proposed)
+}
+
+// Utilization returns MovesUsed/BudgetLimit, or 0 when no limit was set.
+func (m *RunMetrics) Utilization() float64 {
+	if m.BudgetLimit == 0 {
+		return 0
+	}
+	return float64(m.MovesUsed) / float64(m.BudgetLimit)
+}
+
+// Reduction returns the summed InitialCost − BestCost.
+func (m *RunMetrics) Reduction() float64 { return m.InitialCost - m.BestCost }
+
+// pct formats a ratio as a percentage.
+func pct(num, den int64) string {
+	if den == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(num)/float64(den))
+}
+
+// Render writes the text exposition of the aggregate: totals, the Δ
+// histogram, and a per-temperature-level table. With Runs > 1 the cost and
+// moves lines report per-run means.
+func (m *RunMetrics) Render(w io.Writer) error {
+	var sb strings.Builder
+	runs := max(m.Runs, 1)
+	mean := func(v float64) float64 { return v / float64(runs) }
+
+	fmt.Fprintf(&sb, "runs:          %d\n", m.Runs)
+	if m.BudgetLimit > 0 {
+		fmt.Fprintf(&sb, "budget:        %d moves, %d used (%.1f%% utilization)\n",
+			m.BudgetLimit, m.MovesUsed, 100*m.Utilization())
+	} else {
+		fmt.Fprintf(&sb, "moves used:    %d\n", m.MovesUsed)
+	}
+	fmt.Fprintf(&sb, "proposals:     %d — %d accepted (%s), %d rejected\n",
+		m.Proposed, m.Accepted, pct(m.Accepted, m.Proposed), m.Rejected)
+	var upP, zeroP, downP, upA, zeroA, downA int64
+	for i := range m.Levels {
+		l := &m.Levels[i]
+		upP += l.UphillProposed
+		zeroP += l.PlateauProposed
+		downP += l.DownhillProposed
+		upA += l.UphillAccepted
+		zeroA += l.PlateauAccepted
+		downA += l.DownhillAccepted
+	}
+	fmt.Fprintf(&sb, "proposed mix:  %d downhill / %d plateau / %d uphill\n", downP, zeroP, upP)
+	fmt.Fprintf(&sb, "accepted mix:  %d downhill / %d plateau / %d uphill\n", downA, zeroA, upA)
+	if m.Descents > 0 {
+		fmt.Fprintf(&sb, "descents:      %d\n", m.Descents)
+	}
+	fmt.Fprintf(&sb, "improvements:  %d\n", m.Improvements)
+	if m.Runs > 1 {
+		fmt.Fprintf(&sb, "moves-to-best: %.1f mean (%s of used)\n",
+			mean(float64(m.MovesToBest)), pct(m.MovesToBest, m.MovesUsed))
+		fmt.Fprintf(&sb, "cost:          %.2f start → %.2f best → %.2f final (means)\n",
+			mean(m.InitialCost), mean(m.BestCost), mean(m.FinalCost))
+	} else {
+		fmt.Fprintf(&sb, "moves-to-best: %d (%s of used)\n", m.MovesToBest, pct(m.MovesToBest, m.MovesUsed))
+		fmt.Fprintf(&sb, "cost:          %g start → %g best → %g final\n",
+			m.InitialCost, m.BestCost, m.FinalCost)
+	}
+
+	if m.Deltas.Total() > 0 {
+		fmt.Fprintf(&sb, "Δ histogram:  ")
+		for i := range m.Deltas {
+			if m.Deltas[i] == 0 {
+				continue
+			}
+			fmt.Fprintf(&sb, " %s:%d", m.Deltas.Label(i), m.Deltas[i])
+		}
+		fmt.Fprintf(&sb, "\n")
+	}
+
+	if len(m.Levels) > 0 {
+		fmt.Fprintf(&sb, "%5s %9s %9s %8s %9s %9s %9s\n",
+			"level", "proposed", "accepted", "rate", "up-prop", "up-acc", "down-acc")
+		for i := range m.Levels {
+			l := &m.Levels[i]
+			fmt.Fprintf(&sb, "%5d %9d %9d %8s %9d %9d %9d\n",
+				i+1, l.Proposed, l.Accepted, pct(l.Accepted, l.Proposed),
+				l.UphillProposed, l.UphillAccepted, l.DownhillAccepted)
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

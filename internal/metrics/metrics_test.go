@@ -1,0 +1,293 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"mcopt/internal/core"
+)
+
+// walkSol is a 1-D random walk over a fixed cost profile — just enough
+// Solution to drive real engine runs without importing problem packages.
+type walkSol struct {
+	pos   int
+	costs []float64
+}
+
+type walkMove struct {
+	s  *walkSol
+	to int
+}
+
+func (s *walkSol) Cost() float64 { return s.costs[s.pos] }
+
+func (s *walkSol) Propose(r *rand.Rand) core.Move {
+	to := s.pos + 1
+	if s.pos == len(s.costs)-1 || (s.pos > 0 && r.IntN(2) == 0) {
+		to = s.pos - 1
+	}
+	return walkMove{s, to}
+}
+
+func (s *walkSol) Clone() core.Solution {
+	c := *s
+	return &c
+}
+
+func (m walkMove) Delta() float64 { return m.s.costs[m.to] - m.s.costs[m.s.pos] }
+func (m walkMove) Apply()         { m.s.pos = m.to }
+
+// ridges is a bumpy valley: plenty of uphill, downhill and plateau moves.
+func ridges(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		base := i - n/2
+		if base < 0 {
+			base = -base
+		}
+		out[i] = float64(base + 3*(i%3))
+	}
+	return out
+}
+
+type constG struct {
+	k int
+	p float64
+}
+
+func (g constG) Name() string                        { return "const" }
+func (g constG) K() int                              { return g.k }
+func (g constG) Prob(temp int, _, _ float64) float64 { return g.p / float64(temp) }
+func (g constG) Gate() int                           { return 0 }
+
+// runWith executes a seeded Figure-1 run with the given hook installed.
+func runWith(hook core.Hook) core.Result {
+	s := &walkSol{pos: 3, costs: ridges(41)}
+	return core.Figure1{G: constG{k: 3, p: 0.6}, Hook: hook}.
+		Run(s, core.NewBudget(900), rand.New(rand.NewPCG(7, 11)))
+}
+
+func TestRunMetricsMatchesResult(t *testing.T) {
+	var m RunMetrics
+	m.BudgetLimit = 900
+	res := runWith(m.Hook())
+
+	if m.Runs != 1 {
+		t.Fatalf("Runs = %d", m.Runs)
+	}
+	if m.Proposed != res.Moves {
+		t.Fatalf("Proposed = %d, want %d", m.Proposed, res.Moves)
+	}
+	if m.Accepted != res.Accepted {
+		t.Fatalf("Accepted = %d, want %d", m.Accepted, res.Accepted)
+	}
+	if m.Proposed != m.Accepted+m.Rejected {
+		t.Fatalf("proposed %d != accepted %d + rejected %d", m.Proposed, m.Accepted, m.Rejected)
+	}
+	if m.Improvements != res.Improvements {
+		t.Fatalf("Improvements = %d, want %d", m.Improvements, res.Improvements)
+	}
+	if m.MovesUsed != res.Moves {
+		t.Fatalf("MovesUsed = %d, want %d", m.MovesUsed, res.Moves)
+	}
+	if m.Utilization() != 1 {
+		t.Fatalf("Utilization = %g, want 1", m.Utilization())
+	}
+	if m.BestCost != res.BestCost || m.FinalCost != res.FinalCost || m.InitialCost != res.InitialCost {
+		t.Fatalf("costs (%g,%g,%g) disagree with result (%g,%g,%g)",
+			m.InitialCost, m.BestCost, m.FinalCost, res.InitialCost, res.BestCost, res.FinalCost)
+	}
+	if len(m.Levels) != len(res.Levels) {
+		t.Fatalf("%d levels, want %d", len(m.Levels), len(res.Levels))
+	}
+	for i := range m.Levels {
+		if m.Levels[i].Proposed != res.Levels[i].Moves {
+			t.Fatalf("level %d proposed %d, want %d", i+1, m.Levels[i].Proposed, res.Levels[i].Moves)
+		}
+		if m.Levels[i].Accepted != res.Levels[i].Accepted {
+			t.Fatalf("level %d accepted %d, want %d", i+1, m.Levels[i].Accepted, res.Levels[i].Accepted)
+		}
+		if m.Levels[i].UphillAccepted != res.Levels[i].Uphill {
+			t.Fatalf("level %d uphill %d, want %d", i+1, m.Levels[i].UphillAccepted, res.Levels[i].Uphill)
+		}
+	}
+	if m.Deltas.Total() != m.Proposed {
+		t.Fatalf("histogram total %d != proposed %d", m.Deltas.Total(), m.Proposed)
+	}
+	if m.MovesToBest <= 0 || m.MovesToBest > m.MovesUsed {
+		t.Fatalf("MovesToBest = %d outside (0, %d]", m.MovesToBest, m.MovesUsed)
+	}
+}
+
+// metricsJSON is the canonical comparison form: identical aggregates must
+// marshal to identical bytes.
+func metricsJSON(t *testing.T, m *RunMetrics) string {
+	t.Helper()
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestSameSeedSameTelemetry(t *testing.T) {
+	collect := func() (*RunMetrics, []byte) {
+		var m RunMetrics
+		var buf bytes.Buffer
+		ew := NewEventWriter(&buf, "walk/run")
+		runWith(Tee(m.Hook(), ew.Hook()))
+		if err := ew.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return &m, buf.Bytes()
+	}
+	m1, j1 := collect()
+	m2, j2 := collect()
+	if metricsJSON(t, m1) != metricsJSON(t, m2) {
+		t.Fatal("identical seeds produced different RunMetrics")
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("identical seeds produced different JSONL bytes")
+	}
+}
+
+func TestNilHookBitIdentical(t *testing.T) {
+	var m RunMetrics
+	bare := runWith(nil)
+	inst := runWith(m.Hook())
+	if bare.BestCost != inst.BestCost || bare.FinalCost != inst.FinalCost ||
+		bare.Moves != inst.Moves || bare.Accepted != inst.Accepted ||
+		bare.Uphill != inst.Uphill || bare.Improvements != inst.Improvements {
+		t.Fatalf("instrumentation changed the run: %+v vs %+v", bare, inst)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var events []core.Event
+	var buf bytes.Buffer
+	ew := NewEventWriter(&buf, "walk/rt")
+	runWith(Tee(func(e core.Event) { events = append(events, e) }, ew.Hook()))
+	if err := ew.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("round-tripped %d records, want %d", len(got), len(events))
+	}
+	for i, e := range events {
+		if got[i] != RecordOf("walk/rt", e) {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], RecordOf("walk/rt", e))
+		}
+	}
+	// Replaying the records through a fresh aggregate must reproduce the
+	// live aggregate: the JSONL stream loses nothing the metrics need.
+	var live, replay RunMetrics
+	for _, e := range events {
+		live.Observe(e)
+	}
+	for _, r := range got {
+		replay.Observe(core.Event{
+			Kind: kindOf(t, r.Kind), Move: r.Move, Temp: r.Temp,
+			Delta: r.Delta, Cost: r.Cost, BestCost: r.Best,
+		})
+	}
+	if metricsJSON(t, &live) != metricsJSON(t, &replay) {
+		t.Fatal("replayed JSONL diverged from live aggregation")
+	}
+}
+
+func kindOf(t *testing.T, name string) core.EventKind {
+	t.Helper()
+	for k := core.EventStart; k <= core.EventEnd; k++ {
+		if k.String() == name {
+			return k
+		}
+	}
+	t.Fatalf("unknown kind %q", name)
+	return 0
+}
+
+func TestMergeMatchesSequentialObservation(t *testing.T) {
+	runSeeded := func(seed uint64, hook core.Hook) {
+		s := &walkSol{pos: 5, costs: ridges(37)}
+		core.Figure1{G: constG{k: 2, p: 0.5}, Hook: hook}.
+			Run(s, core.NewBudget(400), rand.New(rand.NewPCG(seed, 1)))
+	}
+	var sequential RunMetrics
+	runSeeded(1, sequential.Hook())
+	runSeeded(2, sequential.Hook())
+
+	var a, b RunMetrics
+	runSeeded(1, a.Hook())
+	runSeeded(2, b.Hook())
+	a.Merge(&b)
+
+	if sequential.Runs != 2 || a.Runs != 2 {
+		t.Fatalf("run counts %d / %d, want 2", sequential.Runs, a.Runs)
+	}
+	if metricsJSON(t, &sequential) != metricsJSON(t, &a) {
+		t.Fatalf("merge diverged from sequential observation:\n%s\n%s",
+			metricsJSON(t, &sequential), metricsJSON(t, &a))
+	}
+}
+
+func TestRender(t *testing.T) {
+	var m RunMetrics
+	m.BudgetLimit = 900
+	runWith(m.Hook())
+	var buf bytes.Buffer
+	if err := m.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"proposals:", "moves-to-best:", "utilization", "level", "rate", "Δ histogram"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDeltaHistClamps(t *testing.T) {
+	var h DeltaHist
+	for _, d := range []float64{-100, -6, -1, -0.4, 0, 0.4, 1, 6, 100} {
+		h.Add(d)
+	}
+	if h.Total() != 9 {
+		t.Fatalf("total %d, want 9", h.Total())
+	}
+	if h[0] != 2 { // -100 and -6 share the open-ended bucket
+		t.Fatalf("underflow bucket %d, want 2", h[0])
+	}
+	if h[len(h)-1] != 2 {
+		t.Fatalf("overflow bucket %d, want 2", h[len(h)-1])
+	}
+	if mid := h[deltaSpan]; mid != 3 { // -0.4, 0, 0.4 round to 0
+		t.Fatalf("zero bucket %d, want 3", mid)
+	}
+	if h.Label(0) != "≤-6" || h.Label(len(h)-1) != "≥6" || h.Label(deltaSpan) != "0" || h.Label(deltaSpan+2) != "+2" {
+		t.Fatalf("labels wrong: %q %q %q %q", h.Label(0), h.Label(len(h)-1), h.Label(deltaSpan), h.Label(deltaSpan+2))
+	}
+}
+
+func TestTee(t *testing.T) {
+	if Tee(nil, nil) != nil {
+		t.Fatal("all-nil Tee should be nil")
+	}
+	calls := 0
+	one := func(core.Event) { calls++ }
+	Tee(nil, one)(core.Event{Kind: core.EventStart})
+	if calls != 1 {
+		t.Fatalf("single-hook Tee fired %d times", calls)
+	}
+	Tee(one, nil, one)(core.Event{Kind: core.EventStart})
+	if calls != 3 {
+		t.Fatalf("double-hook Tee total %d, want 3", calls)
+	}
+}

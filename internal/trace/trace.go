@@ -30,7 +30,7 @@ type Series struct {
 	Points []Point
 }
 
-// Recorder accumulates engine trace events into a best-cost curve.
+// Recorder accumulates engine events into a best-cost curve.
 type Recorder struct {
 	name   string
 	points []Point
@@ -39,13 +39,26 @@ type Recorder struct {
 // NewRecorder returns a recorder for a curve with the given display name.
 func NewRecorder(name string) *Recorder { return &Recorder{name: name} }
 
-// Hook returns the callback to install as Figure1.Trace / Figure2.Trace.
-func (r *Recorder) Hook() func(core.TraceEvent) {
-	return func(e core.TraceEvent) {
-		// Keep only best-cost changes (plus the first event), so curves stay
-		// small even for million-move runs.
-		if n := len(r.points); n > 0 && r.points[n-1].Cost == e.BestCost {
+// Hook returns the callback to install as an engine's Hook field. The curve
+// keeps only best-cost changes (plus the first observed event), so it stays
+// small even for million-move runs; the run's end event always contributes a
+// terminal point at the final move count, so the curve spans how long the
+// run actually ran — not just when it last improved.
+func (r *Recorder) Hook() core.Hook {
+	return func(e core.Event) {
+		switch e.Kind {
+		case core.EventPropose, core.EventReject:
+			// The best cost cannot change on an unresolved or dropped
+			// proposal; skipping them keeps recording cheap.
 			return
+		case core.EventEnd:
+			if n := len(r.points); n > 0 && r.points[n-1].Move == e.Move {
+				return
+			}
+		default:
+			if n := len(r.points); n > 0 && r.points[n-1].Cost == e.BestCost {
+				return
+			}
 		}
 		r.points = append(r.points, Point{Move: e.Move, Cost: e.BestCost})
 	}

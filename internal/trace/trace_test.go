@@ -2,16 +2,17 @@ package trace
 
 import (
 	"bytes"
+	"math/rand/v2"
 	"strings"
 	"testing"
 
 	"mcopt/internal/core"
 )
 
-func events(pairs ...float64) []core.TraceEvent {
-	out := make([]core.TraceEvent, 0, len(pairs)/2)
+func events(pairs ...float64) []core.Event {
+	out := make([]core.Event, 0, len(pairs)/2)
 	for i := 0; i+1 < len(pairs); i += 2 {
-		out = append(out, core.TraceEvent{Move: int64(pairs[i]), BestCost: pairs[i+1]})
+		out = append(out, core.Event{Kind: core.EventAccept, Move: int64(pairs[i]), BestCost: pairs[i+1]})
 	}
 	return out
 }
@@ -41,12 +42,110 @@ func TestRecorderWithEngine(t *testing.T) {
 	// End-to-end on the core engines via a trivial solution type is covered
 	// in core's own tests; here just verify the hook signature composes.
 	rec := NewRecorder("x")
-	var f func(core.TraceEvent) = rec.Hook()
-	f(core.TraceEvent{Move: 1, BestCost: 10})
+	var f core.Hook = rec.Hook()
+	f(core.Event{Kind: core.EventAccept, Move: 1, BestCost: 10})
 	if len(rec.Series().Points) != 1 {
 		t.Fatal("hook did not record")
 	}
 }
+
+func TestRecorderIgnoresUnresolvedProposals(t *testing.T) {
+	rec := NewRecorder("r")
+	hook := rec.Hook()
+	hook(core.Event{Kind: core.EventStart, Move: 0, BestCost: 90})
+	hook(core.Event{Kind: core.EventPropose, Move: 1, Delta: 2, BestCost: 80})
+	hook(core.Event{Kind: core.EventReject, Move: 1, Delta: 2, BestCost: 80})
+	if got := rec.Series().Points; len(got) != 1 || got[0] != (Point{0, 90}) {
+		t.Fatalf("points = %v, want just the start point", got)
+	}
+}
+
+func TestRecorderTerminalPoint(t *testing.T) {
+	// A curve must end at budget exhaustion, not at the last improvement:
+	// the end event contributes a terminal point even when the best cost is
+	// unchanged since the last recorded one.
+	rec := NewRecorder("r")
+	hook := rec.Hook()
+	for _, e := range events(1, 80, 9, 60) {
+		hook(e)
+	}
+	hook(core.Event{Kind: core.EventEnd, Move: 500, BestCost: 60})
+	got := rec.Series().Points
+	want := []Point{{1, 80}, {9, 60}, {500, 60}}
+	if len(got) != len(want) {
+		t.Fatalf("points = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("point %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	// No duplicate when the final move already has a point.
+	rec2 := NewRecorder("r2")
+	hook2 := rec2.Hook()
+	hook2(core.Event{Kind: core.EventBest, Move: 500, BestCost: 60})
+	hook2(core.Event{Kind: core.EventEnd, Move: 500, BestCost: 60})
+	if got := rec2.Series().Points; len(got) != 1 {
+		t.Fatalf("duplicate terminal point: %v", got)
+	}
+}
+
+// TestRecorderEngineCurveSpansRun drives a real engine and checks the
+// recorded curve's last point sits at the run's true end.
+func TestRecorderEngineCurveSpansRun(t *testing.T) {
+	rec := NewRecorder("engine")
+	s := &stairSol{costs: stairs(33)}
+	res := core.Figure1{G: flatG{}, Hook: rec.Hook()}.
+		Run(s, core.NewBudget(600), rand.New(rand.NewPCG(3, 1)))
+	pts := rec.Series().Points
+	if len(pts) == 0 {
+		t.Fatal("no points recorded")
+	}
+	if last := pts[len(pts)-1]; last.Move != res.Moves {
+		t.Fatalf("curve ends at move %d, run ended at %d", last.Move, res.Moves)
+	}
+}
+
+// stairSol walks a descending staircase so improvements stop long before the
+// budget does.
+type stairSol struct {
+	pos   int
+	costs []float64
+}
+
+type stairMove struct {
+	s  *stairSol
+	to int
+}
+
+func stairs(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(n - i)
+	}
+	return out
+}
+
+func (s *stairSol) Cost() float64 { return s.costs[s.pos] }
+func (s *stairSol) Propose(r *rand.Rand) core.Move {
+	to := s.pos + 1
+	if to >= len(s.costs) {
+		to = s.pos - 1
+	}
+	return stairMove{s, to}
+}
+func (s *stairSol) Clone() core.Solution { c := *s; return &c }
+
+func (m stairMove) Delta() float64 { return m.s.costs[m.to] - m.s.costs[m.s.pos] }
+func (m stairMove) Apply()         { m.s.pos = m.to }
+
+type flatG struct{}
+
+func (flatG) Name() string                       { return "flat" }
+func (flatG) K() int                             { return 1 }
+func (flatG) Prob(int, float64, float64) float64 { return 0 }
+func (flatG) Gate() int                          { return 0 }
 
 func TestDownsample(t *testing.T) {
 	s := Series{Name: "s"}

@@ -52,8 +52,12 @@ type (
 	Budget = core.Budget
 	// Result records a run's outcome; see core.Result.
 	Result = core.Result
-	// TraceEvent is a progress callback record; see core.TraceEvent.
-	TraceEvent = core.TraceEvent
+	// Event is an engine telemetry event; see core.Event.
+	Event = core.Event
+	// EventKind identifies an engine decision point; see core.EventKind.
+	EventKind = core.EventKind
+	// Hook observes engine events; see core.Hook.
+	Hook = core.Hook
 	// PlateauPolicy selects the Figure-1 zero-delta rule; see
 	// core.PlateauPolicy.
 	PlateauPolicy = core.PlateauPolicy
@@ -79,6 +83,18 @@ const (
 	PlateauAccept      = core.PlateauAccept
 	PlateauAcceptReset = core.PlateauAcceptReset
 	PlateauReject      = core.PlateauReject
+)
+
+// Engine event kinds; see core.EventKind.
+const (
+	EventStart   = core.EventStart
+	EventPropose = core.EventPropose
+	EventAccept  = core.EventAccept
+	EventReject  = core.EventReject
+	EventLevel   = core.EventLevel
+	EventDescent = core.EventDescent
+	EventBest    = core.EventBest
+	EventEnd     = core.EventEnd
 )
 
 // NewBudget returns a budget of exactly `moves` attempted perturbations.
