@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench tables tune report examples cover fuzz profile clean
+.PHONY: all build test vet bench bench-json tables tune report examples cover fuzz profile clean
 
 all: build vet test
 
@@ -23,6 +23,12 @@ test:
 # One benchmark per paper table plus the ablation suite.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable results for the evaluation-kernel micro-benchmarks
+# (BenchmarkSwapEval / BenchmarkSwapApply / BenchmarkReinsertEval /
+# BenchmarkSwapEvalLarge), for tracking kernel regressions over time.
+bench-json:
+	$(GO) test -json -run '^$$' -bench 'BenchmarkSwapEval$$|BenchmarkSwapApply$$|BenchmarkReinsertEval$$|BenchmarkSwapEvalLarge' -benchmem . > BENCH_kernel.json
 
 # Regenerate the paper's tables at paper budgets (writes to stdout).
 tables:
@@ -57,4 +63,4 @@ profile:
 	$(GO) run ./cmd/olabench -table 4.1 -seq -cpuprofile cpu.pprof -memprofile mem.pprof
 
 clean:
-	rm -f report.md test_output.txt bench_output.txt cpu.pprof mem.pprof
+	rm -f report.md test_output.txt bench_output.txt cpu.pprof mem.pprof BENCH_kernel.json

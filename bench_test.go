@@ -12,6 +12,7 @@
 package mcopt_test
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -233,8 +234,7 @@ func Benchmark_AblationStartQuality(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				x := experiment.Run(tc.suite, methods, []int64{600}, experiment.Config{Seed: 1})
 				total := 0
-				for inst, d := range x.BestDensities[0][0] {
-					_ = inst
+				for _, d := range x.BestDensities[0][0] {
 					total += d
 				}
 				b.ReportMetric(float64(total), "finalDensitySum")
@@ -274,6 +274,8 @@ func Benchmark_AblationMoveClass(b *testing.B) {
 func BenchmarkSwapEval(b *testing.B) {
 	nl := mcopt.RandomGraph(mcopt.Stream("bench/swap", 1), 15, 150)
 	a := mcopt.RandomArrangement(nl, mcopt.Stream("bench/swap-start", 1))
+	a.EvalSwap(0, 14) // warm the proposal buffers so steady state is 0 allocs/op
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m := a.EvalSwap(i%14, 14)
@@ -283,9 +285,33 @@ func BenchmarkSwapEval(b *testing.B) {
 	}
 }
 
+// BenchmarkSwapEvalLarge pins the kernel's size scaling: proposal cost must
+// grow with the nets a move touches (roughly constant here) times log n,
+// not with instance size. The paper's regime (10 nets per cell) is held
+// fixed while n grows well past the paper's 15 cells.
+func BenchmarkSwapEvalLarge(b *testing.B) {
+	for _, n := range []int{15, 100, 400} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			nl := mcopt.RandomGraph(mcopt.Stream("bench/swap-large", 1), n, 10*n)
+			a := mcopt.RandomArrangement(nl, mcopt.Stream("bench/swap-large-start", 1))
+			a.EvalSwap(0, n-1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := a.EvalSwap(i%(n-1), n-1)
+				if m.DeltaInt() < -1000000 {
+					b.Fatal("impossible delta")
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkSwapApply(b *testing.B) {
 	nl := mcopt.RandomGraph(mcopt.Stream("bench/apply", 1), 15, 150)
 	a := mcopt.RandomArrangement(nl, mcopt.Stream("bench/apply-start", 1))
+	a.EvalSwap(0, 14)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a.EvalSwap(i%14, 14).Apply()
@@ -295,6 +321,8 @@ func BenchmarkSwapApply(b *testing.B) {
 func BenchmarkReinsertEval(b *testing.B) {
 	nl := mcopt.RandomHyper(mcopt.Stream("bench/reinsert", 1), 15, 150, 2, 8)
 	a := mcopt.RandomArrangement(nl, mcopt.Stream("bench/reinsert-start", 1))
+	a.EvalReinsert(0, 14)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if a.EvalReinsert(i%15, (i+7)%15).DeltaInt() < -1000 {

@@ -24,6 +24,7 @@ func main() {
 	instances := flag.Int("instances", 10, "instances per size")
 	budget := flag.Int64("budget", experiment.Seconds(12), "moves per instance per method")
 	netsPerCell := flag.Int("netspercell", 10, "nets per cell (paper: 150/15 = 10)")
+	throughput := flag.Bool("throughput", true, "report wall-clock Monte Carlo moves/sec per size")
 	flag.Parse()
 
 	p := experiment.SweepParams{
@@ -31,6 +32,7 @@ func main() {
 		Instances:   *instances,
 		Budget:      *budget,
 		Seed:        *seed,
+		Throughput:  *throughput,
 	}
 	for _, f := range strings.Split(*sizes, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))

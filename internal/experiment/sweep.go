@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"time"
 
 	"mcopt/internal/core"
 	"mcopt/internal/exact"
@@ -26,6 +27,10 @@ type SweepParams struct {
 	Budget int64
 	// Seed drives generation and runs.
 	Seed uint64
+	// Throughput adds a wall-clock moves/sec column per size, making kernel
+	// scaling regressions visible from the CLI. Off by default: the column
+	// is machine-dependent, so deterministic (golden-tested) tables omit it.
+	Throughput bool
 }
 
 // DefaultSweepParams returns the published-regime defaults.
@@ -70,6 +75,9 @@ func SizeSweep(p SweepParams) *Table {
 			p.Instances, p.NetsPerCell, p.Budget),
 		Columns: []string{"start sum", "Goto", "6T-SA", "g = 1", "optimal"},
 	}
+	if p.Throughput {
+		t.Columns = append(t.Columns, "moves/s")
+	}
 	for _, cells := range p.Sizes {
 		nets := cells * p.NetsPerCell
 		startSum, gotoRed, optRed := 0, 0, 0
@@ -77,6 +85,8 @@ func SizeSweep(p SweepParams) *Table {
 		optKnown := cells <= exact.MaxCells
 
 		scale := gfunc.Scale{TypicalCost: 1, TypicalDelta: 2}
+		var mcMoves int64
+		var mcElapsed time.Duration
 		for i := 0; i < p.Instances; i++ {
 			nl := netlist.RandomGraph(rng.Derive(fmt.Sprintf("sweep/%d/netlist", cells), p.Seed, uint64(i)), cells, nets)
 			start := linarr.Random(nl, rng.Derive(fmt.Sprintf("sweep/%d/start", cells), p.Seed, uint64(i)))
@@ -94,8 +104,11 @@ func SizeSweep(p SweepParams) *Table {
 			scale.TypicalCost = float64(max(d0, 1))
 			run := func(g core.G, name string) int {
 				sol := linarr.NewSolution(start.Clone(), linarr.PairwiseInterchange)
+				t0 := time.Now()
 				res := core.Figure1{G: g}.Run(sol, core.NewBudget(p.Budget),
 					rng.Derive(fmt.Sprintf("sweep/%d/%s", cells, name), p.Seed, uint64(i)))
+				mcElapsed += time.Since(t0)
+				mcMoves += res.Moves
 				return int(res.Reduction())
 			}
 			b2, _ := gfunc.ByID(2)
@@ -106,12 +119,21 @@ func SizeSweep(p SweepParams) *Table {
 		if !optKnown {
 			cells3 = "-"
 		}
-		t.AddTextRow(fmt.Sprintf("n=%d", cells),
+		row := []string{
 			fmt.Sprintf("%d", startSum),
 			fmt.Sprintf("%d", gotoRed),
 			fmt.Sprintf("%d", saRed),
 			fmt.Sprintf("%d", goneRed),
-			cells3)
+			cells3,
+		}
+		if p.Throughput {
+			rate := "-"
+			if s := mcElapsed.Seconds(); s > 0 {
+				rate = fmt.Sprintf("%.0f", float64(mcMoves)/s)
+			}
+			row = append(row, rate)
+		}
+		t.AddTextRow(fmt.Sprintf("n=%d", cells), row...)
 	}
 	return t
 }

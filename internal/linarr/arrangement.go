@@ -4,9 +4,11 @@
 // positions. With two-pin nets this is the GOLA problem; with multi-pin nets
 // it is NOLA (the board permutation problem of [GOTO77] and [COHO83a]).
 //
-// The package provides O(pins-touched) incremental evaluation of pairwise
-// interchanges, single-exchange (remove/reinsert) moves, deterministic local
-// search, and adapters implementing core.Solution / core.Descender.
+// The package provides O(nets-touched · √n) incremental evaluation of
+// pairwise interchanges and single-exchange (remove/reinsert) moves over a
+// two-level lazy range-add/range-max segment tree (see segtree.go),
+// deterministic local search, and adapters implementing core.Solution /
+// core.Descender. The proposal path performs no heap allocations.
 package linarr
 
 import (
@@ -24,23 +26,39 @@ import (
 // Gap g (0 ≤ g < NumCells−1) separates positions g and g+1. A net whose
 // pins span positions [lo, hi] crosses every gap in [lo, hi). The density is
 // the maximum crossing count over all gaps.
+//
+// Gap counts live in a lazy range-add/range-max segment tree. An Eval*
+// call applies its net-span changes to the tree's proposal overlay and
+// records them in the span log: Apply merges the overlay and promotes the
+// log, while the next Eval* (a rejected proposal) rolls the overlay back
+// first — committed state is never mutated by an evaluation. The seq
+// counter detects stale moves, so at most one proposal is ever outstanding
+// and the move structs themselves can be reused per arrangement.
 type Arrangement struct {
 	nl      *netlist.Netlist
-	cellAt  []int // cellAt[pos] = cell occupying the position
-	posOf   []int // posOf[cell] = the cell's position
-	gapCut  []int // gapCut[g] = number of nets crossing gap g
-	netLo   []int // netLo[n] = leftmost pin position of net n
-	netHi   []int // netHi[n] = rightmost pin position of net n
+	cellAt  []int   // cellAt[pos] = cell occupying the position
+	posOf   []int   // posOf[cell] = the cell's position
+	tree    gapTree // gap-crossing counts (committed state + proposal overlay)
+	netLo   []int   // netLo[n] = leftmost pin position of net n (committed)
+	netHi   []int   // netHi[n] = rightmost pin position of net n (committed)
 	dens    int
 	spanSum int // Σ over nets of (netHi − netLo): total wirelength
 
-	// Proposal scratch state. A proposed move snapshots gap counts here and
-	// is committed by swapping the buffers; seq detects stale moves.
-	scratch   []int
+	// Proposal state: the outstanding move's span changes and reusable
+	// move storage.
 	spans     []spanChange
 	netMark   []int
 	markEpoch int
 	seq       uint64
+	swapMv    swapMove
+	reinsMv   reinsertMove
+
+	// Canonical-range coalescing for the current evaluation. Every net
+	// whose other pins lie outside the move's window [min(p,q), max(p,q)]
+	// contributes a symmetric-difference edge equal to exactly that window,
+	// so those range-adds collapse into one with an accumulated
+	// coefficient.
+	canonLo, canonHi, canonD int
 }
 
 type spanChange struct{ net, lo, hi int }
@@ -56,12 +74,11 @@ func New(nl *netlist.Netlist, order []int) (*Arrangement, error) {
 		nl:      nl,
 		cellAt:  slices.Clone(order),
 		posOf:   make([]int, n),
-		gapCut:  make([]int, max(n-1, 0)),
 		netLo:   make([]int, nl.NumNets()),
 		netHi:   make([]int, nl.NumNets()),
-		scratch: make([]int, max(n-1, 0)),
 		netMark: make([]int, nl.NumNets()),
 	}
+	a.tree.init(max(n-1, 0))
 	seen := make([]bool, n)
 	for pos, c := range order {
 		if c < 0 || c >= n || seen[c] {
@@ -102,23 +119,45 @@ func Identity(nl *netlist.Netlist) *Arrangement {
 // recompute rebuilds spans, gap counts and density from the permutation —
 // O(total pins). Used at construction and as the test oracle's reference.
 func (a *Arrangement) recompute() {
-	clear(a.gapCut)
+	counts := make([]int, max(a.nl.NumCells()-1, 0))
 	a.spanSum = 0
 	for n := 0; n < a.nl.NumNets(); n++ {
 		lo, hi := a.span(n, -1, -1, -1, -1)
 		a.netLo[n], a.netHi[n] = lo, hi
 		a.spanSum += hi - lo
 		for g := lo; g < hi; g++ {
-			a.gapCut[g]++
+			counts[g]++
 		}
 	}
-	a.dens = maxOf(a.gapCut)
+	a.spans = a.spans[:0]
+	a.tree.build(counts)
+	a.dens = a.tree.proposedMax()
 }
 
 // span computes net n's position span, pretending that cellX sits at posX
-// and cellY at posY (pass −1s for no overrides).
+// and cellY at posY (pass −1s for no overrides). Two-pin nets — every net
+// in the GOLA regime — take a loop-free fast path.
 func (a *Arrangement) span(n, cellX, posX, cellY, posY int) (lo, hi int) {
 	pins := a.nl.Net(n)
+	if len(pins) == 2 {
+		p0, p1 := a.posOf[pins[0]], a.posOf[pins[1]]
+		switch pins[0] {
+		case cellX:
+			p0 = posX
+		case cellY:
+			p0 = posY
+		}
+		switch pins[1] {
+		case cellX:
+			p1 = posX
+		case cellY:
+			p1 = posY
+		}
+		if p0 < p1 {
+			return p0, p1
+		}
+		return p1, p0
+	}
 	lo, hi = a.nl.NumCells(), -1
 	for _, c := range pins {
 		p := a.posOf[c]
@@ -132,6 +171,77 @@ func (a *Arrangement) span(n, cellX, posX, cellY, posY int) (lo, hi int) {
 		hi = max(hi, p)
 	}
 	return lo, hi
+}
+
+// settle discards an un-applied outstanding proposal, restoring the tree's
+// proposal overlay to empty. O(blocks touched); a no-op when no proposal is
+// outstanding.
+func (a *Arrangement) settle() {
+	a.tree.rollback()
+	a.spans = a.spans[:0]
+}
+
+// propose records net n's span change [lo, hi) in the span log and applies
+// it to the gap tree's proposal overlay (discarded by settle, merged by
+// commit). When the old and new spans overlap — the common case — only
+// their symmetric difference is posted: the shared middle cancels exactly,
+// so the tree work tracks how far the endpoints moved, not the span
+// lengths.
+func (a *Arrangement) propose(n, lo, hi int) {
+	oldLo, oldHi := a.netLo[n], a.netHi[n]
+	if lo < oldHi && oldLo < hi {
+		if oldLo < lo {
+			a.addRange(oldLo, lo, -1)
+		} else {
+			a.addRange(lo, oldLo, 1)
+		}
+		if hi < oldHi {
+			a.addRange(hi, oldHi, -1)
+		} else {
+			a.addRange(oldHi, hi, 1)
+		}
+	} else {
+		a.addRange(oldLo, oldHi, -1)
+		a.addRange(lo, hi, 1)
+	}
+	a.spans = append(a.spans, spanChange{net: n, lo: lo, hi: hi})
+}
+
+// beginCanon starts an evaluation's canonical-range accumulator for the
+// window [lo, hi); flushCanon posts the accumulated coefficient (if any) to
+// the tree and must run before the tree's proposedMax is read.
+func (a *Arrangement) beginCanon(lo, hi int) {
+	a.canonLo, a.canonHi, a.canonD = lo, hi, 0
+}
+
+func (a *Arrangement) flushCanon() {
+	if a.canonD != 0 {
+		a.tree.rangeAdd(a.canonLo, a.canonHi, a.canonD)
+		a.canonD = 0
+	}
+}
+
+// addRange routes a proposal range-add either into the canonical-range
+// accumulator (when it is exactly the move's window) or straight to the
+// tree. Zero-length ranges are dropped by the tree.
+func (a *Arrangement) addRange(l, r, d int) {
+	if l == a.canonLo && r == a.canonHi {
+		a.canonD += d
+		return
+	}
+	a.tree.rangeAdd(l, r, d)
+}
+
+// commit promotes the outstanding proposal: the tree overlay is merged and
+// the span cache and objective values updated.
+func (a *Arrangement) commit(delta, spanDelta int) {
+	for _, s := range a.spans {
+		a.netLo[s.net], a.netHi[s.net] = s.lo, s.hi
+	}
+	a.spans = a.spans[:0]
+	a.tree.commitProposal()
+	a.dens += delta
+	a.spanSum += spanDelta
 }
 
 // Density returns the current maximum gap-crossing count — the objective of
@@ -159,29 +269,24 @@ func (a *Arrangement) PosOf(cell int) int { return a.posOf[cell] }
 // Order returns a copy of the current cell order (position → cell).
 func (a *Arrangement) Order() []int { return slices.Clone(a.cellAt) }
 
-// GapCut returns the crossing count of gap g, for diagnostics and tests.
-func (a *Arrangement) GapCut(g int) int { return a.gapCut[g] }
+// GapCut returns the committed crossing count of gap g in O(1), for
+// diagnostics and tests. Proposals live in the tree's overlay, so an
+// evaluated-but-unapplied move stays valid across the call.
+func (a *Arrangement) GapCut(g int) int { return a.tree.committedAt(g) }
 
-// Clone returns a deep copy sharing only the immutable netlist.
+// Clone returns a deep copy sharing only the immutable netlist. The copy is
+// in committed state: an outstanding proposal on the receiver is not
+// carried over (the receiver and its pending move are untouched).
 func (a *Arrangement) Clone() *Arrangement {
 	return &Arrangement{
 		nl:      a.nl,
 		cellAt:  slices.Clone(a.cellAt),
 		posOf:   slices.Clone(a.posOf),
-		gapCut:  slices.Clone(a.gapCut),
+		tree:    a.tree.clone(),
 		netLo:   slices.Clone(a.netLo),
 		netHi:   slices.Clone(a.netHi),
 		dens:    a.dens,
 		spanSum: a.spanSum,
-		scratch: make([]int, len(a.gapCut)),
 		netMark: make([]int, a.nl.NumNets()),
 	}
-}
-
-func maxOf(xs []int) int {
-	m := 0
-	for _, x := range xs {
-		m = max(m, x)
-	}
-	return m
 }

@@ -1,0 +1,161 @@
+package linarr
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"mcopt/internal/netlist"
+)
+
+// checkAgainstOracle rebuilds an arrangement from a's committed order and
+// compares every piece of incremental state — density, total span, per-gap
+// counts and per-net spans — against the from-scratch recompute.
+func checkAgainstOracle(t *testing.T, a *Arrangement, label string) {
+	t.Helper()
+	oracle := MustNew(a.Netlist(), a.Order())
+	if a.Density() != oracle.Density() {
+		t.Fatalf("%s: Density = %d, oracle %d", label, a.Density(), oracle.Density())
+	}
+	if a.TotalSpan() != oracle.TotalSpan() {
+		t.Fatalf("%s: TotalSpan = %d, oracle %d", label, a.TotalSpan(), oracle.TotalSpan())
+	}
+	for g := 0; g < a.NumCells()-1; g++ {
+		if a.GapCut(g) != oracle.GapCut(g) {
+			t.Fatalf("%s: GapCut(%d) = %d, oracle %d", label, g, a.GapCut(g), oracle.GapCut(g))
+		}
+	}
+	for n := 0; n < a.Netlist().NumNets(); n++ {
+		if a.netLo[n] != oracle.netLo[n] || a.netHi[n] != oracle.netHi[n] {
+			t.Fatalf("%s: net %d span [%d,%d], oracle [%d,%d]",
+				label, n, a.netLo[n], a.netHi[n], oracle.netLo[n], oracle.netHi[n])
+		}
+	}
+	for c := 0; c < a.NumCells(); c++ {
+		if a.CellAt(a.PosOf(c)) != c {
+			t.Fatalf("%s: cellAt/posOf out of sync for cell %d", label, c)
+		}
+	}
+}
+
+// driveKernel throws a random move sequence — evaluations, applies, implicit
+// rejections, mid-proposal reads and clones — at an arrangement and checks
+// the incremental state against the recompute oracle after every apply.
+func driveKernel(t *testing.T, nl *netlist.Netlist, r *rand.Rand, steps int) {
+	t.Helper()
+	a := Random(nl, r)
+	checkAgainstOracle(t, a, "initial")
+	n := a.NumCells()
+	for step := 0; step < steps; step++ {
+		p, q := r.IntN(n), r.IntN(n)
+		obj := Density
+		if r.IntN(4) == 0 {
+			obj = TotalSpan
+		}
+		var m Move
+		kind := "swap"
+		if r.IntN(2) == 0 {
+			m = a.EvalSwapFor(p, q, obj)
+		} else {
+			kind = "reinsert"
+			m = a.EvalReinsertFor(p, q, obj)
+		}
+
+		// The delta the move reports must match the oracle difference.
+		before := MustNew(nl, a.Order())
+		if r.IntN(8) == 0 {
+			// Committed reads and clones must not disturb the proposal.
+			_ = a.GapCut(r.IntN(max(n-1, 1)))
+			cl := a.Clone()
+			checkAgainstOracle(t, cl, "clone mid-proposal")
+		}
+
+		if r.IntN(2) == 0 {
+			// Reject by abandoning the move; the next Eval rolls it back.
+			continue
+		}
+		m.Apply()
+		after := MustNew(nl, a.Order())
+		if got, want := m.DensityDelta(), after.Density()-before.Density(); got != want {
+			t.Fatalf("step %d: %s(%d,%d) DensityDelta = %d, oracle %d", step, kind, p, q, got, want)
+		}
+		if got, want := m.SpanDelta(), after.TotalSpan()-before.TotalSpan(); got != want {
+			t.Fatalf("step %d: %s(%d,%d) SpanDelta = %d, oracle %d", step, kind, p, q, got, want)
+		}
+		checkAgainstOracle(t, a, "after apply")
+	}
+}
+
+// TestKernelDifferential drives thousands of random move sequences against
+// the recompute oracle over graph and hypergraph netlists of several sizes,
+// crossing the tree's block-size regimes.
+func TestKernelDifferential(t *testing.T) {
+	r := rand.New(rand.NewPCG(42, 1))
+	for _, tc := range []struct {
+		name  string
+		nl    *netlist.Netlist
+		steps int
+	}{
+		{"pair-n2", netlist.MustNew(2, [][]int{{0, 1}}), 50},
+		{"graph-n6", netlist.RandomGraph(r, 6, 9), 400},
+		{"graph-n15", netlist.RandomGraph(r, 15, 30), 400},
+		{"graph-n33", netlist.RandomGraph(r, 33, 80), 300},
+		{"hyper-n20", netlist.RandomHyper(r, 20, 15, 2, 6), 400},
+		{"hyper-n40", netlist.RandomHyper(r, 40, 25, 3, 8), 300},
+		{"sparse-n25", netlist.RandomGraph(r, 25, 5), 300},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			driveKernel(t, tc.nl, r, tc.steps)
+		})
+	}
+}
+
+// FuzzArrangementKernel interprets fuzz bytes as a netlist shape plus a move
+// program and cross-checks the incremental kernel against the recompute
+// oracle, mirroring the netlist text fuzzer.
+func FuzzArrangementKernel(f *testing.F) {
+	f.Add([]byte{5, 0, 1, 1, 2, 0xFF, 10, 20, 30})
+	f.Add([]byte{2, 0, 1, 0xFF, 0, 1, 2, 3})
+	f.Add([]byte{15, 0, 1, 2, 3, 4, 5, 0xFF, 200, 100, 9, 8, 7, 6, 5, 4, 3})
+	f.Add([]byte{3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := int(data[0])%19 + 2 // 2..20 cells
+		data = data[1:]
+
+		// Bytes up to the 0xFF sentinel are net pins, two per net.
+		var nets [][]int
+		for len(data) >= 2 && data[0] != 0xFF {
+			u, v := int(data[0])%n, int(data[1])%n
+			if u != v {
+				nets = append(nets, []int{u, v})
+			}
+			data = data[2:]
+		}
+		if len(data) > 0 && data[0] == 0xFF {
+			data = data[1:]
+		}
+		nl, err := netlist.New(n, nets)
+		if err != nil {
+			return // duplicate pins etc.: fine, as long as there is no panic
+		}
+
+		a := Identity(nl)
+		// Remaining bytes are the move program: each byte encodes move
+		// class, positions, and whether to apply.
+		for i := 0; i+1 < len(data); i += 2 {
+			p, q := int(data[i])%n, int(data[i+1])%n
+			var m Move
+			if data[i]&0x80 != 0 {
+				m = a.EvalReinsert(p, q)
+			} else {
+				m = a.EvalSwap(p, q)
+			}
+			if data[i+1]&0x80 != 0 {
+				m.Apply()
+			}
+		}
+		checkAgainstOracle(t, a, "after fuzz program")
+	})
+}

@@ -6,6 +6,9 @@ import "fmt"
 // most one move may be outstanding per Arrangement: evaluating a new move
 // invalidates the previous one, and applying a stale move panics. The
 // method set satisfies core.Move.
+//
+// Moves are backed by per-arrangement storage (no heap allocation per
+// proposal); an invalidated move must not be read, only discarded.
 type Move interface {
 	// Delta returns the change to the move's objective (Density by
 	// default; TotalSpan when evaluated via an Objective-aware call).
@@ -67,23 +70,25 @@ type reinsertMove struct {
 }
 
 // EvalSwap evaluates interchanging the cells at positions p and q. The
-// evaluation runs in O(pins incident to the two cells) and does not modify
-// the arrangement until Apply.
+// evaluation runs in O(nets incident to the two cells · log n) and does not
+// commit until Apply.
 func (a *Arrangement) EvalSwap(p, q int) Move { return a.EvalSwapFor(p, q, Density) }
 
 // EvalSwapFor is EvalSwap with an explicit reporting objective.
 func (a *Arrangement) EvalSwapFor(p, q int, obj Objective) Move {
 	a.checkPos(p)
 	a.checkPos(q)
+	a.settle()
 	a.seq++
-	a.spans = a.spans[:0]
-	copy(a.scratch, a.gapCut)
+	m := &a.swapMv
+	*m = swapMove{a: a, p: p, q: q, obj: obj, seq: a.seq}
 	if p == q {
-		return &swapMove{a: a, p: p, q: q, obj: obj, seq: a.seq}
+		return m
 	}
 	x, y := a.cellAt[p], a.cellAt[q]
 	spanDelta := 0
 	a.markEpoch++
+	a.beginCanon(min(p, q), max(p, q))
 	visit := func(n int) {
 		if a.netMark[n] == a.markEpoch {
 			return
@@ -94,13 +99,7 @@ func (a *Arrangement) EvalSwapFor(p, q int, obj Objective) Move {
 			return
 		}
 		spanDelta += (hi - lo) - (a.netHi[n] - a.netLo[n])
-		for g := a.netLo[n]; g < a.netHi[n]; g++ {
-			a.scratch[g]--
-		}
-		for g := lo; g < hi; g++ {
-			a.scratch[g]++
-		}
-		a.spans = append(a.spans, spanChange{net: n, lo: lo, hi: hi})
+		a.propose(n, lo, hi)
 	}
 	for _, n := range a.nl.CellNets(x) {
 		visit(n)
@@ -108,8 +107,10 @@ func (a *Arrangement) EvalSwapFor(p, q int, obj Objective) Move {
 	for _, n := range a.nl.CellNets(y) {
 		visit(n)
 	}
-	return &swapMove{a: a, p: p, q: q, delta: maxOf(a.scratch) - a.dens,
-		spanDelta: spanDelta, obj: obj, seq: a.seq}
+	a.flushCanon()
+	m.delta = a.tree.proposedMax() - a.dens
+	m.spanDelta = spanDelta
+	return m
 }
 
 func (m *swapMove) Delta() float64    { return float64(m.DeltaInt()) }
@@ -132,26 +133,30 @@ func (m *swapMove) Apply() {
 	x, y := a.cellAt[m.p], a.cellAt[m.q]
 	a.cellAt[m.p], a.cellAt[m.q] = y, x
 	a.posOf[x], a.posOf[y] = m.q, m.p
-	a.commitScratch(m.delta, m.spanDelta)
+	a.commit(m.delta, m.spanDelta)
 }
 
 // EvalReinsert evaluates removing the cell at position p and reinserting it
-// at position q (cells in between shift toward p). Because up to
-// |p − q| + 1 cells move, the evaluation recomputes every net span —
-// O(total pins) — rather than attempting an incremental update.
+// at position q (cells in between shift toward p). Only nets with a pin in
+// the shifted window [min(p,q), max(p,q)] can change span, so the
+// evaluation runs in O(pins of nets incident to the window · log n) rather
+// than rescanning every net.
 func (a *Arrangement) EvalReinsert(p, q int) Move { return a.EvalReinsertFor(p, q, Density) }
 
 // EvalReinsertFor is EvalReinsert with an explicit reporting objective.
 func (a *Arrangement) EvalReinsertFor(p, q int, obj Objective) Move {
 	a.checkPos(p)
 	a.checkPos(q)
+	a.settle()
 	a.seq++
-	a.spans = a.spans[:0]
+	m := &a.reinsMv
+	*m = reinsertMove{a: a, p: p, q: q, obj: obj, seq: a.seq}
 	if p == q {
-		copy(a.scratch, a.gapCut)
-		return &reinsertMove{a: a, p: p, q: q, obj: obj, seq: a.seq}
+		return m
 	}
-	// newPosOf maps an old position to its post-move position.
+	// newPos maps an old position to its post-move position. Positions
+	// outside the window are fixed, so a net with no pin in the window
+	// keeps its span.
 	newPos := func(pos int) int {
 		switch {
 		case pos == p:
@@ -164,25 +169,32 @@ func (a *Arrangement) EvalReinsertFor(p, q int, obj Objective) Move {
 			return pos
 		}
 	}
-	clear(a.scratch)
 	spanDelta := 0
-	for n := 0; n < a.nl.NumNets(); n++ {
-		lo, hi := a.nl.NumCells(), -1
-		for _, c := range a.nl.Net(n) {
-			pos := newPos(a.posOf[c])
-			lo = min(lo, pos)
-			hi = max(hi, pos)
-		}
-		for g := lo; g < hi; g++ {
-			a.scratch[g]++
-		}
-		if lo != a.netLo[n] || hi != a.netHi[n] {
+	a.markEpoch++
+	a.beginCanon(min(p, q), max(p, q))
+	for pos := min(p, q); pos <= max(p, q); pos++ {
+		for _, n := range a.nl.CellNets(a.cellAt[pos]) {
+			if a.netMark[n] == a.markEpoch {
+				continue
+			}
+			a.netMark[n] = a.markEpoch
+			lo, hi := a.nl.NumCells(), -1
+			for _, c := range a.nl.Net(n) {
+				pp := newPos(a.posOf[c])
+				lo = min(lo, pp)
+				hi = max(hi, pp)
+			}
+			if lo == a.netLo[n] && hi == a.netHi[n] {
+				continue
+			}
 			spanDelta += (hi - lo) - (a.netHi[n] - a.netLo[n])
-			a.spans = append(a.spans, spanChange{net: n, lo: lo, hi: hi})
+			a.propose(n, lo, hi)
 		}
 	}
-	return &reinsertMove{a: a, p: p, q: q, delta: maxOf(a.scratch) - a.dens,
-		spanDelta: spanDelta, obj: obj, seq: a.seq}
+	a.flushCanon()
+	m.delta = a.tree.proposedMax() - a.dens
+	m.spanDelta = spanDelta
+	return m
 }
 
 func (m *reinsertMove) Delta() float64    { return float64(m.DeltaInt()) }
@@ -215,18 +227,7 @@ func (m *reinsertMove) Apply() {
 			a.posOf[a.cellAt[pos]] = pos
 		}
 	}
-	a.commitScratch(m.delta, m.spanDelta)
-}
-
-// commitScratch promotes the proposal buffers produced by an Eval* call.
-func (a *Arrangement) commitScratch(delta, spanDelta int) {
-	for _, s := range a.spans {
-		a.netLo[s.net], a.netHi[s.net] = s.lo, s.hi
-	}
-	a.spans = a.spans[:0]
-	a.gapCut, a.scratch = a.scratch, a.gapCut
-	a.dens += delta
-	a.spanSum += spanDelta
+	a.commit(m.delta, m.spanDelta)
 }
 
 func (a *Arrangement) checkPos(p int) {

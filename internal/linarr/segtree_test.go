@@ -1,0 +1,130 @@
+package linarr
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// naiveGaps mirrors gapTree with plain slices: a committed array plus a
+// pending-delta array for the outstanding proposal.
+type naiveGaps struct {
+	committed []int
+	pending   []int
+}
+
+func newNaiveGaps(values []int) *naiveGaps {
+	g := &naiveGaps{
+		committed: append([]int(nil), values...),
+		pending:   make([]int, len(values)),
+	}
+	return g
+}
+
+func (g *naiveGaps) rangeAdd(l, r, d int) {
+	for i := l; i < r; i++ {
+		g.pending[i] += d
+	}
+}
+
+func (g *naiveGaps) proposedMax() int {
+	m := 0
+	for i, v := range g.committed {
+		m = max(m, v+g.pending[i])
+	}
+	return m
+}
+
+func (g *naiveGaps) rollback() { clear(g.pending) }
+
+func (g *naiveGaps) commit() {
+	for i := range g.committed {
+		g.committed[i] += g.pending[i]
+	}
+	clear(g.pending)
+}
+
+func (g *naiveGaps) check(t *testing.T, tree *gapTree, label string) {
+	t.Helper()
+	if got, want := tree.proposedMax(), g.proposedMax(); got != want {
+		t.Fatalf("%s: proposedMax = %d, want %d", label, got, want)
+	}
+	for i, v := range g.committed {
+		if got := tree.committedAt(i); got != v {
+			t.Fatalf("%s: committedAt(%d) = %d, want %d", label, i, got, v)
+		}
+	}
+}
+
+func TestGapTreeAgainstNaive(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 7))
+	for _, n := range []int{1, 2, 15, 16, 17, 63, 64, 100, 257, 400} {
+		values := make([]int, n)
+		for i := range values {
+			values[i] = r.IntN(8)
+		}
+		var tree gapTree
+		tree.init(n)
+		tree.build(values)
+		model := newNaiveGaps(values)
+		model.check(t, &tree, "after build")
+
+		for step := 0; step < 600; step++ {
+			// Build a proposal out of a few random range-adds, check the
+			// overlay view, then either roll it back or commit it.
+			for k := r.IntN(4); k >= 0; k-- {
+				l := r.IntN(n)
+				rr := l + r.IntN(n-l) + 1
+				d := []int{-1, 1, 2}[r.IntN(3)]
+				tree.rangeAdd(l, rr, d)
+				model.rangeAdd(l, rr, d)
+			}
+			model.check(t, &tree, "with overlay")
+			if r.IntN(2) == 0 {
+				tree.rollback()
+				model.rollback()
+			} else {
+				tree.commitProposal()
+				model.commit()
+			}
+			model.check(t, &tree, "after settle")
+		}
+	}
+}
+
+func TestGapTreeCloneIsIndependent(t *testing.T) {
+	var tree gapTree
+	tree.init(40)
+	values := make([]int, 40)
+	for i := range values {
+		values[i] = i % 5
+	}
+	tree.build(values)
+
+	// Clone while a proposal is outstanding: the clone must carry only the
+	// committed state.
+	tree.rangeAdd(0, 40, 3)
+	cl := tree.clone()
+	if got, want := cl.proposedMax(), 4; got != want {
+		t.Fatalf("clone proposedMax = %d, want committed max %d", got, want)
+	}
+	cl.rangeAdd(10, 20, 7)
+	cl.commitProposal()
+	if got, want := tree.committedAt(12), 2; got != want {
+		t.Fatalf("clone commit leaked into original: committedAt(12) = %d, want %d", got, want)
+	}
+	// The original's outstanding proposal is still intact.
+	if got, want := tree.proposedMax(), 7; got != want {
+		t.Fatalf("original proposedMax = %d, want %d", got, want)
+	}
+}
+
+func TestGapTreeZeroGaps(t *testing.T) {
+	var tree gapTree
+	tree.init(0)
+	tree.build(nil)
+	if got := tree.proposedMax(); got != 0 {
+		t.Fatalf("proposedMax on empty tree = %d, want 0", got)
+	}
+	tree.rollback()
+	tree.commitProposal()
+}

@@ -81,7 +81,10 @@ func (s *Solution) Cost() float64 {
 // Density returns the current density as an exact integer.
 func (s *Solution) Density() int { return s.arr.Density() }
 
-// Propose draws a uniform random perturbation of the configured kind.
+// Propose draws a uniform random perturbation of the configured kind. The
+// returned move is backed by per-arrangement storage: it stays valid until
+// the next Propose / Descend / EvalNeighbor call on this solution, which is
+// exactly the at-most-one-outstanding-move discipline the engines follow.
 func (s *Solution) Propose(r *rand.Rand) core.Move {
 	n := s.arr.NumCells()
 	if n < 2 {
