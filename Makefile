@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-json tables tune report examples cover fuzz profile clean
+.PHONY: all build test vet bench bench-json tables tune report examples cover fuzz profile determinism clean
 
 all: build vet test
 
@@ -62,5 +62,13 @@ fuzz:
 profile:
 	$(GO) run ./cmd/olabench -table 4.1 -seq -cpuprofile cpu.pprof -memprofile mem.pprof
 
+# The scheduler's determinism contract, checked end to end: the same table
+# run one-worker and all-cores must be byte-identical on stdout.
+determinism:
+	$(GO) run ./cmd/olabench -table 4.1 -scale 0.05 -workers 1 > seq.txt
+	$(GO) run ./cmd/olabench -table 4.1 -scale 0.05 > par.txt
+	cmp seq.txt par.txt
+	rm -f seq.txt par.txt
+
 clean:
-	rm -f report.md test_output.txt bench_output.txt cpu.pprof mem.pprof BENCH_kernel.json
+	rm -f report.md test_output.txt bench_output.txt cpu.pprof mem.pprof BENCH_kernel.json seq.txt par.txt

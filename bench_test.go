@@ -22,6 +22,7 @@ import (
 	"mcopt/internal/gfunc"
 	"mcopt/internal/linarr"
 	"mcopt/internal/metrics"
+	"mcopt/internal/sched"
 	"mcopt/internal/schedule"
 	"mcopt/internal/tuner"
 )
@@ -42,7 +43,7 @@ func reductionOf(x *experiment.Matrix, method string) int {
 func BenchmarkTable41(b *testing.B) {
 	budgets := experiment.PaperBudgets(benchScale)
 	for i := 0; i < b.N; i++ {
-		_, x := experiment.Table41(1, budgets, experiment.Config{})
+		_, x, _ := experiment.Table41(1, budgets, experiment.Config{})
 		b.ReportMetric(float64(reductionOf(x, "g = 1")), "gOneReduction")
 	}
 }
@@ -50,7 +51,7 @@ func BenchmarkTable41(b *testing.B) {
 func BenchmarkTable42a(b *testing.B) {
 	budgets := experiment.PaperBudgets(benchScale)
 	for i := 0; i < b.N; i++ {
-		_, x := experiment.Table42a(1, budgets, experiment.Config{})
+		_, x, _ := experiment.Table42a(1, budgets, experiment.Config{})
 		b.ReportMetric(float64(reductionOf(x, "Six Temperature Annealing")), "sixTempImprovement")
 	}
 }
@@ -58,7 +59,7 @@ func BenchmarkTable42a(b *testing.B) {
 func BenchmarkTable42b(b *testing.B) {
 	budget := int64(benchScale * float64(experiment.Seconds(180)))
 	for i := 0; i < b.N; i++ {
-		_, f1, f2 := experiment.Table42b(1, budget, experiment.Config{})
+		_, f1, f2, _ := experiment.Table42b(1, budget, experiment.Config{})
 		b.ReportMetric(float64(f1.Reduction(0, 0)), "cohoonFig1")
 		b.ReportMetric(float64(f2.Reduction(0, 0)), "cohoonFig2")
 	}
@@ -67,7 +68,7 @@ func BenchmarkTable42b(b *testing.B) {
 func BenchmarkTable42c(b *testing.B) {
 	budgets := experiment.PaperBudgets(benchScale)
 	for i := 0; i < b.N; i++ {
-		_, x := experiment.Table42c(1, budgets, experiment.Config{})
+		_, x, _ := experiment.Table42c(1, budgets, experiment.Config{})
 		b.ReportMetric(float64(reductionOf(x, "g = 1")), "gOneReduction")
 	}
 }
@@ -75,7 +76,7 @@ func BenchmarkTable42c(b *testing.B) {
 func BenchmarkTable42d(b *testing.B) {
 	budgets := experiment.PaperBudgets(benchScale)
 	for i := 0; i < b.N; i++ {
-		_, x := experiment.Table42d(1, budgets, experiment.Config{})
+		_, x, _ := experiment.Table42d(1, budgets, experiment.Config{})
 		b.ReportMetric(float64(reductionOf(x, "Exponential Diff")), "expDiffImprovement")
 	}
 }
@@ -91,14 +92,14 @@ func BenchmarkTuner(b *testing.B) {
 	cfg := tuner.Config{Budget: 300, Instances: p.Instances, Seed: 1}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := tuner.TuneClass(builder, experiment.GOLAScale(), start, cfg)
+		res, _ := tuner.TuneClass(builder, experiment.GOLAScale(), start, cfg)
 		b.ReportMetric(res.Best.Reduction, "bestReduction")
 	}
 }
 
 func BenchmarkPartition(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := experiment.PartitionComparison(1, 4, 32, 96, 6000)
+		t, _ := experiment.PartitionComparison(1, 4, 32, 96, 6000, sched.Options{})
 		if len(t.Rows) != 7 {
 			b.Fatal("unexpected X1 shape")
 		}
@@ -107,7 +108,7 @@ func BenchmarkPartition(b *testing.B) {
 
 func BenchmarkTSP(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := experiment.TSPComparison(1, 4, 40, 10000)
+		t, _ := experiment.TSPComparison(1, 4, 40, 10000, sched.Options{})
 		if len(t.Rows) != 6 {
 			b.Fatal("unexpected X2 shape")
 		}
@@ -119,7 +120,7 @@ func BenchmarkTSP(b *testing.B) {
 // 4.1 actually ran.
 func BenchmarkCohoonBest(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab := experiment.CohoonBest(1, []int64{240})
+		tab, _ := experiment.CohoonBest(1, []int64{240}, sched.Options{})
 		if len(tab.Rows) != 4 {
 			b.Fatal("unexpected shape")
 		}
@@ -155,7 +156,7 @@ func Benchmark_AblationScheduleSensitivity(b *testing.B) {
 		}
 		b.Run(tc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				x := experiment.Run(suite, methods, []int64{1200}, experiment.Config{Seed: 1})
+				x, _ := experiment.Run(suite, methods, []int64{1200}, experiment.Config{Seed: 1})
 				b.ReportMetric(float64(x.Reduction(0, 0)), "reduction")
 			}
 		})
@@ -181,7 +182,7 @@ func Benchmark_AblationGate(b *testing.B) {
 		}
 		b.Run(tc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				x := experiment.Run(suite, []experiment.Method{method}, []int64{1200}, experiment.Config{Seed: 1})
+				x, _ := experiment.Run(suite, []experiment.Method{method}, []int64{1200}, experiment.Config{Seed: 1})
 				b.ReportMetric(float64(x.Reduction(0, 0)), "reduction")
 			}
 		})
@@ -197,7 +198,7 @@ func Benchmark_AblationBudgetScaling(b *testing.B) {
 	for _, budget := range []int64{300, 1200, 4800} {
 		b.Run(budgetName(budget), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				x := experiment.Run(suite, methods, []int64{budget}, experiment.Config{Seed: 1})
+				x, _ := experiment.Run(suite, methods, []int64{budget}, experiment.Config{Seed: 1})
 				b.ReportMetric(float64(x.Reduction(0, 0)), "reduction")
 			}
 		})
@@ -232,7 +233,7 @@ func Benchmark_AblationStartQuality(b *testing.B) {
 	} {
 		b.Run(tc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				x := experiment.Run(tc.suite, methods, []int64{600}, experiment.Config{Seed: 1})
+				x, _ := experiment.Run(tc.suite, methods, []int64{600}, experiment.Config{Seed: 1})
 				total := 0
 				for _, d := range x.BestDensities[0][0] {
 					total += d
@@ -261,7 +262,7 @@ func Benchmark_AblationMoveClass(b *testing.B) {
 	} {
 		b.Run(tc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				x := experiment.Run(suite, methods, []int64{1200},
+				x, _ := experiment.Run(suite, methods, []int64{1200},
 					experiment.Config{Seed: 1, MoveKind: tc.kind})
 				b.ReportMetric(float64(x.Reduction(0, 0)), "reduction")
 			}
@@ -444,7 +445,7 @@ func BenchmarkSizeSweep(b *testing.B) {
 		Seed:        1,
 	}
 	for i := 0; i < b.N; i++ {
-		if tab := experiment.SizeSweep(p); len(tab.Rows) != 3 {
+		if tab, _ := experiment.SizeSweep(p); len(tab.Rows) != 3 {
 			b.Fatal("unexpected sweep shape")
 		}
 	}
@@ -474,7 +475,7 @@ func Benchmark_AblationScheduleShape(b *testing.B) {
 		}
 		b.Run(tc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				x := experiment.Run(suite, []experiment.Method{method}, []int64{1200}, experiment.Config{Seed: 1})
+				x, _ := experiment.Run(suite, []experiment.Method{method}, []int64{1200}, experiment.Config{Seed: 1})
 				b.ReportMetric(float64(x.Reduction(0, 0)), "reduction")
 			}
 		})
@@ -541,7 +542,7 @@ func Benchmark_AblationPlateau(b *testing.B) {
 	} {
 		b.Run(tc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				x := experiment.Run(suite, methods, []int64{1200},
+				x, _ := experiment.Run(suite, methods, []int64{1200},
 					experiment.Config{Seed: 1, Plateau: tc.policy})
 				b.ReportMetric(float64(x.Reduction(0, 0)), "reduction")
 			}
@@ -553,7 +554,7 @@ func Benchmark_AblationPlateau(b *testing.B) {
 // (see cmd/locbench for the full version).
 func BenchmarkPMedian(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := experiment.PMedianComparison(1, 3, 25, 4, 5000)
+		t, _ := experiment.PMedianComparison(1, 3, 25, 4, 5000, sched.Options{})
 		if len(t.Rows) != 6 {
 			b.Fatal("unexpected X2b shape")
 		}

@@ -2,7 +2,8 @@
 // [GOLD84]'s "routing and location problems" — simulated annealing on the
 // p-median problem against the classic vertex-substitution heuristics
 // (greedy construction, Teitz–Bart interchange with restarts) at equal
-// move budgets.
+// move budgets. Ctrl-C or -timeout flushes the partial table instead of
+// losing it.
 package main
 
 import (
@@ -11,6 +12,7 @@ import (
 	"os"
 
 	"mcopt/internal/experiment"
+	"mcopt/internal/sched"
 )
 
 func main() {
@@ -19,10 +21,20 @@ func main() {
 	sites := flag.Int("sites", 60, "sites per instance")
 	p := flag.Int("p", 6, "medians to place")
 	budget := flag.Int64("budget", 60000, "moves per instance per method")
+	workers := flag.Int("workers", 0, "cell scheduler width (0 = all cores); output is identical for any value")
+	timeout := flag.Duration("timeout", 0, "stop after this wall-clock limit, flushing the partial table (0 = none)")
 	flag.Parse()
 
-	t := experiment.PMedianComparison(*seed, *instances, *sites, *p, *budget)
-	if err := t.Render(os.Stdout); err != nil {
+	ctx, cancel := sched.CLIContext(*timeout)
+	defer cancel()
+
+	t, err := experiment.PMedianComparison(*seed, *instances, *sites, *p, *budget,
+		sched.Options{Workers: *workers, Ctx: ctx})
+	if rerr := t.Render(os.Stdout); rerr != nil {
+		fmt.Fprintf(os.Stderr, "locbench: %v\n", rerr)
+		os.Exit(1)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "locbench: %v\n", err)
 		os.Exit(1)
 	}

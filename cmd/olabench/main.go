@@ -4,15 +4,19 @@
 // Usage:
 //
 //	olabench [-table all|4.1|4.2a|4.2b|4.2c|4.2d] [-seed N] [-scale F]
-//	         [-plateau accept|accept+reset|reject] [-seq]
+//	         [-plateau accept|accept+reset|reject] [-seq] [-workers N] [-timeout D]
 //	         [-metrics] [-events out.jsonl] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -scale multiplies every budget (1 = the paper's 6/9/12-second and
-// 3-minute CPU allowances at 200 moves per VAX second). -metrics prints a
-// per-method telemetry summary under each table; -events streams every
-// engine decision of every cell as JSONL (deterministic for a fixed seed,
-// byte-identical with and without -seq). -cpuprofile/-memprofile write
-// pprof profiles of the whole invocation (see `make profile`).
+// 3-minute CPU allowances at 200 moves per VAX second). -workers bounds the
+// cell scheduler (0 = all cores, 1 = sequential); stdout is byte-identical
+// for every worker count. -timeout stops the run after a wall-clock limit,
+// and Ctrl-C interrupts gracefully — either way the tables computed so far
+// are flushed, not lost. -metrics prints a per-method telemetry summary
+// under each table; -events streams every engine decision of every cell as
+// JSONL (deterministic for a fixed seed, byte-identical with and without
+// -seq). -cpuprofile/-memprofile write pprof profiles of the whole
+// invocation (see `make profile`).
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 	"mcopt/internal/core"
 	"mcopt/internal/experiment"
 	"mcopt/internal/metrics"
+	"mcopt/internal/sched"
 )
 
 // csvName converts a table title into a safe file stem like "table_4.1".
@@ -43,7 +48,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "suite and run seed")
 	scale := flag.Float64("scale", 1, "budget scale factor (1 = paper budgets)")
 	plateau := flag.String("plateau", "accept", "zero-delta policy: accept, accept+reset, reject")
-	seq := flag.Bool("seq", false, "run cells sequentially")
+	seq := flag.Bool("seq", false, "run cells sequentially (same as -workers 1)")
+	workers := flag.Int("workers", 0, "cell scheduler width (0 = all cores); output is identical for any value")
+	timeout := flag.Duration("timeout", 0, "stop after this wall-clock limit, flushing partial tables (0 = none)")
 	replicates := flag.Int("replicates", 1, "independent replications (fresh instances per seed); >1 prints mean±std for 4.1/4.2a/4.2c/4.2d")
 	csvDir := flag.String("csvdir", "", "also write each table's raw per-instance measurements as CSV into this directory")
 	showMetrics := flag.Bool("metrics", false, "print a per-method telemetry summary under each table")
@@ -51,6 +58,19 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
+
+	// Exit through a latched code so the profile/events defers below still
+	// flush when a run ends early (interrupt, timeout, cell failure).
+	exitCode := 0
+	defer func() {
+		if exitCode != 0 {
+			os.Exit(exitCode)
+		}
+	}()
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "olabench: "+format+"\n", args...)
+		exitCode = 1
+	}
 
 	if *cpuProfile != "" {
 		stop, err := metrics.StartCPUProfile(*cpuProfile)
@@ -60,14 +80,14 @@ func main() {
 		}
 		defer func() {
 			if err := stop(); err != nil {
-				fmt.Fprintf(os.Stderr, "olabench: %v\n", err)
+				fail("%v", err)
 			}
 		}()
 	}
 	if *memProfile != "" {
 		defer func() {
 			if err := metrics.WriteHeapProfile(*memProfile); err != nil {
-				fmt.Fprintf(os.Stderr, "olabench: %v\n", err)
+				fail("%v", err)
 			}
 		}()
 	}
@@ -81,13 +101,20 @@ func main() {
 		}
 		defer func() {
 			if err := f.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "olabench: events: %v\n", err)
+				fail("events: %v", err)
 			}
 		}()
 		events = f
 	}
 
-	cfg := experiment.Config{Seed: *seed, Sequential: *seq}
+	ctx, cancel := sched.CLIContext(*timeout)
+	defer cancel()
+
+	cfg := experiment.Config{
+		Seed:       *seed,
+		Sequential: *seq,
+		Exec:       sched.Options{Workers: *workers, Ctx: ctx},
+	}
 	switch *plateau {
 	case "accept":
 		cfg.Plateau = core.PlateauAccept
@@ -106,18 +133,28 @@ func main() {
 	// pendingMetrics, when set by tableOf, prints the telemetry summary
 	// after its table renders.
 	var pendingMetrics func()
-	run := func(name string, f func() *experiment.Table) {
+	run := func(name string, f func() (*experiment.Table, error)) {
 		start := time.Now()
-		t := f()
-		if err := t.Render(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "olabench: %v\n", err)
-			os.Exit(1)
+		t, err := f()
+		// The table renders even when err is non-nil: an interrupted run
+		// flushes the cells it finished rather than losing them.
+		if t != nil {
+			if rerr := t.Render(os.Stdout); rerr != nil {
+				fail("%v", rerr)
+				return
+			}
 		}
 		if pendingMetrics != nil {
 			pendingMetrics()
 			pendingMetrics = nil
 		}
-		fmt.Printf("(%s in %.1fs)\n\n", name, time.Since(start).Seconds())
+		fmt.Println()
+		// Timing goes to stderr: stdout must be byte-identical across runs
+		// and worker counts (the CI determinism gate diffs it).
+		fmt.Fprintf(os.Stderr, "(%s in %.1fs)\n", name, time.Since(start).Seconds())
+		if err != nil {
+			fail("%s: %v", name, err)
+		}
 	}
 
 	// newTelemetry returns a per-table collector when telemetry is wanted.
@@ -133,8 +170,8 @@ func main() {
 			return
 		}
 		if err := tel.Err(); err != nil {
-			fmt.Fprintf(os.Stderr, "olabench: events: %v\n", err)
-			os.Exit(1)
+			fail("events: %v", err)
+			return
 		}
 		fmt.Printf("telemetry at budget %d:\n", budget)
 		fmt.Printf("%-27s %10s %8s %10s %14s %12s\n",
@@ -164,28 +201,27 @@ func main() {
 			return
 		}
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "olabench: %v\n", err)
-			os.Exit(1)
+			fail("%v", err)
+			return
 		}
 		path := filepath.Join(*csvDir, name+".csv")
 		f, err := os.Create(path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "olabench: %v\n", err)
-			os.Exit(1)
+			fail("%v", err)
+			return
 		}
 		if err := x.WriteCSV(f); err != nil {
 			f.Close()
-			fmt.Fprintf(os.Stderr, "olabench: write %s: %v\n", path, err)
-			os.Exit(1)
+			fail("write %s: %v", path, err)
+			return
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "olabench: close %s: %v\n", path, err)
-			os.Exit(1)
+			fail("close %s: %v", path, err)
 		}
 	}
 
 	// tableOf picks plain or replicated rendering for the reduction tables.
-	tableOf := func(title string, build func(seed uint64, budgets []int64, cfg experiment.Config) (*experiment.Table, *experiment.Matrix)) *experiment.Table {
+	tableOf := func(title string, build func(seed uint64, budgets []int64, cfg experiment.Config) (*experiment.Table, *experiment.Matrix, error)) (*experiment.Table, error) {
 		tcfg := cfg
 		tel := newTelemetry()
 		tcfg.Telemetry = tel
@@ -196,21 +232,24 @@ func main() {
 			}
 		}
 		if len(seeds) == 1 {
-			t, x := build(seeds[0], budgets, tcfg)
+			t, x, err := build(seeds[0], budgets, tcfg)
 			dumpCSV(csvName(title), x)
 			summarize(x)
-			return t
+			return t, err
 		}
-		rep, err := experiment.Replicate(seeds, func(s uint64) *experiment.Matrix {
-			_, x := build(s, budgets, tcfg)
-			summarize(x)
-			return x
-		})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "olabench: %v\n", err)
-			os.Exit(1)
+		// Replications run one at a time (Workers: 1): a shared Telemetry
+		// keys cells by (method, budget, instance), which repeats across
+		// seeds. Each replication still parallelizes internally via tcfg.
+		rep, err := experiment.Replicate(seeds, sched.Options{Workers: 1, Ctx: ctx},
+			func(s uint64) (*experiment.Matrix, error) {
+				_, x, err := build(s, budgets, tcfg)
+				summarize(x)
+				return x, err
+			})
+		if rep == nil {
+			return nil, err
 		}
-		return rep.Table(title)
+		return rep.Table(title), err
 	}
 
 	want := func(name string) bool {
@@ -222,42 +261,44 @@ func main() {
 	matched := false
 	if want("4.1") {
 		matched = true
-		run("4.1", func() *experiment.Table {
+		run("4.1", func() (*experiment.Table, error) {
 			return tableOf("Table 4.1 — GOLA, random starts, Figure 1", experiment.Table41)
 		})
 	}
 	if want("4.2a") {
 		matched = true
-		run("4.2a", func() *experiment.Table {
+		run("4.2a", func() (*experiment.Table, error) {
 			return tableOf("Table 4.2(a) — GOLA, Goto starts, Figure 1", experiment.Table42a)
 		})
 	}
 	if want("4.2b") {
 		matched = true
-		run("4.2b", func() *experiment.Table {
+		run("4.2b", func() (*experiment.Table, error) {
 			// 4.2(b) interleaves Figure-1 and Figure-2 passes, so it gets
 			// the event stream but no per-method summary table.
 			tcfg := cfg
 			tcfg.Telemetry = newTelemetry()
-			t, _, _ := experiment.Table42b(*seed, budget42b, tcfg)
-			return t
+			t, _, _, err := experiment.Table42b(*seed, budget42b, tcfg)
+			return t, err
 		})
 	}
 	if want("4.2c") {
 		matched = true
-		run("4.2c", func() *experiment.Table {
+		run("4.2c", func() (*experiment.Table, error) {
 			return tableOf("Table 4.2(c) — NOLA, random starts, Figure 1", experiment.Table42c)
 		})
 	}
 	if want("4.2d") {
 		matched = true
-		run("4.2d", func() *experiment.Table {
+		run("4.2d", func() (*experiment.Table, error) {
 			return tableOf("Table 4.2(d) — NOLA, Goto starts, Figure 1", experiment.Table42d)
 		})
 	}
 	if want("cohoon") {
 		matched = true
-		run("cohoon", func() *experiment.Table { return experiment.CohoonBest(*seed, budgets) })
+		run("cohoon", func() (*experiment.Table, error) {
+			return experiment.CohoonBest(*seed, budgets, cfg.Exec)
+		})
 	}
 	if !matched {
 		fmt.Fprintf(os.Stderr, "olabench: unknown table %q\n", *table)

@@ -8,12 +8,15 @@
 //
 //	olacurve [-in instance.nl] [-g "g = 1,Six Temperature Annealing,[COHO83a]"]
 //	         [-budget 2400] [-seed 1] [-csv] [-width 72] [-height 18]
+//	         [-workers N] [-timeout D]
 //
 // Without -in, a paper-style random GOLA instance (15 cells, 150 nets) is
-// generated from the seed.
+// generated from the seed. Classes run concurrently on the cell scheduler
+// (one cell per class); the chart is identical for every worker count.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +29,7 @@ import (
 	"mcopt/internal/linarr"
 	"mcopt/internal/netlist"
 	"mcopt/internal/rng"
+	"mcopt/internal/sched"
 	"mcopt/internal/trace"
 )
 
@@ -37,6 +41,8 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of an ASCII chart")
 	width := flag.Int("width", 72, "chart width")
 	height := flag.Int("height", 18, "chart height")
+	workers := flag.Int("workers", 0, "class scheduler width (0 = all cores); output is identical for any value")
+	timeout := flag.Duration("timeout", 0, "stop after this wall-clock limit, charting what ran (0 = none)")
 	flag.Parse()
 
 	var nl *netlist.Netlist
@@ -58,7 +64,8 @@ func main() {
 	start := linarr.Random(nl, rng.Stream("olacurve/start", *seed))
 
 	scale := gfunc.Scale{TypicalCost: float64(max(start.Density(), 1)), TypicalDelta: 2}
-	var curves []trace.Series
+	var names []string
+	var gs []core.G
 	for _, name := range strings.Split(*gNames, ",") {
 		name = strings.TrimSpace(name)
 		g, err := buildG(name, nl, scale)
@@ -66,15 +73,32 @@ func main() {
 			fmt.Fprintf(os.Stderr, "olacurve: %v\n", err)
 			os.Exit(2)
 		}
-		rec := trace.NewRecorder(name)
-		sol := linarr.NewSolution(start.Clone(), linarr.PairwiseInterchange)
-		core.Figure1{G: g, Hook: rec.Hook()}.Run(sol,
-			core.NewBudget(*budget), rng.Stream("olacurve/run/"+name, *seed))
-		curves = append(curves, rec.Series())
+		names = append(names, name)
+		gs = append(gs, g)
 	}
+
+	ctx, cancel := sched.CLIContext(*timeout)
+	defer cancel()
+
+	// One scheduler cell per class; each records into its own slot, so the
+	// assembled curve order matches the -g list regardless of scheduling.
+	curves := make([]trace.Series, len(names))
+	rep := sched.Run(len(names), sched.Options{Workers: *workers, Ctx: ctx},
+		func(cctx context.Context, i int) error {
+			rec := trace.NewRecorder(names[i])
+			sol := linarr.NewSolution(start.Clone(), linarr.PairwiseInterchange)
+			core.Figure1{G: gs[i], Hook: rec.Hook()}.Run(sol,
+				core.NewBudget(*budget).WithContext(cctx), rng.Stream("olacurve/run/"+names[i], *seed))
+			curves[i] = rec.Series()
+			return nil
+		})
 
 	if *csv {
 		if err := trace.WriteCSV(os.Stdout, curves...); err != nil {
+			fmt.Fprintf(os.Stderr, "olacurve: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rep.Err(); err != nil {
 			fmt.Fprintf(os.Stderr, "olacurve: %v\n", err)
 			os.Exit(1)
 		}
@@ -89,6 +113,10 @@ func main() {
 		Height: *height,
 	}
 	if err := chart.Render(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "olacurve: %v\n", err)
+		os.Exit(1)
+	}
+	if err := rep.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "olacurve: %v\n", err)
 		os.Exit(1)
 	}

@@ -6,9 +6,12 @@
 // Usage:
 //
 //	olareport [-o report.md] [-seed 1] [-scale 1] [-quick] [-metrics]
+//	          [-workers N] [-timeout D]
 //
 // -quick divides budgets by 10 for a fast smoke report. -metrics adds an
 // observability section with the aggregate run telemetry behind Table 4.1.
+// Ctrl-C or -timeout ends the report after the section in flight — every
+// section rendered so far is kept.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"mcopt/internal/core"
 	"mcopt/internal/experiment"
 	"mcopt/internal/linarr"
+	"mcopt/internal/sched"
 	"mcopt/internal/tuner"
 )
 
@@ -30,11 +34,19 @@ func main() {
 	scale := flag.Float64("scale", 1, "budget scale factor")
 	quick := flag.Bool("quick", false, "divide budgets by 10")
 	showMetrics := flag.Bool("metrics", false, "add an observability section with Table 4.1's aggregate run telemetry")
+	workers := flag.Int("workers", 0, "cell scheduler width (0 = all cores); the report is identical for any value")
+	timeout := flag.Duration("timeout", 0, "stop after this wall-clock limit, keeping finished sections (0 = none)")
 	flag.Parse()
 
 	if *quick {
 		*scale /= 10
 	}
+	exitCode := 0
+	defer func() {
+		if exitCode != 0 {
+			os.Exit(exitCode)
+		}
+	}()
 	w := io.Writer(os.Stdout)
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -45,13 +57,17 @@ func main() {
 		defer func() {
 			if err := f.Close(); err != nil {
 				fmt.Fprintf(os.Stderr, "olareport: %v\n", err)
-				os.Exit(1)
+				exitCode = 1
 			}
 		}()
 		w = f
 	}
 
-	cfg := experiment.Config{Seed: *seed}
+	ctx, cancel := sched.CLIContext(*timeout)
+	defer cancel()
+	ex := sched.Options{Workers: *workers, Ctx: ctx}
+
+	cfg := experiment.Config{Seed: *seed, Exec: ex}
 	budgets := experiment.PaperBudgets(*scale)
 	budget42b := int64(*scale * float64(experiment.Seconds(180)))
 	started := time.Now()
@@ -60,22 +76,38 @@ func main() {
 	fmt.Fprintf(w, "seed %d, budget scale %g, generated %s\n\n",
 		*seed, *scale, time.Now().Format(time.RFC3339))
 
-	section := func(title string, table *experiment.Table) {
-		fmt.Fprintf(w, "## %s\n\n```\n", title)
-		if err := table.Render(w); err != nil {
-			fmt.Fprintf(os.Stderr, "olareport: %v\n", err)
-			os.Exit(1)
+	// interrupted latches the first scheduler error; later sections are
+	// skipped (their grids would no-op under the dead context anyway), and
+	// the partial report keeps everything rendered so far.
+	var interrupted error
+	section := func(title string, build func() (*experiment.Table, error)) {
+		if interrupted != nil {
+			return
 		}
-		fmt.Fprintf(w, "```\n\n")
+		table, err := build()
+		if table != nil {
+			fmt.Fprintf(w, "## %s\n\n```\n", title)
+			if rerr := table.Render(w); rerr != nil {
+				fmt.Fprintf(os.Stderr, "olareport: %v\n", rerr)
+				exitCode = 1
+				return
+			}
+			fmt.Fprintf(w, "```\n\n")
+		}
+		if err != nil {
+			interrupted = err
+		}
 	}
 
 	cfgE1 := cfg
 	if *showMetrics {
 		cfgE1.Telemetry = experiment.NewTelemetry(nil)
 	}
-	t41, _ := experiment.Table41(*seed, budgets, cfgE1)
-	section("E1 — Table 4.1", t41)
-	if tel := cfgE1.Telemetry; tel != nil {
+	section("E1 — Table 4.1", func() (*experiment.Table, error) {
+		t, _, err := experiment.Table41(*seed, budgets, cfgE1)
+		return t, err
+	})
+	if tel := cfgE1.Telemetry; tel != nil && interrupted == nil {
 		fmt.Fprintf(w, "## E1b — Observability (Table 4.1 run telemetry)\n\n```\n")
 		if err := tel.Aggregate().Render(w); err != nil {
 			fmt.Fprintf(os.Stderr, "olareport: %v\n", err)
@@ -83,41 +115,73 @@ func main() {
 		}
 		fmt.Fprintf(w, "```\n\n")
 	}
-	t42a, _ := experiment.Table42a(*seed, budgets, cfg)
-	section("E2 — Table 4.2(a)", t42a)
-	t42b, _, _ := experiment.Table42b(*seed, budget42b, cfg)
-	section("E3 — Table 4.2(b)", t42b)
-	t42c, _ := experiment.Table42c(*seed, budgets, cfg)
-	section("E4 — Table 4.2(c)", t42c)
-	t42d, _ := experiment.Table42d(*seed, budgets, cfg)
-	section("E5 — Table 4.2(d)", t42d)
+	section("E2 — Table 4.2(a)", func() (*experiment.Table, error) {
+		t, _, err := experiment.Table42a(*seed, budgets, cfg)
+		return t, err
+	})
+	section("E3 — Table 4.2(b)", func() (*experiment.Table, error) {
+		t, _, _, err := experiment.Table42b(*seed, budget42b, cfg)
+		return t, err
+	})
+	section("E4 — Table 4.2(c)", func() (*experiment.Table, error) {
+		t, _, err := experiment.Table42c(*seed, budgets, cfg)
+		return t, err
+	})
+	section("E5 — Table 4.2(d)", func() (*experiment.Table, error) {
+		t, _, err := experiment.Table42d(*seed, budgets, cfg)
+		return t, err
+	})
 
 	// E6 — the tuning grid, briefly.
-	suite := experiment.NewSuite(experiment.GOLAParams(), *seed)
-	start := func(inst int) core.Solution {
-		return linarr.NewSolution(suite.Start(inst), linarr.PairwiseInterchange)
+	if interrupted == nil {
+		suite := experiment.NewSuite(experiment.GOLAParams(), *seed)
+		start := func(inst int) core.Solution {
+			return linarr.NewSolution(suite.Start(inst), linarr.PairwiseInterchange)
+		}
+		tcfg := tuner.Config{
+			Budget:    int64(*scale * float64(experiment.Seconds(5))),
+			Instances: suite.Size(),
+			Seed:      *seed,
+			Exec:      ex,
+		}
+		fmt.Fprintf(w, "## E6 — §4.2.1 tuning grid\n\n```\n")
+		fmt.Fprintf(w, "%-27s %9s %10s\n", "g function", "best mult", "reduction")
+		results, err := tuner.TuneAll(experiment.GOLAScale(), start, tcfg)
+		for _, res := range results {
+			fmt.Fprintf(w, "%-27s %9g %10.0f\n", res.Name, res.Best.Multiplier, res.Best.Reduction)
+		}
+		fmt.Fprintf(w, "```\n\n")
+		if err != nil {
+			interrupted = err
+		}
 	}
-	tcfg := tuner.Config{
-		Budget:    int64(*scale * float64(experiment.Seconds(5))),
-		Instances: suite.Size(),
-		Seed:      *seed,
-	}
-	fmt.Fprintf(w, "## E6 — §4.2.1 tuning grid\n\n```\n")
-	fmt.Fprintf(w, "%-27s %9s %10s\n", "g function", "best mult", "reduction")
-	for _, res := range tuner.TuneAll(experiment.GOLAScale(), start, tcfg) {
-		fmt.Fprintf(w, "%-27s %9g %10.0f\n", res.Name, res.Best.Multiplier, res.Best.Reduction)
-	}
-	fmt.Fprintf(w, "```\n\n")
 
 	x1budget := int64(*scale * 60000)
-	section("X1 — circuit partition", experiment.PartitionComparison(*seed, 10, 64, 192, x1budget))
-	section("X2 — TSP ([GOLD84] routing)", experiment.TSPComparison(*seed, 10, 60, x1budget))
-	section("X2b — p-median ([GOLD84] location)", experiment.PMedianComparison(*seed, 10, 60, 6, x1budget))
-	section("S1 — instance-size scaling", experiment.SizeSweep(experiment.SweepParams{
-		Seed:   *seed,
-		Budget: int64(*scale * float64(experiment.Seconds(12))),
-	}))
-	section("E7 — §4.2.2 [COHO83a] best heuristic", experiment.CohoonBest(*seed, budgets))
+	section("X1 — circuit partition", func() (*experiment.Table, error) {
+		return experiment.PartitionComparison(*seed, 10, 64, 192, x1budget, ex)
+	})
+	section("X2 — TSP ([GOLD84] routing)", func() (*experiment.Table, error) {
+		return experiment.TSPComparison(*seed, 10, 60, x1budget, ex)
+	})
+	section("X2b — p-median ([GOLD84] location)", func() (*experiment.Table, error) {
+		return experiment.PMedianComparison(*seed, 10, 60, 6, x1budget, ex)
+	})
+	section("S1 — instance-size scaling", func() (*experiment.Table, error) {
+		return experiment.SizeSweep(experiment.SweepParams{
+			Seed:   *seed,
+			Budget: int64(*scale * float64(experiment.Seconds(12))),
+			Exec:   ex,
+		})
+	})
+	section("E7 — §4.2.2 [COHO83a] best heuristic", func() (*experiment.Table, error) {
+		return experiment.CohoonBest(*seed, budgets, ex)
+	})
 
+	if interrupted != nil {
+		fmt.Fprintf(w, "---\nreport interrupted after %.1fs: %v\n", time.Since(started).Seconds(), interrupted)
+		fmt.Fprintf(os.Stderr, "olareport: %v\n", interrupted)
+		exitCode = 1
+		return
+	}
 	fmt.Fprintf(w, "---\nreport complete in %.1fs\n", time.Since(started).Seconds())
 }

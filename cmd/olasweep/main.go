@@ -6,6 +6,8 @@
 //
 // §4.2.5 conclusion 2 predicts Goto's standing improves as instances grow
 // relative to the budget; this command measures where the crossover sits.
+// Ctrl-C or -timeout stops the sweep early; the sizes finished so far are
+// still printed.
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"strings"
 
 	"mcopt/internal/experiment"
+	"mcopt/internal/sched"
 )
 
 func main() {
@@ -25,7 +28,12 @@ func main() {
 	budget := flag.Int64("budget", experiment.Seconds(12), "moves per instance per method")
 	netsPerCell := flag.Int("netspercell", 10, "nets per cell (paper: 150/15 = 10)")
 	throughput := flag.Bool("throughput", true, "report wall-clock Monte Carlo moves/sec per size")
+	workers := flag.Int("workers", 0, "cell scheduler width (0 = all cores); output is identical for any value")
+	timeout := flag.Duration("timeout", 0, "stop after this wall-clock limit, keeping completed sizes (0 = none)")
 	flag.Parse()
+
+	ctx, cancel := sched.CLIContext(*timeout)
+	defer cancel()
 
 	p := experiment.SweepParams{
 		NetsPerCell: *netsPerCell,
@@ -33,6 +41,7 @@ func main() {
 		Budget:      *budget,
 		Seed:        *seed,
 		Throughput:  *throughput,
+		Exec:        sched.Options{Workers: *workers, Ctx: ctx},
 	}
 	for _, f := range strings.Split(*sizes, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
@@ -42,7 +51,12 @@ func main() {
 		}
 		p.Sizes = append(p.Sizes, n)
 	}
-	if err := experiment.SizeSweep(p).Render(os.Stdout); err != nil {
+	t, err := experiment.SizeSweep(p)
+	if rerr := t.Render(os.Stdout); rerr != nil {
+		fmt.Fprintf(os.Stderr, "olasweep: %v\n", rerr)
+		os.Exit(1)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "olasweep: %v\n", err)
 		os.Exit(1)
 	}

@@ -3,6 +3,8 @@
 // density reduction on a 30-instance suite under the Figure-1 strategy.
 //
 // The winning multipliers are what experiment.TunedGOLA / TunedNOLA record.
+// Ctrl-C or -timeout stops the search early; the classes finished so far
+// are still printed.
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 	"mcopt/internal/experiment"
 	"mcopt/internal/gfunc"
 	"mcopt/internal/linarr"
+	"mcopt/internal/sched"
 	"mcopt/internal/tuner"
 )
 
@@ -22,6 +25,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "suite and run seed")
 	seconds := flag.Float64("budget", 5, "tuning budget in VAX seconds per instance (paper: 5)")
 	wide := flag.Bool("wide", false, "search a wide multiplier grid (lets weak classes degenerate to pure descent; see tuner docs)")
+	workers := flag.Int("workers", 0, "cell scheduler width (0 = all cores); output is identical for any value")
+	timeout := flag.Duration("timeout", 0, "stop after this wall-clock limit, keeping finished classes (0 = none)")
 	flag.Parse()
 
 	var (
@@ -38,6 +43,9 @@ func main() {
 		os.Exit(2)
 	}
 
+	ctx, cancel := sched.CLIContext(*timeout)
+	defer cancel()
+
 	suite := experiment.NewSuite(params, *seed)
 	start := func(inst int) core.Solution {
 		return linarr.NewSolution(suite.Start(inst), linarr.PairwiseInterchange)
@@ -46,6 +54,7 @@ func main() {
 		Budget:    experiment.Seconds(*seconds),
 		Instances: suite.Size(),
 		Seed:      *seed,
+		Exec:      sched.Options{Workers: *workers, Ctx: ctx},
 	}
 	if *wide {
 		cfg.Multipliers = []float64{0.0625, 0.25, 0.5, 0.7, 1, 1.4, 2, 4, 16}
@@ -54,12 +63,17 @@ func main() {
 	fmt.Printf("§4.2.1 tuning on the %s (seed %d, %d moves/instance)\n\n",
 		suite, *seed, cfg.Budget)
 	fmt.Printf("%-27s %9s %10s    grid (multiplier:reduction)\n", "g function", "best mult", "reduction")
-	for _, res := range tuner.TuneAll(scale, start, cfg) {
+	results, err := tuner.TuneAll(scale, start, cfg)
+	for _, res := range results {
 		fmt.Printf("%-27s %9g %10.0f   ", res.Name, res.Best.Multiplier, res.Best.Reduction)
 		for _, s := range res.Scores {
 			fmt.Printf(" %g:%.0f", s.Multiplier, s.Reduction)
 		}
 		fmt.Println()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "olatune: %v\n", err)
+		os.Exit(1)
 	}
 	fmt.Println("\nPaste the winning multipliers into experiment.TunedGOLA / TunedNOLA.")
 }

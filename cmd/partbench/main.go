@@ -1,7 +1,8 @@
 // Command partbench runs the X1 extension experiment: circuit partition
 // (the [KIRK83] flagship problem, whose [NAHA84] results the paper's §5
 // cites) comparing Monte Carlo g classes against one-shot local search and
-// Kernighan–Lin under equal move budgets.
+// Kernighan–Lin under equal move budgets. Ctrl-C or -timeout flushes the
+// partial table instead of losing it.
 package main
 
 import (
@@ -10,6 +11,7 @@ import (
 	"os"
 
 	"mcopt/internal/experiment"
+	"mcopt/internal/sched"
 )
 
 func main() {
@@ -19,15 +21,28 @@ func main() {
 	nets := flag.Int("nets", 192, "nets per instance")
 	budget := flag.Int64("budget", 60000, "moves per instance per method")
 	full := flag.Bool("full", false, "run all 21 g classes (the [NAHA84]-style table) instead of the summary comparison")
+	workers := flag.Int("workers", 0, "cell scheduler width (0 = all cores); output is identical for any value")
+	timeout := flag.Duration("timeout", 0, "stop after this wall-clock limit, flushing the partial table (0 = none)")
 	flag.Parse()
 
-	var t *experiment.Table
+	ctx, cancel := sched.CLIContext(*timeout)
+	defer cancel()
+	ex := sched.Options{Workers: *workers, Ctx: ctx}
+
+	var (
+		t   *experiment.Table
+		err error
+	)
 	if *full {
-		t = experiment.PartitionTable(*seed, *instances, *cells, *nets, []int64{*budget / 4, *budget})
+		t, err = experiment.PartitionTable(*seed, *instances, *cells, *nets, []int64{*budget / 4, *budget}, ex)
 	} else {
-		t = experiment.PartitionComparison(*seed, *instances, *cells, *nets, *budget)
+		t, err = experiment.PartitionComparison(*seed, *instances, *cells, *nets, *budget, ex)
 	}
-	if err := t.Render(os.Stdout); err != nil {
+	if rerr := t.Render(os.Stdout); rerr != nil {
+		fmt.Fprintf(os.Stderr, "partbench: %v\n", rerr)
+		os.Exit(1)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "partbench: %v\n", err)
 		os.Exit(1)
 	}

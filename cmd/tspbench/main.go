@@ -1,7 +1,8 @@
 // Command tspbench runs the X2 extension experiment: the [GOLD84]-shape TSP
 // comparison the paper's §2 recounts — simulated annealing vs 2-opt with
 // random restarts at equal budgets, and vs the fast constructive heuristics
-// (hull insertion in the spirit of [STEW77], nearest neighbor).
+// (hull insertion in the spirit of [STEW77], nearest neighbor). Ctrl-C or
+// -timeout flushes the partial table instead of losing it.
 package main
 
 import (
@@ -10,6 +11,7 @@ import (
 	"os"
 
 	"mcopt/internal/experiment"
+	"mcopt/internal/sched"
 )
 
 func main() {
@@ -18,15 +20,28 @@ func main() {
 	cities := flag.Int("cities", 60, "cities per instance")
 	budget := flag.Int64("budget", 60000, "moves per instance per method")
 	full := flag.Bool("full", false, "run all 21 g classes (the [NAHA84]-style table) instead of the summary comparison")
+	workers := flag.Int("workers", 0, "cell scheduler width (0 = all cores); output is identical for any value")
+	timeout := flag.Duration("timeout", 0, "stop after this wall-clock limit, flushing the partial table (0 = none)")
 	flag.Parse()
 
-	var t *experiment.Table
+	ctx, cancel := sched.CLIContext(*timeout)
+	defer cancel()
+	ex := sched.Options{Workers: *workers, Ctx: ctx}
+
+	var (
+		t   *experiment.Table
+		err error
+	)
 	if *full {
-		t = experiment.TSPTable(*seed, *instances, *cities, []int64{*budget / 4, *budget})
+		t, err = experiment.TSPTable(*seed, *instances, *cities, []int64{*budget / 4, *budget}, ex)
 	} else {
-		t = experiment.TSPComparison(*seed, *instances, *cities, *budget)
+		t, err = experiment.TSPComparison(*seed, *instances, *cities, *budget, ex)
 	}
-	if err := t.Render(os.Stdout); err != nil {
+	if rerr := t.Render(os.Stdout); rerr != nil {
+		fmt.Fprintf(os.Stderr, "tspbench: %v\n", rerr)
+		os.Exit(1)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "tspbench: %v\n", err)
 		os.Exit(1)
 	}

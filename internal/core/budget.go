@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
@@ -14,8 +15,9 @@ type Budget struct {
 	limit    int64
 	used     int64
 	deadline time.Time
-	// expired latches deadline expiry so that Exhausted stays monotone even
-	// if the clock were to misbehave.
+	ctx      context.Context
+	// expired latches deadline expiry and context cancellation so that
+	// Exhausted stays monotone even if the clock were to misbehave.
 	expired bool
 }
 
@@ -30,6 +32,16 @@ func NewBudget(moves int64) *Budget {
 // returns the receiver for chaining.
 func (b *Budget) WithDeadline(t time.Time) *Budget {
 	b.deadline = t
+	return b
+}
+
+// WithContext ties the budget to a cancellation context: once ctx is done,
+// the budget reads as exhausted and the engine driving it returns with its
+// best-so-far result. This is how the execution layer (internal/sched)
+// stops in-flight cells promptly on Ctrl-C or -timeout. A nil ctx is
+// ignored. It returns the receiver for chaining.
+func (b *Budget) WithContext(ctx context.Context) *Budget {
+	b.ctx = ctx
 	return b
 }
 
@@ -51,11 +63,17 @@ func (b *Budget) Exhausted() bool {
 	if b.expired {
 		return true
 	}
-	// Check the clock sparingly: syscall cost must not distort comparisons
-	// between cheap and expensive move classes.
-	if !b.deadline.IsZero() && b.used&1023 == 0 && !time.Now().Before(b.deadline) {
-		b.expired = true
-		return true
+	// Check the clock and the context sparingly: their cost must not distort
+	// comparisons between cheap and expensive move classes.
+	if b.used&1023 == 0 {
+		if !b.deadline.IsZero() && !time.Now().Before(b.deadline) {
+			b.expired = true
+			return true
+		}
+		if b.ctx != nil && b.ctx.Err() != nil {
+			b.expired = true
+			return true
+		}
 	}
 	return false
 }

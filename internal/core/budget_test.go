@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
+
+	"mcopt/internal/rng"
 )
 
 func TestBudgetSpend(t *testing.T) {
@@ -88,6 +91,54 @@ func TestBudgetSplitPanicsOnZeroK(t *testing.T) {
 		}
 	}()
 	NewBudget(5).Split(0)
+}
+
+func TestBudgetContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	b := NewBudget(1 << 40).WithContext(ctx)
+	if !b.TrySpend() {
+		t.Fatal("live context stopped a fresh budget")
+	}
+	cancel()
+	// The context is only consulted every 1024 spends; cancellation must
+	// latch within the first window.
+	spent := int64(1)
+	for b.TrySpend() {
+		spent++
+		if spent > 2048 {
+			t.Fatal("cancelled context never stopped the budget")
+		}
+	}
+	if !b.Exhausted() {
+		t.Fatal("budget not exhausted after cancellation")
+	}
+	if rem := b.Remaining(); rem <= 0 {
+		t.Fatalf("cancelled budget remaining = %d, want unused allowance left", rem)
+	}
+}
+
+func TestBudgetLiveContextDoesNotStop(t *testing.T) {
+	b := NewBudget(3000).WithContext(context.Background())
+	n := 0
+	for b.TrySpend() {
+		n++
+	}
+	if n != 3000 {
+		t.Fatalf("spent %d of 3000 with a live context", n)
+	}
+}
+
+func TestEngineStopsPromptlyOnCancelledContext(t *testing.T) {
+	// A pre-cancelled context must stop a Figure-1 run within one
+	// context-check window even though the nominal budget is huge.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	l := &lattice{pos: 0, costs: valley(11)}
+	res := Figure1{G: &spyG{name: "half", k: 1, prob: 0.5}}.Run(
+		l, NewBudget(1<<30).WithContext(ctx), rng.Stream("budget-ctx", 1))
+	if res.Moves > 1024 {
+		t.Fatalf("engine spent %d moves under a cancelled context", res.Moves)
+	}
 }
 
 func TestBudgetString(t *testing.T) {

@@ -1,12 +1,14 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"mcopt/internal/core"
 	"mcopt/internal/gfunc"
 	"mcopt/internal/linarr"
 	"mcopt/internal/rng"
+	"mcopt/internal/sched"
 )
 
 // CohoonBest reproduces the §4.2.2 aside about the [COHO83a] row of Table
@@ -23,7 +25,7 @@ import (
 // the "presumably": rows report total reduction from the *random* starting
 // arrangements, so the Goto-start configurations include Goto's own
 // contribution, exactly as a reader of Table 4.1 would compare them.
-func CohoonBest(seed uint64, budgets []int64) *Table {
+func CohoonBest(seed uint64, budgets []int64, ex sched.Options) (*Table, error) {
 	suite := NewSuite(GOLAParams(), seed)
 	gotoSuite := suite.WithGotoStarts()
 
@@ -45,31 +47,50 @@ func CohoonBest(seed uint64, budgets []int64) *Table {
 		{"Fig 1, single exch, random start", suite, Fig1, linarr.SingleExchange},
 		{"Fig 2, single exch, Goto start (their best)", gotoSuite, Fig2, linarr.SingleExchange},
 	}
-	gotoBonus := gotoReduction(suite)
-	for _, v := range variants {
-		reds := make([]int, len(budgets))
+	// The RNG stream label depends only on (variant, budget); build them
+	// once per row here rather than once per cell.
+	labels := make([][]string, len(variants))
+	for v, va := range variants {
+		labels[v] = make([]string, len(budgets))
 		for b, budget := range budgets {
+			labels[v][b] = fmt.Sprintf("cohoon/%s/%d", va.name, budget)
+		}
+	}
+
+	grid := sched.Grid3{A: len(variants), B: len(budgets), C: suite.Size()}
+	reds := make([]int, grid.N()) // zero = "no reduction" for skipped cells
+	rep := sched.Run(grid.N(), ex, func(ctx context.Context, j int) error {
+		v, b, i := grid.Split(j)
+		va := variants[v]
+		sol := linarr.NewSolution(va.suite.Start(i), va.kind)
+		g := gfunc.CohoonSahni(suite.Netlists[i].NumNets())
+		r := rng.Derive(labels[v][b], seed, uint64(i))
+		bud := core.NewBudget(budgets[b]).WithContext(ctx)
+		var res core.Result
+		if va.strategy == Fig2 {
+			res = core.Figure2{G: g}.Run(sol, bud, r)
+		} else {
+			res = core.Figure1{G: g}.Run(sol, bud, r)
+		}
+		reds[j] = int(res.Reduction())
+		return nil
+	})
+
+	gotoBonus := gotoReduction(suite)
+	for v, va := range variants {
+		row := make([]int, len(budgets))
+		for b := range budgets {
 			total := 0
 			for i := 0; i < suite.Size(); i++ {
-				sol := linarr.NewSolution(v.suite.Start(i), v.kind)
-				g := gfunc.CohoonSahni(suite.Netlists[i].NumNets())
-				r := rng.Derive(fmt.Sprintf("cohoon/%s/%d", v.name, budget), seed, uint64(i))
-				bud := core.NewBudget(budget)
-				var res core.Result
-				if v.strategy == Fig2 {
-					res = core.Figure2{G: g}.Run(sol, bud, r)
-				} else {
-					res = core.Figure1{G: g}.Run(sol, bud, r)
-				}
-				total += int(res.Reduction())
+				total += reds[grid.Index(v, b, i)]
 			}
-			if v.suite == gotoSuite {
+			if va.suite == gotoSuite {
 				total += gotoBonus // count from the random starts, like Table 4.1 readers would
 			}
-			reds[b] = total
+			row[b] = total
 		}
-		t.AddRow(v.name, reds...)
+		t.AddRow(va.name, row...)
 	}
 	addOptimalRow(t, suite, len(budgets))
-	return t
+	return t, rep.Err()
 }

@@ -1,0 +1,69 @@
+package experiment
+
+import (
+	"runtime"
+	"testing"
+
+	"mcopt/internal/sched"
+)
+
+// These tests pin the scheduler's central contract: the rendered table text
+// is byte-identical at every worker count. They run each surface once at
+// Workers: 1 (strictly sequential) and once at Workers: GOMAXPROCS, and
+// compare the full strings. Under `go test -race` they double as a data-race
+// probe for the ported run loops.
+
+func execWidths() (one, all sched.Options) {
+	return sched.Options{Workers: 1}, sched.Options{Workers: runtime.GOMAXPROCS(0)}
+}
+
+func TestTable41ByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	one, all := execWidths()
+	seqTab, _, err := Table41(1, []int64{120, 240}, Config{Exec: one})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parTab, _, err := Table41(1, []int64{120, 240}, Config{Exec: all})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqTab.String() != parTab.String() {
+		t.Fatalf("Table 4.1 differs between 1 and %d workers.\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s",
+			runtime.GOMAXPROCS(0), seqTab.String(), runtime.GOMAXPROCS(0), parTab.String())
+	}
+}
+
+func TestPartitionComparisonByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	one, all := execWidths()
+	seqTab, err := PartitionComparison(3, 4, 24, 60, 2000, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parTab, err := PartitionComparison(3, 4, 24, 60, 2000, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqTab.String() != parTab.String() {
+		t.Fatalf("X1 partition table differs between worker counts.\n--- workers=1 ---\n%s\n--- parallel ---\n%s",
+			seqTab.String(), parTab.String())
+	}
+}
+
+func TestSizeSweepByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	one, all := execWidths()
+	p := SweepParams{Sizes: []int{6, 10}, NetsPerCell: 8, Instances: 3, Budget: 500, Seed: 2}
+	p.Exec = one
+	seqTab, err := SizeSweep(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Exec = all
+	parTab, err := SizeSweep(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqTab.String() != parTab.String() {
+		t.Fatalf("size sweep differs between worker counts.\n--- workers=1 ---\n%s\n--- parallel ---\n%s",
+			seqTab.String(), parTab.String())
+	}
+}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"mcopt/internal/core"
@@ -8,6 +9,7 @@ import (
 	"mcopt/internal/netlist"
 	"mcopt/internal/partition"
 	"mcopt/internal/rng"
+	"mcopt/internal/sched"
 	"mcopt/internal/tsp"
 )
 
@@ -26,11 +28,11 @@ func PartitionScale() gfunc.Scale { return gfunc.Scale{TypicalCost: 140, Typical
 // vs Kernighan–Lin on random balanced bipartitions, every method limited to
 // the same move budget per instance. Columns: total best cut over the
 // suite, total reduction, and wins against six-temperature annealing.
-func PartitionComparison(seed uint64, instances, cells, nets int, budget int64) *Table {
-	type row struct {
-		name string
-		cuts []int
-	}
+//
+// The (method, instance) grid executes on the shared scheduler; cells
+// skipped by cancellation keep the starting cut (zero reduction), and the
+// error reports the interruption.
+func PartitionComparison(seed uint64, instances, cells, nets int, budget int64, ex sched.Options) (*Table, error) {
 	nls := make([]*netlist.Netlist, instances)
 	starts := make([][]int, instances)
 	startCuts := make([]int, instances)
@@ -45,17 +47,6 @@ func PartitionComparison(seed uint64, instances, cells, nets int, budget int64) 
 	}
 
 	scale := PartitionScale()
-	rows := []row{}
-	runMC := func(name string, g func() core.G) {
-		r := row{name: name, cuts: make([]int, instances)}
-		for i := 0; i < instances; i++ {
-			sol := partition.NewSolution(start(i))
-			res := core.Figure1{G: g()}.Run(sol,
-				core.NewBudget(budget), rng.Derive("x1/run/"+name, seed, uint64(i)))
-			r.cuts[i] = int(res.BestCost)
-		}
-		rows = append(rows, r)
-	}
 	class := func(id int) func() core.G {
 		b, ok := gfunc.ByID(id)
 		if !ok {
@@ -67,36 +58,53 @@ func PartitionComparison(seed uint64, instances, cells, nets int, budget int64) 
 		}
 		return func() core.G { return b.Build(ys) }
 	}
-	runMC("Six Temperature Annealing", class(2))
-	runMC("Metropolis", class(1))
-	runMC("g = 1", class(3))
-	runMC("Cubic Diff", class(15))
-
-	// One-shot local search: a single descent, then idle (the floor any
-	// Monte Carlo method should beat given uphill moves help at all).
-	ls := row{name: "Local search (1 descent)", cuts: make([]int, instances)}
-	for i := 0; i < instances; i++ {
-		sol := partition.NewSolution(start(i))
-		sol.Descend(core.NewBudget(budget))
-		ls.cuts[i] = sol.CutSize()
+	mc := func(name string, g func() core.G) func(ctx context.Context, i int) int {
+		return func(ctx context.Context, i int) int {
+			sol := partition.NewSolution(start(i))
+			res := core.Figure1{G: g()}.Run(sol,
+				core.NewBudget(budget).WithContext(ctx), rng.Derive("x1/run/"+name, seed, uint64(i)))
+			return int(res.BestCost)
+		}
 	}
-	rows = append(rows, ls)
-
-	kl := row{name: "Kernighan-Lin", cuts: make([]int, instances)}
-	for i := 0; i < instances; i++ {
-		b := start(i)
-		partition.KernighanLin(b, core.NewBudget(budget))
-		kl.cuts[i] = b.CutSize()
+	type row struct {
+		name string
+		cell func(ctx context.Context, i int) int
+		cuts []int
 	}
-	rows = append(rows, kl)
-
-	fm := row{name: "Fiduccia-Mattheyses", cuts: make([]int, instances)}
-	for i := 0; i < instances; i++ {
-		b := start(i)
-		partition.FiducciaMattheyses(b, core.NewBudget(budget), partition.FMConfig{Tolerance: 1})
-		fm.cuts[i] = b.CutSize()
+	rows := []row{
+		{name: "Six Temperature Annealing", cell: mc("Six Temperature Annealing", class(2))},
+		{name: "Metropolis", cell: mc("Metropolis", class(1))},
+		{name: "g = 1", cell: mc("g = 1", class(3))},
+		{name: "Cubic Diff", cell: mc("Cubic Diff", class(15))},
+		// One-shot local search: a single descent, then idle (the floor any
+		// Monte Carlo method should beat given uphill moves help at all).
+		{name: "Local search (1 descent)", cell: func(ctx context.Context, i int) int {
+			sol := partition.NewSolution(start(i))
+			sol.Descend(core.NewBudget(budget).WithContext(ctx))
+			return sol.CutSize()
+		}},
+		{name: "Kernighan-Lin", cell: func(ctx context.Context, i int) int {
+			b := start(i)
+			partition.KernighanLin(b, core.NewBudget(budget).WithContext(ctx))
+			return b.CutSize()
+		}},
+		{name: "Fiduccia-Mattheyses", cell: func(ctx context.Context, i int) int {
+			b := start(i)
+			partition.FiducciaMattheyses(b, core.NewBudget(budget).WithContext(ctx), partition.FMConfig{Tolerance: 1})
+			return b.CutSize()
+		}},
 	}
-	rows = append(rows, fm)
+	for r := range rows {
+		rows[r].cuts = make([]int, instances)
+		copy(rows[r].cuts, startCuts) // skipped cells read as "no reduction"
+	}
+
+	grid := sched.Grid2{A: len(rows), B: instances}
+	rep := sched.Run(grid.N(), ex, func(ctx context.Context, j int) error {
+		r, i := grid.Split(j)
+		rows[r].cuts[i] = rows[r].cell(ctx, i)
+		return nil
+	})
 
 	startSum := 0
 	for _, c := range startCuts {
@@ -119,7 +127,7 @@ func PartitionComparison(seed uint64, instances, cells, nets int, budget int64) 
 		}
 		t.AddRow(r.name, sum, startSum-sum, wins)
 	}
-	return t
+	return t, rep.Err()
 }
 
 // TSPScale characterizes the X2 tours (60 uniform cities in the unit
@@ -132,21 +140,21 @@ func TSPScale() gfunc.Scale { return gfunc.Scale{TypicalCost: 30, TypicalDelta: 
 // [GOLD84] found 20–60× cheaper than annealing. Columns: total tour length
 // (scaled ×100 for integer display) and wins against six-temperature
 // annealing.
-func TSPComparison(seed uint64, instances, cities int, budget int64) *Table {
-	type row struct {
-		name string
-		lens []float64
-	}
+//
+// Like X1, the (method, instance) grid runs on the shared scheduler with
+// start-tour lengths prefilled for cancellation-skipped cells.
+func TSPComparison(seed uint64, instances, cities int, budget int64, ex sched.Options) (*Table, error) {
 	insts := make([]*tsp.Instance, instances)
 	starts := make([][]int, instances)
+	startLens := make([]float64, instances)
 	for i := range insts {
 		insts[i] = tsp.RandomEuclidean(rng.Derive("x2/instance", seed, uint64(i)), cities)
 		starts[i] = tsp.RandomTour(insts[i], rng.Derive("x2/start", seed, uint64(i))).Order()
+		startLens[i] = insts[i].TourLength(starts[i])
 	}
 
 	scale := TSPScale()
-	rows := []row{}
-	runMC := func(name string, id int) {
+	mc := func(name string, id int) func(ctx context.Context, i int) float64 {
 		b, ok := gfunc.ByID(id)
 		if !ok {
 			panic(fmt.Sprintf("experiment: unknown class %d", id))
@@ -155,34 +163,45 @@ func TSPComparison(seed uint64, instances, cities int, budget int64) *Table {
 		if b.NeedsY {
 			ys = b.DefaultYs(scale)
 		}
-		r := row{name: name, lens: make([]float64, instances)}
-		for i := 0; i < instances; i++ {
+		return func(ctx context.Context, i int) float64 {
 			tour := tsp.MustNewTour(insts[i], starts[i])
 			res := core.Figure1{G: b.Build(ys)}.Run(tour,
-				core.NewBudget(budget), rng.Derive("x2/run/"+name, seed, uint64(i)))
-			r.lens[i] = res.BestCost
+				core.NewBudget(budget).WithContext(ctx), rng.Derive("x2/run/"+name, seed, uint64(i)))
+			return res.BestCost
 		}
-		rows = append(rows, r)
 	}
-	runMC("Six Temperature Annealing", 2)
-	runMC("Metropolis", 1)
-	runMC("g = 1", 3)
+	type row struct {
+		name string
+		cell func(ctx context.Context, i int) float64
+		lens []float64
+	}
+	rows := []row{
+		{name: "Six Temperature Annealing", cell: mc("Six Temperature Annealing", 2)},
+		{name: "Metropolis", cell: mc("Metropolis", 1)},
+		{name: "g = 1", cell: mc("g = 1", 3)},
+		{name: "2-opt restarts [LIN73]", cell: func(ctx context.Context, i int) float64 {
+			best, _ := tsp.TwoOptRestarts(insts[i],
+				core.NewBudget(budget).WithContext(ctx), rng.Derive("x2/lin73", seed, uint64(i)))
+			return best.Length()
+		}},
+		{name: "Hull insertion [STEW77]", cell: func(_ context.Context, i int) float64 {
+			return insts[i].TourLength(tsp.HullInsertion(insts[i]))
+		}},
+		{name: "Nearest neighbor", cell: func(_ context.Context, i int) float64 {
+			return insts[i].TourLength(tsp.NearestNeighbor(insts[i], 0))
+		}},
+	}
+	for r := range rows {
+		rows[r].lens = make([]float64, instances)
+		copy(rows[r].lens, startLens)
+	}
 
-	lin := row{name: "2-opt restarts [LIN73]", lens: make([]float64, instances)}
-	for i := 0; i < instances; i++ {
-		best, _ := tsp.TwoOptRestarts(insts[i],
-			core.NewBudget(budget), rng.Derive("x2/lin73", seed, uint64(i)))
-		lin.lens[i] = best.Length()
-	}
-	rows = append(rows, lin)
-
-	hull := row{name: "Hull insertion [STEW77]", lens: make([]float64, instances)}
-	nn := row{name: "Nearest neighbor", lens: make([]float64, instances)}
-	for i := 0; i < instances; i++ {
-		hull.lens[i] = insts[i].TourLength(tsp.HullInsertion(insts[i]))
-		nn.lens[i] = insts[i].TourLength(tsp.NearestNeighbor(insts[i], 0))
-	}
-	rows = append(rows, hull, nn)
+	grid := sched.Grid2{A: len(rows), B: instances}
+	rep := sched.Run(grid.N(), ex, func(ctx context.Context, j int) error {
+		r, i := grid.Split(j)
+		rows[r].lens[i] = rows[r].cell(ctx, i)
+		return nil
+	})
 
 	t := &Table{
 		Title: "X2 — TSP: annealing vs 2-opt restarts and constructives ([GOLD84] shape)",
@@ -201,5 +220,5 @@ func TSPComparison(seed uint64, instances, cities int, budget int64) *Table {
 		}
 		t.AddRow(r.name, int(sum*100), wins)
 	}
-	return t
+	return t, rep.Err()
 }

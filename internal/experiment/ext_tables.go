@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"mcopt/internal/core"
@@ -8,6 +9,7 @@ import (
 	"mcopt/internal/netlist"
 	"mcopt/internal/partition"
 	"mcopt/internal/rng"
+	"mcopt/internal/sched"
 	"mcopt/internal/tsp"
 )
 
@@ -17,22 +19,32 @@ import (
 // the conclusions ("the striking commonality ... is in the good performance
 // of g = 1"); these tables let a reader check them.
 
-// genericRun executes one Monte Carlo method over generic instances.
-// start(i) must return a fresh copy of instance i's fixed starting state.
+// genericRun executes one Monte Carlo method over generic instances on the
+// shared scheduler. start(i) must return a fresh copy of instance i's fixed
+// starting state. Cells skipped by cancellation keep the starting cost.
 func genericRun(
 	name string, start func(i int) core.Solution, newG func(i int) core.G,
-	instances int, budgets []int64, seed uint64,
-) [][]float64 {
+	instances int, budgets []int64, seed uint64, ex sched.Options,
+) ([][]float64, *sched.Report) {
 	out := make([][]float64, len(budgets))
+	// The RNG stream label depends only on the budget; build it per column.
+	labels := make([]string, len(budgets))
 	for b, budget := range budgets {
+		labels[b] = fmt.Sprintf("ext/%s/%d", name, budget)
 		out[b] = make([]float64, instances)
 		for i := 0; i < instances; i++ {
-			r := rng.Derive(fmt.Sprintf("ext/%s/%d", name, budget), seed, uint64(i))
-			res := core.Figure1{G: newG(i)}.Run(start(i), core.NewBudget(budget), r)
-			out[b][i] = res.BestCost
+			out[b][i] = start(i).Cost()
 		}
 	}
-	return out
+	grid := sched.Grid2{A: len(budgets), B: instances}
+	rep := sched.Run(grid.N(), ex, func(ctx context.Context, j int) error {
+		b, i := grid.Split(j)
+		r := rng.Derive(labels[b], seed, uint64(i))
+		res := core.Figure1{G: newG(i)}.Run(start(i), core.NewBudget(budgets[b]).WithContext(ctx), r)
+		out[b][i] = res.BestCost
+		return nil
+	})
+	return out, rep
 }
 
 // classGs builds per-instance g factories for every paper class at a fixed
@@ -62,10 +74,19 @@ func classGs(scale gfunc.Scale, cohoonM func(i int) int) []struct {
 	return out
 }
 
+// firstErr keeps the first non-nil scheduler error across the many
+// per-method grids these tables run.
+func firstErr(err error, rep *sched.Report) error {
+	if err != nil {
+		return err
+	}
+	return rep.Err()
+}
+
 // PartitionTable regenerates the [NAHA84] circuit-partition comparison:
 // all 21 Monte Carlo rows plus descent restarts and Kernighan–Lin, each
 // cell the suite-total cut reduction at that budget.
-func PartitionTable(seed uint64, instances, cells, nets int, budgets []int64) *Table {
+func PartitionTable(seed uint64, instances, cells, nets int, budgets []int64, ex sched.Options) (*Table, error) {
 	nls := make([]*netlist.Netlist, instances)
 	starts := make([][]int, instances)
 	startSum := 0
@@ -85,8 +106,10 @@ func PartitionTable(seed uint64, instances, cells, nets int, budgets []int64) *T
 			instances, cells, nets, startSum),
 		Columns: budgetColumns(budgets),
 	}
+	var err error
 	for _, m := range classGs(PartitionScale(), func(i int) int { return nls[i].NumNets() }) {
-		costs := genericRun(m.Name, start, m.NewG, instances, budgets, seed)
+		costs, rep := genericRun(m.Name, start, m.NewG, instances, budgets, seed, ex)
+		err = firstErr(err, rep)
 		reds := make([]int, len(budgets))
 		for b := range budgets {
 			sum := 0.0
@@ -98,40 +121,54 @@ func PartitionTable(seed uint64, instances, cells, nets int, budgets []int64) *T
 		t.AddRow(m.Name, reds...)
 	}
 
-	// Proven-heuristic baselines at the same budgets.
-	addBaseline := func(name string, bestCut func(i int, budget int64) int) {
-		reds := make([]int, len(budgets))
-		for b, budget := range budgets {
-			sum := 0
+	// Proven-heuristic baselines at the same budgets, on the same scheduler.
+	addBaseline := func(name string, bestCut func(ctx context.Context, i int, budget int64) int) {
+		cuts := make([][]int, len(budgets))
+		for b := range cuts {
+			cuts[b] = make([]int, instances)
 			for i := 0; i < instances; i++ {
-				sum += bestCut(i, budget)
+				cuts[b][i] = partition.MustNew(nls[i], starts[i]).CutSize()
+			}
+		}
+		grid := sched.Grid2{A: len(budgets), B: instances}
+		rep := sched.Run(grid.N(), ex, func(ctx context.Context, j int) error {
+			b, i := grid.Split(j)
+			cuts[b][i] = bestCut(ctx, i, budgets[b])
+			return nil
+		})
+		err = firstErr(err, rep)
+		reds := make([]int, len(budgets))
+		for b := range budgets {
+			sum := 0
+			for _, c := range cuts[b] {
+				sum += c
 			}
 			reds[b] = startSum - sum
 		}
 		t.AddRow(name, reds...)
 	}
-	addBaseline("Descent restarts", func(i int, budget int64) int {
+	addBaseline("Descent restarts", func(ctx context.Context, i int, budget int64) int {
 		best, _ := partition.DescentRestarts(nls[i],
-			core.NewBudget(budget), rng.Derive("x1t/restarts", seed, uint64(i)))
+			core.NewBudget(budget).WithContext(ctx), rng.Derive("x1t/restarts", seed, uint64(i)))
 		return best.CutSize()
 	})
-	addBaseline("Kernighan-Lin", func(i int, budget int64) int {
+	addBaseline("Kernighan-Lin", func(ctx context.Context, i int, budget int64) int {
 		p := partition.MustNew(nls[i], starts[i])
-		partition.KernighanLin(p, core.NewBudget(budget))
+		partition.KernighanLin(p, core.NewBudget(budget).WithContext(ctx))
 		return p.CutSize()
 	})
-	addBaseline("Fiduccia-Mattheyses", func(i int, budget int64) int {
+	addBaseline("Fiduccia-Mattheyses", func(ctx context.Context, i int, budget int64) int {
 		p := partition.MustNew(nls[i], starts[i])
-		partition.FiducciaMattheyses(p, core.NewBudget(budget), partition.FMConfig{Tolerance: 1})
+		partition.FiducciaMattheyses(p, core.NewBudget(budget).WithContext(ctx), partition.FMConfig{Tolerance: 1})
 		return p.CutSize()
 	})
-	return t
+	return t, err
 }
 
 // TSPTable regenerates the [NAHA84]/[GOLD84] TSP comparison: all 21 Monte
 // Carlo rows over 2-opt perturbations plus the classic baselines, each
 // cell the suite-total tour length ×100 (lower is better).
-func TSPTable(seed uint64, instances, cities int, budgets []int64) *Table {
+func TSPTable(seed uint64, instances, cities int, budgets []int64, ex sched.Options) (*Table, error) {
 	insts := make([]*tsp.Instance, instances)
 	starts := make([][]int, instances)
 	for i := range insts {
@@ -148,8 +185,10 @@ func TSPTable(seed uint64, instances, cities int, budgets []int64) *Table {
 			instances, cities),
 		Columns: budgetColumns(budgets),
 	}
+	var err error
 	for _, m := range classGs(TSPScale(), func(i int) int { return cities }) {
-		costs := genericRun(m.Name, start, m.NewG, instances, budgets, seed)
+		costs, rep := genericRun(m.Name, start, m.NewG, instances, budgets, seed, ex)
+		err = firstErr(err, rep)
 		cells := make([]int, len(budgets))
 		for b := range budgets {
 			sum := 0.0
@@ -161,27 +200,41 @@ func TSPTable(seed uint64, instances, cities int, budgets []int64) *Table {
 		t.AddRow(m.Name, cells...)
 	}
 
-	addBaseline := func(name string, length func(i int, budget int64) float64) {
-		cells := make([]int, len(budgets))
-		for b, budget := range budgets {
-			sum := 0.0
+	addBaseline := func(name string, length func(ctx context.Context, i int, budget int64) float64) {
+		lens := make([][]float64, len(budgets))
+		for b := range lens {
+			lens[b] = make([]float64, instances)
 			for i := 0; i < instances; i++ {
-				sum += length(i, budget)
+				lens[b][i] = insts[i].TourLength(starts[i])
+			}
+		}
+		grid := sched.Grid2{A: len(budgets), B: instances}
+		rep := sched.Run(grid.N(), ex, func(ctx context.Context, j int) error {
+			b, i := grid.Split(j)
+			lens[b][i] = length(ctx, i, budgets[b])
+			return nil
+		})
+		err = firstErr(err, rep)
+		cells := make([]int, len(budgets))
+		for b := range budgets {
+			sum := 0.0
+			for _, l := range lens[b] {
+				sum += l
 			}
 			cells[b] = int(sum * 100)
 		}
 		t.AddRow(name, cells...)
 	}
-	addBaseline("2-opt restarts [LIN73]", func(i int, budget int64) float64 {
+	addBaseline("2-opt restarts [LIN73]", func(ctx context.Context, i int, budget int64) float64 {
 		best, _ := tsp.TwoOptRestarts(insts[i],
-			core.NewBudget(budget), rng.Derive("x2t/lin73", seed, uint64(i)))
+			core.NewBudget(budget).WithContext(ctx), rng.Derive("x2t/lin73", seed, uint64(i)))
 		return best.Length()
 	})
-	addBaseline("Hull insertion [STEW77]", func(i int, _ int64) float64 {
+	addBaseline("Hull insertion [STEW77]", func(_ context.Context, i int, _ int64) float64 {
 		return insts[i].TourLength(tsp.HullInsertion(insts[i]))
 	})
-	addBaseline("Nearest neighbor", func(i int, _ int64) float64 {
+	addBaseline("Nearest neighbor", func(_ context.Context, i int, _ int64) float64 {
 		return insts[i].TourLength(tsp.NearestNeighbor(insts[i], 0))
 	})
-	return t
+	return t, err
 }

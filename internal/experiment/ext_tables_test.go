@@ -1,9 +1,13 @@
 package experiment
 
-import "testing"
+import (
+	"testing"
+
+	"mcopt/internal/sched"
+)
 
 func TestPartitionTableShape(t *testing.T) {
-	tab := PartitionTable(1, 3, 24, 72, []int64{1000, 3000})
+	tab, _ := PartitionTable(1, 3, 24, 72, []int64{1000, 3000}, sched.Options{})
 	if len(tab.Rows) != 24 { // 21 Monte Carlo + restarts + KL + FM
 		t.Fatalf("partition table has %d rows, want 24", len(tab.Rows))
 	}
@@ -22,7 +26,7 @@ func TestPartitionTableShape(t *testing.T) {
 }
 
 func TestTSPTableShape(t *testing.T) {
-	tab := TSPTable(1, 3, 30, []int64{1000, 4000})
+	tab, _ := TSPTable(1, 3, 30, []int64{1000, 4000}, sched.Options{})
 	if len(tab.Rows) != 24 { // 21 Monte Carlo + 3 baselines
 		t.Fatalf("TSP table has %d rows, want 24", len(tab.Rows))
 	}
@@ -53,15 +57,15 @@ func atoi(t *testing.T, s string) int {
 }
 
 func TestExtTablesDeterministic(t *testing.T) {
-	a := PartitionTable(2, 2, 16, 48, []int64{600})
-	b := PartitionTable(2, 2, 16, 48, []int64{600})
+	a, _ := PartitionTable(2, 2, 16, 48, []int64{600}, sched.Options{})
+	b, _ := PartitionTable(2, 2, 16, 48, []int64{600}, sched.Options{})
 	if a.String() != b.String() {
 		t.Fatal("partition table not deterministic")
 	}
 }
 
 func TestCohoonBestShape(t *testing.T) {
-	tab := CohoonBest(1, []int64{600, 1200})
+	tab, _ := CohoonBest(1, []int64{600, 1200}, sched.Options{})
 	if len(tab.Rows) != 4 { // 3 variants + (optimal)
 		t.Fatalf("rows = %d, want 4", len(tab.Rows))
 	}

@@ -3,6 +3,8 @@ package experiment
 import (
 	"strconv"
 	"testing"
+
+	"mcopt/internal/sched"
 )
 
 // cellInt parses an integer cell from a rendered row.
@@ -16,7 +18,7 @@ func cellInt(t *testing.T, row TableRow, col int) int {
 }
 
 func TestPartitionComparisonShape(t *testing.T) {
-	tab := PartitionComparison(1, 4, 32, 96, 8000)
+	tab, _ := PartitionComparison(1, 4, 32, 96, 8000, sched.Options{})
 	if len(tab.Rows) != 7 {
 		t.Fatalf("X1 has %d rows, want 7", len(tab.Rows))
 	}
@@ -40,7 +42,7 @@ func TestPartitionComparisonShape(t *testing.T) {
 }
 
 func TestTSPComparisonShape(t *testing.T) {
-	tab := TSPComparison(1, 5, 40, 15000)
+	tab, _ := TSPComparison(1, 5, 40, 15000, sched.Options{})
 	if len(tab.Rows) != 6 {
 		t.Fatalf("X2 has %d rows, want 6", len(tab.Rows))
 	}
@@ -66,20 +68,20 @@ func TestTSPComparisonShape(t *testing.T) {
 }
 
 func TestExtDeterministic(t *testing.T) {
-	a := TSPComparison(3, 3, 30, 5000)
-	b := TSPComparison(3, 3, 30, 5000)
+	a, _ := TSPComparison(3, 3, 30, 5000, sched.Options{})
+	b, _ := TSPComparison(3, 3, 30, 5000, sched.Options{})
 	if a.String() != b.String() {
 		t.Fatal("TSP comparison not deterministic")
 	}
-	c := PartitionComparison(3, 3, 24, 72, 4000)
-	d := PartitionComparison(3, 3, 24, 72, 4000)
+	c, _ := PartitionComparison(3, 3, 24, 72, 4000, sched.Options{})
+	d, _ := PartitionComparison(3, 3, 24, 72, 4000, sched.Options{})
 	if c.String() != d.String() {
 		t.Fatal("partition comparison not deterministic")
 	}
 }
 
 func TestPMedianComparisonShape(t *testing.T) {
-	tab := PMedianComparison(1, 4, 30, 4, 8000)
+	tab, _ := PMedianComparison(1, 4, 30, 4, 8000, sched.Options{})
 	if len(tab.Rows) != 6 {
 		t.Fatalf("X2b has %d rows, want 6", len(tab.Rows))
 	}

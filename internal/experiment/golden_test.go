@@ -13,7 +13,7 @@ import (
 //
 //	UPDATE_GOLDEN=1 go test ./internal/experiment -run Golden
 func TestTable41Golden(t *testing.T) {
-	tab, _ := Table41(1, []int64{120, 240}, Config{})
+	tab, _, _ := Table41(1, []int64{120, 240}, Config{})
 	got := tab.String()
 	path := filepath.Join("testdata", "table41_small.golden")
 	if os.Getenv("UPDATE_GOLDEN") != "" {
@@ -38,7 +38,7 @@ func TestTable41Golden(t *testing.T) {
 
 // TestSweepGolden freezes the small size-sweep table the same way.
 func TestSweepGolden(t *testing.T) {
-	tab := SizeSweep(SweepParams{
+	tab, _ := SizeSweep(SweepParams{
 		Sizes: []int{8, 12}, NetsPerCell: 8, Instances: 4, Budget: 400, Seed: 1,
 	})
 	got := tab.String()

@@ -1,12 +1,14 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"mcopt/internal/core"
 	"mcopt/internal/gfunc"
 	"mcopt/internal/pmedian"
 	"mcopt/internal/rng"
+	"mcopt/internal/sched"
 )
 
 // X2b: the location half of [GOLD84] ("routing and location problems"),
@@ -19,25 +21,25 @@ import (
 func PMedianScale() gfunc.Scale { return gfunc.Scale{TypicalCost: 8, TypicalDelta: 0.3} }
 
 // PMedianComparison runs X2b. Columns: total assignment cost ×100 (lower
-// is better) and wins against six-temperature annealing.
-func PMedianComparison(seed uint64, instances, sites, p int, budget int64) *Table {
+// is better) and wins against six-temperature annealing. The (method,
+// instance) grid runs on the shared scheduler with start costs prefilled
+// for cancellation-skipped cells.
+func PMedianComparison(seed uint64, instances, sites, p int, budget int64, ex sched.Options) (*Table, error) {
 	insts := make([]*pmedian.Instance, instances)
 	starts := make([][]int, instances)
+	startCosts := make([]float64, instances)
 	for i := range insts {
 		insts[i] = pmedian.RandomEuclidean(rng.Derive("x2b/instance", seed, uint64(i)), sites, p)
-		starts[i] = pmedian.Random(insts[i], rng.Derive("x2b/start", seed, uint64(i))).Chosen()
+		m := pmedian.Random(insts[i], rng.Derive("x2b/start", seed, uint64(i)))
+		starts[i] = m.Chosen()
+		startCosts[i] = m.Cost()
 	}
 	start := func(i int) *pmedian.Medians {
 		return pmedian.MustNewMedians(insts[i], starts[i])
 	}
 
-	type row struct {
-		name  string
-		costs []float64
-	}
-	rows := []row{}
 	scale := PMedianScale()
-	runMC := func(name string, id int) {
+	mc := func(name string, id int) func(ctx context.Context, i int) float64 {
 		b, ok := gfunc.ByID(id)
 		if !ok {
 			panic(fmt.Sprintf("experiment: unknown class %d", id))
@@ -46,37 +48,49 @@ func PMedianComparison(seed uint64, instances, sites, p int, budget int64) *Tabl
 		if b.NeedsY {
 			ys = b.DefaultYs(scale)
 		}
-		r := row{name: name, costs: make([]float64, instances)}
-		for i := 0; i < instances; i++ {
+		return func(ctx context.Context, i int) float64 {
 			sol := pmedian.NewSolution(start(i))
 			res := core.Figure1{G: b.Build(ys)}.Run(sol,
-				core.NewBudget(budget), rng.Derive("x2b/run/"+name, seed, uint64(i)))
-			r.costs[i] = res.BestCost
+				core.NewBudget(budget).WithContext(ctx), rng.Derive("x2b/run/"+name, seed, uint64(i)))
+			return res.BestCost
 		}
-		rows = append(rows, r)
 	}
-	runMC("Six Temperature Annealing", 2)
-	runMC("Metropolis", 1)
-	runMC("g = 1", 3)
+	type row struct {
+		name  string
+		cell  func(ctx context.Context, i int) float64
+		costs []float64
+	}
+	rows := []row{
+		{name: "Six Temperature Annealing", cell: mc("Six Temperature Annealing", 2)},
+		{name: "Metropolis", cell: mc("Metropolis", 1)},
+		{name: "g = 1", cell: mc("g = 1", 3)},
+		{name: "Interchange restarts [Teitz-Bart]", cell: func(ctx context.Context, i int) float64 {
+			best, _ := pmedian.InterchangeRestarts(insts[i],
+				core.NewBudget(budget).WithContext(ctx), rng.Derive("x2b/teitz", seed, uint64(i)))
+			return best.Cost()
+		}},
+		{name: "Greedy construction", cell: func(ctx context.Context, i int) float64 {
+			chosen := pmedian.Greedy(insts[i], core.NewBudget(budget).WithContext(ctx))
+			return insts[i].Cost(chosen)
+		}},
+		{name: "Greedy + interchange", cell: func(ctx context.Context, i int) float64 {
+			chosen := pmedian.Greedy(insts[i], core.NewBudget(budget).WithContext(ctx))
+			s := pmedian.NewSolution(pmedian.MustNewMedians(insts[i], chosen))
+			s.Descend(core.NewBudget(budget).WithContext(ctx))
+			return s.Cost()
+		}},
+	}
+	for r := range rows {
+		rows[r].costs = make([]float64, instances)
+		copy(rows[r].costs, startCosts)
+	}
 
-	inter := row{name: "Interchange restarts [Teitz-Bart]", costs: make([]float64, instances)}
-	for i := 0; i < instances; i++ {
-		best, _ := pmedian.InterchangeRestarts(insts[i],
-			core.NewBudget(budget), rng.Derive("x2b/teitz", seed, uint64(i)))
-		inter.costs[i] = best.Cost()
-	}
-	rows = append(rows, inter)
-
-	greedy := row{name: "Greedy construction", costs: make([]float64, instances)}
-	greedyDesc := row{name: "Greedy + interchange", costs: make([]float64, instances)}
-	for i := 0; i < instances; i++ {
-		chosen := pmedian.Greedy(insts[i], core.NewBudget(budget))
-		greedy.costs[i] = insts[i].Cost(chosen)
-		s := pmedian.NewSolution(pmedian.MustNewMedians(insts[i], chosen))
-		s.Descend(core.NewBudget(budget))
-		greedyDesc.costs[i] = s.Cost()
-	}
-	rows = append(rows, greedy, greedyDesc)
+	grid := sched.Grid2{A: len(rows), B: instances}
+	rep := sched.Run(grid.N(), ex, func(ctx context.Context, j int) error {
+		r, i := grid.Split(j)
+		rows[r].costs[i] = rows[r].cell(ctx, i)
+		return nil
+	})
 
 	t := &Table{
 		Title: "X2b — p-median location: annealing vs vertex-substitution heuristics ([GOLD84] shape)",
@@ -95,5 +109,5 @@ func PMedianComparison(seed uint64, instances, sites, p int, budget int64) *Tabl
 		}
 		t.AddRow(r.name, int(sum*100), wins)
 	}
-	return t
+	return t, rep.Err()
 }

@@ -1,8 +1,10 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
+	"mcopt/internal/sched"
 	"mcopt/internal/stats"
 )
 
@@ -19,15 +21,32 @@ type Replicated struct {
 	Reductions [][][]int
 }
 
-// Replicate runs the experiment behind `run` once per seed. The run
-// function must return matrices with identical method/budget axes.
-func Replicate(seeds []uint64, run func(seed uint64) *Matrix) (*Replicated, error) {
+// Replicate runs the experiment behind `run` once per seed. Seeds are
+// independent jobs on the shared scheduler (ex sets the seed-level worker
+// count; each run may parallelize internally on its own). The run function
+// must return matrices with identical method/budget axes.
+//
+// Callers that attach one Telemetry to every replication should keep
+// ex.Workers = 1: cells of different seeds share (method, budget, instance)
+// keys, so seed-parallel runs would interleave their event streams.
+func Replicate(seeds []uint64, ex sched.Options, run func(seed uint64) (*Matrix, error)) (*Replicated, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("experiment: Replicate needs at least one seed")
 	}
+	xs := make([]*Matrix, len(seeds))
+	srep := sched.Run(len(seeds), ex, func(_ context.Context, i int) error {
+		// The cancellation context reaches the runs through their own
+		// Config.Exec; a replication interrupted mid-run still hands back its
+		// partial matrix.
+		x, err := run(seeds[i])
+		xs[i] = x
+		return err
+	})
 	var rep *Replicated
-	for _, seed := range seeds {
-		x := run(seed)
+	for _, x := range xs {
+		if x == nil {
+			continue
+		}
 		if rep == nil {
 			rep = &Replicated{MethodNames: x.MethodNames, Budgets: x.Budgets}
 		} else if len(x.MethodNames) != len(rep.MethodNames) || len(x.Budgets) != len(rep.Budgets) {
@@ -39,7 +58,10 @@ func Replicate(seeds []uint64, run func(seed uint64) *Matrix) (*Replicated, erro
 		}
 		rep.Reductions = append(rep.Reductions, reds)
 	}
-	return rep, nil
+	if rep == nil {
+		return nil, srep.Err()
+	}
+	return rep, srep.Err()
 }
 
 // Stats returns the mean and population standard deviation of method m's

@@ -3,6 +3,8 @@ package experiment
 import (
 	"strings"
 	"testing"
+
+	"mcopt/internal/sched"
 )
 
 func TestReplicateAggregates(t *testing.T) {
@@ -11,7 +13,7 @@ func TestReplicateAggregates(t *testing.T) {
 		p.Instances = 4
 		return NewSuite(p, seed)
 	}
-	rep, err := Replicate([]uint64{1, 2, 3}, func(seed uint64) *Matrix {
+	rep, err := Replicate([]uint64{1, 2, 3}, sched.Options{}, func(seed uint64) (*Matrix, error) {
 		return Run(suiteOf(seed), smallMethods(), []int64{400}, Config{Seed: seed})
 	})
 	if err != nil {
@@ -59,18 +61,18 @@ func TestReplicateTableRendering(t *testing.T) {
 }
 
 func TestReplicateErrors(t *testing.T) {
-	if _, err := Replicate(nil, nil); err == nil {
+	if _, err := Replicate(nil, sched.Options{}, nil); err == nil {
 		t.Fatal("empty seed list accepted")
 	}
 	flip := 0
-	_, err := Replicate([]uint64{1, 2}, func(uint64) *Matrix {
+	_, err := Replicate([]uint64{1, 2}, sched.Options{Workers: 1}, func(uint64) (*Matrix, error) {
 		flip++
 		x := &Matrix{MethodNames: make([]string, flip), Budgets: []int64{1}}
 		x.BestDensities = make([][][]int, flip)
 		for m := range x.BestDensities {
 			x.BestDensities[m] = [][]int{{}}
 		}
-		return x
+		return x, nil
 	})
 	if err == nil {
 		t.Fatal("axis change between seeds accepted")

@@ -1,14 +1,14 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"mcopt/internal/core"
 	"mcopt/internal/linarr"
 	"mcopt/internal/metrics"
 	"mcopt/internal/rng"
+	"mcopt/internal/sched"
 )
 
 // Config carries the run-wide knobs shared by every cell of a table.
@@ -22,13 +22,27 @@ type Config struct {
 	Plateau core.PlateauPolicy
 	// N is the engines' counter threshold (0 = budget-split clock only).
 	N int
-	// Sequential disables the worker pool, for deterministic profiling.
+	// Sequential forces a single worker, for deterministic profiling.
+	// Equivalent to Exec.Workers = 1; kept for the CLIs' -seq flag.
 	Sequential bool
+	// Exec carries the execution-layer knobs — worker count, cancellation
+	// context, progress callback. The zero value runs on all cores with no
+	// cancellation. Output is byte-identical for every worker count.
+	Exec sched.Options
 	// Telemetry, when non-nil, collects per-cell run metrics and (if its
 	// Events writer is set) a JSONL event stream. Cells buffer privately and
 	// flush in sorted order after the run, so output is byte-identical
 	// whether cells ran sequentially or in parallel.
 	Telemetry *Telemetry
+}
+
+// exec resolves the effective scheduler options.
+func (c Config) exec() sched.Options {
+	o := c.Exec
+	if c.Sequential {
+		o.Workers = 1
+	}
+	return o
 }
 
 // Matrix holds the raw measurements behind a table: one cell per
@@ -75,8 +89,14 @@ func (x *Matrix) Reductions(m int) []int {
 // Run evaluates every method at every budget on every suite instance,
 // returning the full measurement matrix. Cells are independent: each runs
 // from the suite's fixed starting arrangement with its own derived random
-// stream, so the matrix is reproducible regardless of scheduling.
-func Run(suite *Suite, methods []Method, budgets []int64, cfg Config) *Matrix {
+// stream, so the matrix is byte-identical regardless of scheduling.
+//
+// The grid executes on the shared scheduler (internal/sched). On
+// cancellation the matrix is still returned: cells that never ran keep
+// their starting density (zero reduction), so partial tables stay
+// meaningful. The error, when non-nil, reports the interruption or any
+// cell panic; sibling cells are unaffected by a crashing one.
+func Run(suite *Suite, methods []Method, budgets []int64, cfg Config) (*Matrix, error) {
 	x := &Matrix{
 		SuiteName:      suite.Name,
 		MethodNames:    make([]string, len(methods)),
@@ -84,56 +104,45 @@ func Run(suite *Suite, methods []Method, budgets []int64, cfg Config) *Matrix {
 		BestDensities:  make([][][]int, len(methods)),
 		StartDensities: suite.StartDensities(),
 	}
+	// The per-cell RNG stream label depends only on (method, budget), so it
+	// is built once per row here rather than once per cell in runCell.
+	labels := make([][]string, len(methods))
 	for m, meth := range methods {
 		x.MethodNames[m] = meth.Name
 		x.BestDensities[m] = make([][]int, len(budgets))
-		for b := range budgets {
-			x.BestDensities[m][b] = make([]int, suite.Size())
+		labels[m] = make([]string, len(budgets))
+		for b, budget := range budgets {
+			labels[m][b] = fmt.Sprintf("run/%s/%s/%s/%d", suite.Name, meth.Name, meth.Strategy, budget)
+			row := make([]int, suite.Size())
+			// Prefill with the starting densities: a cell skipped by
+			// cancellation reads as "no reduction", not as a bogus zero.
+			copy(row, x.StartDensities)
+			x.BestDensities[m][b] = row
 		}
 	}
 
-	type job struct{ m, b, i int }
-	jobs := make(chan job)
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	if cfg.Sequential {
-		workers = 1
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				x.BestDensities[j.m][j.b][j.i] =
-					runCell(suite, cellKey(j), methods[j.m], budgets[j.b], cfg)
-			}
-		}()
-	}
-	for m := range methods {
-		for b := range budgets {
-			for i := 0; i < suite.Size(); i++ {
-				jobs <- job{m, b, i}
-			}
-		}
-	}
-	close(jobs)
-	wg.Wait()
+	grid := sched.Grid3{A: len(methods), B: len(budgets), C: suite.Size()}
+	rep := sched.Run(grid.N(), cfg.exec(), func(ctx context.Context, j int) error {
+		m, b, i := grid.Split(j)
+		x.BestDensities[m][b][i] =
+			runCell(ctx, suite, cellKey{m, b, i}, methods[m], budgets[b], labels[m][b], cfg)
+		return nil
+	})
 	if cfg.Telemetry != nil {
 		cfg.Telemetry.flush()
 	}
-	return x
+	return x, rep.Err()
 }
 
 // runCell runs one (method, budget, instance) cell and returns the best
-// density found.
-func runCell(suite *Suite, k cellKey, m Method, budget int64, cfg Config) int {
+// density found. label is the cell's RNG stream name, shared by its whole
+// (method, budget) row.
+func runCell(ctx context.Context, suite *Suite, k cellKey, m Method, budget int64, label string, cfg Config) int {
 	inst := k.i
 	sol := linarr.NewSolution(suite.Start(inst), cfg.MoveKind)
 	g := m.NewG(suite.Netlists[inst])
-	r := rng.Derive(
-		fmt.Sprintf("run/%s/%s/%s/%d", suite.Name, m.Name, m.Strategy, budget),
-		cfg.Seed, uint64(inst))
-	b := core.NewBudget(budget)
+	r := rng.Derive(label, cfg.Seed, uint64(inst))
+	b := core.NewBudget(budget).WithContext(ctx)
 
 	var hook core.Hook
 	if tel := cfg.Telemetry; tel != nil {

@@ -35,8 +35,8 @@ func TestSuiteSaveLoadRoundTrip(t *testing.T) {
 	}
 	// Running a method on the reloaded suite must reproduce the original
 	// matrix exactly.
-	a := Run(orig, smallMethods(), []int64{300}, Config{Seed: 1})
-	b := Run(back, smallMethods(), []int64{300}, Config{Seed: 1})
+	a, _ := Run(orig, smallMethods(), []int64{300}, Config{Seed: 1})
+	b, _ := Run(back, smallMethods(), []int64{300}, Config{Seed: 1})
 	// Suite name feeds the stream derivation, so they must match too.
 	for m := range a.BestDensities {
 		for i := range a.BestDensities[m][0] {
@@ -72,7 +72,7 @@ func TestLoadSuiteErrors(t *testing.T) {
 
 func TestMatrixWriteCSV(t *testing.T) {
 	suite := smallSuite(7)
-	x := Run(suite, smallMethods(), []int64{200}, Config{Seed: 7})
+	x, _ := Run(suite, smallMethods(), []int64{200}, Config{Seed: 7})
 	var buf bytes.Buffer
 	if err := x.WriteCSV(&buf); err != nil {
 		t.Fatal(err)

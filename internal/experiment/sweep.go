@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"mcopt/internal/linarr"
 	"mcopt/internal/netlist"
 	"mcopt/internal/rng"
+	"mcopt/internal/sched"
 )
 
 // SweepParams configures the instance-size scaling study: the paper's
@@ -31,6 +33,8 @@ type SweepParams struct {
 	// scaling regressions visible from the CLI. Off by default: the column
 	// is machine-dependent, so deterministic (golden-tested) tables omit it.
 	Throughput bool
+	// Exec carries the execution-layer knobs (worker count, cancellation).
+	Exec sched.Options
 }
 
 // DefaultSweepParams returns the published-regime defaults.
@@ -44,6 +48,20 @@ func DefaultSweepParams(seed uint64) SweepParams {
 	}
 }
 
+// sweepCell holds one (size, instance) measurement. Cells are independent —
+// instance generation and every run derive from labels fixed by the size —
+// so the sweep schedules them all at once on the shared execution layer.
+type sweepCell struct {
+	start     int
+	gotoRed   int
+	optRed    int
+	optOK     bool
+	saRed     int
+	goneRed   int
+	mcMoves   int64
+	mcElapsed time.Duration
+}
+
 // SizeSweep measures how instance size moves the Goto-vs-Monte-Carlo
 // comparison of Table 4.1: for each size it reports the suite-total
 // starting density, Goto's reduction, the reductions of six-temperature
@@ -55,7 +73,11 @@ func DefaultSweepParams(seed uint64) SweepParams {
 // as well as any of the Monte Carlo methods" — and a fixed budget *is*
 // small for large instances, so Goto's relative standing should improve
 // with size.
-func SizeSweep(p SweepParams) *Table {
+//
+// On cancellation the table keeps every size whose cells all completed and
+// drops the rest, so an interrupted sweep still prints a valid prefix; the
+// returned error reports the interruption.
+func SizeSweep(p SweepParams) (*Table, error) {
 	defaults := DefaultSweepParams(p.Seed)
 	if len(p.Sizes) == 0 {
 		p.Sizes = defaults.Sizes
@@ -78,62 +100,106 @@ func SizeSweep(p SweepParams) *Table {
 	if p.Throughput {
 		t.Columns = append(t.Columns, "moves/s")
 	}
-	for _, cells := range p.Sizes {
-		nets := cells * p.NetsPerCell
+
+	// RNG stream labels depend only on the size, so build them per size row
+	// rather than per cell.
+	type sizeLabels struct{ netlist, start, sa, gone string }
+	labels := make([]sizeLabels, len(p.Sizes))
+	for s, cells := range p.Sizes {
+		labels[s] = sizeLabels{
+			netlist: fmt.Sprintf("sweep/%d/netlist", cells),
+			start:   fmt.Sprintf("sweep/%d/start", cells),
+			sa:      fmt.Sprintf("sweep/%d/sa", cells),
+			gone:    fmt.Sprintf("sweep/%d/gone", cells),
+		}
+	}
+
+	grid := sched.Grid2{A: len(p.Sizes), B: p.Instances}
+	results := make([]sweepCell, grid.N())
+	rep := sched.Run(grid.N(), p.Exec, func(ctx context.Context, j int) error {
+		s, i := grid.Split(j)
+		cells := p.Sizes[s]
+		lb := labels[s]
+		c := &results[j]
+
+		nl := netlist.RandomGraph(rng.Derive(lb.netlist, p.Seed, uint64(i)), cells, cells*p.NetsPerCell)
+		start := linarr.Random(nl, rng.Derive(lb.start, p.Seed, uint64(i)))
+		d0 := start.Density()
+		c.start = d0
+		c.gotoRed = d0 - linarr.MustNew(nl, gotoh.Order(nl)).Density()
+		if cells <= exact.MaxCells {
+			if opt, err := exact.MinDensity(nl); err == nil {
+				c.optOK = true
+				c.optRed = d0 - opt
+			}
+		}
+
+		scale := gfunc.Scale{TypicalCost: float64(max(d0, 1)), TypicalDelta: 2}
+		run := func(g core.G, label string) int {
+			sol := linarr.NewSolution(start.Clone(), linarr.PairwiseInterchange)
+			t0 := time.Now()
+			res := core.Figure1{G: g}.Run(sol, core.NewBudget(p.Budget).WithContext(ctx),
+				rng.Derive(label, p.Seed, uint64(i)))
+			c.mcElapsed += time.Since(t0)
+			c.mcMoves += res.Moves
+			return int(res.Reduction())
+		}
+		b2, _ := gfunc.ByID(2)
+		c.saRed = run(b2.Build(b2.DefaultYs(scale)), lb.sa)
+		c.goneRed = run(gfunc.One(), lb.gone)
+		return nil
+	})
+
+	for s, cells := range p.Sizes {
 		startSum, gotoRed, optRed := 0, 0, 0
 		saRed, goneRed := 0, 0
-		optKnown := cells <= exact.MaxCells
-
-		scale := gfunc.Scale{TypicalCost: 1, TypicalDelta: 2}
+		optKnown := true
 		var mcMoves int64
 		var mcElapsed time.Duration
+		complete := true
 		for i := 0; i < p.Instances; i++ {
-			nl := netlist.RandomGraph(rng.Derive(fmt.Sprintf("sweep/%d/netlist", cells), p.Seed, uint64(i)), cells, nets)
-			start := linarr.Random(nl, rng.Derive(fmt.Sprintf("sweep/%d/start", cells), p.Seed, uint64(i)))
-			d0 := start.Density()
-			startSum += d0
-			gotoRed += d0 - linarr.MustNew(nl, gotoh.Order(nl)).Density()
-			if optKnown {
-				opt, err := exact.MinDensity(nl)
-				if err != nil {
-					optKnown = false
-				} else {
-					optRed += d0 - opt
-				}
+			j := grid.Index(s, i)
+			if !rep.Completed(j) {
+				complete = false
+				break
 			}
-			scale.TypicalCost = float64(max(d0, 1))
-			run := func(g core.G, name string) int {
-				sol := linarr.NewSolution(start.Clone(), linarr.PairwiseInterchange)
-				t0 := time.Now()
-				res := core.Figure1{G: g}.Run(sol, core.NewBudget(p.Budget),
-					rng.Derive(fmt.Sprintf("sweep/%d/%s", cells, name), p.Seed, uint64(i)))
-				mcElapsed += time.Since(t0)
-				mcMoves += res.Moves
-				return int(res.Reduction())
+			c := &results[j]
+			startSum += c.start
+			gotoRed += c.gotoRed
+			if c.optOK {
+				optRed += c.optRed
+			} else {
+				optKnown = false
 			}
-			b2, _ := gfunc.ByID(2)
-			saRed += run(b2.Build(b2.DefaultYs(scale)), "sa")
-			goneRed += run(gfunc.One(), "gone")
+			saRed += c.saRed
+			goneRed += c.goneRed
+			mcMoves += c.mcMoves
+			mcElapsed += c.mcElapsed
 		}
-		cells3 := fmt.Sprintf("%d", optRed)
+		if !complete {
+			// An interrupted sweep keeps only whole rows: partial sums would
+			// print as plausible-looking but wrong totals.
+			break
+		}
+		optCell := fmt.Sprintf("%d", optRed)
 		if !optKnown {
-			cells3 = "-"
+			optCell = "-"
 		}
 		row := []string{
 			fmt.Sprintf("%d", startSum),
 			fmt.Sprintf("%d", gotoRed),
 			fmt.Sprintf("%d", saRed),
 			fmt.Sprintf("%d", goneRed),
-			cells3,
+			optCell,
 		}
 		if p.Throughput {
 			rate := "-"
-			if s := mcElapsed.Seconds(); s > 0 {
-				rate = fmt.Sprintf("%.0f", float64(mcMoves)/s)
+			if sec := mcElapsed.Seconds(); sec > 0 {
+				rate = fmt.Sprintf("%.0f", float64(mcMoves)/sec)
 			}
 			row = append(row, rate)
 		}
 		t.AddTextRow(fmt.Sprintf("n=%d", cells), row...)
 	}
-	return t
+	return t, rep.Err()
 }

@@ -13,7 +13,7 @@ func TestSizeSweepShape(t *testing.T) {
 		Budget:      600,
 		Seed:        1,
 	}
-	tab := SizeSweep(p)
+	tab, _ := SizeSweep(p)
 	if len(tab.Rows) != 3 {
 		t.Fatalf("sweep has %d rows, want 3", len(tab.Rows))
 	}
@@ -53,7 +53,7 @@ func TestSizeSweepDefaults(t *testing.T) {
 		t.Fatalf("defaults wrong: %+v", p)
 	}
 	// Empty Sizes fall back to defaults inside SizeSweep.
-	tab := SizeSweep(SweepParams{Seed: 2, Sizes: nil})
+	tab, _ := SizeSweep(SweepParams{Seed: 2, Sizes: nil})
 	if len(tab.Rows) != len(DefaultSweepParams(2).Sizes) {
 		t.Fatalf("fallback rows = %d", len(tab.Rows))
 	}
@@ -61,14 +61,16 @@ func TestSizeSweepDefaults(t *testing.T) {
 
 func TestSizeSweepDeterministic(t *testing.T) {
 	p := SweepParams{Sizes: []int{8}, NetsPerCell: 6, Instances: 2, Budget: 300, Seed: 5}
-	if SizeSweep(p).String() != SizeSweep(p).String() {
+	a, _ := SizeSweep(p)
+	b, _ := SizeSweep(p)
+	if a.String() != b.String() {
 		t.Fatal("sweep not deterministic")
 	}
 }
 
 func TestSizeSweepPartialDefaults(t *testing.T) {
 	// Zero fields fall back individually; provided fields are preserved.
-	tab := SizeSweep(SweepParams{Seed: 3, Budget: 300, Instances: 2, Sizes: []int{6}})
+	tab, _ := SizeSweep(SweepParams{Seed: 3, Budget: 300, Instances: 2, Sizes: []int{6}})
 	if len(tab.Rows) != 1 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}

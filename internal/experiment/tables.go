@@ -34,11 +34,11 @@ func budgetColumns(budgets []int64) []string {
 // Table41 regenerates Table 4.1: total density reduction on the random-start
 // GOLA suite for the Goto baseline, [COHO83a], and all twenty g classes
 // under the Figure-1 strategy.
-func Table41(seed uint64, budgets []int64, cfg Config) (*Table, *Matrix) {
+func Table41(seed uint64, budgets []int64, cfg Config) (*Table, *Matrix, error) {
 	suite := NewSuite(GOLAParams(), seed)
 	methods := AllMethods(GOLAScale(), TunedGOLA)
 	cfg.Seed = seed
-	x := Run(suite, methods, budgets, cfg)
+	x, err := Run(suite, methods, budgets, cfg)
 
 	t := &Table{
 		Title:   "Table 4.1 — GOLA, random starts, Figure 1",
@@ -56,16 +56,16 @@ func Table41(seed uint64, budgets []int64, cfg Config) (*Table, *Matrix) {
 	t.AddTextRow("Goto", cells...)
 	addReductionRows(t, x)
 	addOptimalRow(t, suite, len(budgets))
-	return t, x
+	return t, x, err
 }
 
 // Table42a regenerates Table 4.2(a): improvements over Goto starting
 // arrangements on GOLA for the thirteen surviving methods under Figure 1.
-func Table42a(seed uint64, budgets []int64, cfg Config) (*Table, *Matrix) {
+func Table42a(seed uint64, budgets []int64, cfg Config) (*Table, *Matrix, error) {
 	suite := NewSuite(GOLAParams(), seed).WithGotoStarts()
 	methods := SurvivingMethods(GOLAScale(), TunedGOLA)
 	cfg.Seed = seed
-	x := Run(suite, methods, budgets, cfg)
+	x, err := Run(suite, methods, budgets, cfg)
 	t := &Table{
 		Title:   "Table 4.2(a) — GOLA, Goto starts, Figure 1",
 		Note:    fmt.Sprintf("starting (Goto) density sum %d", x.StartSum()),
@@ -73,20 +73,23 @@ func Table42a(seed uint64, budgets []int64, cfg Config) (*Table, *Matrix) {
 	}
 	addReductionRows(t, x)
 	addOptimalRow(t, suite, len(budgets))
-	return t, x
+	return t, x, err
 }
 
 // Table42b regenerates Table 4.2(b): Figure 1 vs Figure 2 on the
 // random-start GOLA suite at the paper's 3-minute budget.
-func Table42b(seed uint64, budget int64, cfg Config) (*Table, *Matrix, *Matrix) {
+func Table42b(seed uint64, budget int64, cfg Config) (*Table, *Matrix, *Matrix, error) {
 	suite := NewSuite(GOLAParams(), seed)
 	methods := SurvivingMethods(GOLAScale(), TunedGOLA)
 	cfg.Seed = seed
-	fig1 := Run(suite, methods, []int64{budget}, cfg)
+	fig1, err := Run(suite, methods, []int64{budget}, cfg)
 	for i := range methods {
 		methods[i] = methods[i].WithStrategy(Fig2)
 	}
-	fig2 := Run(suite, methods, []int64{budget}, cfg)
+	fig2, err2 := Run(suite, methods, []int64{budget}, cfg)
+	if err == nil {
+		err = err2
+	}
 
 	t := &Table{
 		Title:   "Table 4.2(b) — GOLA, random starts, Figure 1 vs Figure 2",
@@ -114,16 +117,16 @@ func Table42b(seed uint64, budget int64, cfg Config) (*Table, *Matrix, *Matrix) 
 		"budget %d moves per instance; starting density sum %d; Figure 2 improved %d of %d classes; best-of spread %.1f%%",
 		budget, fig1.StartSum(), improvedByFig2, len(fig1.MethodNames), spread)
 	addOptimalRow(t, suite, 3)
-	return t, fig1, fig2
+	return t, fig1, fig2, err
 }
 
 // Table42c regenerates Table 4.2(c): the NOLA suite from random starts,
 // surviving methods plus the Goto baseline row.
-func Table42c(seed uint64, budgets []int64, cfg Config) (*Table, *Matrix) {
+func Table42c(seed uint64, budgets []int64, cfg Config) (*Table, *Matrix, error) {
 	suite := NewSuite(NOLAParams(), seed)
 	methods := SurvivingMethods(NOLAScale(), TunedNOLA)
 	cfg.Seed = seed
-	x := Run(suite, methods, budgets, cfg)
+	x, err := Run(suite, methods, budgets, cfg)
 	t := &Table{
 		Title:   "Table 4.2(c) — NOLA, random starts, Figure 1",
 		Note:    fmt.Sprintf("starting density sum %d", x.StartSum()),
@@ -138,15 +141,15 @@ func Table42c(seed uint64, budgets []int64, cfg Config) (*Table, *Matrix) {
 	t.AddTextRow("Goto", cells...)
 	addReductionRows(t, x)
 	addOptimalRow(t, suite, len(budgets))
-	return t, x
+	return t, x, err
 }
 
 // Table42d regenerates Table 4.2(d): the NOLA suite from Goto starts.
-func Table42d(seed uint64, budgets []int64, cfg Config) (*Table, *Matrix) {
+func Table42d(seed uint64, budgets []int64, cfg Config) (*Table, *Matrix, error) {
 	suite := NewSuite(NOLAParams(), seed).WithGotoStarts()
 	methods := SurvivingMethods(NOLAScale(), TunedNOLA)
 	cfg.Seed = seed
-	x := Run(suite, methods, budgets, cfg)
+	x, err := Run(suite, methods, budgets, cfg)
 	t := &Table{
 		Title:   "Table 4.2(d) — NOLA, Goto starts, Figure 1",
 		Note:    fmt.Sprintf("starting (Goto) density sum %d", x.StartSum()),
@@ -154,7 +157,7 @@ func Table42d(seed uint64, budgets []int64, cfg Config) (*Table, *Matrix) {
 	}
 	addReductionRows(t, x)
 	addOptimalRow(t, suite, len(budgets))
-	return t, x
+	return t, x, err
 }
 
 // addReductionRows appends one row per method with its per-budget totals.

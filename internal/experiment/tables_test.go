@@ -11,7 +11,7 @@ import (
 var testBudgets = []int64{120, 240}
 
 func TestTable41Pipeline(t *testing.T) {
-	tab, x := Table41(1, testBudgets, Config{})
+	tab, x, _ := Table41(1, testBudgets, Config{})
 	if len(tab.Rows) != 23 { // Goto + [COHO83a] + 20 classes + (optimal)
 		t.Fatalf("Table 4.1 has %d rows, want 23", len(tab.Rows))
 	}
@@ -33,7 +33,7 @@ func TestTable41Pipeline(t *testing.T) {
 }
 
 func TestTable42aPipeline(t *testing.T) {
-	tab, x := Table42a(1, testBudgets, Config{})
+	tab, x, _ := Table42a(1, testBudgets, Config{})
 	if len(tab.Rows) != 14 { // 13 methods + (optimal)
 		t.Fatalf("Table 4.2(a) has %d rows, want 14", len(tab.Rows))
 	}
@@ -51,7 +51,7 @@ func TestTable42aPipeline(t *testing.T) {
 }
 
 func TestTable42bPipeline(t *testing.T) {
-	tab, f1, f2 := Table42b(1, 2000, Config{})
+	tab, f1, f2, _ := Table42b(1, 2000, Config{})
 	if len(tab.Columns) != 3 || tab.Columns[0] != "Figure 1" || tab.Columns[1] != "Figure 2" || tab.Columns[2] != "better" {
 		t.Fatalf("Table 4.2(b) columns = %v", tab.Columns)
 	}
@@ -81,14 +81,14 @@ func TestTable42bPipeline(t *testing.T) {
 }
 
 func TestTable42cdPipelines(t *testing.T) {
-	tabC, xc := Table42c(1, testBudgets, Config{})
+	tabC, xc, _ := Table42c(1, testBudgets, Config{})
 	if len(tabC.Rows) != 15 { // Goto + 13 methods + (optimal)
 		t.Fatalf("Table 4.2(c) has %d rows, want 15", len(tabC.Rows))
 	}
 	if xc.StartSum() < 3500 {
 		t.Fatalf("NOLA start sum %d implausibly small", xc.StartSum())
 	}
-	tabD, xd := Table42d(1, testBudgets, Config{})
+	tabD, xd, _ := Table42d(1, testBudgets, Config{})
 	if len(tabD.Rows) != 14 {
 		t.Fatalf("Table 4.2(d) has %d rows, want 14", len(tabD.Rows))
 	}
@@ -112,7 +112,7 @@ func TestBudgetColumnsHeaders(t *testing.T) {
 func TestOptimalRowDominatesAllMethods(t *testing.T) {
 	// The "(optimal)" reference is a hard upper bound: no Monte Carlo
 	// method may report a larger reduction at any budget.
-	tab, x := Table41(3, testBudgets, Config{})
+	tab, x, _ := Table41(3, testBudgets, Config{})
 	suite := NewSuite(GOLAParams(), 3)
 	opt, ok := SuiteOptimum(suite)
 	if !ok {

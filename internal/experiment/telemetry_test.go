@@ -42,7 +42,7 @@ func collectSuite(t *testing.T, sequential bool) (*Matrix, *Telemetry, []byte) {
 	t.Helper()
 	var buf bytes.Buffer
 	tel := NewTelemetry(&buf)
-	x := Run(miniSuite(), miniMethods(), []int64{300, 900}, Config{
+	x, _ := Run(miniSuite(), miniMethods(), []int64{300, 900}, Config{
 		Seed: 5, Sequential: sequential, Telemetry: tel,
 	})
 	if err := tel.Err(); err != nil {
@@ -80,7 +80,7 @@ func TestTelemetryParallelMatchesSequential(t *testing.T) {
 }
 
 func TestTelemetryDoesNotPerturbResults(t *testing.T) {
-	bare := Run(miniSuite(), miniMethods(), []int64{300}, Config{Seed: 5})
+	bare, _ := Run(miniSuite(), miniMethods(), []int64{300}, Config{Seed: 5})
 	inst, _, _ := collectSuite(t, false)
 	for m := range bare.BestDensities {
 		for i, d := range bare.BestDensities[m][0] {

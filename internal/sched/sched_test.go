@@ -1,0 +1,239 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunFillsEverySlot(t *testing.T) {
+	for _, workers := range []int{1, 0, 3} {
+		n := 50
+		out := make([]int, n)
+		rep := Run(n, Options{Workers: workers}, func(_ context.Context, i int) error {
+			out[i] = i * i
+			return nil
+		})
+		if err := rep.Err(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if rep.NumCompleted() != n || rep.Interrupted() {
+			t.Fatalf("workers=%d: completed %d/%d, interrupted=%v",
+				workers, rep.NumCompleted(), n, rep.Interrupted())
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, v, i*i)
+			}
+			if !rep.Completed(i) {
+				t.Fatalf("workers=%d: cell %d not marked completed", workers, i)
+			}
+		}
+	}
+}
+
+func TestRunDeterministicSlotsAcrossWorkerCounts(t *testing.T) {
+	// The determinism contract: per-index pure cells produce identical slot
+	// contents for any worker count.
+	n := 200
+	cell := func(i int) int { return (i*2654435761 + 17) % 1000 }
+	var golden []int
+	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		out := make([]int, n)
+		Run(n, Options{Workers: workers}, func(_ context.Context, i int) error {
+			out[i] = cell(i)
+			return nil
+		})
+		if golden == nil {
+			golden = out
+			continue
+		}
+		for i := range out {
+			if out[i] != golden[i] {
+				t.Fatalf("workers=%d: slot %d diverged", workers, i)
+			}
+		}
+	}
+}
+
+func TestRunPanicCaptureIsolatesSiblings(t *testing.T) {
+	// One poisoned cell fails; every sibling completes and keeps its slot.
+	n := 40
+	poisoned := 17
+	out := make([]bool, n)
+	rep := Run(n, Options{Workers: 4}, func(_ context.Context, i int) error {
+		if i == poisoned {
+			panic("poisoned cell")
+		}
+		out[i] = true
+		return nil
+	})
+	if rep.NumCompleted() != n-1 {
+		t.Fatalf("completed %d, want %d", rep.NumCompleted(), n-1)
+	}
+	for i := range out {
+		if i == poisoned {
+			if out[i] || rep.Completed(i) {
+				t.Fatal("poisoned cell reported as completed")
+			}
+			continue
+		}
+		if !out[i] || !rep.Completed(i) {
+			t.Fatalf("sibling %d did not complete", i)
+		}
+	}
+	cellErrs := rep.CellErrors()
+	if len(cellErrs) != 1 || cellErrs[0].Index != poisoned {
+		t.Fatalf("cell errors = %v, want exactly cell %d", cellErrs, poisoned)
+	}
+	var pe *PanicError
+	if !errors.As(cellErrs[0].Err, &pe) || pe.Value != "poisoned cell" || len(pe.Stack) == 0 {
+		t.Fatalf("captured error %v is not the panic with a stack", cellErrs[0].Err)
+	}
+	if err := rep.Err(); err == nil || rep.Interrupted() {
+		t.Fatalf("Err() = %v, Interrupted() = %v; want summary error, no interruption",
+			err, rep.Interrupted())
+	}
+}
+
+func TestRunErrorReturnRecorded(t *testing.T) {
+	wantErr := errors.New("boom")
+	rep := Run(3, Options{Workers: 1}, func(_ context.Context, i int) error {
+		if i == 1 {
+			return wantErr
+		}
+		return nil
+	})
+	if !errors.Is(rep.Err(), wantErr) {
+		t.Fatalf("Err() = %v, want wrap of %v", rep.Err(), wantErr)
+	}
+	if rep.Completed(1) || !rep.Completed(0) || !rep.Completed(2) {
+		t.Fatal("completion flags wrong")
+	}
+}
+
+func TestRunCancellationMidGrid(t *testing.T) {
+	// Cancel after a handful of cells: partial results stay valid, unstarted
+	// cells are skipped, and the report carries a clean context error.
+	n := 1000
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	out := make([]bool, n)
+	rep := Run(n, Options{Workers: 2, Ctx: ctx}, func(_ context.Context, i int) error {
+		if ran.Add(1) == 5 {
+			cancel()
+		}
+		out[i] = true
+		return nil
+	})
+	if !rep.Interrupted() {
+		t.Fatal("report does not record the interruption")
+	}
+	if err := rep.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Err() = %v, want context.Canceled", err)
+	}
+	completed := rep.NumCompleted()
+	if completed == 0 || completed >= n {
+		t.Fatalf("completed %d of %d, want a proper partial prefix of work", completed, n)
+	}
+	for i := range out {
+		if out[i] != rep.Completed(i) {
+			t.Fatalf("cell %d: ran=%v but Completed=%v", i, out[i], rep.Completed(i))
+		}
+	}
+}
+
+func TestRunPreCancelledContextSkipsEverything(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep := Run(10, Options{Workers: 4, Ctx: ctx}, func(_ context.Context, i int) error {
+		t.Error("cell ran under a pre-cancelled context")
+		return nil
+	})
+	if rep.NumCompleted() != 0 || !rep.Interrupted() {
+		t.Fatalf("completed %d, interrupted %v; want 0, true", rep.NumCompleted(), rep.Interrupted())
+	}
+}
+
+func TestRunProgressSerializedAndComplete(t *testing.T) {
+	n := 25
+	var calls []int
+	rep := Run(n, Options{Workers: 4, Progress: func(done, total int) {
+		if total != n {
+			t.Errorf("total = %d, want %d", total, n)
+		}
+		calls = append(calls, done) // safe: Progress calls are serialized
+	}}, func(_ context.Context, i int) error { return nil })
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != n {
+		t.Fatalf("%d progress calls, want %d", len(calls), n)
+	}
+	seen := make(map[int]bool)
+	for _, d := range calls {
+		if d < 1 || d > n || seen[d] {
+			t.Fatalf("bad progress sequence %v", calls)
+		}
+		seen[d] = true
+	}
+}
+
+func TestRunZeroCells(t *testing.T) {
+	rep := Run(0, Options{}, func(_ context.Context, i int) error {
+		t.Error("cell ran on an empty grid")
+		return nil
+	})
+	if rep.Err() != nil || rep.Interrupted() || rep.NumCompleted() != 0 {
+		t.Fatal("empty grid should report a clean no-op")
+	}
+}
+
+func TestGridRoundTrips(t *testing.T) {
+	g2 := Grid2{A: 3, B: 7}
+	for a := 0; a < g2.A; a++ {
+		for b := 0; b < g2.B; b++ {
+			i := g2.Index(a, b)
+			ra, rb := g2.Split(i)
+			if ra != a || rb != b {
+				t.Fatalf("Grid2 round trip (%d,%d) -> %d -> (%d,%d)", a, b, i, ra, rb)
+			}
+		}
+	}
+	if g2.N() != 21 {
+		t.Fatalf("Grid2 N = %d", g2.N())
+	}
+	g3 := Grid3{A: 2, B: 3, C: 5}
+	next := 0
+	for a := 0; a < g3.A; a++ {
+		for b := 0; b < g3.B; b++ {
+			for c := 0; c < g3.C; c++ {
+				i := g3.Index(a, b, c)
+				if i != next { // flat order matches nested-loop order
+					t.Fatalf("Grid3 index (%d,%d,%d) = %d, want %d", a, b, c, i, next)
+				}
+				next++
+				ra, rb, rc := g3.Split(i)
+				if ra != a || rb != b || rc != c {
+					t.Fatalf("Grid3 round trip failed at %d", i)
+				}
+			}
+		}
+	}
+	if g3.N() != 30 {
+		t.Fatalf("Grid3 N = %d", g3.N())
+	}
+}
+
+func TestCellErrorFormatting(t *testing.T) {
+	ce := &CellError{Index: 4, Err: fmt.Errorf("inner")}
+	if ce.Error() != "cell 4: inner" {
+		t.Fatalf("CellError.Error() = %q", ce.Error())
+	}
+	if errors.Unwrap(ce).Error() != "inner" {
+		t.Fatal("CellError does not unwrap")
+	}
+}

@@ -1,0 +1,25 @@
+package sched
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// CLIContext returns the context the command-line tools pass to their run
+// surfaces: it is cancelled on SIGINT/SIGTERM (graceful Ctrl-C — partial
+// tables are flushed, not lost) and, when timeout is positive, after that
+// wall-clock limit.
+func CLIContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if timeout <= 0 {
+		return ctx, stop
+	}
+	tctx, cancel := context.WithTimeout(ctx, timeout)
+	return tctx, func() {
+		cancel()
+		stop()
+	}
+}

@@ -9,13 +9,13 @@
 package tuner
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"mcopt/internal/core"
 	"mcopt/internal/gfunc"
 	"mcopt/internal/rng"
+	"mcopt/internal/sched"
 )
 
 // Start produces a fresh copy of instance inst's starting solution. Repeated
@@ -38,8 +38,20 @@ type Config struct {
 	Seed uint64
 	// Plateau is the Figure-1 zero-delta policy to tune under.
 	Plateau core.PlateauPolicy
-	// Sequential disables the worker pool.
+	// Sequential forces a single worker (same as Exec.Workers = 1).
 	Sequential bool
+	// Exec carries the execution-layer knobs (worker count, cancellation).
+	// Results are byte-identical for every worker count.
+	Exec sched.Options
+}
+
+// exec resolves the effective scheduler options.
+func (c Config) exec() sched.Options {
+	o := c.Exec
+	if c.Sequential {
+		o.Workers = 1
+	}
+	return o
 }
 
 // DefaultMultipliers spans ±2× around each class's analytically derived
@@ -80,7 +92,12 @@ type ClassResult struct {
 // TuneClass grid-searches schedule scalings for one builder. Builders
 // without tunable temperatures (NeedsY == false) return a single unit
 // score, mirroring the paper's observation that g = 1 needs no tuning.
-func TuneClass(b gfunc.Builder, scale gfunc.Scale, start Start, cfg Config) ClassResult {
+//
+// The whole (multiplier, instance) grid runs as one batch on the shared
+// scheduler. On cancellation the partial result is still returned — skipped
+// cells contribute zero reduction — along with the interruption error, so
+// callers should not trust Best when err is non-nil.
+func TuneClass(b gfunc.Builder, scale gfunc.Scale, start Start, cfg Config) (ClassResult, error) {
 	if cfg.Instances <= 0 {
 		panic(fmt.Sprintf("tuner: config has %d instances", cfg.Instances))
 	}
@@ -89,24 +106,50 @@ func TuneClass(b gfunc.Builder, scale gfunc.Scale, start Start, cfg Config) Clas
 		mults = DefaultMultipliers
 	}
 	if !b.NeedsY {
-		g := b.Build(nil)
-		red := totalReduction(g, b, 1, start, cfg)
-		return ClassResult{
-			ClassID: b.ID, Name: b.Name,
-			Best:   Score{Multiplier: 1, Reduction: red},
-			Scores: []Score{{Multiplier: 1, Reduction: red}},
-		}
+		mults = []float64{1}
 	}
 
-	base := b.DefaultYs(scale)
+	// One g per multiplier, shared across its instance cells: every gfunc
+	// class is an immutable value after construction, and custom core.G
+	// implementations passed through a Builder must be safe for concurrent
+	// use. The RNG stream label likewise depends only on the multiplier.
+	gs := make([]core.G, len(mults))
+	labels := make([]string, len(mults))
+	var base []float64
+	if b.NeedsY {
+		base = b.DefaultYs(scale)
+	}
+	for mi, mult := range mults {
+		if b.NeedsY {
+			ys := make([]float64, len(base))
+			for i, y := range base {
+				ys[i] = y * mult
+			}
+			gs[mi] = b.Build(ys)
+		} else {
+			gs[mi] = b.Build(nil)
+		}
+		labels[mi] = fmt.Sprintf("tune/%s/%g", b.Name, mult)
+	}
+
+	grid := sched.Grid2{A: len(mults), B: cfg.Instances}
+	reds := make([]float64, grid.N())
+	rep := sched.Run(grid.N(), cfg.exec(), func(ctx context.Context, j int) error {
+		mi, inst := grid.Split(j)
+		r := rng.Derive(labels[mi], cfg.Seed, uint64(inst))
+		res := core.Figure1{G: gs[mi], Plateau: cfg.Plateau}.
+			Run(start(inst), core.NewBudget(cfg.Budget).WithContext(ctx), r)
+		reds[j] = res.Reduction()
+		return nil
+	})
+
 	res := ClassResult{ClassID: b.ID, Name: b.Name, Scores: make([]Score, len(mults))}
 	for mi, mult := range mults {
-		ys := make([]float64, len(base))
-		for i, y := range base {
-			ys[i] = y * mult
+		total := 0.0
+		for inst := 0; inst < cfg.Instances; inst++ {
+			total += reds[grid.Index(mi, inst)]
 		}
-		red := totalReduction(b.Build(ys), b, mult, start, cfg)
-		res.Scores[mi] = Score{Multiplier: mult, Reduction: red}
+		res.Scores[mi] = Score{Multiplier: mult, Reduction: total}
 	}
 	best := res.Scores[0]
 	for _, s := range res.Scores[1:] {
@@ -116,56 +159,27 @@ func TuneClass(b gfunc.Builder, scale gfunc.Scale, start Start, cfg Config) Clas
 		}
 	}
 	res.Best = best
-	res.BestYs = make([]float64, len(base))
-	for i, y := range base {
-		res.BestYs[i] = y * best.Multiplier
+	if b.NeedsY {
+		res.BestYs = make([]float64, len(base))
+		for i, y := range base {
+			res.BestYs[i] = y * best.Multiplier
+		}
 	}
-	return res
+	return res, rep.Err()
 }
 
-// TuneAll tunes every paper class against the same suite and budget.
-func TuneAll(scale gfunc.Scale, start Start, cfg Config) []ClassResult {
+// TuneAll tunes every paper class against the same suite and budget. On
+// error (cancellation mid-grid) it returns the classes finished so far.
+func TuneAll(scale gfunc.Scale, start Start, cfg Config) ([]ClassResult, error) {
 	out := make([]ClassResult, 0, 20)
 	for _, b := range gfunc.Classes() {
-		out = append(out, TuneClass(b, scale, start, cfg))
+		res, err := TuneClass(b, scale, start, cfg)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
 	}
-	return out
-}
-
-// totalReduction runs g over the whole suite and totals InitialCost−BestCost.
-// The g instance is shared across the worker pool, which is safe because
-// every gfunc class is an immutable value after construction; custom core.G
-// implementations passed through a Builder must be safe for concurrent use.
-func totalReduction(g core.G, b gfunc.Builder, mult float64, start Start, cfg Config) float64 {
-	reds := make([]float64, cfg.Instances)
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	if cfg.Sequential {
-		workers = 1
-	}
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for inst := range jobs {
-				r := rng.Derive(fmt.Sprintf("tune/%s/%g", b.Name, mult), cfg.Seed, uint64(inst))
-				res := core.Figure1{G: g, Plateau: cfg.Plateau}.
-					Run(start(inst), core.NewBudget(cfg.Budget), r)
-				reds[inst] = res.Reduction()
-			}
-		}()
-	}
-	for inst := 0; inst < cfg.Instances; inst++ {
-		jobs <- inst
-	}
-	close(jobs)
-	wg.Wait()
-	total := 0.0
-	for _, r := range reds {
-		total += r
-	}
-	return total
+	return out, nil
 }
 
 func closerToOne(a, b float64) bool {

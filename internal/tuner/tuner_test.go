@@ -1,12 +1,14 @@
 package tuner
 
 import (
+	"runtime"
 	"testing"
 
 	"mcopt/internal/core"
 	"mcopt/internal/experiment"
 	"mcopt/internal/gfunc"
 	"mcopt/internal/linarr"
+	"mcopt/internal/sched"
 )
 
 func golaStart(seed uint64, instances int) (Start, int) {
@@ -27,7 +29,7 @@ func TestTuneClassGrid(t *testing.T) {
 		Instances:   n,
 		Seed:        1,
 	}
-	res := TuneClass(b, experiment.GOLAScale(), start, cfg)
+	res, _ := TuneClass(b, experiment.GOLAScale(), start, cfg)
 	if res.ClassID != 1 || res.Name != "Metropolis" {
 		t.Fatalf("identity wrong: %+v", res)
 	}
@@ -62,7 +64,7 @@ func TestTuneClassGrid(t *testing.T) {
 func TestTuneClassNoYsIsSinglePoint(t *testing.T) {
 	start, n := golaStart(2, 3)
 	b, _ := gfunc.ByID(3) // g = 1
-	res := TuneClass(b, experiment.GOLAScale(), start, Config{Budget: 300, Instances: n, Seed: 1})
+	res, _ := TuneClass(b, experiment.GOLAScale(), start, Config{Budget: 300, Instances: n, Seed: 1})
 	if len(res.Scores) != 1 || res.Best.Multiplier != 1 {
 		t.Fatalf("g=1 tuning should be a single unit point: %+v", res)
 	}
@@ -72,8 +74,8 @@ func TestTuneClassDeterministic(t *testing.T) {
 	start, n := golaStart(3, 3)
 	b, _ := gfunc.ByID(15) // cubic diff
 	cfg := Config{Multipliers: []float64{0.5, 1, 2}, Budget: 300, Instances: n, Seed: 7}
-	a := TuneClass(b, experiment.GOLAScale(), start, cfg)
-	c := TuneClass(b, experiment.GOLAScale(), start, cfg)
+	a, _ := TuneClass(b, experiment.GOLAScale(), start, cfg)
+	c, _ := TuneClass(b, experiment.GOLAScale(), start, cfg)
 	for i := range a.Scores {
 		if a.Scores[i] != c.Scores[i] {
 			t.Fatalf("tuning not deterministic at grid point %d: %+v vs %+v", i, a.Scores[i], c.Scores[i])
@@ -85,9 +87,9 @@ func TestTuneClassSequentialMatchesParallel(t *testing.T) {
 	start, n := golaStart(4, 3)
 	b, _ := gfunc.ByID(2)
 	cfg := Config{Multipliers: []float64{1, 2}, Budget: 300, Instances: n, Seed: 7}
-	par := TuneClass(b, experiment.GOLAScale(), start, cfg)
+	par, _ := TuneClass(b, experiment.GOLAScale(), start, cfg)
 	cfg.Sequential = true
-	seq := TuneClass(b, experiment.GOLAScale(), start, cfg)
+	seq, _ := TuneClass(b, experiment.GOLAScale(), start, cfg)
 	for i := range par.Scores {
 		if par.Scores[i] != seq.Scores[i] {
 			t.Fatal("sequential and parallel tuning diverged")
@@ -95,9 +97,44 @@ func TestTuneClassSequentialMatchesParallel(t *testing.T) {
 	}
 }
 
+func TestTuneClassByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	// Full ClassResult equality — scores, winner, and tuned ys — between a
+	// one-worker and an all-cores schedule. Run under -race in CI, this is
+	// also the tuner's data-race probe.
+	start, n := golaStart(11, 3)
+	b, _ := gfunc.ByID(3)
+	cfg := Config{Multipliers: []float64{0.5, 1, 2}, Budget: 400, Instances: n, Seed: 11}
+	cfg.Exec = sched.Options{Workers: 1}
+	seq, err := TuneClass(b, experiment.GOLAScale(), start, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Exec = sched.Options{Workers: runtime.GOMAXPROCS(0)}
+	par, err := TuneClass(b, experiment.GOLAScale(), start, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Scores) != len(par.Scores) {
+		t.Fatalf("score counts differ: %d vs %d", len(seq.Scores), len(par.Scores))
+	}
+	for i := range seq.Scores {
+		if seq.Scores[i] != par.Scores[i] {
+			t.Fatalf("grid point %d diverged: %+v vs %+v", i, seq.Scores[i], par.Scores[i])
+		}
+	}
+	if seq.Best.Multiplier != par.Best.Multiplier || seq.Best.Reduction != par.Best.Reduction {
+		t.Fatalf("winners diverged: %+v vs %+v", seq.Best, par.Best)
+	}
+	for i := range seq.BestYs {
+		if seq.BestYs[i] != par.BestYs[i] {
+			t.Fatalf("tuned y[%d] diverged: %g vs %g", i, seq.BestYs[i], par.BestYs[i])
+		}
+	}
+}
+
 func TestTuneAllCoversAllClasses(t *testing.T) {
 	start, n := golaStart(5, 2)
-	results := TuneAll(experiment.GOLAScale(), start, Config{
+	results, _ := TuneAll(experiment.GOLAScale(), start, Config{
 		Multipliers: []float64{1},
 		Budget:      150,
 		Instances:   n,
