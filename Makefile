@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-json tables tune report examples cover fuzz profile determinism clean
+.PHONY: all build test vet bench bench-json tables tune report examples cover fuzz profile determinism crash-test clean
 
 all: build vet test
 
@@ -69,6 +69,12 @@ determinism:
 	$(GO) run ./cmd/olabench -table 4.1 -scale 0.05 > par.txt
 	cmp seq.txt par.txt
 	rm -f seq.txt par.txt
+
+# The durability contract, checked end to end: fault-injection recovery
+# suite, then a deterministic hard exit and a real kill -9 of olabench
+# mid-run, each resumed and cmp'd against an uninterrupted baseline.
+crash-test:
+	GO=$(GO) sh scripts/crash_test.sh
 
 clean:
 	rm -f report.md test_output.txt bench_output.txt cpu.pprof mem.pprof BENCH_kernel.json seq.txt par.txt

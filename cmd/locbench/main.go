@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 
+	"mcopt/internal/checkpoint"
 	"mcopt/internal/experiment"
 	"mcopt/internal/sched"
 )
@@ -23,13 +24,21 @@ func main() {
 	budget := flag.Int64("budget", 60000, "moves per instance per method")
 	workers := flag.Int("workers", 0, "cell scheduler width (0 = all cores); output is identical for any value")
 	timeout := flag.Duration("timeout", 0, "stop after this wall-clock limit, flushing the partial table (0 = none)")
+	ckptDir := flag.String("checkpoint", "", "journal completed cells to a write-ahead log under this directory")
+	resume := flag.Bool("resume", false, "continue from the journal left in -checkpoint by an earlier run")
 	flag.Parse()
+
+	ckpt, cerr := checkpoint.FromFlags(*ckptDir, *resume)
+	if cerr != nil {
+		fmt.Fprintf(os.Stderr, "locbench: %v\n", cerr)
+		os.Exit(2)
+	}
 
 	ctx, cancel := sched.CLIContext(*timeout)
 	defer cancel()
 
 	t, err := experiment.PMedianComparison(*seed, *instances, *sites, *p, *budget,
-		sched.Options{Workers: *workers, Ctx: ctx})
+		sched.Options{Workers: *workers, Ctx: ctx, Checkpoint: ckpt})
 	if rerr := t.Render(os.Stdout); rerr != nil {
 		fmt.Fprintf(os.Stderr, "locbench: %v\n", rerr)
 		os.Exit(1)

@@ -5,6 +5,7 @@
 //
 //	olabench [-table all|4.1|4.2a|4.2b|4.2c|4.2d] [-seed N] [-scale F]
 //	         [-plateau accept|accept+reset|reject] [-seq] [-workers N] [-timeout D]
+//	         [-checkpoint DIR] [-resume]
 //	         [-metrics] [-events out.jsonl] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -scale multiplies every budget (1 = the paper's 6/9/12-second and
@@ -12,11 +13,14 @@
 // cell scheduler (0 = all cores, 1 = sequential); stdout is byte-identical
 // for every worker count. -timeout stops the run after a wall-clock limit,
 // and Ctrl-C interrupts gracefully — either way the tables computed so far
-// are flushed, not lost. -metrics prints a per-method telemetry summary
-// under each table; -events streams every engine decision of every cell as
-// JSONL (deterministic for a fixed seed, byte-identical with and without
-// -seq). -cpuprofile/-memprofile write pprof profiles of the whole
-// invocation (see `make profile`).
+// are flushed, not lost. -checkpoint DIR journals every completed cell to a
+// write-ahead log under DIR (one fsync'd record per cell), and -resume
+// reloads it after a crash or kill: recorded cells are skipped and the final
+// tables are byte-identical to an uninterrupted run. -metrics prints a
+// per-method telemetry summary under each table; -events streams every
+// engine decision of every cell as JSONL (deterministic for a fixed seed,
+// byte-identical with and without -seq). -cpuprofile/-memprofile write pprof
+// profiles of the whole invocation (see `make profile`).
 package main
 
 import (
@@ -28,6 +32,8 @@ import (
 	"strings"
 	"time"
 
+	"mcopt/internal/atomicio"
+	"mcopt/internal/checkpoint"
 	"mcopt/internal/core"
 	"mcopt/internal/experiment"
 	"mcopt/internal/metrics"
@@ -51,6 +57,8 @@ func main() {
 	seq := flag.Bool("seq", false, "run cells sequentially (same as -workers 1)")
 	workers := flag.Int("workers", 0, "cell scheduler width (0 = all cores); output is identical for any value")
 	timeout := flag.Duration("timeout", 0, "stop after this wall-clock limit, flushing partial tables (0 = none)")
+	ckptDir := flag.String("checkpoint", "", "journal completed cells to write-ahead logs under this directory")
+	resume := flag.Bool("resume", false, "continue from the journals left in -checkpoint by an earlier run")
 	replicates := flag.Int("replicates", 1, "independent replications (fresh instances per seed); >1 prints mean±std for 4.1/4.2a/4.2c/4.2d")
 	csvDir := flag.String("csvdir", "", "also write each table's raw per-instance measurements as CSV into this directory")
 	showMetrics := flag.Bool("metrics", false, "print a per-method telemetry summary under each table")
@@ -94,17 +102,25 @@ func main() {
 
 	var events io.Writer
 	if *eventsPath != "" {
-		f, err := os.Create(*eventsPath)
+		// Atomic artifact: the stream lands in a temp file and only replaces
+		// *eventsPath on a clean commit, so readers never see a torn log.
+		f, err := atomicio.Create(*eventsPath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "olabench: %v\n", err)
 			os.Exit(1)
 		}
 		defer func() {
-			if err := f.Close(); err != nil {
+			if err := f.Commit(); err != nil {
 				fail("events: %v", err)
 			}
 		}()
 		events = f
+	}
+
+	ckpt, err := checkpoint.FromFlags(*ckptDir, *resume)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "olabench: %v\n", err)
+		os.Exit(2)
 	}
 
 	ctx, cancel := sched.CLIContext(*timeout)
@@ -113,7 +129,7 @@ func main() {
 	cfg := experiment.Config{
 		Seed:       *seed,
 		Sequential: *seq,
-		Exec:       sched.Options{Workers: *workers, Ctx: ctx},
+		Exec:       sched.Options{Workers: *workers, Ctx: ctx, Checkpoint: ckpt},
 	}
 	switch *plateau {
 	case "accept":
@@ -205,18 +221,18 @@ func main() {
 			return
 		}
 		path := filepath.Join(*csvDir, name+".csv")
-		f, err := os.Create(path)
+		f, err := atomicio.Create(path)
 		if err != nil {
 			fail("%v", err)
 			return
 		}
 		if err := x.WriteCSV(f); err != nil {
-			f.Close()
+			f.Discard()
 			fail("write %s: %v", path, err)
 			return
 		}
-		if err := f.Close(); err != nil {
-			fail("close %s: %v", path, err)
+		if err := f.Commit(); err != nil {
+			fail("write %s: %v", path, err)
 		}
 	}
 

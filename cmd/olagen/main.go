@@ -16,6 +16,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"mcopt/internal/atomicio"
 	"mcopt/internal/netlist"
 	"mcopt/internal/rng"
 )
@@ -68,18 +69,18 @@ func main() {
 			os.Exit(1)
 		}
 		path := filepath.Join(*out, fmt.Sprintf("instance_%d.nl", i))
-		f, err := os.Create(path)
+		f, err := atomicio.Create(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "olagen: %v\n", err)
 			os.Exit(1)
 		}
 		if err := netlist.Write(f, nl); err != nil {
-			f.Close()
+			f.Discard()
 			fmt.Fprintf(os.Stderr, "olagen: write %s: %v\n", path, err)
 			os.Exit(1)
 		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "olagen: close %s: %v\n", path, err)
+		if err := f.Commit(); err != nil {
+			fmt.Fprintf(os.Stderr, "olagen: write %s: %v\n", path, err)
 			os.Exit(1)
 		}
 		fmt.Println(path)

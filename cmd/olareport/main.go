@@ -21,6 +21,8 @@ import (
 	"os"
 	"time"
 
+	"mcopt/internal/atomicio"
+	"mcopt/internal/checkpoint"
 	"mcopt/internal/core"
 	"mcopt/internal/experiment"
 	"mcopt/internal/linarr"
@@ -36,6 +38,8 @@ func main() {
 	showMetrics := flag.Bool("metrics", false, "add an observability section with Table 4.1's aggregate run telemetry")
 	workers := flag.Int("workers", 0, "cell scheduler width (0 = all cores); the report is identical for any value")
 	timeout := flag.Duration("timeout", 0, "stop after this wall-clock limit, keeping finished sections (0 = none)")
+	ckptDir := flag.String("checkpoint", "", "journal completed cells to write-ahead logs under this directory")
+	resume := flag.Bool("resume", false, "continue from the journals left in -checkpoint by an earlier run")
 	flag.Parse()
 
 	if *quick {
@@ -49,13 +53,14 @@ func main() {
 	}()
 	w := io.Writer(os.Stdout)
 	if *out != "" {
-		f, err := os.Create(*out)
+		// Atomic artifact: the report only replaces *out on a clean commit.
+		f, err := atomicio.Create(*out)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "olareport: %v\n", err)
 			os.Exit(1)
 		}
 		defer func() {
-			if err := f.Close(); err != nil {
+			if err := f.Commit(); err != nil {
 				fmt.Fprintf(os.Stderr, "olareport: %v\n", err)
 				exitCode = 1
 			}
@@ -63,9 +68,15 @@ func main() {
 		w = f
 	}
 
+	ckpt, err := checkpoint.FromFlags(*ckptDir, *resume)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "olareport: %v\n", err)
+		os.Exit(2)
+	}
+
 	ctx, cancel := sched.CLIContext(*timeout)
 	defer cancel()
-	ex := sched.Options{Workers: *workers, Ctx: ctx}
+	ex := sched.Options{Workers: *workers, Ctx: ctx, Checkpoint: ckpt}
 
 	cfg := experiment.Config{Seed: *seed, Exec: ex}
 	budgets := experiment.PaperBudgets(*scale)

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"mcopt/internal/atomicio"
 	"mcopt/internal/core"
 	"mcopt/internal/experiment"
 	"mcopt/internal/gfunc"
@@ -91,9 +92,9 @@ func main() {
 		hooks = append(hooks, rm.Hook())
 	}
 	var ew *metrics.EventWriter
-	var eventsFile *os.File
+	var eventsFile *atomicio.File
 	if *eventsPath != "" {
-		eventsFile, err = os.Create(*eventsPath)
+		eventsFile, err = atomicio.Create(*eventsPath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "olasolve: %v\n", err)
 			os.Exit(1)
@@ -118,10 +119,11 @@ func main() {
 	}
 	if eventsFile != nil {
 		if err := ew.Err(); err != nil {
+			eventsFile.Discard()
 			fmt.Fprintf(os.Stderr, "olasolve: events: %v\n", err)
 			os.Exit(1)
 		}
-		if err := eventsFile.Close(); err != nil {
+		if err := eventsFile.Commit(); err != nil {
 			fmt.Fprintf(os.Stderr, "olasolve: events: %v\n", err)
 			os.Exit(1)
 		}

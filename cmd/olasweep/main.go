@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 
+	"mcopt/internal/checkpoint"
 	"mcopt/internal/experiment"
 	"mcopt/internal/sched"
 )
@@ -30,7 +31,15 @@ func main() {
 	throughput := flag.Bool("throughput", true, "report wall-clock Monte Carlo moves/sec per size")
 	workers := flag.Int("workers", 0, "cell scheduler width (0 = all cores); output is identical for any value")
 	timeout := flag.Duration("timeout", 0, "stop after this wall-clock limit, keeping completed sizes (0 = none)")
+	ckptDir := flag.String("checkpoint", "", "journal completed cells to a write-ahead log under this directory")
+	resume := flag.Bool("resume", false, "continue from the journal left in -checkpoint by an earlier run")
 	flag.Parse()
+
+	ckpt, err := checkpoint.FromFlags(*ckptDir, *resume)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "olasweep: %v\n", err)
+		os.Exit(2)
+	}
 
 	ctx, cancel := sched.CLIContext(*timeout)
 	defer cancel()
@@ -41,7 +50,7 @@ func main() {
 		Budget:      *budget,
 		Seed:        *seed,
 		Throughput:  *throughput,
-		Exec:        sched.Options{Workers: *workers, Ctx: ctx},
+		Exec:        sched.Options{Workers: *workers, Ctx: ctx, Checkpoint: ckpt},
 	}
 	for _, f := range strings.Split(*sizes, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))

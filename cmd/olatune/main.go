@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"mcopt/internal/checkpoint"
 	"mcopt/internal/core"
 	"mcopt/internal/experiment"
 	"mcopt/internal/gfunc"
@@ -27,7 +28,15 @@ func main() {
 	wide := flag.Bool("wide", false, "search a wide multiplier grid (lets weak classes degenerate to pure descent; see tuner docs)")
 	workers := flag.Int("workers", 0, "cell scheduler width (0 = all cores); output is identical for any value")
 	timeout := flag.Duration("timeout", 0, "stop after this wall-clock limit, keeping finished classes (0 = none)")
+	ckptDir := flag.String("checkpoint", "", "journal completed cells to write-ahead logs under this directory")
+	resume := flag.Bool("resume", false, "continue from the journals left in -checkpoint by an earlier run")
 	flag.Parse()
+
+	ckpt, err := checkpoint.FromFlags(*ckptDir, *resume)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "olatune: %v\n", err)
+		os.Exit(2)
+	}
 
 	var (
 		params experiment.SuiteParams
@@ -54,7 +63,7 @@ func main() {
 		Budget:    experiment.Seconds(*seconds),
 		Instances: suite.Size(),
 		Seed:      *seed,
-		Exec:      sched.Options{Workers: *workers, Ctx: ctx},
+		Exec:      sched.Options{Workers: *workers, Ctx: ctx, Checkpoint: ckpt},
 	}
 	if *wide {
 		cfg.Multipliers = []float64{0.0625, 0.25, 0.5, 0.7, 1, 1.4, 2, 4, 16}

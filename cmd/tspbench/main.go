@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 
+	"mcopt/internal/checkpoint"
 	"mcopt/internal/experiment"
 	"mcopt/internal/sched"
 )
@@ -22,11 +23,19 @@ func main() {
 	full := flag.Bool("full", false, "run all 21 g classes (the [NAHA84]-style table) instead of the summary comparison")
 	workers := flag.Int("workers", 0, "cell scheduler width (0 = all cores); output is identical for any value")
 	timeout := flag.Duration("timeout", 0, "stop after this wall-clock limit, flushing the partial table (0 = none)")
+	ckptDir := flag.String("checkpoint", "", "journal completed cells to write-ahead logs under this directory")
+	resume := flag.Bool("resume", false, "continue from the journals left in -checkpoint by an earlier run")
 	flag.Parse()
+
+	ckpt, cerr := checkpoint.FromFlags(*ckptDir, *resume)
+	if cerr != nil {
+		fmt.Fprintf(os.Stderr, "tspbench: %v\n", cerr)
+		os.Exit(2)
+	}
 
 	ctx, cancel := sched.CLIContext(*timeout)
 	defer cancel()
-	ex := sched.Options{Workers: *workers, Ctx: ctx}
+	ex := sched.Options{Workers: *workers, Ctx: ctx, Checkpoint: ckpt}
 
 	var (
 		t   *experiment.Table

@@ -1,0 +1,118 @@
+// Package atomicio writes artifacts atomically: content lands in a temporary
+// file in the destination directory, is fsync'd, and only then renamed over
+// the final path. A reader (or a resumed run) therefore observes either the
+// previous complete artifact or the new complete artifact — never a
+// half-written one, no matter where a crash, OOM kill, or full disk lands.
+//
+// Every artifact write in this repository (tables, CSV dumps, event streams,
+// profiles, suite archives, generated instances) goes through this package;
+// bare os.Create/os.WriteFile are reserved for append-only files with their
+// own framing, such as the checkpoint journal.
+package atomicio
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"mcopt/internal/faultinject"
+)
+
+// WriteFile atomically replaces path with data: temp file in the same
+// directory → write → fsync → rename → directory fsync.
+func WriteFile(path string, data []byte, perm fs.FileMode) error {
+	f, err := Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Discard()
+		return err
+	}
+	if err := f.Chmod(perm); err != nil {
+		f.Discard()
+		return fmt.Errorf("atomicio: chmod %s: %w", path, err)
+	}
+	return f.Commit()
+}
+
+// File is an artifact being written. It behaves like the eventual file but
+// lives at a temporary path until Commit renames it into place; Discard (or
+// a Commit failure) removes the temporary so aborted writes leave nothing.
+type File struct {
+	*os.File
+	path      string // final destination
+	committed bool
+}
+
+// Create starts an atomic write of path. The temporary lives in path's
+// directory so the final rename cannot cross filesystems.
+func Create(path string) (*File, error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return nil, fmt.Errorf("atomicio: create %s: %w", path, err)
+	}
+	return &File{File: tmp, path: path}, nil
+}
+
+// Write honors the atomicio.write fault-injection site, so crash tests can
+// tear an artifact mid-write and assert nothing becomes visible.
+func (f *File) Write(p []byte) (int, error) {
+	return faultinject.Write("atomicio.write", f.File, p)
+}
+
+// Commit makes the artifact visible: fsync, close, rename over the final
+// path, and fsync the directory so the rename itself survives a crash. On
+// any failure the temporary is removed and the destination left untouched.
+func (f *File) Commit() error {
+	fail := func(stage string, err error) error {
+		f.File.Close()
+		os.Remove(f.File.Name())
+		return fmt.Errorf("atomicio: %s %s: %w", stage, f.path, err)
+	}
+	if err := faultinject.Point("atomicio.sync"); err != nil {
+		return fail("sync", err)
+	}
+	if err := f.File.Sync(); err != nil {
+		return fail("sync", err)
+	}
+	if err := f.File.Close(); err != nil {
+		os.Remove(f.File.Name())
+		return fmt.Errorf("atomicio: close %s: %w", f.path, err)
+	}
+	if err := faultinject.Point("atomicio.rename"); err != nil {
+		os.Remove(f.File.Name())
+		return fmt.Errorf("atomicio: rename %s: %w", f.path, err)
+	}
+	if err := os.Rename(f.File.Name(), f.path); err != nil {
+		os.Remove(f.File.Name())
+		return fmt.Errorf("atomicio: rename %s: %w", f.path, err)
+	}
+	f.committed = true
+	return syncDir(filepath.Dir(f.path))
+}
+
+// Discard abandons the write, removing the temporary. Safe to call after
+// Commit (it then does nothing), so it can sit in a defer.
+func (f *File) Discard() {
+	if f.committed {
+		return
+	}
+	f.File.Close()
+	os.Remove(f.File.Name())
+}
+
+// syncDir fsyncs a directory so a just-committed rename is durable. Some
+// platforms cannot sync directories; those errors are ignored — the rename
+// is already atomic, only its durability window widens.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
+}

@@ -1,0 +1,120 @@
+package atomicio
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mcopt/internal/faultinject"
+)
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "artifact.txt")
+	if err := WriteFile(path, []byte("first"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, []byte("second"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "second" {
+		t.Fatalf("content %q", got)
+	}
+	leftovers(t, filepath.Dir(path), 1)
+}
+
+func TestCreateCommitDiscard(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("hello"))
+	// Until Commit, the destination must not exist.
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("destination visible before commit")
+	}
+	if err := f.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	f.Discard() // post-commit Discard is a no-op, safe in defers
+	got, _ := os.ReadFile(path)
+	if string(got) != "hello" {
+		t.Fatalf("content %q", got)
+	}
+
+	g, err := Create(filepath.Join(dir, "aborted.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Write([]byte("junk"))
+	g.Discard()
+	if _, err := os.Stat(filepath.Join(dir, "aborted.txt")); !os.IsNotExist(err) {
+		t.Fatal("aborted write became visible")
+	}
+	leftovers(t, dir, 1)
+}
+
+// TestTornWriteLeavesNoArtifact injects a short write: the destination must
+// stay absent and no temp file may linger.
+func TestTornWriteLeavesNoArtifact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := faultinject.Set("atomicio.write:1:shortwrite"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Reset()
+	err := WriteFile(path, []byte("would be torn in half"), 0o644)
+	if err == nil {
+		t.Fatal("short write not surfaced")
+	}
+	faultinject.Reset()
+	if _, serr := os.Stat(path); !os.IsNotExist(serr) {
+		t.Fatal("torn artifact became visible")
+	}
+	leftovers(t, dir, 0)
+}
+
+func TestSyncAndRenameFaultsLeaveNoArtifact(t *testing.T) {
+	for _, site := range []string{"atomicio.sync", "atomicio.rename"} {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "out.txt")
+		if err := faultinject.Set(site + ":1:error"); err != nil {
+			t.Fatal(err)
+		}
+		err := WriteFile(path, []byte("content"), 0o644)
+		faultinject.Reset()
+		if err == nil {
+			t.Fatalf("%s fault not surfaced", site)
+		}
+		if _, serr := os.Stat(path); !os.IsNotExist(serr) {
+			t.Fatalf("%s: artifact became visible", site)
+		}
+		leftovers(t, dir, 0)
+	}
+}
+
+// leftovers fails the test unless dir holds exactly want non-temp entries
+// and zero temp files.
+func leftovers(t *testing.T, dir string, want int) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+		n++
+	}
+	if n != want {
+		t.Fatalf("%d entries in %s, want %d", n, dir, want)
+	}
+}

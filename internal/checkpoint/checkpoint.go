@@ -1,0 +1,428 @@
+// Package checkpoint makes long grid runs durable: an append-only
+// write-ahead journal records one fsync'd, CRC-framed record per completed
+// cell, keyed by a fingerprint of the run's parameters. A run restarted with
+// the same parameters loads the journal, skips the recorded slots, computes
+// only the remainder, and produces output byte-identical to an uninterrupted
+// run — the scheduler's determinism contract (internal/sched) extended
+// across process lifetimes.
+//
+// Journal file layout (little-endian):
+//
+//	header  "MCWAL001" | fingerprint uint64
+//	record  slot uint32 | payloadLen uint32 | payload | crc32 uint32
+//
+// The CRC covers slot, length, and payload (IEEE). On resume the journal is
+// scanned from the start; the first torn or corrupt frame — what a crash
+// mid-append leaves behind — ends the scan and the file is truncated to the
+// last intact record, so the affected cell is simply recomputed. A journal
+// whose fingerprint does not match the run is rejected outright: stale state
+// must never be replayed into a differently-shaped grid.
+package checkpoint
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"io"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"mcopt/internal/faultinject"
+)
+
+const (
+	magic = "MCWAL001"
+	// headerSize is the magic plus the fingerprint.
+	headerSize = len(magic) + 8
+	// maxPayload bounds a record's payload, protecting the resume scan from
+	// a corrupt length field demanding a giant allocation.
+	maxPayload = 1 << 20
+)
+
+// Config selects where a run journals and whether an existing journal may be
+// continued. A nil *Config (or an empty Dir) disables durability; Journal
+// then returns a nil *Journal whose methods are all no-ops, so run surfaces
+// need no branching.
+type Config struct {
+	// Dir is the checkpoint directory; each run surface keeps its own
+	// fingerprinted journal file beneath it.
+	Dir string
+	// Resume permits continuing a journal left by an earlier run. Without it
+	// an existing journal is an error — refusing to guess whether the caller
+	// meant to continue or to start over.
+	Resume bool
+}
+
+// Journal opens the journal for a run surface named name whose parameters
+// hash to fp. The file name carries both, so differently-parameterized runs
+// sharing a checkpoint directory never collide.
+func (c *Config) Journal(name string, fp uint64) (*Journal, error) {
+	if c == nil || c.Dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(c.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	path := filepath.Join(c.Dir, fmt.Sprintf("%s-%016x.wal", sanitize(name), fp))
+	return Open(path, fp, c.Resume)
+}
+
+// FromFlags builds the Config the CLIs share from their -checkpoint and
+// -resume flags. An empty dir disables durability (nil Config, nil error);
+// -resume without a directory is a usage error.
+func FromFlags(dir string, resume bool) (*Config, error) {
+	if dir == "" {
+		if resume {
+			return nil, errors.New("-resume requires -checkpoint DIR")
+		}
+		return nil, nil
+	}
+	return &Config{Dir: dir, Resume: resume}, nil
+}
+
+// sanitize maps a run-surface name onto a safe file stem.
+func sanitize(name string) string {
+	var b strings.Builder
+	dash := false
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+			dash = false
+		default:
+			if !dash && b.Len() > 0 {
+				b.WriteByte('-')
+			}
+			dash = true
+		}
+	}
+	return strings.TrimSuffix(b.String(), "-")
+}
+
+// Fingerprint hashes an ordered list of parameter fields (FNV-1a). Every
+// field that shapes a grid or its cell results — suite name, method set,
+// budgets, seeds, grid dimensions — must be included, so that a journal
+// written under different parameters can never be replayed.
+func Fingerprint(fields ...string) uint64 {
+	h := fnv.New64a()
+	for _, f := range fields {
+		h.Write([]byte(f))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// Journal is an append-only record of completed cells. All methods are safe
+// for concurrent use and safe on a nil receiver (no-ops), so surfaces can
+// thread an optional journal without branching.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	done map[int][]byte
+	// failed latches the first append failure: once a write goes wrong the
+	// file tail is suspect, so further appends refuse rather than interleave
+	// fresh records after a possibly-torn frame.
+	failed error
+}
+
+// Open opens (or creates) the journal at path for a run fingerprinted fp.
+// Without resume the file must not already exist. With resume an existing
+// file is validated — magic, fingerprint — and its intact records loaded;
+// the file is truncated after the last intact record so appends continue
+// from a clean tail.
+func Open(path string, fp uint64, resume bool) (*Journal, error) {
+	if !resume {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err != nil {
+			if errors.Is(err, fs.ErrExist) {
+				return nil, fmt.Errorf(
+					"checkpoint: journal %s already exists (earlier run?); pass -resume to continue it or remove it", path)
+			}
+			return nil, fmt.Errorf("checkpoint: %w", err)
+		}
+		j := &Journal{f: f, path: path, done: map[int][]byte{}}
+		if err := j.writeHeader(fp); err != nil {
+			f.Close()
+			os.Remove(path)
+			return nil, err
+		}
+		return j, nil
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	j := &Journal{f: f, path: path, done: map[int][]byte{}}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("checkpoint: %s: %w", path, err)
+	}
+	if size == 0 {
+		// Resuming a run that never checkpointed: start a fresh journal.
+		if err := j.writeHeader(fp); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return j, nil
+	}
+	if err := j.load(fp, size); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+func (j *Journal) writeHeader(fp uint64) error {
+	hdr := make([]byte, headerSize)
+	copy(hdr, magic)
+	binary.LittleEndian.PutUint64(hdr[len(magic):], fp)
+	if _, err := j.f.Write(hdr); err != nil {
+		return fmt.Errorf("checkpoint: %s: %w", j.path, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: %s: %w", j.path, err)
+	}
+	return syncDir(filepath.Dir(j.path))
+}
+
+// load validates the header and replays every intact record, truncating the
+// file at the first torn or corrupt frame.
+func (j *Journal) load(fp uint64, size int64) error {
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("checkpoint: %s: %w", j.path, err)
+	}
+	hdr := make([]byte, headerSize)
+	if _, err := io.ReadFull(j.f, hdr); err != nil {
+		return fmt.Errorf("checkpoint: %s: truncated header (%d bytes): not a journal", j.path, size)
+	}
+	if string(hdr[:len(magic)]) != magic {
+		return fmt.Errorf("checkpoint: %s: bad magic %q: not a journal", j.path, hdr[:len(magic)])
+	}
+	if got := binary.LittleEndian.Uint64(hdr[len(magic):]); got != fp {
+		return fmt.Errorf(
+			"checkpoint: %s: stale journal: fingerprint %016x does not match this run's %016x (parameters changed); remove it to start over",
+			j.path, got, fp)
+	}
+
+	r := newCountReader(j.f, int64(headerSize))
+	for {
+		frameStart := r.off
+		var fixed [8]byte
+		if _, err := io.ReadFull(r, fixed[:]); err != nil {
+			// Clean EOF or a torn length prefix: the journal ends here.
+			return j.truncate(frameStart)
+		}
+		slot := binary.LittleEndian.Uint32(fixed[:4])
+		n := binary.LittleEndian.Uint32(fixed[4:])
+		if n > maxPayload {
+			return j.truncate(frameStart)
+		}
+		buf := make([]byte, int(n)+4)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return j.truncate(frameStart)
+		}
+		payload, sum := buf[:n], binary.LittleEndian.Uint32(buf[n:])
+		crc := crc32.NewIEEE()
+		crc.Write(fixed[:])
+		crc.Write(payload)
+		if crc.Sum32() != sum {
+			return j.truncate(frameStart)
+		}
+		j.done[int(slot)] = payload
+	}
+}
+
+// truncate cuts the journal at off (the first bad frame, or EOF) and leaves
+// the write offset there.
+func (j *Journal) truncate(off int64) error {
+	if err := j.f.Truncate(off); err != nil {
+		return fmt.Errorf("checkpoint: %s: %w", j.path, err)
+	}
+	if _, err := j.f.Seek(off, io.SeekStart); err != nil {
+		return fmt.Errorf("checkpoint: %s: %w", j.path, err)
+	}
+	return nil
+}
+
+// Done reports whether slot i was completed by an earlier run. It is the
+// scheduler's Skip predicate. Nil-safe.
+func (j *Journal) Done(i int) bool {
+	if j == nil {
+		return false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, ok := j.done[i]
+	return ok
+}
+
+// Len counts the recorded slots. Nil-safe.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// Append records slot's payload: CRC-framed, written, fsync'd. After the
+// first failure every subsequent Append returns the same error — the file
+// tail is suspect, and appending fresh records after a torn frame would hide
+// them from the resume scan. Nil-safe (no-op).
+//
+// ctx is the cell's run context. A cancelled context means the cell was
+// stopped mid-budget and its value is partial; recording it would make a
+// resumed run keep the truncated result and silently diverge from an
+// uninterrupted one, so Append refuses and returns the context error (which
+// also marks the cell incomplete in the scheduler's report). On a nil
+// journal the context is ignored — without durability a partially-run cell
+// stays "completed", preserving the pre-checkpoint partial-table behavior.
+func (j *Journal) Append(ctx context.Context, slot int, payload []byte) error {
+	if j == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if len(payload) > maxPayload {
+		return fmt.Errorf("checkpoint: payload for slot %d is %d bytes (limit %d)", slot, len(payload), maxPayload)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.failed != nil {
+		return j.failed
+	}
+	if _, ok := j.done[slot]; ok {
+		return nil
+	}
+	frame := make([]byte, 8+len(payload)+4)
+	binary.LittleEndian.PutUint32(frame[:4], uint32(slot))
+	binary.LittleEndian.PutUint32(frame[4:8], uint32(len(payload)))
+	copy(frame[8:], payload)
+	crc := crc32.NewIEEE()
+	crc.Write(frame[:8+len(payload)])
+	binary.LittleEndian.PutUint32(frame[8+len(payload):], crc.Sum32())
+
+	fail := func(err error) error {
+		j.failed = fmt.Errorf("checkpoint: append slot %d: %w", slot, err)
+		return j.failed
+	}
+	if err := faultinject.Point("checkpoint.append"); err != nil {
+		return fail(err)
+	}
+	if _, err := faultinject.Write("checkpoint.write", j.f, frame); err != nil {
+		return fail(err)
+	}
+	if err := faultinject.Point("checkpoint.sync"); err != nil {
+		return fail(err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fail(err)
+	}
+	j.done[slot] = append([]byte(nil), payload...)
+	return nil
+}
+
+// Restore hands every recorded slot to set, validating slots against the
+// grid size n — an out-of-range slot means the journal belongs to a
+// different grid despite a fingerprint match, and is rejected. Nil-safe.
+func (j *Journal) Restore(n int, set func(slot int, payload []byte) error) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for slot, payload := range j.done {
+		if slot < 0 || slot >= n {
+			return fmt.Errorf("checkpoint: %s: slot %d out of range [0,%d): journal does not match this grid", j.path, slot, n)
+		}
+		if err := set(slot, payload); err != nil {
+			return fmt.Errorf("checkpoint: %s: slot %d: %w", j.path, slot, err)
+		}
+	}
+	return nil
+}
+
+// Close closes the journal file. The completed state is already durable
+// (every append fsyncs), so Close is not a commit point. Nil-safe.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// AppendInt64 records an integer cell result for slot. Nil-safe.
+func (j *Journal) AppendInt64(ctx context.Context, slot int, v int64) error {
+	var p [8]byte
+	binary.LittleEndian.PutUint64(p[:], uint64(v))
+	return j.Append(ctx, slot, p[:])
+}
+
+// AppendFloat64 records a float cell result for slot. Nil-safe.
+func (j *Journal) AppendFloat64(ctx context.Context, slot int, v float64) error {
+	var p [8]byte
+	binary.LittleEndian.PutUint64(p[:], math.Float64bits(v))
+	return j.Append(ctx, slot, p[:])
+}
+
+// RestoreInt64 replays integer cell results recorded by AppendInt64.
+func (j *Journal) RestoreInt64(n int, set func(slot int, v int64)) error {
+	return j.Restore(n, func(slot int, payload []byte) error {
+		if len(payload) != 8 {
+			return fmt.Errorf("payload is %d bytes, want 8", len(payload))
+		}
+		set(slot, int64(binary.LittleEndian.Uint64(payload)))
+		return nil
+	})
+}
+
+// RestoreFloat64 replays float cell results recorded by AppendFloat64.
+func (j *Journal) RestoreFloat64(n int, set func(slot int, v float64)) error {
+	return j.Restore(n, func(slot int, payload []byte) error {
+		if len(payload) != 8 {
+			return fmt.Errorf("payload is %d bytes, want 8", len(payload))
+		}
+		set(slot, math.Float64frombits(binary.LittleEndian.Uint64(payload)))
+		return nil
+	})
+}
+
+// countReader tracks the absolute file offset during the resume scan.
+type countReader struct {
+	r   io.Reader
+	off int64
+}
+
+func newCountReader(r io.Reader, off int64) *countReader { return &countReader{r: r, off: off} }
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.off += int64(n)
+	return n, err
+}
+
+// syncDir mirrors atomicio's directory sync: best-effort, since not every
+// platform supports syncing directories.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
+}

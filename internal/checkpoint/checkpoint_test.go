@@ -1,0 +1,296 @@
+package checkpoint
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mcopt/internal/faultinject"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	fp := Fingerprint("test", "round-trip")
+	j, err := Open(path, fp, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := j.AppendInt64(context.Background(), i*3, int64(100+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	back, err := Open(path, fp, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	if back.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", back.Len())
+	}
+	got := map[int]int64{}
+	if err := back.RestoreInt64(13, func(slot int, v int64) { got[slot] = v }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if got[i*3] != int64(100+i) {
+			t.Fatalf("slot %d = %d, want %d", i*3, got[i*3], 100+i)
+		}
+	}
+	if !back.Done(3) || back.Done(1) {
+		t.Fatal("Done wrong")
+	}
+}
+
+func TestJournalRejectsExistingWithoutResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, err := Open(path, 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if _, err := Open(path, 7, false); err == nil || !strings.Contains(err.Error(), "already exists") {
+		t.Fatalf("existing journal reopened without resume: %v", err)
+	}
+}
+
+func TestJournalRejectsStaleFingerprint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, err := Open(path, 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.AppendInt64(context.Background(), 0, 1)
+	j.Close()
+	if _, err := Open(path, 8, true); err == nil || !strings.Contains(err.Error(), "stale journal") {
+		t.Fatalf("stale journal accepted: %v", err)
+	}
+}
+
+func TestJournalRejectsGarbageFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	if err := os.WriteFile(path, []byte("definitely not a journal"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, 7, true); err == nil || !strings.Contains(err.Error(), "not a journal") {
+		t.Fatalf("garbage file accepted: %v", err)
+	}
+	short := filepath.Join(t.TempDir(), "short.wal")
+	if err := os.WriteFile(short, []byte("MC"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(short, 7, true); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+// TestJournalTornTail simulates a crash mid-append: the trailing record is
+// cut at every possible byte boundary, and resume must recover exactly the
+// intact prefix, truncate the tail, and accept new appends.
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.wal")
+	fp := Fingerprint("torn")
+	j, err := Open(path, fp, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.AppendInt64(context.Background(), i, int64(10*i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordSize := (len(whole) - headerSize) / 3
+
+	for cut := 1; cut <= recordSize; cut++ {
+		torn := filepath.Join(dir, "torn.wal")
+		if err := os.WriteFile(torn, whole[:len(whole)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Open(torn, fp, true)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if back.Len() != 2 {
+			t.Fatalf("cut %d: recovered %d records, want 2", cut, back.Len())
+		}
+		// The torn frame is gone; appending its slot again must succeed and
+		// survive another resume.
+		if err := back.AppendInt64(context.Background(), 2, 20); err != nil {
+			t.Fatalf("cut %d: append after truncation: %v", cut, err)
+		}
+		back.Close()
+		again, err := Open(torn, fp, true)
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		if again.Len() != 3 {
+			t.Fatalf("cut %d: after repair Len = %d, want 3", cut, again.Len())
+		}
+		again.Close()
+		os.Remove(torn)
+	}
+}
+
+func TestJournalCorruptMiddleStopsScan(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	fp := Fingerprint("corrupt")
+	j, err := Open(path, fp, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		j.AppendInt64(context.Background(), i, int64(i))
+	}
+	j.Close()
+	raw, _ := os.ReadFile(path)
+	// Flip a payload byte in the second record: its CRC fails, and the scan
+	// must keep only the first record, discarding the (physically intact)
+	// later ones rather than trusting a file with a corrupt interior.
+	recordSize := (len(raw) - headerSize) / 4
+	raw[headerSize+recordSize+9] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Open(path, fp, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	if back.Len() != 1 || !back.Done(0) {
+		t.Fatalf("recovered %d records, want just slot 0", back.Len())
+	}
+}
+
+func TestJournalRestoreRejectsOutOfRangeSlot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, err := Open(path, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	j.AppendInt64(context.Background(), 9, 1)
+	if err := j.RestoreInt64(5, func(int, int64) {}); err == nil {
+		t.Fatal("out-of-range slot restored")
+	}
+}
+
+func TestJournalAppendFailureLatches(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, err := Open(path, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.AppendInt64(context.Background(), 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := faultinject.Set("checkpoint.append:1:error"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Reset()
+	if err := j.AppendInt64(context.Background(), 1, 2); err == nil {
+		t.Fatal("injected fault not surfaced")
+	}
+	faultinject.Reset()
+	// The journal is poisoned: later appends must keep failing instead of
+	// writing after a possibly-torn tail.
+	if err := j.AppendInt64(context.Background(), 2, 3); err == nil {
+		t.Fatal("append succeeded after a prior failure")
+	}
+}
+
+func TestNilJournalIsNoOp(t *testing.T) {
+	var j *Journal
+	if j.Done(0) || j.Len() != 0 {
+		t.Fatal("nil journal reports state")
+	}
+	if err := j.AppendInt64(context.Background(), 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RestoreInt64(1, func(int, int64) { t.Fatal("restored from nil") }); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var c *Config
+	got, err := c.Journal("x", 1)
+	if got != nil || err != nil {
+		t.Fatal("nil config opened a journal")
+	}
+}
+
+func TestConfigJournalNamesDistinctFingerprints(t *testing.T) {
+	dir := t.TempDir()
+	c := &Config{Dir: dir}
+	a, err := c.Journal("Table 4.1 — GOLA", Fingerprint("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := c.Journal("Table 4.1 — GOLA", Fingerprint("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 2 {
+		t.Fatalf("%d journal files, want 2", len(ents))
+	}
+	for _, e := range ents {
+		if !strings.HasPrefix(e.Name(), "table-4-1-gola-") {
+			t.Fatalf("unsanitized journal name %q", e.Name())
+		}
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	if Fingerprint("a", "b") == Fingerprint("ab") {
+		t.Fatal("field boundaries not separated")
+	}
+	if Fingerprint("a") == Fingerprint("b") {
+		t.Fatal("collision")
+	}
+}
+
+func TestAppendRefusesCancelledContext(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, err := Open(path, 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// A cell whose context was cancelled mid-budget holds a partial result;
+	// journaling it would make a resumed run diverge from an uninterrupted
+	// one. The append must refuse and leave the slot unrecorded.
+	if err := j.AppendInt64(ctx, 0, 1); err != context.Canceled {
+		t.Fatalf("Append with cancelled ctx = %v, want context.Canceled", err)
+	}
+	if j.Done(0) {
+		t.Fatal("cancelled append still recorded the slot")
+	}
+	// The refusal is not a write failure: the journal stays usable.
+	if err := j.AppendInt64(context.Background(), 0, 1); err != nil {
+		t.Fatalf("append after cancelled-ctx refusal: %v", err)
+	}
+	// A nil journal ignores the context entirely — checkpointing is off and
+	// partial tables remain the caller's business.
+	var nj *Journal
+	if err := nj.AppendInt64(ctx, 0, 1); err != nil {
+		t.Fatalf("nil journal with cancelled ctx = %v, want nil", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"mcopt/internal/checkpoint"
 	"mcopt/internal/core"
 	"mcopt/internal/gfunc"
 	"mcopt/internal/linarr"
@@ -59,6 +60,18 @@ func CohoonBest(seed uint64, budgets []int64, ex sched.Options) (*Table, error) 
 
 	grid := sched.Grid3{A: len(variants), B: len(budgets), C: suite.Size()}
 	reds := make([]int, grid.N()) // zero = "no reduction" for skipped cells
+	jr, err := ex.Checkpoint.Journal("cohoon", checkpoint.Fingerprint(
+		"experiment.CohoonBest", fmt.Sprint(seed), fmt.Sprint(budgets), fmt.Sprint(suite.Size())))
+	if err != nil {
+		return nil, err
+	}
+	defer jr.Close()
+	if err := jr.RestoreInt64(grid.N(), func(slot int, v int64) { reds[slot] = int(v) }); err != nil {
+		return nil, err
+	}
+	if jr != nil {
+		ex.Skip = jr.Done
+	}
 	rep := sched.Run(grid.N(), ex, func(ctx context.Context, j int) error {
 		v, b, i := grid.Split(j)
 		va := variants[v]
@@ -73,7 +86,7 @@ func CohoonBest(seed uint64, budgets []int64, ex sched.Options) (*Table, error) 
 			res = core.Figure1{G: g}.Run(sol, bud, r)
 		}
 		reds[j] = int(res.Reduction())
-		return nil
+		return jr.AppendInt64(ctx, j, int64(reds[j]))
 	})
 
 	gotoBonus := gotoReduction(suite)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"mcopt/internal/checkpoint"
 	"mcopt/internal/core"
 	"mcopt/internal/gfunc"
 	"mcopt/internal/netlist"
@@ -100,10 +101,29 @@ func PartitionComparison(seed uint64, instances, cells, nets int, budget int64, 
 	}
 
 	grid := sched.Grid2{A: len(rows), B: instances}
+	fields := []string{"experiment.PartitionComparison", fmt.Sprint(seed),
+		fmt.Sprint(instances), fmt.Sprint(cells), fmt.Sprint(nets), fmt.Sprint(budget)}
+	for _, r := range rows {
+		fields = append(fields, r.name)
+	}
+	jr, err := ex.Checkpoint.Journal("x1", checkpoint.Fingerprint(fields...))
+	if err != nil {
+		return nil, err
+	}
+	defer jr.Close()
+	if err := jr.RestoreInt64(grid.N(), func(slot int, v int64) {
+		r, i := grid.Split(slot)
+		rows[r].cuts[i] = int(v)
+	}); err != nil {
+		return nil, err
+	}
+	if jr != nil {
+		ex.Skip = jr.Done
+	}
 	rep := sched.Run(grid.N(), ex, func(ctx context.Context, j int) error {
 		r, i := grid.Split(j)
 		rows[r].cuts[i] = rows[r].cell(ctx, i)
-		return nil
+		return jr.AppendInt64(ctx, j, int64(rows[r].cuts[i]))
 	})
 
 	startSum := 0
@@ -197,10 +217,29 @@ func TSPComparison(seed uint64, instances, cities int, budget int64, ex sched.Op
 	}
 
 	grid := sched.Grid2{A: len(rows), B: instances}
+	fields := []string{"experiment.TSPComparison", fmt.Sprint(seed),
+		fmt.Sprint(instances), fmt.Sprint(cities), fmt.Sprint(budget)}
+	for _, r := range rows {
+		fields = append(fields, r.name)
+	}
+	jr, err := ex.Checkpoint.Journal("x2", checkpoint.Fingerprint(fields...))
+	if err != nil {
+		return nil, err
+	}
+	defer jr.Close()
+	if err := jr.RestoreFloat64(grid.N(), func(slot int, v float64) {
+		r, i := grid.Split(slot)
+		rows[r].lens[i] = v
+	}); err != nil {
+		return nil, err
+	}
+	if jr != nil {
+		ex.Skip = jr.Done
+	}
 	rep := sched.Run(grid.N(), ex, func(ctx context.Context, j int) error {
 		r, i := grid.Split(j)
 		rows[r].lens[i] = rows[r].cell(ctx, i)
-		return nil
+		return jr.AppendFloat64(ctx, j, rows[r].lens[i])
 	})
 
 	t := &Table{

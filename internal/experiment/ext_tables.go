@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"mcopt/internal/checkpoint"
 	"mcopt/internal/core"
 	"mcopt/internal/gfunc"
 	"mcopt/internal/netlist"
@@ -22,10 +23,12 @@ import (
 // genericRun executes one Monte Carlo method over generic instances on the
 // shared scheduler. start(i) must return a fresh copy of instance i's fixed
 // starting state. Cells skipped by cancellation keep the starting cost.
+// table prefixes the method's checkpoint journal, keeping the per-method
+// grids of different tables apart in a shared checkpoint directory.
 func genericRun(
-	name string, start func(i int) core.Solution, newG func(i int) core.G,
+	table, name string, start func(i int) core.Solution, newG func(i int) core.G,
 	instances int, budgets []int64, seed uint64, ex sched.Options,
-) ([][]float64, *sched.Report) {
+) ([][]float64, *sched.Report, error) {
 	out := make([][]float64, len(budgets))
 	// The RNG stream label depends only on the budget; build it per column.
 	labels := make([]string, len(budgets))
@@ -37,14 +40,30 @@ func genericRun(
 		}
 	}
 	grid := sched.Grid2{A: len(budgets), B: instances}
+	jr, err := ex.Checkpoint.Journal(table+"-"+name, checkpoint.Fingerprint(
+		"experiment.genericRun", table, name,
+		fmt.Sprint(instances), fmt.Sprint(budgets), fmt.Sprint(seed)))
+	if err != nil {
+		return out, nil, err
+	}
+	defer jr.Close()
+	if err := jr.RestoreFloat64(grid.N(), func(slot int, v float64) {
+		b, i := grid.Split(slot)
+		out[b][i] = v
+	}); err != nil {
+		return out, nil, err
+	}
+	if jr != nil {
+		ex.Skip = jr.Done
+	}
 	rep := sched.Run(grid.N(), ex, func(ctx context.Context, j int) error {
 		b, i := grid.Split(j)
 		r := rng.Derive(labels[b], seed, uint64(i))
 		res := core.Figure1{G: newG(i)}.Run(start(i), core.NewBudget(budgets[b]).WithContext(ctx), r)
 		out[b][i] = res.BestCost
-		return nil
+		return jr.AppendFloat64(ctx, j, res.BestCost)
 	})
-	return out, rep
+	return out, rep, nil
 }
 
 // classGs builds per-instance g factories for every paper class at a fixed
@@ -80,6 +99,9 @@ func firstErr(err error, rep *sched.Report) error {
 	if err != nil {
 		return err
 	}
+	if rep == nil {
+		return nil
+	}
 	return rep.Err()
 }
 
@@ -108,7 +130,10 @@ func PartitionTable(seed uint64, instances, cells, nets int, budgets []int64, ex
 	}
 	var err error
 	for _, m := range classGs(PartitionScale(), func(i int) int { return nls[i].NumNets() }) {
-		costs, rep := genericRun(m.Name, start, m.NewG, instances, budgets, seed, ex)
+		costs, rep, gerr := genericRun("x1t", m.Name, start, m.NewG, instances, budgets, seed, ex)
+		if err == nil {
+			err = gerr
+		}
 		err = firstErr(err, rep)
 		reds := make([]int, len(budgets))
 		for b := range budgets {
@@ -131,10 +156,33 @@ func PartitionTable(seed uint64, instances, cells, nets int, budgets []int64, ex
 			}
 		}
 		grid := sched.Grid2{A: len(budgets), B: instances}
-		rep := sched.Run(grid.N(), ex, func(ctx context.Context, j int) error {
+		bex := ex
+		jr, jerr := bex.Checkpoint.Journal("x1t-"+name, checkpoint.Fingerprint(
+			"experiment.PartitionTable.baseline", name,
+			fmt.Sprint(instances), fmt.Sprint(budgets), fmt.Sprint(seed)))
+		if jerr != nil {
+			if err == nil {
+				err = jerr
+			}
+			return
+		}
+		defer jr.Close()
+		if rerr := jr.RestoreInt64(grid.N(), func(slot int, v int64) {
+			b, i := grid.Split(slot)
+			cuts[b][i] = int(v)
+		}); rerr != nil {
+			if err == nil {
+				err = rerr
+			}
+			return
+		}
+		if jr != nil {
+			bex.Skip = jr.Done
+		}
+		rep := sched.Run(grid.N(), bex, func(ctx context.Context, j int) error {
 			b, i := grid.Split(j)
 			cuts[b][i] = bestCut(ctx, i, budgets[b])
-			return nil
+			return jr.AppendInt64(ctx, j, int64(cuts[b][i]))
 		})
 		err = firstErr(err, rep)
 		reds := make([]int, len(budgets))
@@ -187,7 +235,10 @@ func TSPTable(seed uint64, instances, cities int, budgets []int64, ex sched.Opti
 	}
 	var err error
 	for _, m := range classGs(TSPScale(), func(i int) int { return cities }) {
-		costs, rep := genericRun(m.Name, start, m.NewG, instances, budgets, seed, ex)
+		costs, rep, gerr := genericRun("x2t", m.Name, start, m.NewG, instances, budgets, seed, ex)
+		if err == nil {
+			err = gerr
+		}
 		err = firstErr(err, rep)
 		cells := make([]int, len(budgets))
 		for b := range budgets {
@@ -209,10 +260,33 @@ func TSPTable(seed uint64, instances, cities int, budgets []int64, ex sched.Opti
 			}
 		}
 		grid := sched.Grid2{A: len(budgets), B: instances}
-		rep := sched.Run(grid.N(), ex, func(ctx context.Context, j int) error {
+		bex := ex
+		jr, jerr := bex.Checkpoint.Journal("x2t-"+name, checkpoint.Fingerprint(
+			"experiment.TSPTable.baseline", name,
+			fmt.Sprint(instances), fmt.Sprint(budgets), fmt.Sprint(seed)))
+		if jerr != nil {
+			if err == nil {
+				err = jerr
+			}
+			return
+		}
+		defer jr.Close()
+		if rerr := jr.RestoreFloat64(grid.N(), func(slot int, v float64) {
+			b, i := grid.Split(slot)
+			lens[b][i] = v
+		}); rerr != nil {
+			if err == nil {
+				err = rerr
+			}
+			return
+		}
+		if jr != nil {
+			bex.Skip = jr.Done
+		}
+		rep := sched.Run(grid.N(), bex, func(ctx context.Context, j int) error {
 			b, i := grid.Split(j)
 			lens[b][i] = length(ctx, i, budgets[b])
-			return nil
+			return jr.AppendFloat64(ctx, j, lens[b][i])
 		})
 		err = firstErr(err, rep)
 		cells := make([]int, len(budgets))

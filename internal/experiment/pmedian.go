@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"mcopt/internal/checkpoint"
 	"mcopt/internal/core"
 	"mcopt/internal/gfunc"
 	"mcopt/internal/pmedian"
@@ -86,10 +87,29 @@ func PMedianComparison(seed uint64, instances, sites, p int, budget int64, ex sc
 	}
 
 	grid := sched.Grid2{A: len(rows), B: instances}
+	fields := []string{"experiment.PMedianComparison", fmt.Sprint(seed),
+		fmt.Sprint(instances), fmt.Sprint(sites), fmt.Sprint(p), fmt.Sprint(budget)}
+	for _, r := range rows {
+		fields = append(fields, r.name)
+	}
+	jr, err := ex.Checkpoint.Journal("x2b", checkpoint.Fingerprint(fields...))
+	if err != nil {
+		return nil, err
+	}
+	defer jr.Close()
+	if err := jr.RestoreFloat64(grid.N(), func(slot int, v float64) {
+		r, i := grid.Split(slot)
+		rows[r].costs[i] = v
+	}); err != nil {
+		return nil, err
+	}
+	if jr != nil {
+		ex.Skip = jr.Done
+	}
 	rep := sched.Run(grid.N(), ex, func(ctx context.Context, j int) error {
 		r, i := grid.Split(j)
 		rows[r].costs[i] = rows[r].cell(ctx, i)
-		return nil
+		return jr.AppendFloat64(ctx, j, rows[r].costs[i])
 	})
 
 	t := &Table{

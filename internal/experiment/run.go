@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"mcopt/internal/checkpoint"
 	"mcopt/internal/core"
 	"mcopt/internal/linarr"
 	"mcopt/internal/metrics"
@@ -122,16 +123,48 @@ func Run(suite *Suite, methods []Method, budgets []int64, cfg Config) (*Matrix, 
 	}
 
 	grid := sched.Grid3{A: len(methods), B: len(budgets), C: suite.Size()}
-	rep := sched.Run(grid.N(), cfg.exec(), func(ctx context.Context, j int) error {
+	exec := cfg.exec()
+	jr, err := exec.Checkpoint.Journal("run-"+suite.Name, runFingerprint(suite, methods, budgets, cfg))
+	if err != nil {
+		return x, err
+	}
+	defer jr.Close()
+	if err := jr.RestoreInt64(grid.N(), func(slot int, v int64) {
+		m, b, i := grid.Split(slot)
+		x.BestDensities[m][b][i] = int(v)
+	}); err != nil {
+		return x, err
+	}
+	if jr != nil {
+		exec.Skip = jr.Done
+	}
+	rep := sched.Run(grid.N(), exec, func(ctx context.Context, j int) error {
 		m, b, i := grid.Split(j)
-		x.BestDensities[m][b][i] =
-			runCell(ctx, suite, cellKey{m, b, i}, methods[m], budgets[b], labels[m][b], cfg)
-		return nil
+		d := runCell(ctx, suite, cellKey{m, b, i}, methods[m], budgets[b], labels[m][b], cfg)
+		x.BestDensities[m][b][i] = d
+		return jr.AppendInt64(ctx, j, int64(d))
 	})
 	if cfg.Telemetry != nil {
 		cfg.Telemetry.flush()
 	}
 	return x, rep.Err()
+}
+
+// runFingerprint keys the checkpoint journal to everything that shapes the
+// matrix: the suite (name, size, and starting state), the method set with
+// strategies, the budgets, and the run knobs. A journal written under any
+// other parameters is rejected on resume instead of silently replayed.
+func runFingerprint(suite *Suite, methods []Method, budgets []int64, cfg Config) uint64 {
+	fields := []string{
+		"experiment.Run", suite.Name,
+		fmt.Sprint(suite.Size()), fmt.Sprint(suite.StartDensities()),
+		fmt.Sprint(budgets),
+		fmt.Sprint(cfg.Seed), fmt.Sprint(int(cfg.MoveKind)), fmt.Sprint(int(cfg.Plateau)), fmt.Sprint(cfg.N),
+	}
+	for _, m := range methods {
+		fields = append(fields, m.Name, fmt.Sprint(int(m.Strategy)))
+	}
+	return checkpoint.Fingerprint(fields...)
 }
 
 // runCell runs one (method, budget, instance) cell and returns the best

@@ -8,14 +8,23 @@ import (
 	"strconv"
 	"strings"
 
+	"mcopt/internal/atomicio"
 	"mcopt/internal/linarr"
 	"mcopt/internal/netlist"
 )
+
+// MaxSuiteInstances bounds the manifest's instance count: a corrupt or
+// hostile suite.txt must not make LoadSuite attempt millions of file opens.
+const MaxSuiteInstances = 10000
 
 // SaveSuite writes a suite to a directory: a manifest, one netlist file per
 // instance, and the fixed starting orders. Together with the deterministic
 // generators this allows archiving the exact instance set behind a table —
 // the artifact the 1985 authors could not publish.
+//
+// Every file is written atomically (temp file, fsync, rename), so a crash
+// mid-save leaves either the previous version or nothing — never a torn
+// half-file that LoadSuite would then have to diagnose.
 //
 // Layout:
 //
@@ -29,19 +38,19 @@ func SaveSuite(dir string, s *Suite) error {
 	var manifest strings.Builder
 	fmt.Fprintf(&manifest, "name %s\n", s.Name)
 	fmt.Fprintf(&manifest, "instances %d\n", s.Size())
-	if err := os.WriteFile(filepath.Join(dir, "suite.txt"), []byte(manifest.String()), 0o644); err != nil {
+	if err := atomicio.WriteFile(filepath.Join(dir, "suite.txt"), []byte(manifest.String()), 0o644); err != nil {
 		return fmt.Errorf("experiment: save suite: %w", err)
 	}
 	for i, nl := range s.Netlists {
-		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("instance_%03d.nl", i)))
+		f, err := atomicio.Create(filepath.Join(dir, fmt.Sprintf("instance_%03d.nl", i)))
 		if err != nil {
 			return fmt.Errorf("experiment: save suite: %w", err)
 		}
 		if err := netlist.Write(f, nl); err != nil {
-			f.Close()
+			f.Discard()
 			return fmt.Errorf("experiment: save suite instance %d: %w", i, err)
 		}
-		if err := f.Close(); err != nil {
+		if err := f.Commit(); err != nil {
 			return fmt.Errorf("experiment: save suite instance %d: %w", i, err)
 		}
 		var order strings.Builder
@@ -52,7 +61,7 @@ func SaveSuite(dir string, s *Suite) error {
 			order.WriteString(strconv.Itoa(c))
 		}
 		order.WriteByte('\n')
-		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("start_%03d.txt", i)),
+		if err := atomicio.WriteFile(filepath.Join(dir, fmt.Sprintf("start_%03d.txt", i)),
 			[]byte(order.String()), 0o644); err != nil {
 			return fmt.Errorf("experiment: save suite start %d: %w", i, err)
 		}
@@ -61,48 +70,73 @@ func SaveSuite(dir string, s *Suite) error {
 }
 
 // LoadSuite reads a suite saved by SaveSuite, validating every starting
-// order against its netlist.
+// order against its netlist. The manifest is parsed strictly — unknown or
+// malformed lines, duplicate directives, and out-of-range instance counts
+// are errors naming the offending file, not silently skipped: a suite that
+// backs a published table must load exactly or not at all.
 func LoadSuite(dir string) (*Suite, error) {
-	mf, err := os.Open(filepath.Join(dir, "suite.txt"))
+	mpath := filepath.Join(dir, "suite.txt")
+	mf, err := os.Open(mpath)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: load suite: %w", err)
 	}
 	defer mf.Close()
 	s := &Suite{}
-	count := -1
+	count, haveName, haveCount := -1, false, false
 	sc := bufio.NewScanner(mf)
+	line := 0
 	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
-		if len(fields) != 2 {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
 			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("experiment: load suite: %s:%d: malformed line %q (want \"directive value\")", mpath, line, text)
 		}
 		switch fields[0] {
 		case "name":
+			if haveName {
+				return nil, fmt.Errorf("experiment: load suite: %s:%d: duplicate name directive", mpath, line)
+			}
+			haveName = true
 			s.Name = fields[1]
 		case "instances":
-			count, err = strconv.Atoi(fields[1])
-			if err != nil {
-				return nil, fmt.Errorf("experiment: load suite: bad instance count %q", fields[1])
+			if haveCount {
+				return nil, fmt.Errorf("experiment: load suite: %s:%d: duplicate instances directive", mpath, line)
 			}
+			haveCount = true
+			count, err = strconv.Atoi(fields[1])
+			if err != nil || count < 0 {
+				return nil, fmt.Errorf("experiment: load suite: %s:%d: bad instance count %q", mpath, line, fields[1])
+			}
+			if count > MaxSuiteInstances {
+				return nil, fmt.Errorf("experiment: load suite: %s:%d: instance count %d exceeds limit %d", mpath, line, count, MaxSuiteInstances)
+			}
+		default:
+			return nil, fmt.Errorf("experiment: load suite: %s:%d: unknown directive %q", mpath, line, fields[0])
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("experiment: load suite: %w", err)
+		return nil, fmt.Errorf("experiment: load suite: %s: %w", mpath, err)
 	}
-	if count < 0 {
-		return nil, fmt.Errorf("experiment: load suite: manifest missing instances line")
+	if !haveCount {
+		return nil, fmt.Errorf("experiment: load suite: %s: manifest missing instances line", mpath)
 	}
 	for i := 0; i < count; i++ {
-		nf, err := os.Open(filepath.Join(dir, fmt.Sprintf("instance_%03d.nl", i)))
+		npath := filepath.Join(dir, fmt.Sprintf("instance_%03d.nl", i))
+		nf, err := os.Open(npath)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: load suite: %w", err)
 		}
 		nl, err := netlist.Read(nf)
 		nf.Close()
 		if err != nil {
-			return nil, fmt.Errorf("experiment: load suite instance %d: %w", i, err)
+			return nil, fmt.Errorf("experiment: load suite: %s: %w", npath, err)
 		}
-		raw, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("start_%03d.txt", i)))
+		spath := filepath.Join(dir, fmt.Sprintf("start_%03d.txt", i))
+		raw, err := os.ReadFile(spath)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: load suite: %w", err)
 		}
@@ -111,13 +145,16 @@ func LoadSuite(dir string) (*Suite, error) {
 		for _, f := range fields {
 			c, err := strconv.Atoi(f)
 			if err != nil {
-				return nil, fmt.Errorf("experiment: load suite start %d: bad cell %q", i, f)
+				return nil, fmt.Errorf("experiment: load suite: %s: bad cell %q", spath, f)
+			}
+			if c < 0 || c >= nl.NumCells() {
+				return nil, fmt.Errorf("experiment: load suite: %s: cell %d out of range [0,%d)", spath, c, nl.NumCells())
 			}
 			order = append(order, c)
 		}
-		// Validate via the arrangement constructor.
+		// Validate via the arrangement constructor (permutation check).
 		if _, err := linarr.New(nl, order); err != nil {
-			return nil, fmt.Errorf("experiment: load suite start %d: %w", i, err)
+			return nil, fmt.Errorf("experiment: load suite: %s: %w", spath, err)
 		}
 		s.Netlists = append(s.Netlists, nl)
 		s.Starts = append(s.Starts, order)

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -67,6 +68,98 @@ func TestLoadSuiteErrors(t *testing.T) {
 	}
 	if _, err := LoadSuite(dir); err == nil {
 		t.Fatal("suite with invalid start order loaded")
+	}
+}
+
+// TestLoadSuiteStrictManifest covers the hardened manifest parser: anything
+// but well-formed "name"/"instances" directives is rejected with an error
+// naming suite.txt, never silently skipped.
+func TestLoadSuiteStrictManifest(t *testing.T) {
+	write := func(t *testing.T, dir, manifest string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, "suite.txt"), []byte(manifest), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		name     string
+		manifest string
+		wantSub  string
+	}{
+		{"trailing garbage", "name x\ninstances 0\nleftover junk line here\n", "malformed line"},
+		{"one-field line", "name x\ninstances 0\nstray\n", "malformed line"},
+		{"unknown directive", "name x\ncolor blue\ninstances 0\n", "unknown directive"},
+		{"duplicate name", "name x\nname y\ninstances 0\n", "duplicate name"},
+		{"duplicate instances", "name x\ninstances 0\ninstances 0\n", "duplicate instances"},
+		{"negative count", "name x\ninstances -3\n", "bad instance count"},
+		{"non-numeric count", "name x\ninstances many\n", "bad instance count"},
+		{"absurd count", fmt.Sprintf("name x\ninstances %d\n", MaxSuiteInstances+1), "exceeds limit"},
+		{"missing count", "name x\n", "missing instances"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			write(t, dir, tc.manifest)
+			_, err := LoadSuite(dir)
+			if err == nil {
+				t.Fatalf("manifest %q loaded", tc.manifest)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), "suite.txt") {
+				t.Fatalf("error %q does not name the offending file", err)
+			}
+		})
+	}
+	// Blank lines and surrounding whitespace stay legal.
+	dir := t.TempDir()
+	write(t, dir, "\nname x\n\n  instances 0  \n\n")
+	s, err := LoadSuite(dir)
+	if err != nil {
+		t.Fatalf("whitespace-only variations rejected: %v", err)
+	}
+	if s.Name != "x" || s.Size() != 0 {
+		t.Fatalf("loaded %q/%d, want x/0", s.Name, s.Size())
+	}
+}
+
+// TestLoadSuiteRejectsBadInstanceFiles covers the per-instance validation:
+// zero-cell netlists and out-of-range start cells fail with the offending
+// file named.
+func TestLoadSuiteRejectsBadInstanceFiles(t *testing.T) {
+	setup := func(t *testing.T, nl, start string) string {
+		t.Helper()
+		dir := t.TempDir()
+		for name, body := range map[string]string{
+			"suite.txt": "name x\ninstances 1\n", "instance_000.nl": nl, "start_000.txt": start,
+		} {
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return dir
+	}
+
+	dir := setup(t, "cells 0\n", "\n")
+	if _, err := LoadSuite(dir); err == nil {
+		t.Fatal("zero-cell netlist loaded")
+	} else if !strings.Contains(err.Error(), "instance_000.nl") {
+		t.Fatalf("error %q does not name the netlist file", err)
+	}
+
+	dir = setup(t, "cells 3\nnet 0 1\n", "0 1 7\n")
+	if _, err := LoadSuite(dir); err == nil {
+		t.Fatal("out-of-range start cell loaded")
+	} else if !strings.Contains(err.Error(), "start_000.txt") || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("error %q does not name the start file and range", err)
+	}
+
+	dir = setup(t, "cells 3\nnet 0 1\n", "0 1 x\n")
+	if _, err := LoadSuite(dir); err == nil {
+		t.Fatal("non-numeric start cell loaded")
+	} else if !strings.Contains(err.Error(), "start_000.txt") {
+		t.Fatalf("error %q does not name the start file", err)
 	}
 }
 

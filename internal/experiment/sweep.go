@@ -2,9 +2,11 @@ package experiment
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
 	"time"
 
+	"mcopt/internal/checkpoint"
 	"mcopt/internal/core"
 	"mcopt/internal/exact"
 	"mcopt/internal/gfunc"
@@ -62,6 +64,34 @@ type sweepCell struct {
 	mcElapsed time.Duration
 }
 
+// encode serializes the cell for the checkpoint journal: seven fixed int64
+// fields plus the optOK flag. The wall-clock mcElapsed rides along so a
+// resumed sweep can still print a throughput column, though that column is
+// machine-dependent and excluded from the byte-identity guarantee.
+func (c *sweepCell) encode() []byte {
+	p := make([]byte, 7*8+1)
+	for i, v := range []int64{int64(c.start), int64(c.gotoRed), int64(c.optRed),
+		int64(c.saRed), int64(c.goneRed), c.mcMoves, int64(c.mcElapsed)} {
+		binary.LittleEndian.PutUint64(p[i*8:], uint64(v))
+	}
+	if c.optOK {
+		p[7*8] = 1
+	}
+	return p
+}
+
+func (c *sweepCell) decode(p []byte) error {
+	if len(p) != 7*8+1 {
+		return fmt.Errorf("sweep cell payload is %d bytes, want %d", len(p), 7*8+1)
+	}
+	v := func(i int) int64 { return int64(binary.LittleEndian.Uint64(p[i*8:])) }
+	c.start, c.gotoRed, c.optRed = int(v(0)), int(v(1)), int(v(2))
+	c.saRed, c.goneRed = int(v(3)), int(v(4))
+	c.mcMoves, c.mcElapsed = v(5), time.Duration(v(6))
+	c.optOK = p[7*8] == 1
+	return nil
+}
+
 // SizeSweep measures how instance size moves the Goto-vs-Monte-Carlo
 // comparison of Table 4.1: for each size it reports the suite-total
 // starting density, Goto's reduction, the reductions of six-temperature
@@ -116,7 +146,23 @@ func SizeSweep(p SweepParams) (*Table, error) {
 
 	grid := sched.Grid2{A: len(p.Sizes), B: p.Instances}
 	results := make([]sweepCell, grid.N())
-	rep := sched.Run(grid.N(), p.Exec, func(ctx context.Context, j int) error {
+	exec := p.Exec
+	jr, err := exec.Checkpoint.Journal("sweep", checkpoint.Fingerprint(
+		"experiment.SizeSweep", fmt.Sprint(p.Sizes), fmt.Sprint(p.NetsPerCell),
+		fmt.Sprint(p.Instances), fmt.Sprint(p.Budget), fmt.Sprint(p.Seed)))
+	if err != nil {
+		return t, err
+	}
+	defer jr.Close()
+	if err := jr.Restore(grid.N(), func(slot int, payload []byte) error {
+		return results[slot].decode(payload)
+	}); err != nil {
+		return t, err
+	}
+	if jr != nil {
+		exec.Skip = jr.Done
+	}
+	rep := sched.Run(grid.N(), exec, func(ctx context.Context, j int) error {
 		s, i := grid.Split(j)
 		cells := p.Sizes[s]
 		lb := labels[s]
@@ -147,7 +193,7 @@ func SizeSweep(p SweepParams) (*Table, error) {
 		b2, _ := gfunc.ByID(2)
 		c.saRed = run(b2.Build(b2.DefaultYs(scale)), lb.sa)
 		c.goneRed = run(gfunc.One(), lb.gone)
-		return nil
+		return jr.Append(ctx, j, c.encode())
 	})
 
 	for s, cells := range p.Sizes {

@@ -1,0 +1,198 @@
+// Package faultinject provides environment-gated fault injection points for
+// the durability layer's crash-recovery tests. A fault specification names a
+// site, a hit count, and a kind; the matching call to Point (or Write) then
+// fails in the requested way, letting tests drive a run into every crash
+// window — mid-append, mid-write, pre-fsync — and verify that resume repairs
+// it.
+//
+// Specifications are comma-separated "site:N:kind" triples, loaded from the
+// MCOPT_FAULT environment variable at startup or installed by tests through
+// Set. N counts hits at that site (1 = first call). Kinds:
+//
+//	error      the call returns ErrInjected
+//	panic      the call panics (exercises the scheduler's panic isolation)
+//	shortwrite Write stores only half the buffer, then returns ErrInjected
+//	           (a torn record, as left by a crash mid-write)
+//	cancel     the function registered with RegisterCancel runs (forced
+//	           context cancellation), then the call returns ErrInjected
+//	exit       the process exits immediately with code 37 — a hard crash for
+//	           shell-level kill-and-resume tests, bypassing all defers
+//
+// When no specification is active every entry point is a single atomic load,
+// so production paths can keep their injection points unconditionally.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrInjected is the error returned by triggered error, shortwrite, and
+// cancel faults. Callers must treat it like any other IO failure.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Kind enumerates what happens when a fault triggers.
+type Kind int
+
+// The supported fault kinds; see the package comment.
+const (
+	KindError Kind = iota
+	KindPanic
+	KindShortWrite
+	KindCancel
+	KindExit
+)
+
+// ExitCode is the status used by exit-kind faults, distinctive enough for
+// crash tests to tell an injected exit from an ordinary failure.
+const ExitCode = 37
+
+type rule struct {
+	hit  int64 // trigger on the Nth hit
+	kind Kind
+}
+
+type state struct {
+	mu    sync.Mutex
+	rules map[string]*rule
+	hits  map[string]*int64
+}
+
+var active atomic.Pointer[state]
+
+// cancelFn is invoked by cancel-kind faults; see RegisterCancel.
+var cancelFn atomic.Pointer[func()]
+
+func init() {
+	if spec := os.Getenv("MCOPT_FAULT"); spec != "" {
+		if err := Set(spec); err != nil {
+			fmt.Fprintf(os.Stderr, "faultinject: ignoring MCOPT_FAULT: %v\n", err)
+		}
+	}
+}
+
+// Set installs a fault specification, replacing any active one. The empty
+// string disables injection entirely (same as Reset).
+func Set(spec string) error {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		Reset()
+		return nil
+	}
+	st := &state{rules: map[string]*rule{}, hits: map[string]*int64{}}
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 3 {
+			return fmt.Errorf("faultinject: bad spec %q, want site:N:kind", part)
+		}
+		n, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil || n < 1 {
+			return fmt.Errorf("faultinject: bad hit count %q in %q", fields[1], part)
+		}
+		var kind Kind
+		switch fields[2] {
+		case "error":
+			kind = KindError
+		case "panic":
+			kind = KindPanic
+		case "shortwrite":
+			kind = KindShortWrite
+		case "cancel":
+			kind = KindCancel
+		case "exit":
+			kind = KindExit
+		default:
+			return fmt.Errorf("faultinject: unknown kind %q in %q", fields[2], part)
+		}
+		site := fields[0]
+		st.rules[site] = &rule{hit: n, kind: kind}
+		st.hits[site] = new(int64)
+	}
+	active.Store(st)
+	return nil
+}
+
+// Reset disables all fault injection and clears hit counters.
+func Reset() { active.Store(nil) }
+
+// Active reports whether any fault specification is installed.
+func Active() bool { return active.Load() != nil }
+
+// RegisterCancel sets the function cancel-kind faults invoke — typically the
+// CancelFunc of the run's context. A nil function unregisters it.
+func RegisterCancel(fn func()) {
+	if fn == nil {
+		cancelFn.Store(nil)
+		return
+	}
+	cancelFn.Store(&fn)
+}
+
+// trigger counts a hit at site and reports the kind to inject, if any.
+func trigger(site string) (Kind, bool) {
+	st := active.Load()
+	if st == nil {
+		return 0, false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	r, ok := st.rules[site]
+	if !ok {
+		return 0, false
+	}
+	n := atomic.AddInt64(st.hits[site], 1)
+	return r.kind, n == r.hit
+}
+
+// fire carries out a triggered fault of every kind except shortwrite (which
+// only Write can express) and returns the error the caller should propagate.
+func fire(site string, kind Kind) error {
+	switch kind {
+	case KindPanic:
+		panic(fmt.Sprintf("faultinject: injected panic at %s", site))
+	case KindExit:
+		os.Exit(ExitCode)
+	case KindCancel:
+		if fn := cancelFn.Load(); fn != nil {
+			(*fn)()
+		}
+	}
+	return fmt.Errorf("%w at %s", ErrInjected, site)
+}
+
+// Point injects the fault configured for site, if its hit count is reached:
+// error/cancel kinds return a non-nil error, panic panics, exit exits. A
+// shortwrite rule at a Point site degrades to an error. Inactive sites cost
+// one atomic load.
+func Point(site string) error {
+	kind, hit := trigger(site)
+	if !hit {
+		return nil
+	}
+	return fire(site, kind)
+}
+
+// Write writes p to w, honoring any fault configured for site: shortwrite
+// stores only the first half of p before failing (the torn record a crash
+// mid-write leaves behind); error/cancel/panic/exit behave as in Point,
+// without writing anything.
+func Write(site string, w io.Writer, p []byte) (int, error) {
+	kind, hit := trigger(site)
+	if !hit {
+		return w.Write(p)
+	}
+	if kind == KindShortWrite {
+		n, err := w.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("%w at %s (short write: %d of %d bytes)", ErrInjected, site, n, len(p))
+	}
+	return 0, fire(site, kind)
+}

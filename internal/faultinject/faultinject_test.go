@@ -1,0 +1,96 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestInactiveIsNoOp(t *testing.T) {
+	Reset()
+	if Active() {
+		t.Fatal("active with no spec")
+	}
+	if err := Point("anything"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := Write("anything", &buf, []byte("abc")); err != nil || buf.String() != "abc" {
+		t.Fatalf("write passthrough broken: %v %q", err, buf.String())
+	}
+}
+
+func TestErrorKindFiresOnNthHit(t *testing.T) {
+	if err := Set("site:3:error"); err != nil {
+		t.Fatal(err)
+	}
+	defer Reset()
+	for i := 1; i <= 5; i++ {
+		err := Point("site")
+		if (i == 3) != (err != nil) {
+			t.Fatalf("hit %d: err = %v", i, err)
+		}
+		if i == 3 && !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit 3: err = %v, want ErrInjected", err)
+		}
+	}
+	if err := Point("othersite"); err != nil {
+		t.Fatalf("unconfigured site fired: %v", err)
+	}
+}
+
+func TestPanicKind(t *testing.T) {
+	if err := Set("boom:1:panic"); err != nil {
+		t.Fatal(err)
+	}
+	defer Reset()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Point("boom")
+}
+
+func TestShortWrite(t *testing.T) {
+	if err := Set("w:2:shortwrite"); err != nil {
+		t.Fatal(err)
+	}
+	defer Reset()
+	var buf bytes.Buffer
+	if _, err := Write("w", &buf, []byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := Write("w", &buf, []byte("efgh"))
+	if !errors.Is(err, ErrInjected) || n != 2 {
+		t.Fatalf("short write: n=%d err=%v", n, err)
+	}
+	if buf.String() != "abcdef" {
+		t.Fatalf("buffer %q, want half of second write", buf.String())
+	}
+}
+
+func TestCancelKindInvokesRegisteredFunc(t *testing.T) {
+	called := false
+	RegisterCancel(func() { called = true })
+	defer RegisterCancel(nil)
+	if err := Set("c:1:cancel"); err != nil {
+		t.Fatal(err)
+	}
+	defer Reset()
+	if err := Point("c"); !errors.Is(err, ErrInjected) || !called {
+		t.Fatalf("cancel fault: err=%v called=%v", err, called)
+	}
+}
+
+func TestBadSpecs(t *testing.T) {
+	defer Reset()
+	for _, spec := range []string{"a:b", "a:0:error", "a:1:nuke", "a:x:panic"} {
+		if err := Set(spec); err == nil {
+			t.Fatalf("spec %q accepted", spec)
+		}
+	}
+	if err := Set(""); err != nil || Active() {
+		t.Fatal("empty spec should disable")
+	}
+}

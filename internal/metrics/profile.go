@@ -2,40 +2,44 @@ package metrics
 
 import (
 	"fmt"
-	"os"
 	"runtime"
 	"runtime/pprof"
+
+	"mcopt/internal/atomicio"
 )
 
 // StartCPUProfile begins writing a pprof CPU profile to path and returns a
-// stop function that ends the profile and closes the file. It backs the
-// -cpuprofile flags on the bench CLIs and `make profile`.
+// stop function that ends the profile and commits the file. It backs the
+// -cpuprofile flags on the bench CLIs and `make profile`. The profile is
+// written atomically: path only appears once the profile is complete, so an
+// interrupted run never leaves a truncated profile behind.
 func StartCPUProfile(path string) (stop func() error, err error) {
-	f, err := os.Create(path)
+	f, err := atomicio.Create(path)
 	if err != nil {
 		return nil, err
 	}
 	if err := pprof.StartCPUProfile(f); err != nil {
-		f.Close()
+		f.Discard()
 		return nil, fmt.Errorf("start cpu profile: %w", err)
 	}
 	return func() error {
 		pprof.StopCPUProfile()
-		return f.Close()
+		return f.Commit()
 	}, nil
 }
 
 // WriteHeapProfile garbage-collects and writes a pprof heap profile to
-// path, for the -memprofile flags on the bench CLIs.
+// path, for the -memprofile flags on the bench CLIs. Atomic like
+// StartCPUProfile.
 func WriteHeapProfile(path string) error {
-	f, err := os.Create(path)
+	f, err := atomicio.Create(path)
 	if err != nil {
 		return err
 	}
 	runtime.GC() // materialize up-to-date allocation statistics
 	if err := pprof.WriteHeapProfile(f); err != nil {
-		f.Close()
+		f.Discard()
 		return fmt.Errorf("write heap profile: %w", err)
 	}
-	return f.Close()
+	return f.Commit()
 }

@@ -18,6 +18,13 @@ func FuzzRead(f *testing.F) {
 	f.Add("cells 3\nnet 0 99\n")
 	f.Add("cells 99999999999999999999\n")
 	f.Add("cells 3\nnet\n")
+	f.Add("cells 0\n")
+	f.Add("cells -1\nnet 0 1\n")
+	f.Add("cells 3\nnet 0 1\nnet 1")     // truncated final record
+	f.Add("cells 3\nnet 0 1\x00\x7f\n")  // binary garbage in a pin field
+	f.Add("cells 2\nnet 0 1\ncells 2\n") // duplicate directive after nets
+	f.Add("cells 3\nnet 0 1 trailing\n")
+	f.Add("cells 1048577\n") // just over MaxTextCells
 	f.Fuzz(func(t *testing.T, src string) {
 		nl, err := Read(bytes.NewReader([]byte(src)))
 		if err != nil {

@@ -28,6 +28,9 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"mcopt/internal/checkpoint"
+	"mcopt/internal/faultinject"
 )
 
 // Options carries the execution knobs every run surface shares. The zero
@@ -44,6 +47,18 @@ type Options struct {
 	// Progress, when non-nil, is called after each cell finishes with the
 	// number of cells attempted so far and the total. Calls are serialized.
 	Progress func(done, total int)
+	// Checkpoint, when non-nil, makes runs durable: each run surface opens a
+	// fingerprinted write-ahead journal beneath Checkpoint.Dir, appends one
+	// record per completed cell, and on resume restores recorded slots and
+	// marks them via Skip. The scheduler itself never touches the journal —
+	// the field rides here because Options is the one bag of execution knobs
+	// every surface already threads through.
+	Checkpoint *checkpoint.Config
+	// Skip, when non-nil, reports that cell i is already complete (restored
+	// from a checkpoint journal). Skipped cells are marked completed without
+	// running, so partial-table logic treats restored and freshly-computed
+	// slots identically.
+	Skip func(i int) bool
 }
 
 // PanicError wraps a recovered cell panic.
@@ -155,7 +170,26 @@ func Run(n int, o Options, fn func(ctx context.Context, i int) error) *Report {
 			if i >= n {
 				return
 			}
-			err := protect(ctx, i, fn)
+			if o.Skip != nil && o.Skip(i) {
+				r.completed[i] = true
+				attempted := int(done.Add(1))
+				if o.Progress != nil {
+					progressMu.Lock()
+					o.Progress(attempted, n)
+					progressMu.Unlock()
+				}
+				continue
+			}
+			err := protect(ctx, i, func(ctx context.Context, i int) error {
+				if err := fn(ctx, i); err != nil {
+					return err
+				}
+				// Crash-recovery tests hook cell completion here (panic,
+				// forced cancellation, hard exit at the Nth cell). Inside
+				// protect, so an injected panic exercises the same isolation
+				// path a real cell panic would.
+				return faultinject.Point("sched.cell")
+			})
 			r.errs[i] = err
 			r.completed[i] = err == nil
 			attempted := int(done.Add(1))

@@ -237,3 +237,43 @@ func TestCellErrorFormatting(t *testing.T) {
 		t.Fatal("CellError does not unwrap")
 	}
 }
+
+func TestRunSkipMarksCompletedWithoutRunning(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		n := 40
+		var ran atomic.Int64
+		skip := func(i int) bool { return i%3 == 0 }
+		var progress atomic.Int64
+		rep := Run(n, Options{
+			Workers:  workers,
+			Skip:     skip,
+			Progress: func(done, total int) { progress.Store(int64(done)) },
+		}, func(_ context.Context, i int) error {
+			if skip(i) {
+				t.Errorf("workers=%d: cell %d ran despite Skip", workers, i)
+			}
+			ran.Add(1)
+			return nil
+		})
+		if err := rep.Err(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		// Skipped cells count as completed — restored checkpoint slots must
+		// satisfy whole-row completeness checks exactly like executed cells.
+		if rep.NumCompleted() != n {
+			t.Fatalf("workers=%d: completed %d/%d", workers, rep.NumCompleted(), n)
+		}
+		for i := 0; i < n; i++ {
+			if !rep.Completed(i) {
+				t.Fatalf("workers=%d: cell %d not completed", workers, i)
+			}
+		}
+		want := int64(n - (n+2)/3)
+		if ran.Load() != want {
+			t.Fatalf("workers=%d: %d cells ran, want %d", workers, ran.Load(), want)
+		}
+		if progress.Load() != int64(n) {
+			t.Fatalf("workers=%d: final progress %d, want %d", workers, progress.Load(), n)
+		}
+	}
+}

@@ -6,20 +6,26 @@ import (
 	"os/signal"
 	"syscall"
 	"time"
+
+	"mcopt/internal/faultinject"
 )
 
 // CLIContext returns the context the command-line tools pass to their run
 // surfaces: it is cancelled on SIGINT/SIGTERM (graceful Ctrl-C — partial
 // tables are flushed, not lost) and, when timeout is positive, after that
-// wall-clock limit.
+// wall-clock limit. The cancel function is also registered as the target of
+// cancel-kind fault injection, so crash tests can force a mid-run
+// interruption at an exact cell or journal append.
 func CLIContext(timeout time.Duration) (context.Context, context.CancelFunc) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	if timeout <= 0 {
-		return ctx, stop
+	if timeout > 0 {
+		tctx, cancel := context.WithTimeout(ctx, timeout)
+		orig := stop
+		ctx, stop = tctx, func() {
+			cancel()
+			orig()
+		}
 	}
-	tctx, cancel := context.WithTimeout(ctx, timeout)
-	return tctx, func() {
-		cancel()
-		stop()
-	}
+	faultinject.RegisterCancel(stop)
+	return ctx, stop
 }

@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 
+	"mcopt/internal/checkpoint"
 	"mcopt/internal/core"
 	"mcopt/internal/gfunc"
 	"mcopt/internal/rng"
@@ -134,13 +135,30 @@ func TuneClass(b gfunc.Builder, scale gfunc.Scale, start Start, cfg Config) (Cla
 
 	grid := sched.Grid2{A: len(mults), B: cfg.Instances}
 	reds := make([]float64, grid.N())
-	rep := sched.Run(grid.N(), cfg.exec(), func(ctx context.Context, j int) error {
+	exec := cfg.exec()
+	// The journal is keyed per class: TuneAll resumes mid-sweep with the
+	// finished classes restored wholesale and the interrupted one restored
+	// cell by cell.
+	jr, err := exec.Checkpoint.Journal("tune-"+b.Name, checkpoint.Fingerprint(
+		"tuner.TuneClass", b.Name, fmt.Sprint(b.ID), fmt.Sprint(mults),
+		fmt.Sprint(cfg.Budget), fmt.Sprint(cfg.Instances), fmt.Sprint(cfg.Seed), fmt.Sprint(int(cfg.Plateau))))
+	if err != nil {
+		return ClassResult{ClassID: b.ID, Name: b.Name}, err
+	}
+	defer jr.Close()
+	if err := jr.RestoreFloat64(grid.N(), func(slot int, v float64) { reds[slot] = v }); err != nil {
+		return ClassResult{ClassID: b.ID, Name: b.Name}, err
+	}
+	if jr != nil {
+		exec.Skip = jr.Done
+	}
+	rep := sched.Run(grid.N(), exec, func(ctx context.Context, j int) error {
 		mi, inst := grid.Split(j)
 		r := rng.Derive(labels[mi], cfg.Seed, uint64(inst))
 		res := core.Figure1{G: gs[mi], Plateau: cfg.Plateau}.
 			Run(start(inst), core.NewBudget(cfg.Budget).WithContext(ctx), r)
 		reds[j] = res.Reduction()
-		return nil
+		return jr.AppendFloat64(ctx, j, reds[j])
 	})
 
 	res := ClassResult{ClassID: b.ID, Name: b.Name, Scores: make([]Score, len(mults))}
