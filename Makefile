@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-json tables tune report examples cover fuzz profile determinism crash-test clean
+.PHONY: all build test vet bench bench-json tables tune report examples cover fuzz profile determinism crash-test smoke clean
 
 all: build vet test
 
@@ -75,6 +75,12 @@ determinism:
 # mid-run, each resumed and cmp'd against an uninterrupted baseline.
 crash-test:
 	GO=$(GO) sh scripts/crash_test.sh
+
+# The service layer, checked end to end over a real socket: submit and
+# stream with mcoptctl, then kill -9 mcoptd mid-job, restart it over the
+# same data directory, and cmp the resumed result against the golden one.
+smoke:
+	GO=$(GO) sh scripts/service_smoke.sh
 
 clean:
 	rm -f report.md test_output.txt bench_output.txt cpu.pprof mem.pprof BENCH_kernel.json seq.txt par.txt

@@ -1,0 +1,304 @@
+// Command mcoptctl is the scriptable client of the mcoptd service.
+//
+// Usage:
+//
+//	mcoptctl [-addr http://127.0.0.1:7459] submit -spec job.json [-key KEY] [-wait]
+//	mcoptctl [-addr ...] status JOB
+//	mcoptctl [-addr ...] watch JOB
+//	mcoptctl [-addr ...] result JOB [-o FILE]
+//	mcoptctl [-addr ...] cancel JOB
+//
+// submit posts a job spec (a file, or "-" for stdin) and prints the job ID
+// on stdout — and nothing else, so shell scripts can capture it. With -wait
+// it then streams events to stderr until the job is terminal and exits
+// non-zero unless the job is done. watch streams the job's NDJSON event
+// stream to stdout until the job is terminal; its exit status mirrors the
+// job's fate (0 done, 3 failed, 4 cancelled). result writes the committed
+// result artifact to stdout or -o FILE.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"mcopt/internal/atomicio"
+	"mcopt/internal/buildinfo"
+	"mcopt/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:7459", "mcoptd base URL")
+	version := buildinfo.Flag()
+	flag.Usage = usage
+	flag.Parse()
+	buildinfo.HandleFlag("mcoptctl", version)
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	c := &client{base: strings.TrimSuffix(*addr, "/")}
+	var err error
+	switch cmd := args[0]; cmd {
+	case "submit":
+		err = cmdSubmit(c, args[1:])
+	case "status":
+		err = cmdStatus(c, args[1:])
+	case "watch":
+		err = cmdWatch(c, args[1:])
+	case "result":
+		err = cmdResult(c, args[1:])
+	case "cancel":
+		err = cmdCancel(c, args[1:])
+	default:
+		fmt.Fprintf(os.Stderr, "mcoptctl: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		var ee *exitError
+		if errors.As(err, &ee) {
+			if ee.msg != "" {
+				fmt.Fprintf(os.Stderr, "mcoptctl: %s\n", ee.msg)
+			}
+			os.Exit(ee.code)
+		}
+		fmt.Fprintf(os.Stderr, "mcoptctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: mcoptctl [-addr URL] COMMAND [ARGS]
+
+commands:
+  submit -spec FILE [-key KEY] [-wait]   submit a job; prints its ID
+  status JOB                             print job status JSON
+  watch JOB                              stream NDJSON events until terminal
+  result JOB [-o FILE]                   fetch the result artifact
+  cancel JOB                             cancel a job
+`)
+	flag.PrintDefaults()
+}
+
+// exitError carries a specific exit code through main's single error path.
+type exitError struct {
+	code int
+	msg  string
+}
+
+func (e *exitError) Error() string { return e.msg }
+
+// client is a minimal JSON-over-HTTP client for the mcoptd API.
+type client struct {
+	base string
+}
+
+func (c *client) do(method, path string, body io.Reader, header http.Header) (*http.Response, error) {
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	for k, vs := range header {
+		req.Header[k] = vs
+	}
+	return http.DefaultClient.Do(req)
+}
+
+// decodeError turns a non-2xx API response into an error.
+func decodeError(resp *http.Response) error {
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var api struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &api) == nil && api.Error != "" {
+		return fmt.Errorf("%s: %s", resp.Status, api.Error)
+	}
+	return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data)))
+}
+
+func cmdSubmit(c *client, args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	specPath := fs.String("spec", "", `job spec JSON file ("-" reads stdin); required`)
+	key := fs.String("key", "", "idempotency key: resubmitting with the same key returns the same job")
+	wait := fs.Bool("wait", false, "stream events to stderr until the job is terminal")
+	fs.Parse(args)
+	if *specPath == "" {
+		return fmt.Errorf("submit: -spec is required")
+	}
+	var spec []byte
+	var err error
+	if *specPath == "-" {
+		spec, err = io.ReadAll(os.Stdin)
+	} else {
+		spec, err = os.ReadFile(*specPath)
+	}
+	if err != nil {
+		return err
+	}
+	header := http.Header{"Content-Type": []string{"application/json"}}
+	if *key != "" {
+		header.Set("Idempotency-Key", *key)
+	}
+	resp, err := c.do(http.MethodPost, "/v1/jobs", bytes.NewReader(spec), header)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	var ack struct {
+		ID      string        `json:"id"`
+		State   service.State `json:"state"`
+		Created bool          `json:"created"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&ack)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Println(ack.ID)
+	if !ack.Created {
+		fmt.Fprintf(os.Stderr, "mcoptctl: idempotency key matched existing job (%s)\n", ack.State)
+	}
+	if *wait {
+		return watch(c, ack.ID, os.Stderr)
+	}
+	return nil
+}
+
+func oneJobArg(name string, args []string) (string, []string, error) {
+	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+		return "", nil, fmt.Errorf("%s: job ID argument required", name)
+	}
+	return args[0], args[1:], nil
+}
+
+func cmdStatus(c *client, args []string) error {
+	id, rest, err := oneJobArg("status", args)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("status: unexpected arguments %v", rest)
+	}
+	resp, err := c.do(http.MethodGet, "/v1/jobs/"+id, nil, nil)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}
+
+// watch streams a job's NDJSON events to w until the stream ends, then
+// reports the job's terminal state as an exit code.
+func watch(c *client, id string, w io.Writer) error {
+	resp, err := c.do(http.MethodGet, "/v1/jobs/"+id+"/events", nil, nil)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	defer resp.Body.Close()
+
+	var last service.StreamRecord
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%s\n", line)
+		var rec service.StreamRecord
+		if json.Unmarshal(line, &rec) == nil && rec.Type == "state" {
+			last = rec
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	switch last.State {
+	case service.StateDone:
+		return nil
+	case service.StateFailed:
+		return &exitError{code: 3, msg: "job failed: " + last.Error}
+	case service.StateCancelled:
+		return &exitError{code: 4, msg: "job cancelled"}
+	default:
+		return &exitError{code: 5, msg: fmt.Sprintf("stream ended with job %s", last.State)}
+	}
+}
+
+func cmdWatch(c *client, args []string) error {
+	id, rest, err := oneJobArg("watch", args)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("watch: unexpected arguments %v", rest)
+	}
+	return watch(c, id, os.Stdout)
+}
+
+func cmdResult(c *client, args []string) error {
+	id, rest, err := oneJobArg("result", args)
+	if err != nil {
+		return err
+	}
+	fs := flag.NewFlagSet("result", flag.ExitOnError)
+	out := fs.String("o", "", "write the artifact to FILE (atomically) instead of stdout")
+	fs.Parse(rest)
+	resp, err := c.do(http.MethodGet, "/v1/jobs/"+id+"/result", nil, nil)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return atomicio.WriteFile(*out, data, 0o644)
+}
+
+func cmdCancel(c *client, args []string) error {
+	id, rest, err := oneJobArg("cancel", args)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("cancel: unexpected arguments %v", rest)
+	}
+	resp, err := c.do(http.MethodDelete, "/v1/jobs/"+id, nil, nil)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}

@@ -1,0 +1,108 @@
+// Command mcoptd is the network optimization service: a long-running HTTP
+// server that accepts Monte Carlo optimization jobs (GOLA/NOLA linear
+// arrangement, circuit partition, TSP, p-median), runs them on a bounded
+// worker pool, streams engine telemetry to watchers, and persists every job
+// durably — a kill -9 mid-job costs nothing but the replica in flight.
+//
+// Usage:
+//
+//	mcoptd -data DIR [-addr :7459] [-workers 2] [-max-queue 64]
+//	       [-run-workers 1] [-request-timeout 30s] [-drain-timeout 30s]
+//
+// The data directory holds one subdirectory per job: the submitted spec,
+// the per-replica checkpoint journal, and the committed result artifact. On
+// startup mcoptd rescans it and resumes every unfinished job, so restarting
+// the server (or crashing it) never loses acknowledged work. SIGINT/SIGTERM
+// drain gracefully: in-flight jobs checkpoint and requeue, the listener
+// closes, and the process exits.
+//
+// The API and the client are documented in DESIGN.md §10; cmd/mcoptctl is
+// the scriptable client.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mcopt/internal/buildinfo"
+	"mcopt/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":7459", "listen address")
+	data := flag.String("data", "", "data directory for durable job state; required")
+	workers := flag.Int("workers", 2, "jobs run concurrently")
+	maxQueue := flag.Int("max-queue", 64, "pending-job limit before submits get 429")
+	runWorkers := flag.Int("run-workers", 1, "scheduler workers inside one job's replica grid")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request handling timeout (event streams exempt)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for jobs to checkpoint and stop")
+	version := buildinfo.Flag()
+	flag.Parse()
+	buildinfo.HandleFlag("mcoptd", version)
+
+	logger := log.New(os.Stderr, "mcoptd: ", log.LstdFlags)
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "mcoptd: -data DIR is required")
+		os.Exit(2)
+	}
+
+	m, err := service.Open(service.Config{
+		Dir:        *data,
+		Workers:    *workers,
+		MaxQueue:   *maxQueue,
+		RunWorkers: *runWorkers,
+		Logf:       logger.Printf,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewHandler(m, service.HandlerConfig{RequestTimeout: *requestTimeout}),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("listening on %s (data %s, %d worker(s), queue %d)",
+		ln.Addr(), *data, *workers, *maxQueue)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		logger.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	logger.Printf("draining (timeout %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop the manager first so in-flight jobs checkpoint and event streams
+	// end; then the listener can shut down without waiting on live streams.
+	if err := m.Stop(drainCtx); err != nil {
+		logger.Printf("drain: %v", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("shutdown: %v", err)
+	}
+	srv.Close()
+	logger.Printf("stopped")
+}

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"mcopt/internal/atomicio"
+	"mcopt/internal/buildinfo"
 	"mcopt/internal/checkpoint"
 	"mcopt/internal/core"
 	"mcopt/internal/experiment"
@@ -65,7 +66,9 @@ func main() {
 	eventsPath := flag.String("events", "", "write every engine decision as JSONL to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	version := buildinfo.Flag()
 	flag.Parse()
+	buildinfo.HandleFlag("olabench", version)
 
 	// Exit through a latched code so the profile/events defers below still
 	// flush when a run ends early (interrupt, timeout, cell failure).

@@ -22,6 +22,7 @@ import (
 	"os"
 	"strings"
 
+	"mcopt/internal/buildinfo"
 	"mcopt/internal/core"
 	"mcopt/internal/experiment"
 	"mcopt/internal/gfunc"
@@ -43,7 +44,9 @@ func main() {
 	height := flag.Int("height", 18, "chart height")
 	workers := flag.Int("workers", 0, "class scheduler width (0 = all cores); output is identical for any value")
 	timeout := flag.Duration("timeout", 0, "stop after this wall-clock limit, charting what ran (0 = none)")
+	version := buildinfo.Flag()
 	flag.Parse()
+	buildinfo.HandleFlag("olacurve", version)
 
 	var nl *netlist.Netlist
 	if *in == "" {

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"mcopt/internal/buildinfo"
 	"mcopt/internal/exact"
 	"mcopt/internal/gotoh"
 	"mcopt/internal/linarr"
@@ -22,7 +23,9 @@ import (
 func main() {
 	in := flag.String("in", "", "instance file (text netlist format); required")
 	showOrder := flag.Bool("order", false, "also print an optimal arrangement")
+	version := buildinfo.Flag()
 	flag.Parse()
+	buildinfo.HandleFlag("olaexact", version)
 
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "olaexact: -in is required")

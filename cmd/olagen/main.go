@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 
 	"mcopt/internal/atomicio"
+	"mcopt/internal/buildinfo"
 	"mcopt/internal/netlist"
 	"mcopt/internal/rng"
 )
@@ -29,7 +30,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "generator seed")
 	out := flag.String("o", "", "output directory (default stdout for a single instance)")
 	stats := flag.Bool("stats", false, "print instance statistics to stderr")
+	version := buildinfo.Flag()
 	flag.Parse()
+	buildinfo.HandleFlag("olagen", version)
 
 	if *count > 1 && *out == "" {
 		fmt.Fprintln(os.Stderr, "olagen: -count > 1 requires -o DIR")

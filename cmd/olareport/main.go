@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"mcopt/internal/atomicio"
+	"mcopt/internal/buildinfo"
 	"mcopt/internal/checkpoint"
 	"mcopt/internal/core"
 	"mcopt/internal/experiment"
@@ -40,7 +41,9 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "stop after this wall-clock limit, keeping finished sections (0 = none)")
 	ckptDir := flag.String("checkpoint", "", "journal completed cells to write-ahead logs under this directory")
 	resume := flag.Bool("resume", false, "continue from the journals left in -checkpoint by an earlier run")
+	version := buildinfo.Flag()
 	flag.Parse()
+	buildinfo.HandleFlag("olareport", version)
 
 	if *quick {
 		*scale /= 10

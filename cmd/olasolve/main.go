@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"mcopt/internal/atomicio"
+	"mcopt/internal/buildinfo"
 	"mcopt/internal/core"
 	"mcopt/internal/experiment"
 	"mcopt/internal/gfunc"
@@ -39,7 +40,9 @@ func main() {
 	moveKind := flag.String("move", "pairwise", "perturbation class: pairwise or single")
 	showMetrics := flag.Bool("metrics", false, "print run diagnostics (per-level acceptance, Δ histogram, moves-to-best)")
 	eventsPath := flag.String("events", "", "write every engine decision as JSONL to this file")
+	version := buildinfo.Flag()
 	flag.Parse()
+	buildinfo.HandleFlag("olasolve", version)
 
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "olasolve: -in is required")

@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 
+	"mcopt/internal/buildinfo"
 	"mcopt/internal/checkpoint"
 	"mcopt/internal/experiment"
 	"mcopt/internal/sched"
@@ -33,7 +34,9 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "stop after this wall-clock limit, keeping completed sizes (0 = none)")
 	ckptDir := flag.String("checkpoint", "", "journal completed cells to a write-ahead log under this directory")
 	resume := flag.Bool("resume", false, "continue from the journal left in -checkpoint by an earlier run")
+	version := buildinfo.Flag()
 	flag.Parse()
+	buildinfo.HandleFlag("olasweep", version)
 
 	ckpt, err := checkpoint.FromFlags(*ckptDir, *resume)
 	if err != nil {

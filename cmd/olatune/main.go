@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"mcopt/internal/buildinfo"
 	"mcopt/internal/checkpoint"
 	"mcopt/internal/core"
 	"mcopt/internal/experiment"
@@ -30,7 +31,9 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "stop after this wall-clock limit, keeping finished classes (0 = none)")
 	ckptDir := flag.String("checkpoint", "", "journal completed cells to write-ahead logs under this directory")
 	resume := flag.Bool("resume", false, "continue from the journals left in -checkpoint by an earlier run")
+	version := buildinfo.Flag()
 	flag.Parse()
+	buildinfo.HandleFlag("olatune", version)
 
 	ckpt, err := checkpoint.FromFlags(*ckptDir, *resume)
 	if err != nil {

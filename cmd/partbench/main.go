@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 
+	"mcopt/internal/buildinfo"
 	"mcopt/internal/checkpoint"
 	"mcopt/internal/experiment"
 	"mcopt/internal/sched"
@@ -26,7 +27,9 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "stop after this wall-clock limit, flushing the partial table (0 = none)")
 	ckptDir := flag.String("checkpoint", "", "journal completed cells to write-ahead logs under this directory")
 	resume := flag.Bool("resume", false, "continue from the journals left in -checkpoint by an earlier run")
+	version := buildinfo.Flag()
 	flag.Parse()
+	buildinfo.HandleFlag("partbench", version)
 
 	ckpt, cerr := checkpoint.FromFlags(*ckptDir, *resume)
 	if cerr != nil {

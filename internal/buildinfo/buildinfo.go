@@ -1,0 +1,76 @@
+// Package buildinfo reports what build of the toolchain's binaries is
+// running. Every command in cmd/ exposes it behind a -version flag, so a
+// deployed mcoptd (or a bench binary archived next to its tables) can always
+// be traced back to the exact revision that produced it.
+//
+// The data comes from runtime/debug.ReadBuildInfo, which the Go linker
+// embeds in every module-mode binary: the module version when built from a
+// tagged module, and the VCS revision, commit time, and dirty marker when
+// built from a checkout with -buildvcs (the default).
+package buildinfo
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"strings"
+)
+
+// String renders the one-line version report for the named tool, e.g.
+//
+//	mcoptd mcopt (devel) go1.22.0 rev 1a2b3c4d5e6f (dirty)
+//
+// Missing pieces (an unstamped test binary, a VCS-less build) are simply
+// omitted; the line always contains at least the tool name.
+func String(tool string) string {
+	var b strings.Builder
+	b.WriteString(tool)
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b.String()
+	}
+	if info.Main.Path != "" {
+		fmt.Fprintf(&b, " %s", info.Main.Path)
+	}
+	if info.Main.Version != "" {
+		fmt.Fprintf(&b, " %s", info.Main.Version)
+	}
+	if info.GoVersion != "" {
+		fmt.Fprintf(&b, " %s", info.GoVersion)
+	}
+	var rev, dirty string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = " (dirty)"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		fmt.Fprintf(&b, " rev %s%s", rev, dirty)
+	}
+	return b.String()
+}
+
+// Flag registers the standard -version flag on the default flag set and
+// returns its value pointer. Call before flag.Parse; after parsing, pass the
+// pointer to HandleFlag.
+func Flag() *bool {
+	return flag.Bool("version", false, "print version information and exit")
+}
+
+// HandleFlag prints the version report and exits when the -version flag was
+// set. Call immediately after flag.Parse.
+func HandleFlag(tool string, set *bool) {
+	if set != nil && *set {
+		fmt.Println(String(tool))
+		os.Exit(0)
+	}
+}

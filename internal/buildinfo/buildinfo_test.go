@@ -1,0 +1,30 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringLeadsWithTool(t *testing.T) {
+	s := String("olasolve")
+	if !strings.HasPrefix(s, "olasolve") {
+		t.Fatalf("String() = %q, want prefix %q", s, "olasolve")
+	}
+	if strings.Contains(s, "\n") {
+		t.Fatalf("String() = %q, want a single line", s)
+	}
+}
+
+func TestStringDistinctTools(t *testing.T) {
+	a, b := String("a"), String("b")
+	if strings.TrimPrefix(a, "a") != strings.TrimPrefix(b, "b") {
+		t.Fatalf("tool name should be the only difference: %q vs %q", a, b)
+	}
+}
+
+func TestHandleFlagNilAndUnset(t *testing.T) {
+	// Neither a nil pointer nor an unset flag may exit the process.
+	HandleFlag("tool", nil)
+	v := false
+	HandleFlag("tool", &v)
+}

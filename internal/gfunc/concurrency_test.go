@@ -1,0 +1,80 @@
+package gfunc
+
+import (
+	"sync"
+	"testing"
+
+	"mcopt/internal/rng"
+)
+
+// TestRegistryConcurrent hammers the registry from many goroutines at once.
+// The service layer resolves g classes per replica while the replica grid runs
+// in parallel, so lookup, build, and evaluation must all be safe to run
+// concurrently. Run under -race this is the regression gate for any future
+// attempt to cache Classes() in a mutable package variable.
+func TestRegistryConcurrent(t *testing.T) {
+	const goroutines = 16
+	names := make([]string, 0, 20)
+	for _, b := range Classes() {
+		names = append(names, b.Name)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rng.Stream("gfunc/concurrency", uint64(g+1))
+			for i := 0; i < 50; i++ {
+				name := names[(g+i)%len(names)]
+				b, ok := ByName(name)
+				if !ok {
+					t.Errorf("ByName(%q) not found", name)
+					return
+				}
+				if b2, ok := ByID(b.ID); !ok || b2.Name != b.Name {
+					t.Errorf("ByID(%d) = %q, %v; want %q", b.ID, b2.Name, ok, b.Name)
+					return
+				}
+				var ys []float64
+				if b.NeedsY {
+					ys = b.DefaultYs(Scale{TypicalCost: 140, TypicalDelta: 2})
+					if len(ys) != b.K {
+						t.Errorf("%s: DefaultYs returned %d levels, want %d", b.Name, len(ys), b.K)
+						return
+					}
+				}
+				fn := b.Build(ys)
+				if fn.K() != b.K {
+					t.Errorf("%s: built K() = %d, want %d", b.Name, fn.K(), b.K)
+					return
+				}
+				for level := 1; level <= b.K; level++ {
+					hi := 100 + r.Float64()
+					p := fn.Prob(level, hi, hi+3)
+					if p != p {
+						t.Errorf("%s level %d: Prob returned NaN", b.Name, level)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestRegistrySliceIsolation checks that Classes() hands each caller an
+// independent slice, as its contract promises: mutating one caller's copy
+// must not leak into another's.
+func TestRegistrySliceIsolation(t *testing.T) {
+	a := Classes()
+	b := Classes()
+	a[0].Name = "mutated"
+	a[0].ID = -1
+	if b[0].Name == "mutated" || b[0].ID == -1 {
+		t.Fatal("Classes() returned shared backing storage; callers can corrupt each other")
+	}
+	if c, ok := ByName("Metropolis"); !ok || c.ID != 1 {
+		t.Fatalf("registry damaged by caller mutation: ByName(Metropolis) = %+v, %v", c, ok)
+	}
+}

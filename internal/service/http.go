@@ -1,0 +1,222 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// API routes (all under /v1 except the operational probes):
+//
+//	POST   /v1/jobs             submit a job (Idempotency-Key honored)
+//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/events NDJSON stream: state transitions + engine events
+//	GET    /v1/jobs/{id}/result the committed result artifact (done jobs)
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /healthz             liveness
+//	GET    /readyz              readiness (503 while draining)
+//	GET    /metricsz            queue gauges + aggregated engine telemetry
+
+// maxSpecBytes bounds a submitted spec (inline netlists included).
+const maxSpecBytes = 4 << 20
+
+// HandlerConfig shapes the HTTP layer.
+type HandlerConfig struct {
+	// RequestTimeout bounds non-streaming request handling (default 30s).
+	// The events stream is exempt: it is long-lived by design.
+	RequestTimeout time.Duration
+}
+
+// NewHandler builds the service's HTTP API over a manager.
+func NewHandler(m *Manager, cfg HandlerConfig) http.Handler {
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	s := &server{m: m}
+	mux := http.NewServeMux()
+	timed := func(h http.HandlerFunc) http.Handler {
+		return http.TimeoutHandler(h, cfg.RequestTimeout, `{"error":"request timed out"}`)
+	}
+	mux.Handle("POST /v1/jobs", timed(s.submit))
+	mux.Handle("GET /v1/jobs/{id}", timed(s.status))
+	mux.Handle("GET /v1/jobs/{id}/result", timed(s.result))
+	mux.Handle("DELETE /v1/jobs/{id}", timed(s.cancel))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
+	mux.Handle("GET /healthz", timed(s.healthz))
+	mux.Handle("GET /readyz", timed(s.readyz))
+	mux.Handle("GET /metricsz", timed(s.metricsz))
+	return mux
+}
+
+type server struct {
+	m *Manager
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// The connection is the only place left to report an encode failure;
+	// dropping it is all we can do.
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+// submitResponse acknowledges a submission.
+type submitResponse struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	// Created is false when an idempotency key matched an earlier
+	// submission and that job was returned instead.
+	Created bool `json:"created"`
+}
+
+func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode spec: %w", err))
+		return
+	}
+	key := r.Header.Get("Idempotency-Key")
+	job, created, err := s.m.Submit(spec, key)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	default:
+		var verr *ValidationError
+		if errors.As(err, &verr) {
+			writeError(w, http.StatusBadRequest, err)
+		} else {
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	code := http.StatusCreated
+	if !created {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, submitResponse{ID: job.ID, State: job.State(), Created: created})
+}
+
+func (s *server) lookup(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, err := s.m.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *server) status(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *server) result(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	data, err := s.m.Result(j.ID)
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(data)
+}
+
+func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	state, err := s.m.Cancel(j.ID)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		ID    string `json:"id"`
+		State State  `json:"state"`
+	}{ID: j.ID, State: state})
+}
+
+// events streams the job's records as NDJSON until the job is terminal or
+// the client goes away. Records buffered before the subscription replay
+// first, so a watcher attached after submission still sees the whole
+// skeleton of a short job.
+func (s *server) events(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	ch, cancel := j.Subscribe()
+	defer cancel()
+	ctx := r.Context()
+	for {
+		select {
+		case rec, open := <-ch:
+			if !open {
+				return
+			}
+			if err := enc.Encode(rec); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *server) readyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.m.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *server) metricsz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err := s.m.RenderMetrics(w); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}

@@ -1,0 +1,210 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mcopt/internal/atomicio"
+	"mcopt/internal/checkpoint"
+	"mcopt/internal/core"
+	"mcopt/internal/metrics"
+	"mcopt/internal/rng"
+	"mcopt/internal/sched"
+)
+
+// RunResult is one replica's outcome in the result artifact and the
+// checkpoint journal. Every field is a pure function of (spec, run index),
+// so a replica restored from the journal is indistinguishable from a
+// freshly computed one — the byte-identity the smoke test asserts.
+type RunResult struct {
+	Run          int     `json:"run"`
+	InitialCost  float64 `json:"initial_cost"`
+	BestCost     float64 `json:"best_cost"`
+	FinalCost    float64 `json:"final_cost"`
+	Moves        int64   `json:"moves"`
+	Accepted     int64   `json:"accepted"`
+	Uphill       int64   `json:"uphill"`
+	Improvements int64   `json:"improvements"`
+	// Solution is the best state's integer encoding: cell order (gola/nola),
+	// side assignment (partition), tour order (tsp), or sorted medians
+	// (pmedian).
+	Solution []int `json:"solution"`
+}
+
+// Result is the job's result artifact (result.json). It intentionally
+// excludes the job ID and all wall-clock data: the artifact is a pure
+// function of the spec, so identical specs produce byte-identical artifacts
+// whether computed in one go, resumed after a crash, or on another machine.
+type Result struct {
+	Spec    JobSpec     `json:"spec"`
+	Problem string      `json:"problem"`
+	Runs    []RunResult `json:"runs"`
+	// BestRun indexes the lowest-cost replica (ties break to the lowest
+	// index); BestCost and BestSolution repeat its headline fields.
+	BestRun      int     `json:"best_run"`
+	BestCost     float64 `json:"best_cost"`
+	BestSolution []int   `json:"best_solution"`
+	// TotalReduction sums initial−best over replicas, the quantity the
+	// paper's tables total per suite.
+	TotalReduction float64 `json:"total_reduction"`
+}
+
+// streamedKinds selects which engine events are bridged into the NDJSON
+// stream: the run skeleton (start, level transitions, best-so-far records,
+// descent completions, end), not the per-proposal firehose — a budget of
+// millions of moves must not emit millions of lines to every watcher. The
+// full event mix still reaches /metricsz through the RunMetrics hook.
+func streamedKind(k core.EventKind) bool {
+	switch k {
+	case core.EventStart, core.EventLevel, core.EventBest, core.EventDescent, core.EventEnd:
+		return true
+	}
+	return false
+}
+
+// run executes the job's replica grid: open (or resume) the journal,
+// restore recorded replicas, compute the remainder on the scheduler, append
+// each fresh replica to the journal, and commit the result artifact
+// atomically. agg, when non-nil, receives the merged engine telemetry of
+// the freshly computed replicas.
+func run(ctx context.Context, j *Job, dir string, workers int, agg func(*metrics.RunMetrics)) (retErr error) {
+	spec := &j.Spec
+	prob, err := compile(spec)
+	if err != nil {
+		return fmt.Errorf("compile: %w", err)
+	}
+	j.mu.Lock()
+	j.problem = prob.desc
+	j.mu.Unlock()
+
+	cfg := &checkpoint.Config{Dir: dir, Resume: true}
+	journal, err := cfg.Journal("job", spec.Fingerprint())
+	if err != nil {
+		return err
+	}
+	defer journal.Close()
+
+	n := spec.Runs
+	results := make([]RunResult, n)
+	if err := journal.Restore(n, func(slot int, payload []byte) error {
+		var rr RunResult
+		if err := json.Unmarshal(payload, &rr); err != nil {
+			return err
+		}
+		results[slot] = rr
+		return nil
+	}); err != nil {
+		return err
+	}
+	j.setProgress(journal.Len())
+
+	var rm metrics.RunMetrics
+	rm.BudgetLimit = int64(n-journal.Len()) * spec.Budget
+	if agg != nil {
+		defer func() { agg(&rm) }()
+	}
+
+	opts := sched.Options{
+		Workers: workers,
+		Ctx:     ctx,
+		Skip:    journal.Done,
+		Progress: func(done, total int) {
+			j.setProgress(done)
+		},
+	}
+	report := sched.Run(n, opts, func(ctx context.Context, i int) error {
+		g, err := prob.newG(spec)
+		if err != nil {
+			return err
+		}
+		hook := metrics.Tee(rm.Hook(), func(e core.Event) {
+			if streamedKind(e.Kind) {
+				j.publishEvent(metrics.RecordOf(fmt.Sprintf("run@%d", i), e))
+			}
+		})
+		sol := prob.newSolution(i)
+		budget := core.NewBudget(spec.Budget).WithContext(ctx)
+		stream := rng.Derive("service/run/"+spec.Strategy+"/"+spec.G, spec.Seed, uint64(i))
+		var res core.Result
+		switch spec.Strategy {
+		case "fig2":
+			desc, ok := sol.(core.Descender)
+			if !ok {
+				return fmt.Errorf("%s solutions do not support fig2", spec.Problem.Kind)
+			}
+			res = core.Figure2{G: g, Hook: hook}.Run(desc, budget, stream)
+		default:
+			res = core.Figure1{G: g, Hook: hook}.Run(sol, budget, stream)
+		}
+		rr := RunResult{
+			Run:          i,
+			InitialCost:  res.InitialCost,
+			BestCost:     res.BestCost,
+			FinalCost:    res.FinalCost,
+			Moves:        res.Moves,
+			Accepted:     res.Accepted,
+			Uphill:       res.Uphill,
+			Improvements: res.Improvements,
+			Solution:     prob.encode(res.Best),
+		}
+		payload, err := json.Marshal(rr)
+		if err != nil {
+			return err
+		}
+		// Append refuses when ctx is cancelled: a budget cut short mid-cell
+		// is a partial result, and recording it would make the resumed job
+		// diverge from an uninterrupted one.
+		if err := journal.Append(ctx, i, payload); err != nil {
+			return err
+		}
+		results[i] = rr
+		return nil
+	})
+	if err := report.Err(); err != nil {
+		return err
+	}
+
+	result := &Result{
+		Spec:    *spec,
+		Problem: prob.desc,
+		Runs:    results,
+		BestRun: 0,
+	}
+	for i, rr := range results {
+		if rr.BestCost < results[result.BestRun].BestCost {
+			result.BestRun = i
+		}
+		result.TotalReduction += rr.InitialCost - rr.BestCost
+	}
+	best := results[result.BestRun]
+	result.BestCost = best.BestCost
+	result.BestSolution = best.Solution
+	data, err := json.MarshalIndent(result, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := atomicio.WriteFile(filepath.Join(dir, resultFile), data, 0o644); err != nil {
+		return err
+	}
+	j.mu.Lock()
+	j.bestCost = &best.BestCost
+	j.mu.Unlock()
+	return nil
+}
+
+// Artifact and marker file names inside a job directory.
+const (
+	specFile      = "spec.json"
+	resultFile    = "result.json"
+	errorFile     = "error.json"
+	cancelledFile = "cancelled"
+)
+
+// readResult loads a job's committed result artifact.
+func readResult(dir string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(dir, resultFile))
+}

@@ -1,0 +1,110 @@
+#!/usr/bin/env sh
+# service_smoke.sh — end-to-end proof of the service layer (DESIGN.md §10).
+#
+# Drives the real binaries over a real socket, twice, against the same spec:
+#
+#   1. Golden: start mcoptd on a fresh data directory, submit a job with
+#      mcoptctl, stream its events until done, fetch the result artifact,
+#      and shut the server down cleanly (SIGTERM drain).
+#   2. Kill -9: same spec on a second fresh directory; once the job's
+#      checkpoint journal holds at least one replica, kill -9 the server —
+#      no drain, no deferred cleanup, possibly a torn journal tail. Restart
+#      mcoptd over the same directory: the job must resume without being
+#      resubmitted, finish, and commit a result artifact byte-identical to
+#      the golden one.
+#
+# Exits non-zero on the first failure.
+
+set -eu
+
+GO=${GO:-go}
+SPEC='{"problem":{"kind":"gola","cells":40,"nets":200},"budget":1000000,"runs":8,"seed":11}'
+
+work=$(mktemp -d)
+server_pid=""
+cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+echo "== build =="
+$GO build -o "$work/mcoptd" ./cmd/mcoptd
+$GO build -o "$work/mcoptctl" ./cmd/mcoptctl
+
+# start_server DATA_DIR LOG_FILE: starts mcoptd on an ephemeral port and sets
+# $server_pid and $base (the URL mcoptctl should talk to).
+start_server() {
+    "$work/mcoptd" -addr 127.0.0.1:0 -data "$1" 2> "$2" &
+    server_pid=$!
+    addr=""
+    tries=0
+    while [ "$tries" -lt 100 ]; do
+        addr=$(sed -n 's/.*listening on \([0-9.]*:[0-9]*\).*/\1/p' "$2" | head -1)
+        [ -n "$addr" ] && break
+        if ! kill -0 "$server_pid" 2>/dev/null; then
+            echo "FAIL: mcoptd exited during startup" >&2
+            cat "$2" >&2
+            exit 1
+        fi
+        tries=$((tries + 1))
+        sleep 0.05
+    done
+    if [ -z "$addr" ]; then
+        echo "FAIL: mcoptd never reported its listen address" >&2
+        exit 1
+    fi
+    base="http://$addr"
+}
+
+stop_server() {
+    kill -TERM "$server_pid" 2>/dev/null || true
+    wait "$server_pid" 2>/dev/null || true
+    server_pid=""
+}
+
+echo "$SPEC" > "$work/spec.json"
+
+echo "== stage 1: golden run (submit, stream, fetch) =="
+start_server "$work/data1" "$work/server1.log"
+id=$("$work/mcoptctl" -addr "$base" submit -spec "$work/spec.json" -key smoke -wait 2> "$work/events.ndjson")
+echo "job $id done"
+grep -q '"type":"event"' "$work/events.ndjson" || {
+    echo "FAIL: event stream carried no engine events" >&2
+    exit 1
+}
+grep -q '"state":"done"' "$work/events.ndjson" || {
+    echo "FAIL: event stream never reported the job done" >&2
+    exit 1
+}
+"$work/mcoptctl" -addr "$base" status "$id" > /dev/null
+"$work/mcoptctl" -addr "$base" result "$id" -o "$work/golden.json"
+stop_server
+echo "ok: streamed $(wc -l < "$work/events.ndjson") records, artifact $(wc -c < "$work/golden.json") bytes"
+
+echo "== stage 2: kill -9 mid-job, restart, resume =="
+start_server "$work/data2" "$work/server2.log"
+id2=$("$work/mcoptctl" -addr "$base" submit -spec "$work/spec.json")
+# Wait until the job's checkpoint journal holds at least one replica, then
+# kill the server without ceremony. If the job wins the race and finishes
+# first, resume is a no-op and the byte-identity check still has to hold.
+tries=0
+while [ "$tries" -lt 200 ] && kill -0 "$server_pid" 2>/dev/null; do
+    if [ -n "$(find "$work/data2/jobs" -name '*.wal' -size +16c 2>/dev/null | head -1)" ]; then
+        break
+    fi
+    tries=$((tries + 1))
+    sleep 0.05
+done
+kill -9 "$server_pid" 2>/dev/null || true
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+
+start_server "$work/data2" "$work/server2b.log"
+"$work/mcoptctl" -addr "$base" watch "$id2" > "$work/resume-events.ndjson"
+"$work/mcoptctl" -addr "$base" result "$id2" -o "$work/resumed.json"
+stop_server
+cmp "$work/golden.json" "$work/resumed.json"
+echo "ok: resumed artifact byte-identical after kill -9"
+
+echo "service-smoke: all stages passed"
