@@ -26,9 +26,11 @@ bench:
 
 # Machine-readable results for the evaluation-kernel micro-benchmarks
 # (BenchmarkSwapEval / BenchmarkSwapApply / BenchmarkReinsertEval /
-# BenchmarkSwapEvalLarge), for tracking kernel regressions over time.
+# BenchmarkSwapEvalLarge) and the hook overhead suite (BenchmarkFigure1Hooks,
+# BenchmarkHookObs), for tracking kernel and telemetry regressions over
+# time. The output is committed as BENCH_kernel.json.
 bench-json:
-	$(GO) test -json -run '^$$' -bench 'BenchmarkSwapEval$$|BenchmarkSwapApply$$|BenchmarkReinsertEval$$|BenchmarkSwapEvalLarge' -benchmem . > BENCH_kernel.json
+	$(GO) test -json -run '^$$' -bench 'BenchmarkSwapEval$$|BenchmarkSwapApply$$|BenchmarkReinsertEval$$|BenchmarkSwapEvalLarge|BenchmarkFigure1Hooks$$|BenchmarkHookObs$$' -benchmem . > BENCH_kernel.json
 
 # Regenerate the paper's tables at paper budgets (writes to stdout).
 tables:
@@ -83,4 +85,4 @@ smoke:
 	GO=$(GO) sh scripts/service_smoke.sh
 
 clean:
-	rm -f report.md test_output.txt bench_output.txt cpu.pprof mem.pprof BENCH_kernel.json seq.txt par.txt
+	rm -f report.md test_output.txt bench_output.txt cpu.pprof mem.pprof seq.txt par.txt

@@ -22,6 +22,7 @@ import (
 	"mcopt/internal/gfunc"
 	"mcopt/internal/linarr"
 	"mcopt/internal/metrics"
+	"mcopt/internal/obs"
 	"mcopt/internal/sched"
 	"mcopt/internal/schedule"
 	"mcopt/internal/tuner"
@@ -379,6 +380,26 @@ func BenchmarkFigure1Hooks(b *testing.B) {
 	b.Run("jsonl", func(b *testing.B) {
 		run(b, metrics.NewEventWriter(io.Discard, "bench").Hook())
 	})
+}
+
+// BenchmarkHookObs measures the obs registry bridge the service tees into
+// every replica: atomic counters plus the per-level copy-on-grow cache.
+// Compare against BenchmarkFigure1Hooks/nil and /metrics — the bridge should
+// sit near the metrics variant, since both are a few increments per decision.
+func BenchmarkHookObs(b *testing.B) {
+	nl := mcopt.RandomGraph(mcopt.Stream("bench/hooks", 1), 15, 150)
+	start := mcopt.RandomArrangement(nl, mcopt.Stream("bench/hooks-start", 1))
+	col := metrics.NewEngineCollector(obs.NewRegistry())
+	hook := col.Hook()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol := mcopt.NewLinearSolution(start.Clone(), mcopt.PairwiseInterchange)
+		res := mcopt.Figure1{G: mcopt.GOne(), Hook: hook}.Run(sol, mcopt.NewBudget(1200),
+			mcopt.DeriveStream("bench/hooks-run", 1, uint64(i)))
+		if res.Moves == 0 {
+			b.Fatal("empty run")
+		}
+	}
 }
 
 func BenchmarkFigure2GOLA(b *testing.B) {

@@ -7,6 +7,8 @@
 //	mcoptctl [-addr ...] watch JOB
 //	mcoptctl [-addr ...] result JOB [-o FILE]
 //	mcoptctl [-addr ...] cancel JOB
+//	mcoptctl [-addr ...] trace JOB
+//	mcoptctl [-addr ...] stats [-interval 2s] [-n N]
 //
 // submit posts a job spec (a file, or "-" for stdin) and prints the job ID
 // on stdout — and nothing else, so shell scripts can capture it. With -wait
@@ -59,6 +61,10 @@ func main() {
 		err = cmdResult(c, args[1:])
 	case "cancel":
 		err = cmdCancel(c, args[1:])
+	case "trace":
+		err = cmdTrace(c, args[1:])
+	case "stats":
+		err = cmdStats(c, args[1:])
 	default:
 		fmt.Fprintf(os.Stderr, "mcoptctl: unknown command %q\n", cmd)
 		usage()
@@ -86,6 +92,8 @@ commands:
   watch JOB                              stream NDJSON events until terminal
   result JOB [-o FILE]                   fetch the result artifact
   cancel JOB                             cancel a job
+  trace JOB                              fetch the job's span timeline (JSONL)
+  stats [-interval 2s] [-n N]            poll /metrics; render live deltas
 `)
 	flag.PrintDefaults()
 }

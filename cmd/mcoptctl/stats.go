@@ -1,0 +1,240 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+
+	"mcopt/internal/obs"
+)
+
+// cmdStats polls /metrics and renders live registry deltas in the
+// terminal: one line per sample with job-state gauges, per-interval
+// throughput (jobs/s, requests/s, engine moves/s), request latency
+// quantiles computed from histogram bucket deltas, and the engine
+// acceptance rate over the interval. The page is parsed with the strict
+// exposition parser, so `mcoptctl stats -n 1` doubles as a /metrics
+// well-formedness check (the smoke test uses it that way).
+func cmdStats(c *client, args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	interval := fs.Duration("interval", 2*time.Second, "sampling interval")
+	n := fs.Int("n", 0, "number of samples to print (0 = until interrupted)")
+	fs.Parse(args)
+
+	fmt.Fprintf(os.Stdout, "%8s %22s %8s %8s %9s %9s %10s %7s\n",
+		"t", "jobs q/r/d/f/c", "jobs/s", "req/s", "p50(ms)", "p99(ms)", "moves/s", "accept")
+	var prev *statsSample
+	start := time.Now()
+	for i := 0; *n == 0 || i < *n; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		cur, err := fetchMetrics(c)
+		if err != nil {
+			return err
+		}
+		printStatsLine(os.Stdout, time.Since(start), prev, cur)
+		prev = cur
+	}
+	return nil
+}
+
+// statsSample is one parsed /metrics scrape.
+type statsSample struct {
+	exp *obs.Exposition
+	at  time.Time
+}
+
+// fetchMetrics scrapes and strictly parses /metrics.
+func fetchMetrics(c *client) (*statsSample, error) {
+	resp, err := c.do(http.MethodGet, "/metrics", nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	exp, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("stats: /metrics is malformed: %w", err)
+	}
+	return &statsSample{exp: exp, at: time.Now()}, nil
+}
+
+func printStatsLine(w *os.File, elapsed time.Duration, prev, cur *statsSample) {
+	gauge := func(name string, labels map[string]string) float64 {
+		v, _ := cur.exp.Value(name, labels)
+		return v
+	}
+	jobs := fmt.Sprintf("%.0f/%.0f/%.0f/%.0f/%.0f",
+		gauge("mcoptd_jobs", map[string]string{"state": "queued"}),
+		gauge("mcoptd_jobs", map[string]string{"state": "running"}),
+		gauge("mcoptd_jobs", map[string]string{"state": "done"}),
+		gauge("mcoptd_jobs", map[string]string{"state": "failed"}),
+		gauge("mcoptd_jobs", map[string]string{"state": "cancelled"}))
+
+	// First sample: no interval yet, so rates and interval quantiles are
+	// blank; cumulative gauges still render.
+	if prev == nil {
+		fmt.Fprintf(w, "%8s %22s %8s %8s %9s %9s %10s %7s\n",
+			fmtDur(elapsed), jobs, "-", "-", "-", "-", "-",
+			fmtPct(accept(cur.exp.Sum("mcopt_engine_proposals_total", map[string]string{"decision": "accepted"}),
+				cur.exp.Sum("mcopt_engine_proposals_total", map[string]string{"decision": "proposed"}))))
+		return
+	}
+
+	dt := cur.at.Sub(prev.at).Seconds()
+	if dt <= 0 {
+		dt = 1
+	}
+	rate := func(name string, labels map[string]string) float64 {
+		return (cur.exp.Sum(name, labels) - prev.exp.Sum(name, labels)) / dt
+	}
+	dAccepted := cur.exp.Sum("mcopt_engine_proposals_total", map[string]string{"decision": "accepted"}) -
+		prev.exp.Sum("mcopt_engine_proposals_total", map[string]string{"decision": "accepted"})
+	dProposed := cur.exp.Sum("mcopt_engine_proposals_total", map[string]string{"decision": "proposed"}) -
+		prev.exp.Sum("mcopt_engine_proposals_total", map[string]string{"decision": "proposed"})
+
+	fmt.Fprintf(w, "%8s %22s %8.2f %8.1f %9s %9s %10s %7s\n",
+		fmtDur(elapsed), jobs,
+		rate("mcoptd_jobs_completed_total", nil),
+		rate("mcoptd_http_requests_total", nil),
+		fmtMS(deltaQuantile(prev.exp, cur.exp, "mcoptd_http_request_seconds", 0.50)),
+		fmtMS(deltaQuantile(prev.exp, cur.exp, "mcoptd_http_request_seconds", 0.99)),
+		fmtRate(dProposed/dt),
+		fmtPct(accept(dAccepted, dProposed)))
+}
+
+func accept(accepted, proposed float64) float64 {
+	if proposed <= 0 {
+		return math.NaN()
+	}
+	return accepted / proposed
+}
+
+func fmtDur(d time.Duration) string { return d.Truncate(time.Second).String() }
+
+func fmtPct(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*v)
+}
+
+func fmtMS(seconds float64) string {
+	if math.IsNaN(seconds) {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", seconds*1000)
+}
+
+func fmtRate(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// bucketTotals sums a histogram family's cumulative bucket counts by le
+// across all series.
+func bucketTotals(exp *obs.Exposition, name string) map[float64]float64 {
+	f := exp.Get(name)
+	if f == nil {
+		return nil
+	}
+	out := map[float64]float64{}
+	for _, s := range f.Samples {
+		if s.Name != name+"_bucket" {
+			continue
+		}
+		le, err := parseLE(s.Labels["le"])
+		if err != nil {
+			continue
+		}
+		out[le] += s.Value
+	}
+	return out
+}
+
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// deltaQuantile estimates the q-quantile of observations that landed
+// between two scrapes, by subtracting cumulative bucket counts and
+// interpolating within the containing bucket — the live view of "how slow
+// were requests in the last interval", rather than since server start.
+func deltaQuantile(prev, cur *obs.Exposition, name string, q float64) float64 {
+	pb, cb := bucketTotals(prev, name), bucketTotals(cur, name)
+	if cb == nil {
+		return math.NaN()
+	}
+	uppers := make([]float64, 0, len(cb))
+	for le := range cb {
+		uppers = append(uppers, le)
+	}
+	sort.Float64s(uppers)
+	if len(uppers) == 0 {
+		return math.NaN()
+	}
+	total := cb[uppers[len(uppers)-1]] - pb[uppers[len(uppers)-1]]
+	if total <= 0 {
+		return math.NaN()
+	}
+	rank := q * total
+	var prevUpper, prevCount float64
+	for _, upper := range uppers {
+		count := cb[upper] - pb[upper]
+		if count >= rank {
+			if math.IsInf(upper, 1) {
+				return prevUpper
+			}
+			if count == prevCount {
+				return upper
+			}
+			return prevUpper + (upper-prevUpper)*(rank-prevCount)/(count-prevCount)
+		}
+		prevUpper, prevCount = upper, count
+	}
+	return uppers[len(uppers)-1]
+}
+
+// cmdTrace fetches a job's span timeline (JSONL) and writes it to stdout:
+// the committed trace file for terminal jobs, a live snapshot otherwise.
+func cmdTrace(c *client, args []string) error {
+	id, rest, err := oneJobArg("trace", args)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("trace: unexpected arguments %v", rest)
+	}
+	resp, err := c.do(http.MethodGet, "/v1/jobs/"+id+"/trace", nil, nil)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	defer resp.Body.Close()
+	spans, err := obs.ReadSpans(resp.Body)
+	if err != nil {
+		return fmt.Errorf("trace: malformed span stream: %w", err)
+	}
+	return obs.WriteSpans(os.Stdout, spans)
+}

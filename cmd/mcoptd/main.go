@@ -8,6 +8,14 @@
 //
 //	mcoptd -data DIR [-addr :7459] [-workers 2] [-max-queue 64]
 //	       [-run-workers 1] [-request-timeout 30s] [-drain-timeout 30s]
+//	       [-obs=true]
+//
+// GET /metrics serves a Prometheus text exposition (request latency
+// histograms, job lifecycle metrics, engine move/acceptance counters, all
+// labeled with the build version); GET /v1/jobs/{id}/trace serves a job's
+// span timeline. -obs=false turns off the per-job observability (engine
+// metric bridge and trace spans) — results are byte-identical either way,
+// which scripts/service_smoke.sh checks.
 //
 // The data directory holds one subdirectory per job: the submitted spec,
 // the per-replica checkpoint journal, and the committed result artifact. On
@@ -45,6 +53,7 @@ func main() {
 	runWorkers := flag.Int("run-workers", 1, "scheduler workers inside one job's replica grid")
 	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request handling timeout (event streams exempt)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for jobs to checkpoint and stop")
+	obsOn := flag.Bool("obs", true, "record per-job observability: engine metrics bridge and trace spans")
 	version := buildinfo.Flag()
 	flag.Parse()
 	buildinfo.HandleFlag("mcoptd", version)
@@ -61,6 +70,7 @@ func main() {
 		MaxQueue:   *maxQueue,
 		RunWorkers: *runWorkers,
 		Logf:       logger.Printf,
+		DisableObs: !*obsOn,
 	})
 	if err != nil {
 		logger.Fatal(err)

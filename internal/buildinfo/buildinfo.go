@@ -59,6 +59,39 @@ func String(tool string) string {
 	return b.String()
 }
 
+// Short returns a compact single-token version identifier, suitable as a
+// metric label value: the 12-character VCS revision ("-dirty" suffixed when
+// the checkout was modified) when stamped, else the module version, else
+// "devel". Exported metrics carry it as a `version` label so mixed-version
+// fleets stay distinguishable in scrapes.
+func Short() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	var rev, dirty string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		return rev + dirty
+	}
+	if v := info.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	return "devel"
+}
+
 // Flag registers the standard -version flag on the default flag set and
 // returns its value pointer. Call before flag.Parse; after parsing, pass the
 // pointer to HandleFlag.

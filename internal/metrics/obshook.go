@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"mcopt/internal/core"
+	"mcopt/internal/obs"
+)
+
+// EngineCollector bridges the core.Hook event stream into an obs.Registry
+// as Prometheus-style time series: move throughput (rate of
+// mcopt_engine_proposals_total), per-level acceptance (the accepted/proposed
+// counter pair under a bounded `level` label), and best-cost descent (a
+// gauge following EventBest). Unlike RunMetrics it keeps no per-run scratch
+// state, so one collector may observe many replicas concurrently — the
+// service installs a single collector across every job's grid.
+//
+// Overhead is one or two atomic adds per event (BenchmarkHookObs pins it);
+// the per-level counter pair is cached in a copy-on-grow slice so the hot
+// path never takes a lock or formats a label.
+type EngineCollector struct {
+	runsStarted *obs.Counter
+	runsEnded   *obs.Counter
+	proposals   *obs.CounterVec // decision: proposed|accepted|rejected
+	proposed    *obs.Counter
+	accepted    *obs.Counter
+	rejected    *obs.Counter
+	improves    *obs.Counter
+	descents    *obs.Counter
+	bestCost    *obs.Gauge
+
+	levelProposed *obs.CounterVec
+	levelAccepted *obs.CounterVec
+
+	mu     sync.Mutex
+	levels atomic.Pointer[[]levelPair] // index: level-1
+}
+
+type levelPair struct {
+	proposed, accepted *obs.Counter
+}
+
+// NewEngineCollector registers the engine metric families on reg and
+// returns the collector. Registering twice on the same registry returns a
+// collector over the same underlying series.
+func NewEngineCollector(reg *obs.Registry) *EngineCollector {
+	c := &EngineCollector{
+		runsStarted: reg.Counter("mcopt_engine_runs_started_total",
+			"Replica runs the engines have begun."),
+		runsEnded: reg.Counter("mcopt_engine_runs_completed_total",
+			"Replica runs the engines have finished."),
+		proposals: reg.CounterVec("mcopt_engine_proposals_total",
+			"Engine move proposals by decision; rate(decision=\"proposed\") is move throughput.",
+			"decision"),
+		improves: reg.Counter("mcopt_engine_improvements_total",
+			"Best-so-far cost improvements."),
+		descents: reg.Counter("mcopt_engine_descents_total",
+			"Figure-2 local-search descents completed."),
+		bestCost: reg.Gauge("mcopt_engine_best_cost",
+			"Most recent best-so-far cost reported by any run (descent telemetry, not an aggregate)."),
+		levelProposed: reg.CounterVec("mcopt_engine_level_proposals_total",
+			"Proposals resolved per temperature level; with mcopt_engine_level_accepted_total yields per-level acceptance rate.",
+			"level"),
+		levelAccepted: reg.CounterVec("mcopt_engine_level_accepted_total",
+			"Proposals accepted per temperature level.",
+			"level"),
+	}
+	c.proposed = c.proposals.With("proposed")
+	c.accepted = c.proposals.With("accepted")
+	c.rejected = c.proposals.With("rejected")
+	empty := []levelPair{}
+	c.levels.Store(&empty)
+	return c
+}
+
+// Hook returns the callback to install as an engine's Hook field (tee it
+// with other observers via Tee).
+func (c *EngineCollector) Hook() core.Hook { return c.Observe }
+
+// level returns the cached counter pair for a 1-based temperature level,
+// growing the cache on first sight of a new level. The label set is bounded
+// by the schedule length (a few dozen), never by user input.
+func (c *EngineCollector) level(temp int) levelPair {
+	if temp < 1 {
+		temp = 1
+	}
+	if cur := *c.levels.Load(); temp <= len(cur) {
+		return cur[temp-1]
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := *c.levels.Load()
+	for len(cur) < temp {
+		label := strconv.Itoa(len(cur) + 1)
+		cur = append(cur, levelPair{
+			proposed: c.levelProposed.With(label),
+			accepted: c.levelAccepted.With(label),
+		})
+	}
+	grown := make([]levelPair, len(cur))
+	copy(grown, cur)
+	c.levels.Store(&grown)
+	return grown[temp-1]
+}
+
+// Observe folds one engine event into the registry.
+func (c *EngineCollector) Observe(e core.Event) {
+	switch e.Kind {
+	case core.EventStart:
+		c.runsStarted.Inc()
+	case core.EventPropose:
+		c.proposed.Inc()
+		c.level(e.Temp).proposed.Inc()
+	case core.EventAccept:
+		c.accepted.Inc()
+		c.level(e.Temp).accepted.Inc()
+	case core.EventReject:
+		c.rejected.Inc()
+	case core.EventDescent:
+		c.descents.Inc()
+	case core.EventBest:
+		c.improves.Inc()
+		c.bestCost.Set(e.BestCost)
+	case core.EventEnd:
+		c.runsEnded.Inc()
+	}
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition media type served on
+// /metrics.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every family in Prometheus text exposition
+// format 0.0.4: a # HELP and # TYPE line per family, then one sample line
+// per child (histograms expand into cumulative _bucket series plus _sum and
+// _count). Output is deterministic: families sort by name, children by
+// label values, and registered OnCollect callbacks run first so callback
+// gauges are fresh.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	collects := append([]func(){}, r.collects...)
+	families := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		families = append(families, f)
+	}
+	consts := r.consts
+	r.mu.Unlock()
+
+	for _, fn := range collects {
+		fn()
+	}
+	sort.Slice(families, func(i, j int) bool { return families[i].name < families[j].name })
+
+	var sb strings.Builder
+	for _, f := range families {
+		f.write(&sb, consts)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// write renders one family. Families with no children yet are still
+// announced (HELP/TYPE with no samples) so scrapes see the full schema from
+// the first request.
+func (f *family) write(sb *strings.Builder, consts []Label) {
+	fmt.Fprintf(sb, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(sb, "# TYPE %s %s\n", f.name, f.typ)
+
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	children := make([]child, 0, len(keys))
+	for _, k := range keys {
+		children = append(children, f.children[k])
+	}
+	f.mu.Unlock()
+
+	for _, c := range children {
+		labels := make([]Label, 0, len(consts)+len(f.labelNames))
+		labels = append(labels, consts...)
+		for i, n := range f.labelNames {
+			labels = append(labels, Label{Name: n, Value: c.labels()[i]})
+		}
+		switch inst := c.(type) {
+		case *Counter:
+			fmt.Fprintf(sb, "%s%s %d\n", f.name, renderLabels(labels), inst.Value())
+		case *Gauge:
+			fmt.Fprintf(sb, "%s%s %s\n", f.name, renderLabels(labels), formatFloat(inst.Value()))
+		case *Histogram:
+			counts, sum, count := inst.snapshot()
+			var cum int64
+			for i, upper := range inst.upper {
+				cum += counts[i]
+				bl := append(append([]Label(nil), labels...), Label{Name: "le", Value: formatFloat(upper)})
+				fmt.Fprintf(sb, "%s_bucket%s %d\n", f.name, renderLabels(bl), cum)
+			}
+			bl := append(append([]Label(nil), labels...), Label{Name: "le", Value: "+Inf"})
+			fmt.Fprintf(sb, "%s_bucket%s %d\n", f.name, renderLabels(bl), count)
+			fmt.Fprintf(sb, "%s_sum%s %s\n", f.name, renderLabels(labels), formatFloat(sum))
+			fmt.Fprintf(sb, "%s_count%s %d\n", f.name, renderLabels(labels), count)
+		}
+	}
+}
+
+// renderLabels formats {a="x",b="y"}, or "" when there are no labels.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote, and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// escapeHelp escapes a HELP string: backslash and newline (quotes are fine
+// on HELP lines).
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest
+// round-trip representation, integers without exponent where possible.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

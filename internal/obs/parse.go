@@ -1,0 +1,453 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the read side of the exposition format: a strict parser
+// used by mcoptctl stats (so a malformed /metrics page fails loudly at the
+// client) and by the tests that pin exposition well-formedness. It is
+// intentionally stricter than a Prometheus scraper needs to be: samples
+// must follow their family's # TYPE line, sample names must match the
+// family (modulo the histogram _bucket/_sum/_count suffixes), and
+// histogram series must have ascending le bounds with monotone
+// non-decreasing cumulative counts that agree with _count.
+
+// Sample is one parsed sample line.
+type Sample struct {
+	// Name is the full sample name, including any histogram suffix.
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one parsed metric family with its samples in page order.
+type Family struct {
+	Name, Help, Type string
+	Samples          []Sample
+}
+
+// Exposition is a parsed /metrics page.
+type Exposition struct {
+	// Families is keyed by family name.
+	Families map[string]*Family
+}
+
+// Get returns the named family, or nil.
+func (e *Exposition) Get(name string) *Family {
+	return e.Families[name]
+}
+
+// Value returns the value of the first sample with the given name (a
+// family name, or a histogram _bucket/_sum/_count series) whose labels
+// include every given pair, and whether one matched.
+func (e *Exposition) Value(name string, labels map[string]string) (float64, bool) {
+	f := e.Families[name]
+	if f == nil {
+		f = e.Families[baseName(name)]
+	}
+	if f == nil {
+		return 0, false
+	}
+	for _, s := range f.Samples {
+		if s.Name != name {
+			continue
+		}
+		if matchLabels(s.Labels, labels) {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Sum adds the values of every sample of the named family whose labels
+// include every given pair (nil matches all).
+func (e *Exposition) Sum(name string, labels map[string]string) float64 {
+	f := e.Families[name]
+	if f == nil {
+		return 0
+	}
+	var total float64
+	for _, s := range f.Samples {
+		if s.Name == name && matchLabels(s.Labels, labels) {
+			total += s.Value
+		}
+	}
+	return total
+}
+
+func matchLabels(got, want map[string]string) bool {
+	for k, v := range want {
+		if got[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// bucket is one cumulative histogram bucket.
+type bucket struct {
+	upper float64
+	count float64
+}
+
+// HistQuantile estimates the q-quantile (0 < q < 1) of the named histogram
+// family, aggregated over every series whose labels include the given
+// pairs, by linear interpolation within the containing bucket. It returns
+// NaN when the histogram is empty or absent.
+func (e *Exposition) HistQuantile(name string, labels map[string]string, q float64) float64 {
+	f := e.Families[name]
+	if f == nil || f.Type != TypeHistogram {
+		return math.NaN()
+	}
+	// Aggregate cumulative counts per le across matching series.
+	byLE := map[float64]float64{}
+	for _, s := range f.Samples {
+		if s.Name != name+"_bucket" || !matchLabels(s.Labels, labels) {
+			continue
+		}
+		le, err := parseLE(s.Labels["le"])
+		if err != nil {
+			return math.NaN()
+		}
+		byLE[le] += s.Value
+	}
+	buckets := make([]bucket, 0, len(byLE))
+	for le, c := range byLE {
+		buckets = append(buckets, bucket{upper: le, count: c})
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].upper < buckets[j].upper })
+	if len(buckets) == 0 || buckets[len(buckets)-1].count == 0 {
+		return math.NaN()
+	}
+	total := buckets[len(buckets)-1].count
+	rank := q * total
+	var prevUpper, prevCount float64
+	for _, b := range buckets {
+		if b.count >= rank {
+			if math.IsInf(b.upper, 1) {
+				return prevUpper // open-ended bucket: report its lower bound
+			}
+			if b.count == prevCount {
+				return b.upper
+			}
+			return prevUpper + (b.upper-prevUpper)*(rank-prevCount)/(b.count-prevCount)
+		}
+		prevUpper, prevCount = b.upper, b.count
+	}
+	return buckets[len(buckets)-1].upper
+}
+
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// baseName strips a histogram sample suffix, returning the family name.
+func baseName(sample string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(sample, suffix) {
+			return strings.TrimSuffix(sample, suffix)
+		}
+	}
+	return sample
+}
+
+// ParseExposition parses and validates a Prometheus text exposition page.
+// Any structural defect — a sample before its TYPE line, a name that
+// doesn't match its family, an unparsable value, unescaped quotes, a
+// histogram with non-monotone buckets — is an error.
+func ParseExposition(r io.Reader) (*Exposition, error) {
+	exp := &Exposition{Families: map[string]*Family{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var cur *Family
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		fail := func(format string, args ...any) (*Exposition, error) {
+			return nil, fmt.Errorf("obs: exposition line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			if name == "" {
+				return fail("HELP without a metric name")
+			}
+			if exp.Families[name] != nil {
+				return fail("duplicate HELP for %s", name)
+			}
+			cur = &Family{Name: name, Help: help}
+			exp.Families[name] = cur
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				return fail("malformed TYPE line")
+			}
+			name, typ := fields[0], fields[1]
+			switch typ {
+			case TypeCounter, TypeGauge, TypeHistogram, "summary", "untyped":
+			default:
+				return fail("unknown type %q", typ)
+			}
+			if cur == nil || cur.Name != name {
+				// TYPE without a preceding HELP opens the family too.
+				if exp.Families[name] != nil && exp.Families[name].Type != "" {
+					return fail("duplicate TYPE for %s", name)
+				}
+				if exp.Families[name] == nil {
+					exp.Families[name] = &Family{Name: name}
+				}
+				cur = exp.Families[name]
+			}
+			if len(cur.Samples) > 0 {
+				return fail("TYPE for %s after its samples", name)
+			}
+			cur.Type = typ
+		case strings.HasPrefix(line, "#"):
+			// Comment; ignore.
+		default:
+			s, err := parseSample(line)
+			if err != nil {
+				return fail("%v", err)
+			}
+			fam := baseName(s.Name)
+			f := exp.Families[fam]
+			if f == nil || f.Type == "" {
+				// The bare name may itself be a family (e.g. a gauge named
+				// foo_count); accept it only if announced.
+				if alt := exp.Families[s.Name]; alt != nil && alt.Type != "" {
+					f, fam = alt, s.Name
+				} else {
+					return fail("sample %s before any TYPE line for %s", s.Name, fam)
+				}
+			}
+			if f.Type != TypeHistogram && s.Name != fam {
+				return fail("sample %s does not match %s family %s", s.Name, f.Type, fam)
+			}
+			if f.Type == TypeHistogram && s.Name == fam {
+				return fail("bare sample name %s on a histogram family", s.Name)
+			}
+			if s.Name == fam+"_bucket" {
+				if _, err := parseLE(s.Labels["le"]); err != nil {
+					return fail("bucket of %s with bad le %q", fam, s.Labels["le"])
+				}
+			}
+			f.Samples = append(f.Samples, s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, f := range exp.Families {
+		if f.Type == TypeHistogram {
+			if err := validateHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return exp, nil
+}
+
+// validateHistogram checks every series of a histogram family: ascending le
+// bounds, monotone non-decreasing cumulative counts, a +Inf bucket, and
+// agreement between the +Inf bucket and _count.
+func validateHistogram(f *Family) error {
+	type series struct {
+		buckets []bucket
+		count   float64
+		hasCnt  bool
+	}
+	byKey := map[string]*series{}
+	keyOf := func(labels map[string]string) string {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k != "le" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s=%s;", k, labels[k])
+		}
+		return b.String()
+	}
+	for _, s := range f.Samples {
+		key := keyOf(s.Labels)
+		sr := byKey[key]
+		if sr == nil {
+			sr = &series{}
+			byKey[key] = sr
+		}
+		switch s.Name {
+		case f.Name + "_bucket":
+			le, _ := parseLE(s.Labels["le"])
+			sr.buckets = append(sr.buckets, bucket{upper: le, count: s.Value})
+		case f.Name + "_count":
+			sr.count = s.Value
+			sr.hasCnt = true
+		}
+	}
+	for key, sr := range byKey {
+		sort.Slice(sr.buckets, func(i, j int) bool { return sr.buckets[i].upper < sr.buckets[j].upper })
+		if len(sr.buckets) == 0 || !math.IsInf(sr.buckets[len(sr.buckets)-1].upper, 1) {
+			return fmt.Errorf("obs: histogram %s{%s}: no +Inf bucket", f.Name, key)
+		}
+		var prev float64
+		for _, b := range sr.buckets {
+			if b.count < prev {
+				return fmt.Errorf("obs: histogram %s{%s}: bucket counts decrease at le=%g", f.Name, key, b.upper)
+			}
+			prev = b.count
+		}
+		if sr.hasCnt && sr.buckets[len(sr.buckets)-1].count != sr.count {
+			return fmt.Errorf("obs: histogram %s{%s}: +Inf bucket %g != count %g",
+				f.Name, key, sr.buckets[len(sr.buckets)-1].count, sr.count)
+		}
+	}
+	return nil
+}
+
+// parseSample parses one sample line: name{labels} value [timestamp].
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	// Name runs to '{' or whitespace.
+	i := strings.IndexAny(rest, "{ \t")
+	if i < 0 {
+		return s, fmt.Errorf("sample %q has no value", line)
+	}
+	s.Name = rest[:i]
+	if s.Name == "" || !validMetricName(s.Name) {
+		return s, fmt.Errorf("bad metric name %q", s.Name)
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		var err error
+		rest, err = parseLabels(rest[1:], s.Labels)
+		if err != nil {
+			return s, err
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("sample %q: want value [timestamp]", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("sample %q: bad value: %v", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels consumes `name="value",...}` and returns the remainder.
+func parseLabels(rest string, out map[string]string) (string, error) {
+	for {
+		rest = strings.TrimLeft(rest, " \t")
+		if len(rest) > 0 && rest[0] == '}' {
+			return rest[1:], nil
+		}
+		eq := strings.Index(rest, "=")
+		if eq < 0 {
+			return "", fmt.Errorf("label without '='")
+		}
+		name := strings.TrimSpace(rest[:eq])
+		if !validLabelName(name) {
+			return "", fmt.Errorf("bad label name %q", name)
+		}
+		rest = strings.TrimLeft(rest[eq+1:], " \t")
+		if len(rest) == 0 || rest[0] != '"' {
+			return "", fmt.Errorf("label %s: unquoted value", name)
+		}
+		rest = rest[1:]
+		var b strings.Builder
+		i := 0
+		for {
+			if i >= len(rest) {
+				return "", fmt.Errorf("label %s: unterminated value", name)
+			}
+			c := rest[i]
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				i++
+				if i >= len(rest) {
+					return "", fmt.Errorf("label %s: dangling escape", name)
+				}
+				switch rest[i] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					return "", fmt.Errorf("label %s: bad escape \\%c", name, rest[i])
+				}
+			} else {
+				b.WriteByte(c)
+			}
+			i++
+		}
+		out[name] = b.String()
+		rest = rest[i+1:]
+		rest = strings.TrimLeft(rest, " \t")
+		if len(rest) == 0 {
+			return "", fmt.Errorf("unterminated label set")
+		}
+		switch rest[0] {
+		case ',':
+			rest = rest[1:]
+		case '}':
+			return rest[1:], nil
+		default:
+			return "", fmt.Errorf("unexpected %q in label set", rest[0])
+		}
+	}
+}
+
+func validMetricName(s string) bool {
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return s != ""
+}
+
+func validLabelName(s string) bool {
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return s != ""
+}

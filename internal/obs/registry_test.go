@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// buildRegistry assembles a registry exercising every instrument shape:
+// const labels, plain and labeled counters/gauges, a histogram vec, escaped
+// label values, and an OnCollect-refreshed gauge.
+func buildRegistry() *Registry {
+	r := NewRegistry(Label{Name: "version", Value: "test"})
+	r.Counter("test_requests_total", "Requests served.").Add(41)
+	r.Counter("test_requests_total", "Requests served.").Inc()
+	cv := r.CounterVec("test_errors_total", "Errors by kind.", "kind")
+	cv.With("io").Add(3)
+	cv.With(`weird"kind\with`).Inc()
+	cv.With("line\nbreak").Inc()
+	r.Gauge("test_temperature", "A gauge.").Set(-2.5)
+	hv := r.HistogramVec("test_latency_seconds", "Latency.", []float64{0.01, 0.1, 1}, "route")
+	h := hv.With("/v1/jobs")
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	live := r.Gauge("test_live", "Refreshed at collect time.")
+	r.OnCollect(func() { live.Set(7) })
+	return r
+}
+
+func TestExpositionWellFormed(t *testing.T) {
+	r := buildRegistry()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	page := sb.String()
+
+	// Every family must announce HELP and TYPE before its samples; the
+	// strict parser enforces all of it (escapes, histogram monotonicity).
+	exp, err := ParseExposition(strings.NewReader(page))
+	if err != nil {
+		t.Fatalf("exposition does not parse:\n%s\nerror: %v", page, err)
+	}
+
+	if v, ok := exp.Value("test_requests_total", nil); !ok || v != 42 {
+		t.Fatalf("test_requests_total = %v, %v; want 42", v, ok)
+	}
+	if v, ok := exp.Value("test_errors_total", map[string]string{"kind": `weird"kind\with`}); !ok || v != 1 {
+		t.Fatalf("escaped label value did not round-trip: %v %v", v, ok)
+	}
+	if v, ok := exp.Value("test_errors_total", map[string]string{"kind": "line\nbreak"}); !ok || v != 1 {
+		t.Fatalf("newline label value did not round-trip: %v %v", v, ok)
+	}
+	if v, ok := exp.Value("test_temperature", nil); !ok || v != -2.5 {
+		t.Fatalf("gauge = %v, %v", v, ok)
+	}
+	if v, ok := exp.Value("test_live", nil); !ok || v != 7 {
+		t.Fatalf("OnCollect gauge = %v, %v; want 7", v, ok)
+	}
+	// Const label on every sample.
+	for name, f := range exp.Families {
+		for _, s := range f.Samples {
+			if s.Labels["version"] != "test" {
+				t.Fatalf("%s sample missing version const label: %v", name, s.Labels)
+			}
+		}
+	}
+	// Histogram: cumulative buckets 1,2,3 then +Inf=4, count 4, sum 5.555.
+	lbl := map[string]string{"route": "/v1/jobs"}
+	if v, ok := exp.Value("test_latency_seconds_count", lbl); !ok || v != 4 {
+		t.Fatalf("histogram count = %v, %v", v, ok)
+	}
+	if v, ok := exp.Value("test_latency_seconds_sum", lbl); !ok || math.Abs(v-5.555) > 1e-9 {
+		t.Fatalf("histogram sum = %v, %v", v, ok)
+	}
+	for le, want := range map[string]float64{"0.01": 1, "0.1": 2, "1": 3, "+Inf": 4} {
+		got, ok := exp.Value("test_latency_seconds_bucket", map[string]string{"route": "/v1/jobs", "le": le})
+		if !ok || got != want {
+			t.Fatalf("bucket le=%s = %v (ok=%v), want %v", le, got, ok, want)
+		}
+	}
+
+	// Deterministic output: a second render is byte-identical.
+	var sb2 strings.Builder
+	if err := r.WritePrometheus(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != page {
+		t.Fatal("exposition output is not deterministic across renders")
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "h", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 1.6, 3} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := ParseExposition(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cumulative: le=1→1, le=2→3, le=4→4. Median rank 2 falls in (1,2].
+	p50 := exp.HistQuantile("q_seconds", nil, 0.5)
+	if p50 <= 1 || p50 > 2 {
+		t.Fatalf("p50 = %g, want within (1,2]", p50)
+	}
+	p99 := exp.HistQuantile("q_seconds", nil, 0.99)
+	if p99 <= 2 || p99 > 4 {
+		t.Fatalf("p99 = %g, want within (2,4]", p99)
+	}
+	if !math.IsNaN(exp.HistQuantile("absent", nil, 0.5)) {
+		t.Fatal("quantile of an absent family should be NaN")
+	}
+}
+
+func TestParserRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"sample before TYPE": "foo 1\n",
+		"bucket count decreases": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 5` + "\n" + `h_bucket{le="2"} 3` + "\n" + `h_bucket{le="+Inf"} 5` + "\nh_sum 1\nh_count 5\n",
+		"histogram missing +Inf": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 1` + "\nh_sum 1\nh_count 1\n",
+		"+Inf disagrees with count": "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 3` + "\nh_sum 1\nh_count 4\n",
+		"unterminated label value": "# TYPE c counter\n" + `c{a="x} 1` + "\n",
+		"bad escape":               "# TYPE c counter\n" + `c{a="\q"} 1` + "\n",
+		"bad value":                "# TYPE c counter\nc hello\n",
+		"name mismatch":            "# TYPE c counter\nd 1\n",
+		"bad metric name":          "# TYPE c counter\n1c 1\n",
+	}
+	for name, page := range cases {
+		if _, err := ParseExposition(strings.NewReader(page)); err == nil {
+			t.Errorf("%s: parser accepted malformed page:\n%s", name, page)
+		}
+	}
+}
+
+func TestVecPanicsOnArity(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("a_total", "a", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong label arity did not panic")
+		}
+	}()
+	cv.With("one", "two")
+}
+
+func TestReRegisterSameFamily(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "dup")
+	b := r.Counter("dup_total", "dup")
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering with a different type did not panic")
+		}
+	}()
+	r.Gauge("dup_total", "dup")
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr := NewTrace("job1")
+	root := tr.Start(0, "job", map[string]string{"kind": "gola"})
+	q := tr.Start(root, "queue", nil)
+	tr.End(q)
+	r0 := tr.Start(root, "replica", map[string]string{"run": "0"})
+	r1 := tr.Start(root, "replica", map[string]string{"run": "1"})
+	tr.End(r1)
+	tr.End(r0)
+	c := tr.Start(root, "commit", nil)
+	tr.End(c)
+	tr.Annotate(root, map[string]string{"outcome": "done"})
+	tr.End(root)
+	tr.End(root) // double-End is a no-op
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 5 {
+		t.Fatalf("got %d spans, want 5", len(spans))
+	}
+	byName := map[string][]Span{}
+	ids := map[int]Span{}
+	for _, s := range spans {
+		if s.Trace != "job1" {
+			t.Fatalf("span trace %q", s.Trace)
+		}
+		if s.DurNS < 0 {
+			t.Fatalf("span %s still open after End: dur %d", s.Name, s.DurNS)
+		}
+		byName[s.Name] = append(byName[s.Name], s)
+		ids[s.ID] = s
+	}
+	if len(byName["replica"]) != 2 {
+		t.Fatalf("replica spans: %d, want 2", len(byName["replica"]))
+	}
+	rootSpan := byName["job"][0]
+	if rootSpan.Parent != 0 {
+		t.Fatalf("root parent %d", rootSpan.Parent)
+	}
+	if rootSpan.Attrs["outcome"] != "done" || rootSpan.Attrs["kind"] != "gola" {
+		t.Fatalf("root attrs %v", rootSpan.Attrs)
+	}
+	for _, name := range []string{"queue", "replica", "commit"} {
+		for _, s := range byName[name] {
+			parent, ok := ids[s.Parent]
+			if !ok || parent.Name != "job" {
+				t.Fatalf("%s span parent %d does not resolve to the job span", name, s.Parent)
+			}
+			if s.StartNS < parent.StartNS {
+				t.Fatalf("%s starts before its parent", name)
+			}
+			if s.StartNS+s.DurNS > parent.StartNS+parent.DurNS {
+				t.Fatalf("%s ends after its parent", name)
+			}
+		}
+	}
+	// Snapshot ordering: by start time.
+	for i := 1; i < len(spans); i++ {
+		if spans[i].StartNS < spans[i-1].StartNS {
+			t.Fatal("spans not sorted by start time")
+		}
+	}
+}
+
+func TestTraceSnapshotOpenSpans(t *testing.T) {
+	tr := NewTrace("live")
+	root := tr.Start(0, "job", nil)
+	spans := tr.Snapshot()
+	if len(spans) != 1 || spans[0].DurNS != -1 {
+		t.Fatalf("open span snapshot: %+v", spans)
+	}
+	tr.End(root)
+	spans = tr.Snapshot()
+	if spans[0].DurNS < 0 {
+		t.Fatal("ended span still marked open")
+	}
+}

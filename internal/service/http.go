@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"time"
+
+	"mcopt/internal/obs"
 )
 
 // API routes (all under /v1 except the operational probes):
@@ -14,10 +16,15 @@ import (
 //	GET    /v1/jobs/{id}        job status
 //	GET    /v1/jobs/{id}/events NDJSON stream: state transitions + engine events
 //	GET    /v1/jobs/{id}/result the committed result artifact (done jobs)
+//	GET    /v1/jobs/{id}/trace  span timeline: submit → queue → replica[i] → commit
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /healthz             liveness
 //	GET    /readyz              readiness (503 while draining)
-//	GET    /metricsz            queue gauges + aggregated engine telemetry
+//	GET    /metrics             Prometheus text exposition of the obs registry
+//	GET    /metricsz            legacy human-readable telemetry view
+//
+// Every route runs under the obs middleware, which records request counts
+// and latency histograms per route pattern and status code.
 
 // maxSpecBytes bounds a submitted spec (inline netlists included).
 const maxSpecBytes = 4 << 20
@@ -36,17 +43,26 @@ func NewHandler(m *Manager, cfg HandlerConfig) http.Handler {
 	}
 	s := &server{m: m}
 	mux := http.NewServeMux()
-	timed := func(h http.HandlerFunc) http.Handler {
-		return http.TimeoutHandler(h, cfg.RequestTimeout, `{"error":"request timed out"}`)
+	// handle registers pattern with the obs middleware (the route label is
+	// the pattern, so cardinality is fixed by this table) around the
+	// request-timeout wrapper.
+	handle := func(pattern string, h http.HandlerFunc, timed bool) {
+		var wrapped http.Handler = h
+		if timed {
+			wrapped = http.TimeoutHandler(h, cfg.RequestTimeout, `{"error":"request timed out"}`)
+		}
+		mux.Handle(pattern, m.obs.instrument(pattern, wrapped))
 	}
-	mux.Handle("POST /v1/jobs", timed(s.submit))
-	mux.Handle("GET /v1/jobs/{id}", timed(s.status))
-	mux.Handle("GET /v1/jobs/{id}/result", timed(s.result))
-	mux.Handle("DELETE /v1/jobs/{id}", timed(s.cancel))
-	mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
-	mux.Handle("GET /healthz", timed(s.healthz))
-	mux.Handle("GET /readyz", timed(s.readyz))
-	mux.Handle("GET /metricsz", timed(s.metricsz))
+	handle("POST /v1/jobs", s.submit, true)
+	handle("GET /v1/jobs/{id}", s.status, true)
+	handle("GET /v1/jobs/{id}/result", s.result, true)
+	handle("GET /v1/jobs/{id}/trace", s.trace, true)
+	handle("DELETE /v1/jobs/{id}", s.cancel, true)
+	handle("GET /v1/jobs/{id}/events", s.events, false) // long-lived by design
+	handle("GET /healthz", s.healthz, true)
+	handle("GET /readyz", s.readyz, true)
+	handle("GET /metrics", s.metrics, true)
+	handle("GET /metricsz", s.metricsz, true)
 	return mux
 }
 
@@ -214,6 +230,34 @@ func (s *server) readyz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// metrics serves the obs registry in Prometheus text exposition format —
+// the machine-readable surface scrapers, alerts, and the auto-tuner consume.
+func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.ContentType)
+	if err := s.m.Registry().WritePrometheus(w); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// trace serves a job's span timeline as NDJSON: the committed trace file
+// for terminal jobs, a live snapshot otherwise.
+func (s *server) trace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	data, err := s.m.TraceData(j.ID)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_, _ = w.Write(data)
+}
+
+// metricsz is the legacy human-readable telemetry view (queue gauges plus
+// merged engine telemetry, rendered for terminals); scrapers should use
+// /metrics instead.
 func (s *server) metricsz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if err := s.m.RenderMetrics(w); err != nil {

@@ -3,9 +3,12 @@ package service
 import (
 	"context"
 	"slices"
+	"strconv"
 	"sync"
+	"time"
 
 	"mcopt/internal/metrics"
+	"mcopt/internal/obs"
 )
 
 // State is a job's lifecycle position. Transitions:
@@ -82,6 +85,19 @@ type Job struct {
 	Seq  int64  // submit order, preserved across restarts
 	Spec JobSpec
 
+	// enqueuedAt anchors the queue-wait histogram; for jobs restored by a
+	// restart scan it is the scan time, not the original submission.
+	// Wall-clock data never reaches the result artifact.
+	enqueuedAt time.Time
+
+	// trace records the job's span timeline (nil when obs is disabled).
+	// rootSpan/queueSpan/runSpan are span IDs inside it; the trace itself
+	// is concurrency-safe, the IDs are written before the runner starts.
+	trace     *obs.Trace
+	rootSpan  int
+	queueSpan int
+	runSpan   int
+
 	mu        sync.Mutex
 	state     State
 	errMsg    string
@@ -104,14 +120,34 @@ type subscriber struct {
 
 func newJob(id, key string, seq int64, spec JobSpec) *Job {
 	return &Job{
-		ID:    id,
-		Key:   key,
-		Seq:   seq,
-		Spec:  spec,
-		state: StateQueued,
-		subs:  map[*subscriber]struct{}{},
-		done:  make(chan struct{}),
+		ID:         id,
+		Key:        key,
+		Seq:        seq,
+		Spec:       spec,
+		enqueuedAt: time.Now(),
+		state:      StateQueued,
+		subs:       map[*subscriber]struct{}{},
+		done:       make(chan struct{}),
 	}
+}
+
+// startTrace opens the job's span timeline: a root "job" span carrying the
+// spec's headline attributes, with a "queue" child measuring time until a
+// worker picks the job up. resumed marks jobs re-enqueued by a restart
+// scan — their earlier process's spans are gone, so the trace restarts.
+func (j *Job) startTrace(resumed bool) {
+	attrs := map[string]string{
+		"kind":     j.Spec.Problem.Kind,
+		"strategy": j.Spec.Strategy,
+		"runs":     strconv.Itoa(j.Spec.Runs),
+		"budget":   strconv.FormatInt(j.Spec.Budget, 10),
+	}
+	if resumed {
+		attrs["resumed"] = "true"
+	}
+	j.trace = obs.NewTrace(j.ID)
+	j.rootSpan = j.trace.Start(0, "job", attrs)
+	j.queueSpan = j.trace.Start(j.rootSpan, "queue", nil)
 }
 
 // Status snapshots the job for the API.

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"crypto/rand"
 	"encoding/hex"
@@ -12,9 +13,12 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"mcopt/internal/atomicio"
+	"mcopt/internal/core"
 	"mcopt/internal/metrics"
+	"mcopt/internal/obs"
 )
 
 // Sentinel errors the HTTP layer maps onto status codes.
@@ -27,6 +31,9 @@ var (
 	// ErrDraining reports that the manager is shutting down and accepts no
 	// new work; the API surfaces it as 503.
 	ErrDraining = errors.New("service: draining")
+	// ErrNoTrace reports that a job has no span timeline (tracing disabled
+	// and no committed trace file); the API surfaces it as 404.
+	ErrNoTrace = errors.New("service: no trace recorded")
 )
 
 // ValidationError wraps a spec rejection so the API can answer 400 rather
@@ -55,6 +62,15 @@ type Config struct {
 	RunWorkers int
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
+	// Registry, when non-nil, receives the service metric families; by
+	// default the manager builds a version-labeled registry of its own.
+	// Either way /metrics exposes it via Manager.Registry.
+	Registry *obs.Registry
+	// DisableObs turns off per-job observability — the engine-hook metrics
+	// bridge and trace span recording. Lifecycle and HTTP metrics remain.
+	// The smoke test uses it to pin that observability never changes
+	// result bytes.
+	DisableObs bool
 }
 
 // Manager is the durable job queue: it persists every submitted spec,
@@ -73,6 +89,7 @@ type Manager struct {
 	nextSeq  int64
 	draining bool
 	agg      metrics.RunMetrics // merged engine telemetry of completed replicas
+	obs      *serverMetrics     // registry-backed service metrics
 
 	runCtx    context.Context
 	runCancel context.CancelFunc
@@ -102,11 +119,16 @@ func Open(cfg Config) (*Manager, error) {
 	if err := os.MkdirAll(filepath.Join(cfg.Dir, "jobs"), 0o755); err != nil {
 		return nil, fmt.Errorf("service: %w", err)
 	}
+	if cfg.Registry == nil {
+		cfg.Registry = defaultRegistry()
+	}
 	m := &Manager{
 		cfg:   cfg,
 		jobs:  map[string]*Job{},
 		byKey: map[string]string{},
+		obs:   newServerMetrics(cfg.Registry),
 	}
+	m.registerCollectGauges()
 	m.cond = sync.NewCond(&m.mu)
 	m.runCtx, m.runCancel = context.WithCancel(context.Background())
 	if err := m.scan(); err != nil {
@@ -168,6 +190,9 @@ func (m *Manager) scan() error {
 		case fileExists(filepath.Join(dir, errorFile)):
 			j.setState(StateFailed, readErrorFile(dir))
 		default:
+			if !m.cfg.DisableObs {
+				j.startTrace(true)
+			}
 			resumed = append(resumed, j)
 		}
 	}
@@ -234,23 +259,28 @@ func newID() (string, error) {
 func (m *Manager) Submit(spec JobSpec, key string) (job *Job, created bool, err error) {
 	spec.Normalize()
 	if err := spec.Validate(); err != nil {
+		m.obs.rejected.With(rejectInvalid).Inc()
 		return nil, false, &ValidationError{Err: err}
 	}
 	if _, err := compile(&spec); err != nil {
+		m.obs.rejected.With(rejectInvalid).Inc()
 		return nil, false, &ValidationError{Err: err}
 	}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.draining {
+		m.obs.rejected.With(rejectDraining).Inc()
 		return nil, false, ErrDraining
 	}
 	if key != "" {
 		if id, ok := m.byKey[key]; ok {
+			m.obs.idemHits.Inc()
 			return m.jobs[id], false, nil
 		}
 	}
 	if len(m.pending) >= m.cfg.MaxQueue {
+		m.obs.rejected.With(rejectQueueFull).Inc()
 		return nil, false, ErrQueueFull
 	}
 	id, err := newID()
@@ -279,6 +309,10 @@ func (m *Manager) Submit(spec JobSpec, key string) (job *Job, created bool, err 
 	if key != "" {
 		m.byKey[key] = id
 	}
+	if !m.cfg.DisableObs {
+		j.startTrace(false)
+	}
+	m.obs.submitted.Inc()
 	m.pending = append(m.pending, j)
 	m.cond.Signal()
 	return j, true, nil
@@ -356,7 +390,67 @@ func (m *Manager) markCancelled(j *Job) {
 		m.cfg.Logf("service: job %s: %v", j.ID, err)
 	}
 	j.setState(StateCancelled, "")
+	m.flushTrace(j, outcomeCancelled)
 	j.closeSubscribers()
+}
+
+// Job execution outcomes, the label values of mcoptd_jobs_completed_total.
+const (
+	outcomeDone      = "done"
+	outcomeFailed    = "failed"
+	outcomeCancelled = "cancelled"
+	outcomeRequeued  = "requeued"
+)
+
+// engineHook returns the registry bridge hook to tee into replica engines,
+// or nil when per-job observability is disabled.
+func (m *Manager) engineHook() core.Hook {
+	if m.cfg.DisableObs {
+		return nil
+	}
+	return m.obs.engine.Hook()
+}
+
+// flushTrace commits a terminal job's span timeline to its data directory
+// (trace.jsonl) via atomicio. Any spans still open — replicas of a
+// cancelled grid, the run span of a failed job — are closed as of now so
+// the file reconstructs a complete timeline.
+func (m *Manager) flushTrace(j *Job, outcome string) {
+	if j.trace == nil {
+		return
+	}
+	j.trace.Annotate(j.rootSpan, map[string]string{"outcome": outcome})
+	j.trace.EndOpen()
+	var buf bytes.Buffer
+	if err := j.trace.WriteJSONL(&buf); err != nil {
+		m.cfg.Logf("service: job %s: trace: %v", j.ID, err)
+		return
+	}
+	if err := atomicio.WriteFile(filepath.Join(m.jobDir(j.ID), traceFile), buf.Bytes(), 0o644); err != nil {
+		m.cfg.Logf("service: job %s: trace: %v", j.ID, err)
+	}
+}
+
+// TraceData returns a job's span timeline as JSONL: the committed trace
+// file once the job is terminal, else a live snapshot of the in-memory
+// trace (open spans carry dur_ns = -1). ErrNotFound for unknown jobs;
+// ErrNoTrace when tracing is disabled and no file was ever committed.
+func (m *Manager) TraceData(id string) ([]byte, error) {
+	j, err := m.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	if data, err := os.ReadFile(filepath.Join(m.jobDir(id), traceFile)); err == nil {
+		return data, nil
+	}
+	if j.trace == nil {
+		return nil, ErrNoTrace
+	}
+	var buf bytes.Buffer
+	if err := j.trace.WriteJSONL(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // worker pops pending jobs in FIFO order until drain.
@@ -392,8 +486,16 @@ func (m *Manager) execute(j *Job) {
 	m.cfg.Logf("service: job %s: running (%s, %d run(s), budget %d)",
 		j.ID, j.Spec.Problem.Kind, j.Spec.Runs, j.Spec.Budget)
 
-	err := run(ctx, j, m.jobDir(j.ID), m.cfg.RunWorkers, m.mergeMetrics)
+	m.obs.queueWait.Observe(time.Since(j.enqueuedAt).Seconds())
+	if j.trace != nil {
+		j.trace.End(j.queueSpan)
+		j.runSpan = j.trace.Start(j.rootSpan, "run", nil)
+	}
+	started := time.Now()
 
+	err := run(ctx, j, m.jobDir(j.ID), m.cfg.RunWorkers, m.mergeMetrics, m.engineHook())
+
+	m.obs.runSeconds.Observe(time.Since(started).Seconds())
 	m.mu.Lock()
 	m.running--
 	draining := m.draining
@@ -402,21 +504,32 @@ func (m *Manager) execute(j *Job) {
 	switch {
 	case err == nil:
 		j.setState(StateDone, "")
+		m.flushTrace(j, outcomeDone)
 		j.closeSubscribers()
+		m.obs.completed.With(outcomeDone).Inc()
 		m.cfg.Logf("service: job %s: done", j.ID)
 	case j.isCancelled():
 		m.markCancelled(j)
+		m.obs.completed.With(outcomeCancelled).Inc()
 		m.cfg.Logf("service: job %s: cancelled", j.ID)
 	case draining && errors.Is(err, context.Canceled):
 		// Interrupted by shutdown: the journal holds every completed
 		// replica, nothing terminal is recorded, so the next Open re-enqueues
-		// and resumes this job.
+		// and resumes this job. The in-memory trace dies with the process;
+		// the restart scan opens a fresh one marked resumed.
 		j.requeue()
+		if j.trace != nil {
+			j.trace.Annotate(j.runSpan, map[string]string{"outcome": outcomeRequeued})
+			j.trace.End(j.runSpan)
+		}
+		m.obs.completed.With(outcomeRequeued).Inc()
 		m.cfg.Logf("service: job %s: interrupted by drain; will resume on restart", j.ID)
 	default:
 		m.persistFailure(j, err)
 		j.setState(StateFailed, err.Error())
+		m.flushTrace(j, outcomeFailed)
 		j.closeSubscribers()
+		m.obs.completed.With(outcomeFailed).Inc()
 		m.cfg.Logf("service: job %s: failed: %v", j.ID, err)
 	}
 }

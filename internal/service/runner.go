@@ -69,8 +69,11 @@ func streamedKind(k core.EventKind) bool {
 // restore recorded replicas, compute the remainder on the scheduler, append
 // each fresh replica to the journal, and commit the result artifact
 // atomically. agg, when non-nil, receives the merged engine telemetry of
-// the freshly computed replicas.
-func run(ctx context.Context, j *Job, dir string, workers int, agg func(*metrics.RunMetrics)) (retErr error) {
+// the freshly computed replicas; engineHook, when non-nil, is teed into
+// every replica's event stream (the obs registry bridge). Neither observer
+// can influence the search, so the result artifact is byte-identical with
+// or without them — the smoke test's obs-off stage pins this.
+func run(ctx context.Context, j *Job, dir string, workers int, agg func(*metrics.RunMetrics), engineHook core.Hook) (retErr error) {
 	spec := &j.Spec
 	prob, err := compile(spec)
 	if err != nil {
@@ -116,11 +119,15 @@ func run(ctx context.Context, j *Job, dir string, workers int, agg func(*metrics
 		},
 	}
 	report := sched.Run(n, opts, func(ctx context.Context, i int) error {
+		if j.trace != nil {
+			span := j.trace.Start(j.runSpan, "replica", map[string]string{"run": fmt.Sprintf("%d", i)})
+			defer j.trace.End(span)
+		}
 		g, err := prob.newG(spec)
 		if err != nil {
 			return err
 		}
-		hook := metrics.Tee(rm.Hook(), func(e core.Event) {
+		hook := metrics.Tee(rm.Hook(), engineHook, func(e core.Event) {
 			if streamedKind(e.Kind) {
 				j.publishEvent(metrics.RecordOf(fmt.Sprintf("run@%d", i), e))
 			}
@@ -167,6 +174,10 @@ func run(ctx context.Context, j *Job, dir string, workers int, agg func(*metrics
 		return err
 	}
 
+	if j.trace != nil {
+		span := j.trace.Start(j.runSpan, "commit", nil)
+		defer j.trace.End(span)
+	}
 	result := &Result{
 		Spec:    *spec,
 		Problem: prob.desc,
@@ -202,6 +213,7 @@ const (
 	resultFile    = "result.json"
 	errorFile     = "error.json"
 	cancelledFile = "cancelled"
+	traceFile     = "trace.jsonl"
 )
 
 // readResult loads a job's committed result artifact.

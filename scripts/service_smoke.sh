@@ -11,7 +11,13 @@
 #      no drain, no deferred cleanup, possibly a torn journal tail. Restart
 #      mcoptd over the same directory: the job must resume without being
 #      resubmitted, finish, and commit a result artifact byte-identical to
-#      the golden one.
+#      the golden one. While the resumed job runs, /metrics and the job's
+#      trace endpoint are scraped and validated: `mcoptctl stats -n 1`
+#      parses the exposition strictly, curl + grep check the required
+#      families, and `mcoptctl trace` re-parses the span timeline.
+#   3. Obs off: same spec with -obs=false; the committed result artifact
+#      must be byte-identical to the golden one — observability may never
+#      steer the search.
 #
 # Exits non-zero on the first failure.
 
@@ -32,19 +38,22 @@ echo "== build =="
 $GO build -o "$work/mcoptd" ./cmd/mcoptd
 $GO build -o "$work/mcoptctl" ./cmd/mcoptctl
 
-# start_server DATA_DIR LOG_FILE: starts mcoptd on an ephemeral port and sets
-# $server_pid and $base (the URL mcoptctl should talk to).
+# start_server DATA_DIR LOG_FILE [FLAGS...]: starts mcoptd on an ephemeral
+# port and sets $server_pid and $base (the URL mcoptctl should talk to).
 start_server() {
-    "$work/mcoptd" -addr 127.0.0.1:0 -data "$1" 2> "$2" &
+    dir=$1
+    logf=$2
+    shift 2
+    "$work/mcoptd" -addr 127.0.0.1:0 -data "$dir" "$@" 2> "$logf" &
     server_pid=$!
     addr=""
     tries=0
     while [ "$tries" -lt 100 ]; do
-        addr=$(sed -n 's/.*listening on \([0-9.]*:[0-9]*\).*/\1/p' "$2" | head -1)
+        addr=$(sed -n 's/.*listening on \([0-9.]*:[0-9]*\).*/\1/p' "$logf" | head -1)
         [ -n "$addr" ] && break
         if ! kill -0 "$server_pid" 2>/dev/null; then
             echo "FAIL: mcoptd exited during startup" >&2
-            cat "$2" >&2
+            cat "$logf" >&2
             exit 1
         fi
         tries=$((tries + 1))
@@ -79,8 +88,40 @@ grep -q '"state":"done"' "$work/events.ndjson" || {
 }
 "$work/mcoptctl" -addr "$base" status "$id" > /dev/null
 "$work/mcoptctl" -addr "$base" result "$id" -o "$work/golden.json"
+
+# Observability surfaces on a loaded server. stats -n 1 parses /metrics with
+# the strict exposition parser and exits non-zero on any malformation; the
+# raw scrape is then checked for the families a dashboard needs, and the
+# committed trace must reconstruct the submit → replica → commit timeline.
+"$work/mcoptctl" -addr "$base" stats -n 1 > /dev/null
+curl -fsS -D "$work/metrics1.hdr" "$base/metrics" > "$work/metrics1.prom"
+grep -qi '^content-type: text/plain; version=0.0.4' "$work/metrics1.hdr" || {
+    echo "FAIL: /metrics Content-Type is not the Prometheus text format" >&2
+    exit 1
+}
+for fam in mcoptd_http_requests_total mcoptd_http_request_seconds_bucket \
+           mcoptd_jobs mcoptd_queue_depth mcoptd_workers \
+           mcoptd_jobs_completed_total mcopt_engine_proposals_total \
+           mcopt_engine_level_proposals_total; do
+    grep -q "^$fam" "$work/metrics1.prom" || {
+        echo "FAIL: /metrics is missing family $fam" >&2
+        exit 1
+    }
+done
+grep -q 'version="' "$work/metrics1.prom" || {
+    echo "FAIL: /metrics samples are not labeled with the build version" >&2
+    exit 1
+}
+"$work/mcoptctl" -addr "$base" trace "$id" > "$work/trace1.jsonl"
+for span in '"name":"job"' '"name":"queue"' '"name":"replica"' '"name":"commit"' '"outcome":"done"'; do
+    grep -q "$span" "$work/trace1.jsonl" || {
+        echo "FAIL: trace is missing $span" >&2
+        exit 1
+    }
+done
 stop_server
 echo "ok: streamed $(wc -l < "$work/events.ndjson") records, artifact $(wc -c < "$work/golden.json") bytes"
+echo "ok: /metrics well-formed, trace has $(wc -l < "$work/trace1.jsonl") spans"
 
 echo "== stage 2: kill -9 mid-job, restart, resume =="
 start_server "$work/data2" "$work/server2.log"
@@ -101,10 +142,43 @@ wait "$server_pid" 2>/dev/null || true
 server_pid=""
 
 start_server "$work/data2" "$work/server2b.log"
+# Scrape the observability surfaces while the resumed job is in flight: the
+# exposition must parse strictly and the trace endpoint must serve a live
+# snapshot (or the committed file, if the job won the race) without a
+# malformed line in either.
+"$work/mcoptctl" -addr "$base" stats -n 1 > /dev/null
+curl -fsS "$base/metrics" > "$work/metrics2.prom"
+grep -q '^mcoptd_jobs{' "$work/metrics2.prom" || {
+    echo "FAIL: /metrics during resume is missing the job-state gauges" >&2
+    exit 1
+}
+"$work/mcoptctl" -addr "$base" trace "$id2" > "$work/trace-live.jsonl"
+grep -q '"name":"job"' "$work/trace-live.jsonl" || {
+    echo "FAIL: live trace has no root span" >&2
+    exit 1
+}
 "$work/mcoptctl" -addr "$base" watch "$id2" > "$work/resume-events.ndjson"
 "$work/mcoptctl" -addr "$base" result "$id2" -o "$work/resumed.json"
+"$work/mcoptctl" -addr "$base" trace "$id2" > "$work/trace2.jsonl"
+grep -q '"name":"commit"' "$work/trace2.jsonl" || {
+    echo "FAIL: committed trace after resume has no commit span" >&2
+    exit 1
+}
 stop_server
 cmp "$work/golden.json" "$work/resumed.json"
-echo "ok: resumed artifact byte-identical after kill -9"
+echo "ok: resumed artifact byte-identical after kill -9; trace and /metrics stayed well-formed"
+
+echo "== stage 3: obs disabled, byte-identical result =="
+start_server "$work/data3" "$work/server3.log" -obs=false
+id3=$("$work/mcoptctl" -addr "$base" submit -spec "$work/spec.json" -wait 2> /dev/null)
+"$work/mcoptctl" -addr "$base" result "$id3" -o "$work/noobs.json"
+# No trace with obs off — and no influence on the result bytes either.
+if "$work/mcoptctl" -addr "$base" trace "$id3" > /dev/null 2>&1; then
+    echo "FAIL: trace endpoint served spans despite -obs=false" >&2
+    exit 1
+fi
+stop_server
+cmp "$work/golden.json" "$work/noobs.json"
+echo "ok: -obs=false result byte-identical — observability never steers the search"
 
 echo "service-smoke: all stages passed"
