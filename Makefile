@@ -26,11 +26,12 @@ bench:
 
 # Machine-readable results for the evaluation-kernel micro-benchmarks
 # (BenchmarkSwapEval / BenchmarkSwapApply / BenchmarkReinsertEval /
-# BenchmarkSwapEvalLarge) and the hook overhead suite (BenchmarkFigure1Hooks,
-# BenchmarkHookObs), for tracking kernel and telemetry regressions over
-# time. The output is committed as BENCH_kernel.json.
+# BenchmarkSwapEvalLarge / BenchmarkBatchSwapEval), the engine suite
+# (BenchmarkTempering), and the hook overhead suite (BenchmarkFigure1Hooks,
+# BenchmarkHookObs), for tracking kernel, engine, and telemetry regressions
+# over time. The output is committed as BENCH_kernel.json.
 bench-json:
-	$(GO) test -json -run '^$$' -bench 'BenchmarkSwapEval$$|BenchmarkSwapApply$$|BenchmarkReinsertEval$$|BenchmarkSwapEvalLarge|BenchmarkFigure1Hooks$$|BenchmarkHookObs$$' -benchmem . > BENCH_kernel.json
+	$(GO) test -json -run '^$$' -bench 'BenchmarkSwapEval$$|BenchmarkSwapApply$$|BenchmarkReinsertEval$$|BenchmarkSwapEvalLarge|BenchmarkBatchSwapEval|BenchmarkTempering|BenchmarkFigure1Hooks$$|BenchmarkHookObs$$' -benchmem . > BENCH_kernel.json
 
 # Regenerate the paper's tables at paper budgets (writes to stdout).
 tables:

@@ -402,6 +402,59 @@ func BenchmarkHookObs(b *testing.B) {
 	}
 }
 
+// BenchmarkTempering measures the replica-exchange engine's aggregate
+// throughput: each chain gets the same 1200-move slice, so the budget grows
+// with K and the moves/s metric is the whole-ladder rate. On a multi-core
+// host K=8 should approach 8× the K=1 rate (the chains step on independent
+// workers between barriers); on a single core the K variants stay near par,
+// which bounds the coordination overhead instead.
+func BenchmarkTempering(b *testing.B) {
+	nl := mcopt.RandomGraph(mcopt.Stream("bench/pt", 1), 15, 150)
+	start := mcopt.RandomArrangement(nl, mcopt.Stream("bench/pt-start", 1))
+	for _, k := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			var moves int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sol := mcopt.NewLinearSolution(start.Clone(), mcopt.PairwiseInterchange)
+				res := mcopt.Tempering{G: mcopt.GOne(), Chains: k, ExchangeEvery: 256}.
+					Run(sol, mcopt.NewBudget(int64(k)*1200), mcopt.DeriveStream("bench/pt-run", 1, uint64(i)))
+				moves += res.Moves
+			}
+			b.ReportMetric(float64(moves)/b.Elapsed().Seconds(), "moves/s")
+		})
+	}
+}
+
+// BenchmarkBatchSwapEval measures per-candidate evaluation cost under
+// batching: one op is one evaluated swap candidate, so ns/op across the B
+// variants shows how far the per-batch setup (settle + the sorted
+// committed-maxima index) amortizes. B=1 pays the setup on every candidate
+// and bounds the worst case; the serial kernel baselines are
+// BenchmarkSwapEval and BenchmarkSwapEvalLarge. The instance is a large
+// sparse graph (n=4096, 2 nets per cell): 64 tree blocks, so the shared
+// index is a real fraction of a candidate's work. On dense paper-regime
+// instances the per-candidate net walks dominate and the B variants
+// converge — amortization grows with block count over nets touched.
+func BenchmarkBatchSwapEval(b *testing.B) {
+	nl := mcopt.RandomGraph(mcopt.Stream("bench/batch", 1), 4096, 8192)
+	start := mcopt.RandomArrangement(nl, mcopt.Stream("bench/batch-start", 1))
+	for _, batch := range []int{1, 16, 64} {
+		b.Run(fmt.Sprintf("B=%d", batch), func(b *testing.B) {
+			sol := mcopt.NewLinearSolution(start.Clone(), mcopt.PairwiseInterchange)
+			r := mcopt.DeriveStream("bench/batch-run", 1, uint64(batch))
+			deltas := make([]float64, batch)
+			sol.ProposeBatch(r, deltas) // warm the scratch: steady state is 0 allocs/op
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n += batch {
+				sol.ProposeBatch(r, deltas)
+			}
+		})
+	}
+}
+
 func BenchmarkFigure2GOLA(b *testing.B) {
 	nl := mcopt.RandomGraph(mcopt.Stream("bench/fig2", 1), 15, 150)
 	start := mcopt.RandomArrangement(nl, mcopt.Stream("bench/fig2-start", 1))

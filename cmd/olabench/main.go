@@ -5,6 +5,7 @@
 //
 //	olabench [-table all|4.1|4.2a|4.2b|4.2c|4.2d] [-seed N] [-scale F]
 //	         [-plateau accept|accept+reset|reject] [-seq] [-workers N] [-timeout D]
+//	         [-engine fig1|tempering] [-chains 4] [-exchange-every 256] [-batch B]
 //	         [-checkpoint DIR] [-resume]
 //	         [-metrics] [-events out.jsonl] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
@@ -57,6 +58,10 @@ func main() {
 	plateau := flag.String("plateau", "accept", "zero-delta policy: accept, accept+reset, reject")
 	seq := flag.Bool("seq", false, "run cells sequentially (same as -workers 1)")
 	workers := flag.Int("workers", 0, "cell scheduler width (0 = all cores); output is identical for any value")
+	engine := flag.String("engine", "fig1", "engine behind Figure-1 methods: fig1 (serial walk) or tempering (replica exchange)")
+	chains := flag.Int("chains", 4, "tempering chain count (with -engine=tempering)")
+	exchangeEvery := flag.Int64("exchange-every", 256, "tempering moves per chain between exchange attempts")
+	batch := flag.Int("batch", 0, "evaluate proposals in blocks of this size (0/1 = serial); a distinct deterministic trajectory")
 	timeout := flag.Duration("timeout", 0, "stop after this wall-clock limit, flushing partial tables (0 = none)")
 	ckptDir := flag.String("checkpoint", "", "journal completed cells to write-ahead logs under this directory")
 	resume := flag.Bool("resume", false, "continue from the journals left in -checkpoint by an earlier run")
@@ -129,10 +134,22 @@ func main() {
 	ctx, cancel := sched.CLIContext(*timeout)
 	defer cancel()
 
+	switch *engine {
+	case "fig1", "tempering":
+	default:
+		fmt.Fprintf(os.Stderr, "olabench: unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
 	cfg := experiment.Config{
 		Seed:       *seed,
 		Sequential: *seq,
 		Exec:       sched.Options{Workers: *workers, Ctx: ctx, Checkpoint: ckpt},
+		Batch:      *batch,
+	}
+	if *engine == "tempering" {
+		cfg.Engine = *engine
+		cfg.Chains = *chains
+		cfg.ExchangeEvery = *exchangeEvery
 	}
 	switch *plateau {
 	case "accept":

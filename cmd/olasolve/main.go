@@ -4,6 +4,8 @@
 // Usage:
 //
 //	olasolve -in instance.nl [-g "g = 1"] [-strategy fig1|fig2]
+//	         [-engine fig1|tempering] [-chains 4] [-exchange-every 256]
+//	         [-batch B] [-workers N]
 //	         [-budget 2400] [-seed 1] [-start random|goto] [-move pairwise|single]
 //	         [-metrics] [-events run.jsonl]
 //
@@ -11,6 +13,12 @@
 // arrangement, its density, and run statistics are printed. -metrics adds
 // the run diagnostics (per-level acceptance rates, Δ histogram,
 // moves-to-best); -events streams every engine decision as JSONL.
+//
+// -engine=tempering replaces the Figure-1 walk with the replica-exchange
+// engine: -chains coupled chains at staggered temperature levels swapping
+// states every -exchange-every moves, stepped by -workers goroutines (0 =
+// all cores; the result is byte-identical for every worker count). -batch
+// evaluates proposals in blocks of B on move classes that support it.
 package main
 
 import (
@@ -34,6 +42,11 @@ func main() {
 	in := flag.String("in", "", "instance file (text netlist format); required")
 	gName := flag.String("g", "g = 1", `g class name (as in the paper's tables, e.g. "Six Temperature Annealing") or "[COHO83a]"`)
 	strategy := flag.String("strategy", "fig1", "search strategy: fig1 or fig2")
+	engine := flag.String("engine", "fig1", "fig1 engine: fig1 (serial walk) or tempering (replica exchange)")
+	chains := flag.Int("chains", 4, "tempering chain count")
+	exchangeEvery := flag.Int64("exchange-every", 256, "tempering moves per chain between exchange attempts")
+	batch := flag.Int("batch", 0, "evaluate proposals in blocks of this size (0/1 = serial)")
+	workers := flag.Int("workers", 0, "tempering worker goroutines (0 = all cores); result identical for any value")
 	budget := flag.Int64("budget", 2400, "move budget (2400 = the paper's 12 VAX seconds)")
 	seed := flag.Uint64("seed", 1, "random stream seed")
 	startKind := flag.String("start", "random", "starting arrangement: random or goto")
@@ -82,9 +95,19 @@ func main() {
 		os.Exit(2)
 	}
 
-	g, err := buildG(*gName, nl)
+	g, ys, err := buildG(*gName, nl)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "olasolve: %v\n", err)
+		os.Exit(2)
+	}
+	switch *engine {
+	case "fig1", "tempering":
+	default:
+		fmt.Fprintf(os.Stderr, "olasolve: unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
+	if *engine == "tempering" && *strategy != "fig1" {
+		fmt.Fprintln(os.Stderr, "olasolve: -engine=tempering requires -strategy=fig1")
 		os.Exit(2)
 	}
 
@@ -113,7 +136,15 @@ func main() {
 	var res core.Result
 	switch *strategy {
 	case "fig1":
-		res = core.Figure1{G: g, Hook: hook}.Run(sol, b, r)
+		if *engine == "tempering" {
+			res = core.Tempering{
+				G: g, Chains: *chains, ExchangeEvery: *exchangeEvery,
+				Temps: core.TemperingLadder(ys, *chains),
+				Batch: *batch, Workers: *workers, Hook: hook,
+			}.Run(sol, b, r)
+		} else {
+			res = core.Figure1{G: g, Batch: *batch, Hook: hook}.Run(sol, b, r)
+		}
 	case "fig2":
 		res = core.Figure2{G: g, Hook: hook}.Run(sol, b, r)
 	default:
@@ -134,10 +165,21 @@ func main() {
 
 	best := res.Best.(*linarr.Solution)
 	fmt.Printf("instance:    %s (%d cells, %d nets)\n", *in, nl.NumCells(), nl.NumNets())
-	fmt.Printf("method:      %s under %s, %s moves\n", g.Name(), *strategy, kind)
+	method := *strategy
+	if *engine == "tempering" {
+		method = fmt.Sprintf("tempering/%d", *chains)
+	}
+	fmt.Printf("method:      %s under %s, %s moves\n", g.Name(), method, kind)
 	fmt.Printf("density:     %d -> %d (reduction %d)\n",
 		int(res.InitialCost), int(res.BestCost), int(res.Reduction()))
 	fmt.Printf("moves:       %d attempted, %d accepted, %d uphill\n", res.Moves, res.Accepted, res.Uphill)
+	if len(res.Chains) > 0 {
+		fmt.Printf("exchanges:   %d attempted, %d accepted\n", res.Exchanges, res.ExchangesAccepted)
+		for c, cs := range res.Chains {
+			fmt.Printf("chain %-2d     level %d (y=%.4g): %d moves, %d accepted, %d/%d swaps, final %d\n",
+				c, cs.Level, cs.Temp, cs.Moves, cs.Accepted, cs.Swaps, cs.SwapAttempts, int(cs.FinalCost))
+		}
+	}
 	fmt.Printf("arrangement:")
 	for _, c := range best.Arrangement().Order() {
 		fmt.Printf(" %d", c)
@@ -154,14 +196,16 @@ func main() {
 
 // buildG resolves a paper row label into a g instance, deriving the schedule
 // from the instance's own cost regime so that olasolve works out of the box
-// on instances of any size.
-func buildG(name string, nl *netlist.Netlist) (core.G, error) {
+// on instances of any size. The resolved schedule is returned alongside
+// (nil for schedule-free classes) so the tempering engine can pin its
+// exchange ladder to the same temperatures.
+func buildG(name string, nl *netlist.Netlist) (core.G, []float64, error) {
 	if name == "[COHO83a]" {
-		return gfunc.CohoonSahni(nl.NumNets()), nil
+		return gfunc.CohoonSahni(nl.NumNets()), nil, nil
 	}
 	b, ok := gfunc.ByName(name)
 	if !ok {
-		return nil, fmt.Errorf("unknown g class %q (use the paper's table labels)", name)
+		return nil, nil, fmt.Errorf("unknown g class %q (use the paper's table labels)", name)
 	}
 	var ys []float64
 	if b.NeedsY {
@@ -179,5 +223,5 @@ func buildG(name string, nl *netlist.Netlist) (core.G, error) {
 			}
 		}
 	}
-	return b.Build(ys), nil
+	return b.Build(ys), ys, nil
 }

@@ -29,7 +29,8 @@ func main() {
 	instances := flag.Int("instances", 10, "instances per size")
 	budget := flag.Int64("budget", experiment.Seconds(12), "moves per instance per method")
 	netsPerCell := flag.Int("netspercell", 10, "nets per cell (paper: 150/15 = 10)")
-	throughput := flag.Bool("throughput", true, "report wall-clock Monte Carlo moves/sec per size")
+	throughput := flag.Bool("throughput", true, "report wall-clock moves/sec per size, one column per engine")
+	chains := flag.Int("chains", 0, "add a g = 1 parallel-tempering lane with this many chains (0 = off)")
 	workers := flag.Int("workers", 0, "cell scheduler width (0 = all cores); output is identical for any value")
 	timeout := flag.Duration("timeout", 0, "stop after this wall-clock limit, keeping completed sizes (0 = none)")
 	ckptDir := flag.String("checkpoint", "", "journal completed cells to a write-ahead log under this directory")
@@ -53,6 +54,7 @@ func main() {
 		Budget:      *budget,
 		Seed:        *seed,
 		Throughput:  *throughput,
+		Chains:      *chains,
 		Exec:        sched.Options{Workers: *workers, Ctx: ctx, Checkpoint: ckpt},
 	}
 	for _, f := range strings.Split(*sizes, ",") {

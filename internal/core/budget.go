@@ -55,6 +55,21 @@ func (b *Budget) TrySpend() bool {
 	return true
 }
 
+// SpendUpTo consumes up to n moves in one call and returns how many were
+// granted (possibly zero). It is the batched form of TrySpend: a grant of g
+// leaves the budget exactly as g individual TrySpend calls would have, so
+// engines that evaluate proposals in blocks (Tempering rounds, batched
+// Figure 1) amortize the per-move accounting without changing what a move
+// costs. Deadline and context expiry are checked once per call, at entry.
+func (b *Budget) SpendUpTo(n int64) int64 {
+	if n <= 0 || b.Exhausted() {
+		return 0
+	}
+	g := min(n, b.limit-b.used)
+	b.used += g
+	return g
+}
+
 // Exhausted reports whether no allowance remains.
 func (b *Budget) Exhausted() bool {
 	if b.used >= b.limit {

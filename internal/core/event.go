@@ -36,6 +36,14 @@ const (
 	// final cost and Move the total budget mark, so consumers can tell how
 	// long the run actually ran (not just when it last improved).
 	EventEnd
+	// EventExchange fires when the Tempering engine accepts a replica
+	// exchange between a chain and its next-hotter neighbor. Chain is the
+	// colder chain's index, Temp its level, Delta the cost difference
+	// (hotter − colder) that the swap moved down the ladder.
+	EventExchange
+	// EventExchangeReject fires when an attempted replica exchange is
+	// declined; fields are as for EventExchange.
+	EventExchangeReject
 )
 
 // String returns the JSONL wire name of the kind.
@@ -57,6 +65,10 @@ func (k EventKind) String() string {
 		return "best"
 	case EventEnd:
 		return "end"
+	case EventExchange:
+		return "exchange"
+	case EventExchangeReject:
+		return "exchange-reject"
 	default:
 		return "unknown"
 	}
@@ -70,6 +82,9 @@ type Event struct {
 	Move int64
 	// Temp is the 1-based temperature level in effect.
 	Temp int
+	// Chain is the 0-based tempering chain the event belongs to; always 0
+	// for the single-chain engines.
+	Chain int
 	// Delta is the proposed cost change, set on propose/accept/reject.
 	Delta float64
 	// Cost is the current cost after the event.

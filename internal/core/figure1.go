@@ -27,6 +27,17 @@ type Figure1 struct {
 	// is the library default.
 	Plateau PlateauPolicy
 
+	// Batch, when > 1 and the solution implements BatchEvaluator, switches
+	// to the batched loop: proposals are drawn and evaluated in blocks of
+	// Batch against the committed state, amortizing per-evaluation setup.
+	// Each evaluated candidate costs one budget unit; candidates drawn
+	// after an accepted one are discarded undecided (their deltas were
+	// measured against the pre-move state) but still charged, so the
+	// budget keeps counting cost evaluations. 0 and 1 run the serial loop
+	// unchanged; Batch > 1 consumes the random stream in a different
+	// order, so it is a distinct (still deterministic) trajectory.
+	Batch int
+
 	// Hook, if non-nil, receives an Event at every decision point: run
 	// start/end, every proposal with its accept/reject resolution, every
 	// temperature advance, and every best-so-far improvement. Nil costs
@@ -44,6 +55,11 @@ func (f Figure1) Run(s Solution, b *Budget, r *rand.Rand) Result {
 	k := f.G.K()
 	if k < 1 {
 		panic(fmt.Sprintf("core: Figure1.Run: g class %q has k = %d", f.G.Name(), k))
+	}
+	if f.Batch > 1 {
+		if be, ok := s.(BatchEvaluator); ok {
+			return f.runBatched(be, b, r)
+		}
 	}
 
 	cost := s.Cost()

@@ -49,6 +49,28 @@ type LevelStat struct {
 	Uphill int64
 }
 
+// ChainStat aggregates one tempering chain's activity. The chain index is
+// the slot in Result.Chains; chain 0 is the coldest.
+type ChainStat struct {
+	// Level is the chain's fixed 1-based temperature level.
+	Level int
+	// Temp is the chain's exchange-criterion temperature.
+	Temp float64
+	// Moves counts budget units the chain consumed (evaluated proposals,
+	// including batch candidates discarded after an accept).
+	Moves int64
+	// Accepted counts committed moves; Uphill the cost-increasing subset.
+	Accepted int64
+	Uphill   int64
+	// SwapAttempts and Swaps count replica exchanges attempted and accepted
+	// between this chain and the next-hotter one (index+1); the hottest
+	// chain's counters are always zero.
+	SwapAttempts int64
+	Swaps        int64
+	// FinalCost is the cost held in the chain's slot when the run stopped.
+	FinalCost float64
+}
+
 // Result records the outcome of one engine run.
 type Result struct {
 	// Best is a deep copy of the lowest-cost state visited.
@@ -80,6 +102,13 @@ type Result struct {
 	// Completed reports that the strategy's own stopping rule fired (the
 	// counter reached n at the final temperature) rather than the budget.
 	Completed bool
+	// Chains holds per-chain activity under the Tempering engine (chain 0
+	// coldest); nil for the single-chain engines.
+	Chains []ChainStat
+	// Exchanges and ExchangesAccepted total replica-exchange attempts and
+	// accepted swaps across all adjacent chain pairs (Tempering only).
+	Exchanges         int64
+	ExchangesAccepted int64
 }
 
 // Reduction returns InitialCost − BestCost, the quantity the paper's tables

@@ -23,6 +23,19 @@ type Config struct {
 	Plateau core.PlateauPolicy
 	// N is the engines' counter threshold (0 = budget-split clock only).
 	N int
+	// Engine selects the engine behind Figure-1 methods: "" or "fig1" is
+	// the serial walk, "tempering" the replica-exchange engine (Chains
+	// coupled chains exchanging every ExchangeEvery moves). Figure-2
+	// methods are unaffected.
+	Engine string
+	// Chains and ExchangeEvery configure the tempering engine (0 = the
+	// engine defaults: 4 chains, 256 moves).
+	Chains        int
+	ExchangeEvery int64
+	// Batch, when > 1, evaluates proposals in blocks of Batch on solutions
+	// that support it (a distinct deterministic trajectory; see
+	// core.Figure1.Batch).
+	Batch int
 	// Sequential forces a single worker, for deterministic profiling.
 	// Equivalent to Exec.Workers = 1; kept for the CLIs' -seq flag.
 	Sequential bool
@@ -160,6 +173,7 @@ func runFingerprint(suite *Suite, methods []Method, budgets []int64, cfg Config)
 		fmt.Sprint(suite.Size()), fmt.Sprint(suite.StartDensities()),
 		fmt.Sprint(budgets),
 		fmt.Sprint(cfg.Seed), fmt.Sprint(int(cfg.MoveKind)), fmt.Sprint(int(cfg.Plateau)), fmt.Sprint(cfg.N),
+		cfg.Engine, fmt.Sprint(cfg.Chains), fmt.Sprint(cfg.ExchangeEvery), fmt.Sprint(cfg.Batch),
 	}
 	for _, m := range methods {
 		fields = append(fields, m.Name, fmt.Sprint(int(m.Strategy)))
@@ -192,7 +206,17 @@ func runCell(ctx context.Context, suite *Suite, k cellKey, m Method, budget int6
 	var res core.Result
 	switch m.Strategy {
 	case Fig1:
-		res = core.Figure1{G: g, N: cfg.N, Plateau: cfg.Plateau, Hook: hook}.Run(sol, b, r)
+		if cfg.Engine == "tempering" {
+			// Workers: 1 — the suite grid is already the parallel unit here;
+			// the engine's own worker pool is for single-job deployments.
+			// Results are byte-identical either way.
+			res = core.Tempering{
+				G: g, Chains: cfg.Chains, ExchangeEvery: cfg.ExchangeEvery,
+				Batch: cfg.Batch, Workers: 1, Plateau: cfg.Plateau, Hook: hook,
+			}.Run(sol, b, r)
+		} else {
+			res = core.Figure1{G: g, N: cfg.N, Plateau: cfg.Plateau, Batch: cfg.Batch, Hook: hook}.Run(sol, b, r)
+		}
 	case Fig2:
 		res = core.Figure2{G: g, N: cfg.N, Hook: hook}.Run(sol, b, r)
 	default:

@@ -31,10 +31,16 @@ type SweepParams struct {
 	Budget int64
 	// Seed drives generation and runs.
 	Seed uint64
-	// Throughput adds a wall-clock moves/sec column per size, making kernel
-	// scaling regressions visible from the CLI. Off by default: the column
-	// is machine-dependent, so deterministic (golden-tested) tables omit it.
+	// Throughput adds wall-clock moves/sec columns per size — one per
+	// engine, so Figure 1 and tempering are comparable in one table —
+	// making kernel scaling regressions visible from the CLI. Off by
+	// default: the columns are machine-dependent, so deterministic
+	// (golden-tested) tables omit them.
 	Throughput bool
+	// Chains, when positive, adds a parallel-tempering lane: a g = 1 run
+	// under the Tempering engine with this many chains, reported as its own
+	// reduction column (and throughput column when Throughput is set).
+	Chains int
 	// Exec carries the execution-layer knobs (worker count, cancellation).
 	Exec sched.Options
 }
@@ -54,41 +60,49 @@ func DefaultSweepParams(seed uint64) SweepParams {
 // instance generation and every run derive from labels fixed by the size —
 // so the sweep schedules them all at once on the shared execution layer.
 type sweepCell struct {
-	start     int
-	gotoRed   int
-	optRed    int
-	optOK     bool
-	saRed     int
-	goneRed   int
-	mcMoves   int64
-	mcElapsed time.Duration
+	start   int
+	gotoRed int
+	optRed  int
+	optOK   bool
+	saRed   int
+	goneRed int
+	ptRed   int
+	// Per-engine wall-clock accounting: the two Figure-1 runs and the
+	// optional tempering run are timed separately, so the throughput
+	// columns compare engines rather than blending them.
+	f1Moves   int64
+	f1Elapsed time.Duration
+	ptMoves   int64
+	ptElapsed time.Duration
 }
 
-// encode serializes the cell for the checkpoint journal: seven fixed int64
-// fields plus the optOK flag. The wall-clock mcElapsed rides along so a
-// resumed sweep can still print a throughput column, though that column is
-// machine-dependent and excluded from the byte-identity guarantee.
+// encode serializes the cell for the checkpoint journal: ten fixed int64
+// fields plus the optOK flag. The wall-clock elapsed fields ride along so a
+// resumed sweep can still print throughput columns, though those columns
+// are machine-dependent and excluded from the byte-identity guarantee.
 func (c *sweepCell) encode() []byte {
-	p := make([]byte, 7*8+1)
+	p := make([]byte, 10*8+1)
 	for i, v := range []int64{int64(c.start), int64(c.gotoRed), int64(c.optRed),
-		int64(c.saRed), int64(c.goneRed), c.mcMoves, int64(c.mcElapsed)} {
+		int64(c.saRed), int64(c.goneRed), int64(c.ptRed),
+		c.f1Moves, int64(c.f1Elapsed), c.ptMoves, int64(c.ptElapsed)} {
 		binary.LittleEndian.PutUint64(p[i*8:], uint64(v))
 	}
 	if c.optOK {
-		p[7*8] = 1
+		p[10*8] = 1
 	}
 	return p
 }
 
 func (c *sweepCell) decode(p []byte) error {
-	if len(p) != 7*8+1 {
-		return fmt.Errorf("sweep cell payload is %d bytes, want %d", len(p), 7*8+1)
+	if len(p) != 10*8+1 {
+		return fmt.Errorf("sweep cell payload is %d bytes, want %d", len(p), 10*8+1)
 	}
 	v := func(i int) int64 { return int64(binary.LittleEndian.Uint64(p[i*8:])) }
 	c.start, c.gotoRed, c.optRed = int(v(0)), int(v(1)), int(v(2))
-	c.saRed, c.goneRed = int(v(3)), int(v(4))
-	c.mcMoves, c.mcElapsed = v(5), time.Duration(v(6))
-	c.optOK = p[7*8] == 1
+	c.saRed, c.goneRed, c.ptRed = int(v(3)), int(v(4)), int(v(5))
+	c.f1Moves, c.f1Elapsed = v(6), time.Duration(v(7))
+	c.ptMoves, c.ptElapsed = v(8), time.Duration(v(9))
+	c.optOK = p[10*8] == 1
 	return nil
 }
 
@@ -127,13 +141,19 @@ func SizeSweep(p SweepParams) (*Table, error) {
 			p.Instances, p.NetsPerCell, p.Budget),
 		Columns: []string{"start sum", "Goto", "6T-SA", "g = 1", "optimal"},
 	}
+	if p.Chains > 0 {
+		t.Columns = append(t.Columns, fmt.Sprintf("g=1 PT/%d", p.Chains))
+	}
 	if p.Throughput {
-		t.Columns = append(t.Columns, "moves/s")
+		t.Columns = append(t.Columns, "fig1 moves/s")
+		if p.Chains > 0 {
+			t.Columns = append(t.Columns, "PT moves/s")
+		}
 	}
 
 	// RNG stream labels depend only on the size, so build them per size row
 	// rather than per cell.
-	type sizeLabels struct{ netlist, start, sa, gone string }
+	type sizeLabels struct{ netlist, start, sa, gone, pt string }
 	labels := make([]sizeLabels, len(p.Sizes))
 	for s, cells := range p.Sizes {
 		labels[s] = sizeLabels{
@@ -141,6 +161,7 @@ func SizeSweep(p SweepParams) (*Table, error) {
 			start:   fmt.Sprintf("sweep/%d/start", cells),
 			sa:      fmt.Sprintf("sweep/%d/sa", cells),
 			gone:    fmt.Sprintf("sweep/%d/gone", cells),
+			pt:      fmt.Sprintf("sweep/%d/pt", cells),
 		}
 	}
 
@@ -149,7 +170,8 @@ func SizeSweep(p SweepParams) (*Table, error) {
 	exec := p.Exec
 	jr, err := exec.Checkpoint.Journal("sweep", checkpoint.Fingerprint(
 		"experiment.SizeSweep", fmt.Sprint(p.Sizes), fmt.Sprint(p.NetsPerCell),
-		fmt.Sprint(p.Instances), fmt.Sprint(p.Budget), fmt.Sprint(p.Seed)))
+		fmt.Sprint(p.Instances), fmt.Sprint(p.Budget), fmt.Sprint(p.Seed),
+		fmt.Sprint(p.Chains)))
 	if err != nil {
 		return t, err
 	}
@@ -186,22 +208,37 @@ func SizeSweep(p SweepParams) (*Table, error) {
 			t0 := time.Now()
 			res := core.Figure1{G: g}.Run(sol, core.NewBudget(p.Budget).WithContext(ctx),
 				rng.Derive(label, p.Seed, uint64(i)))
-			c.mcElapsed += time.Since(t0)
-			c.mcMoves += res.Moves
+			c.f1Elapsed += time.Since(t0)
+			c.f1Moves += res.Moves
 			return int(res.Reduction())
 		}
 		b2, _ := gfunc.ByID(2)
 		c.saRed = run(b2.Build(b2.DefaultYs(scale)), lb.sa)
 		c.goneRed = run(gfunc.One(), lb.gone)
+		if p.Chains > 0 {
+			sol := linarr.NewSolution(start.Clone(), linarr.PairwiseInterchange)
+			t0 := time.Now()
+			res := core.Tempering{G: gfunc.One(), Chains: p.Chains, Workers: 1}.Run(sol,
+				core.NewBudget(p.Budget).WithContext(ctx), rng.Derive(lb.pt, p.Seed, uint64(i)))
+			c.ptElapsed = time.Since(t0)
+			c.ptMoves = res.Moves
+			c.ptRed = int(res.Reduction())
+		}
 		return jr.Append(ctx, j, c.encode())
 	})
 
+	rate := func(moves int64, elapsed time.Duration) string {
+		if sec := elapsed.Seconds(); sec > 0 {
+			return fmt.Sprintf("%.0f", float64(moves)/sec)
+		}
+		return "-"
+	}
 	for s, cells := range p.Sizes {
 		startSum, gotoRed, optRed := 0, 0, 0
-		saRed, goneRed := 0, 0
+		saRed, goneRed, ptRed := 0, 0, 0
 		optKnown := true
-		var mcMoves int64
-		var mcElapsed time.Duration
+		var f1Moves, ptMoves int64
+		var f1Elapsed, ptElapsed time.Duration
 		complete := true
 		for i := 0; i < p.Instances; i++ {
 			j := grid.Index(s, i)
@@ -219,8 +256,11 @@ func SizeSweep(p SweepParams) (*Table, error) {
 			}
 			saRed += c.saRed
 			goneRed += c.goneRed
-			mcMoves += c.mcMoves
-			mcElapsed += c.mcElapsed
+			ptRed += c.ptRed
+			f1Moves += c.f1Moves
+			f1Elapsed += c.f1Elapsed
+			ptMoves += c.ptMoves
+			ptElapsed += c.ptElapsed
 		}
 		if !complete {
 			// An interrupted sweep keeps only whole rows: partial sums would
@@ -238,12 +278,14 @@ func SizeSweep(p SweepParams) (*Table, error) {
 			fmt.Sprintf("%d", goneRed),
 			optCell,
 		}
+		if p.Chains > 0 {
+			row = append(row, fmt.Sprintf("%d", ptRed))
+		}
 		if p.Throughput {
-			rate := "-"
-			if sec := mcElapsed.Seconds(); sec > 0 {
-				rate = fmt.Sprintf("%.0f", float64(mcMoves)/sec)
+			row = append(row, rate(f1Moves, f1Elapsed))
+			if p.Chains > 0 {
+				row = append(row, rate(ptMoves, ptElapsed))
 			}
-			row = append(row, rate)
 		}
 		t.AddTextRow(fmt.Sprintf("n=%d", cells), row...)
 	}

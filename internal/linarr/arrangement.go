@@ -59,6 +59,10 @@ type Arrangement struct {
 	// so those range-adds collapse into one with an accumulated
 	// coefficient.
 	canonLo, canonHi, canonD int
+
+	// batch is the lazily allocated batched-evaluation scratch (see
+	// batch.go); clones start without one.
+	batch *batchEval
 }
 
 type spanChange struct{ net, lo, hi int }

@@ -24,6 +24,9 @@ type Record struct {
 	Move int64 `json:"move"`
 	// Temp is the 1-based temperature level in effect.
 	Temp int `json:"temp,omitempty"`
+	// Chain is the 0-based tempering chain (colder side of the pair for
+	// exchange events); omitted for single-chain engines.
+	Chain int `json:"chain,omitempty"`
 	// Delta is the proposed cost change (propose/accept/reject).
 	Delta float64 `json:"delta,omitempty"`
 	// Cost is the cost after the event.
@@ -39,6 +42,7 @@ func RecordOf(run string, e core.Event) Record {
 		Kind:  e.Kind.String(),
 		Move:  e.Move,
 		Temp:  e.Temp,
+		Chain: e.Chain,
 		Delta: e.Delta,
 		Cost:  e.Cost,
 		Best:  e.BestCost,

@@ -34,12 +34,20 @@ type EngineCollector struct {
 	levelProposed *obs.CounterVec
 	levelAccepted *obs.CounterVec
 
+	exchAttempts *obs.CounterVec
+	exchAccepts  *obs.CounterVec
+
 	mu     sync.Mutex
 	levels atomic.Pointer[[]levelPair] // index: level-1
+	pairs  atomic.Pointer[[]exchPair]  // index: colder chain of the pair
 }
 
 type levelPair struct {
 	proposed, accepted *obs.Counter
+}
+
+type exchPair struct {
+	attempts, accepts *obs.Counter
 }
 
 // NewEngineCollector registers the engine metric families on reg and
@@ -66,12 +74,20 @@ func NewEngineCollector(reg *obs.Registry) *EngineCollector {
 		levelAccepted: reg.CounterVec("mcopt_engine_level_accepted_total",
 			"Proposals accepted per temperature level.",
 			"level"),
+		exchAttempts: reg.CounterVec("mcopt_engine_exchange_attempts_total",
+			"Tempering replica-exchange attempts per adjacent chain pair (label \"c-c+1\", c the colder chain).",
+			"pair"),
+		exchAccepts: reg.CounterVec("mcopt_engine_exchange_accepts_total",
+			"Tempering replica exchanges accepted per adjacent chain pair.",
+			"pair"),
 	}
 	c.proposed = c.proposals.With("proposed")
 	c.accepted = c.proposals.With("accepted")
 	c.rejected = c.proposals.With("rejected")
 	empty := []levelPair{}
 	c.levels.Store(&empty)
+	emptyPairs := []exchPair{}
+	c.pairs.Store(&emptyPairs)
 	return c
 }
 
@@ -105,6 +121,33 @@ func (c *EngineCollector) level(temp int) levelPair {
 	return grown[temp-1]
 }
 
+// pair returns the cached exchange counter pair for the adjacent-chain pair
+// whose colder side is 0-based chain c, growing the cache like level does.
+// The label set is bounded by the chain count.
+func (c *EngineCollector) pair(chain int) exchPair {
+	if chain < 0 {
+		chain = 0
+	}
+	if cur := *c.pairs.Load(); chain < len(cur) {
+		return cur[chain]
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := *c.pairs.Load()
+	for len(cur) <= chain {
+		i := len(cur)
+		label := strconv.Itoa(i) + "-" + strconv.Itoa(i+1)
+		cur = append(cur, exchPair{
+			attempts: c.exchAttempts.With(label),
+			accepts:  c.exchAccepts.With(label),
+		})
+	}
+	grown := make([]exchPair, len(cur))
+	copy(grown, cur)
+	c.pairs.Store(&grown)
+	return grown[chain]
+}
+
 // Observe folds one engine event into the registry.
 func (c *EngineCollector) Observe(e core.Event) {
 	switch e.Kind {
@@ -123,6 +166,12 @@ func (c *EngineCollector) Observe(e core.Event) {
 	case core.EventBest:
 		c.improves.Inc()
 		c.bestCost.Set(e.BestCost)
+	case core.EventExchange:
+		p := c.pair(e.Chain)
+		p.attempts.Inc()
+		p.accepts.Inc()
+	case core.EventExchangeReject:
+		c.pair(e.Chain).attempts.Inc()
 	case core.EventEnd:
 		c.runsEnded.Inc()
 	}

@@ -503,14 +503,17 @@ func (m *Manager) execute(j *Job) {
 
 	switch {
 	case err == nil:
+		// Count before the state transition publishes: a client that polls
+		// the job to "done" and immediately scrapes /metrics must see the
+		// completion already counted.
+		m.obs.completed.With(outcomeDone).Inc()
 		j.setState(StateDone, "")
 		m.flushTrace(j, outcomeDone)
 		j.closeSubscribers()
-		m.obs.completed.With(outcomeDone).Inc()
 		m.cfg.Logf("service: job %s: done", j.ID)
 	case j.isCancelled():
-		m.markCancelled(j)
 		m.obs.completed.With(outcomeCancelled).Inc()
+		m.markCancelled(j)
 		m.cfg.Logf("service: job %s: cancelled", j.ID)
 	case draining && errors.Is(err, context.Canceled):
 		// Interrupted by shutdown: the journal holds every completed
@@ -526,10 +529,10 @@ func (m *Manager) execute(j *Job) {
 		m.cfg.Logf("service: job %s: interrupted by drain; will resume on restart", j.ID)
 	default:
 		m.persistFailure(j, err)
+		m.obs.completed.With(outcomeFailed).Inc()
 		j.setState(StateFailed, err.Error())
 		m.flushTrace(j, outcomeFailed)
 		j.closeSubscribers()
-		m.obs.completed.With(outcomeFailed).Inc()
 		m.cfg.Logf("service: job %s: failed: %v", j.ID, err)
 	}
 }

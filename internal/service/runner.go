@@ -28,10 +28,32 @@ type RunResult struct {
 	Accepted     int64   `json:"accepted"`
 	Uphill       int64   `json:"uphill"`
 	Improvements int64   `json:"improvements"`
+	// Chains captures every tempering chain's activity and final state —
+	// the full K-chain picture a checkpointed replica restores, not just the
+	// winning chain. Empty for the single-chain strategies.
+	Chains []ChainResult `json:"chains,omitempty"`
+	// Exchanges counts replica-exchange attempts (ExchangesAccepted the
+	// successes) across all adjacent pairs; zero for single-chain runs.
+	Exchanges         int64 `json:"exchanges,omitempty"`
+	ExchangesAccepted int64 `json:"exchanges_accepted,omitempty"`
 	// Solution is the best state's integer encoding: cell order (gola/nola),
 	// side assignment (partition), tour order (tsp), or sorted medians
 	// (pmedian).
 	Solution []int `json:"solution"`
+}
+
+// ChainResult is one tempering chain's slice of a RunResult, chain 0 the
+// coldest. Swap counters belong to the pair (chain, chain+1), so the hottest
+// chain's are always zero.
+type ChainResult struct {
+	Level        int     `json:"level"`
+	Temp         float64 `json:"temp"`
+	Moves        int64   `json:"moves"`
+	Accepted     int64   `json:"accepted"`
+	Uphill       int64   `json:"uphill"`
+	SwapAttempts int64   `json:"swap_attempts"`
+	Swaps        int64   `json:"swaps"`
+	FinalCost    float64 `json:"final_cost"`
 }
 
 // Result is the job's result artifact (result.json). It intentionally
@@ -59,7 +81,8 @@ type Result struct {
 // full event mix still reaches /metricsz through the RunMetrics hook.
 func streamedKind(k core.EventKind) bool {
 	switch k {
-	case core.EventStart, core.EventLevel, core.EventBest, core.EventDescent, core.EventEnd:
+	case core.EventStart, core.EventLevel, core.EventBest, core.EventDescent,
+		core.EventExchange, core.EventEnd:
 		return true
 	}
 	return false
@@ -123,7 +146,7 @@ func run(ctx context.Context, j *Job, dir string, workers int, agg func(*metrics
 			span := j.trace.Start(j.runSpan, "replica", map[string]string{"run": fmt.Sprintf("%d", i)})
 			defer j.trace.End(span)
 		}
-		g, err := prob.newG(spec)
+		g, ys, err := prob.newG(spec)
 		if err != nil {
 			return err
 		}
@@ -143,8 +166,17 @@ func run(ctx context.Context, j *Job, dir string, workers int, agg func(*metrics
 				return fmt.Errorf("%s solutions do not support fig2", spec.Problem.Kind)
 			}
 			res = core.Figure2{G: g, Hook: hook}.Run(desc, budget, stream)
+		case "tempering":
+			res = core.Tempering{
+				G:             g,
+				Chains:        spec.Chains,
+				ExchangeEvery: spec.ExchangeEvery,
+				Temps:         core.TemperingLadder(ys, spec.Chains),
+				Batch:         spec.Batch,
+				Hook:          hook,
+			}.Run(sol, budget, stream)
 		default:
-			res = core.Figure1{G: g, Hook: hook}.Run(sol, budget, stream)
+			res = core.Figure1{G: g, Batch: spec.Batch, Hook: hook}.Run(sol, budget, stream)
 		}
 		rr := RunResult{
 			Run:          i,
@@ -156,6 +188,23 @@ func run(ctx context.Context, j *Job, dir string, workers int, agg func(*metrics
 			Uphill:       res.Uphill,
 			Improvements: res.Improvements,
 			Solution:     prob.encode(res.Best),
+		}
+		if len(res.Chains) > 0 {
+			rr.Exchanges = res.Exchanges
+			rr.ExchangesAccepted = res.ExchangesAccepted
+			rr.Chains = make([]ChainResult, len(res.Chains))
+			for c, cs := range res.Chains {
+				rr.Chains[c] = ChainResult{
+					Level:        cs.Level,
+					Temp:         cs.Temp,
+					Moves:        cs.Moves,
+					Accepted:     cs.Accepted,
+					Uphill:       cs.Uphill,
+					SwapAttempts: cs.SwapAttempts,
+					Swaps:        cs.Swaps,
+					FinalCost:    cs.FinalCost,
+				}
+			}
 		}
 		payload, err := json.Marshal(rr)
 		if err != nil {

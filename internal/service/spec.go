@@ -4,8 +4,9 @@
 // submits, observes, streams, and cancels them.
 //
 // A job is a JSON spec naming a problem (a GOLA/NOLA/partition/TSP/p-median
-// generator, or an inline netlist), a search strategy (Figure 1 or
-// Figure 2), a g class, a move budget, a replica count, and a seed. The
+// generator, or an inline netlist), a search strategy (Figure 1, Figure 2,
+// or parallel tempering), a g class, a move budget, a replica count, and a
+// seed. The
 // manager persists every job under its data directory, journals each
 // completed replica through internal/checkpoint, and writes result
 // artifacts through internal/atomicio — so a killed server resumes its
@@ -71,8 +72,19 @@ type ProblemSpec struct {
 // discipline), reported as per-run results plus the best replica.
 type JobSpec struct {
 	Problem ProblemSpec `json:"problem"`
-	// Strategy is "fig1" (default) or "fig2".
+	// Strategy is "fig1" (default), "fig2", or "tempering" (parallel
+	// tempering: Chains coupled Figure-1 walks with replica exchange).
 	Strategy string `json:"strategy,omitempty"`
+	// Chains is the replica-exchange chain count for the tempering strategy
+	// (default 4). Only valid with strategy "tempering".
+	Chains int `json:"chains,omitempty"`
+	// ExchangeEvery is the tempering round length: moves each chain runs
+	// between exchange attempts (default 256). Only valid with "tempering".
+	ExchangeEvery int64 `json:"exchange_every,omitempty"`
+	// Batch, when > 1, makes engines evaluate proposals in blocks of Batch
+	// on solutions that support batched evaluation (GOLA/NOLA). Valid with
+	// "fig1" and "tempering".
+	Batch int `json:"batch,omitempty"`
 	// G is the g-class row label from the paper's tables (default "g = 1"),
 	// or "[COHO83a]" for the Cohoon–Sahni function on netlist problems.
 	G string `json:"g,omitempty"`
@@ -100,6 +112,14 @@ const maxRuns = 10_000
 func (s *JobSpec) Normalize() {
 	if s.Strategy == "" {
 		s.Strategy = "fig1"
+	}
+	if s.Strategy == "tempering" {
+		if s.Chains == 0 {
+			s.Chains = 4
+		}
+		if s.ExchangeEvery == 0 {
+			s.ExchangeEvery = 256
+		}
 	}
 	if s.G == "" {
 		s.G = "g = 1"
@@ -164,9 +184,32 @@ func (s *JobSpec) Normalize() {
 // mutates the spec; callers Normalize first.
 func (s *JobSpec) Validate() error {
 	switch s.Strategy {
-	case "fig1", "fig2":
+	case "fig1", "fig2", "tempering":
 	default:
-		return fmt.Errorf("unknown strategy %q (want fig1 or fig2)", s.Strategy)
+		return fmt.Errorf("unknown strategy %q (want fig1, fig2 or tempering)", s.Strategy)
+	}
+	if s.Strategy == "tempering" {
+		if s.Chains < 1 || s.Chains > 256 {
+			return fmt.Errorf("chains %d out of range [1,256]", s.Chains)
+		}
+		if s.ExchangeEvery < 1 {
+			return fmt.Errorf("exchange_every %d must be positive", s.ExchangeEvery)
+		}
+	} else {
+		if s.Chains != 0 {
+			return fmt.Errorf("chains applies only to strategy tempering")
+		}
+		if s.ExchangeEvery != 0 {
+			return fmt.Errorf("exchange_every applies only to strategy tempering")
+		}
+	}
+	if s.Batch != 0 {
+		if s.Strategy == "fig2" {
+			return fmt.Errorf("batch does not apply to strategy fig2")
+		}
+		if s.Batch < 2 || s.Batch > 4096 {
+			return fmt.Errorf("batch %d out of range [2,4096]", s.Batch)
+		}
 	}
 	if s.Budget < 1 {
 		return fmt.Errorf("budget %d must be positive", s.Budget)
@@ -249,7 +292,7 @@ func (s *JobSpec) Fingerprint() uint64 {
 		ys[i] = strconv.FormatFloat(y, 'g', -1, 64)
 	}
 	return checkpoint.Fingerprint(
-		"service/job/v1",
+		"service/job/v2",
 		p.Kind, strconv.Itoa(p.Cells), strconv.Itoa(p.Nets),
 		strconv.Itoa(p.MinPins), strconv.Itoa(p.MaxPins),
 		strconv.Itoa(p.N), strconv.Itoa(p.P),
@@ -258,6 +301,9 @@ func (s *JobSpec) Fingerprint() uint64 {
 		strconv.FormatInt(s.Budget, 10),
 		strconv.Itoa(s.Runs),
 		strconv.FormatUint(s.Seed, 10),
+		strconv.Itoa(s.Chains),
+		strconv.FormatInt(s.ExchangeEvery, 10),
+		strconv.Itoa(s.Batch),
 	)
 }
 
@@ -362,22 +408,25 @@ func compilePartition(s *JobSpec, nl *netlist.Netlist) *problem {
 	}
 }
 
-// newG builds a fresh g instance for one replica. Several classes carry
-// mutable schedule state, so every replica gets its own.
-func (p *problem) newG(s *JobSpec) (core.G, error) {
+// newG builds a fresh g instance for one replica, returning the resolved
+// temperature schedule alongside (nil for schedule-free classes) so the
+// tempering strategy can pin its exchange ladder to the same temperatures.
+// Several classes carry mutable schedule state, so every replica gets its
+// own instance.
+func (p *problem) newG(s *JobSpec) (core.G, []float64, error) {
 	if s.G == cohoonSahniName {
 		if p.nets == 0 {
-			return nil, errors.New(cohoonSahniName + " applies only to netlist problems")
+			return nil, nil, errors.New(cohoonSahniName + " applies only to netlist problems")
 		}
-		return gfunc.CohoonSahni(p.nets), nil
+		return gfunc.CohoonSahni(p.nets), nil, nil
 	}
 	b, ok := gfunc.ByName(s.G)
 	if !ok {
-		return nil, fmt.Errorf("unknown g class %q", s.G)
+		return nil, nil, fmt.Errorf("unknown g class %q", s.G)
 	}
 	ys := s.Ys
 	if b.NeedsY && len(ys) == 0 {
 		ys = b.DefaultYs(p.scale)
 	}
-	return b.Build(ys), nil
+	return b.Build(ys), ys, nil
 }

@@ -1,0 +1,180 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// temperingSpec is sized like resumeSpec: enough replicas and budget that
+// the test can drain the server mid-grid.
+func temperingSpec() string {
+	return `{"problem":{"kind":"gola","cells":30,"nets":150},"strategy":"tempering","chains":4,"exchange_every":512,"budget":80000,"runs":6,"seed":3}`
+}
+
+// TestTemperingResumeByteIdentical extends the durability contract to the
+// replica-exchange engine: a tempering job drained mid-grid and finished by
+// a fresh server over the same directory must commit an artifact — including
+// every per-chain stat — byte-identical to an uninterrupted run.
+func TestTemperingResumeByteIdentical(t *testing.T) {
+	_, goldenTS := testServer(t, Config{})
+	goldenID, _ := submit(t, goldenTS, temperingSpec(), "")
+	waitState(t, goldenTS, goldenID, StateDone)
+	golden := getResult(t, goldenTS, goldenID)
+
+	dir := t.TempDir()
+	m1, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(NewHandler(m1, HandlerConfig{}))
+	id, _ := submit(t, ts1, temperingSpec(), "")
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := getStatus(t, ts1, id)
+		if st.DoneRuns >= 1 {
+			if st.State == StateDone {
+				t.Log("job finished before the drain; resume path not exercised mid-grid")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job made no progress (state %s)", st.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stopCtx, cancel := testContext(t)
+	if err := m1.Stop(stopCtx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	ts1.Close()
+
+	m2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(NewHandler(m2, HandlerConfig{}))
+	defer func() {
+		ts2.Close()
+		stopCtx, cancel := testContext(t)
+		defer cancel()
+		m2.Stop(stopCtx)
+	}()
+
+	st := waitState(t, ts2, id, StateDone)
+	if st.DoneRuns != st.TotalRuns {
+		t.Fatalf("resumed job finished with %d/%d replicas", st.DoneRuns, st.TotalRuns)
+	}
+	resumed := getResult(t, ts2, id)
+	if !bytes.Equal(resumed, golden) {
+		t.Fatalf("resumed tempering result differs from uninterrupted run\ngolden:  %d bytes\nresumed: %d bytes",
+			len(golden), len(resumed))
+	}
+}
+
+// TestTemperingResultEnvelope checks the per-chain shape of a tempering
+// job's artifact: K chains per replica, internally consistent swap counters,
+// and headline fields that agree with the chain sums.
+func TestTemperingResultEnvelope(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	id, _ := submit(t, ts,
+		`{"problem":{"kind":"gola","cells":12,"nets":40},"strategy":"tempering","chains":3,"budget":6000,"runs":2,"seed":5}`, "")
+	waitState(t, ts, id, StateDone)
+
+	var res Result
+	if err := json.Unmarshal(getResult(t, ts, id), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Spec.Chains != 3 || res.Spec.ExchangeEvery != 256 {
+		t.Fatalf("spec not normalized in artifact: chains=%d exchange_every=%d",
+			res.Spec.Chains, res.Spec.ExchangeEvery)
+	}
+	if len(res.Runs) != 2 {
+		t.Fatalf("artifact has %d runs, want 2", len(res.Runs))
+	}
+	for _, rr := range res.Runs {
+		if len(rr.Chains) != 3 {
+			t.Fatalf("run %d has %d chains, want 3", rr.Run, len(rr.Chains))
+		}
+		if rr.Moves != 6000 {
+			t.Fatalf("run %d consumed %d moves, want the full 6000", rr.Run, rr.Moves)
+		}
+		var moves, accepted, attempts, swaps int64
+		for c, cs := range rr.Chains {
+			moves += cs.Moves
+			accepted += cs.Accepted
+			attempts += cs.SwapAttempts
+			swaps += cs.Swaps
+			if c == len(rr.Chains)-1 && (cs.SwapAttempts != 0 || cs.Swaps != 0) {
+				t.Fatalf("run %d: hottest chain carries swap counters (%d/%d)",
+					rr.Run, cs.Swaps, cs.SwapAttempts)
+			}
+		}
+		if moves != rr.Moves || accepted != rr.Accepted {
+			t.Fatalf("run %d: chain sums (%d,%d) disagree with totals (%d,%d)",
+				rr.Run, moves, accepted, rr.Moves, rr.Accepted)
+		}
+		if attempts != rr.Exchanges || swaps != rr.ExchangesAccepted {
+			t.Fatalf("run %d: swap sums (%d,%d) disagree with exchange totals (%d,%d)",
+				rr.Run, attempts, swaps, rr.Exchanges, rr.ExchangesAccepted)
+		}
+		if rr.Exchanges == 0 {
+			t.Fatalf("run %d attempted no exchanges over %d moves", rr.Run, rr.Moves)
+		}
+	}
+}
+
+// TestBatchedJobMatchesSpecKnobs: batch is accepted on fig1 and tempering,
+// runs to completion, and shapes the fingerprint.
+func TestBatchedJobRuns(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	id, _ := submit(t, ts,
+		`{"problem":{"kind":"gola","cells":12,"nets":40},"batch":16,"budget":4000,"seed":7}`, "")
+	st := waitState(t, ts, id, StateDone)
+	if st.BestCost == nil {
+		t.Fatal("batched job finished without a best cost")
+	}
+}
+
+func TestSpecValidateTempering(t *testing.T) {
+	base := func() JobSpec {
+		s := JobSpec{Problem: ProblemSpec{Kind: KindGOLA}}
+		s.Normalize()
+		return s
+	}
+	for name, mutate := range map[string]func(*JobSpec){
+		"chains on fig1":         func(s *JobSpec) { s.Chains = 4 },
+		"exchange_every on fig1": func(s *JobSpec) { s.ExchangeEvery = 128 },
+		"batch on fig2":          func(s *JobSpec) { s.Strategy = "fig2"; s.Batch = 8 },
+		"batch of 1":             func(s *JobSpec) { s.Batch = 1 },
+		"chains out of range":    func(s *JobSpec) { s.Strategy = "tempering"; s.Chains = 300; s.ExchangeEvery = 1 },
+		"zero exchange_every":    func(s *JobSpec) { s.Strategy = "tempering"; s.Chains = 4; s.ExchangeEvery = -1 },
+	} {
+		t.Run(name, func(t *testing.T) {
+			s := base()
+			mutate(&s)
+			if err := s.Validate(); err == nil {
+				t.Fatalf("spec %+v validated", s)
+			}
+		})
+	}
+
+	// The tempering knobs shape the fingerprint: a journal written under one
+	// chain count must not replay into another.
+	a := JobSpec{Problem: ProblemSpec{Kind: KindGOLA}, Strategy: "tempering"}
+	a.Normalize()
+	b := a
+	b.Chains = 8
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("chain count does not shape the job fingerprint")
+	}
+	c := a
+	c.Batch = 64
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("batch does not shape the job fingerprint")
+	}
+}

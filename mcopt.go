@@ -67,6 +67,16 @@ type (
 	// Figure2 is the descend-then-jump strategy of the paper's Figure 2;
 	// see core.Figure2.
 	Figure2 = core.Figure2
+	// Tempering is the parallel-tempering (replica-exchange) engine: K
+	// coupled Figure-1 chains at staggered temperature levels; see
+	// core.Tempering.
+	Tempering = core.Tempering
+	// BatchEvaluator is a Solution that can evaluate a block of candidate
+	// moves against committed state in one call; see core.BatchEvaluator.
+	BatchEvaluator = core.BatchEvaluator
+	// ChainStat aggregates one tempering chain's activity; see
+	// core.ChainStat.
+	ChainStat = core.ChainStat
 	// Rejectionless is [GREE84]'s "simulated annealing without rejected
 	// moves"; see core.Rejectionless.
 	Rejectionless = core.Rejectionless
@@ -95,6 +105,9 @@ const (
 	EventDescent = core.EventDescent
 	EventBest    = core.EventBest
 	EventEnd     = core.EventEnd
+
+	EventExchange       = core.EventExchange
+	EventExchangeReject = core.EventExchangeReject
 )
 
 // NewBudget returns a budget of exactly `moves` attempted perturbations.

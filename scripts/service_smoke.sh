@@ -181,4 +181,41 @@ stop_server
 cmp "$work/golden.json" "$work/noobs.json"
 echo "ok: -obs=false result byte-identical — observability never steers the search"
 
+echo "== stage 4: tempering engine — golden, then kill -9 mid-run, resume =="
+TSPEC='{"problem":{"kind":"gola","cells":40,"nets":200},"strategy":"tempering","chains":4,"exchange_every":2048,"budget":400000,"runs":6,"seed":17}'
+echo "$TSPEC" > "$work/tspec.json"
+start_server "$work/data4" "$work/server4.log"
+tid=$("$work/mcoptctl" -addr "$base" submit -spec "$work/tspec.json" -wait 2> /dev/null)
+"$work/mcoptctl" -addr "$base" result "$tid" -o "$work/tempering-golden.json"
+stop_server
+# The artifact must carry the replica-exchange envelope: per-chain stats and
+# exchange counters, not just headline totals.
+for field in '"chains"' '"swap_attempts"' '"exchanges"'; do
+    grep -q "$field" "$work/tempering-golden.json" || {
+        echo "FAIL: tempering artifact is missing $field" >&2
+        exit 1
+    }
+done
+
+start_server "$work/data5" "$work/server5.log"
+tid2=$("$work/mcoptctl" -addr "$base" submit -spec "$work/tspec.json")
+tries=0
+while [ "$tries" -lt 200 ] && kill -0 "$server_pid" 2>/dev/null; do
+    if [ -n "$(find "$work/data5/jobs" -name '*.wal' -size +16c 2>/dev/null | head -1)" ]; then
+        break
+    fi
+    tries=$((tries + 1))
+    sleep 0.05
+done
+kill -9 "$server_pid" 2>/dev/null || true
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+
+start_server "$work/data5" "$work/server5b.log"
+"$work/mcoptctl" -addr "$base" watch "$tid2" > /dev/null
+"$work/mcoptctl" -addr "$base" result "$tid2" -o "$work/tempering-resumed.json"
+stop_server
+cmp "$work/tempering-golden.json" "$work/tempering-resumed.json"
+echo "ok: tempering artifact (chains, exchange counters) byte-identical after kill -9 resume"
+
 echo "service-smoke: all stages passed"
