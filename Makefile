@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-json tables tune report examples cover fuzz profile determinism crash-test smoke clean
+.PHONY: all build test vet bench bench-json bench-service tables tune report examples cover fuzz profile determinism crash-test smoke clean
 
 all: build vet test
 
@@ -31,7 +31,15 @@ bench:
 # BenchmarkHookObs), for tracking kernel, engine, and telemetry regressions
 # over time. The output is committed as BENCH_kernel.json.
 bench-json:
-	$(GO) test -json -run '^$$' -bench 'BenchmarkSwapEval$$|BenchmarkSwapApply$$|BenchmarkReinsertEval$$|BenchmarkSwapEvalLarge|BenchmarkBatchSwapEval|BenchmarkTempering|BenchmarkFigure1Hooks$$|BenchmarkHookObs$$' -benchmem . > BENCH_kernel.json
+	$(GO) test -json -run '^$$' -bench 'BenchmarkSwapEval$$|BenchmarkSwapApply$$|BenchmarkReinsertEval$$|BenchmarkSwapEvalLarge|BenchmarkBatchSwapEval|BenchmarkTempering|BenchmarkFigure1Hooks$$|BenchmarkHookObs$$|BenchmarkMaxCutFlip$$' -benchmem . > BENCH_kernel.json
+
+# Service-layer latency under concurrent load: start a throwaway mcoptd,
+# drive it with cmd/mcoptload (concurrent submits + NDJSON stream watch on
+# small registry-served max-cut jobs), and record submit / first-event /
+# done / result-fetch percentiles. The output is committed as
+# BENCH_service.json.
+bench-service:
+	GO=$(GO) sh scripts/service_bench.sh
 
 # Regenerate the paper's tables at paper budgets (writes to stdout).
 tables:

@@ -21,6 +21,7 @@ import (
 	"mcopt/internal/experiment"
 	"mcopt/internal/gfunc"
 	"mcopt/internal/linarr"
+	"mcopt/internal/maxcut"
 	"mcopt/internal/metrics"
 	"mcopt/internal/obs"
 	"mcopt/internal/sched"
@@ -632,5 +633,32 @@ func BenchmarkPMedian(b *testing.B) {
 		if len(t.Rows) != 6 {
 			b.Fatal("unexpected X2b shape")
 		}
+	}
+}
+
+// BenchmarkMaxCut exercises the X3 plugin-domain comparison at reduced
+// scale (see olabench -table maxcut for the full version).
+func BenchmarkMaxCut(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, _ := experiment.MaxCutComparison(1, 3, 48, 144, 5000, sched.Options{})
+		if len(t.Rows) != 7 {
+			b.Fatal("unexpected X3 shape")
+		}
+	}
+}
+
+// BenchmarkMaxCutFlip measures the max-cut vertex-flip kernel: one op is
+// one O(degree) delta evaluation plus the incremental bitset apply, on a
+// sparse 4096-vertex ±1 instance (average degree 8).
+func BenchmarkMaxCutFlip(b *testing.B) {
+	g := maxcut.Random(mcopt.Stream("bench/maxcut", 1), 4096, 16384)
+	c := maxcut.RandomCut(g, mcopt.Stream("bench/maxcut-start", 1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Flip(i & 4095)
+	}
+	if c.Weight() < -int64(g.M()) {
+		b.Fatal("impossible cut weight")
 	}
 }

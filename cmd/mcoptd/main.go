@@ -1,6 +1,7 @@
 // Command mcoptd is the network optimization service: a long-running HTTP
-// server that accepts Monte Carlo optimization jobs (GOLA/NOLA linear
-// arrangement, circuit partition, TSP, p-median), runs them on a bounded
+// server that accepts Monte Carlo optimization jobs (any kind in the
+// problem registry: GOLA/NOLA linear arrangement, circuit partition, TSP,
+// p-median, max-cut), runs them on a bounded
 // worker pool, streams engine telemetry to watchers, and persists every job
 // durably — a kill -9 mid-job costs nothing but the replica in flight.
 //
@@ -43,6 +44,11 @@ import (
 
 	"mcopt/internal/buildinfo"
 	"mcopt/internal/service"
+
+	// The service resolves job specs through the problem registry; this
+	// import registers every built-in kind. A fork that adds a domain
+	// registers it the same way — one import here, no service edits.
+	_ "mcopt/problem/builtin"
 )
 
 func main() {

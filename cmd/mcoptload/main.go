@@ -1,0 +1,262 @@
+// Command mcoptload is a load probe for a running mcoptd: it submits a
+// stream of identical jobs from concurrent clients, watches every job's
+// NDJSON event stream to completion, and reports submit / first-event /
+// completion latency percentiles plus throughput as a JSON document.
+//
+// Usage:
+//
+//	mcoptload -addr http://127.0.0.1:7459 [-jobs 32] [-concurrency 8]
+//	          [-spec spec.json] [-o BENCH_service.json]
+//
+// The probe measures the service layer, not the search: pair it with a
+// small-budget spec so queueing, persistence, and streaming dominate.
+// `make bench-service` starts a throwaway server and runs this against it.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"mcopt/internal/atomicio"
+	"mcopt/internal/buildinfo"
+)
+
+// defaultSpec is a small job whose runtime is dominated by service
+// overhead rather than search.
+const defaultSpec = `{"problem":{"kind":"gola","cells":12,"nets":40},"budget":2000,"runs":2,"seed":7}`
+
+// quantiles summarizes one latency distribution, in milliseconds.
+type quantiles struct {
+	P50 float64 `json:"p50_ms"`
+	P90 float64 `json:"p90_ms"`
+	P99 float64 `json:"p99_ms"`
+	Max float64 `json:"max_ms"`
+}
+
+// summarize computes nearest-rank percentiles.
+func summarize(ds []time.Duration) quantiles {
+	if len(ds) == 0 {
+		return quantiles{}
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := func(p float64) float64 {
+		i := int(p*float64(len(sorted))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return float64(sorted[i]) / float64(time.Millisecond)
+	}
+	return quantiles{
+		P50: rank(0.50),
+		P90: rank(0.90),
+		P99: rank(0.99),
+		Max: float64(sorted[len(sorted)-1]) / float64(time.Millisecond),
+	}
+}
+
+// report is the probe's JSON output.
+type report struct {
+	Version     string          `json:"version"`
+	Addr        string          `json:"addr"`
+	Jobs        int             `json:"jobs"`
+	Concurrency int             `json:"concurrency"`
+	Spec        json.RawMessage `json:"spec"`
+	Submit      quantiles       `json:"submit"`
+	FirstEvent  quantiles       `json:"first_event"`
+	Done        quantiles       `json:"done"`
+	Result      quantiles       `json:"result_fetch"`
+	WallSeconds float64         `json:"wall_seconds"`
+	JobsPerSec  float64         `json:"jobs_per_second"`
+}
+
+// jobTiming is one job's measured lifecycle.
+type jobTiming struct {
+	submit, firstEvent, done, result time.Duration
+}
+
+// probeJob drives one job end to end: submit, stream events until the
+// stream closes (the job is finished), fetch the result artifact.
+func probeJob(client *http.Client, addr, spec string) (jobTiming, error) {
+	var tm jobTiming
+	t0 := time.Now()
+	resp, err := client.Post(addr+"/v1/jobs", "application/json", bytes.NewReader([]byte(spec)))
+	if err != nil {
+		return tm, fmt.Errorf("submit: %w", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	tm.submit = time.Since(t0)
+	if resp.StatusCode != http.StatusCreated {
+		return tm, fmt.Errorf("submit: %d %s", resp.StatusCode, body)
+	}
+	var ack struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &ack); err != nil {
+		return tm, fmt.Errorf("submit ack: %w", err)
+	}
+
+	stream, err := client.Get(addr + "/v1/jobs/" + ack.ID + "/events")
+	if err != nil {
+		return tm, fmt.Errorf("events: %w", err)
+	}
+	sc := bufio.NewScanner(stream.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	first := true
+	var last []byte
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		if first {
+			tm.firstEvent = time.Since(t0)
+			first = false
+		}
+		last = append(last[:0], sc.Bytes()...)
+	}
+	stream.Body.Close()
+	if err := sc.Err(); err != nil {
+		return tm, fmt.Errorf("events: %w", err)
+	}
+	tm.done = time.Since(t0)
+	if first {
+		return tm, fmt.Errorf("job %s: event stream delivered nothing", ack.ID)
+	}
+	var fin struct {
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal(last, &fin); err != nil || fin.State != "done" {
+		return tm, fmt.Errorf("job %s: stream ended in state %q (%v)", ack.ID, fin.State, err)
+	}
+
+	tr := time.Now()
+	res, err := client.Get(addr + "/v1/jobs/" + ack.ID + "/result")
+	if err != nil {
+		return tm, fmt.Errorf("result: %w", err)
+	}
+	io.Copy(io.Discard, res.Body)
+	res.Body.Close()
+	tm.result = time.Since(tr)
+	if res.StatusCode != http.StatusOK {
+		return tm, fmt.Errorf("result: %d", res.StatusCode)
+	}
+	return tm, nil
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:7459", "mcoptd base URL")
+	jobs := flag.Int("jobs", 32, "total jobs to submit")
+	concurrency := flag.Int("concurrency", 8, "concurrent submitters")
+	specPath := flag.String("spec", "", "job spec file (default: a small built-in gola spec)")
+	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
+	version := buildinfo.Flag()
+	flag.Parse()
+	buildinfo.HandleFlag("mcoptload", version)
+
+	spec := defaultSpec
+	if *specPath != "" {
+		b, err := os.ReadFile(*specPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcoptload: %v\n", err)
+			os.Exit(1)
+		}
+		spec = string(b)
+	}
+	if *jobs < 1 || *concurrency < 1 {
+		fmt.Fprintln(os.Stderr, "mcoptload: -jobs and -concurrency must be positive")
+		os.Exit(2)
+	}
+
+	client := &http.Client{}
+	timings := make([]jobTiming, *jobs)
+	errs := make([]error, *jobs)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				timings[i], errs[i] = probeJob(client, *addr, spec)
+			}
+		}()
+	}
+	for i := 0; i < *jobs; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	wall := time.Since(start)
+
+	failed := 0
+	for i, err := range errs {
+		if err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "mcoptload: job %d: %v\n", i, err)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "mcoptload: %d/%d jobs failed\n", failed, *jobs)
+		os.Exit(1)
+	}
+
+	collect := func(pick func(jobTiming) time.Duration) []time.Duration {
+		ds := make([]time.Duration, len(timings))
+		for i, tm := range timings {
+			ds[i] = pick(tm)
+		}
+		return ds
+	}
+	rep := report{
+		Version:     buildinfo.Short(),
+		Addr:        *addr,
+		Jobs:        *jobs,
+		Concurrency: *concurrency,
+		Spec:        json.RawMessage(spec),
+		Submit:      summarize(collect(func(t jobTiming) time.Duration { return t.submit })),
+		FirstEvent:  summarize(collect(func(t jobTiming) time.Duration { return t.firstEvent })),
+		Done:        summarize(collect(func(t jobTiming) time.Duration { return t.done })),
+		Result:      summarize(collect(func(t jobTiming) time.Duration { return t.result })),
+		WallSeconds: wall.Seconds(),
+		JobsPerSec:  float64(*jobs) / wall.Seconds(),
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcoptload: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	f, err := atomicio.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcoptload: %v\n", err)
+		os.Exit(1)
+	}
+	if _, err := f.Write(enc); err != nil {
+		f.Discard()
+		fmt.Fprintf(os.Stderr, "mcoptload: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Commit(); err != nil {
+		fmt.Fprintf(os.Stderr, "mcoptload: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	olabench [-table all|4.1|4.2a|4.2b|4.2c|4.2d] [-seed N] [-scale F]
+//	olabench [-table all|4.1|4.2a|4.2b|4.2c|4.2d|cohoon|maxcut] [-seed N] [-scale F]
 //	         [-plateau accept|accept+reset|reject] [-seq] [-workers N] [-timeout D]
 //	         [-engine fig1|tempering] [-chains 4] [-exchange-every 256] [-batch B]
 //	         [-checkpoint DIR] [-resume]
@@ -52,7 +52,7 @@ func csvName(title string) string {
 }
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: all, 4.1, 4.2a, 4.2b, 4.2c, 4.2d, cohoon (the §4.2.2 best-heuristic aside; not in 'all')")
+	table := flag.String("table", "all", "which table to regenerate: all, 4.1, 4.2a, 4.2b, 4.2c, 4.2d, cohoon (the §4.2.2 best-heuristic aside), maxcut (the X3 plugin-domain comparison); cohoon and maxcut are not in 'all'")
 	seed := flag.Uint64("seed", 1, "suite and run seed")
 	scale := flag.Float64("scale", 1, "budget scale factor (1 = paper budgets)")
 	plateau := flag.String("plateau", "accept", "zero-delta policy: accept, accept+reset, reject")
@@ -290,7 +290,7 @@ func main() {
 
 	want := func(name string) bool {
 		if *table == "all" {
-			return name != "cohoon"
+			return name != "cohoon" && name != "maxcut"
 		}
 		return strings.EqualFold(*table, name)
 	}
@@ -334,6 +334,14 @@ func main() {
 		matched = true
 		run("cohoon", func() (*experiment.Table, error) {
 			return experiment.CohoonBest(*seed, budgets, cfg.Exec)
+		})
+	}
+	if want("maxcut") {
+		matched = true
+		run("maxcut", func() (*experiment.Table, error) {
+			// X3 runs at a 5-minute equivalent per cell, like partbench.
+			return experiment.MaxCutComparison(*seed, 10, 64, 192,
+				int64(*scale*float64(experiment.Seconds(300))), cfg.Exec)
 		})
 	}
 	if !matched {

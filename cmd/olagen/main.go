@@ -1,31 +1,45 @@
-// Command olagen generates random GOLA/NOLA instances in the library's text
-// netlist format, for use with olasolve or external tools.
+// Command olagen generates random problem instances in the library's text
+// formats, for use with olasolve or external tools.
 //
 // Usage:
 //
-//	olagen [-family gola|nola] [-cells 15] [-nets 150] [-count 1]
+//	olagen [-family gola|nola|maxcut] [-cells 15] [-nets 150] [-count 1]
 //	       [-seed 1] [-o DIR]
 //
-// With -count 1 the instance is written to stdout (or DIR/instance_0.nl);
-// larger counts require -o and write DIR/instance_<i>.nl.
+// gola emits two-pin netlists and nola 2-8-pin netlists (both in the text
+// netlist format, extension .nl); maxcut emits G-set-style ±1-weighted
+// graphs in the max-cut edge-list format (extension .mc), reading -cells as
+// vertices and -nets as edges. With -count 1 the instance is written to
+// stdout (or DIR/instance_0.<ext>); larger counts require -o and write
+// DIR/instance_<i>.<ext>.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
 	"mcopt/internal/atomicio"
 	"mcopt/internal/buildinfo"
+	"mcopt/internal/maxcut"
 	"mcopt/internal/netlist"
 	"mcopt/internal/rng"
 )
 
+// instance is one generated artifact, abstracted over the family's on-disk
+// format so the writing loop below stays format-agnostic.
+type instance struct {
+	ext   string
+	write func(io.Writer) error
+	stats func(io.Writer) error
+}
+
 func main() {
-	family := flag.String("family", "gola", "instance family: gola (two-pin nets) or nola (2-8 pin nets)")
-	cells := flag.Int("cells", 15, "circuit elements per instance")
-	nets := flag.Int("nets", 150, "nets per instance")
+	family := flag.String("family", "gola", "instance family: gola (two-pin nets), nola (2-8 pin nets), or maxcut (±1-weighted graph)")
+	cells := flag.Int("cells", 15, "circuit elements per instance (vertices for maxcut)")
+	nets := flag.Int("nets", 150, "nets per instance (edges for maxcut)")
 	count := flag.Int("count", 1, "number of instances")
 	seed := flag.Uint64("seed", 1, "generator seed")
 	out := flag.String("o", "", "output directory (default stdout for a single instance)")
@@ -38,30 +52,49 @@ func main() {
 		fmt.Fprintln(os.Stderr, "olagen: -count > 1 requires -o DIR")
 		os.Exit(2)
 	}
-	gen := func(i int) *netlist.Netlist {
+	gen := func(i int) instance {
 		r := rng.Derive("olagen/"+*family, *seed, uint64(i))
 		switch *family {
-		case "gola":
-			return netlist.RandomGraph(r, *cells, *nets)
-		case "nola":
-			return netlist.RandomHyper(r, *cells, *nets, 2, min(8, *cells))
+		case "gola", "nola":
+			var nl *netlist.Netlist
+			if *family == "gola" {
+				nl = netlist.RandomGraph(r, *cells, *nets)
+			} else {
+				nl = netlist.RandomHyper(r, *cells, *nets, 2, min(8, *cells))
+			}
+			return instance{
+				ext:   ".nl",
+				write: func(w io.Writer) error { return netlist.Write(w, nl) },
+				stats: func(w io.Writer) error { return netlist.Summarize(nl).Render(w) },
+			}
+		case "maxcut":
+			g := maxcut.Random(r, *cells, *nets)
+			return instance{
+				ext:   ".mc",
+				write: func(w io.Writer) error { return maxcut.Write(w, g) },
+				stats: func(w io.Writer) error {
+					_, err := fmt.Fprintf(w, "vertices %d  edges %d  positive weight %d\n",
+						g.N(), g.M(), g.PositiveWeight())
+					return err
+				},
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "olagen: unknown family %q\n", *family)
 			os.Exit(2)
-			return nil
+			return instance{}
 		}
 	}
 	for i := 0; i < *count; i++ {
-		nl := gen(i)
+		inst := gen(i)
 		if *stats {
 			fmt.Fprintf(os.Stderr, "--- instance %d ---\n", i)
-			if err := netlist.Summarize(nl).Render(os.Stderr); err != nil {
+			if err := inst.stats(os.Stderr); err != nil {
 				fmt.Fprintf(os.Stderr, "olagen: %v\n", err)
 				os.Exit(1)
 			}
 		}
 		if *out == "" {
-			if err := netlist.Write(os.Stdout, nl); err != nil {
+			if err := inst.write(os.Stdout); err != nil {
 				fmt.Fprintf(os.Stderr, "olagen: %v\n", err)
 				os.Exit(1)
 			}
@@ -71,13 +104,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "olagen: %v\n", err)
 			os.Exit(1)
 		}
-		path := filepath.Join(*out, fmt.Sprintf("instance_%d.nl", i))
+		path := filepath.Join(*out, fmt.Sprintf("instance_%d%s", i, inst.ext))
 		f, err := atomicio.Create(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "olagen: %v\n", err)
 			os.Exit(1)
 		}
-		if err := netlist.Write(f, nl); err != nil {
+		if err := inst.write(f); err != nil {
 			f.Discard()
 			fmt.Fprintf(os.Stderr, "olagen: write %s: %v\n", path, err)
 			os.Exit(1)

@@ -67,6 +67,31 @@ func TestTSPComparisonShape(t *testing.T) {
 	}
 }
 
+func TestMaxCutComparisonShape(t *testing.T) {
+	tab, _ := MaxCutComparison(1, 4, 48, 144, 8000, sched.Options{})
+	if len(tab.Rows) != 7 {
+		t.Fatalf("X3 has %d rows, want 7", len(tab.Rows))
+	}
+	byName := map[string]TableRow{}
+	for _, r := range tab.Rows {
+		byName[r.Label] = r
+	}
+	// Descent never moves below its start, so the gain column is nonnegative.
+	if g := cellInt(t, byName["Local search (1 descent)"], 1); g < 0 {
+		t.Fatalf("descent reported negative gain %d", g)
+	}
+	// Refining the greedy construction cannot lose cut weight.
+	greedy := cellInt(t, byName["Greedy construction"], 0)
+	refined := cellInt(t, byName["Greedy + descent"], 0)
+	if refined < greedy {
+		t.Fatalf("descent worsened greedy: %d -> %d", greedy, refined)
+	}
+	// Annealing should clear the random starting cuts by a wide margin.
+	if g := cellInt(t, byName["Six Temperature Annealing"], 1); g <= 0 {
+		t.Fatalf("annealing gained nothing over random cuts (%d)", g)
+	}
+}
+
 func TestExtDeterministic(t *testing.T) {
 	a, _ := TSPComparison(3, 3, 30, 5000, sched.Options{})
 	b, _ := TSPComparison(3, 3, 30, 5000, sched.Options{})
@@ -77,6 +102,11 @@ func TestExtDeterministic(t *testing.T) {
 	d, _ := PartitionComparison(3, 3, 24, 72, 4000, sched.Options{})
 	if c.String() != d.String() {
 		t.Fatal("partition comparison not deterministic")
+	}
+	e, _ := MaxCutComparison(3, 3, 32, 96, 4000, sched.Options{})
+	f, _ := MaxCutComparison(3, 3, 32, 96, 4000, sched.Options{})
+	if e.String() != f.String() {
+		t.Fatal("max-cut comparison not deterministic")
 	}
 }
 

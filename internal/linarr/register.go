@@ -1,0 +1,114 @@
+package linarr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"mcopt/internal/gfunc"
+	"mcopt/internal/netlist"
+	"mcopt/internal/rng"
+	"mcopt/problem"
+)
+
+// Registry definitions for the paper's two linear-arrangement families:
+// gola (graph OLA, two-pin nets) and nola (network OLA, multi-pin nets).
+// The rng stream labels ("service/...") predate the registry and are
+// frozen: a label change would orphan every existing checkpoint journal
+// and change served results.
+
+func init() {
+	problem.Register(problem.Definition{
+		Kind:      "gola",
+		Netlist:   true,
+		Normalize: normalizeNetlistSpec,
+		Validate:  validateNetlistSpec,
+		Compile:   compileArrangement,
+	})
+	problem.Register(problem.Definition{
+		Kind:      "nola",
+		Netlist:   true,
+		Normalize: normalizeNetlistSpec,
+		Validate:  validateNetlistSpec,
+		Compile:   compileArrangement,
+	})
+}
+
+// normalizeNetlistSpec fills generator defaults for the netlist kinds
+// (sizes matching olagen and the paper's suites). Inline instances carry
+// their own sizes, so generator fields stay zero.
+func normalizeNetlistSpec(p *problem.Spec) {
+	if p.Netlist != "" {
+		return
+	}
+	if p.Cells == 0 {
+		p.Cells = 15
+	}
+	if p.Nets == 0 {
+		p.Nets = 150
+	}
+	if p.Kind != "gola" {
+		if p.MinPins == 0 {
+			p.MinPins = 2
+		}
+		if p.MaxPins == 0 {
+			p.MaxPins = min(8, p.Cells)
+		}
+	}
+}
+
+// validateNetlistSpec checks generator parameters; inline instances are
+// validated by the netlist parser at compile time.
+func validateNetlistSpec(p *problem.Spec) error {
+	if p.Netlist != "" {
+		return nil
+	}
+	if p.Cells < 2 {
+		return fmt.Errorf("%s: cells %d must be at least 2", p.Kind, p.Cells)
+	}
+	if p.Nets < 1 {
+		return fmt.Errorf("%s: nets %d must be positive", p.Kind, p.Nets)
+	}
+	if p.Kind != "gola" && (p.MinPins < 2 || p.MaxPins < p.MinPins || p.MaxPins > p.Cells) {
+		return fmt.Errorf("%s: pin range [%d,%d] invalid for %d cells", p.Kind, p.MinPins, p.MaxPins, p.Cells)
+	}
+	return nil
+}
+
+// netlistFromSpec parses the inline instance or generates one from the
+// spec's parameters under the kind's frozen stream label.
+func netlistFromSpec(p *problem.Spec) (*netlist.Netlist, error) {
+	if p.Netlist != "" {
+		nl, err := netlist.Read(strings.NewReader(p.Netlist))
+		if err != nil {
+			return nil, fmt.Errorf("inline netlist: %w", err)
+		}
+		return nl, nil
+	}
+	if p.Kind == "gola" {
+		return netlist.RandomGraph(rng.Stream("service/gola", p.Seed), p.Cells, p.Nets), nil
+	}
+	return netlist.RandomHyper(rng.Stream("service/"+p.Kind, p.Seed), p.Cells, p.Nets, p.MinPins, p.MaxPins), nil
+}
+
+// compileArrangement builds the density-minimization instance both linear
+// kinds share: random starting arrangements under pairwise interchange.
+func compileArrangement(p *problem.Spec, jobSeed uint64) (*problem.Instance, error) {
+	nl, err := netlistFromSpec(p)
+	if err != nil {
+		return nil, err
+	}
+	sample := Random(nl, rng.Stream("service/linarr/scale", p.Seed))
+	return &problem.Instance{
+		Desc:  fmt.Sprintf("%s (%d cells, %d nets)", p.Kind, nl.NumCells(), nl.NumNets()),
+		Scale: gfunc.Scale{TypicalCost: math.Max(float64(sample.Density()), 1), TypicalDelta: 2},
+		NewSolution: func(run int) problem.Solution {
+			arr := Random(nl, rng.Derive("service/linarr/start", jobSeed, uint64(run)))
+			return NewSolution(arr, PairwiseInterchange)
+		},
+		Encode: func(best problem.Solution) []int {
+			return best.(*Solution).Arrangement().Order()
+		},
+		Nets: nl.NumNets(),
+	}, nil
+}

@@ -1,0 +1,75 @@
+package maxcut
+
+import (
+	"testing"
+
+	"mcopt/internal/rng"
+)
+
+// TestFlipDifferential is the kernel contract: over random graphs and long
+// random flip sequences, the incrementally maintained cut weight and every
+// O(degree) FlipDelta must agree exactly with the O(m) full recomputation
+// oracle at every step.
+func TestFlipDifferential(t *testing.T) {
+	shapes := []struct{ n, m int }{
+		{2, 1}, {5, 6}, {16, 40}, {33, 150}, {64, 400}, {65, 64},
+	}
+	for _, sh := range shapes {
+		g := Random(rng.Derive("diff/graph", 9, uint64(sh.n)), sh.n, sh.m)
+		c := RandomCut(g, rng.Derive("diff/start", 9, uint64(sh.n)))
+		r := rng.Derive("diff/flips", 9, uint64(sh.n))
+		for step := 0; step < 500; step++ {
+			v := r.IntN(g.N())
+			before := c.Weight()
+			delta := c.FlipDelta(v)
+			c.Flip(v)
+			oracle := c.computeWeight()
+			if c.Weight() != oracle {
+				t.Fatalf("n=%d m=%d step %d: incremental %d, oracle %d", sh.n, sh.m, step, c.Weight(), oracle)
+			}
+			if before+delta != oracle {
+				t.Fatalf("n=%d m=%d step %d: FlipDelta promised %d, observed %d", sh.n, sh.m, step, delta, oracle-before)
+			}
+		}
+	}
+}
+
+// FuzzCutFlip feeds arbitrary bytes as (graph shape, edge weights, flip
+// sequence) and cross-checks the incremental weight against the oracle.
+// The seed corpus covers the boundary shapes: single edge, bitset word
+// boundary, negative weights, dense graphs.
+func FuzzCutFlip(f *testing.F) {
+	f.Add(uint8(2), uint16(1), []byte{0, 1, 0})
+	f.Add(uint8(5), uint16(6), []byte{4, 3, 2, 1, 0, 4})
+	f.Add(uint8(64), uint16(100), []byte{63, 0, 63, 31})
+	f.Add(uint8(65), uint16(200), []byte{64, 64, 1})
+	f.Add(uint8(9), uint16(36), []byte{8, 7, 6, 5})
+	f.Fuzz(func(t *testing.T, nRaw uint8, mRaw uint16, flips []byte) {
+		n := int(nRaw)
+		if n < 2 {
+			n = 2
+		}
+		m := int(mRaw) % (n*(n-1)/2 + 1)
+		if m == 0 {
+			m = 1
+		}
+		g := Random(rng.Derive("fuzz/graph", uint64(nRaw), uint64(mRaw)), n, m)
+		c := RandomCut(g, rng.Derive("fuzz/start", uint64(nRaw), uint64(mRaw)))
+		if c.Weight() != c.computeWeight() {
+			t.Fatalf("initial weight %d, oracle %d", c.Weight(), c.computeWeight())
+		}
+		for i, b := range flips {
+			if i >= 200 {
+				break
+			}
+			v := int(b) % g.N()
+			before := c.Weight()
+			delta := c.FlipDelta(v)
+			c.Flip(v)
+			if oracle := c.computeWeight(); c.Weight() != oracle || before+delta != oracle {
+				t.Fatalf("flip %d (vertex %d): incremental %d, delta-pred %d, oracle %d",
+					i, v, c.Weight(), before+delta, oracle)
+			}
+		}
+	})
+}

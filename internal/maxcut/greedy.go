@@ -1,0 +1,32 @@
+package maxcut
+
+// Greedy builds a deterministic side assignment by sweeping vertices in
+// index order and placing each on the side that maximizes the crossing
+// weight against its already-placed neighbors (ties break toward side 0).
+// It is the classic 1/2-approximation constructive, the "proven heuristic"
+// baseline the X3 comparison pits against annealing.
+func Greedy(g *Instance) []int {
+	sides := make([]int, g.n)
+	placed := make([]bool, g.n)
+	for v := 0; v < g.n; v++ {
+		// cut0/cut1: crossing weight contributed by v's placed neighbors if
+		// v lands on side 0 / side 1.
+		var cut0, cut1 int64
+		for _, h := range g.adj[v] {
+			u := int(h.to)
+			if !placed[u] {
+				continue
+			}
+			if sides[u] == 0 {
+				cut1 += int64(h.w)
+			} else {
+				cut0 += int64(h.w)
+			}
+		}
+		if cut1 > cut0 {
+			sides[v] = 1
+		}
+		placed[v] = true
+	}
+	return sides
+}

@@ -1,0 +1,136 @@
+// Package maxcut implements the weighted maximum-cut problem of Myklebust,
+// "Solving maximum cut problems by simulated annealing": partition a
+// weighted graph's vertices into two sides so that the total weight of
+// edges crossing the partition is maximal.
+//
+// The package is the library's first registry-era domain — written as an
+// external plugin would be, against mcopt/problem only — and doubles as
+// the worked example in the README's "Adding a problem" walkthrough. State
+// is a bitset side assignment with an incrementally maintained cut weight;
+// the single perturbation class is a vertex flip, whose exact cost change
+// is computed in O(degree) from the flipped vertex's adjacency alone.
+package maxcut
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// MaxVertices bounds instance sizes accepted by New and the text parser,
+// protecting generators and the service from resource exhaustion on
+// malformed input.
+const MaxVertices = 1 << 22
+
+// Edge is one weighted undirected edge. Self-loops are rejected (they can
+// never cross a cut); parallel edges are allowed and act additively.
+type Edge struct {
+	U, V int
+	// W is the edge weight. G-set-style instances use ±1; any int that
+	// cannot overflow an int64 total is accepted.
+	W int
+}
+
+// halfEdge is one direction of an edge in the adjacency index.
+type halfEdge struct {
+	to int32
+	w  int32
+}
+
+// Instance is an immutable weighted graph.
+type Instance struct {
+	n     int
+	edges []Edge
+	adj   [][]halfEdge
+	// posW is the total positive edge weight — an upper bound on any cut's
+	// weight, used to present max-cut as minimization (see Solution).
+	posW int64
+}
+
+// New builds a validated instance over vertices 0..n-1.
+func New(n int, edges []Edge) (*Instance, error) {
+	if n < 1 || n > MaxVertices {
+		return nil, fmt.Errorf("maxcut: vertex count %d out of range [1,%d]", n, MaxVertices)
+	}
+	g := &Instance{n: n, edges: make([]Edge, len(edges)), adj: make([][]halfEdge, n)}
+	copy(g.edges, edges)
+	for i, e := range edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			return nil, fmt.Errorf("maxcut: edge %d (%d,%d) outside vertex range [0,%d)", i, e.U, e.V, n)
+		}
+		if e.U == e.V {
+			return nil, fmt.Errorf("maxcut: edge %d is a self-loop on vertex %d", i, e.U)
+		}
+		if int(int32(e.W)) != e.W {
+			return nil, fmt.Errorf("maxcut: edge %d weight %d overflows int32", i, e.W)
+		}
+		g.adj[e.U] = append(g.adj[e.U], halfEdge{to: int32(e.V), w: int32(e.W)})
+		g.adj[e.V] = append(g.adj[e.V], halfEdge{to: int32(e.U), w: int32(e.W)})
+		if e.W > 0 {
+			g.posW += int64(e.W)
+		}
+	}
+	return g, nil
+}
+
+// MustNew is New, panicking on error; for programmatic instances.
+func MustNew(n int, edges []Edge) *Instance {
+	g, err := New(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Random generates a G-set-style instance: m distinct uniform edges over n
+// vertices, each weighted +1 or −1 with equal probability. m is capped at
+// the complete graph's edge count.
+func Random(r *rand.Rand, n, m int) *Instance {
+	if n < 2 {
+		n = 2
+	}
+	if maxM := n * (n - 1) / 2; m > maxM {
+		m = maxM
+	}
+	seen := make(map[[2]int32]struct{}, m)
+	edges := make([]Edge, 0, m)
+	for len(edges) < m {
+		u, v := r.IntN(n), r.IntN(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := [2]int32{int32(u), int32(v)}
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		w := 1
+		if r.IntN(2) == 1 {
+			w = -1
+		}
+		edges = append(edges, Edge{U: u, V: v, W: w})
+	}
+	g, err := New(n, edges)
+	if err != nil {
+		panic(err) // unreachable: generated edges are valid by construction
+	}
+	return g
+}
+
+// N returns the vertex count.
+func (g *Instance) N() int { return g.n }
+
+// M returns the edge count.
+func (g *Instance) M() int { return len(g.edges) }
+
+// Edges returns the edge list. Callers must not mutate it.
+func (g *Instance) Edges() []Edge { return g.edges }
+
+// PositiveWeight returns the total positive edge weight, the cut-weight
+// upper bound the minimization framing subtracts from.
+func (g *Instance) PositiveWeight() int64 { return g.posW }
+
+// Degree returns vertex v's incident edge count.
+func (g *Instance) Degree(v int) int { return len(g.adj[v]) }

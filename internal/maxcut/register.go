@@ -1,0 +1,53 @@
+package maxcut
+
+import (
+	"fmt"
+	"math"
+
+	"mcopt/internal/rng"
+	"mcopt/problem"
+)
+
+// Registry definition: the spec reuses the generic graph fields — Cells as
+// vertices, Nets as edges — so a maxcut job needs nothing the service
+// doesn't already persist and fingerprint. Defaults are a modest
+// G-set-style instance.
+
+func init() {
+	problem.Register(problem.Definition{
+		Kind: "maxcut",
+		Normalize: func(p *problem.Spec) {
+			if p.Cells == 0 {
+				p.Cells = 64
+			}
+			if p.Nets == 0 {
+				p.Nets = min(4*p.Cells, p.Cells*(p.Cells-1)/2)
+			}
+		},
+		Validate: func(p *problem.Spec) error {
+			if p.Cells < 2 || p.Cells > MaxVertices {
+				return fmt.Errorf("maxcut: cells (vertices) %d out of range [2,%d]", p.Cells, MaxVertices)
+			}
+			if p.Nets < 1 || p.Nets > p.Cells*(p.Cells-1)/2 {
+				return fmt.Errorf("maxcut: nets (edges) %d out of range [1,%d] for %d vertices", p.Nets, p.Cells*(p.Cells-1)/2, p.Cells)
+			}
+			return nil
+		},
+		Compile: func(p *problem.Spec, jobSeed uint64) (*problem.Instance, error) {
+			g := Random(rng.Stream("service/maxcut", p.Seed), p.Cells, p.Nets)
+			sample := RandomCut(g, rng.Stream("service/maxcut/scale", p.Seed))
+			return &problem.Instance{
+				Desc: fmt.Sprintf("maxcut (%d vertices, %d edges)", g.N(), g.M()),
+				// Deltas are small integers (±1 edge weights), the same
+				// regime as the density and cut-size objectives.
+				Scale: problem.Scale{TypicalCost: math.Max(float64(g.PositiveWeight()-sample.Weight()), 1), TypicalDelta: 2},
+				NewSolution: func(run int) problem.Solution {
+					return NewSolution(RandomCut(g, rng.Derive("service/maxcut/start", jobSeed, uint64(run))))
+				},
+				Encode: func(best problem.Solution) []int {
+					return best.(*Solution).Cut().Sides()
+				},
+			}, nil
+		},
+	})
+}

@@ -1,0 +1,63 @@
+package maxcut_test
+
+import (
+	"strings"
+	"testing"
+
+	"mcopt/internal/service"
+)
+
+// The kind/g and kind/field mismatches involving maxcut are asserted here
+// rather than in internal/service's own tests: the service test binary
+// deliberately registers only the pre-refactor kinds, proving no maxcut
+// code leaks into that layer.
+
+func TestSpecRejectsMaxcutMisuse(t *testing.T) {
+	cases := []struct {
+		name string
+		spec service.JobSpec
+		want string
+	}{
+		{"cohoon on maxcut", service.JobSpec{
+			Problem: service.ProblemSpec{Kind: service.KindMaxCut}, G: "[COHO83a]",
+		}, "applies only to netlist"},
+		{"inline netlist on maxcut", service.JobSpec{
+			Problem: service.ProblemSpec{Kind: service.KindMaxCut, Netlist: "cells 2\nnet 0 1\n"},
+		}, "inline netlist is not supported"},
+		{"edges out of range", service.JobSpec{
+			Problem: service.ProblemSpec{Kind: service.KindMaxCut, Cells: 4, Nets: 100},
+		}, "out of range"},
+		{"too few vertices", service.JobSpec{
+			Problem: service.ProblemSpec{Kind: service.KindMaxCut, Cells: 1, Nets: 1},
+		}, "out of range"},
+	}
+	for _, c := range cases {
+		c.spec.Normalize()
+		err := c.spec.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted the spec", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestNormalizeDefaults pins the registered kind's defaulting: 64 vertices,
+// 4 edges per vertex, capped at the complete graph.
+func TestNormalizeDefaults(t *testing.T) {
+	s := service.JobSpec{Problem: service.ProblemSpec{Kind: service.KindMaxCut}}
+	s.Normalize()
+	if s.Problem.Cells != 64 || s.Problem.Nets != 256 {
+		t.Fatalf("defaults = %d vertices, %d edges; want 64, 256", s.Problem.Cells, s.Problem.Nets)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("defaulted spec rejected: %v", err)
+	}
+	dense := service.JobSpec{Problem: service.ProblemSpec{Kind: service.KindMaxCut, Cells: 4}}
+	dense.Normalize()
+	if dense.Problem.Nets != 6 {
+		t.Fatalf("dense default %d edges, want the complete graph's 6", dense.Problem.Nets)
+	}
+}

@@ -1,0 +1,252 @@
+package maxcut_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mcopt/internal/maxcut"
+	"mcopt/internal/rng"
+	"mcopt/internal/service"
+)
+
+// These tests are the plugin-architecture acceptance gate: a max-cut job
+// flows through mcoptd's whole lifecycle — submit, NDJSON event stream,
+// result envelope, interrupted-and-resumed byte identity — while
+// internal/service contains no max-cut code at all. Everything the service
+// knows about the kind arrives through this package's init registration.
+
+const maxcutSpec = `{"problem":{"kind":"maxcut","cells":48,"nets":180,"seed":2},"budget":8000,"runs":3,"seed":5}`
+
+func startServer(t *testing.T, dir string) (*service.Manager, *httptest.Server) {
+	t.Helper()
+	m, err := service.Open(service.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(service.NewHandler(m, service.HandlerConfig{}))
+	return m, ts
+}
+
+func stopServer(t *testing.T, m *service.Manager, ts *httptest.Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+}
+
+func submitJob(t *testing.T, ts *httptest.Server, spec string) string {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var ack struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &ack); err != nil {
+		t.Fatal(err)
+	}
+	return ack.ID
+}
+
+func waitDone(t *testing.T, ts *httptest.Server, id string) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch st.State {
+		case "done":
+			return
+		case "failed", "cancelled":
+			t.Fatalf("job %s reached %s: %s", id, st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, st.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func fetchResult(t *testing.T, ts *httptest.Server, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: %d %s", resp.StatusCode, body)
+	}
+	return body
+}
+
+// TestServiceEndToEnd submits a max-cut job over the HTTP API, watches its
+// NDJSON event stream, and checks the result envelope: per-replica stats, a
+// best replica, and a side encoding whose cut weight matches the reported
+// best cost when re-scored against the same deterministic instance.
+func TestServiceEndToEnd(t *testing.T) {
+	m, ts := startServer(t, t.TempDir())
+	defer stopServer(t, m, ts)
+
+	id := submitJob(t, ts, maxcutSpec)
+
+	// Stream events while the job runs; the stream ends when the job does.
+	streamCtx, cancelStream := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancelStream()
+	req, err := http.NewRequestWithContext(streamCtx, http.MethodGet, ts.URL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	states := 0
+	kinds := map[string]bool{}
+	sc := bufio.NewScanner(stream.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec struct {
+			Type  string `json:"type"`
+			Event *struct {
+				Kind string `json:"kind"`
+			} `json:"event"`
+		}
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		switch rec.Type {
+		case "state":
+			states++
+		case "event":
+			kinds[rec.Event.Kind] = true
+		default:
+			t.Fatalf("unknown record type %q in %q", rec.Type, line)
+		}
+	}
+	if states == 0 {
+		t.Fatal("event stream delivered no state transitions")
+	}
+	if !kinds["start"] || !kinds["end"] {
+		t.Fatalf("stream missing run skeleton, got kinds %v", kinds)
+	}
+
+	waitDone(t, ts, id)
+	var res struct {
+		Problem string `json:"problem"`
+		Runs    []struct {
+			Run      int   `json:"run"`
+			Solution []int `json:"solution"`
+		} `json:"runs"`
+		BestRun      int     `json:"best_run"`
+		BestCost     float64 `json:"best_cost"`
+		BestSolution []int   `json:"best_solution"`
+	}
+	if err := json.Unmarshal(fetchResult(t, ts, id), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Problem != "maxcut (48 vertices, 180 edges)" {
+		t.Fatalf("problem description %q", res.Problem)
+	}
+	if len(res.Runs) != 3 {
+		t.Fatalf("%d runs, want 3", len(res.Runs))
+	}
+
+	// Re-score the winning side assignment against an independently built
+	// copy of the instance the spec pins (problem seed 2, the registry's
+	// frozen generator stream).
+	g := maxcut.Random(rng.Stream("service/maxcut", 2), 48, 180)
+	c, err := maxcut.NewCut(g, res.BestSolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(g.PositiveWeight() - c.Weight()); got != res.BestCost {
+		t.Fatalf("re-scored best solution costs %v, envelope says %v", got, res.BestCost)
+	}
+}
+
+// TestServiceResumeByteIdentical interrupts a max-cut job mid-grid by
+// draining the server, restarts over the same data directory, and requires
+// the resumed result artifact to be byte-identical to an uninterrupted run
+// — the same durability contract the built-in kinds carry, inherited by a
+// plugin with zero extra code.
+func TestServiceResumeByteIdentical(t *testing.T) {
+	// A spec long enough to straddle a drain: few replicas, big budget.
+	spec := `{"problem":{"kind":"maxcut","cells":64,"nets":256,"seed":3},"budget":3000000,"runs":4,"seed":9}`
+
+	goldenM, goldenTS := startServer(t, t.TempDir())
+	defer stopServer(t, goldenM, goldenTS)
+	goldenID := submitJob(t, goldenTS, spec)
+	waitDone(t, goldenTS, goldenID)
+	golden := fetchResult(t, goldenTS, goldenID)
+
+	dir := t.TempDir()
+	m1, ts1 := startServer(t, dir)
+	id := submitJob(t, ts1, spec)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(ts1.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			DoneRuns int    `json:"done_runs"`
+			State    string `json:"state"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.DoneRuns >= 1 || st.State == "done" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job made no progress before drain")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stopServer(t, m1, ts1)
+
+	m2, ts2 := startServer(t, dir)
+	defer stopServer(t, m2, ts2)
+	waitDone(t, ts2, id)
+	resumed := fetchResult(t, ts2, id)
+	if !bytes.Equal(resumed, golden) {
+		t.Fatalf("resumed max-cut result differs from uninterrupted run (%d vs %d bytes)", len(resumed), len(golden))
+	}
+}

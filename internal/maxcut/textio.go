@@ -1,0 +1,87 @@
+package maxcut
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text format mirrors the netlist one: line-oriented, comments and
+// blank lines ignored, round-tripping exactly through Write/Read.
+//
+//	# optional comments
+//	vertices 5
+//	edge 0 1 1
+//	edge 1 2 -1
+//
+// "vertices" must appear before the first "edge"; weights are signed
+// integers. The G-set corpus translates line-for-line (its 1-based "u v w"
+// rows become 0-based edge lines).
+
+// Write serializes the instance in the text format.
+func Write(w io.Writer, g *Instance) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "vertices %d\n", g.n)
+	for _, e := range g.edges {
+		fmt.Fprintf(bw, "edge %d %d %d\n", e.U, e.V, e.W)
+	}
+	return bw.Flush()
+}
+
+// Read parses the text format and validates the instance.
+func Read(r io.Reader) (*Instance, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	n := -1
+	var edges []Edge
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "vertices":
+			if n >= 0 {
+				return nil, fmt.Errorf("maxcut: line %d: duplicate vertices line", line)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("maxcut: line %d: want \"vertices N\"", line)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v < 1 || v > MaxVertices {
+				return nil, fmt.Errorf("maxcut: line %d: bad vertex count %q", line, fields[1])
+			}
+			n = v
+		case "edge":
+			if n < 0 {
+				return nil, fmt.Errorf("maxcut: line %d: edge before vertices", line)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("maxcut: line %d: want \"edge U V W\"", line)
+			}
+			var nums [3]int
+			for i, f := range fields[1:] {
+				v, err := strconv.Atoi(f)
+				if err != nil {
+					return nil, fmt.Errorf("maxcut: line %d: bad number %q", line, f)
+				}
+				nums[i] = v
+			}
+			edges = append(edges, Edge{U: nums[0], V: nums[1], W: nums[2]})
+		default:
+			return nil, fmt.Errorf("maxcut: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("maxcut: %w", err)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("maxcut: missing vertices line")
+	}
+	return New(n, edges)
+}

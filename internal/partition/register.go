@@ -1,0 +1,81 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"mcopt/internal/gfunc"
+	"mcopt/internal/netlist"
+	"mcopt/internal/rng"
+	"mcopt/problem"
+)
+
+// Registry definition for the balanced two-way circuit partition of
+// extension X1. The rng stream labels predate the registry and are frozen
+// for checkpoint and result compatibility.
+
+func init() {
+	problem.Register(problem.Definition{
+		Kind:    "partition",
+		Netlist: true,
+		Normalize: func(p *problem.Spec) {
+			if p.Netlist != "" {
+				return
+			}
+			if p.Cells == 0 {
+				p.Cells = 15
+			}
+			if p.Nets == 0 {
+				p.Nets = 150
+			}
+			if p.MinPins == 0 {
+				p.MinPins = 2
+			}
+			if p.MaxPins == 0 {
+				p.MaxPins = min(4, p.Cells)
+			}
+		},
+		Validate: func(p *problem.Spec) error {
+			if p.Netlist != "" {
+				return nil
+			}
+			if p.Cells < 2 {
+				return fmt.Errorf("partition: cells %d must be at least 2", p.Cells)
+			}
+			if p.Nets < 1 {
+				return fmt.Errorf("partition: nets %d must be positive", p.Nets)
+			}
+			if p.MinPins < 2 || p.MaxPins < p.MinPins || p.MaxPins > p.Cells {
+				return fmt.Errorf("partition: pin range [%d,%d] invalid for %d cells", p.MinPins, p.MaxPins, p.Cells)
+			}
+			return nil
+		},
+		Compile: compilePartition,
+	})
+}
+
+func compilePartition(p *problem.Spec, jobSeed uint64) (*problem.Instance, error) {
+	var nl *netlist.Netlist
+	if p.Netlist != "" {
+		var err error
+		nl, err = netlist.Read(strings.NewReader(p.Netlist))
+		if err != nil {
+			return nil, fmt.Errorf("inline netlist: %w", err)
+		}
+	} else {
+		nl = netlist.RandomHyper(rng.Stream("service/partition", p.Seed), p.Cells, p.Nets, p.MinPins, p.MaxPins)
+	}
+	sample := Random(nl, rng.Stream("service/partition/scale", p.Seed))
+	return &problem.Instance{
+		Desc:  fmt.Sprintf("partition (%d cells, %d nets)", nl.NumCells(), nl.NumNets()),
+		Scale: gfunc.Scale{TypicalCost: math.Max(float64(sample.CutSize()), 1), TypicalDelta: 2},
+		NewSolution: func(run int) problem.Solution {
+			return NewSolution(Random(nl, rng.Derive("service/partition/start", jobSeed, uint64(run))))
+		},
+		Encode: func(best problem.Solution) []int {
+			return best.(*Solution).Bipartition().Sides()
+		},
+		Nets: nl.NumNets(),
+	}, nil
+}

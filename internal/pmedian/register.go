@@ -1,0 +1,54 @@
+package pmedian
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mcopt/internal/gfunc"
+	"mcopt/internal/rng"
+	"mcopt/problem"
+)
+
+// Registry definition for the p-median location problem of extension X2b.
+// The rng stream labels predate the registry and are frozen for checkpoint
+// and result compatibility.
+
+func init() {
+	problem.Register(problem.Definition{
+		Kind: "pmedian",
+		Normalize: func(p *problem.Spec) {
+			if p.N == 0 {
+				p.N = 60
+			}
+			if p.P == 0 {
+				p.P = 6
+			}
+		},
+		Validate: func(p *problem.Spec) error {
+			if p.N < 2 {
+				return fmt.Errorf("pmedian: n %d must be at least 2", p.N)
+			}
+			if p.P < 1 || p.P >= p.N {
+				return fmt.Errorf("pmedian: p %d out of range [1,%d)", p.P, p.N)
+			}
+			return nil
+		},
+		Compile: func(p *problem.Spec, jobSeed uint64) (*problem.Instance, error) {
+			inst := RandomEuclidean(rng.Stream("service/pmedian", p.Seed), p.N, p.P)
+			sample := Random(inst, rng.Stream("service/pmedian/scale", p.Seed))
+			return &problem.Instance{
+				Desc:  fmt.Sprintf("pmedian (%d sites, p=%d)", inst.N(), inst.P()),
+				Scale: gfunc.Scale{TypicalCost: math.Max(sample.Cost(), 1), TypicalDelta: math.Max(sample.Cost()/20, 1e-9)},
+				NewSolution: func(run int) problem.Solution {
+					return NewSolution(Random(inst, rng.Derive("service/pmedian/start", jobSeed, uint64(run))))
+				},
+				Encode: func(best problem.Solution) []int {
+					chosen := best.(*Solution).Medians().Chosen()
+					sort.Ints(chosen)
+					return chosen
+				},
+			}, nil
+		},
+	})
+}

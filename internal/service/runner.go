@@ -15,6 +15,10 @@ import (
 	"mcopt/internal/sched"
 )
 
+// The runner is problem-agnostic: everything domain-specific arrives
+// through the compiled problem.Instance, so new registered kinds run here
+// unchanged.
+
 // RunResult is one replica's outcome in the result artifact and the
 // checkpoint journal. Every field is a pure function of (spec, run index),
 // so a replica restored from the journal is indistinguishable from a
@@ -103,7 +107,7 @@ func run(ctx context.Context, j *Job, dir string, workers int, agg func(*metrics
 		return fmt.Errorf("compile: %w", err)
 	}
 	j.mu.Lock()
-	j.problem = prob.desc
+	j.problem = prob.Desc
 	j.mu.Unlock()
 
 	cfg := &checkpoint.Config{Dir: dir, Resume: true}
@@ -146,7 +150,7 @@ func run(ctx context.Context, j *Job, dir string, workers int, agg func(*metrics
 			span := j.trace.Start(j.runSpan, "replica", map[string]string{"run": fmt.Sprintf("%d", i)})
 			defer j.trace.End(span)
 		}
-		g, ys, err := prob.newG(spec)
+		g, ys, err := newG(prob, spec)
 		if err != nil {
 			return err
 		}
@@ -155,7 +159,7 @@ func run(ctx context.Context, j *Job, dir string, workers int, agg func(*metrics
 				j.publishEvent(metrics.RecordOf(fmt.Sprintf("run@%d", i), e))
 			}
 		})
-		sol := prob.newSolution(i)
+		sol := prob.NewSolution(i)
 		budget := core.NewBudget(spec.Budget).WithContext(ctx)
 		stream := rng.Derive("service/run/"+spec.Strategy+"/"+spec.G, spec.Seed, uint64(i))
 		var res core.Result
@@ -187,7 +191,7 @@ func run(ctx context.Context, j *Job, dir string, workers int, agg func(*metrics
 			Accepted:     res.Accepted,
 			Uphill:       res.Uphill,
 			Improvements: res.Improvements,
-			Solution:     prob.encode(res.Best),
+			Solution:     prob.Encode(res.Best),
 		}
 		if len(res.Chains) > 0 {
 			rr.Exchanges = res.Exchanges
@@ -229,7 +233,7 @@ func run(ctx context.Context, j *Job, dir string, workers int, agg func(*metrics
 	}
 	result := &Result{
 		Spec:    *spec,
-		Problem: prob.desc,
+		Problem: prob.Desc,
 		Runs:    results,
 		BestRun: 0,
 	}

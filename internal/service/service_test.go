@@ -11,6 +11,13 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	// The service layer itself is problem-agnostic; the tests exercise the
+	// built-in kinds, which register themselves on import.
+	_ "mcopt/internal/linarr"
+	_ "mcopt/internal/partition"
+	_ "mcopt/internal/pmedian"
+	_ "mcopt/internal/tsp"
 )
 
 // testServer wires a manager and its HTTP handler over a fresh data dir.

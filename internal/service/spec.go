@@ -3,69 +3,50 @@
 // in a bounded-concurrency queue of optimization jobs, and an HTTP API that
 // submits, observes, streams, and cancels them.
 //
-// A job is a JSON spec naming a problem (a GOLA/NOLA/partition/TSP/p-median
-// generator, or an inline netlist), a search strategy (Figure 1, Figure 2,
-// or parallel tempering), a g class, a move budget, a replica count, and a
-// seed. The
+// A job is a JSON spec naming a problem (any kind in the mcopt/problem
+// registry — the built-in generators, an inline netlist, or a plugin
+// domain registered by the embedding binary), a search strategy (Figure 1,
+// Figure 2, or parallel tempering), a g class, a move budget, a replica
+// count, and a seed. The service layer contains no per-problem code:
+// ProblemSpec.Kind resolves through the registry, so registering a kind
+// makes it servable with no edits here. The
 // manager persists every job under its data directory, journals each
 // completed replica through internal/checkpoint, and writes result
 // artifacts through internal/atomicio — so a killed server resumes its
 // in-flight jobs on restart and a resumed job's result is byte-identical to
-// an uninterrupted run. See DESIGN.md §10.
+// an uninterrupted run. See DESIGN.md §10 and §13.
 package service
 
 import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 	"strconv"
 	"strings"
 
 	"mcopt/internal/checkpoint"
 	"mcopt/internal/core"
 	"mcopt/internal/gfunc"
-	"mcopt/internal/linarr"
-	"mcopt/internal/netlist"
-	"mcopt/internal/partition"
-	"mcopt/internal/pmedian"
-	"mcopt/internal/rng"
-	"mcopt/internal/tsp"
+	"mcopt/problem"
 )
 
-// Problem kinds accepted in a ProblemSpec.
+// Names of the problem kinds that ship with the library, as accepted in a
+// ProblemSpec. The set of servable kinds is open: it is whatever the
+// problem registry holds at submit time.
 const (
 	KindGOLA      = "gola"      // graph optimal linear arrangement (two-pin nets)
 	KindNOLA      = "nola"      // network OLA (multi-pin nets)
 	KindPartition = "partition" // balanced two-way circuit partition
 	KindTSP       = "tsp"       // Euclidean travelling salesman
 	KindPMedian   = "pmedian"   // p-median facility location
+	KindMaxCut    = "maxcut"    // weighted maximum cut
 )
 
-// ProblemSpec names the instance a job optimizes: either a generator
-// parameterization (kind + sizes + seed) or, for the netlist kinds, an
-// inline instance in the text netlist format.
-type ProblemSpec struct {
-	// Kind selects the problem family; see the Kind constants.
-	Kind string `json:"kind"`
-	// Cells and Nets size generated netlist instances (gola, nola,
-	// partition).
-	Cells int `json:"cells,omitempty"`
-	Nets  int `json:"nets,omitempty"`
-	// MinPins and MaxPins bound generated net sizes for nola and partition
-	// (defaults 2–8 and 2–4, matching olagen and the X1 suite).
-	MinPins int `json:"min_pins,omitempty"`
-	MaxPins int `json:"max_pins,omitempty"`
-	// N is the number of sites for tsp and pmedian; P the medians to place.
-	N int `json:"n,omitempty"`
-	P int `json:"p,omitempty"`
-	// Netlist, when non-empty, is an inline instance in the text netlist
-	// format (see internal/netlist) and overrides the generator fields. Only
-	// meaningful for the netlist kinds.
-	Netlist string `json:"netlist,omitempty"`
-	// Seed seeds the instance generator (default 1).
-	Seed uint64 `json:"seed,omitempty"`
-}
+// ProblemSpec names the instance a job optimizes: a registered kind plus
+// its generator parameterization (sizes + seed) or, for kinds that read
+// the text netlist format, an inline instance. It is the problem package's
+// Spec; the alias keeps the service API self-contained.
+type ProblemSpec = problem.Spec
 
 // JobSpec is the unit of work a client submits: one problem, one method,
 // Runs independent replicas under equal budgets (the paper's repetition
@@ -82,8 +63,8 @@ type JobSpec struct {
 	// between exchange attempts (default 256). Only valid with "tempering".
 	ExchangeEvery int64 `json:"exchange_every,omitempty"`
 	// Batch, when > 1, makes engines evaluate proposals in blocks of Batch
-	// on solutions that support batched evaluation (GOLA/NOLA). Valid with
-	// "fig1" and "tempering".
+	// on solutions that support batched evaluation (GOLA/NOLA, maxcut).
+	// Valid with "fig1" and "tempering".
 	Batch int `json:"batch,omitempty"`
 	// G is the g-class row label from the paper's tables (default "g = 1"),
 	// or "[COHO83a]" for the Cohoon–Sahni function on netlist problems.
@@ -108,7 +89,9 @@ const maxRuns = 10_000
 
 // Normalize fills defaulted fields in place. It is idempotent and is applied
 // on submit, so persisted specs — and therefore checkpoint fingerprints —
-// are always in normal form.
+// are always in normal form. The problem block is normalized by its
+// registered kind; an unknown kind is left untouched for Validate to
+// reject.
 func (s *JobSpec) Normalize() {
 	if s.Strategy == "" {
 		s.Strategy = "fig1"
@@ -137,46 +120,8 @@ func (s *JobSpec) Normalize() {
 	if p.Seed == 0 {
 		p.Seed = 1
 	}
-	switch p.Kind {
-	case KindGOLA:
-		if p.Netlist == "" {
-			if p.Cells == 0 {
-				p.Cells = 15
-			}
-			if p.Nets == 0 {
-				p.Nets = 150
-			}
-		}
-	case KindNOLA, KindPartition:
-		if p.Netlist == "" {
-			if p.Cells == 0 {
-				p.Cells = 15
-			}
-			if p.Nets == 0 {
-				p.Nets = 150
-			}
-			if p.MinPins == 0 {
-				p.MinPins = 2
-			}
-			if p.MaxPins == 0 {
-				if p.Kind == KindPartition {
-					p.MaxPins = min(4, p.Cells)
-				} else {
-					p.MaxPins = min(8, p.Cells)
-				}
-			}
-		}
-	case KindTSP:
-		if p.N == 0 {
-			p.N = 60
-		}
-	case KindPMedian:
-		if p.N == 0 {
-			p.N = 60
-		}
-		if p.P == 0 {
-			p.P = 6
-		}
+	if d, ok := problem.Lookup(p.Kind); ok {
+		d.Normalize(p)
 	}
 }
 
@@ -223,40 +168,18 @@ func (s *JobSpec) Validate() error {
 		}
 	}
 	p := &s.Problem
-	netlistKind := false
-	switch p.Kind {
-	case KindGOLA, KindNOLA, KindPartition:
-		netlistKind = true
-		if p.Netlist == "" {
-			if p.Cells < 2 {
-				return fmt.Errorf("%s: cells %d must be at least 2", p.Kind, p.Cells)
-			}
-			if p.Nets < 1 {
-				return fmt.Errorf("%s: nets %d must be positive", p.Kind, p.Nets)
-			}
-			if p.Kind != KindGOLA && (p.MinPins < 2 || p.MaxPins < p.MinPins || p.MaxPins > p.Cells) {
-				return fmt.Errorf("%s: pin range [%d,%d] invalid for %d cells", p.Kind, p.MinPins, p.MaxPins, p.Cells)
-			}
-		}
-	case KindTSP:
-		if p.N < 3 {
-			return fmt.Errorf("tsp: n %d must be at least 3", p.N)
-		}
-	case KindPMedian:
-		if p.N < 2 {
-			return fmt.Errorf("pmedian: n %d must be at least 2", p.N)
-		}
-		if p.P < 1 || p.P >= p.N {
-			return fmt.Errorf("pmedian: p %d out of range [1,%d)", p.P, p.N)
-		}
-	default:
-		return fmt.Errorf("unknown problem kind %q", p.Kind)
+	d, ok := problem.Lookup(p.Kind)
+	if !ok {
+		return fmt.Errorf("unknown problem kind %q (registered: %s)", p.Kind, strings.Join(problem.Kinds(), ", "))
 	}
-	if p.Netlist != "" && !netlistKind {
-		return fmt.Errorf("%s: inline netlist is only valid for gola/nola/partition", p.Kind)
+	if err := d.Validate(p); err != nil {
+		return err
+	}
+	if p.Netlist != "" && !d.Netlist {
+		return fmt.Errorf("%s: inline netlist is not supported by this problem kind", p.Kind)
 	}
 	if s.G == cohoonSahniName {
-		if !netlistKind {
+		if !d.Netlist {
 			return fmt.Errorf("%s applies only to netlist problems", cohoonSahniName)
 		}
 		if len(s.Ys) != 0 {
@@ -285,6 +208,10 @@ const cohoonSahniName = "[COHO83a]"
 // results, in the checkpoint layer's canonical style. Two jobs with equal
 // normalized specs share a fingerprint; any parameter change produces a new
 // one, so a stale journal can never be replayed into a different job shape.
+// The registered kind is folded in through p.Kind, so two kinds reading the
+// same generic fields can never collide; the field order and version tag
+// predate the problem registry and are frozen — changing either would
+// orphan every existing journal (TestSpecCompatGolden pins this).
 func (s *JobSpec) Fingerprint() uint64 {
 	p := &s.Problem
 	ys := make([]string, len(s.Ys))
@@ -307,105 +234,17 @@ func (s *JobSpec) Fingerprint() uint64 {
 	)
 }
 
-// problem is a compiled ProblemSpec: the concrete instance plus the
-// factories the runner needs. Building it is deterministic — the instance
-// and every derived stream depend only on the spec.
-type problem struct {
-	// desc is the human description used in status output and artifacts.
-	desc string
-	// scale anchors default schedules on this instance's cost regime.
-	scale gfunc.Scale
-	// newSolution returns the fresh starting state of replica run.
-	newSolution func(run int) core.Solution
-	// encode flattens a best solution into the artifact's integer encoding
-	// (cell order, side assignment, tour order, or chosen medians).
-	encode func(best core.Solution) []int
-	// nets is the net count for [COHO83a]; zero for non-netlist problems.
-	nets int
-}
-
-// compile builds the problem a normalized, validated spec describes.
-func compile(s *JobSpec) (*problem, error) {
+// compile resolves a normalized, validated spec into its registered kind's
+// instance: the concrete problem plus the solution/encode factories the
+// runner needs. Building it is deterministic — the instance and every
+// derived stream depend only on the spec.
+func compile(s *JobSpec) (*problem.Instance, error) {
 	p := &s.Problem
-	switch p.Kind {
-	case KindGOLA, KindNOLA, KindPartition:
-		var nl *netlist.Netlist
-		var err error
-		if p.Netlist != "" {
-			nl, err = netlist.Read(strings.NewReader(p.Netlist))
-			if err != nil {
-				return nil, fmt.Errorf("inline netlist: %w", err)
-			}
-		} else if p.Kind == KindGOLA {
-			nl = netlist.RandomGraph(rng.Stream("service/gola", p.Seed), p.Cells, p.Nets)
-		} else {
-			nl = netlist.RandomHyper(rng.Stream("service/"+p.Kind, p.Seed), p.Cells, p.Nets, p.MinPins, p.MaxPins)
-		}
-		if p.Kind == KindPartition {
-			return compilePartition(s, nl), nil
-		}
-		return compileLinear(s, nl), nil
-	case KindTSP:
-		inst := tsp.RandomEuclidean(rng.Stream("service/tsp", p.Seed), p.N)
-		sample := tsp.RandomTour(inst, rng.Stream("service/tsp/scale", p.Seed))
-		scale := gfunc.Scale{TypicalCost: math.Max(sample.Length(), 1), TypicalDelta: math.Max(sample.Length()/100, 1e-9)}
-		return &problem{
-			desc:  fmt.Sprintf("tsp (%d cities)", inst.N()),
-			scale: scale,
-			newSolution: func(run int) core.Solution {
-				return tsp.RandomTour(inst, rng.Derive("service/tsp/start", s.Seed, uint64(run)))
-			},
-			encode: func(best core.Solution) []int { return best.(*tsp.Tour).Order() },
-		}, nil
-	case KindPMedian:
-		inst := pmedian.RandomEuclidean(rng.Stream("service/pmedian", p.Seed), p.N, p.P)
-		sample := pmedian.Random(inst, rng.Stream("service/pmedian/scale", p.Seed))
-		scale := gfunc.Scale{TypicalCost: math.Max(sample.Cost(), 1), TypicalDelta: math.Max(sample.Cost()/20, 1e-9)}
-		return &problem{
-			desc:  fmt.Sprintf("pmedian (%d sites, p=%d)", inst.N(), inst.P()),
-			scale: scale,
-			newSolution: func(run int) core.Solution {
-				return pmedian.NewSolution(pmedian.Random(inst, rng.Derive("service/pmedian/start", s.Seed, uint64(run))))
-			},
-			encode: func(best core.Solution) []int {
-				chosen := best.(*pmedian.Solution).Medians().Chosen()
-				sort.Ints(chosen)
-				return chosen
-			},
-		}, nil
+	d, ok := problem.Lookup(p.Kind)
+	if !ok {
+		return nil, fmt.Errorf("unknown problem kind %q (registered: %s)", p.Kind, strings.Join(problem.Kinds(), ", "))
 	}
-	return nil, fmt.Errorf("unknown problem kind %q", p.Kind)
-}
-
-func compileLinear(s *JobSpec, nl *netlist.Netlist) *problem {
-	sample := linarr.Random(nl, rng.Stream("service/linarr/scale", s.Problem.Seed))
-	return &problem{
-		desc:  fmt.Sprintf("%s (%d cells, %d nets)", s.Problem.Kind, nl.NumCells(), nl.NumNets()),
-		scale: gfunc.Scale{TypicalCost: math.Max(float64(sample.Density()), 1), TypicalDelta: 2},
-		newSolution: func(run int) core.Solution {
-			arr := linarr.Random(nl, rng.Derive("service/linarr/start", s.Seed, uint64(run)))
-			return linarr.NewSolution(arr, linarr.PairwiseInterchange)
-		},
-		encode: func(best core.Solution) []int {
-			return best.(*linarr.Solution).Arrangement().Order()
-		},
-		nets: nl.NumNets(),
-	}
-}
-
-func compilePartition(s *JobSpec, nl *netlist.Netlist) *problem {
-	sample := partition.Random(nl, rng.Stream("service/partition/scale", s.Problem.Seed))
-	return &problem{
-		desc:  fmt.Sprintf("partition (%d cells, %d nets)", nl.NumCells(), nl.NumNets()),
-		scale: gfunc.Scale{TypicalCost: math.Max(float64(sample.CutSize()), 1), TypicalDelta: 2},
-		newSolution: func(run int) core.Solution {
-			return partition.NewSolution(partition.Random(nl, rng.Derive("service/partition/start", s.Seed, uint64(run))))
-		},
-		encode: func(best core.Solution) []int {
-			return best.(*partition.Solution).Bipartition().Sides()
-		},
-		nets: nl.NumNets(),
-	}
+	return d.Compile(p, s.Seed)
 }
 
 // newG builds a fresh g instance for one replica, returning the resolved
@@ -413,12 +252,12 @@ func compilePartition(s *JobSpec, nl *netlist.Netlist) *problem {
 // tempering strategy can pin its exchange ladder to the same temperatures.
 // Several classes carry mutable schedule state, so every replica gets its
 // own instance.
-func (p *problem) newG(s *JobSpec) (core.G, []float64, error) {
+func newG(inst *problem.Instance, s *JobSpec) (core.G, []float64, error) {
 	if s.G == cohoonSahniName {
-		if p.nets == 0 {
+		if inst.Nets == 0 {
 			return nil, nil, errors.New(cohoonSahniName + " applies only to netlist problems")
 		}
-		return gfunc.CohoonSahni(p.nets), nil, nil
+		return gfunc.CohoonSahni(inst.Nets), nil, nil
 	}
 	b, ok := gfunc.ByName(s.G)
 	if !ok {
@@ -426,7 +265,7 @@ func (p *problem) newG(s *JobSpec) (core.G, []float64, error) {
 	}
 	ys := s.Ys
 	if b.NeedsY && len(ys) == 0 {
-		ys = b.DefaultYs(p.scale)
+		ys = b.DefaultYs(inst.Scale)
 	}
 	return b.Build(ys), ys, nil
 }

@@ -1,0 +1,119 @@
+package service
+
+import (
+	"strings"
+	"testing"
+
+	"mcopt/problem"
+)
+
+// These tests pin the registry-backed spec pipeline directly (no HTTP):
+// every Validate error path, the error text that lists registered kinds,
+// and the normalize/validate split around unknown kinds.
+
+func normalized(spec JobSpec) JobSpec {
+	spec.Normalize()
+	return spec
+}
+
+func TestValidateErrorPaths(t *testing.T) {
+	golaN := func() JobSpec {
+		return normalized(JobSpec{Problem: ProblemSpec{Kind: KindGOLA}})
+	}
+	cases := []struct {
+		name string
+		spec JobSpec
+		want string // substring of the error
+	}{
+		{"unknown kind", normalized(JobSpec{Problem: ProblemSpec{Kind: "nosuch"}}), "unknown problem kind"},
+		{"empty kind", normalized(JobSpec{}), "unknown problem kind"},
+		{"unknown strategy", func() JobSpec { s := golaN(); s.Strategy = "fig3"; return s }(), "unknown strategy"},
+		{"chains without tempering", func() JobSpec { s := golaN(); s.Chains = 4; return s }(), "chains applies only"},
+		{"exchange without tempering", func() JobSpec { s := golaN(); s.ExchangeEvery = 64; return s }(), "exchange_every applies only"},
+		{"chains out of range", normalized(JobSpec{Problem: ProblemSpec{Kind: KindGOLA}, Strategy: "tempering", Chains: 1000}), "chains 1000 out of range"},
+		{"batch on fig2", normalized(JobSpec{Problem: ProblemSpec{Kind: KindGOLA}, Strategy: "fig2", Batch: 8}), "batch does not apply"},
+		{"batch out of range", func() JobSpec { s := golaN(); s.Batch = 1 << 20; return s }(), "batch 1048576 out of range"},
+		{"zero budget", func() JobSpec { s := golaN(); s.Budget = -1; return s }(), "budget -1 must be positive"},
+		{"runs out of range", func() JobSpec { s := golaN(); s.Runs = maxRuns + 1; return s }(), "runs 10001 out of range"},
+		{"unknown g", func() JobSpec { s := golaN(); s.G = "No Such Class"; return s }(), "unknown g class"},
+		{"ys on schedule-free class", func() JobSpec { s := golaN(); s.Ys = []float64{1}; return s }(), "takes no schedule"},
+		{"ys length mismatch", func() JobSpec {
+			s := golaN()
+			s.G = "Six Temperature Annealing"
+			s.Ys = []float64{1, 2}
+			return s
+		}(), "needs 6 levels, got 2"},
+		{"non-finite ys", func() JobSpec {
+			s := golaN()
+			s.G = "Six Temperature Annealing"
+			s.Ys = []float64{1, 2, 3, 4, 5, inf()}
+			return s
+		}(), "not finite"},
+		{"cohoon on non-netlist kind", normalized(JobSpec{Problem: ProblemSpec{Kind: KindTSP}, G: "[COHO83a]"}), "applies only to netlist"},
+		{"cohoon with schedule", func() JobSpec {
+			s := golaN()
+			s.G = "[COHO83a]"
+			s.Ys = []float64{1, 2, 3}
+			return s
+		}(), "takes no schedule"},
+		{"inline netlist on non-netlist kind", normalized(JobSpec{Problem: ProblemSpec{Kind: KindTSP, Netlist: "cells 2\nnet 0 1\n"}}), "inline netlist is not supported"},
+		{"domain validation", normalized(JobSpec{Problem: ProblemSpec{Kind: KindPMedian, N: 5, P: 9}}), "p"},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted the spec", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func inf() float64 { var zero float64; return 1 / zero }
+
+// TestUnknownKindErrorListsRegistry pins the discoverability contract: the
+// rejection names every kind the registry holds, so a client can correct a
+// typo from the error alone.
+func TestUnknownKindErrorListsRegistry(t *testing.T) {
+	s := normalized(JobSpec{Problem: ProblemSpec{Kind: "nosuch"}})
+	err := s.Validate()
+	if err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	for _, kind := range problem.Kinds() {
+		if !strings.Contains(err.Error(), kind) {
+			t.Errorf("error %q does not list registered kind %q", err, kind)
+		}
+	}
+}
+
+// TestNormalizeLeavesUnknownKindUntouched: Normalize must not guess
+// defaults for a kind it cannot resolve — the spec passes through for
+// Validate to reject with the full kind listing.
+func TestNormalizeLeavesUnknownKindUntouched(t *testing.T) {
+	s := JobSpec{Problem: ProblemSpec{Kind: "nosuch", Cells: 7}}
+	s.Normalize()
+	if s.Problem.Cells != 7 || s.Problem.Nets != 0 {
+		t.Fatalf("Normalize touched an unknown kind's fields: %+v", s.Problem)
+	}
+	if s.Strategy != "fig1" || s.Budget != 2400 {
+		t.Fatalf("job-level defaults missing: %+v", s)
+	}
+}
+
+// TestValidateAcceptsEveryRegisteredKind: the defaulted spec of every kind
+// the test binary registered must validate — the registry contract that
+// "registered" implies "servable".
+func TestValidateAcceptsEveryRegisteredKind(t *testing.T) {
+	for _, kind := range problem.Kinds() {
+		s := normalized(JobSpec{Problem: ProblemSpec{Kind: kind}})
+		if err := s.Validate(); err != nil {
+			t.Errorf("kind %q: defaulted spec rejected: %v", kind, err)
+		}
+		if _, err := compile(&s); err != nil {
+			t.Errorf("kind %q: defaulted spec failed to compile: %v", kind, err)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package tsp
+
+import (
+	"fmt"
+	"math"
+
+	"mcopt/internal/gfunc"
+	"mcopt/internal/rng"
+	"mcopt/problem"
+)
+
+// Registry definition for the Euclidean TSP of extension X2. The rng
+// stream labels predate the registry and are frozen for checkpoint and
+// result compatibility.
+
+func init() {
+	problem.Register(problem.Definition{
+		Kind: "tsp",
+		Normalize: func(p *problem.Spec) {
+			if p.N == 0 {
+				p.N = 60
+			}
+		},
+		Validate: func(p *problem.Spec) error {
+			if p.N < 3 {
+				return fmt.Errorf("tsp: n %d must be at least 3", p.N)
+			}
+			return nil
+		},
+		Compile: func(p *problem.Spec, jobSeed uint64) (*problem.Instance, error) {
+			inst := RandomEuclidean(rng.Stream("service/tsp", p.Seed), p.N)
+			sample := RandomTour(inst, rng.Stream("service/tsp/scale", p.Seed))
+			return &problem.Instance{
+				Desc:  fmt.Sprintf("tsp (%d cities)", inst.N()),
+				Scale: gfunc.Scale{TypicalCost: math.Max(sample.Length(), 1), TypicalDelta: math.Max(sample.Length()/100, 1e-9)},
+				NewSolution: func(run int) problem.Solution {
+					return RandomTour(inst, rng.Derive("service/tsp/start", jobSeed, uint64(run)))
+				},
+				Encode: func(best problem.Solution) []int { return best.(*Tour).Order() },
+			}, nil
+		},
+	})
+}

@@ -34,18 +34,23 @@ import (
 	"mcopt/internal/rng"
 	"mcopt/internal/schedule"
 	"mcopt/internal/tsp"
+	"mcopt/problem"
 )
 
 // ---- Search engines (the paper's Figures 1 and 2) ----
 
 type (
-	// Solution is a mutable candidate solution; see core.Solution.
-	Solution = core.Solution
-	// Move is a proposed, not-yet-applied perturbation; see core.Move.
-	Move = core.Move
+	// Solution is a mutable candidate solution; see problem.Solution. The
+	// problem-facing contracts (Solution, Move, Descender, Enumerable,
+	// BatchEvaluator) live in the public mcopt/problem package, which also
+	// holds the registry that makes new domains servable by mcoptd; they
+	// are re-exported here so engine-side code reads uniformly.
+	Solution = problem.Solution
+	// Move is a proposed, not-yet-applied perturbation; see problem.Move.
+	Move = problem.Move
 	// Descender is a Solution with deterministic local search, required by
-	// the Figure-2 strategy; see core.Descender.
-	Descender = core.Descender
+	// the Figure-2 strategy; see problem.Descender.
+	Descender = problem.Descender
 	// G is an acceptance-function class; see core.G.
 	G = core.G
 	// Budget meters attempted perturbations; see core.Budget.
@@ -72,8 +77,9 @@ type (
 	// core.Tempering.
 	Tempering = core.Tempering
 	// BatchEvaluator is a Solution that can evaluate a block of candidate
-	// moves against committed state in one call; see core.BatchEvaluator.
-	BatchEvaluator = core.BatchEvaluator
+	// moves against committed state in one call; see
+	// problem.BatchEvaluator.
+	BatchEvaluator = problem.BatchEvaluator
 	// ChainStat aggregates one tempering chain's activity; see
 	// core.ChainStat.
 	ChainStat = core.ChainStat
@@ -81,8 +87,8 @@ type (
 	// moves"; see core.Rejectionless.
 	Rejectionless = core.Rejectionless
 	// Enumerable is a Solution with an enumerable neighborhood, required by
-	// Rejectionless; see core.Enumerable.
-	Enumerable = core.Enumerable
+	// Rejectionless; see problem.Enumerable.
+	Enumerable = problem.Enumerable
 	// LevelStat aggregates one temperature level's activity; see
 	// core.LevelStat.
 	LevelStat = core.LevelStat

@@ -1,0 +1,15 @@
+// Package builtin registers every problem kind that ships with the
+// library, in the image/png idiom: import it for side effects and the
+// default problem registry knows gola, nola, partition, tsp, pmedian, and
+// maxcut. Binaries that serve or compile job specs (cmd/mcoptd) import it;
+// a program that only wants specific kinds imports those domain packages
+// directly.
+package builtin
+
+import (
+	_ "mcopt/internal/linarr"    // gola, nola
+	_ "mcopt/internal/maxcut"    // maxcut
+	_ "mcopt/internal/partition" // partition
+	_ "mcopt/internal/pmedian"   // pmedian
+	_ "mcopt/internal/tsp"       // tsp
+)

@@ -1,0 +1,72 @@
+package problem
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry is a concurrent-safe map from kind name to Definition. The zero
+// value is not usable; call NewRegistry. Most code uses the package-level
+// default registry via Register/Lookup/Kinds — a separate Registry exists
+// for tests and for embedders that want an isolated kind namespace.
+type Registry struct {
+	mu   sync.RWMutex
+	defs map[string]Definition
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{defs: make(map[string]Definition)} }
+
+// Register adds a definition. It panics on an empty kind, a missing
+// lifecycle func, or a duplicate registration — all three are programmer
+// errors at package init time, and failing loudly there beats a service
+// that silently resolves a kind to the wrong domain.
+func (r *Registry) Register(d Definition) {
+	if d.Kind == "" {
+		panic("problem: Register with empty kind")
+	}
+	if d.Normalize == nil || d.Validate == nil || d.Compile == nil {
+		panic(fmt.Sprintf("problem: Register(%q) with nil Normalize, Validate or Compile", d.Kind))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.defs[d.Kind]; dup {
+		panic(fmt.Sprintf("problem: duplicate registration of kind %q", d.Kind))
+	}
+	r.defs[d.Kind] = d
+}
+
+// Lookup returns the definition registered under kind.
+func (r *Registry) Lookup(kind string) (Definition, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.defs[kind]
+	return d, ok
+}
+
+// Kinds returns the registered kind names, sorted.
+func (r *Registry) Kinds() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.defs))
+	for k := range r.defs {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// defaultRegistry backs the package-level functions; the service resolves
+// job specs against it.
+var defaultRegistry = NewRegistry()
+
+// Register adds a definition to the default registry; see
+// Registry.Register. Typically called from a domain package's init func.
+func Register(d Definition) { defaultRegistry.Register(d) }
+
+// Lookup returns the default-registry definition for kind.
+func Lookup(kind string) (Definition, bool) { return defaultRegistry.Lookup(kind) }
+
+// Kinds returns the default registry's kind names, sorted.
+func Kinds() []string { return defaultRegistry.Kinds() }

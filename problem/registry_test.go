@@ -1,0 +1,111 @@
+package problem
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func testDef(kind string) Definition {
+	return Definition{
+		Kind:      kind,
+		Normalize: func(*Spec) {},
+		Validate:  func(*Spec) error { return nil },
+		Compile: func(p *Spec, jobSeed uint64) (*Instance, error) {
+			return &Instance{Desc: kind}, nil
+		},
+	}
+}
+
+func TestRegistryRegisterLookup(t *testing.T) {
+	r := NewRegistry()
+	r.Register(testDef("beta"))
+	r.Register(testDef("alpha"))
+	d, ok := r.Lookup("alpha")
+	if !ok || d.Kind != "alpha" {
+		t.Fatalf("Lookup(alpha) = %v, %v", d.Kind, ok)
+	}
+	if _, ok := r.Lookup("gamma"); ok {
+		t.Fatal("Lookup of an unregistered kind succeeded")
+	}
+	if got := r.Kinds(); len(got) != 2 || got[0] != "alpha" || got[1] != "beta" {
+		t.Fatalf("Kinds() = %v, want sorted [alpha beta]", got)
+	}
+}
+
+// mustPanic asserts fn panics with a message containing want.
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatalf("no panic (want one mentioning %q)", want)
+		}
+		if msg := fmt.Sprint(v); !strings.Contains(msg, want) {
+			t.Fatalf("panic %q does not mention %q", msg, want)
+		}
+	}()
+	fn()
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Register(testDef("dup"))
+	mustPanic(t, "duplicate", func() { r.Register(testDef("dup")) })
+}
+
+func TestRegistryRejectsBadDefinitions(t *testing.T) {
+	r := NewRegistry()
+	mustPanic(t, "empty kind", func() { r.Register(testDef("")) })
+	bad := testDef("no-normalize")
+	bad.Normalize = nil
+	mustPanic(t, "nil", func() { r.Register(bad) })
+	bad = testDef("no-validate")
+	bad.Validate = nil
+	mustPanic(t, "nil", func() { r.Register(bad) })
+	bad = testDef("no-compile")
+	bad.Compile = nil
+	mustPanic(t, "nil", func() { r.Register(bad) })
+}
+
+// TestRegistryConcurrentAccess hammers one registry from many goroutines —
+// registrations of distinct kinds racing lookups and kind listings. Run
+// under -race (the CI focused race gate includes this package).
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	const writers, readers, kinds = 8, 8, 64
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < kinds; i++ {
+				r.Register(testDef(fmt.Sprintf("w%d/k%d", w, i)))
+			}
+		}(w)
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < kinds; i++ {
+				if d, ok := r.Lookup(fmt.Sprintf("w%d/k%d", g%writers, i)); ok && d.Compile == nil {
+					t.Error("Lookup returned a half-written definition")
+					return
+				}
+				ks := r.Kinds()
+				for j := 1; j < len(ks); j++ {
+					if ks[j-1] >= ks[j] {
+						t.Errorf("Kinds() not sorted: %v", ks)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(r.Kinds()); got != writers*kinds {
+		t.Fatalf("%d kinds registered, want %d", got, writers*kinds)
+	}
+}

@@ -1,0 +1,68 @@
+#!/usr/bin/env sh
+# service_bench.sh — scripted load probe of the service layer.
+#
+# Builds mcoptd and mcoptload, starts a throwaway server on an ephemeral
+# port with a fresh data directory, and drives it with concurrent clients
+# submitting small max-cut jobs (the registry-served plugin domain) while
+# watching every job's NDJSON event stream to completion. The probe's
+# latency percentiles (submit, first event, done, result fetch) land in
+# BENCH_service.json at the repo root.
+#
+#   make bench-service            # defaults: 32 jobs, 8 clients
+#   JOBS=64 CONCURRENCY=16 ./scripts/service_bench.sh out.json
+#
+# The spec is tiny on purpose: the probe measures queueing, persistence,
+# and streaming overhead, not annealing time.
+
+set -eu
+
+GO=${GO:-go}
+JOBS=${JOBS:-32}
+CONCURRENCY=${CONCURRENCY:-8}
+OUT=${1:-BENCH_service.json}
+SPEC='{"problem":{"kind":"maxcut","cells":48,"nets":180,"seed":2},"budget":8000,"runs":2,"seed":5}'
+
+work=$(mktemp -d)
+server_pid=""
+cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+echo "== build =="
+$GO build -o "$work/mcoptd" ./cmd/mcoptd
+$GO build -o "$work/mcoptload" ./cmd/mcoptload
+
+echo "== start server =="
+"$work/mcoptd" -addr 127.0.0.1:0 -data "$work/data" -workers 4 2> "$work/server.log" &
+server_pid=$!
+addr=""
+tries=0
+while [ "$tries" -lt 100 ]; do
+    addr=$(sed -n 's/.*listening on \([0-9.]*:[0-9]*\).*/\1/p' "$work/server.log" | head -1)
+    [ -n "$addr" ] && break
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        echo "FAIL: mcoptd exited during startup" >&2
+        cat "$work/server.log" >&2
+        exit 1
+    fi
+    tries=$((tries + 1))
+    sleep 0.05
+done
+if [ -z "$addr" ]; then
+    echo "FAIL: mcoptd never reported its listen address" >&2
+    exit 1
+fi
+
+echo "$SPEC" > "$work/spec.json"
+echo "== probe: $JOBS jobs, $CONCURRENCY concurrent clients =="
+"$work/mcoptload" -addr "http://$addr" -jobs "$JOBS" -concurrency "$CONCURRENCY" \
+    -spec "$work/spec.json" -o "$OUT"
+
+kill -TERM "$server_pid" 2>/dev/null || true
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+
+cat "$OUT"
+echo "service-bench: wrote $OUT"
