@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-json bench-service tables tune report examples cover fuzz profile determinism crash-test smoke clean
+.PHONY: all build test vet bench bench-json bench-service tables tune report examples cover fuzz profile determinism crash-test smoke chaos-test clean
 
 all: build vet test
 
@@ -92,6 +92,13 @@ crash-test:
 # same data directory, and cmp the resumed result against the golden one.
 smoke:
 	GO=$(GO) sh scripts/service_smoke.sh
+
+# The runner fleet's fault tolerance, checked end to end: three mcoptrunner
+# processes share a job's replica grid, one straggles (injected stall) and
+# is kill -9'd mid-grid, and the coordinator must re-lease its window —
+# the final artifact must be byte-identical to a single-node run.
+chaos-test:
+	GO=$(GO) sh scripts/chaos_test.sh
 
 clean:
 	rm -f report.md test_output.txt bench_output.txt cpu.pprof mem.pprof seq.txt par.txt

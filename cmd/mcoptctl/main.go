@@ -15,8 +15,10 @@
 // it then streams events to stderr until the job is terminal and exits
 // non-zero unless the job is done. watch streams the job's NDJSON event
 // stream to stdout until the job is terminal; its exit status mirrors the
-// job's fate (0 done, 3 failed, 4 cancelled). result writes the committed
-// result artifact to stdout or -o FILE.
+// job's fate (0 done, 3 failed, 4 cancelled). A dropped stream is retried
+// with backoff — a server restart mid-watch costs a reconnect notice on
+// stderr, not a spurious failure. result writes the committed result
+// artifact to stdout or -o FILE.
 package main
 
 import (
@@ -30,6 +32,7 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"mcopt/internal/atomicio"
 	"mcopt/internal/buildinfo"
@@ -212,35 +215,57 @@ func cmdStatus(c *client, args []string) error {
 	return err
 }
 
-// watch streams a job's NDJSON events to w until the stream ends, then
-// reports the job's terminal state as an exit code.
-func watch(c *client, id string, w io.Writer) error {
-	resp, err := c.do(http.MethodGet, "/v1/jobs/"+id+"/events", nil, nil)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return decodeError(resp)
-	}
-	defer resp.Body.Close()
+// watchRetries bounds consecutive transient stream failures before watch
+// gives up; watchBackoff is the first retry delay, doubling up to
+// watchMaxBackoff. A healthy reconnect resets the count, so a long watch
+// survives any number of isolated drops.
+const (
+	watchRetries    = 5
+	watchBackoff    = 500 * time.Millisecond
+	watchMaxBackoff = 5 * time.Second
+)
 
+// watch streams a job's NDJSON events to w until the job is terminal, then
+// reports its fate as an exit code. Transient failures — a refused or
+// dropped connection, a 429 or 5xx answer, or a stream that ends while the
+// job is still running (the server restarting mid-drain) — are retried with
+// exponential backoff rather than surfaced; only a 4xx answer (unknown job)
+// or watchRetries consecutive failures end the watch early. The server
+// replays its recent record buffer on each reconnect, so lines may repeat
+// across a drop; exit codes are unaffected.
+func watch(c *client, id string, w io.Writer) error {
 	var last service.StreamRecord
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+	attempt := 0
+	for {
+		terminal, lines, err := streamOnce(c, id, w, &last)
+		if err != nil {
+			var ee *exitError
+			if errors.As(err, &ee) {
+				return err // permanent: the API rejected the watch (4xx)
+			}
 		}
-		fmt.Fprintf(w, "%s\n", line)
-		var rec service.StreamRecord
-		if json.Unmarshal(line, &rec) == nil && rec.Type == "state" {
-			last = rec
+		if terminal {
+			break
 		}
+		// Transient failure, or a stream that ended cleanly while the job
+		// is still in flight (the server draining or restarting): back off
+		// and reconnect. A connection that delivered lines was healthy, so
+		// it resets the failure count.
+		if lines > 0 {
+			attempt = 0
+		}
+		attempt++
+		if attempt > watchRetries {
+			return fmt.Errorf("watch %s: stream failed %d times in a row; giving up", id, watchRetries)
+		}
+		d := watchBackoff << (attempt - 1)
+		if d > watchMaxBackoff {
+			d = watchMaxBackoff
+		}
+		fmt.Fprintf(os.Stderr, "mcoptctl: watch stream dropped; reconnecting in %s (attempt %d/%d)\n", d, attempt, watchRetries)
+		time.Sleep(d)
 	}
-	if err := sc.Err(); err != nil {
-		return err
-	}
+
 	switch last.State {
 	case service.StateDone:
 		return nil
@@ -250,6 +275,51 @@ func watch(c *client, id string, w io.Writer) error {
 		return &exitError{code: 4, msg: "job cancelled"}
 	default:
 		return &exitError{code: 5, msg: fmt.Sprintf("stream ended with job %s", last.State)}
+	}
+}
+
+// streamOnce runs one events connection, copying lines to w and tracking the
+// latest state record in *last. It reports whether the job reached a
+// terminal state and how many lines arrived (so the caller can tell a
+// healthy-then-dropped stream from a dead endpoint). Permanent API
+// rejections come back as *exitError; every other error is transient. A
+// clean EOF with a non-terminal state is (false, n, nil): reconnect.
+func streamOnce(c *client, id string, w io.Writer, last *service.StreamRecord) (terminal bool, lines int, err error) {
+	resp, err := c.do(http.MethodGet, "/v1/jobs/"+id+"/events", nil, nil)
+	if err != nil {
+		return false, 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		err := decodeError(resp)
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500 {
+			return false, 0, err
+		}
+		return false, 0, &exitError{code: 1, msg: err.Error()}
+	}
+	defer resp.Body.Close()
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%s\n", line)
+		lines++
+		var rec service.StreamRecord
+		if json.Unmarshal(line, &rec) == nil && rec.Type == "state" {
+			*last = rec
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return false, lines, err
+	}
+	switch last.State {
+	case service.StateDone, service.StateFailed, service.StateCancelled:
+		return true, lines, nil
+	default:
+		return false, lines, nil
 	}
 }
 

@@ -9,7 +9,18 @@
 //
 //	mcoptd -data DIR [-addr :7459] [-workers 2] [-max-queue 64]
 //	       [-run-workers 1] [-request-timeout 30s] [-drain-timeout 30s]
-//	       [-obs=true]
+//	       [-obs=true] [-lease-ttl 10s] [-runner-ttl 30s] [-lease-chunk 8]
+//
+// mcoptd is also the coordinator of an optional runner fleet: cmd/mcoptrunner
+// processes register over the same API, lease contiguous replica windows of
+// running jobs, and commit computed replicas back into the job's checkpoint
+// journal. A job started while at least one runner is live is distributed;
+// with an empty fleet everything runs locally as before. Leases expire after
+// -lease-ttl without a heartbeat (the range is re-leased to a live runner),
+// runners are presumed dead after -runner-ttl of silence, and if the whole
+// fleet dies mid-job the coordinator computes the remainder itself — result
+// bytes are identical no matter which machines did the work (README
+// "Running a runner fleet", DESIGN.md §14).
 //
 // GET /metrics serves a Prometheus text exposition (request latency
 // histograms, job lifecycle metrics, engine move/acceptance counters, all
@@ -60,6 +71,9 @@ func main() {
 	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request handling timeout (event streams exempt)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for jobs to checkpoint and stop")
 	obsOn := flag.Bool("obs", true, "record per-job observability: engine metrics bridge and trace spans")
+	leaseTTL := flag.Duration("lease-ttl", 10*time.Second, "fleet lease lifetime between heartbeats")
+	runnerTTL := flag.Duration("runner-ttl", 0, "silence before a runner is presumed dead (default 3×lease-ttl)")
+	leaseChunk := flag.Int("lease-chunk", 8, "replica slots per fleet lease grant")
 	version := buildinfo.Flag()
 	flag.Parse()
 	buildinfo.HandleFlag("mcoptd", version)
@@ -77,6 +91,9 @@ func main() {
 		RunWorkers: *runWorkers,
 		Logf:       logger.Printf,
 		DisableObs: !*obsOn,
+		LeaseTTL:   *leaseTTL,
+		RunnerTTL:  *runnerTTL,
+		LeaseChunk: *leaseChunk,
 	})
 	if err != nil {
 		logger.Fatal(err)

@@ -7,6 +7,13 @@
 //
 //	mcoptload -addr http://127.0.0.1:7459 [-jobs 32] [-concurrency 8]
 //	          [-spec spec.json] [-o BENCH_service.json]
+//	          [-max-retries 4] [-retry-backoff 200ms]
+//
+// Submits that hit a 429 (queue full) or 503 (draining) burst are retried
+// with exponential backoff instead of failing the probe — overload pushback
+// is the service working as designed, not an error. The report counts the
+// retried requests, so a run that only survived by retrying is visible in
+// BENCH_service.json.
 //
 // The probe measures the service layer, not the search: pair it with a
 // small-budget spec so queueing, persistence, and streaming dominate.
@@ -24,6 +31,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mcopt/internal/atomicio"
@@ -81,6 +89,9 @@ type report struct {
 	Result      quantiles       `json:"result_fetch"`
 	WallSeconds float64         `json:"wall_seconds"`
 	JobsPerSec  float64         `json:"jobs_per_second"`
+	// RetriedRequests counts submits repeated after a 429/503 or connection
+	// error: zero means the server absorbed the load without pushback.
+	RetriedRequests int64 `json:"retried_requests"`
 }
 
 // jobTiming is one job's measured lifecycle.
@@ -88,20 +99,61 @@ type jobTiming struct {
 	submit, firstEvent, done, result time.Duration
 }
 
+// loadClient wraps the HTTP client with submit retries. A loaded mcoptd
+// answers 429 (queue full) or 503 (draining) on purpose; the probe's job is
+// to ride the burst out, not report it as a failure. Shared by all worker
+// goroutines; retried counts every repeated request across the run.
+type loadClient struct {
+	http       *http.Client
+	maxRetries int
+	backoff    time.Duration
+	retried    atomic.Int64
+}
+
+// post submits body, retrying connection errors, 429 and 503 with
+// exponential backoff. Any other status is returned to the caller as-is.
+// The response body is fully read and closed.
+func (c *loadClient) post(url, contentType string, body []byte) (status int, respBody []byte, err error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := c.http.Post(url, contentType, bytes.NewReader(body))
+		var data []byte
+		status := 0
+		if err == nil {
+			status = resp.StatusCode
+			data, _ = io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if status != http.StatusTooManyRequests && status != http.StatusServiceUnavailable {
+				return status, data, nil
+			}
+		}
+		if attempt >= c.maxRetries {
+			if err != nil {
+				return 0, nil, err
+			}
+			return status, data, nil
+		}
+		c.retried.Add(1)
+		d := 5 * time.Second
+		if attempt < 16 && c.backoff<<attempt < d {
+			d = c.backoff << attempt
+		}
+		time.Sleep(d)
+	}
+}
+
 // probeJob drives one job end to end: submit, stream events until the
 // stream closes (the job is finished), fetch the result artifact.
-func probeJob(client *http.Client, addr, spec string) (jobTiming, error) {
+func probeJob(lc *loadClient, addr, spec string) (jobTiming, error) {
+	client := lc.http
 	var tm jobTiming
 	t0 := time.Now()
-	resp, err := client.Post(addr+"/v1/jobs", "application/json", bytes.NewReader([]byte(spec)))
+	status, body, err := lc.post(addr+"/v1/jobs", "application/json", []byte(spec))
 	if err != nil {
 		return tm, fmt.Errorf("submit: %w", err)
 	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
 	tm.submit = time.Since(t0)
-	if resp.StatusCode != http.StatusCreated {
-		return tm, fmt.Errorf("submit: %d %s", resp.StatusCode, body)
+	if status != http.StatusCreated {
+		return tm, fmt.Errorf("submit: %d %s", status, body)
 	}
 	var ack struct {
 		ID string `json:"id"`
@@ -163,6 +215,8 @@ func main() {
 	concurrency := flag.Int("concurrency", 8, "concurrent submitters")
 	specPath := flag.String("spec", "", "job spec file (default: a small built-in gola spec)")
 	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
+	maxRetries := flag.Int("max-retries", 4, "submit retries after a 429/503 or connection error")
+	retryBackoff := flag.Duration("retry-backoff", 200*time.Millisecond, "first retry delay (doubles per attempt)")
 	version := buildinfo.Flag()
 	flag.Parse()
 	buildinfo.HandleFlag("mcoptload", version)
@@ -181,7 +235,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	client := &http.Client{}
+	lc := &loadClient{http: &http.Client{}, maxRetries: *maxRetries, backoff: *retryBackoff}
 	timings := make([]jobTiming, *jobs)
 	errs := make([]error, *jobs)
 	work := make(chan int)
@@ -192,7 +246,7 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				timings[i], errs[i] = probeJob(client, *addr, spec)
+				timings[i], errs[i] = probeJob(lc, *addr, spec)
 			}
 		}()
 	}
@@ -223,17 +277,18 @@ func main() {
 		return ds
 	}
 	rep := report{
-		Version:     buildinfo.Short(),
-		Addr:        *addr,
-		Jobs:        *jobs,
-		Concurrency: *concurrency,
-		Spec:        json.RawMessage(spec),
-		Submit:      summarize(collect(func(t jobTiming) time.Duration { return t.submit })),
-		FirstEvent:  summarize(collect(func(t jobTiming) time.Duration { return t.firstEvent })),
-		Done:        summarize(collect(func(t jobTiming) time.Duration { return t.done })),
-		Result:      summarize(collect(func(t jobTiming) time.Duration { return t.result })),
-		WallSeconds: wall.Seconds(),
-		JobsPerSec:  float64(*jobs) / wall.Seconds(),
+		Version:         buildinfo.Short(),
+		Addr:            *addr,
+		Jobs:            *jobs,
+		Concurrency:     *concurrency,
+		Spec:            json.RawMessage(spec),
+		Submit:          summarize(collect(func(t jobTiming) time.Duration { return t.submit })),
+		FirstEvent:      summarize(collect(func(t jobTiming) time.Duration { return t.firstEvent })),
+		Done:            summarize(collect(func(t jobTiming) time.Duration { return t.done })),
+		Result:          summarize(collect(func(t jobTiming) time.Duration { return t.result })),
+		WallSeconds:     wall.Seconds(),
+		JobsPerSec:      float64(*jobs) / wall.Seconds(),
+		RetriedRequests: lc.retried.Load(),
 	}
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

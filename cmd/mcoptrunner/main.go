@@ -1,0 +1,84 @@
+// Command mcoptrunner is one member of an mcoptd runner fleet: it registers
+// with a coordinator, leases contiguous replica windows of running jobs,
+// computes each replica — the same pure function of (spec, index) the
+// coordinator would run locally — and commits the result bytes back. Any
+// number of runners can point at one mcoptd; the coordinator shards grids
+// across them, re-leases the ranges of runners that stop heartbeating, and
+// steals work from stragglers, so a kill -9 here costs nothing but the
+// replica in flight.
+//
+// Usage:
+//
+//	mcoptrunner -addr http://host:7459 [-name $(hostname)] [-poll 500ms]
+//	            [-timeout 10s] [-max-retries 4] [-backoff 200ms]
+//
+// The register handshake carries this binary's build fingerprint; a
+// coordinator built from a different revision refuses it with a 409, since
+// a mixed fleet could not guarantee byte-identical results. Requests retry
+// transient failures (timeouts, 429, 5xx) with exponential backoff and
+// jitter; SIGINT/SIGTERM finish nothing — abandoned leases simply expire
+// and their windows are re-leased. See DESIGN.md §14.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mcopt/internal/buildinfo"
+	"mcopt/internal/runnerclient"
+	"mcopt/internal/service"
+
+	// Replica computation resolves problem kinds through the registry, so
+	// the runner must register the same built-ins the coordinator has.
+	_ "mcopt/problem/builtin"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:7459", "coordinator base URL")
+	name := flag.String("name", "", "runner name reported to the coordinator (default hostname)")
+	poll := flag.Duration("poll", 0, "idle re-poll interval (default: coordinator's suggestion)")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout")
+	maxRetries := flag.Int("max-retries", 4, "retries per request after a transient failure")
+	backoff := flag.Duration("backoff", 200*time.Millisecond, "first retry delay (doubles per attempt, with jitter)")
+	version := buildinfo.Flag()
+	flag.Parse()
+	buildinfo.HandleFlag("mcoptrunner", version)
+
+	logger := log.New(os.Stderr, "mcoptrunner: ", log.LstdFlags)
+	if *name == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = fmt.Sprintf("runner-%d", os.Getpid())
+		}
+		*name = host
+	}
+
+	client := runnerclient.New(*addr, runnerclient.Options{
+		Timeout:    *timeout,
+		MaxRetries: *maxRetries,
+		Backoff:    *backoff,
+		Logf:       logger.Printf,
+	})
+	r := &runnerclient.Runner{
+		Client:      client,
+		Name:        *name,
+		Fingerprint: buildinfo.Short(),
+		Compute:     (&service.ReplicaComputer{}).Compute,
+		Poll:        *poll,
+		Logf:        logger.Printf,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	logger.Printf("joining fleet at %s as %q (build %s)", *addr, *name, buildinfo.Short())
+	if err := r.Run(ctx); err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("stopped (%d request retries absorbed)", client.Retried())
+}

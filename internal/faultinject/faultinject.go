@@ -17,6 +17,18 @@
 //	           context cancellation), then the call returns ErrInjected
 //	exit       the process exits immediately with code 37 — a hard crash for
 //	           shell-level kill-and-resume tests, bypassing all defers
+//	stall      the call sleeps for MCOPT_FAULT_STALL (default 30s) and then
+//	           proceeds normally — a straggling runner for work-stealing and
+//	           dead-runner chaos tests
+//
+// The distributed runner path exposes four standing sites for chaos tests:
+// "runner.heartbeat" (an error drops one lease renewal), "runner.compute"
+// (stall makes a straggler; exit kills a runner mid-grid), "runner.commit"
+// (exit is a kill mid-commit), and "runnerclient.request" (an error is one
+// dropped request — a transient partition the client's retry loop must
+// absorb). The coordinator mirrors the commit window with "coord.commit"
+// (an error fails the reply after the journal append, forcing the runner's
+// retry down the idempotent-commit path).
 //
 // When no specification is active every entry point is a single atomic load,
 // so production paths can keep their injection points unconditionally.
@@ -31,6 +43,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrInjected is the error returned by triggered error, shortwrite, and
@@ -47,6 +60,7 @@ const (
 	KindShortWrite
 	KindCancel
 	KindExit
+	KindStall
 )
 
 // ExitCode is the status used by exit-kind faults, distinctive enough for
@@ -107,6 +121,8 @@ func Set(spec string) error {
 			kind = KindCancel
 		case "exit":
 			kind = KindExit
+		case "stall":
+			kind = KindStall
 		default:
 			return fmt.Errorf("faultinject: unknown kind %q in %q", fields[2], part)
 		}
@@ -152,18 +168,33 @@ func trigger(site string) (Kind, bool) {
 
 // fire carries out a triggered fault of every kind except shortwrite (which
 // only Write can express) and returns the error the caller should propagate.
+// Stall faults sleep and then return nil: the call proceeds, just late.
 func fire(site string, kind Kind) error {
 	switch kind {
 	case KindPanic:
 		panic(fmt.Sprintf("faultinject: injected panic at %s", site))
 	case KindExit:
 		os.Exit(ExitCode)
+	case KindStall:
+		time.Sleep(stallDuration())
+		return nil
 	case KindCancel:
 		if fn := cancelFn.Load(); fn != nil {
 			(*fn)()
 		}
 	}
 	return fmt.Errorf("%w at %s", ErrInjected, site)
+}
+
+// stallDuration reads MCOPT_FAULT_STALL (a Go duration); chaos scripts
+// shorten it, unit tests shorten it a lot.
+func stallDuration() time.Duration {
+	if v := os.Getenv("MCOPT_FAULT_STALL"); v != "" {
+		if d, err := time.ParseDuration(v); err == nil && d >= 0 {
+			return d
+		}
+	}
+	return 30 * time.Second
 }
 
 // Point injects the fault configured for site, if its hit count is reached:
@@ -194,5 +225,8 @@ func Write(site string, w io.Writer, p []byte) (int, error) {
 		}
 		return n, fmt.Errorf("%w at %s (short write: %d of %d bytes)", ErrInjected, site, n, len(p))
 	}
-	return 0, fire(site, kind)
+	if err := fire(site, kind); err != nil {
+		return 0, err
+	}
+	return w.Write(p) // a stall proceeds after its nap
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"testing"
+	"time"
 )
 
 func TestInactiveIsNoOp(t *testing.T) {
@@ -92,5 +93,33 @@ func TestBadSpecs(t *testing.T) {
 	}
 	if err := Set(""); err != nil || Active() {
 		t.Fatal("empty spec should disable")
+	}
+}
+
+func TestStallKindSleepsThenProceeds(t *testing.T) {
+	t.Setenv("MCOPT_FAULT_STALL", "30ms")
+	if err := Set("s:2:stall"); err != nil {
+		t.Fatal(err)
+	}
+	defer Reset()
+	if err := Point("s"); err != nil { // hit 1: no fault
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Point("s"); err != nil { // hit 2: stalls, then proceeds
+		t.Fatalf("stall returned error %v, want nil after the nap", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("stall slept %v, want ≥ 25ms", d)
+	}
+	var buf bytes.Buffer
+	if err := Set("w:1:stall"); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := Write("w", &buf, []byte("abcd")); err != nil || n != 4 {
+		t.Fatalf("stalled write: n=%d err=%v, want full write", n, err)
+	}
+	if buf.String() != "abcd" {
+		t.Fatalf("buffer %q, want %q", buf.String(), "abcd")
 	}
 }

@@ -1,0 +1,268 @@
+package runnerclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"mcopt/internal/faultinject"
+)
+
+// Sentinel errors the runner loop branches on. All of them wrap the
+// underlying *StatusError, so callers can still inspect the HTTP detail.
+var (
+	// ErrLeaseLost: the lease expired, was re-leased, or the presented epoch
+	// is stale. Abandon the whole window; its slots belong to someone else.
+	ErrLeaseLost = errors.New("runnerclient: lease lost")
+	// ErrSlotNotHeld: one slot of a live lease was stolen. Skip that slot,
+	// keep the rest of the window.
+	ErrSlotNotHeld = errors.New("runnerclient: slot not held")
+	// ErrVersionMismatch: the coordinator runs a different build fingerprint.
+	// Fatal — restarting with the same binary cannot help.
+	ErrVersionMismatch = errors.New("runnerclient: build fingerprint mismatch")
+	// ErrUnknownRunner: the coordinator restarted and forgot this runner ID.
+	// Re-register and continue.
+	ErrUnknownRunner = errors.New("runnerclient: unknown runner")
+)
+
+// StatusError is a non-2xx coordinator reply, with the decoded error body.
+type StatusError struct {
+	Status int
+	Code   string
+	Msg    string
+}
+
+func (e *StatusError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("coordinator: %s (http %d, code %q)", e.Msg, e.Status, e.Code)
+	}
+	return fmt.Sprintf("coordinator: http %d (code %q)", e.Status, e.Code)
+}
+
+// Options configures a Client. The zero value gets sane defaults.
+type Options struct {
+	// Timeout bounds each individual request attempt (default 10s).
+	Timeout time.Duration
+	// MaxRetries is the number of re-attempts after the first failure of a
+	// transient kind — transport errors, 429, and 5xx (default 4). Permanent
+	// rejections (other 4xx) are never retried.
+	MaxRetries int
+	// Backoff is the first retry delay; it doubles per attempt with ±50%
+	// jitter, capped at MaxBackoff (defaults 200ms and 5s).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// HTTPClient overrides the transport (tests). Its Timeout is ignored;
+	// per-attempt contexts enforce Timeout above.
+	HTTPClient *http.Client
+	// Logf, when set, receives one line per retried attempt.
+	Logf func(format string, args ...any)
+}
+
+// Client talks to a coordinator at BaseURL, retrying transient failures
+// with exponential backoff and jitter so a runner rides out restarts, load
+// shedding, and brief partitions instead of dying on the first broken
+// connection.
+type Client struct {
+	base string
+	opts Options
+	http *http.Client
+
+	// retried counts attempts beyond the first, across all requests; atomic
+	// because the heartbeater and the work loop share one Client.
+	retried atomic.Int64
+}
+
+// New returns a Client for the coordinator at baseURL (e.g.
+// "http://127.0.0.1:8080").
+func New(baseURL string, opts Options) *Client {
+	if opts.Timeout <= 0 {
+		opts.Timeout = 10 * time.Second
+	}
+	if opts.MaxRetries < 0 {
+		opts.MaxRetries = 0
+	} else if opts.MaxRetries == 0 {
+		opts.MaxRetries = 4
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = 200 * time.Millisecond
+	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = 5 * time.Second
+	}
+	hc := opts.HTTPClient
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	return &Client{base: baseURL, opts: opts, http: hc}
+}
+
+// Register announces the runner and returns its assigned identity.
+// A fingerprint rejection surfaces as ErrVersionMismatch.
+func (c *Client) Register(ctx context.Context, name, fingerprint string) (RegisterResponse, error) {
+	var out RegisterResponse
+	err := c.do(ctx, http.MethodPost, "/v1/runners", RegisterRequest{Name: name, Fingerprint: fingerprint}, &out)
+	return out, err
+}
+
+// Acquire polls for work. A (nil, nil) return means the coordinator has no
+// leasable slots right now — poll again later.
+func (c *Client) Acquire(ctx context.Context, runnerID string) (*LeaseGrant, error) {
+	var out LeaseGrant
+	err := c.do(ctx, http.MethodPost, "/v1/runners/"+runnerID+"/leases", nil, &out)
+	if errors.Is(err, errNoContent) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Renew heartbeats a lease, extending its deadline.
+func (c *Client) Renew(ctx context.Context, leaseID string, epoch uint64) error {
+	return c.do(ctx, http.MethodPost, "/v1/leases/"+leaseID+"/renew", RenewRequest{Epoch: epoch}, &RenewResponse{})
+}
+
+// Commit records one computed slot. Committing an already-committed slot is
+// acknowledged as success (the coordinator's journal is idempotent per slot).
+func (c *Client) Commit(ctx context.Context, leaseID string, epoch uint64, slot int, payload []byte) error {
+	req := CommitRequest{Epoch: epoch, Slot: slot, Payload: json.RawMessage(payload)}
+	return c.do(ctx, http.MethodPost, "/v1/leases/"+leaseID+"/commit", req, nil)
+}
+
+// Retried reports how many request attempts beyond the first this client
+// has made — the price of the turbulence it absorbed.
+func (c *Client) Retried() int64 { return c.retried.Load() }
+
+// errNoContent marks a 204 reply internally; Acquire translates it.
+var errNoContent = errors.New("runnerclient: no content")
+
+// do runs one logical request: marshal in, POST/GET path, decode into out,
+// retrying transient failures. out may be nil.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("runnerclient: encode %s: %w", path, err)
+		}
+	}
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			c.retried.Add(1)
+			if c.opts.Logf != nil {
+				c.opts.Logf("retry %d/%d %s %s", attempt, c.opts.MaxRetries, method, path)
+			}
+		}
+		err := c.once(ctx, method, path, body, out)
+		if err == nil || errors.Is(err, errNoContent) || !transient(err) || attempt >= c.opts.MaxRetries {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff(c.opts.Backoff, c.opts.MaxBackoff, attempt)):
+		}
+	}
+}
+
+// once is a single attempt. The "runnerclient.request" fault point fires
+// before the wire call: an injected error is a dropped request the retry
+// loop must absorb.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+	if err := faultinject.Point("runnerclient.request"); err != nil {
+		return err
+	}
+	actx, cancel := context.WithTimeout(ctx, c.opts.Timeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, c.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("runnerclient: %s %s: %w", method, path, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("runnerclient: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusNoContent:
+		io.Copy(io.Discard, resp.Body)
+		return errNoContent
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		if out == nil {
+			io.Copy(io.Discard, resp.Body)
+			return nil
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			// A truncated success body is a broken connection: transient.
+			return fmt.Errorf("runnerclient: decode %s reply: %w", path, err)
+		}
+		return nil
+	}
+	se := &StatusError{Status: resp.StatusCode}
+	var apiErr APIError
+	if raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<10)); err == nil {
+		if json.Unmarshal(raw, &apiErr) == nil {
+			se.Code, se.Msg = apiErr.Code, apiErr.Error
+		} else {
+			se.Msg = string(bytes.TrimSpace(raw))
+		}
+	}
+	return asSentinel(se)
+}
+
+// asSentinel wraps a StatusError in the matching sentinel so callers can
+// errors.Is on the runner-loop decision instead of matching codes.
+func asSentinel(se *StatusError) error {
+	switch se.Code {
+	case CodeEpoch:
+		return fmt.Errorf("%w: %w", ErrLeaseLost, se)
+	case CodeNotHeld:
+		return fmt.Errorf("%w: %w", ErrSlotNotHeld, se)
+	case CodeVersion:
+		return fmt.Errorf("%w: %w", ErrVersionMismatch, se)
+	case CodeUnknownRunner:
+		return fmt.Errorf("%w: %w", ErrUnknownRunner, se)
+	}
+	return se
+}
+
+// transient reports whether an attempt's failure is worth retrying:
+// transport errors and decode failures (the connection died under us),
+// 429 (shed load), and 5xx (coordinator hiccup). Context cancellation and
+// permanent 4xx rejections are not.
+func transient(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Status == http.StatusTooManyRequests || se.Status >= 500
+	}
+	return true // transport or decode failure
+}
+
+// backoff is the delay before retry attempt n (0-based): Backoff doubled
+// per attempt, capped, with ±50% jitter so a burst of runners rejected
+// together does not reconverge in lockstep.
+func backoff(base, max time.Duration, attempt int) time.Duration {
+	d := base << attempt
+	if d > max || d <= 0 { // d <= 0 guards shift overflow
+		d = max
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}

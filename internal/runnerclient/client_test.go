@@ -1,0 +1,537 @@
+package runnerclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mcopt/internal/faultinject"
+)
+
+func fastOpts() Options {
+	return Options{
+		Timeout:    2 * time.Second,
+		MaxRetries: 3,
+		Backoff:    time.Millisecond,
+		MaxBackoff: 4 * time.Millisecond,
+	}
+}
+
+func writeErr(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(APIError{Error: msg, Code: code})
+}
+
+func TestRegisterRetriesTransientThenSucceeds(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			writeErr(w, http.StatusServiceUnavailable, "", "warming up")
+			return
+		}
+		var req RegisterRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Name != "r1" {
+			t.Errorf("bad register body: %v %+v", err, req)
+		}
+		json.NewEncoder(w).Encode(RegisterResponse{ID: "runner-1", LeaseTTLMillis: 1000, PollMillis: 50})
+	}))
+	defer srv.Close()
+	c := New(srv.URL, fastOpts())
+	resp, err := c.Register(context.Background(), "r1", "abc")
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if resp.ID != "runner-1" || hits.Load() != 3 {
+		t.Fatalf("resp=%+v hits=%d, want runner-1 after 3 attempts", resp, hits.Load())
+	}
+	if c.Retried() != 2 {
+		t.Fatalf("retried=%d, want 2", c.Retried())
+	}
+}
+
+func TestVersionMismatchIsFatalNotRetried(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		writeErr(w, http.StatusConflict, CodeVersion, "fingerprint mismatch: have abc, want def")
+	}))
+	defer srv.Close()
+	c := New(srv.URL, fastOpts())
+	_, err := c.Register(context.Background(), "r1", "abc")
+	if !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("err = %v, want ErrVersionMismatch", err)
+	}
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusConflict {
+		t.Fatalf("want wrapped 409 StatusError, got %v", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("hits=%d, a 409 must not be retried", hits.Load())
+	}
+}
+
+func TestRetryOn429Burst(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			writeErr(w, http.StatusTooManyRequests, "", "shed")
+			return
+		}
+		json.NewEncoder(w).Encode(RenewResponse{TTLMillis: 500})
+	}))
+	defer srv.Close()
+	c := New(srv.URL, fastOpts())
+	if err := c.Renew(context.Background(), "l-1", 1); err != nil {
+		t.Fatalf("renew after 429: %v", err)
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("hits=%d, want 2", hits.Load())
+	}
+}
+
+func TestAcquireNoContentMeansNoWork(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer srv.Close()
+	c := New(srv.URL, fastOpts())
+	g, err := c.Acquire(context.Background(), "runner-1")
+	if err != nil || g != nil {
+		t.Fatalf("acquire = (%v, %v), want (nil, nil)", g, err)
+	}
+}
+
+func TestCommitSentinels(t *testing.T) {
+	cases := []struct {
+		code string
+		want error
+	}{
+		{CodeEpoch, ErrLeaseLost},
+		{CodeNotHeld, ErrSlotNotHeld},
+		{CodeUnknownRunner, ErrUnknownRunner},
+	}
+	for _, tc := range cases {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			writeErr(w, http.StatusConflict, tc.code, "nope")
+		}))
+		c := New(srv.URL, fastOpts())
+		err := c.Commit(context.Background(), "l-1", 1, 0, []byte(`{}`))
+		srv.Close()
+		if !errors.Is(err, tc.want) {
+			t.Errorf("code %q: err = %v, want %v", tc.code, err, tc.want)
+		}
+	}
+}
+
+func TestPerRequestTimeout(t *testing.T) {
+	blocked := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-blocked
+	}))
+	defer srv.Close()
+	defer close(blocked)
+	opts := fastOpts()
+	opts.Timeout = 20 * time.Millisecond
+	opts.MaxRetries = 1
+	c := New(srv.URL, opts)
+	start := time.Now()
+	err := c.Renew(context.Background(), "l-1", 1)
+	if err == nil {
+		t.Fatal("renew against a stalled server succeeded")
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("took %v, per-attempt timeout not enforced", d)
+	}
+}
+
+func TestContextCancelStopsRetries(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeErr(w, http.StatusInternalServerError, "", "boom")
+	}))
+	defer srv.Close()
+	opts := fastOpts()
+	opts.Backoff = time.Hour // next retry would stall forever
+	opts.MaxBackoff = time.Hour
+	c := New(srv.URL, opts)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	err := c.Renew(ctx, "l-1", 1)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded while backing off", err)
+	}
+}
+
+func TestFaultPointCountsAsDroppedRequest(t *testing.T) {
+	if err := faultinject.Set("runnerclient.request:1:error"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Reset()
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		json.NewEncoder(w).Encode(RenewResponse{TTLMillis: 500})
+	}))
+	defer srv.Close()
+	c := New(srv.URL, fastOpts())
+	if err := c.Renew(context.Background(), "l-1", 1); err != nil {
+		t.Fatalf("renew: %v", err)
+	}
+	if hits.Load() != 1 || c.Retried() != 1 {
+		t.Fatalf("hits=%d retried=%d, want the dropped attempt retried once", hits.Load(), c.Retried())
+	}
+}
+
+func TestBackoffBoundsAndJitter(t *testing.T) {
+	base, max := 100*time.Millisecond, time.Second
+	for attempt := 0; attempt < 70; attempt++ { // large attempts exercise shift overflow
+		d := backoff(base, max, attempt)
+		if d < base/2 || d > max+max/2 {
+			t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, base/2, max+max/2)
+		}
+	}
+}
+
+// fakeCoordinator is a minimal in-memory coordinator for Runner loop tests:
+// one job, n slots, chunked grants, epoch checks, commit recording.
+type fakeCoordinator struct {
+	t      *testing.T
+	n      int
+	chunk  int
+	mu     chan struct{} // 1-buffered, used as a mutex that tests can hold
+	next   int
+	epoch  uint64
+	leases map[string]uint64
+	got    map[int][]byte
+	renews atomic.Int64
+	regs   atomic.Int64
+}
+
+func newFakeCoordinator(t *testing.T, n, chunk int) *fakeCoordinator {
+	fc := &fakeCoordinator{t: t, n: n, chunk: chunk, mu: make(chan struct{}, 1),
+		leases: map[string]uint64{}, got: map[int][]byte{}}
+	fc.mu <- struct{}{}
+	return fc
+}
+
+func (fc *fakeCoordinator) lock()   { <-fc.mu }
+func (fc *fakeCoordinator) unlock() { fc.mu <- struct{}{} }
+
+func (fc *fakeCoordinator) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runners", func(w http.ResponseWriter, r *http.Request) {
+		fc.regs.Add(1)
+		json.NewEncoder(w).Encode(RegisterResponse{ID: "runner-1", LeaseTTLMillis: 200, PollMillis: 10})
+	})
+	mux.HandleFunc("POST /v1/runners/{id}/leases", func(w http.ResponseWriter, r *http.Request) {
+		fc.lock()
+		defer fc.unlock()
+		if fc.next >= fc.n {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		start := fc.next
+		end := start + fc.chunk
+		if end > fc.n {
+			end = fc.n
+		}
+		fc.next = end
+		fc.epoch++
+		id := "l-" + string(rune('0'+start))
+		fc.leases[id] = fc.epoch
+		json.NewEncoder(w).Encode(LeaseGrant{Lease: id, Epoch: fc.epoch, Job: "j1",
+			Spec: json.RawMessage(`{}`), Start: start, End: end, TTLMillis: 200})
+	})
+	mux.HandleFunc("POST /v1/leases/{id}/renew", func(w http.ResponseWriter, r *http.Request) {
+		fc.renews.Add(1)
+		json.NewEncoder(w).Encode(RenewResponse{TTLMillis: 200})
+	})
+	mux.HandleFunc("POST /v1/leases/{id}/commit", func(w http.ResponseWriter, r *http.Request) {
+		fc.lock()
+		defer fc.unlock()
+		var req CommitRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		if want, ok := fc.leases[r.PathValue("id")]; !ok || req.Epoch != want {
+			writeErr(w, http.StatusConflict, CodeEpoch, "stale")
+			return
+		}
+		fc.got[req.Slot] = req.Payload
+		w.WriteHeader(http.StatusOK)
+	})
+	return mux
+}
+
+func TestRunnerLoopComputesAllSlots(t *testing.T) {
+	fc := newFakeCoordinator(t, 6, 2)
+	srv := httptest.NewServer(fc.handler())
+	defer srv.Close()
+
+	committed := make(chan int, 6)
+	r := &Runner{
+		Client:      New(srv.URL, fastOpts()),
+		Name:        "r1",
+		Fingerprint: "abc",
+		Poll:        5 * time.Millisecond,
+		Logf:        t.Logf,
+		Compute: func(ctx context.Context, g *LeaseGrant, slot int) ([]byte, error) {
+			committed <- slot
+			return []byte(`{"slot":` + string(rune('0'+slot)) + `}`), nil
+		},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- r.Run(ctx) }()
+
+	deadline := time.After(5 * time.Second)
+	for seen := 0; seen < 6; seen++ {
+		select {
+		case <-committed:
+		case <-deadline:
+			t.Fatal("runner did not compute all slots in time")
+		}
+	}
+	// Wait until all 6 commits have landed server-side, then stop.
+	for {
+		fc.lock()
+		n := len(fc.got)
+		fc.unlock()
+		if n == 6 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("only %d commits landed", n)
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for slot := 0; slot < 6; slot++ {
+		if fc.got[slot] == nil {
+			t.Fatalf("slot %d never committed", slot)
+		}
+	}
+}
+
+func TestRunnerSkipsDoneSlotsAndStolenSlots(t *testing.T) {
+	var committed atomic.Int64
+	mux := http.NewServeMux()
+	granted := false
+	mux.HandleFunc("POST /v1/runners", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(RegisterResponse{ID: "runner-1", LeaseTTLMillis: 500, PollMillis: 5})
+	})
+	mux.HandleFunc("POST /v1/runners/{id}/leases", func(w http.ResponseWriter, r *http.Request) {
+		if granted {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		granted = true
+		json.NewEncoder(w).Encode(LeaseGrant{Lease: "l-1", Epoch: 1, Job: "j1",
+			Spec: json.RawMessage(`{}`), Start: 0, End: 4, Done: []int{1}, TTLMillis: 500})
+	})
+	mux.HandleFunc("POST /v1/leases/{id}/renew", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(RenewResponse{TTLMillis: 500})
+	})
+	mux.HandleFunc("POST /v1/leases/{id}/commit", func(w http.ResponseWriter, r *http.Request) {
+		var req CommitRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		if req.Slot == 2 { // stolen out from under the runner
+			writeErr(w, http.StatusConflict, CodeNotHeld, "stolen")
+			return
+		}
+		committed.Add(1)
+		w.WriteHeader(http.StatusOK)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var computedSlots []int
+	computeDone := make(chan struct{})
+	r := &Runner{
+		Client: New(srv.URL, fastOpts()), Name: "r1", Fingerprint: "abc",
+		Poll: 5 * time.Millisecond, Logf: t.Logf,
+		Compute: func(ctx context.Context, g *LeaseGrant, slot int) ([]byte, error) {
+			computedSlots = append(computedSlots, slot)
+			if slot == 3 {
+				close(computeDone)
+			}
+			return []byte(`{}`), nil
+		},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- r.Run(ctx) }()
+	select {
+	case <-computeDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("slot 3 never computed")
+	}
+	time.Sleep(20 * time.Millisecond) // let the final commit land
+	cancel()
+	<-done
+	want := []int{0, 2, 3} // 1 was pre-done; 2 computed but its commit refused
+	if len(computedSlots) != 3 || computedSlots[0] != 0 || computedSlots[1] != 2 || computedSlots[2] != 3 {
+		t.Fatalf("computed %v, want %v", computedSlots, want)
+	}
+	if committed.Load() != 2 {
+		t.Fatalf("committed=%d, want 2 (slots 0 and 3)", committed.Load())
+	}
+}
+
+func TestRunnerReRegistersWhenForgotten(t *testing.T) {
+	var regs atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runners", func(w http.ResponseWriter, r *http.Request) {
+		n := regs.Add(1)
+		id := "runner-a"
+		if n > 1 {
+			id = "runner-b"
+		}
+		json.NewEncoder(w).Encode(RegisterResponse{ID: id, LeaseTTLMillis: 500, PollMillis: 5})
+	})
+	reRegistered := make(chan struct{}, 1)
+	mux.HandleFunc("POST /v1/runners/{id}/leases", func(w http.ResponseWriter, r *http.Request) {
+		if r.PathValue("id") == "runner-a" {
+			writeErr(w, http.StatusNotFound, CodeUnknownRunner, "who?")
+			return
+		}
+		select {
+		case reRegistered <- struct{}{}:
+		default:
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	r := &Runner{Client: New(srv.URL, fastOpts()), Name: "r1", Fingerprint: "abc",
+		Poll: 5 * time.Millisecond, Logf: t.Logf,
+		Compute: func(ctx context.Context, g *LeaseGrant, slot int) ([]byte, error) { return []byte(`{}`), nil }}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- r.Run(ctx) }()
+	select {
+	case <-reRegistered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("runner never re-registered")
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if regs.Load() < 2 {
+		t.Fatalf("regs=%d, want ≥ 2", regs.Load())
+	}
+}
+
+func TestRunnerAbandonsWindowOnLostLease(t *testing.T) {
+	mux := http.NewServeMux()
+	granted := false
+	mux.HandleFunc("POST /v1/runners", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(RegisterResponse{ID: "runner-1", LeaseTTLMillis: 500, PollMillis: 5})
+	})
+	mux.HandleFunc("POST /v1/runners/{id}/leases", func(w http.ResponseWriter, r *http.Request) {
+		if granted {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		granted = true
+		json.NewEncoder(w).Encode(LeaseGrant{Lease: "l-1", Epoch: 1, Job: "j1",
+			Spec: json.RawMessage(`{}`), Start: 0, End: 8, TTLMillis: 500})
+	})
+	mux.HandleFunc("POST /v1/leases/{id}/renew", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(RenewResponse{TTLMillis: 500})
+	})
+	mux.HandleFunc("POST /v1/leases/{id}/commit", func(w http.ResponseWriter, r *http.Request) {
+		writeErr(w, http.StatusConflict, CodeEpoch, "expired")
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	var computes atomic.Int64
+	abandoned := make(chan struct{}, 1)
+	r := &Runner{Client: New(srv.URL, fastOpts()), Name: "r1", Fingerprint: "abc",
+		Poll: 5 * time.Millisecond,
+		Logf: func(format string, args ...any) {
+			t.Logf(format, args...)
+			if len(format) > 0 && format == "lease %s: lost at slot %d, abandoning window" {
+				select {
+				case abandoned <- struct{}{}:
+				default:
+				}
+			}
+		},
+		Compute: func(ctx context.Context, g *LeaseGrant, slot int) ([]byte, error) {
+			computes.Add(1)
+			return []byte(`{}`), nil
+		}}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- r.Run(ctx) }()
+	select {
+	case <-abandoned:
+	case <-time.After(5 * time.Second):
+		t.Fatal("window never abandoned")
+	}
+	cancel()
+	<-done
+	if computes.Load() != 1 {
+		t.Fatalf("computes=%d, want exactly 1 before abandoning", computes.Load())
+	}
+}
+
+func TestHeartbeatLossCancelsWork(t *testing.T) {
+	mux := http.NewServeMux()
+	granted := false
+	mux.HandleFunc("POST /v1/runners", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(RegisterResponse{ID: "runner-1", LeaseTTLMillis: 30, PollMillis: 5})
+	})
+	mux.HandleFunc("POST /v1/runners/{id}/leases", func(w http.ResponseWriter, r *http.Request) {
+		if granted {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		granted = true
+		json.NewEncoder(w).Encode(LeaseGrant{Lease: "l-1", Epoch: 1, Job: "j1",
+			Spec: json.RawMessage(`{}`), Start: 0, End: 2, TTLMillis: 30})
+	})
+	mux.HandleFunc("POST /v1/leases/{id}/renew", func(w http.ResponseWriter, r *http.Request) {
+		writeErr(w, http.StatusConflict, CodeEpoch, "expired") // every renewal: lost
+	})
+	mux.HandleFunc("POST /v1/leases/{id}/commit", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	cancelled := make(chan struct{}, 1)
+	r := &Runner{Client: New(srv.URL, fastOpts()), Name: "r1", Fingerprint: "abc",
+		Poll: 5 * time.Millisecond, Logf: t.Logf,
+		Compute: func(ctx context.Context, g *LeaseGrant, slot int) ([]byte, error) {
+			// Block until the heartbeater notices the lost lease and cancels.
+			select {
+			case <-ctx.Done():
+				select {
+				case cancelled <- struct{}{}:
+				default:
+				}
+				return nil, ctx.Err()
+			case <-time.After(5 * time.Second):
+				return []byte(`{}`), nil
+			}
+		}}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- r.Run(ctx) }()
+	select {
+	case <-cancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("lost heartbeat never cancelled the in-flight compute")
+	}
+	cancel()
+	<-done
+}

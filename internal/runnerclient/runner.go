@@ -1,0 +1,204 @@
+package runnerclient
+
+import (
+	"context"
+	"errors"
+	"log"
+	"time"
+
+	"mcopt/internal/faultinject"
+)
+
+// ComputeFunc produces the committed payload for one slot of a grant: the
+// replica's RunResult JSON, a pure function of (grant.Spec, slot). The
+// service layer provides the real one; tests provide fakes.
+type ComputeFunc func(ctx context.Context, g *LeaseGrant, slot int) ([]byte, error)
+
+// Runner is the work loop of one fleet member: register, poll for leases,
+// compute each granted slot in ascending order, commit, repeat. It reacts
+// to the coordinator's verdicts rather than trusting its own state —
+// a lost lease abandons the window, a stolen slot is skipped, a forgotten
+// runner ID re-registers — so any interleaving of crashes and re-leases
+// converges without duplicate or lost work.
+type Runner struct {
+	Client      *Client
+	Name        string
+	Fingerprint string
+	Compute     ComputeFunc
+	// Poll overrides the coordinator's suggested idle re-poll interval.
+	Poll time.Duration
+	// Logf defaults to log.Printf.
+	Logf func(format string, args ...any)
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Logf != nil {
+		r.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// Run drives the loop until ctx is cancelled (returns nil) or a fatal
+// condition is hit (ErrVersionMismatch, or register retries exhausted).
+func (r *Runner) Run(ctx context.Context) error {
+	id, poll, ttl, err := r.register(ctx)
+	if err != nil {
+		return err
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil
+		}
+		g, err := r.Client.Acquire(ctx, id)
+		switch {
+		case errors.Is(err, ErrUnknownRunner):
+			// The coordinator restarted; our ID died with it.
+			r.logf("runner %s: coordinator forgot us, re-registering", id)
+			if id, poll, ttl, err = r.register(ctx); err != nil {
+				return err
+			}
+			continue
+		case err != nil:
+			if ctx.Err() != nil {
+				return nil
+			}
+			r.logf("runner %s: acquire: %v", id, err)
+			sleep(ctx, poll)
+			continue
+		case g == nil: // no leasable work right now
+			sleep(ctx, poll)
+			continue
+		}
+		r.work(ctx, g, ttl)
+	}
+}
+
+// register announces the runner, resolving the poll and TTL cadence.
+func (r *Runner) register(ctx context.Context) (id string, poll, ttl time.Duration, err error) {
+	resp, err := r.Client.Register(ctx, r.Name, r.Fingerprint)
+	if err != nil {
+		return "", 0, 0, err
+	}
+	poll = time.Duration(resp.PollMillis) * time.Millisecond
+	if r.Poll > 0 {
+		poll = r.Poll
+	}
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	ttl = time.Duration(resp.LeaseTTLMillis) * time.Millisecond
+	if ttl <= 0 {
+		ttl = 10 * time.Second
+	}
+	r.logf("runner %s: registered as %s (ttl %v, poll %v)", r.Name, resp.ID, ttl, poll)
+	return resp.ID, poll, ttl, nil
+}
+
+// work computes and commits one grant's window under a heartbeat. The
+// heartbeater cancels the window's context the moment the lease is lost, so
+// a straggler stops burning CPU on slots that already belong to someone else.
+func (r *Runner) work(ctx context.Context, g *LeaseGrant, ttl time.Duration) {
+	if d := time.Duration(g.TTLMillis) * time.Millisecond; d > 0 {
+		ttl = d
+	}
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	hbDone := r.heartbeat(wctx, cancel, g, ttl/3)
+	defer func() { cancel(); <-hbDone }()
+
+	done := make(map[int]bool, len(g.Done))
+	for _, s := range g.Done {
+		done[s] = true
+	}
+	r.logf("lease %s epoch %d: window [%d,%d) job %s (stolen=%v)", g.Lease, g.Epoch, g.Start, g.End, g.Job, g.Stolen)
+	for slot := g.Start; slot < g.End; slot++ {
+		if done[slot] {
+			continue
+		}
+		if wctx.Err() != nil {
+			return // lease lost or shutting down
+		}
+		if err := faultinject.Point("runner.compute"); err != nil {
+			r.logf("lease %s slot %d: compute fault: %v", g.Lease, slot, err)
+			return
+		}
+		payload, err := r.Compute(wctx, g, slot)
+		if err != nil {
+			// Leave the rest of the window to the lease's expiry; a broken
+			// compute here would break identically on retry anyway.
+			r.logf("lease %s slot %d: compute: %v", g.Lease, slot, err)
+			return
+		}
+		if err := faultinject.Point("runner.commit"); err != nil {
+			r.logf("lease %s slot %d: commit fault: %v", g.Lease, slot, err)
+			return
+		}
+		err = r.Client.Commit(wctx, g.Lease, g.Epoch, slot, payload)
+		switch {
+		case errors.Is(err, ErrSlotNotHeld):
+			r.logf("lease %s slot %d: stolen, skipping", g.Lease, slot)
+			continue
+		case errors.Is(err, ErrLeaseLost):
+			r.logf("lease %s: lost at slot %d, abandoning window", g.Lease, slot)
+			return
+		case err != nil:
+			// Retries exhausted: the coordinator is unreachable. Abandon;
+			// the lease will expire and the range re-leases.
+			r.logf("lease %s slot %d: commit: %v", g.Lease, slot, err)
+			return
+		}
+		r.logf("committed job=%s slot=%d lease=%s", g.Job, slot, g.Lease)
+	}
+	r.logf("lease %s: window [%d,%d) complete", g.Lease, g.Start, g.End)
+}
+
+// heartbeat renews g every interval until ctx is cancelled or the lease is
+// lost, in which case it cancels the work context. The returned channel
+// closes when the goroutine exits. The "runner.heartbeat" fault point drops
+// individual renewals (a flaky network, not a dead runner — the lease
+// survives as long as one renewal lands per TTL).
+func (r *Runner) heartbeat(ctx context.Context, lost context.CancelFunc, g *LeaseGrant, interval time.Duration) <-chan struct{} {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	ch := make(chan struct{})
+	go func() {
+		defer close(ch)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+			}
+			if err := faultinject.Point("runner.heartbeat"); err != nil {
+				r.logf("lease %s: dropping heartbeat: %v", g.Lease, err)
+				continue
+			}
+			if err := r.Client.Renew(ctx, g.Lease, g.Epoch); err != nil {
+				if errors.Is(err, ErrLeaseLost) {
+					r.logf("lease %s: renewal rejected, lease lost", g.Lease)
+					lost()
+					return
+				}
+				if ctx.Err() != nil {
+					return
+				}
+				// Transient and retries exhausted: keep ticking; the next
+				// renewal may land before the TTL runs out.
+				r.logf("lease %s: renew: %v", g.Lease, err)
+			}
+		}
+	}()
+	return ch
+}
+
+// sleep waits d or until ctx is cancelled.
+func sleep(ctx context.Context, d time.Duration) {
+	select {
+	case <-ctx.Done():
+	case <-time.After(d):
+	}
+}

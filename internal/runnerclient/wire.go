@@ -1,0 +1,93 @@
+// Package runnerclient is the runner side of distributed mcoptd: the wire
+// types of the coordinator's runner API, an HTTP client that survives the
+// failures a fleet actually sees (timeouts, partitions, 429/5xx bursts)
+// with exponential backoff and jitter, a lease heartbeater, and the runner
+// work loop that cmd/mcoptrunner wraps. The package knows nothing about
+// optimization: payload computation is a callback, so the service layer
+// (which owns the spec → replica function) and tests can both drive it.
+// See DESIGN.md §14.
+package runnerclient
+
+import "encoding/json"
+
+// RegisterRequest announces a runner to the coordinator. Fingerprint is
+// buildinfo.Short() of the runner binary; the coordinator refuses (409,
+// CodeVersion) when it does not match its own, because a mixed-fingerprint
+// fleet could commit replicas computed by a different code revision and
+// silently corrupt the byte-identity contract.
+type RegisterRequest struct {
+	Name        string `json:"name"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// RegisterResponse assigns the runner its ID and the fleet cadence.
+type RegisterResponse struct {
+	ID string `json:"id"`
+	// LeaseTTLMillis is the lease lifetime; runners renew at a fraction of
+	// it. PollMillis is the suggested idle re-poll interval.
+	LeaseTTLMillis int64 `json:"lease_ttl_ms"`
+	PollMillis     int64 `json:"poll_ms"`
+}
+
+// LeaseGrant is one unit of leased work: a job's spec plus a contiguous
+// replica window [Start, End) to compute in ascending order, skipping Done.
+type LeaseGrant struct {
+	Lease string `json:"lease"`
+	Epoch uint64 `json:"epoch"`
+	Job   string `json:"job"`
+	// Spec is the job's normalized JobSpec, opaque to this package.
+	Spec  json.RawMessage `json:"spec"`
+	Start int             `json:"start"`
+	End   int             `json:"end"`
+	// Done lists already-committed slots inside the window (present when a
+	// re-leased range interleaves committed and freed slots).
+	Done []int `json:"done,omitempty"`
+	// TTLMillis is the renewal deadline distance; Stolen marks a window
+	// carved out of a straggler's lease.
+	TTLMillis int64 `json:"ttl_ms"`
+	Stolen    bool  `json:"stolen,omitempty"`
+}
+
+// RenewRequest heartbeats a lease; the epoch must match the grant's.
+type RenewRequest struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+// RenewResponse acknowledges a renewal with the refreshed TTL.
+type RenewResponse struct {
+	TTLMillis int64 `json:"ttl_ms"`
+}
+
+// CommitRequest records one computed replica. Payload is the replica's
+// RunResult JSON — the exact bytes the coordinator appends to the job's
+// checkpoint journal, which is why a re-leased range resumes
+// byte-identically: the payload is a pure function of (spec, slot).
+type CommitRequest struct {
+	Epoch   uint64          `json:"epoch"`
+	Slot    int             `json:"slot"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Machine-readable error codes carried in the coordinator's error bodies,
+// alongside the human-readable message. The client maps them onto sentinel
+// errors so the runner loop can branch without string matching.
+const (
+	// CodeEpoch: the lease expired, was superseded, or the epoch is stale —
+	// abandon the whole window (ErrLeaseLost).
+	CodeEpoch = "epoch"
+	// CodeNotHeld: this one slot was stolen by another runner — skip it and
+	// continue (ErrSlotNotHeld).
+	CodeNotHeld = "not_held"
+	// CodeVersion: register refused for a fingerprint mismatch — fatal
+	// (ErrVersionMismatch).
+	CodeVersion = "version"
+	// CodeUnknownRunner: the coordinator does not know this runner ID (it
+	// restarted) — re-register (ErrUnknownRunner).
+	CodeUnknownRunner = "unknown_runner"
+)
+
+// APIError is the coordinator's JSON error body.
+type APIError struct {
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}

@@ -1,0 +1,375 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"mcopt/internal/checkpoint"
+	"mcopt/internal/lease"
+	"mcopt/problem"
+)
+
+// The coordinator is mcoptd's side of distributed execution: it tracks the
+// runner fleet (registration with a build-fingerprint handshake, liveness
+// by heartbeat recency), serves lease grants over running jobs' replica
+// grids, and routes renewals and commits to the right job's lease table.
+// A job is distributed only when at least one live runner is registered at
+// the moment it starts; with an empty fleet the manager runs it locally on
+// the scheduler exactly as before, and if the whole fleet dies mid-job the
+// coordinator's fallback loop computes the remaining slots itself — the
+// service degrades to a single node, it never strands a job.
+
+// runnerInfo is one registered fleet member.
+type runnerInfo struct {
+	id       string
+	name     string
+	lastSeen time.Time
+}
+
+// distJob is one running job exposed to the fleet: its lease table plus the
+// normalized spec runners need to compute grants.
+type distJob struct {
+	job   *Job
+	table *lease.Table
+	spec  json.RawMessage
+}
+
+// coordinator owns the runner pool and the routing from wire lease IDs
+// ("<jobID>.<tableID>") to jobs. It holds no slot state of its own — the
+// lease tables are the source of truth.
+type coordinator struct {
+	m *Manager
+
+	mu      sync.Mutex
+	runners map[string]*runnerInfo
+	jobs    map[string]*distJob // job ID → attached job
+	order   []string            // attach order, oldest first
+	// leaseRunner maps wire lease IDs to their runner, so renewals and
+	// commits — which carry only the lease ID — still count as heartbeats
+	// for runner liveness. Entries die with their job's detach.
+	leaseRunner map[string]string
+	nextID      int64
+}
+
+func newCoordinator(m *Manager) *coordinator {
+	return &coordinator{
+		m:           m,
+		runners:     map[string]*runnerInfo{},
+		jobs:        map[string]*distJob{},
+		leaseRunner: map[string]string{},
+	}
+}
+
+// register admits a runner after the fingerprint handshake. A mismatch is
+// rejected: a fleet mixing build fingerprints could commit replicas computed
+// by different code revisions, silently breaking the byte-identity contract,
+// so the coordinator refuses with a 409 rather than trusting the runner.
+func (c *coordinator) register(name, fingerprint string) (id string, err error) {
+	if want := c.m.cfg.Fingerprint; fingerprint != want {
+		c.m.obs.runnerRejected.With(rejectVersion).Inc()
+		return "", fmt.Errorf("build fingerprint mismatch: runner has %q, coordinator has %q — deploy matching binaries", fingerprint, want)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	id = fmt.Sprintf("r-%d", c.nextID)
+	c.runners[id] = &runnerInfo{id: id, name: name, lastSeen: time.Now()}
+	c.m.obs.runnerRegs.Inc()
+	c.m.cfg.Logf("service: runner %s (%q) registered", id, name)
+	return id, nil
+}
+
+// touch bumps a runner's liveness clock; every authenticated fleet request
+// counts as a heartbeat. Reports false for unknown runner IDs.
+func (c *coordinator) touch(runnerID string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ri, ok := c.runners[runnerID]
+	if !ok {
+		return false
+	}
+	ri.lastSeen = time.Now()
+	return true
+}
+
+// touchLease bumps the liveness of the runner holding a lease; renewals and
+// commits are heartbeats too, so a runner grinding one long window without
+// re-acquiring never looks dead.
+func (c *coordinator) touchLease(wireID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rid, ok := c.leaseRunner[wireID]; ok {
+		if ri, ok := c.runners[rid]; ok {
+			ri.lastSeen = time.Now()
+		}
+	}
+}
+
+// live counts runners seen within the runner TTL, sweeping out the dead.
+func (c *coordinator) live() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.liveLocked()
+}
+
+func (c *coordinator) liveLocked() int {
+	cutoff := time.Now().Add(-c.m.cfg.RunnerTTL)
+	n := 0
+	for id, ri := range c.runners {
+		if ri.lastSeen.Before(cutoff) {
+			c.m.cfg.Logf("service: runner %s (%q) presumed dead (last seen %s ago)",
+				id, ri.name, time.Since(ri.lastSeen).Round(time.Millisecond))
+			delete(c.runners, id)
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// attach exposes a running job to the fleet; detach withdraws it. The spec
+// is marshaled once here — every grant for the job carries the same bytes.
+func (c *coordinator) attach(j *Job, table *lease.Table) error {
+	spec, err := json.Marshal(&j.Spec)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.jobs[j.ID] = &distJob{job: j, table: table, spec: spec}
+	c.order = append(c.order, j.ID)
+	return nil
+}
+
+func (c *coordinator) detach(jobID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.jobs, jobID)
+	for i, id := range c.order {
+		if id == jobID {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	prefix := jobID + "."
+	for wireID := range c.leaseRunner {
+		if strings.HasPrefix(wireID, prefix) {
+			delete(c.leaseRunner, wireID)
+		}
+	}
+}
+
+// acquire grants the requesting runner a lease from the oldest attached job
+// with grantable slots. ok is false when no job has work to lease.
+func (c *coordinator) acquire(runnerID string) (g lease.Grant, dj *distJob, ok bool) {
+	c.mu.Lock()
+	jobs := make([]*distJob, 0, len(c.order))
+	for _, id := range c.order {
+		jobs = append(jobs, c.jobs[id])
+	}
+	c.mu.Unlock()
+	// Acquire outside the coordinator lock: the table has its own, and its
+	// commit hook must never be reachable while we hold ours.
+	for _, dj := range jobs {
+		if g, ok := dj.table.Acquire(runnerID); ok {
+			c.mu.Lock()
+			c.leaseRunner[wireLeaseID(dj.job.ID, g.ID)] = runnerID
+			c.mu.Unlock()
+			mode := leaseModeFresh
+			if g.Stolen {
+				mode = leaseModeStolen
+			}
+			c.m.obs.leasesGranted.With(mode).Inc()
+			c.traceLease(dj.job, "lease", map[string]string{
+				"lease":  g.ID,
+				"runner": runnerID,
+				"window": fmt.Sprintf("[%d,%d)", g.Start, g.End),
+				"stolen": fmt.Sprintf("%v", g.Stolen),
+			})
+			if g.Stolen {
+				c.m.cfg.Logf("service: job %s: lease %s stole [%d,%d) for %s",
+					dj.job.ID, g.ID, g.Start, g.End, runnerID)
+			}
+			return g, dj, true
+		}
+	}
+	return lease.Grant{}, nil, false
+}
+
+// route resolves a wire lease ID "<jobID>.<tableID>" to its job and table
+// lease ID. Unknown or finished jobs report ok == false — the runner sees a
+// lease-lost error and abandons the window, which is exactly right: the
+// job's table is gone because the job completed or died.
+func (c *coordinator) route(wireID string) (dj *distJob, tableID string, ok bool) {
+	jobID, tableID, found := strings.Cut(wireID, ".")
+	if !found {
+		return nil, "", false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dj, ok = c.jobs[jobID]
+	return dj, tableID, ok
+}
+
+// wireLeaseID builds the fleet-visible lease ID. Table lease IDs are only
+// unique per job, so the job ID prefixes them on the wire.
+func wireLeaseID(jobID, tableID string) string { return jobID + "." + tableID }
+
+// traceLease records an instantaneous coordination span on the job's
+// timeline, if tracing is on.
+func (c *coordinator) traceLease(j *Job, name string, attrs map[string]string) {
+	if j.trace == nil {
+		return
+	}
+	span := j.trace.Start(j.runSpan, name, attrs)
+	j.trace.End(span)
+}
+
+// runDistributed executes one job's grid through the lease table: remote
+// runners acquire windows and commit replica payloads over HTTP; this loop
+// sweeps expired leases back into the pool and, when the whole fleet has
+// gone dark, computes the remaining slots itself. The journal, the results
+// grid, and the final artifact are built exactly as in the local path, so
+// the result bytes cannot reveal which machines did the work.
+func (m *Manager) runDistributed(ctx context.Context, j *Job) (retErr error) {
+	spec := &j.Spec
+	prob, err := compile(spec)
+	if err != nil {
+		return fmt.Errorf("compile: %w", err)
+	}
+	j.mu.Lock()
+	j.problem = prob.Desc
+	j.mu.Unlock()
+
+	dir := m.jobDir(j.ID)
+	cfg := &checkpoint.Config{Dir: dir, Resume: true}
+	journal, err := cfg.Journal("job", spec.Fingerprint())
+	if err != nil {
+		return err
+	}
+	defer journal.Close()
+
+	n := spec.Runs
+	results := make([]RunResult, n)
+	restored := make([]int, 0, n)
+	if err := journal.Restore(n, func(slot int, payload []byte) error {
+		var rr RunResult
+		if err := json.Unmarshal(payload, &rr); err != nil {
+			return err
+		}
+		results[slot] = rr
+		restored = append(restored, slot)
+		return nil
+	}); err != nil {
+		return err
+	}
+	j.setProgress(journal.Len())
+
+	// The job's checkpoint journal is the lease-commit log: the table's
+	// commit hook appends each slot exactly once, and the journal's per-slot
+	// idempotency plus payload purity make any crash/re-lease interleaving
+	// converge on identical bytes. The hook also keeps the results grid and
+	// progress counter current. It runs under the table lock; it must not
+	// call back into the table or the coordinator.
+	table := lease.New(n, lease.Options{
+		TTL:   m.cfg.LeaseTTL,
+		Chunk: m.cfg.LeaseChunk,
+		// Expiry is detected lazily by lease operations as well as by the
+		// sweep below; the hook sees every retirement exactly once.
+		OnExpire: func(ex lease.Expired) {
+			m.obs.leasesExpired.Inc()
+			m.coord.traceLease(j, "re-lease", map[string]string{
+				"lease":  ex.ID,
+				"runner": ex.Runner,
+				"freed":  fmt.Sprintf("%d", len(ex.Freed)),
+			})
+			m.cfg.Logf("service: job %s: lease %s (runner %s) expired, re-leasing %d slot(s)",
+				j.ID, ex.ID, ex.Runner, len(ex.Freed))
+		},
+		Commit: func(slot int, payload []byte) error {
+			var rr RunResult
+			if err := json.Unmarshal(payload, &rr); err != nil {
+				return fmt.Errorf("slot %d payload: %w", slot, err)
+			}
+			if rr.Run != slot {
+				return fmt.Errorf("slot %d payload claims run %d", slot, rr.Run)
+			}
+			if err := journal.Append(ctx, slot, payload); err != nil {
+				return err
+			}
+			results[slot] = rr // serialized by the table lock the hook runs under
+			j.setProgress(journal.Len())
+			return nil
+		},
+	})
+	for _, slot := range restored {
+		table.MarkCommitted(slot)
+	}
+
+	if err := m.coord.attach(j, table); err != nil {
+		return err
+	}
+	defer m.coord.detach(j.ID)
+	m.cfg.Logf("service: job %s: distributed across fleet (%d slot(s) to lease)", j.ID, table.Remaining())
+
+	sweep := time.NewTicker(m.cfg.LeaseTTL / 2)
+	defer sweep.Stop()
+	for {
+		select {
+		case <-table.Done():
+			return commitResult(j, dir, spec, prob.Desc, results)
+		case <-ctx.Done():
+			// Cancelled or draining: the journal holds every committed slot,
+			// so a resumed job — local or distributed — picks up from here.
+			return ctx.Err()
+		case <-sweep.C:
+		}
+		// Force expiry detection even when no runner is polling; the
+		// OnExpire hook records each retirement.
+		table.ExpireDead()
+		// Fleet gone dark? Compute one slot locally per pass, re-checking
+		// liveness between slots so a recovering fleet takes the work back.
+		if m.coord.live() == 0 {
+			if err := m.localFallback(ctx, j, spec, prob, table); err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				return err
+			}
+		}
+	}
+}
+
+// localFallback computes the first uncommitted slot on the coordinator
+// itself. CommitLocal revokes the slot from any presumed-dead holder; if
+// that runner turns out to be alive and commits anyway, the table answers
+// idempotently and the bytes agree, because the payload is a pure function
+// of (spec, slot).
+func (m *Manager) localFallback(ctx context.Context, j *Job, spec *JobSpec, prob *problem.Instance, table *lease.Table) error {
+	slots := table.Uncommitted()
+	if len(slots) == 0 {
+		return nil
+	}
+	slot := slots[0]
+	m.cfg.Logf("service: job %s: no live runners, computing slot %d locally", j.ID, slot)
+	m.obs.leaseCommits.With(commitLocal).Inc()
+	if j.trace != nil {
+		span := j.trace.Start(j.runSpan, "replica", map[string]string{
+			"run": fmt.Sprintf("%d", slot), "fallback": "local",
+		})
+		defer j.trace.End(span)
+	}
+	rr, err := computeReplica(ctx, spec, prob, slot, m.engineHook())
+	if err != nil {
+		return err
+	}
+	payload, err := json.Marshal(rr)
+	if err != nil {
+		return err
+	}
+	return table.CommitLocal(slot, payload)
+}

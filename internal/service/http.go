@@ -7,7 +7,10 @@ import (
 	"net/http"
 	"time"
 
+	"mcopt/internal/faultinject"
+	"mcopt/internal/lease"
 	"mcopt/internal/obs"
+	"mcopt/internal/runnerclient"
 )
 
 // API routes (all under /v1 except the operational probes):
@@ -18,6 +21,10 @@ import (
 //	GET    /v1/jobs/{id}/result the committed result artifact (done jobs)
 //	GET    /v1/jobs/{id}/trace  span timeline: submit → queue → replica[i] → commit
 //	DELETE /v1/jobs/{id}        cancel
+//	POST   /v1/runners          register a fleet runner (fingerprint handshake)
+//	POST   /v1/runners/{id}/leases  acquire a replica-range lease (204 = no work)
+//	POST   /v1/leases/{id}/renew    heartbeat a lease
+//	POST   /v1/leases/{id}/commit   commit one computed slot
 //	GET    /healthz             liveness
 //	GET    /readyz              readiness (503 while draining)
 //	GET    /metrics             Prometheus text exposition of the obs registry
@@ -59,6 +66,11 @@ func NewHandler(m *Manager, cfg HandlerConfig) http.Handler {
 	handle("GET /v1/jobs/{id}/trace", s.trace, true)
 	handle("DELETE /v1/jobs/{id}", s.cancel, true)
 	handle("GET /v1/jobs/{id}/events", s.events, false) // long-lived by design
+	// Fleet API: runner registration and the lease lifecycle (DESIGN.md §14).
+	handle("POST /v1/runners", s.registerRunner, true)
+	handle("POST /v1/runners/{id}/leases", s.acquireLease, true)
+	handle("POST /v1/leases/{id}/renew", s.renewLease, true)
+	handle("POST /v1/leases/{id}/commit", s.commitLease, true)
 	handle("GET /healthz", s.healthz, true)
 	handle("GET /readyz", s.readyz, true)
 	handle("GET /metrics", s.metrics, true)
@@ -213,6 +225,142 @@ func (s *server) events(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// writeFleetError answers a fleet request with runnerclient's error body:
+// a message plus the machine-readable code the client maps onto sentinels.
+func writeFleetError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(runnerclient.APIError{Error: msg, Code: code})
+}
+
+// leaseError translates lease table errors onto the wire: epoch failures
+// and stolen slots are both 409s distinguished by code, so the runner can
+// branch without parsing messages.
+func leaseError(w http.ResponseWriter, err error) {
+	var ee *lease.EpochError
+	if errors.As(err, &ee) {
+		writeFleetError(w, http.StatusConflict, runnerclient.CodeEpoch, ee.Error())
+		return
+	}
+	var nh *lease.NotHeldError
+	if errors.As(err, &nh) {
+		writeFleetError(w, http.StatusConflict, runnerclient.CodeNotHeld, nh.Error())
+		return
+	}
+	writeFleetError(w, http.StatusInternalServerError, "", err.Error())
+}
+
+func (s *server) registerRunner(w http.ResponseWriter, r *http.Request) {
+	var req runnerclient.RegisterRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4096)).Decode(&req); err != nil {
+		writeFleetError(w, http.StatusBadRequest, "", "decode register request: "+err.Error())
+		return
+	}
+	id, err := s.m.coord.register(req.Name, req.Fingerprint)
+	if err != nil {
+		writeFleetError(w, http.StatusConflict, runnerclient.CodeVersion, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, runnerclient.RegisterResponse{
+		ID:             id,
+		LeaseTTLMillis: s.m.cfg.LeaseTTL.Milliseconds(),
+		PollMillis:     (s.m.cfg.LeaseTTL / 10).Milliseconds(),
+	})
+}
+
+func (s *server) acquireLease(w http.ResponseWriter, r *http.Request) {
+	runnerID := r.PathValue("id")
+	if !s.m.coord.touch(runnerID) {
+		writeFleetError(w, http.StatusNotFound, runnerclient.CodeUnknownRunner,
+			"unknown runner "+runnerID+" (coordinator restarted?)")
+		return
+	}
+	g, dj, ok := s.m.coord.acquire(runnerID)
+	if !ok {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, runnerclient.LeaseGrant{
+		Lease:     wireLeaseID(dj.job.ID, g.ID),
+		Epoch:     g.Epoch,
+		Job:       dj.job.ID,
+		Spec:      dj.spec,
+		Start:     g.Start,
+		End:       g.End,
+		Done:      g.Done,
+		TTLMillis: s.m.cfg.LeaseTTL.Milliseconds(),
+		Stolen:    g.Stolen,
+	})
+}
+
+func (s *server) renewLease(w http.ResponseWriter, r *http.Request) {
+	var req runnerclient.RenewRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4096)).Decode(&req); err != nil {
+		writeFleetError(w, http.StatusBadRequest, "", "decode renew request: "+err.Error())
+		return
+	}
+	s.m.coord.touchLease(r.PathValue("id"))
+	dj, tableID, ok := s.m.coord.route(r.PathValue("id"))
+	if !ok {
+		writeFleetError(w, http.StatusConflict, runnerclient.CodeEpoch,
+			"lease "+r.PathValue("id")+": job is no longer being distributed")
+		return
+	}
+	if _, err := dj.table.Renew(tableID, req.Epoch); err != nil {
+		leaseError(w, err)
+		return
+	}
+	s.m.obs.leaseRenewals.Inc()
+	writeJSON(w, http.StatusOK, runnerclient.RenewResponse{TTLMillis: s.m.cfg.LeaseTTL.Milliseconds()})
+}
+
+func (s *server) commitLease(w http.ResponseWriter, r *http.Request) {
+	var req runnerclient.CommitRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes)).Decode(&req); err != nil {
+		writeFleetError(w, http.StatusBadRequest, "", "decode commit request: "+err.Error())
+		return
+	}
+	s.m.coord.touchLease(r.PathValue("id"))
+	dj, tableID, ok := s.m.coord.route(r.PathValue("id"))
+	if !ok {
+		// The job finished or fell back: either way its slots are durable or
+		// re-owned, so the runner should abandon the window, not retry.
+		s.m.obs.leaseCommits.With(commitEpoch).Inc()
+		writeFleetError(w, http.StatusConflict, runnerclient.CodeEpoch,
+			"lease "+r.PathValue("id")+": job is no longer being distributed")
+		return
+	}
+	wasCommitted := dj.table.Committed(req.Slot)
+	err := dj.table.Commit(tableID, req.Epoch, req.Slot, req.Payload)
+	switch {
+	case err == nil && wasCommitted:
+		s.m.obs.leaseCommits.With(commitDuplicate).Inc()
+	case err == nil:
+		s.m.obs.leaseCommits.With(commitOK).Inc()
+	default:
+		var ee *lease.EpochError
+		var nh *lease.NotHeldError
+		switch {
+		case errors.As(err, &ee):
+			s.m.obs.leaseCommits.With(commitEpoch).Inc()
+		case errors.As(err, &nh):
+			s.m.obs.leaseCommits.With(commitNotHeld).Inc()
+		default:
+			s.m.obs.leaseCommits.With(commitError).Inc()
+		}
+		leaseError(w, err)
+		return
+	}
+	// The journal append above is durable; a fault here fails only the
+	// reply, driving the runner's retry down the idempotent-commit path —
+	// the kill-mid-commit window chaos tests aim at.
+	if err := faultinject.Point("coord.commit"); err != nil {
+		writeFleetError(w, http.StatusInternalServerError, "", err.Error())
+		return
+	}
+	w.WriteHeader(http.StatusOK)
 }
 
 func (s *server) healthz(w http.ResponseWriter, r *http.Request) {

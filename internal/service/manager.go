@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"mcopt/internal/atomicio"
+	"mcopt/internal/buildinfo"
 	"mcopt/internal/core"
 	"mcopt/internal/metrics"
 	"mcopt/internal/obs"
@@ -71,6 +72,19 @@ type Config struct {
 	// The smoke test uses it to pin that observability never changes
 	// result bytes.
 	DisableObs bool
+
+	// LeaseTTL is the distributed lease lifetime between heartbeat renewals
+	// (default 10s): a runner silent this long forfeits its replica window.
+	LeaseTTL time.Duration
+	// RunnerTTL is how long a registered runner may go without any request
+	// before the coordinator presumes it dead (default 3×LeaseTTL).
+	RunnerTTL time.Duration
+	// LeaseChunk bounds the replica slots per lease grant (default 8).
+	LeaseChunk int
+	// Fingerprint identifies this build in the runner-register handshake;
+	// runners presenting a different one are refused with 409. Defaults to
+	// buildinfo.Short(). Tests override it to simulate mixed fleets.
+	Fingerprint string
 }
 
 // Manager is the durable job queue: it persists every submitted spec,
@@ -90,6 +104,7 @@ type Manager struct {
 	draining bool
 	agg      metrics.RunMetrics // merged engine telemetry of completed replicas
 	obs      *serverMetrics     // registry-backed service metrics
+	coord    *coordinator       // distributed-execution state (always non-nil)
 
 	runCtx    context.Context
 	runCancel context.CancelFunc
@@ -122,12 +137,25 @@ func Open(cfg Config) (*Manager, error) {
 	if cfg.Registry == nil {
 		cfg.Registry = defaultRegistry()
 	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 10 * time.Second
+	}
+	if cfg.RunnerTTL <= 0 {
+		cfg.RunnerTTL = 3 * cfg.LeaseTTL
+	}
+	if cfg.LeaseChunk <= 0 {
+		cfg.LeaseChunk = 8
+	}
+	if cfg.Fingerprint == "" {
+		cfg.Fingerprint = buildinfo.Short()
+	}
 	m := &Manager{
 		cfg:   cfg,
 		jobs:  map[string]*Job{},
 		byKey: map[string]string{},
 		obs:   newServerMetrics(cfg.Registry),
 	}
+	m.coord = newCoordinator(m)
 	m.registerCollectGauges()
 	m.cond = sync.NewCond(&m.mu)
 	m.runCtx, m.runCancel = context.WithCancel(context.Background())
@@ -493,7 +521,16 @@ func (m *Manager) execute(j *Job) {
 	}
 	started := time.Now()
 
-	err := run(ctx, j, m.jobDir(j.ID), m.cfg.RunWorkers, m.mergeMetrics, m.engineHook())
+	// Distribute across the fleet when at least one live runner is
+	// registered as the job starts; otherwise run locally exactly as a
+	// single node would. The choice is invisible in the result artifact —
+	// both paths commit identical bytes.
+	var err error
+	if m.coord.live() > 0 {
+		err = m.runDistributed(ctx, j)
+	} else {
+		err = run(ctx, j, m.jobDir(j.ID), m.cfg.RunWorkers, m.mergeMetrics, m.engineHook())
+	}
 
 	m.obs.runSeconds.Observe(time.Since(started).Seconds())
 	m.mu.Lock()

@@ -27,6 +27,27 @@ const (
 	rejectInvalid   = "invalid"    // 400 spec validation
 )
 
+// Runner rejection reasons (mcoptd_runner_rejected_total).
+const (
+	rejectVersion = "version" // build fingerprint mismatch at register, 409
+)
+
+// Lease grant modes (mcoptd_leases_granted_total).
+const (
+	leaseModeFresh  = "fresh"  // a window of free slots
+	leaseModeStolen = "stolen" // carved out of a straggler's lease
+)
+
+// Lease commit outcomes (mcoptd_lease_commits_total).
+const (
+	commitOK        = "ok"        // fresh slot committed to the journal
+	commitDuplicate = "duplicate" // already committed; acknowledged idempotently
+	commitEpoch     = "epoch"     // dead or superseded lease, rejected
+	commitNotHeld   = "not_held"  // slot stolen from the lease, rejected
+	commitError     = "error"     // journal or payload failure
+	commitLocal     = "local"     // coordinator fallback, no live runners
+)
+
 // serverMetrics owns every service-level instrument plus the engine bridge.
 type serverMetrics struct {
 	reg    *obs.Registry
@@ -40,6 +61,14 @@ type serverMetrics struct {
 	completed    *obs.CounterVec // outcome: done | failed | cancelled | requeued
 	queueWait    *obs.Histogram
 	runSeconds   *obs.Histogram
+
+	// Distributed-execution families (DESIGN.md §14).
+	runnerRegs     *obs.Counter
+	runnerRejected *obs.CounterVec // reason
+	leasesGranted  *obs.CounterVec // mode: fresh | stolen
+	leaseRenewals  *obs.Counter
+	leasesExpired  *obs.Counter
+	leaseCommits   *obs.CounterVec // result: ok | duplicate | epoch | not_held | error | local
 }
 
 // newServerMetrics registers the service families on reg.
@@ -69,6 +98,21 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		runSeconds: reg.Histogram("mcoptd_job_run_seconds",
 			"Wall-clock duration of job executions (all replicas plus commit).",
 			obs.DurationBuckets()),
+		runnerRegs: reg.Counter("mcoptd_runner_registrations_total",
+			"Runner registrations accepted after the fingerprint handshake."),
+		runnerRejected: reg.CounterVec("mcoptd_runner_rejected_total",
+			"Runner registrations refused, by reason (version = build fingerprint mismatch).",
+			"reason"),
+		leasesGranted: reg.CounterVec("mcoptd_leases_granted_total",
+			"Replica-range leases granted, by mode (stolen = work-stealing split of a straggler).",
+			"mode"),
+		leaseRenewals: reg.Counter("mcoptd_lease_renewals_total",
+			"Lease heartbeat renewals accepted."),
+		leasesExpired: reg.Counter("mcoptd_leases_expired_total",
+			"Leases expired for missed heartbeats; their slots were re-leased."),
+		leaseCommits: reg.CounterVec("mcoptd_lease_commits_total",
+			"Lease slot commits, by result (duplicate = idempotent replay; local = coordinator fallback).",
+			"result"),
 	}
 }
 
@@ -95,7 +139,9 @@ func (m *Manager) registerCollectGauges() {
 	queueCap := reg.Gauge("mcoptd_queue_capacity", "Pending-job limit before submits get 429.")
 	busy := reg.Gauge("mcoptd_workers_busy", "Workers currently executing a job.")
 	total := reg.Gauge("mcoptd_workers", "Size of the job worker pool.")
+	runners := reg.Gauge("mcoptd_runners", "Live registered runners (heartbeat within the runner TTL).")
 	reg.OnCollect(func() {
+		runners.Set(float64(m.coord.live()))
 		st := m.Stats()
 		states[StateQueued].Set(float64(st.Queued))
 		states[StateRunning].Set(float64(st.RunningJobs))

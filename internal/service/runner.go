@@ -6,13 +6,16 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"mcopt/internal/atomicio"
 	"mcopt/internal/checkpoint"
 	"mcopt/internal/core"
 	"mcopt/internal/metrics"
 	"mcopt/internal/rng"
+	"mcopt/internal/runnerclient"
 	"mcopt/internal/sched"
+	"mcopt/problem"
 )
 
 // The runner is problem-agnostic: everything domain-specific arrives
@@ -150,65 +153,14 @@ func run(ctx context.Context, j *Job, dir string, workers int, agg func(*metrics
 			span := j.trace.Start(j.runSpan, "replica", map[string]string{"run": fmt.Sprintf("%d", i)})
 			defer j.trace.End(span)
 		}
-		g, ys, err := newG(prob, spec)
-		if err != nil {
-			return err
-		}
 		hook := metrics.Tee(rm.Hook(), engineHook, func(e core.Event) {
 			if streamedKind(e.Kind) {
 				j.publishEvent(metrics.RecordOf(fmt.Sprintf("run@%d", i), e))
 			}
 		})
-		sol := prob.NewSolution(i)
-		budget := core.NewBudget(spec.Budget).WithContext(ctx)
-		stream := rng.Derive("service/run/"+spec.Strategy+"/"+spec.G, spec.Seed, uint64(i))
-		var res core.Result
-		switch spec.Strategy {
-		case "fig2":
-			desc, ok := sol.(core.Descender)
-			if !ok {
-				return fmt.Errorf("%s solutions do not support fig2", spec.Problem.Kind)
-			}
-			res = core.Figure2{G: g, Hook: hook}.Run(desc, budget, stream)
-		case "tempering":
-			res = core.Tempering{
-				G:             g,
-				Chains:        spec.Chains,
-				ExchangeEvery: spec.ExchangeEvery,
-				Temps:         core.TemperingLadder(ys, spec.Chains),
-				Batch:         spec.Batch,
-				Hook:          hook,
-			}.Run(sol, budget, stream)
-		default:
-			res = core.Figure1{G: g, Batch: spec.Batch, Hook: hook}.Run(sol, budget, stream)
-		}
-		rr := RunResult{
-			Run:          i,
-			InitialCost:  res.InitialCost,
-			BestCost:     res.BestCost,
-			FinalCost:    res.FinalCost,
-			Moves:        res.Moves,
-			Accepted:     res.Accepted,
-			Uphill:       res.Uphill,
-			Improvements: res.Improvements,
-			Solution:     prob.Encode(res.Best),
-		}
-		if len(res.Chains) > 0 {
-			rr.Exchanges = res.Exchanges
-			rr.ExchangesAccepted = res.ExchangesAccepted
-			rr.Chains = make([]ChainResult, len(res.Chains))
-			for c, cs := range res.Chains {
-				rr.Chains[c] = ChainResult{
-					Level:        cs.Level,
-					Temp:         cs.Temp,
-					Moves:        cs.Moves,
-					Accepted:     cs.Accepted,
-					Uphill:       cs.Uphill,
-					SwapAttempts: cs.SwapAttempts,
-					Swaps:        cs.Swaps,
-					FinalCost:    cs.FinalCost,
-				}
-			}
+		rr, err := computeReplica(ctx, spec, prob, i, hook)
+		if err != nil {
+			return err
 		}
 		payload, err := json.Marshal(rr)
 		if err != nil {
@@ -226,14 +178,84 @@ func run(ctx context.Context, j *Job, dir string, workers int, agg func(*metrics
 	if err := report.Err(); err != nil {
 		return err
 	}
+	return commitResult(j, dir, spec, prob.Desc, results)
+}
 
+// computeReplica computes replica i of the spec's grid: the pure function
+// of (spec, i) behind every run surface. The local scheduler, the
+// coordinator's fallback path, and remote runners (through ReplicaComputer)
+// all call it, which is what makes their payloads interchangeable byte for
+// byte. hook observes engine events and may be nil.
+func computeReplica(ctx context.Context, spec *JobSpec, prob *problem.Instance, i int, hook core.Hook) (RunResult, error) {
+	g, ys, err := newG(prob, spec)
+	if err != nil {
+		return RunResult{}, err
+	}
+	sol := prob.NewSolution(i)
+	budget := core.NewBudget(spec.Budget).WithContext(ctx)
+	stream := rng.Derive("service/run/"+spec.Strategy+"/"+spec.G, spec.Seed, uint64(i))
+	var res core.Result
+	switch spec.Strategy {
+	case "fig2":
+		desc, ok := sol.(core.Descender)
+		if !ok {
+			return RunResult{}, fmt.Errorf("%s solutions do not support fig2", spec.Problem.Kind)
+		}
+		res = core.Figure2{G: g, Hook: hook}.Run(desc, budget, stream)
+	case "tempering":
+		res = core.Tempering{
+			G:             g,
+			Chains:        spec.Chains,
+			ExchangeEvery: spec.ExchangeEvery,
+			Temps:         core.TemperingLadder(ys, spec.Chains),
+			Batch:         spec.Batch,
+			Hook:          hook,
+		}.Run(sol, budget, stream)
+	default:
+		res = core.Figure1{G: g, Batch: spec.Batch, Hook: hook}.Run(sol, budget, stream)
+	}
+	rr := RunResult{
+		Run:          i,
+		InitialCost:  res.InitialCost,
+		BestCost:     res.BestCost,
+		FinalCost:    res.FinalCost,
+		Moves:        res.Moves,
+		Accepted:     res.Accepted,
+		Uphill:       res.Uphill,
+		Improvements: res.Improvements,
+		Solution:     prob.Encode(res.Best),
+	}
+	if len(res.Chains) > 0 {
+		rr.Exchanges = res.Exchanges
+		rr.ExchangesAccepted = res.ExchangesAccepted
+		rr.Chains = make([]ChainResult, len(res.Chains))
+		for c, cs := range res.Chains {
+			rr.Chains[c] = ChainResult{
+				Level:        cs.Level,
+				Temp:         cs.Temp,
+				Moves:        cs.Moves,
+				Accepted:     cs.Accepted,
+				Uphill:       cs.Uphill,
+				SwapAttempts: cs.SwapAttempts,
+				Swaps:        cs.Swaps,
+				FinalCost:    cs.FinalCost,
+			}
+		}
+	}
+	return rr, nil
+}
+
+// commitResult builds and atomically writes the result artifact from a
+// complete results grid. Local and distributed execution both end here, so
+// the artifact bytes cannot depend on which path computed the replicas.
+func commitResult(j *Job, dir string, spec *JobSpec, problemDesc string, results []RunResult) error {
 	if j.trace != nil {
 		span := j.trace.Start(j.runSpan, "commit", nil)
 		defer j.trace.End(span)
 	}
 	result := &Result{
 		Spec:    *spec,
-		Problem: prob.Desc,
+		Problem: problemDesc,
 		Runs:    results,
 		BestRun: 0,
 	}
@@ -258,6 +280,54 @@ func run(ctx context.Context, j *Job, dir string, workers int, agg func(*metrics
 	j.bestCost = &best.BestCost
 	j.mu.Unlock()
 	return nil
+}
+
+// ReplicaComputer is the compute callback a runner process plugs into
+// runnerclient.Runner: it decodes a grant's spec, compiles the problem
+// instance (cached by spec fingerprint — a fleet typically grinds one job's
+// grid at a time), computes the slot, and returns the RunResult JSON that
+// the coordinator journals. Safe for sequential reuse across grants; the
+// runner loop is single-threaded per process.
+type ReplicaComputer struct {
+	mu   sync.Mutex
+	fp   uint64
+	spec JobSpec
+	prob *problem.Instance
+}
+
+// Compute implements runnerclient.ComputeFunc.
+func (rc *ReplicaComputer) Compute(ctx context.Context, g *runnerclient.LeaseGrant, slot int) ([]byte, error) {
+	spec, prob, err := rc.instance(g.Spec)
+	if err != nil {
+		return nil, err
+	}
+	rr, err := computeReplica(ctx, spec, prob, slot, nil)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(rr)
+}
+
+// instance resolves the grant's spec to a compiled problem, reusing the
+// cached compilation when the fingerprint matches.
+func (rc *ReplicaComputer) instance(raw json.RawMessage) (*JobSpec, *problem.Instance, error) {
+	var spec JobSpec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return nil, nil, fmt.Errorf("decode grant spec: %w", err)
+	}
+	spec.Normalize()
+	fp := spec.Fingerprint()
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.prob != nil && rc.fp == fp {
+		return &rc.spec, rc.prob, nil
+	}
+	prob, err := compile(&spec)
+	if err != nil {
+		return nil, nil, fmt.Errorf("compile grant spec: %w", err)
+	}
+	rc.fp, rc.spec, rc.prob = fp, spec, prob
+	return &rc.spec, rc.prob, nil
 }
 
 // Artifact and marker file names inside a job directory.

@@ -1,0 +1,164 @@
+#!/usr/bin/env sh
+# chaos_test.sh — dead-runner recovery, end to end over real sockets
+# (DESIGN.md §14).
+#
+# Proves the distributed fleet's headline claim: a runner lost mid-grid
+# costs nothing but the replica in flight, and the result artifact is
+# byte-identical to a single-node run.
+#
+#   1. Golden: start mcoptd with no runners, run the spec locally, keep
+#      the result artifact.
+#   2. Chaos: fresh mcoptd with -lease-ttl 1s -lease-chunk 2, three
+#      mcoptrunner processes attached. Runner 1 is built to misbehave:
+#      MCOPT_FAULT=runner.compute:2:stall makes its second replica hang
+#      (a straggler), and once its first commit lands in its log it is
+#      kill -9'd — no drain, no lease release. The coordinator must
+#      notice the dead lease (missed heartbeats), re-lease the window to
+#      a live runner, finish the job, and commit a result artifact that
+#      cmp's equal to the golden one. The server log must show the
+#      re-lease and /metrics must count at least one expired lease.
+#
+# Exits non-zero on the first failure.
+
+set -eu
+
+GO=${GO:-go}
+SPEC='{"problem":{"kind":"gola","cells":40,"nets":200},"budget":1000000,"runs":8,"seed":11}'
+
+work=$(mktemp -d)
+server_pid=""
+runner_pids=""
+cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    for p in $runner_pids; do kill -9 "$p" 2>/dev/null || true; done
+    rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+echo "== build =="
+$GO build -o "$work/mcoptd" ./cmd/mcoptd
+$GO build -o "$work/mcoptctl" ./cmd/mcoptctl
+$GO build -o "$work/mcoptrunner" ./cmd/mcoptrunner
+
+# start_server DATA_DIR LOG_FILE [FLAGS...]: starts mcoptd on an ephemeral
+# port and sets $server_pid and $base (the URL clients should talk to).
+start_server() {
+    dir=$1
+    logf=$2
+    shift 2
+    "$work/mcoptd" -addr 127.0.0.1:0 -data "$dir" "$@" 2> "$logf" &
+    server_pid=$!
+    addr=""
+    tries=0
+    while [ "$tries" -lt 100 ]; do
+        addr=$(sed -n 's/.*listening on \([0-9.]*:[0-9]*\).*/\1/p' "$logf" | head -1)
+        [ -n "$addr" ] && break
+        if ! kill -0 "$server_pid" 2>/dev/null; then
+            echo "FAIL: mcoptd exited during startup" >&2
+            cat "$logf" >&2
+            exit 1
+        fi
+        tries=$((tries + 1))
+        sleep 0.05
+    done
+    if [ -z "$addr" ]; then
+        echo "FAIL: mcoptd never reported its listen address" >&2
+        exit 1
+    fi
+    base="http://$addr"
+}
+
+stop_server() {
+    kill -TERM "$server_pid" 2>/dev/null || true
+    wait "$server_pid" 2>/dev/null || true
+    server_pid=""
+}
+
+echo "$SPEC" > "$work/spec.json"
+
+echo "== stage 1: golden single-node run =="
+start_server "$work/data1" "$work/server1.log"
+id=$("$work/mcoptctl" -addr "$base" submit -spec "$work/spec.json" -wait 2> /dev/null)
+"$work/mcoptctl" -addr "$base" result "$id" -o "$work/golden.json"
+stop_server
+echo "ok: golden artifact $(wc -c < "$work/golden.json") bytes"
+
+echo "== stage 2: three runners, one straggles then dies mid-grid =="
+start_server "$work/data2" "$work/server2.log" -lease-ttl 1s -lease-chunk 2
+
+# Runner 1 stalls on its second replica (a straggler the coordinator can
+# steal from) and is kill -9'd once its first commit is durable. Runners 2
+# and 3 are healthy.
+MCOPT_FAULT=runner.compute:2:stall MCOPT_FAULT_STALL=60s \
+    "$work/mcoptrunner" -addr "$base" -name chaos-victim -poll 100ms \
+    2> "$work/runner1.log" &
+r1_pid=$!
+runner_pids="$r1_pid"
+for i in 2 3; do
+    "$work/mcoptrunner" -addr "$base" -name "chaos-r$i" -poll 100ms \
+        2> "$work/runner$i.log" &
+    runner_pids="$runner_pids $!"
+done
+
+# The job only distributes if the fleet is live at submit time.
+tries=0
+while [ "$tries" -lt 100 ]; do
+    n=$(curl -fsS "$base/metrics" 2>/dev/null | sed -n 's/^mcoptd_runners[^ ]* //p' | head -1)
+    [ "${n:-0}" = "3" ] && break
+    tries=$((tries + 1))
+    sleep 0.05
+done
+if [ "${n:-0}" != "3" ]; then
+    echo "FAIL: fleet never reached 3 live runners" >&2
+    cat "$work/server2.log" >&2
+    exit 1
+fi
+
+id2=$("$work/mcoptctl" -addr "$base" submit -spec "$work/spec.json")
+grep -q "distributed across fleet" "$work/server2.log" || sleep 0.2
+grep -q "distributed across fleet" "$work/server2.log" || {
+    echo "FAIL: job was not distributed despite a live fleet" >&2
+    cat "$work/server2.log" >&2
+    exit 1
+}
+
+# Wait for the victim's first commit, then kill it without ceremony. Its
+# lease dies with it: heartbeats stop, the TTL runs out, and the window is
+# re-leased. The stalled second replica is the work in flight that is lost.
+tries=0
+while [ "$tries" -lt 400 ] && kill -0 "$r1_pid" 2>/dev/null; do
+    grep -q "committed job=" "$work/runner1.log" && break
+    tries=$((tries + 1))
+    sleep 0.05
+done
+grep -q "committed job=" "$work/runner1.log" || {
+    echo "FAIL: victim runner never committed a replica" >&2
+    cat "$work/runner1.log" >&2
+    exit 1
+}
+kill -9 "$r1_pid" 2>/dev/null || true
+wait "$r1_pid" 2>/dev/null || true
+echo "killed victim runner (pid $r1_pid) after its first commit"
+
+# The survivors must finish the job; watch's exit status mirrors its fate.
+"$work/mcoptctl" -addr "$base" watch "$id2" > /dev/null
+"$work/mcoptctl" -addr "$base" result "$id2" -o "$work/chaos.json"
+
+grep -q "re-leasing" "$work/server2.log" || {
+    echo "FAIL: coordinator never re-leased the dead runner's window" >&2
+    cat "$work/server2.log" >&2
+    exit 1
+}
+expired=$(curl -fsS "$base/metrics" | sed -n 's/^mcoptd_leases_expired_total[^ ]* //p' | head -1)
+case "${expired:-0}" in
+    0 | 0.0 | "")
+        echo "FAIL: mcoptd_leases_expired_total is ${expired:-absent}, want >= 1" >&2
+        exit 1
+        ;;
+esac
+stop_server
+
+cmp "$work/golden.json" "$work/chaos.json"
+echo "ok: re-leased after kill -9 (leases_expired=$expired); artifact byte-identical to single-node run"
+
+echo "chaos-test: all stages passed"

@@ -58,6 +58,7 @@ fi
 echo "$SPEC" > "$work/spec.json"
 echo "== probe: $JOBS jobs, $CONCURRENCY concurrent clients =="
 "$work/mcoptload" -addr "http://$addr" -jobs "$JOBS" -concurrency "$CONCURRENCY" \
+    -max-retries "${MAX_RETRIES:-4}" -retry-backoff "${RETRY_BACKOFF:-200ms}" \
     -spec "$work/spec.json" -o "$OUT"
 
 kill -TERM "$server_pid" 2>/dev/null || true
