@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-json bench-service tables tune report examples cover fuzz profile determinism crash-test smoke chaos-test clean
+.PHONY: all build test vet bench bench-json bench-service tables tune report examples cover fuzz profile determinism crash-test smoke chaos-test archive-test clean
 
 all: build vet test
 
@@ -39,7 +39,7 @@ bench-json:
 # done / result-fetch percentiles. The output is committed as
 # BENCH_service.json.
 bench-service:
-	GO=$(GO) sh scripts/service_bench.sh
+	GO=$(GO) bash scripts/service_bench.sh
 
 # Regenerate the paper's tables at paper budgets (writes to stdout).
 tables:
@@ -99,6 +99,14 @@ smoke:
 # the final artifact must be byte-identical to a single-node run.
 chaos-test:
 	GO=$(GO) sh scripts/chaos_test.sh
+
+# The archive's exactly-once retirement contract, checked end to end:
+# submit jobs to a real mcoptd, kill it (injected hard exit) between a
+# job's durable archive append and its directory delete, restart over the
+# same data directory, and assert every job exists exactly once — in the
+# archive, directory gone (DESIGN.md §15).
+archive-test:
+	GO=$(GO) bash scripts/archive_test.sh
 
 clean:
 	rm -f report.md test_output.txt bench_output.txt cpu.pprof mem.pprof seq.txt par.txt

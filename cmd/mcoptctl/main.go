@@ -9,6 +9,7 @@
 //	mcoptctl [-addr ...] cancel JOB
 //	mcoptctl [-addr ...] trace JOB
 //	mcoptctl [-addr ...] stats [-interval 2s] [-n N]
+//	mcoptctl [-addr ...] query [-kind K] [-g G] [-state S] [-since 24h] ...
 //
 // submit posts a job spec (a file, or "-" for stdin) and prints the job ID
 // on stdout — and nothing else, so shell scripts can capture it. With -wait
@@ -18,7 +19,14 @@
 // job's fate (0 done, 3 failed, 4 cancelled). A dropped stream is retried
 // with backoff — a server restart mid-watch costs a reconnect notice on
 // stderr, not a spurious failure. result writes the committed result
-// artifact to stdout or -o FILE.
+// artifact to stdout or -o FILE. query searches the run archive of retired
+// jobs — grouped cost quantiles by default, raw NDJSON records with
+// -records.
+//
+// The global -timeout bounds every HTTP call (default 30s). Streaming
+// commands (watch, submit -wait, stats) apply it to connect and response
+// headers only, never to the open stream, so a long watch is not cut off
+// mid-job.
 package main
 
 import (
@@ -41,6 +49,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:7459", "mcoptd base URL")
+	timeout := flag.Duration("timeout", 30*time.Second, "HTTP timeout; streams apply it to headers only (0 = none)")
 	version := buildinfo.Flag()
 	flag.Usage = usage
 	flag.Parse()
@@ -51,7 +60,7 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	c := &client{base: strings.TrimSuffix(*addr, "/")}
+	c := newClient(strings.TrimSuffix(*addr, "/"), *timeout)
 	var err error
 	switch cmd := args[0]; cmd {
 	case "submit":
@@ -68,6 +77,8 @@ func main() {
 		err = cmdTrace(c, args[1:])
 	case "stats":
 		err = cmdStats(c, args[1:])
+	case "query":
+		err = cmdQuery(c, args[1:])
 	default:
 		fmt.Fprintf(os.Stderr, "mcoptctl: unknown command %q\n", cmd)
 		usage()
@@ -87,7 +98,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: mcoptctl [-addr URL] COMMAND [ARGS]
+	fmt.Fprintf(os.Stderr, `usage: mcoptctl [-addr URL] [-timeout 30s] COMMAND [ARGS]
 
 commands:
   submit -spec FILE [-key KEY] [-wait]   submit a job; prints its ID
@@ -97,6 +108,7 @@ commands:
   cancel JOB                             cancel a job
   trace JOB                              fetch the job's span timeline (JSONL)
   stats [-interval 2s] [-n N]            poll /metrics; render live deltas
+  query [FILTERS] [-records] [-limit N]  query the archive of retired jobs
 `)
 	flag.PrintDefaults()
 }
@@ -109,12 +121,42 @@ type exitError struct {
 
 func (e *exitError) Error() string { return e.msg }
 
-// client is a minimal JSON-over-HTTP client for the mcoptd API.
+// client is a minimal JSON-over-HTTP client for the mcoptd API. Unary calls
+// go through http, whose Timeout covers the whole exchange including the
+// body; streaming calls (the NDJSON event feed) go through stream, which
+// bounds only the dial and the response headers — an event stream stays open
+// as long as the job runs.
 type client struct {
-	base string
+	base   string
+	http   *http.Client
+	stream *http.Client
+}
+
+func newClient(base string, timeout time.Duration) *client {
+	c := &client{
+		base:   base,
+		http:   &http.Client{Timeout: timeout},
+		stream: &http.Client{},
+	}
+	if timeout > 0 {
+		t := http.DefaultTransport.(*http.Transport).Clone()
+		t.ResponseHeaderTimeout = timeout
+		c.stream.Transport = t
+	}
+	return c
 }
 
 func (c *client) do(method, path string, body io.Reader, header http.Header) (*http.Response, error) {
+	return c.send(c.http, method, path, body, header)
+}
+
+// doStream issues a request whose response body is a long-lived stream: the
+// timeout applies up to the response headers only.
+func (c *client) doStream(method, path string, body io.Reader, header http.Header) (*http.Response, error) {
+	return c.send(c.stream, method, path, body, header)
+}
+
+func (c *client) send(hc *http.Client, method, path string, body io.Reader, header http.Header) (*http.Response, error) {
 	req, err := http.NewRequest(method, c.base+path, body)
 	if err != nil {
 		return nil, err
@@ -122,7 +164,7 @@ func (c *client) do(method, path string, body io.Reader, header http.Header) (*h
 	for k, vs := range header {
 		req.Header[k] = vs
 	}
-	return http.DefaultClient.Do(req)
+	return hc.Do(req)
 }
 
 // decodeError turns a non-2xx API response into an error.
@@ -285,7 +327,7 @@ func watch(c *client, id string, w io.Writer) error {
 // rejections come back as *exitError; every other error is transient. A
 // clean EOF with a non-terminal state is (false, n, nil): reconnect.
 func streamOnce(c *client, id string, w io.Writer, last *service.StreamRecord) (terminal bool, lines int, err error) {
-	resp, err := c.do(http.MethodGet, "/v1/jobs/"+id+"/events", nil, nil)
+	resp, err := c.doStream(http.MethodGet, "/v1/jobs/"+id+"/events", nil, nil)
 	if err != nil {
 		return false, 0, err
 	}

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"text/tabwriter"
+
+	"mcopt/internal/archive"
+)
+
+// cmdQuery searches the run archive of retired jobs via GET
+// /v1/archive/query. The default output is a table of groups with cost
+// quantiles; -records switches to the raw NDJSON record stream, which is
+// passed through verbatim so scripts can pipe it into jq or back into
+// submit. All filter flags are ANDed; -since/-until take either unix
+// seconds or a Go duration measured back from now ("24h" = the last day).
+func cmdQuery(c *client, args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	kind := fs.String("kind", "", "filter: problem kind (gola, maxcut, ...)")
+	g := fs.String("g", "", "filter: acceptance-function class label")
+	state := fs.String("state", "", "filter: terminal state (done, failed, cancelled)")
+	fp := fs.String("fingerprint", "", "filter: spec fingerprint (%016x)")
+	since := fs.String("since", "", "filter: retired at or after (unix seconds, or a duration back from now like 24h)")
+	until := fs.String("until", "", "filter: retired at or before (same formats as -since)")
+	minBudget := fs.Int64("min-budget", 0, "filter: budget at least N")
+	maxBudget := fs.Int64("max-budget", 0, "filter: budget at most N")
+	group := fs.String("group", "", `summary grouping columns, comma-separated from kind,g,state (default "kind,g")`)
+	records := fs.Bool("records", false, "print matching records as NDJSON instead of a summary table")
+	limit := fs.Int("limit", 1000, "with -records: stop after N records (0 = all)")
+	fs.Parse(args)
+	if rest := fs.Args(); len(rest) != 0 {
+		return fmt.Errorf("query: unexpected arguments %v", rest)
+	}
+
+	q := url.Values{}
+	set := func(k, v string) {
+		if v != "" {
+			q.Set(k, v)
+		}
+	}
+	set("kind", *kind)
+	set("g", *g)
+	set("state", *state)
+	set("fingerprint", *fp)
+	set("since", *since)
+	set("until", *until)
+	if *minBudget > 0 {
+		q.Set("min_budget", fmt.Sprint(*minBudget))
+	}
+	if *maxBudget > 0 {
+		q.Set("max_budget", fmt.Sprint(*maxBudget))
+	}
+
+	if *records {
+		q.Set("records", "true")
+		q.Set("limit", fmt.Sprint(*limit))
+		resp, err := c.do(http.MethodGet, "/v1/archive/query?"+q.Encode(), nil, nil)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return decodeError(resp)
+		}
+		defer resp.Body.Close()
+		_, err = io.Copy(os.Stdout, resp.Body)
+		return err
+	}
+
+	set("group", *group)
+	resp, err := c.do(http.MethodGet, "/v1/archive/query?"+q.Encode(), nil, nil)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	var sum archive.Summary
+	err = json.NewDecoder(resp.Body).Decode(&sum)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	printSummary(os.Stdout, &sum)
+	return nil
+}
+
+// printSummary renders the grouped summary as an aligned table. Columns for
+// ungrouped keys collapse away, so `-group state` prints just
+// state/count/done plus the quantiles.
+func printSummary(w io.Writer, sum *archive.Summary) {
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	defer tw.Flush()
+	showKind, showG, showState := false, false, false
+	for _, g := range sum.Groups {
+		showKind = showKind || g.Kind != ""
+		showG = showG || g.G != ""
+		showState = showState || g.State != ""
+	}
+	head, cell := "", ""
+	if showKind {
+		head += "KIND\t"
+	}
+	if showG {
+		head += "G\t"
+	}
+	if showState {
+		head += "STATE\t"
+	}
+	fmt.Fprintf(tw, "%sCOUNT\tDONE\tCOST p50\tp90\tp99\tMEAN\tREDUCTION p50\n", head)
+	for _, g := range sum.Groups {
+		cell = ""
+		if showKind {
+			cell += g.Kind + "\t"
+		}
+		if showG {
+			cell += g.G + "\t"
+		}
+		if showState {
+			cell += g.State + "\t"
+		}
+		cost := [4]string{"-", "-", "-", "-"}
+		if g.Cost != nil {
+			cost = [4]string{
+				fmtCost(g.Cost.P50), fmtCost(g.Cost.P90),
+				fmtCost(g.Cost.P99), fmtCost(g.Cost.Mean),
+			}
+		}
+		red := "-"
+		if g.Reduction != nil {
+			red = fmtCost(g.Reduction.P50)
+		}
+		fmt.Fprintf(tw, "%s%d\t%d\t%s\t%s\t%s\t%s\t%s\n",
+			cell, g.Count, g.Done, cost[0], cost[1], cost[2], cost[3], red)
+	}
+	fmt.Fprintf(tw, "total\t%d\n", sum.Total)
+}
+
+// fmtCost prints a cost compactly: integers stay integers, everything else
+// gets four significant-looking digits.
+func fmtCost(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4g", v)
+}

@@ -50,6 +50,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -74,6 +75,11 @@ func main() {
 	leaseTTL := flag.Duration("lease-ttl", 10*time.Second, "fleet lease lifetime between heartbeats")
 	runnerTTL := flag.Duration("runner-ttl", 0, "silence before a runner is presumed dead (default 3×lease-ttl)")
 	leaseChunk := flag.Int("lease-chunk", 8, "replica slots per fleet lease grant")
+	archiveOn := flag.Bool("archive", true, "retire terminal jobs into the compacted run archive under DATA/archive")
+	retireAge := flag.Duration("archive-retire-age", time.Hour, "how long a job stays terminal before retirement (status/result answer 404 afterwards; use the archive query)")
+	retireSweep := flag.Duration("archive-sweep", 10*time.Second, "retirement sweep period")
+	archiveMaxAge := flag.Duration("archive-max-age", 0, "drop archive segments whose newest record is older than this (0 = keep forever)")
+	archiveMaxBytes := flag.Int64("archive-max-bytes", 0, "drop oldest archive segments while the archive exceeds this size (0 = unbounded)")
 	version := buildinfo.Flag()
 	flag.Parse()
 	buildinfo.HandleFlag("mcoptd", version)
@@ -84,7 +90,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	m, err := service.Open(service.Config{
+	cfg := service.Config{
 		Dir:        *data,
 		Workers:    *workers,
 		MaxQueue:   *maxQueue,
@@ -94,7 +100,15 @@ func main() {
 		LeaseTTL:   *leaseTTL,
 		RunnerTTL:  *runnerTTL,
 		LeaseChunk: *leaseChunk,
-	})
+	}
+	if *archiveOn {
+		cfg.ArchiveDir = filepath.Join(*data, "archive")
+		cfg.RetireAge = *retireAge
+		cfg.RetireInterval = *retireSweep
+		cfg.ArchiveMaxAge = *archiveMaxAge
+		cfg.ArchiveMaxBytes = *archiveMaxBytes
+	}
+	m, err := service.Open(cfg)
 	if err != nil {
 		logger.Fatal(err)
 	}

@@ -5,6 +5,13 @@
 // The winning multipliers are what experiment.TunedGOLA / TunedNOLA record.
 // Ctrl-C or -timeout stops the search early; the classes finished so far
 // are still printed.
+//
+// -warm-start DIR mines an mcoptd run archive (the daemon's DATA/archive
+// directory; see DESIGN.md §15) for schedule priors: each class with
+// archived history probes a three-point √2 neighborhood around its best
+// historical multiplier instead of sweeping the whole grid. The before and
+// after grid sizes are printed, and classes without history still get the
+// full sweep.
 package main
 
 import (
@@ -20,6 +27,9 @@ import (
 	"mcopt/internal/linarr"
 	"mcopt/internal/sched"
 	"mcopt/internal/tuner"
+
+	// WarmStart recompiles archived problem specs through the registry.
+	_ "mcopt/problem/builtin"
 )
 
 func main() {
@@ -31,6 +41,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "stop after this wall-clock limit, keeping finished classes (0 = none)")
 	ckptDir := flag.String("checkpoint", "", "journal completed cells to write-ahead logs under this directory")
 	resume := flag.Bool("resume", false, "continue from the journals left in -checkpoint by an earlier run")
+	warmDir := flag.String("warm-start", "", "mine this mcoptd run archive (DATA/archive) for priors; classes with history probe a 3-point neighborhood")
 	version := buildinfo.Flag()
 	flag.Parse()
 	buildinfo.HandleFlag("olatune", version)
@@ -70,6 +81,38 @@ func main() {
 	}
 	if *wide {
 		cfg.Multipliers = []float64{0.0625, 0.25, 0.5, 0.7, 1, 1.4, 2, 4, 16}
+	}
+	if *warmDir != "" {
+		priors, err := tuner.WarmStart(tuner.WarmStartOptions{
+			Dir:  *warmDir,
+			Kind: *family,
+			Logf: func(format string, args ...any) { fmt.Fprintf(os.Stderr, "olatune: "+format+"\n", args...) },
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "olatune: warm start: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Warm = priors
+		full := len(cfg.Multipliers)
+		if cfg.Multipliers == nil {
+			full = len(tuner.DefaultMultipliers)
+		}
+		before, after, warmed := 0, 0, 0
+		for _, b := range gfunc.Classes() {
+			if !b.NeedsY {
+				before, after = before+1, after+1
+				continue
+			}
+			before += full
+			if _, ok := priors[b.Name]; ok {
+				after += len(tuner.ProbeMultipliers(1))
+				warmed++
+			} else {
+				after += full
+			}
+		}
+		fmt.Printf("warm start: priors for %d/%d classes; grid %d -> %d multiplier points\n",
+			warmed, len(gfunc.Classes()), before, after)
 	}
 
 	fmt.Printf("§4.2.1 tuning on the %s (seed %d, %d moves/instance)\n\n",

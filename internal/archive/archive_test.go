@@ -1,0 +1,487 @@
+package archive
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func testRecord(i int) *Record {
+	return &Record{
+		ID:          fmt.Sprintf("job-%04d", i),
+		Fingerprint: fmt.Sprintf("%016x", 0xabc0+i%3),
+		Kind:        []string{"gola", "maxcut"}[i%2],
+		Size:        12,
+		G:           []string{"X1", "X2"}[i%2],
+		Ys:          []float64{8, 4, 2, 1},
+		Budget:      2400,
+		Runs:        2,
+		Seed:        uint64(i),
+		State:       []string{"done", "done", "done", "failed"}[i%4],
+		Seq:         int64(i),
+		RetiredAt:   1700000000 + int64(i),
+		BestCost:    float64(100 - i%10),
+		Reduction:   float64(10 + i%10),
+		FinalCosts:  []float64{float64(100 - i%10), float64(101 - i%10)},
+	}
+}
+
+func openTest(t *testing.T, dir string, segBytes int64) *Archive {
+	t.Helper()
+	a, err := Open(Options{Dir: dir, SegmentBytes: segBytes, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return a
+}
+
+func TestAppendScanRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	a := openTest(t, dir, 0)
+	defer a.Close()
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := a.Append(testRecord(i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	recs, err := a.Records(Filter{}, 0)
+	if err != nil {
+		t.Fatalf("Records: %v", err)
+	}
+	if len(recs) != n {
+		t.Fatalf("got %d records, want %d", len(recs), n)
+	}
+	for i, rec := range recs {
+		want := testRecord(i)
+		if rec.ID != want.ID || rec.Kind != want.Kind || rec.BestCost != want.BestCost {
+			t.Fatalf("record %d mismatch: got %+v want %+v", i, rec, want)
+		}
+		if len(rec.Ys) != 4 || rec.Ys[0] != 8 {
+			t.Fatalf("record %d Ys mismatch: %v", i, rec.Ys)
+		}
+	}
+	got, err := a.Records(Filter{Kind: "maxcut", State: "done"}, 0)
+	if err != nil {
+		t.Fatalf("filtered Records: %v", err)
+	}
+	for _, rec := range got {
+		if rec.Kind != "maxcut" || rec.State != "done" {
+			t.Fatalf("filter leaked record %+v", rec)
+		}
+	}
+	if len(got) == 0 {
+		t.Fatal("filter matched nothing")
+	}
+}
+
+func TestAppendDeduplicatesByID(t *testing.T) {
+	a := openTest(t, t.TempDir(), 0)
+	defer a.Close()
+	rec := testRecord(1)
+	for i := 0; i < 3; i++ {
+		if err := a.Append(rec); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if st := a.Stats(); st.Records != 1 {
+		t.Fatalf("got %d records after duplicate appends, want 1", st.Records)
+	}
+	if !a.Has(rec.ID) {
+		t.Fatal("Has returned false for an appended ID")
+	}
+	if a.Has("nope") {
+		t.Fatal("Has returned true for an unknown ID")
+	}
+}
+
+func TestRollSealsSegmentsAndSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	a := openTest(t, dir, 2048) // tiny threshold: force several rolls
+	const n = 40
+	for i := 0; i < n; i++ {
+		if err := a.Append(testRecord(i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	st := a.Stats()
+	if st.Segments == 0 {
+		t.Fatalf("no sealed segments after %d appends at a 2 KiB threshold", n)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Sealed segments must have committed indexes on disk.
+	idxs, _ := filepath.Glob(filepath.Join(dir, segPrefix+"*"+idxSuffix))
+	if len(idxs) != st.Segments {
+		t.Fatalf("%d index files for %d sealed segments", len(idxs), st.Segments)
+	}
+
+	b := openTest(t, dir, 2048)
+	defer b.Close()
+	recs, err := b.Records(Filter{}, 0)
+	if err != nil {
+		t.Fatalf("Records after reopen: %v", err)
+	}
+	if len(recs) != n {
+		t.Fatalf("got %d records after reopen, want %d", len(recs), n)
+	}
+	for i, rec := range recs {
+		if want := testRecord(i).ID; rec.ID != want {
+			t.Fatalf("record %d out of order: got %s want %s", i, rec.ID, want)
+		}
+	}
+	// Dedup state must survive reopen too.
+	if err := b.Append(testRecord(0)); err != nil {
+		t.Fatalf("Append after reopen: %v", err)
+	}
+	if st := b.Stats(); st.Records != n {
+		t.Fatalf("duplicate append after reopen grew the archive to %d", st.Records)
+	}
+}
+
+func TestOpenRebuildsMissingIndex(t *testing.T) {
+	dir := t.TempDir()
+	a := openTest(t, dir, 1024)
+	for i := 0; i < 30; i++ {
+		if err := a.Append(testRecord(i)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	segs := a.Stats().Segments
+	if segs == 0 {
+		t.Fatal("need at least one sealed segment")
+	}
+	a.Close()
+	// Simulate the seal crash window's mirror image: a sealed segment whose
+	// index is gone.
+	idxs, _ := filepath.Glob(filepath.Join(dir, segPrefix+"*"+idxSuffix))
+	if err := os.Remove(idxs[0]); err != nil {
+		t.Fatal(err)
+	}
+	b := openTest(t, dir, 1024)
+	defer b.Close()
+	if got := b.Stats().Segments; got != segs {
+		t.Fatalf("got %d segments after index rebuild, want %d", got, segs)
+	}
+	if _, err := os.Stat(idxs[0]); err != nil {
+		t.Fatalf("rebuilt index not rewritten: %v", err)
+	}
+	recs, err := b.Records(Filter{}, 0)
+	if err != nil || len(recs) != 30 {
+		t.Fatalf("Records after rebuild: %d, %v", len(recs), err)
+	}
+}
+
+func TestOpenDropsOrphanIndex(t *testing.T) {
+	dir := t.TempDir()
+	a := openTest(t, dir, 0)
+	a.Append(testRecord(0))
+	a.Close()
+	// An index without its segment: the seal crashed before the rename.
+	orphan := filepath.Join(dir, "seg-00000009.idx")
+	if err := os.WriteFile(orphan, []byte(`{"count":1,"ids":["ghost"]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b := openTest(t, dir, 0)
+	defer b.Close()
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphan index survived Open: %v", err)
+	}
+	if b.Has("ghost") {
+		t.Fatal("ghost ID from orphan index leaked into the archive")
+	}
+}
+
+func TestGCOldestFirst(t *testing.T) {
+	dir := t.TempDir()
+	a := openTest(t, dir, 1024)
+	defer a.Close()
+	const n = 60
+	for i := 0; i < n; i++ {
+		if err := a.Append(testRecord(i)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	before := a.Stats()
+	if before.Segments < 3 {
+		t.Fatalf("need >=3 sealed segments, got %d", before.Segments)
+	}
+
+	// Size bound: shrink to roughly half.
+	res, err := a.GC(0, before.Bytes/2, time.Now())
+	if err != nil {
+		t.Fatalf("GC: %v", err)
+	}
+	if res.Segments == 0 || res.Records == 0 {
+		t.Fatalf("size-bound GC reclaimed nothing: %+v", res)
+	}
+	after := a.Stats()
+	if after.Bytes > before.Bytes/2+int64(DefaultSegmentBytes) {
+		t.Fatalf("GC left %d bytes, bound was %d", after.Bytes, before.Bytes/2)
+	}
+	// Oldest-first: the surviving records are the newest.
+	recs, err := a.Records(Filter{}, 0)
+	if err != nil {
+		t.Fatalf("Records: %v", err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("GC removed everything including the active segment")
+	}
+	if first := recs[0].Seq; first == 0 {
+		t.Fatal("GC did not drop the oldest segment first")
+	}
+	for _, rec := range recs[len(recs)-5:] {
+		if rec.Seq < int64(n-5) {
+			t.Fatalf("newest records missing after GC: tail has seq %d", rec.Seq)
+		}
+	}
+	// Dropped IDs can be re-archived (dedup set shrank with the segment).
+	if a.Has("job-0000") {
+		t.Fatal("GC'd ID still reported by Has")
+	}
+
+	// Age bound: everything sealed is ancient relative to this cutoff. The
+	// extra append guarantees the active segment is non-empty, so the
+	// never-collect-active invariant is observable.
+	now := time.Unix(1700000000+int64(n)+7200, 0)
+	fresh := testRecord(n)
+	fresh.RetiredAt = now.Unix()
+	if err := a.Append(fresh); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	res, err = a.GC(time.Hour, 0, now)
+	if err != nil {
+		t.Fatalf("age GC: %v", err)
+	}
+	if res.Segments == 0 {
+		t.Fatal("age GC reclaimed no expired segments")
+	}
+	// Every expired sealed segment is gone; at most the one holding the
+	// fresh record (whose MaxTime is recent) can remain. Records in the
+	// active segment are never collected, whatever their age.
+	if st := a.Stats(); st.Segments > 1 {
+		t.Fatalf("age GC left %d sealed segments, all of which were expired", st.Segments)
+	}
+	if !a.Has(fresh.ID) {
+		t.Fatal("age GC collected the fresh record")
+	}
+}
+
+func TestReadOnlyOpen(t *testing.T) {
+	dir := t.TempDir()
+	a := openTest(t, dir, 1024)
+	for i := 0; i < 20; i++ {
+		a.Append(testRecord(i))
+	}
+	// Writer stays open: read-only open must coexist with a live daemon.
+	defer a.Close()
+
+	ro, err := Open(Options{Dir: dir, ReadOnly: true})
+	if err != nil {
+		t.Fatalf("read-only Open: %v", err)
+	}
+	defer ro.Close()
+	recs, err := ro.Records(Filter{}, 0)
+	if err != nil {
+		t.Fatalf("read-only Records: %v", err)
+	}
+	if len(recs) != 20 {
+		t.Fatalf("read-only saw %d records, want 20", len(recs))
+	}
+	if err := ro.Append(testRecord(99)); err != ErrReadOnly {
+		t.Fatalf("read-only Append: got %v, want ErrReadOnly", err)
+	}
+	if _, err := ro.GC(time.Hour, 1, time.Now()); err != ErrReadOnly {
+		t.Fatalf("read-only GC: got %v, want ErrReadOnly", err)
+	}
+
+	// A read-only open of a missing directory is an empty archive.
+	empty, err := Open(Options{Dir: filepath.Join(dir, "nope"), ReadOnly: true})
+	if err != nil {
+		t.Fatalf("read-only Open of missing dir: %v", err)
+	}
+	defer empty.Close()
+	if st := empty.Stats(); st.Records != 0 {
+		t.Fatalf("missing dir reads as %d records", st.Records)
+	}
+}
+
+func TestSummarizeGroupsAndQuantiles(t *testing.T) {
+	a := openTest(t, t.TempDir(), 0)
+	defer a.Close()
+	const n = 40
+	for i := 0; i < n; i++ {
+		a.Append(testRecord(i))
+	}
+	sum, err := a.Summarize(Filter{}, nil) // default kind+g
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	if sum.Total != n {
+		t.Fatalf("Total=%d, want %d", sum.Total, n)
+	}
+	if len(sum.Groups) != 2 { // (gola,X1) and (maxcut,X2) by construction
+		t.Fatalf("got %d groups, want 2: %+v", len(sum.Groups), sum.Groups)
+	}
+	if sum.Groups[0].Kind != "gola" || sum.Groups[1].Kind != "maxcut" {
+		t.Fatalf("groups not sorted: %+v", sum.Groups)
+	}
+	for _, g := range sum.Groups {
+		if g.Count != n/2 {
+			t.Fatalf("group %+v count mismatch", g)
+		}
+		if g.Done == 0 || g.Cost == nil || g.Reduction == nil {
+			t.Fatalf("group %+v missing quantiles", g)
+		}
+		if g.Cost.Min > g.Cost.P50 || g.Cost.P50 > g.Cost.Max {
+			t.Fatalf("quantiles out of order: %+v", g.Cost)
+		}
+	}
+	if _, err := a.Summarize(Filter{}, []string{"bogus"}); err == nil {
+		t.Fatal("Summarize accepted an unknown group key")
+	}
+
+	byState, err := a.Summarize(Filter{Kind: "gola"}, []string{"state"})
+	if err != nil {
+		t.Fatalf("Summarize by state: %v", err)
+	}
+	total := 0
+	for _, g := range byState.Groups {
+		if g.Kind != "" {
+			t.Fatalf("ungrouped key leaked into %+v", g)
+		}
+		total += g.Count
+	}
+	if total != n/2 {
+		t.Fatalf("state groups cover %d records, want %d", total, n/2)
+	}
+}
+
+func TestScanPrunesSegmentsViaIndex(t *testing.T) {
+	dir := t.TempDir()
+	a := openTest(t, dir, 1024)
+	for i := 0; i < 30; i++ {
+		rec := testRecord(i)
+		rec.Kind, rec.G = "gola", "X1" // one homogeneous archive
+		a.Append(rec)
+	}
+	a.Close()
+
+	b := openTest(t, dir, 1024)
+	defer b.Close()
+	// Corrupt every sealed segment body. A filter the indexes rule out must
+	// never open the files, so the damage stays invisible.
+	segs, _ := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	if len(segs) == 0 {
+		t.Fatal("need sealed segments")
+	}
+	for _, p := range segs {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0xff
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := b.Records(Filter{Kind: "maxcut"}, 0)
+	if err != nil {
+		t.Fatalf("pruned scan touched corrupt segments: %v", err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("kind filter matched %d records in a gola-only archive", len(recs))
+	}
+	// The same scan without the pruning filter must surface the corruption.
+	if _, err := b.Records(Filter{}, 0); !IsCorrupt(err) {
+		t.Fatalf("unpruned scan over corrupt segments: got %v, want CorruptError", err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	a := openTest(t, t.TempDir(), 1024)
+	defer a.Close()
+	if st := a.Stats(); st.Records != 0 || st.OldestTime != 0 {
+		t.Fatalf("empty archive stats: %+v", st)
+	}
+	for i := 0; i < 25; i++ {
+		a.Append(testRecord(i))
+	}
+	st := a.Stats()
+	if st.Records != 25 {
+		t.Fatalf("Records=%d, want 25", st.Records)
+	}
+	if st.OldestTime != 1700000000 || st.NewestTime != 1700000024 {
+		t.Fatalf("time range %d..%d, want 1700000000..1700000024", st.OldestTime, st.NewestTime)
+	}
+	if st.Bytes == 0 {
+		t.Fatal("Bytes not tracked")
+	}
+}
+
+// TestThousandRecordQueriesStayFast pins the headline query budget: over a
+// thousand archived jobs across many sealed segments, a filtered record scan
+// and a grouped summary must each finish well inside a second (the mcoptctl
+// acceptance bound, minus generous headroom for slow CI machines).
+func TestThousandRecordQueriesStayFast(t *testing.T) {
+	dir := t.TempDir()
+	a := openTest(t, dir, 64<<10) // ~64KiB segments => dozens of seals
+	for i := 0; i < 1500; i++ {
+		if err := a.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := a.Stats(); st.Segments < 2 {
+		t.Fatalf("want a multi-segment archive, got %+v", st)
+	}
+
+	f := Filter{Kind: "maxcut", Since: 1700000000}
+	startScan := time.Now()
+	n := 0
+	if err := a.Scan(f, func(*Record) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	scanTook := time.Since(startScan)
+	if n != 750 {
+		t.Fatalf("filtered scan saw %d records, want 750", n)
+	}
+
+	startSum := time.Now()
+	sum, err := a.Summarize(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumTook := time.Since(startSum)
+	if sum.Total != 750 {
+		t.Fatalf("summary total %d, want 750", sum.Total)
+	}
+	a.Close()
+
+	// Reopen cold, the shape mcoptctl query actually hits after a restart.
+	b, err := Open(Options{Dir: dir, ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	startCold := time.Now()
+	sum2, err := b.Summarize(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldTook := time.Since(startCold)
+	if sum2.Total != 750 {
+		t.Fatalf("cold summary total %d, want 750", sum2.Total)
+	}
+
+	const bound = 500 * time.Millisecond
+	for name, took := range map[string]time.Duration{
+		"scan": scanTook, "summarize": sumTook, "cold summarize": coldTook,
+	} {
+		if took > bound {
+			t.Fatalf("%s of 1500-record archive took %s, budget %s", name, took, bound)
+		}
+	}
+}

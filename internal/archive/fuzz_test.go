@@ -1,0 +1,74 @@
+package archive
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzDecodeFrame throws arbitrary bytes at the record decoder: whatever
+// comes in, it must return a record or an error — never panic, never
+// allocate unboundedly off a hostile length field.
+func FuzzDecodeFrame(f *testing.F) {
+	for i := 0; i < 3; i++ {
+		frame, err := encodeFrame(testRecordFuzz(i))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := &frameReader{r: bytes.NewReader(data), path: "fuzz"}
+		for {
+			rec, err := fr.next()
+			if err != nil {
+				return
+			}
+			if rec.ID == "" {
+				t.Fatal("decoder returned a record with no ID")
+			}
+		}
+	})
+}
+
+// FuzzDecodeFramePayload targets the post-CRC stage directly: compressed
+// body plus a declared raw length, bypassing the checksum so the flate and
+// JSON layers see hostile input too.
+func FuzzDecodeFramePayload(f *testing.F) {
+	frame, err := encodeFrame(testRecordFuzz(0))
+	if err != nil {
+		f.Fatal(err)
+	}
+	rawLen := binary.LittleEndian.Uint32(frame[:4])
+	compLen := binary.LittleEndian.Uint32(frame[4:8])
+	f.Add(frame[8:8+compLen], rawLen)
+	f.Add([]byte{}, uint32(0))
+	f.Add([]byte{0x01, 0x02}, uint32(1<<30))
+	f.Fuzz(func(t *testing.T, comp []byte, rawLen uint32) {
+		rec, err := decodeFramePayload(comp, rawLen)
+		if err == nil && rec.ID == "" {
+			t.Fatal("decoder accepted a record with no ID")
+		}
+	})
+}
+
+func testRecordFuzz(i int) *Record {
+	rec := &Record{
+		ID:        "fuzz-seed",
+		Kind:      "gola",
+		State:     "done",
+		RetiredAt: int64(1700000000 + i),
+		BestCost:  float64(i),
+	}
+	if i == 1 {
+		rec.Ys = []float64{8, 4, 2, 1}
+		rec.Envelope = []byte(`{"best_cost":1}`)
+	}
+	if i == 2 {
+		rec.State = "failed"
+		rec.Error = "boom"
+	}
+	return rec
+}

@@ -1,0 +1,180 @@
+package archive
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"mcopt/internal/atomicio"
+)
+
+// Index is a segment's sparse summary: enough to decide whether a Filter
+// can possibly match anything inside without decoding a single record, plus
+// the record IDs (for Append dedup across restarts and GC id-set removal).
+// Sealed segments persist theirs as seg-<n>.idx; the active segment keeps
+// one in memory, rebuilt from the frames at open.
+type Index struct {
+	// Count and Bytes size the segment (Bytes includes header and framing).
+	Count int   `json:"count"`
+	Bytes int64 `json:"bytes"`
+	// MinTime/MaxTime bound the records' RetiredAt (unix seconds).
+	MinTime int64 `json:"min_time,omitempty"`
+	MaxTime int64 `json:"max_time,omitempty"`
+	// Kinds, Gs, States, and Fingerprints are the closed value sets, sorted.
+	Kinds        []string `json:"kinds,omitempty"`
+	Gs           []string `json:"gs,omitempty"`
+	States       []string `json:"states,omitempty"`
+	Fingerprints []string `json:"fingerprints,omitempty"`
+	// MinBudget/MaxBudget bound the records' move budgets.
+	MinBudget int64 `json:"min_budget,omitempty"`
+	MaxBudget int64 `json:"max_budget,omitempty"`
+	// Cost summarizes the done records' best costs (nil when none).
+	Cost *Quantiles `json:"cost,omitempty"`
+	// IDs lists every record ID in append order.
+	IDs []string `json:"ids"`
+
+	kinds, gs, states, fps map[string]bool
+	costs                  []float64
+}
+
+// Quantiles is a five-point cost summary plus the mean.
+type Quantiles struct {
+	Min  float64 `json:"min"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
+}
+
+// quantilesOf summarizes a sample; values is sorted in place.
+func quantilesOf(values []float64) *Quantiles {
+	if len(values) == 0 {
+		return nil
+	}
+	sort.Float64s(values)
+	at := func(p float64) float64 {
+		i := int(p * float64(len(values)-1))
+		return values[i]
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	return &Quantiles{
+		Min:  values[0],
+		P50:  at(0.50),
+		P90:  at(0.90),
+		P99:  at(0.99),
+		Max:  values[len(values)-1],
+		Mean: sum / float64(len(values)),
+	}
+}
+
+func newIndex() *Index {
+	return &Index{
+		kinds:  map[string]bool{},
+		gs:     map[string]bool{},
+		states: map[string]bool{},
+		fps:    map[string]bool{},
+	}
+}
+
+// add folds one record into the summary.
+func (x *Index) add(rec *Record) {
+	x.Count++
+	x.IDs = append(x.IDs, rec.ID)
+	if x.MinTime == 0 || rec.RetiredAt < x.MinTime {
+		x.MinTime = rec.RetiredAt
+	}
+	if rec.RetiredAt > x.MaxTime {
+		x.MaxTime = rec.RetiredAt
+	}
+	if !x.kinds[rec.Kind] {
+		x.kinds[rec.Kind] = true
+		x.Kinds = append(x.Kinds, rec.Kind)
+	}
+	if rec.G != "" && !x.gs[rec.G] {
+		x.gs[rec.G] = true
+		x.Gs = append(x.Gs, rec.G)
+	}
+	if !x.states[rec.State] {
+		x.states[rec.State] = true
+		x.States = append(x.States, rec.State)
+	}
+	if rec.Fingerprint != "" && !x.fps[rec.Fingerprint] {
+		x.fps[rec.Fingerprint] = true
+		x.Fingerprints = append(x.Fingerprints, rec.Fingerprint)
+	}
+	if rec.Budget > 0 {
+		if x.MinBudget == 0 || rec.Budget < x.MinBudget {
+			x.MinBudget = rec.Budget
+		}
+		if rec.Budget > x.MaxBudget {
+			x.MaxBudget = rec.Budget
+		}
+	}
+	if rec.State == "done" {
+		x.costs = append(x.costs, rec.BestCost)
+	}
+}
+
+// finish computes the derived fields (cost quantiles, sorted sets) once the
+// segment's contents are final. Idempotent; called before sealing and after
+// a rebuild scan.
+func (x *Index) finish() {
+	sort.Strings(x.Kinds)
+	sort.Strings(x.Gs)
+	sort.Strings(x.States)
+	sort.Strings(x.Fingerprints)
+	if len(x.costs) > 0 {
+		x.Cost = quantilesOf(x.costs)
+	}
+}
+
+// idSet returns the IDs as a set.
+func (x *Index) idSet() map[string]struct{} {
+	set := make(map[string]struct{}, len(x.IDs))
+	for _, id := range x.IDs {
+		set[id] = struct{}{}
+	}
+	return set
+}
+
+// write commits the index via atomicio so readers never see a partial one.
+func (x *Index) write(path string) error {
+	data, err := json.MarshalIndent(x, "", "  ")
+	if err != nil {
+		return fmt.Errorf("archive: encode index: %w", err)
+	}
+	if err := atomicio.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("archive: write index: %w", err)
+	}
+	return nil
+}
+
+// loadIndex reads a persisted index, restoring the set lookups.
+func loadIndex(path string) (*Index, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	x := newIndex()
+	if err := json.Unmarshal(data, x); err != nil {
+		return nil, fmt.Errorf("archive: %s: %w", path, err)
+	}
+	for _, k := range x.Kinds {
+		x.kinds[k] = true
+	}
+	for _, g := range x.Gs {
+		x.gs[g] = true
+	}
+	for _, s := range x.States {
+		x.states[s] = true
+	}
+	for _, fp := range x.Fingerprints {
+		x.fps[fp] = true
+	}
+	return x, nil
+}

@@ -1,0 +1,251 @@
+package archive
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Filter selects archived records. Zero values match everything; string
+// fields match exactly. Scan uses the same filter twice: first against each
+// segment's index (can anything inside match?) to skip whole segments, then
+// against each decoded record.
+type Filter struct {
+	Kind        string // problem kind, e.g. "gola", "maxcut"
+	G           string // acceptance-function class label
+	State       string // terminal state: done, failed, cancelled
+	Fingerprint string // spec fingerprint, %016x
+	Since       int64  // RetiredAt >= Since (unix seconds; 0 = unbounded)
+	Until       int64  // RetiredAt <= Until (unix seconds; 0 = unbounded)
+	MinBudget   int64  // Budget >= MinBudget (0 = unbounded)
+	MaxBudget   int64  // Budget <= MaxBudget (0 = unbounded)
+}
+
+// matchIndex reports whether a segment with this index can contain a
+// matching record. False prunes the segment without decoding it.
+func (f Filter) matchIndex(x *Index) bool {
+	if x.Count == 0 {
+		return false
+	}
+	if f.Kind != "" && !x.kinds[f.Kind] {
+		return false
+	}
+	if f.G != "" && !x.gs[f.G] {
+		return false
+	}
+	if f.State != "" && !x.states[f.State] {
+		return false
+	}
+	if f.Fingerprint != "" && len(x.fps) > 0 && !x.fps[f.Fingerprint] {
+		return false
+	}
+	if f.Since > 0 && x.MaxTime < f.Since {
+		return false
+	}
+	if f.Until > 0 && x.MinTime > f.Until {
+		return false
+	}
+	if f.MinBudget > 0 && x.MaxBudget > 0 && x.MaxBudget < f.MinBudget {
+		return false
+	}
+	if f.MaxBudget > 0 && x.MinBudget > 0 && x.MinBudget > f.MaxBudget {
+		return false
+	}
+	return true
+}
+
+// Match reports whether one record passes the filter.
+func (f Filter) Match(rec *Record) bool {
+	if f.Kind != "" && rec.Kind != f.Kind {
+		return false
+	}
+	if f.G != "" && rec.G != f.G {
+		return false
+	}
+	if f.State != "" && rec.State != f.State {
+		return false
+	}
+	if f.Fingerprint != "" && rec.Fingerprint != f.Fingerprint {
+		return false
+	}
+	if f.Since > 0 && rec.RetiredAt < f.Since {
+		return false
+	}
+	if f.Until > 0 && rec.RetiredAt > f.Until {
+		return false
+	}
+	if f.MinBudget > 0 && rec.Budget < f.MinBudget {
+		return false
+	}
+	if f.MaxBudget > 0 && rec.Budget > f.MaxBudget {
+		return false
+	}
+	return true
+}
+
+// Scan streams matching records oldest-segment-first, in append order
+// within each segment. fn returns false to stop early. Segments whose index
+// rules out every record are skipped without touching their files. A
+// corrupt frame in a sealed segment surfaces as a *CorruptError after every
+// intact record before the damage has been delivered — readers keep the
+// readable prefix and learn exactly where the archive is hurt.
+func (a *Archive) Scan(f Filter, fn func(*Record) bool) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return ErrClosed
+	}
+	for _, seg := range a.sealed {
+		if !f.matchIndex(seg.idx) {
+			continue
+		}
+		recs, _, err := readAll(seg.path, false)
+		for _, rec := range recs {
+			if f.Match(rec) && !fn(rec) {
+				return nil
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if a.active == nil || !f.matchIndex(a.active.idx) {
+		return nil
+	}
+	recs := a.active.records
+	if !a.active.readOnly {
+		// The writer's active segment is only indexed in memory; every frame
+		// is already durable and the lock excludes concurrent appends, so a
+		// tolerant read sees exactly the appended records.
+		var err error
+		recs, _, err = readAll(a.active.path, true)
+		if err != nil {
+			return err
+		}
+	}
+	for _, rec := range recs {
+		if f.Match(rec) && !fn(rec) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Records collects matching records, oldest first, up to limit (0 = all).
+func (a *Archive) Records(f Filter, limit int) ([]*Record, error) {
+	var out []*Record
+	err := a.Scan(f, func(rec *Record) bool {
+		out = append(out, rec)
+		return limit <= 0 || len(out) < limit
+	})
+	return out, err
+}
+
+// GroupKeys are the fields Summarize can group on.
+var GroupKeys = []string{"kind", "g", "state"}
+
+// Group is one row of a summary: the grouped key values plus cost and
+// reduction quantiles over the group's done records.
+type Group struct {
+	Kind  string `json:"kind,omitempty"`
+	G     string `json:"g,omitempty"`
+	State string `json:"state,omitempty"`
+	// Count is all matching records in the group; Done those that finished.
+	Count int `json:"count"`
+	Done  int `json:"done"`
+	// Cost and Reduction summarize the done records' best costs and total
+	// reductions (nil when the group has none).
+	Cost      *Quantiles `json:"cost,omitempty"`
+	Reduction *Quantiles `json:"reduction,omitempty"`
+}
+
+// Summary is a grouped view over the archive.
+type Summary struct {
+	// Total counts every record the filter matched; Scanned the segments
+	// decoded to produce it (after index pruning).
+	Total  int     `json:"total"`
+	Groups []Group `json:"groups"`
+}
+
+// Summarize scans matching records and groups them by the given subset of
+// GroupKeys (default kind+g), computing per-group cost quantiles. Groups
+// are sorted by key, so output is deterministic.
+func (a *Archive) Summarize(f Filter, groupBy []string) (*Summary, error) {
+	if len(groupBy) == 0 {
+		groupBy = []string{"kind", "g"}
+	}
+	byKind, byG, byState := false, false, false
+	for _, k := range groupBy {
+		switch k {
+		case "kind":
+			byKind = true
+		case "g":
+			byG = true
+		case "state":
+			byState = true
+		default:
+			return nil, fmt.Errorf("archive: unknown group key %q (valid: %s)", k, strings.Join(GroupKeys, ", "))
+		}
+	}
+	type acc struct {
+		g     Group
+		costs []float64
+		reds  []float64
+	}
+	groups := map[string]*acc{}
+	sum := &Summary{}
+	err := a.Scan(f, func(rec *Record) bool {
+		sum.Total++
+		var kb strings.Builder
+		g := Group{}
+		if byKind {
+			g.Kind = rec.Kind
+			kb.WriteString(rec.Kind)
+		}
+		kb.WriteByte('\x00')
+		if byG {
+			g.G = rec.G
+			kb.WriteString(rec.G)
+		}
+		kb.WriteByte('\x00')
+		if byState {
+			g.State = rec.State
+			kb.WriteString(rec.State)
+		}
+		key := kb.String()
+		ac := groups[key]
+		if ac == nil {
+			ac = &acc{g: g}
+			groups[key] = ac
+		}
+		ac.g.Count++
+		if rec.State == "done" {
+			ac.g.Done++
+			ac.costs = append(ac.costs, rec.BestCost)
+			ac.reds = append(ac.reds, rec.Reduction)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ac := groups[k]
+		ac.g.Cost = quantilesOf(ac.costs)
+		ac.g.Reduction = quantilesOf(ac.reds)
+		sum.Groups = append(sum.Groups, ac.g)
+	}
+	return sum, nil
+}
+
+// IsCorrupt reports whether err (or anything it wraps) is a *CorruptError.
+func IsCorrupt(err error) bool {
+	var ce *CorruptError
+	return errors.As(err, &ce)
+}

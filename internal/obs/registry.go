@@ -12,7 +12,12 @@
 // golden-tested. Cardinality discipline is the caller's job; the intended
 // rule (see DESIGN.md §11) is that label values come from small closed sets
 // (route patterns, states, temperature levels), never from user input or
-// job IDs.
+// job IDs. As a backstop against a leak — a caller feeding unbounded label
+// values into a Vec that is observed but never scraped would otherwise grow
+// the child cache forever — each family caps its cache at
+// MaxChildrenPerFamily: With calls beyond the cap return live, fully
+// functional instruments that are simply never cached or exported, and the
+// family counts the overflow in its Dropped total.
 package obs
 
 import (
@@ -67,6 +72,15 @@ func (r *Registry) OnCollect(fn func()) {
 	r.mu.Unlock()
 }
 
+// MaxChildrenPerFamily bounds each family's label-value cache. The cap is
+// far above any legitimate closed label set (the busiest built-in family,
+// per-level temperature metrics, stays under a hundred children) and exists
+// only to turn an unbounded-cardinality bug into a bounded, observable one:
+// beyond the cap, With hands out working instruments that are not retained,
+// so the process leaks nothing while the offending samples silently stop
+// accumulating. family.dropped counts such misses.
+const MaxChildrenPerFamily = 1024
+
 // family is one named metric with a fixed type and label-name list.
 type family struct {
 	name, help, typ string
@@ -75,6 +89,7 @@ type family struct {
 
 	mu       sync.Mutex
 	children map[string]child // key: joined escaped label values
+	dropped  int64            // With misses refused by MaxChildrenPerFamily
 }
 
 type child interface{ labels() []string }
@@ -138,8 +153,31 @@ func (f *family) child(values []string, make func([]string) child) child {
 		return c
 	}
 	c := make(append([]string(nil), values...))
+	if len(f.children) >= MaxChildrenPerFamily {
+		// Cardinality bug upstream: hand the caller a working instrument,
+		// but do not retain it — memory stays bounded and the exposition
+		// keeps only the first MaxChildrenPerFamily label sets.
+		f.dropped++
+		return c
+	}
 	f.children[key] = c
 	return c
+}
+
+// Dropped reports how many With calls the cardinality cap refused to cache.
+// Non-zero means some caller is labeling with an unbounded value set.
+func (v *CounterVec) Dropped() int64 { return v.f.droppedCount() }
+
+// Dropped reports how many With calls the cardinality cap refused to cache.
+func (v *GaugeVec) Dropped() int64 { return v.f.droppedCount() }
+
+// Dropped reports how many With calls the cardinality cap refused to cache.
+func (v *HistogramVec) Dropped() int64 { return v.f.droppedCount() }
+
+func (f *family) droppedCount() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dropped
 }
 
 // Counter is a monotonically increasing integer counter. Safe for

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -166,4 +167,67 @@ func TestReRegisterSameFamily(t *testing.T) {
 		}
 	}()
 	r.Gauge("dup_total", "dup")
+}
+
+func TestChildCacheCapBoundsCardinality(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("cap_seconds", "cap probe", []float64{1}, "id")
+	// A buggy caller labeling with unbounded values (say, job IDs) and never
+	// scraping: the cache must stop growing at the cap.
+	for i := 0; i < MaxChildrenPerFamily+50; i++ {
+		hv.With(fmt.Sprintf("id-%d", i)).Observe(0.5)
+	}
+	if n := len(hv.f.children); n != MaxChildrenPerFamily {
+		t.Fatalf("child cache holds %d entries, want exactly %d", n, MaxChildrenPerFamily)
+	}
+	if d := hv.Dropped(); d != 50 {
+		t.Fatalf("Dropped() = %d, want 50", d)
+	}
+
+	// Overflow instruments still work — they just are not retained.
+	over := hv.With("id-overflow")
+	over.Observe(2)
+	if _, _, count := over.snapshot(); count != 1 {
+		t.Fatalf("overflow histogram lost its observation: count = %d", count)
+	}
+	if hv.With("id-overflow") == over {
+		t.Fatal("overflow child was cached")
+	}
+
+	// Cached children keep their identity and their samples after the cap.
+	if hv.With("id-0") != hv.With("id-0") {
+		t.Fatal("cached child no longer stable after cap was hit")
+	}
+
+	// The exposition stays parseable and bounded.
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := ParseExposition(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := exp.Value("cap_seconds_count", map[string]string{"id": "id-0"}); !ok || v != 1 {
+		t.Fatalf("cached child missing from exposition: %v %v", v, ok)
+	}
+	if _, ok := exp.Value("cap_seconds_count", map[string]string{"id": "id-overflow"}); ok {
+		t.Fatal("overflow child leaked into the exposition")
+	}
+}
+
+func TestChildCacheCapCountsPerFamily(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("cap_a_total", "a", "x")
+	gv := r.GaugeVec("cap_b", "b", "x")
+	for i := 0; i < MaxChildrenPerFamily+1; i++ {
+		cv.With(fmt.Sprintf("%d", i)).Inc()
+	}
+	gv.With("only").Set(1)
+	if cv.Dropped() != 1 {
+		t.Fatalf("counter family Dropped() = %d, want 1", cv.Dropped())
+	}
+	if gv.Dropped() != 0 {
+		t.Fatalf("gauge family Dropped() = %d, want 0 (caps are per family)", gv.Dropped())
+	}
 }

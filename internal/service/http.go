@@ -71,6 +71,7 @@ func NewHandler(m *Manager, cfg HandlerConfig) http.Handler {
 	handle("POST /v1/runners/{id}/leases", s.acquireLease, true)
 	handle("POST /v1/leases/{id}/renew", s.renewLease, true)
 	handle("POST /v1/leases/{id}/commit", s.commitLease, true)
+	handle("GET /v1/archive/query", s.archiveQuery, true)
 	handle("GET /healthz", s.healthz, true)
 	handle("GET /readyz", s.readyz, true)
 	handle("GET /metrics", s.metrics, true)

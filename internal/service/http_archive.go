@@ -1,0 +1,135 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"mcopt/internal/archive"
+)
+
+// GET /v1/archive/query — query the run archive (404 when archiving is
+// disabled). Filters: kind, g, state, fingerprint, min_budget, max_budget,
+// and a time window via since/until, each either unix seconds or a Go
+// duration measured back from now ("24h" = the last day). Two output
+// shapes:
+//
+//	default       a grouped summary with cost quantiles; group=kind,g,state
+//	              picks the grouping columns (default kind,g)
+//	records=true  the matching records themselves as NDJSON, oldest first,
+//	              capped by limit (default 1000, 0 = unlimited)
+func (s *server) archiveQuery(w http.ResponseWriter, r *http.Request) {
+	arch := s.m.Archive()
+	if arch == nil {
+		writeError(w, http.StatusNotFound, errors.New("archive disabled (start mcoptd with -archive)"))
+		return
+	}
+	start := time.Now()
+	defer func() { s.m.obs.querySeconds.Observe(time.Since(start).Seconds()) }()
+
+	q := r.URL.Query()
+	f := archive.Filter{
+		Kind:        q.Get("kind"),
+		G:           q.Get("g"),
+		State:       q.Get("state"),
+		Fingerprint: q.Get("fingerprint"),
+	}
+	var err error
+	if f.Since, err = parseArchiveTime(q.Get("since"), start); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("since: %w", err))
+		return
+	}
+	if f.Until, err = parseArchiveTime(q.Get("until"), start); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("until: %w", err))
+		return
+	}
+	if f.MinBudget, err = parseArchiveInt(q.Get("min_budget")); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("min_budget: %w", err))
+		return
+	}
+	if f.MaxBudget, err = parseArchiveInt(q.Get("max_budget")); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("max_budget: %w", err))
+		return
+	}
+
+	if records, _ := strconv.ParseBool(q.Get("records")); records {
+		limit := 1000
+		if v := q.Get("limit"); v != "" {
+			if limit, err = strconv.Atoi(v); err != nil || limit < 0 {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("limit: bad value %q", v))
+				return
+			}
+		}
+		s.archiveRecords(w, arch, f, limit)
+		return
+	}
+
+	var groupBy []string
+	if v := q.Get("group"); v != "" {
+		groupBy = strings.Split(v, ",")
+	}
+	sum, err := arch.Summarize(f, groupBy)
+	if err != nil {
+		if archive.IsCorrupt(err) {
+			writeError(w, http.StatusInternalServerError, err)
+		} else {
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, sum)
+}
+
+// archiveRecords streams matching records as NDJSON.
+func (s *server) archiveRecords(w http.ResponseWriter, arch *archive.Archive, f archive.Filter, limit int) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	n := 0
+	err := arch.Scan(f, func(rec *archive.Record) bool {
+		if enc.Encode(rec) != nil {
+			return false // client went away
+		}
+		n++
+		return limit <= 0 || n < limit
+	})
+	if err != nil {
+		// Headers are long gone; surface the damage as a trailer-style final
+		// line so NDJSON consumers can distinguish truncation from success.
+		_ = enc.Encode(apiError{Error: err.Error()})
+	}
+}
+
+// parseArchiveTime resolves a since/until parameter: empty is unbounded,
+// all-digits is unix seconds, anything else must parse as a Go duration
+// measured back from now.
+func parseArchiveTime(v string, now time.Time) (int64, error) {
+	if v == "" {
+		return 0, nil
+	}
+	if secs, err := strconv.ParseInt(v, 10, 64); err == nil {
+		if secs < 0 {
+			return 0, fmt.Errorf("bad timestamp %q", v)
+		}
+		return secs, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil || d < 0 {
+		return 0, fmt.Errorf("bad value %q (want unix seconds or a duration like 24h)", v)
+	}
+	return now.Add(-d).Unix(), nil
+}
+
+func parseArchiveInt(v string) (int64, error) {
+	if v == "" {
+		return 0, nil
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad value %q", v)
+	}
+	return n, nil
+}

@@ -106,6 +106,12 @@ type Job struct {
 	bestCost  *float64
 	cancelled bool               // user asked for cancellation
 	cancelRun context.CancelFunc // cancels the in-flight run, nil when not running
+	// terminalAt is when the job reached its terminal state (for restored
+	// jobs, the restart scan time) — the retirement sweep's age anchor.
+	// runMillis is the last execution's wall-clock duration; zero for jobs
+	// whose timing died with an earlier process.
+	terminalAt time.Time
+	runMillis  int64
 
 	// recent is the bounded replay ring; subs are live subscribers.
 	recent []StreamRecord
@@ -189,6 +195,7 @@ func (j *Job) setState(state State, errMsg string) {
 	j.errMsg = errMsg
 	rec := j.stateRecordLocked()
 	if state.Terminal() {
+		j.terminalAt = time.Now()
 		close(j.done)
 	}
 	j.publishLocked(rec)

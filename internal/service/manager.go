@@ -12,9 +12,11 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
+	"mcopt/internal/archive"
 	"mcopt/internal/atomicio"
 	"mcopt/internal/buildinfo"
 	"mcopt/internal/core"
@@ -85,6 +87,25 @@ type Config struct {
 	// runners presenting a different one are refused with 409. Defaults to
 	// buildinfo.Short(). Tests override it to simulate mixed fleets.
 	Fingerprint string
+
+	// ArchiveDir, when non-empty, enables the run archive: terminal jobs
+	// older than RetireAge are compacted into it and their directories
+	// removed (DESIGN.md §15). Empty disables retirement entirely.
+	ArchiveDir string
+	// RetireAge is how long a job must be terminal before the retirement
+	// sweep moves it into the archive. Zero retires terminal jobs at the
+	// next sweep; clients that poll status or fetch results later than this
+	// get 404 and must use the archive query instead.
+	RetireAge time.Duration
+	// RetireInterval is the retirement sweep period (default 10s).
+	RetireInterval time.Duration
+	// ArchiveMaxAge and ArchiveMaxBytes are the archive retention bounds,
+	// applied oldest-segment-first after each sweep; zero means unbounded.
+	ArchiveMaxAge   time.Duration
+	ArchiveMaxBytes int64
+	// ArchiveSegmentBytes overrides the archive's segment roll threshold
+	// (default archive.DefaultSegmentBytes). Tests shrink it to force rolls.
+	ArchiveSegmentBytes int64
 }
 
 // Manager is the durable job queue: it persists every submitted spec,
@@ -105,6 +126,7 @@ type Manager struct {
 	agg      metrics.RunMetrics // merged engine telemetry of completed replicas
 	obs      *serverMetrics     // registry-backed service metrics
 	coord    *coordinator       // distributed-execution state (always non-nil)
+	arch     *archive.Archive   // run archive; nil when ArchiveDir is unset
 
 	runCtx    context.Context
 	runCancel context.CancelFunc
@@ -156,15 +178,35 @@ func Open(cfg Config) (*Manager, error) {
 		obs:   newServerMetrics(cfg.Registry),
 	}
 	m.coord = newCoordinator(m)
-	m.registerCollectGauges()
 	m.cond = sync.NewCond(&m.mu)
 	m.runCtx, m.runCancel = context.WithCancel(context.Background())
+	if cfg.ArchiveDir != "" {
+		if cfg.RetireInterval <= 0 {
+			m.cfg.RetireInterval = 10 * time.Second
+		}
+		arch, err := archive.Open(archive.Options{
+			Dir:          cfg.ArchiveDir,
+			SegmentBytes: cfg.ArchiveSegmentBytes,
+			Logf:         cfg.Logf,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m.arch = arch
+	}
+	m.registerCollectGauges()
+	// The archive must be open before the scan: restart recovery consults it
+	// to finish retirements a crash interrupted.
 	if err := m.scan(); err != nil {
 		return nil, err
 	}
 	for w := 0; w < cfg.Workers; w++ {
 		m.wg.Add(1)
 		go m.worker()
+	}
+	if m.arch != nil {
+		m.wg.Add(1)
+		go m.retireLoop()
 	}
 	return m, nil
 }
@@ -191,6 +233,26 @@ func (m *Manager) scan() error {
 			continue
 		}
 		dir := filepath.Join(root, e.Name())
+		if strings.HasSuffix(e.Name(), retiringSuffix) {
+			// A retirement that crashed after the rename. The rename only
+			// ever happens once the record is durably archived, so the
+			// directory is always safe to finish deleting.
+			m.cfg.Logf("service: finishing interrupted retirement of %s", e.Name())
+			if err := os.RemoveAll(dir); err != nil {
+				m.cfg.Logf("service: %v", err)
+			}
+			continue
+		}
+		if m.arch != nil && m.arch.Has(e.Name()) {
+			// A retirement that crashed between the durable append and the
+			// rename: the archive already holds the job, so complete the
+			// delete instead of restoring a duplicate.
+			m.cfg.Logf("service: finishing interrupted retirement of archived job %s", e.Name())
+			if err := os.RemoveAll(dir); err != nil {
+				m.cfg.Logf("service: %v", err)
+			}
+			continue
+		}
 		data, err := os.ReadFile(filepath.Join(dir, specFile))
 		if err != nil {
 			m.cfg.Logf("service: skipping %s: %v", dir, err)
@@ -533,6 +595,9 @@ func (m *Manager) execute(j *Job) {
 	}
 
 	m.obs.runSeconds.Observe(time.Since(started).Seconds())
+	j.mu.Lock()
+	j.runMillis = time.Since(started).Milliseconds()
+	j.mu.Unlock()
 	m.mu.Lock()
 	m.running--
 	draining := m.draining
@@ -627,6 +692,15 @@ func (m *Manager) Stop(ctx context.Context) error {
 	var err error
 	select {
 	case <-stopped:
+		// Workers and the retirement loop are gone; archived state is
+		// already durable (every append fsyncs), so closing here only
+		// releases the file handle. On a drain timeout the archive stays
+		// open: a straggling retirement must not race a closed handle.
+		if m.arch != nil {
+			if cerr := m.arch.Close(); cerr != nil {
+				m.cfg.Logf("service: archive: %v", cerr)
+			}
+		}
 	case <-ctx.Done():
 		err = fmt.Errorf("service: drain: %w", ctx.Err())
 	}

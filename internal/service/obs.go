@@ -69,6 +69,12 @@ type serverMetrics struct {
 	leaseRenewals  *obs.Counter
 	leasesExpired  *obs.Counter
 	leaseCommits   *obs.CounterVec // result: ok | duplicate | epoch | not_held | error | local
+
+	// Run-archive families (DESIGN.md §15).
+	retired        *obs.Counter
+	archiveGCRuns  *obs.Counter
+	archiveGCBytes *obs.Counter
+	querySeconds   *obs.Histogram
 }
 
 // newServerMetrics registers the service families on reg.
@@ -113,6 +119,15 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		leaseCommits: reg.CounterVec("mcoptd_lease_commits_total",
 			"Lease slot commits, by result (duplicate = idempotent replay; local = coordinator fallback).",
 			"result"),
+		retired: reg.Counter("mcoptd_jobs_retired_total",
+			"Terminal jobs compacted into the run archive and removed from the job store."),
+		archiveGCRuns: reg.Counter("mcoptd_archive_gc_runs_total",
+			"Archive retention passes executed."),
+		archiveGCBytes: reg.Counter("mcoptd_archive_gc_bytes_total",
+			"Bytes reclaimed by archive retention (whole oldest-first segments)."),
+		querySeconds: reg.Histogram("mcoptd_archive_query_seconds",
+			"Archive query handling latency (scan plus grouping).",
+			obs.DurationBuckets()),
 	}
 }
 
@@ -140,8 +155,20 @@ func (m *Manager) registerCollectGauges() {
 	busy := reg.Gauge("mcoptd_workers_busy", "Workers currently executing a job.")
 	total := reg.Gauge("mcoptd_workers", "Size of the job worker pool.")
 	runners := reg.Gauge("mcoptd_runners", "Live registered runners (heartbeat within the runner TTL).")
+	var archRecords, archBytes, archSegments *obs.Gauge
+	if m.arch != nil {
+		archRecords = reg.Gauge("mcoptd_archive_records", "Records held by the run archive.")
+		archBytes = reg.Gauge("mcoptd_archive_bytes", "On-disk size of the run archive (sealed segments plus active).")
+		archSegments = reg.Gauge("mcoptd_archive_segments", "Sealed archive segments on disk.")
+	}
 	reg.OnCollect(func() {
 		runners.Set(float64(m.coord.live()))
+		if m.arch != nil {
+			ast := m.arch.Stats()
+			archRecords.Set(float64(ast.Records))
+			archBytes.Set(float64(ast.Bytes))
+			archSegments.Set(float64(ast.Segments))
+		}
 		st := m.Stats()
 		states[StateQueued].Set(float64(st.Queued))
 		states[StateRunning].Set(float64(st.RunningJobs))

@@ -29,6 +29,11 @@ type Config struct {
 	// Multipliers are the candidate scalings of the default schedule. Nil
 	// selects DefaultMultipliers.
 	Multipliers []float64
+	// Warm supplies per-class probe grids mined from the run archive (see
+	// WarmStart): a class with a prior searches ProbeMultipliers around it
+	// instead of the full grid. Classes without a prior fall back to
+	// Multipliers.
+	Warm Priors
 	// Budget is the move allowance per instance per candidate (the paper
 	// limited each temperature to ⌈5/k⌉ seconds; the default engine split
 	// reproduces the per-level division).
@@ -105,6 +110,9 @@ func TuneClass(b gfunc.Builder, scale gfunc.Scale, start Start, cfg Config) (Cla
 	mults := cfg.Multipliers
 	if mults == nil {
 		mults = DefaultMultipliers
+	}
+	if p, ok := cfg.Warm[b.Name]; ok {
+		mults = ProbeMultipliers(p.Multiplier)
 	}
 	if !b.NeedsY {
 		mults = []float64{1}

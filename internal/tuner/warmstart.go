@@ -1,0 +1,182 @@
+package tuner
+
+import (
+	"encoding/json"
+	"math"
+
+	"mcopt/internal/archive"
+	"mcopt/internal/gfunc"
+	"mcopt/problem"
+)
+
+// Warm starts mine the run archive (internal/archive) for schedule priors:
+// every retired done job records the temperature schedule its replicas
+// actually ran, and the ratio of that schedule to the class's untuned
+// default recovers the multiplier the job was effectively tuned to. The
+// best-performing historical multiplier per (kind, g class) then centers a
+// three-point probe grid, shrinking the §4.2.1 search from the full
+// DefaultMultipliers sweep to a neighborhood check — the paper's grid
+// search, warm-started by a million jobs of history.
+
+// Prior is the warm-start prior mined for one g class.
+type Prior struct {
+	// Class is the gfunc builder name, e.g. "Metropolis".
+	Class string
+	// Multiplier is the schedule scaling of the best archived run.
+	Multiplier float64
+	// Reduction is the cost reduction that run achieved — the ranking key,
+	// comparable only within one class's records.
+	Reduction float64
+	// Records is how many archived runs informed the class.
+	Records int
+}
+
+// Priors maps class name → mined prior. Config.Warm consumes it.
+type Priors map[string]Prior
+
+// WarmStartOptions configures the archive scan.
+type WarmStartOptions struct {
+	// Dir is the archive directory (mcoptd's DATA/archive). It is opened
+	// read-only, so a live daemon can keep writing while olatune reads.
+	Dir string
+	// Kind filters to one problem kind ("gola", "nola", ...): schedules tuned
+	// on one cost regime should not seed another.
+	Kind string
+	// Logf reports scan progress and damage; nil discards.
+	Logf func(format string, args ...any)
+}
+
+// WarmStart scans the archive for done runs of the given kind and returns
+// the best historical multiplier per g class. Classes with no usable
+// history are simply absent — TuneClass falls back to the full grid. The
+// exact untuned baseline for each record is recomputed by compiling the
+// record's own problem spec (carried in the result envelope) through the
+// problem registry, so per-instance scale differences cannot skew the
+// recovered multiplier; the caller must have the relevant kinds registered
+// (import mcopt/problem/builtin).
+//
+// A damaged archive is not fatal: the readable prefix still yields priors
+// and the damage is logged. Only a missing/unopenable directory errors.
+func WarmStart(opts WarmStartOptions) (Priors, error) {
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	a, err := archive.Open(archive.Options{Dir: opts.Dir, ReadOnly: true, Logf: logf})
+	if err != nil {
+		return nil, err
+	}
+	defer a.Close()
+
+	byName := map[string]gfunc.Builder{}
+	for _, b := range gfunc.Classes() {
+		byName[b.Name] = b
+	}
+	priors := Priors{}
+	scanned := 0
+	err = a.Scan(archive.Filter{Kind: opts.Kind, State: "done"}, func(rec *archive.Record) bool {
+		scanned++
+		b, ok := byName[rec.G]
+		if !ok || !b.NeedsY || len(rec.Ys) == 0 {
+			return true
+		}
+		base := recordBaseYs(b, rec)
+		mult, ok := ratioMultiplier(rec.Ys, base)
+		if !ok {
+			return true
+		}
+		// Quantize: floating-point recovery of a schedule written as
+		// base×m lands within an ulp of m, but grid labels (and the RNG
+		// streams derived from them) key on the multiplier's exact value, so
+		// an ulp of drift would make every re-mined probe a fresh run. Four
+		// significant digits is far below schedule sensitivity and snaps
+		// recovered values back onto the multiplier that produced them.
+		mult = roundSig(mult, 4)
+		p, seen := priors[b.Name]
+		if !seen {
+			priors[b.Name] = Prior{Class: b.Name, Multiplier: mult, Reduction: rec.Reduction, Records: 1}
+			return true
+		}
+		p.Records++
+		if rec.Reduction > p.Reduction ||
+			(rec.Reduction == p.Reduction && closerToOne(mult, p.Multiplier)) {
+			p.Multiplier, p.Reduction = mult, rec.Reduction
+		}
+		priors[b.Name] = p
+		return true
+	})
+	if err != nil {
+		if !archive.IsCorrupt(err) {
+			return nil, err
+		}
+		logf("tuner: warm start: archive damaged, mining the readable prefix: %v", err)
+	}
+	logf("tuner: warm start: %d archived run(s) yielded priors for %d class(es)", scanned, len(priors))
+	return priors, nil
+}
+
+// recordBaseYs recomputes the untuned (multiplier-1) schedule the record's
+// job would have defaulted to. The result envelope carries the normalized
+// problem spec verbatim; compiling it reproduces the instance's scale
+// exactly (compilation is deterministic, and the schedule depends only on
+// the spec, not the job seed). Nil when the envelope is unusable.
+func recordBaseYs(b gfunc.Builder, rec *archive.Record) []float64 {
+	var env struct {
+		Spec struct {
+			Problem problem.Spec `json:"problem"`
+		} `json:"spec"`
+	}
+	if json.Unmarshal(rec.Envelope, &env) != nil || env.Spec.Problem.Kind == "" {
+		return nil
+	}
+	def, ok := problem.Lookup(env.Spec.Problem.Kind)
+	if !ok {
+		return nil
+	}
+	p := env.Spec.Problem
+	inst, err := def.Compile(&p, 0)
+	if err != nil {
+		return nil
+	}
+	return b.DefaultYs(inst.Scale)
+}
+
+// ratioMultiplier recovers the scalar multiplier relating ys to base as the
+// geometric mean of the per-level ratios (exact when ys really is a uniform
+// scaling; a least-distortion fit otherwise). False when the shapes differ
+// or any ratio is degenerate.
+func ratioMultiplier(ys, base []float64) (float64, bool) {
+	if len(base) == 0 || len(base) != len(ys) {
+		return 0, false
+	}
+	logSum := 0.0
+	for i := range ys {
+		if !(base[i] > 0) || !(ys[i] > 0) {
+			return 0, false
+		}
+		logSum += math.Log(ys[i] / base[i])
+	}
+	m := math.Exp(logSum / float64(len(ys)))
+	if math.IsNaN(m) || math.IsInf(m, 0) || m <= 0 {
+		return 0, false
+	}
+	return m, true
+}
+
+// roundSig rounds a positive float to the given number of significant
+// decimal digits.
+func roundSig(m float64, digits int) float64 {
+	if m <= 0 || math.IsInf(m, 0) {
+		return m
+	}
+	scale := math.Pow(10, float64(digits)-math.Ceil(math.Log10(m)))
+	return math.Round(m*scale) / scale
+}
+
+// ProbeMultipliers is the neighborhood grid a warm start searches instead
+// of the full sweep: the prior itself and one √2 step to either side — the
+// same step size DefaultMultipliers uses, so a drifted prior still sees its
+// neighbors and the next warm start re-centers on whichever probe wins.
+func ProbeMultipliers(m float64) []float64 {
+	return []float64{m / math.Sqrt2, m, m * math.Sqrt2}
+}

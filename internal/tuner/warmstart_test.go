@@ -1,0 +1,199 @@
+package tuner
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"mcopt/internal/archive"
+	"mcopt/internal/experiment"
+	"mcopt/internal/gfunc"
+	"mcopt/problem"
+
+	_ "mcopt/problem/builtin"
+)
+
+// golaEnvelope builds a result-envelope fragment holding a normalized gola
+// problem spec, and returns it with the untuned default schedule its
+// instance implies — the exact baseline recordBaseYs must recompute.
+func golaEnvelope(t *testing.T, b gfunc.Builder, cells int, seed uint64) (json.RawMessage, []float64) {
+	t.Helper()
+	def, ok := problem.Lookup("gola")
+	if !ok {
+		t.Fatal("gola kind not registered")
+	}
+	p := problem.Spec{Kind: "gola", Cells: cells, Seed: seed}
+	def.Normalize(&p)
+	inst, err := def.Compile(&p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Spec struct {
+			Problem problem.Spec `json:"problem"`
+		} `json:"spec"`
+	}
+	env.Spec.Problem = p
+	raw, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw, b.DefaultYs(inst.Scale)
+}
+
+// archiveWith writes the given records into a fresh archive directory.
+func archiveWith(t *testing.T, recs ...*archive.Record) string {
+	t.Helper()
+	dir := t.TempDir()
+	a, err := archive.Open(archive.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := a.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func scaled(ys []float64, m float64) []float64 {
+	out := make([]float64, len(ys))
+	for i, y := range ys {
+		out[i] = y * m
+	}
+	return out
+}
+
+func TestWarmStartMinesBestHistoricalMultiplier(t *testing.T) {
+	b, _ := gfunc.ByID(1) // Metropolis
+	env, base := golaEnvelope(t, b, 12, 3)
+	dir := archiveWith(t,
+		// The winner: biggest reduction, multiplier 1.4.
+		&archive.Record{ID: "a", Kind: "gola", G: b.Name, State: "done",
+			Ys: scaled(base, 1.4), Reduction: 50, Envelope: env},
+		// Worse history for the same class.
+		&archive.Record{ID: "b", Kind: "gola", G: b.Name, State: "done",
+			Ys: scaled(base, 0.5), Reduction: 10, Envelope: env},
+		// Filtered out: failed state, wrong kind, unknown class, no envelope.
+		&archive.Record{ID: "c", Kind: "gola", G: b.Name, State: "failed",
+			Ys: scaled(base, 16), Envelope: env},
+		&archive.Record{ID: "d", Kind: "maxcut", G: b.Name, State: "done",
+			Ys: scaled(base, 16), Reduction: 999, Envelope: env},
+		&archive.Record{ID: "e", Kind: "gola", G: "no such class", State: "done",
+			Ys: scaled(base, 16), Reduction: 999, Envelope: env},
+		&archive.Record{ID: "f", Kind: "gola", G: b.Name, State: "done",
+			Ys: scaled(base, 16), Reduction: 999},
+	)
+	priors, err := WarmStart(WarmStartOptions{Dir: dir, Kind: "gola"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := priors[b.Name]
+	if !ok {
+		t.Fatalf("no prior for %s: %+v", b.Name, priors)
+	}
+	if math.Abs(p.Multiplier-1.4) > 1e-9 {
+		t.Fatalf("prior multiplier = %g, want 1.4", p.Multiplier)
+	}
+	if p.Records != 2 {
+		t.Fatalf("prior saw %d records, want 2", p.Records)
+	}
+	if p.Reduction != 50 {
+		t.Fatalf("prior reduction = %g, want 50", p.Reduction)
+	}
+	if len(priors) != 1 {
+		t.Fatalf("priors for %d classes, want 1: %+v", len(priors), priors)
+	}
+}
+
+func TestWarmStartEmptyOrMissingArchive(t *testing.T) {
+	priors, err := WarmStart(WarmStartOptions{Dir: t.TempDir() + "/nope", Kind: "gola"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(priors) != 0 {
+		t.Fatalf("priors from a missing archive: %+v", priors)
+	}
+}
+
+func TestProbeMultipliers(t *testing.T) {
+	got := ProbeMultipliers(1.4)
+	if len(got) != 3 || got[1] != 1.4 {
+		t.Fatalf("probe grid = %v", got)
+	}
+	if math.Abs(got[2]/got[1]-math.Sqrt2) > 1e-12 || math.Abs(got[1]/got[0]-math.Sqrt2) > 1e-12 {
+		t.Fatalf("probe steps not √2: %v", got)
+	}
+}
+
+func TestRatioMultiplier(t *testing.T) {
+	if m, ok := ratioMultiplier([]float64{2, 8}, []float64{1, 4}); !ok || m != 2 {
+		t.Fatalf("uniform scaling: got %g, %v", m, ok)
+	}
+	// Non-uniform scaling lands on the geometric mean.
+	if m, ok := ratioMultiplier([]float64{2, 8}, []float64{1, 1}); !ok || math.Abs(m-4) > 1e-12 {
+		t.Fatalf("geometric mean: got %g, %v", m, ok)
+	}
+	for _, bad := range [][2][]float64{
+		{{1, 2}, {1}},       // shape mismatch
+		{{0, 2}, {1, 2}},    // zero y
+		{{1, 2}, {1, 0}},    // zero base
+		{{-1, 2}, {1, 2}},   // negative
+		{{}, {}},            // empty
+		{{1}, {math.NaN()}}, // NaN
+	} {
+		if _, ok := ratioMultiplier(bad[0], bad[1]); ok {
+			t.Fatalf("ratioMultiplier accepted %v / %v", bad[0], bad[1])
+		}
+	}
+}
+
+// TestWarmTuneShrinksGridWithoutLosingQuality is the acceptance check: a
+// warm-started TuneClass probes 3 grid points instead of the full sweep,
+// and — because the probe grid contains the historical winner itself — its
+// best reduction is at least the full grid's.
+func TestWarmTuneShrinksGridWithoutLosingQuality(t *testing.T) {
+	start, n := golaStart(1, 3)
+	b, _ := gfunc.ByID(1) // Metropolis
+	cfg := Config{Budget: 300, Instances: n, Seed: 1}
+	full, err := TuneClass(b, experiment.GOLAScale(), start, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Scores) != len(DefaultMultipliers) {
+		t.Fatalf("full grid ran %d points, want %d", len(full.Scores), len(DefaultMultipliers))
+	}
+
+	// History: one archived run that used the full grid's winning schedule.
+	env, base := golaEnvelope(t, b, 12, 3)
+	dir := archiveWith(t, &archive.Record{
+		ID: "hist", Kind: "gola", G: b.Name, State: "done",
+		Ys: scaled(base, full.Best.Multiplier), Reduction: full.Best.Reduction, Envelope: env,
+	})
+	priors, err := WarmStart(WarmStartOptions{Dir: dir, Kind: "gola"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(priors[b.Name].Multiplier-full.Best.Multiplier) > 1e-9 {
+		t.Fatalf("prior %g, want the archived winner %g", priors[b.Name].Multiplier, full.Best.Multiplier)
+	}
+
+	cfg.Warm = priors
+	warm, err := TuneClass(b, experiment.GOLAScale(), start, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm.Scores) >= len(full.Scores) {
+		t.Fatalf("warm grid (%d points) did not shrink the full grid (%d)", len(warm.Scores), len(full.Scores))
+	}
+	if len(warm.Scores) != 3 {
+		t.Fatalf("warm grid ran %d points, want 3", len(warm.Scores))
+	}
+	if warm.Best.Reduction < full.Best.Reduction {
+		t.Fatalf("warm best %g worse than full-grid best %g", warm.Best.Reduction, full.Best.Reduction)
+	}
+}

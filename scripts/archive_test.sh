@@ -1,0 +1,157 @@
+#!/usr/bin/env bash
+# archive_test.sh — end-to-end proof of crash-safe retirement (DESIGN.md §15).
+#
+# The retirement sequence (archive append → directory delete) has a crash
+# window between the durable append and the delete: a daemon dying there
+# leaves a job both in the archive and on disk, and restart recovery must
+# collapse that to exactly one copy. This script drives the real binaries
+# through that window:
+#
+#   1. Start mcoptd with aggressive retirement (2s age, 100ms sweep) and an
+#      injected hard exit on the 3rd pass through the "service.retire" fault
+#      site — i.e. the daemon dies with no drain and no deferred cleanup
+#      right between a job's durable archive append and its directory
+#      delete, exactly like kill -9 at the worst moment. Submit 8 jobs.
+#   2. Wait for the injected death (exit code 37 proves the fault fired, not
+#      an ordinary crash).
+#   3. Restart mcoptd over the same data directory with the fault cleared
+#      and retirement immediate. Restart recovery finishes the interrupted
+#      retirement; sweeps retire everything else.
+#   4. Assert the invariant: every submitted job exists exactly once — in
+#      the archive, with its directory gone (dir XOR archive), and `mcoptctl
+#      query` sees all 8 with no duplicates.
+#
+# Exits non-zero on the first failure.
+
+set -euo pipefail
+
+GO=${GO:-go}
+JOBS=8
+SPEC='{"problem":{"kind":"maxcut","cells":48,"nets":180,"seed":2},"budget":4000,"runs":2,"seed":5}'
+
+work=$(mktemp -d)
+server_pid=""
+cleanup() {
+    [ -n "$server_pid" ] && kill -9 "$server_pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+echo "== build =="
+$GO build -o "$work/mcoptd" ./cmd/mcoptd
+$GO build -o "$work/mcoptctl" ./cmd/mcoptctl
+
+# start_server LOG_FILE [FLAGS...]: starts mcoptd over $work/data on an
+# ephemeral port and sets $server_pid and $base. $FAULT_SPEC (may be empty)
+# becomes the daemon's MCOPT_FAULT — scoped to the daemon process only; an
+# env prefix on the function call would leak into the whole shell.
+FAULT_SPEC=""
+start_server() {
+    logf=$1
+    shift
+    MCOPT_FAULT="$FAULT_SPEC" "$work/mcoptd" -addr 127.0.0.1:0 -data "$work/data" "$@" 2> "$logf" &
+    server_pid=$!
+    addr=""
+    tries=0
+    while [ "$tries" -lt 100 ]; do
+        addr=$(sed -n 's/.*listening on \([0-9.]*:[0-9]*\).*/\1/p' "$logf" | head -1)
+        [ -n "$addr" ] && break
+        if ! kill -0 "$server_pid" 2>/dev/null; then
+            echo "FAIL: mcoptd exited during startup" >&2
+            cat "$logf" >&2
+            exit 1
+        fi
+        tries=$((tries + 1))
+        sleep 0.05
+    done
+    if [ -z "$addr" ]; then
+        echo "FAIL: mcoptd never reported its listen address" >&2
+        exit 1
+    fi
+    base="http://$addr"
+}
+
+echo "$SPEC" > "$work/spec.json"
+
+echo "== stage 1: submit $JOBS jobs, die mid-retirement =="
+FAULT_SPEC="service.retire:3:exit"
+start_server "$work/server1.log" -workers 2 \
+    -archive-retire-age 2s -archive-sweep 100ms
+FAULT_SPEC=""
+: > "$work/ids.txt"
+for i in $(seq 1 "$JOBS"); do
+    # Distinct seeds make distinct jobs (and distinct archive records).
+    sed "s/\"seed\":5/\"seed\":$((100 + i))/" "$work/spec.json" > "$work/spec$i.json"
+    "$work/mcoptctl" -addr "$base" submit -spec "$work/spec$i.json" >> "$work/ids.txt"
+done
+[ "$(wc -l < "$work/ids.txt")" -eq "$JOBS" ]
+
+# The daemon must die by injected exit (code 37) during the 3rd retirement:
+# after that job's record is durably archived, before its directory delete.
+tries=0
+while kill -0 "$server_pid" 2>/dev/null; do
+    if [ "$tries" -ge 1200 ]; then
+        echo "FAIL: mcoptd survived 60s; the retirement fault never fired" >&2
+        cat "$work/server1.log" >&2
+        exit 1
+    fi
+    tries=$((tries + 1))
+    sleep 0.05
+done
+rc=0
+wait "$server_pid" || rc=$?
+server_pid=""
+if [ "$rc" -ne 37 ]; then
+    echo "FAIL: mcoptd exited with $rc, want the injected 37" >&2
+    cat "$work/server1.log" >&2
+    exit 1
+fi
+leftover=$(find "$work/data/jobs" -mindepth 1 -maxdepth 1 -type d | wc -l)
+echo "ok: died mid-retirement (exit 37), $leftover job dir(s) left behind"
+
+echo "== stage 2: restart, finish every retirement =="
+start_server "$work/server2.log" -workers 2 \
+    -archive-retire-age 0s -archive-sweep 100ms
+tries=0
+while [ "$tries" -lt 600 ]; do
+    dirs=$(find "$work/data/jobs" -mindepth 1 -maxdepth 1 -type d 2>/dev/null | wc -l)
+    [ "$dirs" -eq 0 ] && break
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        echo "FAIL: mcoptd died during recovery" >&2
+        cat "$work/server2.log" >&2
+        exit 1
+    fi
+    tries=$((tries + 1))
+    sleep 0.05
+done
+if [ "$dirs" -ne 0 ]; then
+    echo "FAIL: $dirs job dir(s) never retired" >&2
+    ls "$work/data/jobs" >&2
+    exit 1
+fi
+
+echo "== stage 3: exactly-once — dir XOR archive =="
+"$work/mcoptctl" -addr "$base" query -records -limit 0 > "$work/records.ndjson"
+if grep -q '"error"' "$work/records.ndjson"; then
+    echo "FAIL: archive scan reported damage:" >&2
+    grep '"error"' "$work/records.ndjson" >&2
+    exit 1
+fi
+sed -n 's/.*"id":"\([^"]*\)".*/\1/p' "$work/records.ndjson" | sort > "$work/archived.txt"
+sort "$work/ids.txt" > "$work/submitted.txt"
+if ! cmp -s "$work/submitted.txt" "$work/archived.txt"; then
+    echo "FAIL: archived IDs do not match submitted IDs exactly once:" >&2
+    diff "$work/submitted.txt" "$work/archived.txt" >&2 || true
+    exit 1
+fi
+# And the grouped summary agrees on the total.
+total=$("$work/mcoptctl" -addr "$base" query | sed -n 's/^total[[:space:]]*\([0-9]*\).*/\1/p')
+if [ "$total" != "$JOBS" ]; then
+    echo "FAIL: query summary total = $total, want $JOBS" >&2
+    exit 1
+fi
+kill -TERM "$server_pid" 2>/dev/null || true
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+
+echo "archive-test: every job archived exactly once across a mid-retirement crash"

@@ -1,4 +1,4 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # service_bench.sh — scripted load probe of the service layer.
 #
 # Builds mcoptd and mcoptload, starts a throwaway server on an ephemeral
@@ -14,7 +14,11 @@
 # The spec is tiny on purpose: the probe measures queueing, persistence,
 # and streaming overhead, not annealing time.
 
-set -eu
+# Fail fast: any failing command, unset variable, or failure inside a
+# pipeline (the sed|head address scrape) aborts the probe instead of
+# benchmarking a half-started stack, and the trap guarantees the daemon
+# never outlives the script.
+set -euo pipefail
 
 GO=${GO:-go}
 JOBS=${JOBS:-32}
@@ -25,7 +29,10 @@ SPEC='{"problem":{"kind":"maxcut","cells":48,"nets":180,"seed":2},"budget":8000,
 work=$(mktemp -d)
 server_pid=""
 cleanup() {
-    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    if [ -n "$server_pid" ]; then
+        kill "$server_pid" 2>/dev/null || true
+        wait "$server_pid" 2>/dev/null || true
+    fi
     rm -rf "$work"
 }
 trap cleanup EXIT INT TERM
